@@ -1,0 +1,61 @@
+//! Microbench: executable collectives on the virtual cluster — the
+//! Θ(P) round-robin/linear schedule vs the Θ(log P) binomial tree that
+//! defines Sync EASGD1. Measures real wall time of the data movement
+//! (the simulated-cost contrast is asserted by tests).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use easgd_cluster::{ClusterConfig, CollectiveAlgo, TimeCategory, VirtualCluster};
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_allreduce");
+    group.sample_size(20);
+    let len = 100_000; // ~LeNet-sized weight vector
+    for &ranks in &[2usize, 4, 8] {
+        for (name, algo) in [
+            ("tree", CollectiveAlgo::Tree),
+            ("linear", CollectiveAlgo::Linear),
+            ("rabenseifner", CollectiveAlgo::Rabenseifner),
+        ] {
+            let cfg = ClusterConfig::new(ranks).with_collective(algo);
+            group.bench_with_input(
+                BenchmarkId::new(name, ranks),
+                &cfg,
+                |bencher, cfg| {
+                    bencher.iter(|| {
+                        VirtualCluster::run(cfg, |comm| {
+                            let x = vec![comm.rank() as f32; len];
+                            comm.allreduce_sum(&x, TimeCategory::GpuGpuParam)[0]
+                        })
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_p2p_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_p2p");
+    group.sample_size(20);
+    for &len in &[1_000usize, 100_000] {
+        let cfg = ClusterConfig::new(2);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |bencher, &len| {
+            bencher.iter(|| {
+                VirtualCluster::run(&cfg, |comm| {
+                    if comm.rank() == 0 {
+                        comm.send(1, 1, &vec![1.0f32; len], TimeCategory::CpuGpuParam);
+                        comm.recv(1, 2, TimeCategory::CpuGpuParam).len()
+                    } else {
+                        let d = comm.recv(0, 1, TimeCategory::CpuGpuParam);
+                        comm.send(0, 2, &d, TimeCategory::CpuGpuParam);
+                        d.len()
+                    }
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce, bench_p2p_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Microbench: the elastic-averaging update kernels (Equations 1, 2,
+//! 5–6) on a packed arena vs scattered per-layer buffers — the §5.2
+//! memory-locality claim applied to the optimizer step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use easgd_tensor::ops::{
+    elastic_center_update, elastic_momentum_update, elastic_worker_update,
+};
+use easgd_tensor::Rng;
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = Rng::new(seed);
+    (0..n).map(|_| rng.uniform_in(-1.0, 1.0)).collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elastic_kernels");
+    let n = 431_080; // LeNet parameter count
+    group.throughput(Throughput::Elements(n as u64));
+    let grad = rand_vec(n, 1);
+    let center = rand_vec(n, 2);
+    let mut local = rand_vec(n, 3);
+    let mut vel = vec![0.0f32; n];
+
+    group.bench_function("eq1_worker", |bencher| {
+        bencher.iter(|| elastic_worker_update(0.05, 0.3, &mut local, &grad, &center));
+    });
+    let mut c2 = center.clone();
+    group.bench_function("eq2_center", |bencher| {
+        bencher.iter(|| elastic_center_update(0.05, 0.3, &mut c2, &local));
+    });
+    group.bench_function("eq5_6_momentum_worker", |bencher| {
+        bencher.iter(|| {
+            elastic_momentum_update(0.05, 0.9, 0.3, &mut local, &mut vel, &grad, &center)
+        });
+    });
+    group.finish();
+}
+
+fn bench_layout(c: &mut Criterion) {
+    // Packed: one flat Eq-1 pass. Scattered: same total elements in many
+    // separately allocated layer-sized buffers (the pre-§5.2 layout).
+    let mut group = c.benchmark_group("elastic_layout");
+    let sizes = [520usize, 25_050, 400_500, 5_010]; // LeNet's layers
+    let n: usize = sizes.iter().sum();
+    group.throughput(Throughput::Elements(n as u64));
+
+    let grad = rand_vec(n, 4);
+    let center = rand_vec(n, 5);
+    let mut packed = rand_vec(n, 6);
+    group.bench_function("packed_arena", |bencher| {
+        bencher.iter(|| elastic_worker_update(0.05, 0.3, &mut packed, &grad, &center));
+    });
+
+    let mut scattered: Vec<Vec<f32>> = sizes.iter().map(|&s| rand_vec(s, 7)).collect();
+    let grads: Vec<Vec<f32>> = sizes.iter().map(|&s| rand_vec(s, 8)).collect();
+    let centers: Vec<Vec<f32>> = sizes.iter().map(|&s| rand_vec(s, 9)).collect();
+    group.bench_function("scattered_layers", |bencher| {
+        bencher.iter(|| {
+            for ((w, g), cc) in scattered.iter_mut().zip(&grads).zip(&centers) {
+                elastic_worker_update(0.05, 0.3, w, g, cc);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elastic_eq1_scaling");
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let grad = rand_vec(n, 10);
+        let center = rand_vec(n, 11);
+        let mut local = rand_vec(n, 12);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| elastic_worker_update(0.05, 0.3, &mut local, &grad, &center));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_layout, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Microbench: the GEMM kernel behind every worker's forward/backward
+//! pass — serial vs Rayon-parallel paths and the NN-relevant transpose
+//! variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use easgd_tensor::{gemm, Rng, Transpose};
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = Rng::new(seed);
+    (0..n).map(|_| rng.uniform_in(-1.0, 1.0)).collect()
+}
+
+fn bench_square(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_square");
+    for &n in &[32usize, 64, 128, 256] {
+        let a = rand_vec(n * n, 1);
+        let b = rand_vec(n * n, 2);
+        let mut out = vec![0.0f32; n * n];
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, &n| {
+            bencher.iter(|| {
+                gemm(
+                    Transpose::No,
+                    Transpose::No,
+                    n,
+                    n,
+                    n,
+                    1.0,
+                    &a,
+                    &b,
+                    0.0,
+                    &mut out,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_transpose_variants(c: &mut Criterion) {
+    // Dense-layer shapes: forward (NT), weight gradient (TN).
+    let (m, n, k) = (64usize, 128usize, 256usize);
+    let mut group = c.benchmark_group("gemm_nn_shapes");
+    let a = rand_vec(m * k, 3);
+    let bt = rand_vec(n * k, 4);
+    let b = rand_vec(k * n, 5);
+    let at = rand_vec(k * m, 6);
+    let mut out = vec![0.0f32; m * n];
+    group.bench_function("forward_NT", |bencher| {
+        bencher.iter(|| gemm(Transpose::No, Transpose::Yes, m, n, k, 1.0, &a, &bt, 0.0, &mut out));
+    });
+    group.bench_function("wgrad_TN", |bencher| {
+        bencher.iter(|| gemm(Transpose::Yes, Transpose::No, m, n, k, 1.0, &at, &b, 0.0, &mut out));
+    });
+    group.bench_function("xgrad_NN", |bencher| {
+        bencher.iter(|| gemm(Transpose::No, Transpose::No, m, n, k, 1.0, &a, &b, 0.0, &mut out));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_square, bench_transpose_variants);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Microbench: the Hogwild enabling mechanism — lock-free atomic weight
+//! updates vs mutex-protected updates, single-threaded overhead and
+//! multi-threaded throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use easgd_tensor::AtomicBuffer;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+const LEN: usize = 10_000;
+
+fn bench_single_thread(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_single_thread");
+    group.throughput(Throughput::Elements(LEN as u64));
+    let grad = vec![0.001f32; LEN];
+
+    let buf = AtomicBuffer::zeros(LEN);
+    group.bench_function("lock_free_atomic", |bencher| {
+        bencher.iter(|| buf.sgd_update(0.01, &grad));
+    });
+
+    let locked = Mutex::new(vec![0.0f32; LEN]);
+    group.bench_function("mutex", |bencher| {
+        bencher.iter(|| {
+            let mut w = locked.lock();
+            easgd_tensor::ops::sgd_update(0.01, &mut w, &grad);
+        });
+    });
+
+    let mut plain = vec![0.0f32; LEN];
+    group.bench_function("unsynchronized_baseline", |bencher| {
+        bencher.iter(|| easgd_tensor::ops::sgd_update(0.01, &mut plain, &grad));
+    });
+    group.finish();
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_contended");
+    group.sample_size(20);
+    let updates_per_thread = 50;
+    for &threads in &[2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("lock_free", threads),
+            &threads,
+            |bencher, &threads| {
+                bencher.iter(|| {
+                    let buf = Arc::new(AtomicBuffer::zeros(LEN));
+                    let grad = Arc::new(vec![0.001f32; LEN]);
+                    std::thread::scope(|s| {
+                        for _ in 0..threads {
+                            let buf = Arc::clone(&buf);
+                            let grad = Arc::clone(&grad);
+                            s.spawn(move || {
+                                for _ in 0..updates_per_thread {
+                                    buf.sgd_update(0.01, &grad);
+                                }
+                            });
+                        }
+                    });
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mutex", threads),
+            &threads,
+            |bencher, &threads| {
+                bencher.iter(|| {
+                    let w = Arc::new(Mutex::new(vec![0.0f32; LEN]));
+                    let grad = Arc::new(vec![0.001f32; LEN]);
+                    std::thread::scope(|s| {
+                        for _ in 0..threads {
+                            let w = Arc::clone(&w);
+                            let grad = Arc::clone(&grad);
+                            s.spawn(move || {
+                                for _ in 0..updates_per_thread {
+                                    let mut guard = w.lock();
+                                    easgd_tensor::ops::sgd_update(0.01, &mut guard, &grad);
+                                }
+                            });
+                        }
+                    });
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_thread, bench_contended);
+criterion_main!(benches);

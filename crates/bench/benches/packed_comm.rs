@@ -1,0 +1,63 @@
+//! Microbench: the §5.2 packed-layout claim at the memory level — one
+//! contiguous parameter arena vs scattered per-layer buffers, for the
+//! serialization step every weight exchange performs (gather into a
+//! send buffer / scatter from a receive buffer).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use easgd_nn::models::{alexnet_cifar, lenet};
+use easgd_nn::{CommSchedule, LayoutKind};
+
+fn bench_serialize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weight_serialize");
+    for (name, net) in [("lenet", lenet(1)), ("alexnet_cifar", alexnet_cifar(2))] {
+        let n = net.num_params();
+        group.throughput(Throughput::Bytes((n * 4) as u64));
+        // Packed: the arena IS the message — one memcpy.
+        let packed = net.params().as_slice().to_vec();
+        group.bench_with_input(BenchmarkId::new("packed", name), &packed, |bencher, src| {
+            let mut out = vec![0.0f32; n];
+            bencher.iter(|| out.copy_from_slice(src));
+        });
+        // Per-layer: separate allocations gathered segment by segment.
+        let segments: Vec<Vec<f32>> = net
+            .params()
+            .segments()
+            .iter()
+            .map(|s| net.params().as_slice()[s.range()].to_vec())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("per_layer", name),
+            &segments,
+            |bencher, segs| {
+                let mut out = vec![0.0f32; n];
+                bencher.iter(|| {
+                    let mut off = 0;
+                    for s in segs {
+                        out[off..off + s.len()].copy_from_slice(s);
+                        off += s.len();
+                    }
+                    off
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_schedule_cost(c: &mut Criterion) {
+    // Cost-model evaluation itself (used in inner loops of the sweeps).
+    let mut group = c.benchmark_group("schedule_cost");
+    let spec = easgd_nn::spec::spec_vgg19();
+    for layout in [LayoutKind::Packed, LayoutKind::PerLayer] {
+        let schedule = CommSchedule::from_spec(&spec, layout);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{layout:?}")),
+            &schedule,
+            |bencher, s| bencher.iter(|| s.time_alpha_beta(0.7e-6, 0.2e-9)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serialize, bench_schedule_cost);
+criterion_main!(benches);

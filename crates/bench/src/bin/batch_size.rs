@@ -1,0 +1,100 @@
+//! §7.2 — the impact of batch size, measured.
+//!
+//! ```sh
+//! cargo run --release -p easgd-bench --bin batch_size
+//! ```
+//!
+//! Two opposing forces, both real here:
+//!
+//! * throughput — larger batches make the GEMMs fatter and *measurably*
+//!   faster per sample (the “BLAS functions run more efficiently” half
+//!   of §7.2);
+//! * convergence — past a point, larger batches need more epochs to the
+//!   same accuracy (the “sharper minima” half).
+//!
+//! The harness measures both and reports time-to-accuracy, with the
+//! linear-scaling learning-rate rule applied (the §7.2 advice to retune
+//! η with b).
+
+use easgd::schedule::LrSchedule;
+use easgd::serial::{serial_sgd, SerialConfig};
+use easgd_bench::figure_task;
+use std::time::Instant;
+
+fn main() {
+    let (net, train, test) = figure_task();
+    let target = 0.90f32;
+    let base_batch = 16usize;
+    let base_eta = 0.05f32;
+
+    println!("Batch-size study (§7.2): LeNet-tiny on synthetic MNIST, target {:.0}%", target * 100.0);
+    println!(
+        "{:>7} {:>8} {:>14} {:>10} {:>12} {:>14}",
+        "batch", "eta", "samples/sec", "iters", "acc %", "time-to-acc(s)"
+    );
+
+    for &batch in &[8usize, 16, 32, 64, 128, 256, 512] {
+        // Throughput: measured wall time of pure forward/backward.
+        let mut probe = net.clone();
+        let mut rng = easgd_tensor::Rng::new(1);
+        let warm = train.sample_batch(&mut rng, batch);
+        let _ = probe.forward_backward(&warm.images, &warm.labels);
+        let reps = (2_048 / batch).max(2);
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let b = train.sample_batch(&mut rng, batch);
+            let _ = probe.forward_backward(&b.images, &b.labels);
+        }
+        let per_sample = t0.elapsed().as_secs_f64() / (reps * batch) as f64;
+        let throughput = 1.0 / per_sample;
+
+        // Convergence: iterations to target with the linear-scaling rule.
+        let schedule =
+            LrSchedule::Constant { base: base_eta }.rescaled_for_batch(base_batch, batch);
+        let mut cfg = SerialConfig {
+            batch,
+            schedule,
+            mu: 0.0,
+            weight_decay: 0.0,
+            iterations: 3_000,
+            seed: 2,
+            trace_every: 10,
+        };
+        // Cap the η explosion at huge batches (the paper: beyond ~4096
+        // the rule breaks and extra tuning is needed).
+        if let LrSchedule::Constant { base } = &mut cfg.schedule {
+            *base = base.min(1.0);
+        }
+        let r = serial_sgd(&net, &train, &test, &cfg);
+        let hit = r
+            .trace
+            .iter()
+            .find(|p| p.accuracy >= target)
+            .map(|p| p.iteration);
+        let (iters_str, tta_str) = match hit {
+            Some(iters) => (
+                iters.to_string(),
+                format!("{:.2}", iters as f64 * batch as f64 * per_sample),
+            ),
+            None => ("--".to_string(), "--".to_string()),
+        };
+        let eta_used = cfg.schedule.base();
+        println!(
+            "{:>7} {:>8.3} {:>14.0} {:>10} {:>12.1} {:>14}",
+            batch,
+            eta_used,
+            throughput,
+            iters_str,
+            r.accuracy * 100.0,
+            tta_str
+        );
+    }
+    println!(
+        "\nreading (§7.2): iterations-to-target falls with batch size until the\n\
+         linearly-scaled rate destabilizes training (the paper's 'beyond a\n\
+         threshold … requiring more epochs'); the time-to-accuracy minimum sits\n\
+         at a small-to-medium batch. (On a single-core host the BLAS-efficiency\n\
+         gain from fatter GEMMs is modest; on the paper's KNL it is the force\n\
+         that pushes the optimum toward medium batches.)"
+    );
+}

@@ -1,0 +1,38 @@
+//! The convex case (§1's proof claim), run as a table: (Hogwild) EASGD
+//! on least squares with a closed-form optimum — safety and speedup
+//! measured directly.
+//!
+//! ```sh
+//! cargo run --release -p easgd-bench --bin convex
+//! ```
+
+use easgd::convex::{easgd_on_quadratic, hogwild_easgd_on_quadratic, QuadraticProblem};
+
+fn main() {
+    let problem = QuadraticProblem::random(400, 10, 0.05, 0xC0);
+    println!(
+        "Convex study: least squares, {} rows x {} unknowns, noise 0.05.",
+        problem.m, problem.n
+    );
+    println!("Distance² of the EASGD center to the exact optimum:\n");
+    println!(
+        "{:>8} {:>16} {:>20}",
+        "workers", "EASGD (seq)", "Hogwild EASGD (threads)"
+    );
+    for &workers in &[1usize, 2, 4, 8] {
+        let d_seq = easgd_on_quadratic(&problem, workers, 150, 4, 0.02, 2.0, 0xC1);
+        let d_hog = hogwild_easgd_on_quadratic(&problem, workers, 150, 4, 0.02, 2.0, 0xC2);
+        println!("{workers:>8} {d_seq:>16.5} {d_hog:>20.5}");
+    }
+    println!(
+        "\nper-worker budget fixed at 150 steps: more workers land the center closer\n\
+         (\"faster\"), and the lock-free rows stay bounded and convergent (\"safe\") —\n\
+         the two properties the paper's appendix proof establishes."
+    );
+
+    println!("\nStep-size / neighbourhood trade (4 workers, 2000 steps):");
+    for &(eta, rho) in &[(0.05f32, 1.0f32), (0.02, 2.5), (0.005, 10.0)] {
+        let d = easgd_on_quadratic(&problem, 4, 2000, 4, eta, rho, 0xC3);
+        println!("  eta {eta:<6} rho {rho:<5} -> distance² {d:.6}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Figure 13: the benefits of using more machines and more data — reach
+//! a target accuracy sooner, or a higher accuracy in a fixed time.
+//!
+//! ```sh
+//! cargo run --release -p easgd-bench --bin fig13
+//! ```
+//!
+//! Per the paper's setup: each node processes its own copy of the (here
+//! synthetic) CIFAR-like dataset with batch 64, so total data grows with
+//! the node count. Training runs on the simulated cluster (FDR IB, tree
+//! allreduce) with real gradients.
+
+use easgd::{sync_sgd_sim, TrainConfig};
+use easgd_data::SyntheticSpec;
+use easgd_hardware::net::AlphaBeta;
+use easgd_nn::models::alexnet_cifar_tiny;
+use easgd_nn::LayoutKind;
+
+fn main() {
+    let spec = SyntheticSpec {
+        noise: 1.8,
+        ..SyntheticSpec::cifar_small()
+    };
+    let task = spec.task(0xF13);
+    let test = task.generate(500, 0x7E57);
+    let net = alexnet_cifar_tiny(0xD0D0);
+    let link = AlphaBeta::fdr_infiniband();
+    let fwd_bwd = 5.0e-3;
+
+    println!("Figure 13: more machines + more data (simulated cluster, Sync SGD)");
+    for nodes in [1usize, 2, 4, 8] {
+        // One fresh dataset copy per node: more machines = more data.
+        let shards: Vec<_> = (0..nodes)
+            .map(|n| task.generate(400, 0xBEEF + n as u64))
+            .collect();
+        let cfg = TrainConfig {
+            workers: nodes,
+            batch: 64,
+            eta: 0.03,
+            rho: 0.3,
+            mu: 0.9,
+            iterations: 300,
+            seed: 0xF1A,
+            comm_period: 1,
+        };
+        let r = sync_sgd_sim(
+            &net,
+            &shards,
+            &test,
+            &cfg,
+            &link,
+            LayoutKind::Packed,
+            fwd_bwd,
+            50,
+        );
+        println!("\n{nodes} node(s), {} total training samples:", 400 * nodes);
+        println!("{:>8} {:>12} {:>8} {:>14}", "iter", "sim secs", "acc %", "error (loss axis)");
+        for p in &r.trace {
+            println!(
+                "{:>8} {:>12.3} {:>8.1} {:>14.3}",
+                p.iteration,
+                p.seconds,
+                p.accuracy * 100.0,
+                1.0 - p.accuracy
+            );
+        }
+    }
+    println!(
+        "\nread vertically (fixed time -> higher accuracy with more nodes) or \
+         horizontally (fixed accuracy -> reached sooner), as in the paper's Figure 13."
+    );
+}

@@ -1,0 +1,93 @@
+//! Figure 6: each of the paper's methods vs its existing counterpart,
+//! accuracy vs time, one independent run per point.
+//!
+//! ```sh
+//! cargo run --release -p easgd-bench --bin fig6              # all panels
+//! cargo run --release -p easgd-bench --bin fig6 -- --panel 3 # one panel
+//! ```
+//!
+//! Panels 1–3 (Async EASGD vs Async SGD, Async MEASGD vs Async MSGD,
+//! Hogwild EASGD vs Hogwild SGD) run wall-clock on real threads; panel 4
+//! (Sync EASGD vs Original EASGD) runs on the simulated 4-GPU node where
+//! the round-robin vs tree-reduction cost difference lives.
+
+use easgd::metrics::RunResult;
+use easgd::{
+    async_easgd, async_measgd, async_msgd, async_sgd, hogwild_easgd, hogwild_sgd,
+    original_easgd_sim, sync_easgd_sim, OriginalMode, SimCosts, SyncVariant, TrainConfig,
+};
+use easgd_bench::{arg_value, figure_budgets, figure_task, print_run, print_run_header};
+use easgd_data::Dataset;
+use easgd_nn::Network;
+
+type WallRunner = fn(&Network, &Dataset, &Dataset, &TrainConfig) -> RunResult;
+
+fn wall_panel(title: &str, ours: WallRunner, theirs: WallRunner, eta: f32) {
+    println!("\n=== {title} ===");
+    let (net, train, test) = figure_task();
+    print_run_header();
+    for &iters in &figure_budgets() {
+        let cfg = TrainConfig::figure6(iters).with_eta(eta);
+        print_run(&theirs(&net, &train, &test, &cfg));
+        print_run(&ours(&net, &train, &test, &cfg));
+    }
+}
+
+fn sim_panel() {
+    println!("\n=== Figure 6.4: Sync EASGD vs Original EASGD (simulated 4-GPU node) ===");
+    let (net, train, test) = figure_task();
+    let costs = SimCosts::mnist_lenet_4gpu();
+    print_run_header();
+    for &iters in &figure_budgets() {
+        let cfg = TrainConfig::figure6(iters);
+        print_run(&original_easgd_sim(
+            &net,
+            &train,
+            &test,
+            &cfg,
+            &costs,
+            OriginalMode::Pipelined,
+        ));
+        print_run(&sync_easgd_sim(
+            &net,
+            &train,
+            &test,
+            &cfg,
+            &costs,
+            SyncVariant::Easgd3,
+            0,
+        ));
+    }
+}
+
+fn main() {
+    let panel = arg_value("--panel");
+    let want = |p: &str| panel.is_none() || panel.as_deref() == Some(p);
+    if want("1") {
+        wall_panel(
+            "Figure 6.1: Async EASGD vs Async SGD",
+            async_easgd,
+            async_sgd,
+            0.2,
+        );
+    }
+    if want("2") {
+        wall_panel(
+            "Figure 6.2: Async MEASGD vs Async MSGD",
+            async_measgd,
+            async_msgd,
+            0.02,
+        );
+    }
+    if want("3") {
+        wall_panel(
+            "Figure 6.3: Hogwild EASGD vs Hogwild SGD",
+            hogwild_easgd,
+            hogwild_sgd,
+            0.2,
+        );
+    }
+    if want("4") {
+        sim_panel();
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 8: the overall shoot-out — all eight methods, log10 error rate
+//! vs time, each point an independent run with its own iteration budget.
+//!
+//! ```sh
+//! cargo run --release -p easgd-bench --bin fig8
+//! ```
+//!
+//! The asynchronous/shared-memory methods run wall-clock; Original and
+//! Sync EASGD additionally run on the simulated 4-GPU node (marked
+//! `[sim]`), where the paper's communication-cost separation lives.
+
+use easgd::metrics::RunResult;
+use easgd::{
+    async_easgd, async_measgd, async_msgd, async_sgd, hogwild_easgd, hogwild_sgd,
+    original_easgd_sim, original_easgd_turns, sync_easgd_shared, sync_easgd_sim, OriginalMode,
+    SimCosts, SyncVariant, TrainConfig,
+};
+use easgd_bench::{figure_budgets, figure_task, print_run, print_run_header};
+use easgd_data::Dataset;
+use easgd_nn::Network;
+
+type WallRunner = fn(&Network, &Dataset, &Dataset, &TrainConfig) -> RunResult;
+
+fn main() {
+    let (net, train, test) = figure_task();
+    let methods: Vec<(WallRunner, f32)> = vec![
+        (original_easgd_turns as WallRunner, 0.2),
+        (async_sgd as WallRunner, 0.2),
+        (async_msgd as WallRunner, 0.02),
+        (hogwild_sgd as WallRunner, 0.2),
+        (async_easgd as WallRunner, 0.2),
+        (async_measgd as WallRunner, 0.02),
+        (hogwild_easgd as WallRunner, 0.2),
+        (sync_easgd_shared as WallRunner, 0.2),
+    ];
+
+    println!("=== Figure 8: all methods, wall-clock (shared-memory node) ===");
+    print_run_header();
+    for (run, eta) in &methods {
+        for &iters in &figure_budgets() {
+            let cfg = TrainConfig::figure6(iters).with_eta(*eta);
+            print_run(&run(&net, &train, &test, &cfg));
+        }
+    }
+
+    println!("\n=== Figure 8 (simulated 4-GPU node): the comm-bound separation ===");
+    let costs = SimCosts::mnist_lenet_4gpu();
+    print_run_header();
+    for &iters in &figure_budgets() {
+        let cfg = TrainConfig::figure6(iters);
+        let mut orig =
+            original_easgd_sim(&net, &train, &test, &cfg, &costs, OriginalMode::Pipelined);
+        orig.method += " [sim]";
+        print_run(&orig);
+        let mut sync = sync_easgd_sim(&net, &train, &test, &cfg, &costs, SyncVariant::Easgd3, 0);
+        sync.method += " [sim]";
+        print_run(&sync);
+    }
+}

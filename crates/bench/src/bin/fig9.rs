@@ -1,0 +1,29 @@
+//! Figure 9: the method-design lineage.
+//!
+//! ```sh
+//! cargo run --release -p easgd-bench --bin fig9
+//! ```
+
+use easgd::lineage::{lineage, MethodId};
+
+fn main() {
+    println!("Figure 9: framework of the algorithm design");
+    println!("\nexisting methods (red boxes):");
+    for m in MethodId::ALL.iter().filter(|m| m.is_existing()) {
+        println!("  {m}");
+    }
+    println!("\nnew methods (blue boxes):");
+    for m in MethodId::ALL.iter().filter(|m| !m.is_existing()) {
+        println!("  {m}");
+    }
+    println!("\nderivations:");
+    for e in lineage() {
+        println!("  {:<16} --[{}]--> {}", e.from.name(), e.idea, e.to.name());
+    }
+    println!("\nFigure 6 comparisons (ours vs counterpart):");
+    for m in MethodId::ALL.iter() {
+        if let Some(c) = m.counterpart() {
+            println!("  {m}  vs  {c}");
+        }
+    }
+}

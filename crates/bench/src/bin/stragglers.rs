@@ -1,0 +1,47 @@
+//! Straggler ablation: the paper's introductory argument quantified —
+//! cloud systems (frequent stragglers) favour asynchronous methods; HPC
+//! clusters (reliable nodes) make the deterministic synchronous schedule
+//! nearly free.
+//!
+//! ```sh
+//! cargo run --release -p easgd-bench --bin stragglers
+//! ```
+
+use easgd::straggler::{straggler_study, StragglerConfig};
+
+fn main() {
+    println!("Straggler study: sync (BSP) vs async makespan penalty over ideal");
+    println!("(10x slowdown per straggling step; 2000 rounds; 10 ms steps + 1 ms comm)\n");
+    println!(
+        "{:>8} {:>12} {:>14} {:>14} {:>12}",
+        "workers", "P(straggle)", "sync penalty", "async penalty", "sync/async"
+    );
+    for &workers in &[4usize, 16, 64] {
+        for &prob in &[0.0, 0.001, 0.01, 0.05, 0.1, 0.2] {
+            let out = straggler_study(&StragglerConfig {
+                workers,
+                rounds: 2_000,
+                base_step_seconds: 0.010,
+                straggler_prob: prob,
+                straggler_factor: 10.0,
+                comm_seconds: 0.001,
+                seed: 0x57A6,
+            });
+            println!(
+                "{:>8} {:>12.3} {:>13.2}x {:>13.2}x {:>11.2}x",
+                workers,
+                prob,
+                out.sync_penalty(),
+                out.async_penalty(),
+                out.sync_seconds / out.async_seconds
+            );
+        }
+        println!();
+    }
+    println!(
+        "reading: at cloud-like straggler rates (≥5%) sync pays 2-6x while async pays\n\
+         ~1.5x — the regime where Async SGD/parameter servers were designed. At\n\
+         HPC-like rates (≤0.1%) the sync penalty vanishes, which is why the paper\n\
+         can afford the deterministic Sync EASGD and its tree reductions (§1, §8)."
+    );
+}

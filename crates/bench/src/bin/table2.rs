@@ -1,0 +1,45 @@
+//! Table 2: InfiniBand performance under the α-β model, plus what the
+//! model implies for the paper's message sizes.
+//!
+//! ```sh
+//! cargo run --release -p easgd-bench --bin table2
+//! ```
+
+use easgd_hardware::net::AlphaBeta;
+use easgd_nn::spec::{spec_alexnet, spec_googlenet, spec_lenet, spec_vgg19};
+
+fn main() {
+    println!("Table 2: InfiniBand Performance under the alpha-beta Model");
+    println!(
+        "{:<30} {:>14} {:>18}",
+        "Network", "alpha (latency)", "beta (1/bandwidth)"
+    );
+    for link in AlphaBeta::table2() {
+        println!(
+            "{:<30} {:>11.1} us {:>13.1} ns/B",
+            link.name,
+            link.alpha_s * 1e6,
+            link.beta_s_per_byte * 1e9,
+        );
+    }
+
+    println!("\nModel-implied one-way transfer time for full weight sets:");
+    print!("{:<30}", "model (weights)");
+    for spec in [spec_lenet(), spec_alexnet(), spec_googlenet(), spec_vgg19()] {
+        print!(" {:>14}", format!("{} ({:.0} MB)", spec.name, spec.weight_bytes() as f64 / 1e6));
+    }
+    println!();
+    for link in AlphaBeta::table2() {
+        print!("{:<30}", link.name);
+        for spec in [spec_lenet(), spec_alexnet(), spec_googlenet(), spec_vgg19()] {
+            print!(" {:>12.1}ms", link.time(spec.weight_bytes()) * 1e3);
+        }
+        println!();
+    }
+    println!(
+        "\nbeta << alpha per byte: a 1 KB message costs {:.2} us of latency but only \
+         {:.3} us of bandwidth on FDR IB — why §5.2 packs layers into one message.",
+        AlphaBeta::fdr_infiniband().alpha_s * 1e6,
+        AlphaBeta::fdr_infiniband().beta_s_per_byte * 1024.0 * 1e6
+    );
+}

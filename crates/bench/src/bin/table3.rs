@@ -1,0 +1,86 @@
+//! Table 3 / Figure 11: breakdown of time for the EASGD variants on the
+//! simulated 4-GPU node, and the §6.1 speedup chain.
+//!
+//! ```sh
+//! cargo run --release -p easgd-bench --bin table3
+//! ```
+//!
+//! Matching the paper's protocol: the round-robin variants get 5× the
+//! per-iteration budget of the synchronous ones (5000 vs 1000 in the
+//! paper) because only one GPU works per round-robin interaction; all
+//! runs must land at the same accuracy for the comparison to be fair
+//! (§2.4).
+
+use easgd::metrics::RunResult;
+use easgd::{
+    original_easgd_sim, sync_easgd_sim, OriginalMode, SimCosts, SyncVariant, TrainConfig,
+};
+use easgd_bench::figure_task;
+use easgd_cluster::TimeCategory;
+
+fn main() {
+    let (net, train, test) = figure_task();
+    let costs = SimCosts::mnist_lenet_4gpu();
+    // 4 workers: sync methods run 250 rounds (1000 gradient evaluations),
+    // round-robin runs 312 per worker (1250 interactions ≈ paper's 5000
+    // vs 1000 ratio).
+    let sync_cfg = TrainConfig::figure6(250);
+    let rr_cfg = sync_cfg.clone().with_iterations(312);
+
+    println!("Table 3: Breakdown of time for EASGD variants (simulated 4-GPU node)");
+    println!(
+        "{:<16} {:>9} {:>7} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7}",
+        "method", "accuracy", "iters", "time", "g-g par", "c-g dat", "c-g par", "fwd/bwd",
+        "gpu upd", "cpu upd", "comm"
+    );
+
+    let print_named = |name: &str, r: &RunResult, iters: usize| {
+        let b = r.breakdown.as_ref().unwrap();
+        print!(
+            "{:<16} {:>9.3} {:>7} {:>8.2}s",
+            name,
+            r.accuracy,
+            iters,
+            r.sim_seconds.unwrap()
+        );
+        for c in TimeCategory::ALL.iter().take(6) {
+            print!(" {:>7.0}%", 100.0 * b.get(*c) / b.total());
+        }
+        println!(" {:>6.0}%", b.comm_ratio() * 100.0);
+    };
+
+    let ser = original_easgd_sim(&net, &train, &test, &rr_cfg, &costs, OriginalMode::Serialized);
+    print_named("Original EASGD*", &ser, rr_cfg.iterations * 4);
+    let pip = original_easgd_sim(&net, &train, &test, &rr_cfg, &costs, OriginalMode::Pipelined);
+    print_named("Original EASGD", &pip, rr_cfg.iterations * 4);
+    let e1 = sync_easgd_sim(&net, &train, &test, &sync_cfg, &costs, SyncVariant::Easgd1, 0);
+    print_named("Sync EASGD1", &e1, sync_cfg.iterations);
+    let e2 = sync_easgd_sim(&net, &train, &test, &sync_cfg, &costs, SyncVariant::Easgd2, 0);
+    print_named("Sync EASGD2", &e2, sync_cfg.iterations);
+    let e3 = sync_easgd_sim(&net, &train, &test, &sync_cfg, &costs, SyncVariant::Easgd3, 0);
+    print_named("Sync EASGD3", &e3, sync_cfg.iterations);
+
+    let t = |r: &RunResult| r.sim_seconds.unwrap();
+    println!("\nSpeedup chain (§6.1):");
+    println!(
+        "  Sync EASGD1 over Original EASGD: {:.1}x   (paper: 3.7x)",
+        t(&pip) / t(&e1)
+    );
+    println!(
+        "  Sync EASGD2 over Sync EASGD1:    {:.2}x   (paper: 1.3x)",
+        t(&e1) / t(&e2)
+    );
+    println!(
+        "  Sync EASGD3 over Sync EASGD2:    {:.2}x   (paper: 1.1x)",
+        t(&e2) / t(&e3)
+    );
+    println!(
+        "  Sync EASGD3 over Original EASGD: {:.1}x   (paper: 5.3x)",
+        t(&pip) / t(&e3)
+    );
+    println!(
+        "  comm ratio: {:.0}% -> {:.0}%          (paper: 87% -> 14%)",
+        pip.breakdown.as_ref().unwrap().comm_ratio() * 100.0,
+        e3.breakdown.as_ref().unwrap().comm_ratio() * 100.0
+    );
+}

@@ -1,0 +1,77 @@
+//! Table 4: weak scaling time and efficiency for the ImageNet dataset —
+//! GoogLeNet and VGG from 68 to 4352 KNL cores, model vs the paper's
+//! measurements, plus the §7.1 Intel Caffe comparison.
+//!
+//! ```sh
+//! cargo run --release -p easgd-bench --bin table4
+//! ```
+
+use easgd::weak_scaling::{
+    WeakScalingModel, INTEL_CAFFE_GOOGLENET_2176, INTEL_CAFFE_VGG_2176,
+};
+
+/// The paper's measured Table 4 rows (seconds, then efficiency).
+const PAPER_GOOGLENET: [(usize, f64, f64); 7] = [
+    (68, 1533.0, 1.0),
+    (136, 1590.0, 0.964),
+    (272, 1608.0, 0.953),
+    (544, 1641.0, 0.934),
+    (1088, 1630.0, 0.940),
+    (2176, 1662.0, 0.923),
+    (4352, 1674.0, 0.916),
+];
+const PAPER_VGG: [(usize, f64, f64); 7] = [
+    (68, 1318.0, 1.0),
+    (136, 1440.0, 0.915),
+    (272, 1482.0, 0.890),
+    (544, 1524.0, 0.865),
+    (1088, 1634.0, 0.807),
+    (2176, 1679.0, 0.785),
+    (4352, 1642.0, 0.802),
+];
+
+fn print_model(model: &WeakScalingModel, iters: usize, paper: &[(usize, f64, f64)]) {
+    println!(
+        "\n{} ({} iterations; {:.1} M params, {:.0} MB weights)",
+        model.spec.name,
+        iters,
+        model.spec.num_params() as f64 / 1e6,
+        model.spec.weight_bytes() as f64 / 1e6
+    );
+    println!(
+        "{:>7} {:>6} | {:>10} {:>8} | {:>10} {:>8}",
+        "cores", "nodes", "model s", "model", "paper s", "paper"
+    );
+    let nodes: Vec<usize> = paper.iter().map(|r| r.0 / model.cores_per_node).collect();
+    for (row, p) in model.table(&nodes, iters).iter().zip(paper) {
+        println!(
+            "{:>7} {:>6} | {:>10.0} {:>7.1}% | {:>10.0} {:>7.1}%",
+            row.cores,
+            row.nodes,
+            row.total_seconds,
+            row.efficiency * 100.0,
+            p.1,
+            p.2 * 100.0
+        );
+    }
+}
+
+fn main() {
+    println!("Table 4: Weak Scaling Time and Efficiency for the ImageNet Dataset");
+    let g = WeakScalingModel::googlenet_imagenet();
+    print_model(&g, 300, &PAPER_GOOGLENET);
+    let v = WeakScalingModel::vgg_imagenet();
+    print_model(&v, 80, &PAPER_VGG);
+
+    println!("\nIntel Caffe comparison at 2176 cores (§7.1):");
+    println!(
+        "  GoogLeNet: Intel Caffe {:.0}%  vs  this work {:.1}% (paper: 92%)",
+        INTEL_CAFFE_GOOGLENET_2176 * 100.0,
+        g.efficiency(32) * 100.0
+    );
+    println!(
+        "  VGG:       Intel Caffe {:.0}%  vs  this work {:.1}% (paper: 78.5%)",
+        INTEL_CAFFE_VGG_2176 * 100.0,
+        v.efficiency(32) * 100.0
+    );
+}

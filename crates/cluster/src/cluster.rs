@@ -1,0 +1,410 @@
+//! Cluster construction and the rendezvous machinery behind collectives.
+
+use crate::comm::{Comm, Message};
+use easgd_hardware::net::AlphaBeta;
+use easgd_hardware::collective as cost;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which allreduce schedule the cluster charges for (§6.1.1's contrast).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CollectiveAlgo {
+    /// Binomial tree: Θ(log P) full-size messages (Sync EASGD1+).
+    Tree,
+    /// One-at-a-time linear exchange: Θ(P) (the round-robin baseline).
+    Linear,
+    /// Reduce-scatter + allgather: bandwidth-optimal for large messages.
+    Rabenseifner,
+}
+
+/// Configuration of a virtual cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Inter-rank link model.
+    pub link: AlphaBeta,
+    /// Collective schedule to charge for.
+    pub collective: CollectiveAlgo,
+}
+
+impl ClusterConfig {
+    /// `ranks` ranks over FDR InfiniBand with tree collectives.
+    pub fn new(ranks: usize) -> Self {
+        assert!(ranks > 0, "cluster needs at least one rank");
+        Self {
+            ranks,
+            link: AlphaBeta::fdr_infiniband(),
+            collective: CollectiveAlgo::Tree,
+        }
+    }
+
+    /// Replaces the link model.
+    pub fn with_link(mut self, link: AlphaBeta) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Replaces the collective algorithm.
+    pub fn with_collective(mut self, algo: CollectiveAlgo) -> Self {
+        self.collective = algo;
+        self
+    }
+}
+
+/// Operation performed at a rendezvous.
+#[derive(Clone, Debug)]
+pub(crate) enum CollOp {
+    /// Synchronize only.
+    Barrier,
+    /// Everyone receives root's contribution.
+    Broadcast {
+        /// Root rank.
+        root: usize,
+    },
+    /// Element-wise sum of all contributions (delivered to every rank;
+    /// non-roots of a rooted reduce simply ignore it).
+    ReduceSum,
+    /// Sum delivered to all, charged as an allreduce.
+    AllReduceSum,
+    /// Concatenation of all contributions in rank order (gather /
+    /// allgather; rooted gathers simply ignore the result on non-roots).
+    Concat,
+}
+
+struct ResultEntry {
+    data: Arc<Vec<f32>>,
+    time: f64,
+    pending_reads: usize,
+}
+
+struct GateInner {
+    arrived: usize,
+    generation: u64,
+    inputs: Vec<Vec<f32>>,
+    times: Vec<f64>,
+    results: HashMap<u64, ResultEntry>,
+}
+
+/// A reusable all-ranks rendezvous point implementing the synchronizing
+/// collectives: the last arriver combines the inputs, prices the
+/// operation, and publishes `(result, completion_time)` to everyone.
+pub(crate) struct Gate {
+    size: usize,
+    config: ClusterConfig,
+    inner: Mutex<GateInner>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new(config: ClusterConfig) -> Self {
+        let size = config.ranks;
+        Self {
+            size,
+            config,
+            inner: Mutex::new(GateInner {
+                arrived: 0,
+                generation: 0,
+                inputs: vec![Vec::new(); size],
+                times: vec![0.0; size],
+                results: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn price(&self, op: &CollOp, bytes: usize) -> f64 {
+        let p = self.size;
+        let link = &self.config.link;
+        match op {
+            CollOp::Barrier => cost::reduce_tree(link, p, 0),
+            CollOp::Broadcast { .. } => match self.config.collective {
+                CollectiveAlgo::Linear => cost::linear_exchange(link, p.saturating_sub(1), bytes),
+                _ => cost::broadcast_tree(link, p, bytes),
+            },
+            CollOp::ReduceSum => match self.config.collective {
+                CollectiveAlgo::Linear => cost::linear_exchange(link, p.saturating_sub(1), bytes),
+                _ => cost::reduce_tree(link, p, bytes),
+            },
+            CollOp::AllReduceSum => match self.config.collective {
+                CollectiveAlgo::Tree => {
+                    cost::reduce_tree(link, p, bytes) + cost::broadcast_tree(link, p, bytes)
+                }
+                CollectiveAlgo::Linear => {
+                    2.0 * cost::linear_exchange(link, p.saturating_sub(1), bytes)
+                }
+                CollectiveAlgo::Rabenseifner => cost::allreduce_rabenseifner(link, p, bytes),
+            },
+            // Gather: per-rank message sizes differ along the tree; the
+            // dominant term is the root receiving (P−1) contributions.
+            CollOp::Concat => match self.config.collective {
+                CollectiveAlgo::Linear => cost::linear_exchange(link, p.saturating_sub(1), bytes),
+                _ => cost::reduce_tree(link, p, bytes),
+            },
+        }
+    }
+
+    /// Enters the rendezvous. Blocks until all `size` ranks have entered
+    /// with the same `op`, then returns the combined data and the
+    /// simulated completion time.
+    pub(crate) fn rendezvous(
+        &self,
+        rank: usize,
+        time_in: f64,
+        input: Vec<f32>,
+        op: CollOp,
+    ) -> (Arc<Vec<f32>>, f64) {
+        self.rendezvous_costed(rank, time_in, input, op, None)
+    }
+
+    /// [`rendezvous`](Self::rendezvous) with an optional explicit cost
+    /// replacing the configured pricing. All ranks must pass the same
+    /// override.
+    pub(crate) fn rendezvous_costed(
+        &self,
+        rank: usize,
+        time_in: f64,
+        input: Vec<f32>,
+        op: CollOp,
+        cost_override: Option<f64>,
+    ) -> (Arc<Vec<f32>>, f64) {
+        let mut inner = self.inner.lock();
+        let gen = inner.generation;
+        inner.times[rank] = time_in;
+        inner.inputs[rank] = input;
+        inner.arrived += 1;
+        if inner.arrived == self.size {
+            let start = inner.times.iter().cloned().fold(0.0f64, f64::max);
+            let bytes = inner.inputs.iter().map(|v| v.len()).max().unwrap_or(0) * 4;
+            let data = match &op {
+                CollOp::Barrier => Vec::new(),
+                CollOp::Broadcast { root } => std::mem::take(&mut inner.inputs[*root]),
+                CollOp::Concat => {
+                    let mut out = Vec::new();
+                    for r in 0..self.size {
+                        out.extend(std::mem::take(&mut inner.inputs[r]));
+                    }
+                    out
+                }
+                CollOp::ReduceSum | CollOp::AllReduceSum => {
+                    let mut acc = std::mem::take(&mut inner.inputs[0]);
+                    // Gather the remaining inputs immutably to satisfy the
+                    // borrow checker, then fold.
+                    for r in 1..self.size {
+                        let src = std::mem::take(&mut inner.inputs[r]);
+                        assert_eq!(
+                            src.len(),
+                            acc.len(),
+                            "collective contributions must have equal length"
+                        );
+                        for (a, b) in acc.iter_mut().zip(&src) {
+                            *a += b;
+                        }
+                    }
+                    acc
+                }
+            };
+            let time = start + cost_override.unwrap_or_else(|| self.price(&op, bytes));
+            inner.results.insert(
+                gen,
+                ResultEntry {
+                    data: Arc::new(data),
+                    time,
+                    pending_reads: self.size,
+                },
+            );
+            for v in inner.inputs.iter_mut() {
+                v.clear();
+            }
+            inner.arrived = 0;
+            inner.generation += 1;
+            self.cv.notify_all();
+        } else {
+            while !inner.results.contains_key(&gen) {
+                self.cv.wait(&mut inner);
+            }
+        }
+        let entry = inner.results.get_mut(&gen).unwrap();
+        let out = (Arc::clone(&entry.data), entry.time);
+        entry.pending_reads -= 1;
+        if entry.pending_reads == 0 {
+            inner.results.remove(&gen);
+        }
+        out
+    }
+}
+
+/// Shared state of one virtual cluster.
+pub(crate) struct Shared {
+    pub(crate) config: ClusterConfig,
+    pub(crate) gate: Gate,
+    pub(crate) senders: Vec<crossbeam::channel::Sender<Message>>,
+}
+
+/// A virtual cluster: P ranks as threads over a priced interconnect.
+pub struct VirtualCluster;
+
+impl VirtualCluster {
+    /// Runs `f` on every rank concurrently and returns the per-rank
+    /// results in rank order.
+    ///
+    /// Each rank receives its own [`Comm`]; real data flows between ranks
+    /// through in-memory channels while simulated time is charged per the
+    /// cluster's [`ClusterConfig`].
+    pub fn run<R, F>(config: &ClusterConfig, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
+        let p = config.ranks;
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = crossbeam::channel::unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            config: config.clone(),
+            gate: Gate::new(config.clone()),
+            senders,
+        });
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, rx) in receivers.into_iter().enumerate() {
+                let shared = Arc::clone(&shared);
+                let f = &f;
+                handles.push(s.spawn(move || {
+                    let mut comm = Comm::new(rank, rx, shared);
+                    f(&mut comm)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TimeCategory;
+
+    #[test]
+    fn run_returns_results_in_rank_order() {
+        let cfg = ClusterConfig::new(6);
+        let out = VirtualCluster::run(&cfg, |comm| comm.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let cfg = ClusterConfig::new(5);
+        let out = VirtualCluster::run(&cfg, |comm| {
+            let x = vec![comm.rank() as f32, 1.0];
+            comm.allreduce_sum(&x, TimeCategory::GpuGpuParam)
+        });
+        for v in out {
+            assert_eq!(v, vec![0.0 + 1.0 + 2.0 + 3.0 + 4.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_distributes_root_data() {
+        let cfg = ClusterConfig::new(4);
+        let out = VirtualCluster::run(&cfg, |comm| {
+            let mine = vec![comm.rank() as f32; 3];
+            comm.broadcast(2, &mine, TimeCategory::GpuGpuParam)
+        });
+        for v in out {
+            assert_eq!(v, vec![2.0, 2.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_delivers_sum() {
+        let cfg = ClusterConfig::new(3);
+        let out = VirtualCluster::run(&cfg, |comm| {
+            comm.reduce_sum(0, &[1.0f32], TimeCategory::GpuGpuParam)
+        });
+        for v in out {
+            assert_eq!(v, vec![3.0]);
+        }
+    }
+
+    #[test]
+    fn collectives_synchronize_clocks() {
+        let cfg = ClusterConfig::new(4);
+        let times = VirtualCluster::run(&cfg, |comm| {
+            // Rank r does r seconds of compute, then a barrier.
+            comm.charge(TimeCategory::ForwardBackward, comm.rank() as f64);
+            comm.barrier();
+            comm.now()
+        });
+        // Everyone ends at the slowest rank's time + barrier cost.
+        let t0 = times[0];
+        assert!(t0 >= 3.0);
+        for t in &times {
+            assert!((t - t0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tree_collective_is_cheaper_than_linear() {
+        let run_with = |algo| {
+            let cfg = ClusterConfig::new(8).with_collective(algo);
+            let times = VirtualCluster::run(&cfg, |comm| {
+                let x = vec![0.0f32; 250_000]; // 1 MB
+                let _ = comm.allreduce_sum(&x, TimeCategory::GpuGpuParam);
+                comm.now()
+            });
+            times[0]
+        };
+        let tree = run_with(CollectiveAlgo::Tree);
+        let linear = run_with(CollectiveAlgo::Linear);
+        assert!(
+            tree < linear,
+            "tree {tree} should beat linear {linear} at P=8"
+        );
+        // Θ(log P) vs Θ(P): ratio about (2·log₂8)/(2·7) = 3/7.
+        let ratio = tree / linear;
+        assert!((0.3..0.6).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn consecutive_collectives_reuse_gate() {
+        let cfg = ClusterConfig::new(3);
+        let out = VirtualCluster::run(&cfg, |comm| {
+            let mut acc = 0.0;
+            for i in 0..10 {
+                let s = comm.allreduce_sum(&[i as f32], TimeCategory::Other);
+                acc += s[0];
+            }
+            acc
+        });
+        // Σ 3i for i in 0..10 = 3·45 = 135.
+        for v in out {
+            assert_eq!(v, 135.0);
+        }
+    }
+
+    #[test]
+    fn single_rank_cluster_works() {
+        let cfg = ClusterConfig::new(1);
+        let out = VirtualCluster::run(&cfg, |comm| {
+            let s = comm.allreduce_sum(&[7.0], TimeCategory::Other);
+            comm.barrier();
+            s[0]
+        });
+        assert_eq!(out, vec![7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = ClusterConfig::new(0);
+    }
+}

@@ -1,0 +1,523 @@
+//! The per-rank communicator.
+
+use crate::clock::{RankReport, SimClock, TimeCategory};
+use crate::cluster::{CollOp, Shared};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A point-to-point message between ranks.
+#[derive(Clone, Debug)]
+pub(crate) struct Message {
+    pub(crate) from: usize,
+    pub(crate) tag: u32,
+    pub(crate) data: Vec<f32>,
+    /// Simulated arrival time at the receiver (sender's clock after the
+    /// α-β send cost).
+    pub(crate) arrival: f64,
+}
+
+/// A rank's handle to the cluster: identity, simulated clock,
+/// point-to-point messaging and collectives.
+///
+/// Not `Clone` — each rank owns exactly one, mirroring an MPI
+/// communicator.
+pub struct Comm {
+    rank: usize,
+    rx: crossbeam::channel::Receiver<Message>,
+    /// Messages received but not yet matched by a `recv(from, tag)`.
+    pending: VecDeque<Message>,
+    clock: SimClock,
+    shared: Arc<Shared>,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        rx: crossbeam::channel::Receiver<Message>,
+        shared: Arc<Shared>,
+    ) -> Self {
+        Self {
+            rank,
+            rx,
+            pending: VecDeque::new(),
+            clock: SimClock::new(),
+            shared,
+        }
+    }
+
+    /// This rank's id in `0..size()`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the cluster.
+    pub fn size(&self) -> usize {
+        self.shared.config.ranks
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Charges `seconds` of local work to `category` (how compute phases
+    /// — forward/backward, weight updates — enter simulated time).
+    pub fn charge(&mut self, category: TimeCategory, seconds: f64) {
+        self.clock.charge(category, seconds);
+    }
+
+    /// Final accounting for this rank.
+    pub fn report(&self) -> RankReport {
+        RankReport {
+            rank: self.rank,
+            time: self.clock.now(),
+            breakdown: self.clock.breakdown().clone(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Blocking send of `data` to `to` with a user `tag`, charged to
+    /// `category` at the α-β cost of one message.
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range or is this rank.
+    pub fn send(&mut self, to: usize, tag: u32, data: &[f32], category: TimeCategory) {
+        assert!(to < self.size(), "send to rank {to} out of range");
+        assert_ne!(to, self.rank, "send to self");
+        let cost = self.shared.config.link.time(data.len() * 4);
+        self.clock.charge(category, cost);
+        self.shared.senders[to]
+            .send(Message {
+                from: self.rank,
+                tag,
+                data: data.to_vec(),
+                arrival: self.clock.now(),
+            })
+            .expect("receiver hung up");
+    }
+
+    /// Blocking receive of the next message from `from` with `tag`.
+    /// Simulated time advances to the message's arrival (waiting charged
+    /// to `category`).
+    pub fn recv(&mut self, from: usize, tag: u32, category: TimeCategory) -> Vec<f32> {
+        // Check messages already buffered.
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.from == from && m.tag == tag)
+        {
+            let msg = self.pending.remove(pos).unwrap();
+            self.clock.advance_to(msg.arrival, category);
+            return msg.data;
+        }
+        loop {
+            let msg = self.rx.recv().expect("all senders hung up");
+            if msg.from == from && msg.tag == tag {
+                self.clock.advance_to(msg.arrival, category);
+                return msg.data;
+            }
+            self.pending.push_back(msg);
+        }
+    }
+
+    /// Blocking receive of the next message with `tag` from *any* rank —
+    /// the FCFS order of a parameter server (§3.1). Returns
+    /// `(sender, data)`.
+    pub fn recv_any(&mut self, tag: u32, category: TimeCategory) -> (usize, Vec<f32>) {
+        if let Some(pos) = self.pending.iter().position(|m| m.tag == tag) {
+            let msg = self.pending.remove(pos).unwrap();
+            self.clock.advance_to(msg.arrival, category);
+            return (msg.from, msg.data);
+        }
+        loop {
+            let msg = self.rx.recv().expect("all senders hung up");
+            if msg.tag == tag {
+                self.clock.advance_to(msg.arrival, category);
+                return (msg.from, msg.data);
+            }
+            self.pending.push_back(msg);
+        }
+    }
+
+    /// Non-blocking variant of [`recv_any`](Self::recv_any): returns
+    /// `None` if no matching message has arrived yet.
+    pub fn try_recv_any(&mut self, tag: u32, category: TimeCategory) -> Option<(usize, Vec<f32>)> {
+        if let Some(pos) = self.pending.iter().position(|m| m.tag == tag) {
+            let msg = self.pending.remove(pos).unwrap();
+            self.clock.advance_to(msg.arrival, category);
+            return Some((msg.from, msg.data));
+        }
+        while let Ok(msg) = self.rx.try_recv() {
+            if msg.tag == tag {
+                self.clock.advance_to(msg.arrival, category);
+                return Some((msg.from, msg.data));
+            }
+            self.pending.push_back(msg);
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Cost-override variants
+    //
+    // Device-level schedules (PCIe unpinned vs pinned paths, per-layer vs
+    // packed layouts, §5.2/§6.1) need finer pricing than one cluster-wide
+    // link. These variants move the same data but charge an explicit
+    // caller-computed cost.
+    // ------------------------------------------------------------------
+
+    /// Like [`send`](Self::send) but charges `seconds` instead of the
+    /// cluster link's α-β price. Use when the sender-side cost of this
+    /// edge differs from the cluster default (e.g. a host-driven PCIe
+    /// push).
+    pub fn send_costed(
+        &mut self,
+        to: usize,
+        tag: u32,
+        data: &[f32],
+        seconds: f64,
+        category: TimeCategory,
+    ) {
+        assert!(to < self.size(), "send to rank {to} out of range");
+        assert_ne!(to, self.rank, "send to self");
+        self.clock.charge(category, seconds);
+        self.shared.senders[to]
+            .send(Message {
+                from: self.rank,
+                tag,
+                data: data.to_vec(),
+                arrival: self.clock.now(),
+            })
+            .expect("receiver hung up");
+    }
+
+    /// Receiver-driven transfer: waits for the message (the wait — e.g.
+    /// the sender still computing — is attributed to `wait_category`),
+    /// then charges `seconds` of transfer to `transfer_category`. Models
+    /// a host-initiated DMA pull, where the receiver's timeline carries
+    /// the transfer cost (how Table 3 accounts CPU↔GPU traffic).
+    pub fn recv_costed(
+        &mut self,
+        from: usize,
+        tag: u32,
+        seconds: f64,
+        wait_category: TimeCategory,
+        transfer_category: TimeCategory,
+    ) -> Vec<f32> {
+        let data = self.recv(from, tag, wait_category);
+        self.clock.charge(transfer_category, seconds);
+        data
+    }
+
+    /// [`broadcast`](Self::broadcast) with an explicit cost.
+    pub fn broadcast_costed(
+        &mut self,
+        root: usize,
+        data: &[f32],
+        seconds: f64,
+        category: TimeCategory,
+    ) -> Vec<f32> {
+        assert!(root < self.size(), "broadcast root out of range");
+        let input = if self.rank == root {
+            data.to_vec()
+        } else {
+            Vec::new()
+        };
+        let (out, t) = self.shared.gate.rendezvous_costed(
+            self.rank,
+            self.clock.now(),
+            input,
+            CollOp::Broadcast { root },
+            Some(seconds),
+        );
+        self.clock.advance_to(t, category);
+        out.as_ref().clone()
+    }
+
+    /// [`reduce_sum`](Self::reduce_sum) with an explicit cost.
+    pub fn reduce_sum_costed(
+        &mut self,
+        data: &[f32],
+        seconds: f64,
+        category: TimeCategory,
+    ) -> Vec<f32> {
+        let (out, t) = self.shared.gate.rendezvous_costed(
+            self.rank,
+            self.clock.now(),
+            data.to_vec(),
+            CollOp::ReduceSum,
+            Some(seconds),
+        );
+        self.clock.advance_to(t, category);
+        out.as_ref().clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives (synchronizing; all ranks must call with matching op)
+    // ------------------------------------------------------------------
+
+    /// Barrier across all ranks (tree-priced).
+    pub fn barrier(&mut self) {
+        let (_, t) = self
+            .shared
+            .gate
+            .rendezvous(self.rank, self.clock.now(), Vec::new(), CollOp::Barrier);
+        self.clock.advance_to(t, TimeCategory::Other);
+    }
+
+    /// Broadcast `data` from `root` to every rank; returns root's data.
+    pub fn broadcast(&mut self, root: usize, data: &[f32], category: TimeCategory) -> Vec<f32> {
+        assert!(root < self.size(), "broadcast root out of range");
+        let input = if self.rank == root {
+            data.to_vec()
+        } else {
+            Vec::new()
+        };
+        let (out, t) =
+            self.shared
+                .gate
+                .rendezvous(self.rank, self.clock.now(), input, CollOp::Broadcast { root });
+        self.clock.advance_to(t, category);
+        out.as_ref().clone()
+    }
+
+    /// Element-wise sum of every rank's `data`, priced as a rooted tree
+    /// reduce. The sum is returned on all ranks (non-roots of the logical
+    /// reduce are free to ignore it).
+    pub fn reduce_sum(&mut self, root: usize, data: &[f32], category: TimeCategory) -> Vec<f32> {
+        assert!(root < self.size(), "reduce root out of range");
+        let (out, t) = self.shared.gate.rendezvous(
+            self.rank,
+            self.clock.now(),
+            data.to_vec(),
+            CollOp::ReduceSum,
+        );
+        self.clock.advance_to(t, category);
+        out.as_ref().clone()
+    }
+
+    /// Gather: concatenation of every rank's `data` in rank order,
+    /// priced as a rooted tree gather. As with
+    /// [`reduce_sum`](Self::reduce_sum), the result is visible on every
+    /// rank; non-roots are free to ignore it.
+    pub fn gather(&mut self, root: usize, data: &[f32], category: TimeCategory) -> Vec<f32> {
+        assert!(root < self.size(), "gather root out of range");
+        let (out, t) = self.shared.gate.rendezvous(
+            self.rank,
+            self.clock.now(),
+            data.to_vec(),
+            CollOp::Concat,
+        );
+        self.clock.advance_to(t, category);
+        out.as_ref().clone()
+    }
+
+    /// Allgather: every rank receives the rank-ordered concatenation.
+    /// Priced like a gather followed by a broadcast of the concatenation.
+    pub fn allgather(&mut self, data: &[f32], category: TimeCategory) -> Vec<f32> {
+        let gathered = self.gather(0, data, category);
+        // The broadcast of the assembled buffer (non-roots already hold
+        // the data in shared memory; only the time is charged).
+        let bcast = self.broadcast(0, &gathered, category);
+        bcast
+    }
+
+    /// Element-wise allreduce-sum, priced per the configured
+    /// [`CollectiveAlgo`](crate::cluster::CollectiveAlgo).
+    pub fn allreduce_sum(&mut self, data: &[f32], category: TimeCategory) -> Vec<f32> {
+        let (out, t) = self.shared.gate.rendezvous(
+            self.rank,
+            self.clock.now(),
+            data.to_vec(),
+            CollOp::AllReduceSum,
+        );
+        self.clock.advance_to(t, category);
+        out.as_ref().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, VirtualCluster};
+
+    const TAG: u32 = 7;
+
+    #[test]
+    fn p2p_roundtrip_carries_data() {
+        let cfg = ClusterConfig::new(2);
+        let out = VirtualCluster::run(&cfg, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, TAG, &[1.0, 2.0, 3.0], TimeCategory::CpuGpuParam);
+                comm.recv(1, TAG, TimeCategory::CpuGpuParam)
+            } else {
+                let got = comm.recv(0, TAG, TimeCategory::CpuGpuParam);
+                let doubled: Vec<f32> = got.iter().map(|x| x * 2.0).collect();
+                comm.send(0, TAG, &doubled, TimeCategory::CpuGpuParam);
+                got
+            }
+        });
+        assert_eq!(out[0], vec![2.0, 4.0, 6.0]);
+        assert_eq!(out[1], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn recv_advances_clock_to_arrival() {
+        let cfg = ClusterConfig::new(2);
+        let times = VirtualCluster::run(&cfg, |comm| {
+            if comm.rank() == 0 {
+                comm.charge(TimeCategory::ForwardBackward, 1.0);
+                comm.send(1, TAG, &[0.0; 1024], TimeCategory::CpuGpuParam);
+                comm.now()
+            } else {
+                let _ = comm.recv(0, TAG, TimeCategory::CpuGpuParam);
+                comm.now()
+            }
+        });
+        // Receiver ends exactly at sender's post-send time.
+        assert!((times[1] - times[0]).abs() < 1e-12);
+        assert!(times[0] > 1.0);
+    }
+
+    #[test]
+    fn recv_filters_by_source_and_tag() {
+        let cfg = ClusterConfig::new(3);
+        let out = VirtualCluster::run(&cfg, |comm| match comm.rank() {
+            0 => {
+                // Expect specifically rank 2's message even if rank 1's
+                // arrives first.
+                let from2 = comm.recv(2, TAG, TimeCategory::Other);
+                let from1 = comm.recv(1, TAG, TimeCategory::Other);
+                vec![from2[0], from1[0]]
+            }
+            r => {
+                comm.send(0, TAG, &[r as f32], TimeCategory::Other);
+                vec![]
+            }
+        });
+        assert_eq!(out[0], vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn recv_any_serves_fcfs() {
+        let cfg = ClusterConfig::new(4);
+        let out = VirtualCluster::run(&cfg, |comm| {
+            if comm.rank() == 0 {
+                let mut seen = Vec::new();
+                for _ in 0..3 {
+                    let (from, data) = comm.recv_any(TAG, TimeCategory::Other);
+                    assert_eq!(data[0] as usize, from);
+                    seen.push(from);
+                }
+                seen.sort_unstable();
+                seen
+            } else {
+                comm.send(0, TAG, &[comm.rank() as f32], TimeCategory::Other);
+                vec![]
+            }
+        });
+        assert_eq!(out[0], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn try_recv_any_returns_none_when_empty() {
+        let cfg = ClusterConfig::new(2);
+        let out = VirtualCluster::run(&cfg, |comm| {
+            if comm.rank() == 0 {
+                let empty = comm.try_recv_any(99, TimeCategory::Other).is_none();
+                // Now wait for the real message so the test is race-free.
+                let (_, d) = comm.recv_any(TAG, TimeCategory::Other);
+                (empty, d[0])
+            } else {
+                comm.send(0, TAG, &[5.0], TimeCategory::Other);
+                (true, 0.0)
+            }
+        });
+        assert!(out[0].0);
+        assert_eq!(out[0].1, 5.0);
+    }
+
+    #[test]
+    fn send_charges_alpha_beta_cost() {
+        let cfg = ClusterConfig::new(2);
+        let link = cfg.link.clone();
+        let out = VirtualCluster::run(&cfg, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, TAG, &[0.0; 1000], TimeCategory::CpuGpuParam);
+                comm.now()
+            } else {
+                let _ = comm.recv(0, TAG, TimeCategory::CpuGpuParam);
+                0.0
+            }
+        });
+        assert!((out[0] - link.time(4000)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn report_carries_breakdown() {
+        let cfg = ClusterConfig::new(1);
+        let out = VirtualCluster::run(&cfg, |comm| {
+            comm.charge(TimeCategory::ForwardBackward, 2.0);
+            comm.charge(TimeCategory::GpuUpdate, 1.0);
+            comm.report()
+        });
+        let r = &out[0];
+        assert_eq!(r.rank, 0);
+        assert!((r.time - 3.0).abs() < 1e-12);
+        assert!((r.breakdown.get(TimeCategory::ForwardBackward) - 2.0).abs() < 1e-12);
+        assert_eq!(r.breakdown.comm_ratio(), 0.0);
+    }
+
+    #[test]
+    fn gather_concatenates_in_rank_order() {
+        let cfg = ClusterConfig::new(3);
+        let out = VirtualCluster::run(&cfg, |comm| {
+            let mine = vec![comm.rank() as f32; 2];
+            comm.gather(0, &mine, TimeCategory::Other)
+        });
+        for v in out {
+            assert_eq!(v, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn allgather_delivers_everywhere_and_costs_more_than_gather() {
+        let cfg = ClusterConfig::new(4);
+        let out = VirtualCluster::run(&cfg, |comm| {
+            let mine = vec![comm.rank() as f32];
+            let t0 = comm.now();
+            let g = comm.allgather(&mine, TimeCategory::GpuGpuParam);
+            (g, comm.now() - t0)
+        });
+        for (g, dt) in out {
+            assert_eq!(g, vec![0.0, 1.0, 2.0, 3.0]);
+            assert!(dt > 0.0);
+        }
+    }
+
+    #[test]
+    fn gather_supports_unequal_contributions() {
+        let cfg = ClusterConfig::new(3);
+        let out = VirtualCluster::run(&cfg, |comm| {
+            let mine = vec![comm.rank() as f32; comm.rank() + 1];
+            comm.gather(0, &mine, TimeCategory::Other)
+        });
+        for v in out {
+            assert_eq!(v, vec![0.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        }
+    }
+
+    #[test]
+    // The panic happens on the rank thread; the join surfaces it as
+    // "rank panicked".
+    #[should_panic(expected = "rank panicked")]
+    fn send_to_self_rejected() {
+        let cfg = ClusterConfig::new(1);
+        let _ = VirtualCluster::run(&cfg, |comm| {
+            comm.send(0, TAG, &[1.0], TimeCategory::Other);
+        });
+    }
+}

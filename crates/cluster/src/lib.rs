@@ -1,0 +1,43 @@
+//! # easgd-cluster
+//!
+//! A virtual HPC cluster for the `knl-easgd` reproduction of *“Scaling
+//! Deep Learning on GPU and Knights Landing clusters”* (SC '17).
+//!
+//! The paper runs its algorithms over MPI + NCCL on InfiniBand/Aries
+//! fabrics. Here each **rank is an OS thread** executing real code
+//! (gradients are genuinely computed), while every communication operation
+//! is **charged against an α-β cost model** on a per-rank **simulated
+//! clock**. The result: algorithmic schedules (round-robin vs FCFS vs tree
+//! reduction) produce exactly the relative timings the paper analyses,
+//! without the physical cluster.
+//!
+//! * [`clock`] — per-rank simulated time plus the Table 3 time-category
+//!   breakdown (`cpu-gpu para comm`, `for/backward`, …).
+//! * [`comm`] — the per-rank communicator: point-to-point send / recv /
+//!   recv-any (FCFS), and synchronizing collectives (barrier, broadcast,
+//!   reduce, allreduce) with selectable algorithms (linear Θ(P) vs
+//!   binomial tree Θ(log P) vs Rabenseifner).
+//! * [`cluster`] — [`cluster::VirtualCluster::run`]:
+//!   spawns the ranks, hands each a [`comm::Comm`], joins results.
+//!
+//! ```
+//! use easgd_cluster::{ClusterConfig, VirtualCluster, TimeCategory};
+//!
+//! let config = ClusterConfig::new(4);
+//! let sums = VirtualCluster::run(&config, |comm| {
+//!     let mine = vec![comm.rank() as f32];
+//!     let total = comm.allreduce_sum(&mine, TimeCategory::GpuGpuParam);
+//!     total[0]
+//! });
+//! assert_eq!(sums, vec![6.0; 4]);
+//! ```
+
+pub mod clock;
+pub mod cluster;
+pub mod comm;
+pub mod ring;
+
+pub use clock::{RankReport, SimClock, TimeBreakdown, TimeCategory};
+pub use cluster::{ClusterConfig, CollectiveAlgo, VirtualCluster};
+pub use comm::Comm;
+pub use ring::ring_allreduce_sum;

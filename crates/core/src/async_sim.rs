@@ -1,0 +1,257 @@
+//! Asynchronous parameter server on the simulated cluster (Figure 5,
+//! §3.1, §5.1) — the message-passing counterpart of the shared-memory
+//! implementations in [`crate::shared`].
+//!
+//! The master (rank 0) serves workers **first-come-first-served**: it
+//! receives whatever arrives next (`recv_any`), updates, and replies.
+//! Contrast with Original EASGD's round-robin rule, which serves workers
+//! in rank order no matter who is ready. With homogeneous workers the
+//! two schedules cost the same — which is exactly the paper's
+//! observation that “neither Async EASGD nor Async MEASGD were
+//! significantly faster than Original EASGD” (§1). The FCFS advantage
+//! appears when worker compute times vary (`compute_jitter` in
+//! [`SimCosts`]): round-robin convoys behind the slow worker, FCFS
+//! doesn't — the mechanism this module makes measurable.
+
+use crate::config::TrainConfig;
+use crate::metrics::RunResult;
+use crate::shared::evaluate_center;
+use crate::simcost::SimCosts;
+use easgd_cluster::{ClusterConfig, Comm, RankReport, TimeCategory, VirtualCluster};
+use easgd_data::Dataset;
+use easgd_nn::Network;
+use easgd_tensor::ops::{elastic_center_update, elastic_worker_update, sgd_update};
+use easgd_tensor::Rng;
+use std::time::Instant;
+
+const TAG_REQ: u32 = 21;
+const TAG_REPLY_BASE: u32 = 0x4000;
+
+/// Which exchange rule the simulated server applies.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AsyncVariant {
+    /// Workers push sub-gradients; master applies `W ← W − η·ΔWᵢ`
+    /// (Async SGD, §3.1).
+    Sgd,
+    /// Workers push weights; master applies the Equation (2) pull and the
+    /// worker applies Equation (1) (Async EASGD, §5.1).
+    Easgd,
+}
+
+impl AsyncVariant {
+    fn label(&self) -> &'static str {
+        match self {
+            AsyncVariant::Sgd => "Async SGD [sim]",
+            AsyncVariant::Easgd => "Async EASGD [sim]",
+        }
+    }
+}
+
+enum RankOut {
+    Master { center: Vec<f32>, report: RankReport },
+    Worker { last_loss: f32 },
+}
+
+/// Runs the FCFS parameter server on a simulated `cfg.workers`-GPU node.
+/// `cfg.iterations` steps per worker. Worker compute is jittered per
+/// `costs.compute_jitter`.
+pub fn async_server_sim(
+    proto: &Network,
+    train: &Dataset,
+    test: &Dataset,
+    cfg: &TrainConfig,
+    costs: &SimCosts,
+    variant: AsyncVariant,
+) -> RunResult {
+    cfg.validate();
+    let g = cfg.workers;
+    let cluster = ClusterConfig::new(g + 1);
+    let total = cfg.iterations * g;
+    let xfer = costs.unpacked_weight_time();
+    let shards = train.partition(g);
+    let wall_start = Instant::now();
+
+    let outs = VirtualCluster::run(&cluster, |comm: &mut Comm| {
+        if comm.rank() == 0 {
+            // ---- master: serve whoever arrives next, total times.
+            let mut center = proto.params().as_slice().to_vec();
+            for _ in 0..total {
+                let (from, payload) =
+                    comm.recv_any(TAG_REQ, TimeCategory::ForwardBackward);
+                // The inbound transfer crosses the host link.
+                comm.charge(TimeCategory::CpuGpuParam, xfer);
+                match variant {
+                    AsyncVariant::Sgd => sgd_update(cfg.eta, &mut center, &payload),
+                    AsyncVariant::Easgd => {
+                        elastic_center_update(cfg.eta, cfg.rho, &mut center, &payload)
+                    }
+                }
+                comm.charge(TimeCategory::CpuUpdate, costs.cpu_update);
+                comm.send_costed(
+                    from,
+                    TAG_REPLY_BASE + from as u32,
+                    &center,
+                    xfer,
+                    TimeCategory::CpuGpuParam,
+                );
+            }
+            RankOut::Master {
+                center,
+                report: comm.report(),
+            }
+        } else {
+            // ---- worker: compute, push, pull, update.
+            let me = comm.rank();
+            let shard = &shards[me - 1];
+            let mut net = proto.clone();
+            let mut rng = Rng::new(cfg.seed ^ (me as u64 * 0x9E37_79B9_7F4A_7C15));
+            let n = net.num_params();
+            let mut grad = vec![0.0f32; n];
+            let mut last_loss = f32::NAN;
+            for _ in 0..cfg.iterations {
+                let batch = shard.sample_batch(&mut rng, cfg.batch);
+                let stats = net.forward_backward(&batch.images, &batch.labels);
+                last_loss = stats.loss;
+                grad.copy_from_slice(net.grads().as_slice());
+                // Jittered compute: heterogeneity knob of the study.
+                let jit = 1.0 + costs.compute_jitter * rng.uniform() as f64;
+                comm.charge(TimeCategory::ForwardBackward, costs.fwd_bwd * jit);
+                match variant {
+                    AsyncVariant::Sgd => {
+                        comm.send_costed(0, TAG_REQ, &grad, 0.0, TimeCategory::Other);
+                        let w = comm.recv(0, TAG_REPLY_BASE + me as u32, TimeCategory::Other);
+                        net.set_params(&w);
+                    }
+                    AsyncVariant::Easgd => {
+                        comm.send_costed(
+                            0,
+                            TAG_REQ,
+                            net.params().as_slice(),
+                            0.0,
+                            TimeCategory::Other,
+                        );
+                        let center =
+                            comm.recv(0, TAG_REPLY_BASE + me as u32, TimeCategory::Other);
+                        elastic_worker_update(
+                            cfg.eta,
+                            cfg.rho,
+                            net.params_mut().as_mut_slice(),
+                            &grad,
+                            &center,
+                        );
+                        comm.charge(TimeCategory::GpuUpdate, costs.gpu_update);
+                    }
+                }
+            }
+            RankOut::Worker { last_loss }
+        }
+    });
+
+    let wall = wall_start.elapsed().as_secs_f64();
+    let mut center = Vec::new();
+    let mut report = None;
+    let mut losses = Vec::new();
+    for o in outs {
+        match o {
+            RankOut::Master { center: c, report: r } => {
+                center = c;
+                report = Some(r);
+            }
+            RankOut::Worker { last_loss } => {
+                if last_loss.is_finite() {
+                    losses.push(last_loss);
+                }
+            }
+        }
+    }
+    let report = report.expect("master output missing");
+    RunResult {
+        method: variant.label().to_string(),
+        iterations: cfg.iterations,
+        wall_seconds: wall,
+        sim_seconds: Some(report.time),
+        accuracy: evaluate_center(proto, &center, test),
+        final_loss: losses.iter().sum::<f32>() / losses.len().max(1) as f32,
+        breakdown: Some(report.breakdown),
+        trace: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::original::{original_easgd_sim, OriginalMode};
+    use easgd_data::SyntheticSpec;
+    use easgd_nn::models::lenet_tiny;
+
+    fn setup() -> (Network, Dataset, Dataset) {
+        let task = SyntheticSpec::mnist_small().task(141);
+        let (train, test) = task.train_test(600, 200, 142);
+        (lenet_tiny(143), train, test)
+    }
+
+    fn cfg(iters: usize) -> TrainConfig {
+        TrainConfig::figure6(iters).with_seed(151)
+    }
+
+    #[test]
+    fn async_easgd_sim_learns() {
+        let (net, train, test) = setup();
+        let costs = SimCosts::mnist_lenet_4gpu();
+        let r = async_server_sim(&net, &train, &test, &cfg(60), &costs, AsyncVariant::Easgd);
+        assert!(r.accuracy > 0.3, "acc = {}", r.accuracy);
+        assert!(r.sim_seconds.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn async_sgd_sim_learns() {
+        let (net, train, test) = setup();
+        let costs = SimCosts::mnist_lenet_4gpu();
+        let mut c = cfg(60);
+        c.eta = 0.05; // FCFS gradient pushes at η=0.2 are unstable
+        let r = async_server_sim(&net, &train, &test, &c, &costs, AsyncVariant::Sgd);
+        assert!(r.accuracy > 0.3, "acc = {}", r.accuracy);
+    }
+
+    #[test]
+    fn homogeneous_async_matches_round_robin_cost() {
+        // §1: without heterogeneity, FCFS ≈ round-robin — both serialize
+        // through the master's link.
+        let (net, train, test) = setup();
+        let costs = SimCosts::mnist_lenet_4gpu();
+        let c = cfg(25);
+        let asy = async_server_sim(&net, &train, &test, &c, &costs, AsyncVariant::Easgd)
+            .sim_seconds
+            .unwrap();
+        let orig = original_easgd_sim(&net, &train, &test, &c, &costs, OriginalMode::Pipelined)
+            .sim_seconds
+            .unwrap();
+        let ratio = asy / orig;
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "homogeneous async/original = {ratio:.2} (expected ≈ 1)"
+        );
+    }
+
+    #[test]
+    fn fcfs_beats_round_robin_under_heterogeneity() {
+        // The FCFS mechanism: with ±2× jittered worker compute the
+        // round-robin master convoys behind slow workers; FCFS keeps
+        // serving whoever is ready.
+        let (net, train, test) = setup();
+        let mut costs = SimCosts::mnist_lenet_4gpu();
+        costs.compute_jitter = 8.0; // slow workers up to 9× the fast ones
+        costs.fwd_bwd = 20e-3; // compute-dominated regime
+        let c = cfg(25);
+        let asy = async_server_sim(&net, &train, &test, &c, &costs, AsyncVariant::Easgd)
+            .sim_seconds
+            .unwrap();
+        let orig = original_easgd_sim(&net, &train, &test, &c, &costs, OriginalMode::Serialized)
+            .sim_seconds
+            .unwrap();
+        assert!(
+            asy < orig,
+            "FCFS ({asy:.2}s) should beat ordered serving ({orig:.2}s) under jitter"
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! The convex case: empirical verification of the paper's Hogwild-EASGD
+//! safety/speed claim.
+//!
+//! §1: “For the convex case, we can prove the algorithm is safe and
+//! faster under some assumptions” (the proof lives in the paper's
+//! appendix). This module sets up the canonical convex problem — a
+//! least-squares objective `f(w) = ½‖Aw − b‖²` with a closed-form
+//! optimum — and runs the EASGD family on it, so the proof's conclusions
+//! become executable assertions:
+//!
+//! * **safety** — the center stays bounded and converges to a
+//!   neighbourhood of `w*` whose radius shrinks with the step size, even
+//!   under lock-free concurrent updates;
+//! * **faster** — with P workers the center reaches a given distance to
+//!   `w*` in fewer per-worker steps than one worker needs.
+
+use easgd_tensor::ops::{elastic_center_update, elastic_worker_update};
+use easgd_tensor::{AtomicBuffer, Rng};
+
+/// A least-squares problem `min_w ½‖Aw − b‖²` with stochastic row-sampled
+/// gradients (each row is one “sample”).
+#[derive(Clone, Debug)]
+pub struct QuadraticProblem {
+    /// Row-major `m × n` design matrix.
+    pub a: Vec<f32>,
+    /// Targets, length `m`.
+    pub b: Vec<f32>,
+    /// Rows.
+    pub m: usize,
+    /// Unknowns.
+    pub n: usize,
+}
+
+impl QuadraticProblem {
+    /// A random well-conditioned instance: `A` standard normal, `b = A·w★
+    /// + noise`, so the optimum is near the planted `w★`.
+    pub fn random(m: usize, n: usize, noise: f32, seed: u64) -> Self {
+        assert!(m >= n, "need at least as many rows as unknowns");
+        let mut rng = Rng::new(seed);
+        let mut a = vec![0.0f32; m * n];
+        rng.fill_normal(&mut a, 0.0, 1.0);
+        let mut w_star = vec![0.0f32; n];
+        rng.fill_normal(&mut w_star, 0.0, 1.0);
+        let mut b = vec![0.0f32; m];
+        for r in 0..m {
+            let mut acc = 0.0;
+            for c in 0..n {
+                acc += a[r * n + c] * w_star[c];
+            }
+            b[r] = acc + noise * rng.normal();
+        }
+        Self { a, b, m, n }
+    }
+
+    /// Stochastic gradient from `batch` uniformly sampled rows (mean of
+    /// per-row gradients `aᵣ(aᵣ·w − bᵣ)`), written into `out`.
+    pub fn stochastic_grad(&self, w: &[f32], batch: usize, rng: &mut Rng, out: &mut [f32]) {
+        assert_eq!(w.len(), self.n, "weight length");
+        assert_eq!(out.len(), self.n, "gradient length");
+        out.iter_mut().for_each(|x| *x = 0.0);
+        for _ in 0..batch {
+            let r = rng.below(self.m);
+            let row = &self.a[r * self.n..(r + 1) * self.n];
+            let mut dot = 0.0;
+            for c in 0..self.n {
+                dot += row[c] * w[c];
+            }
+            let residual = dot - self.b[r];
+            for c in 0..self.n {
+                out[c] += residual * row[c];
+            }
+        }
+        let inv = 1.0 / batch as f32;
+        out.iter_mut().for_each(|x| *x *= inv);
+    }
+
+    /// The exact minimizer via the normal equations `AᵀA w = Aᵀb`
+    /// (Gaussian elimination with partial pivoting; `n` is small).
+    pub fn optimum(&self) -> Vec<f32> {
+        let n = self.n;
+        // Build AᵀA (n×n) and Aᵀb in f64 for stability.
+        let mut ata = vec![0.0f64; n * n];
+        let mut atb = vec![0.0f64; n];
+        for r in 0..self.m {
+            let row = &self.a[r * n..(r + 1) * n];
+            for i in 0..n {
+                atb[i] += row[i] as f64 * self.b[r] as f64;
+                for j in 0..n {
+                    ata[i * n + j] += row[i] as f64 * row[j] as f64;
+                }
+            }
+        }
+        // Gaussian elimination with partial pivoting.
+        let mut aug = vec![0.0f64; n * (n + 1)];
+        for i in 0..n {
+            aug[i * (n + 1)..i * (n + 1) + n].copy_from_slice(&ata[i * n..(i + 1) * n]);
+            aug[i * (n + 1) + n] = atb[i];
+        }
+        for col in 0..n {
+            let pivot = (col..n)
+                .max_by(|&a_, &b_| {
+                    aug[a_ * (n + 1) + col]
+                        .abs()
+                        .partial_cmp(&aug[b_ * (n + 1) + col].abs())
+                        .unwrap()
+                })
+                .unwrap();
+            if pivot != col {
+                for k in 0..n + 1 {
+                    aug.swap(col * (n + 1) + k, pivot * (n + 1) + k);
+                }
+            }
+            let p = aug[col * (n + 1) + col];
+            assert!(p.abs() > 1e-12, "singular normal equations");
+            for r in col + 1..n {
+                let f = aug[r * (n + 1) + col] / p;
+                for k in col..n + 1 {
+                    aug[r * (n + 1) + k] -= f * aug[col * (n + 1) + k];
+                }
+            }
+        }
+        let mut w = vec![0.0f64; n];
+        for i in (0..n).rev() {
+            let mut acc = aug[i * (n + 1) + n];
+            for j in i + 1..n {
+                acc -= aug[i * (n + 1) + j] * w[j];
+            }
+            w[i] = acc / aug[i * (n + 1) + i];
+        }
+        w.into_iter().map(|x| x as f32).collect()
+    }
+
+    /// Squared distance of `w` to the optimum.
+    pub fn distance_sq(&self, w: &[f32]) -> f32 {
+        let opt = self.optimum();
+        w.iter().zip(&opt).map(|(a, b)| (a - b) * (a - b)).sum()
+    }
+}
+
+/// Runs sequential multi-worker EASGD on the problem (workers stepped
+/// round-robin in one thread — the convex analysis is about the
+/// *updates*, not the threading). Returns the center's squared distance
+/// to the optimum after `steps` per-worker steps.
+pub fn easgd_on_quadratic(
+    problem: &QuadraticProblem,
+    workers: usize,
+    steps: usize,
+    batch: usize,
+    eta: f32,
+    rho: f32,
+    seed: u64,
+) -> f32 {
+    let n = problem.n;
+    let mut center = vec![0.0f32; n];
+    let mut locals = vec![vec![0.0f32; n]; workers];
+    let mut rngs: Vec<Rng> = (0..workers)
+        .map(|w| Rng::new(seed ^ ((w as u64 + 1) * 0x9E37_79B9_7F4A_7C15)))
+        .collect();
+    let mut grad = vec![0.0f32; n];
+    for _ in 0..steps {
+        for w in 0..workers {
+            problem.stochastic_grad(&locals[w], batch, &mut rngs[w], &mut grad);
+            elastic_center_update(eta, rho, &mut center, &locals[w]);
+            elastic_worker_update(eta, rho, &mut locals[w], &grad, &center);
+        }
+    }
+    problem.distance_sq(&center)
+}
+
+/// Lock-free Hogwild EASGD on the problem: real threads racing on an
+/// atomic center (the configuration the paper's appendix proof covers).
+/// Returns the final center's squared distance to the optimum.
+pub fn hogwild_easgd_on_quadratic(
+    problem: &QuadraticProblem,
+    workers: usize,
+    steps: usize,
+    batch: usize,
+    eta: f32,
+    rho: f32,
+    seed: u64,
+) -> f32 {
+    let n = problem.n;
+    let center = AtomicBuffer::zeros(n);
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let center = &center;
+            let problem = &problem;
+            s.spawn(move || {
+                let mut rng = Rng::new(seed ^ ((w as u64 + 1) * 0xA24B_AED4_963E_E407));
+                let mut local = vec![0.0f32; n];
+                let mut grad = vec![0.0f32; n];
+                let mut snapshot = vec![0.0f32; n];
+                for _ in 0..steps {
+                    problem.stochastic_grad(&local, batch, &mut rng, &mut grad);
+                    center.elastic_center_update(eta, rho, &local);
+                    center.snapshot_into(&mut snapshot);
+                    elastic_worker_update(eta, rho, &mut local, &grad, &snapshot);
+                }
+            });
+        }
+    });
+    problem.distance_sq(&center.snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn problem() -> QuadraticProblem {
+        QuadraticProblem::random(200, 8, 0.05, 1)
+    }
+
+    #[test]
+    fn optimum_solves_normal_equations() {
+        let p = problem();
+        let w = p.optimum();
+        // Gradient at the optimum (full batch) must vanish.
+        let mut full_grad = vec![0.0f64; p.n];
+        for r in 0..p.m {
+            let row = &p.a[r * p.n..(r + 1) * p.n];
+            let mut dot = 0.0f64;
+            for c in 0..p.n {
+                dot += row[c] as f64 * w[c] as f64;
+            }
+            let residual = dot - p.b[r] as f64;
+            for c in 0..p.n {
+                full_grad[c] += residual * row[c] as f64;
+            }
+        }
+        for g in full_grad {
+            assert!(g.abs() < 1e-2, "residual gradient {g}");
+        }
+    }
+
+    #[test]
+    fn stochastic_gradient_is_unbiased_toward_full() {
+        let p = problem();
+        let w = vec![0.5f32; p.n];
+        let mut rng = Rng::new(2);
+        let mut acc = vec![0.0f32; p.n];
+        let mut g = vec![0.0f32; p.n];
+        let reps = 3000;
+        for _ in 0..reps {
+            p.stochastic_grad(&w, 4, &mut rng, &mut g);
+            for (a, &v) in acc.iter_mut().zip(&g) {
+                *a += v / reps as f32;
+            }
+        }
+        // Full-batch gradient for reference.
+        let mut full = vec![0.0f32; p.n];
+        for r in 0..p.m {
+            let row = &p.a[r * p.n..(r + 1) * p.n];
+            let mut dot = 0.0;
+            for c in 0..p.n {
+                dot += row[c] * w[c];
+            }
+            for c in 0..p.n {
+                full[c] += (dot - p.b[r]) * row[c] / p.m as f32;
+            }
+        }
+        for (a, f) in acc.iter().zip(&full) {
+            assert!((a - f).abs() < 0.15 * f.abs().max(1.0), "{a} vs {f}");
+        }
+    }
+
+    #[test]
+    fn easgd_center_converges_on_convex_problem() {
+        let p = problem();
+        let d = easgd_on_quadratic(&p, 4, 400, 4, 0.02, 2.0, 7);
+        assert!(d < 0.05, "center distance² = {d}");
+    }
+
+    #[test]
+    fn hogwild_easgd_is_safe_lock_free() {
+        // The §1 claim: the lock-free variant still converges (safety).
+        let p = problem();
+        let d = hogwild_easgd_on_quadratic(&p, 4, 400, 4, 0.02, 2.0, 8);
+        assert!(d.is_finite());
+        assert!(d < 0.1, "lock-free center distance² = {d}");
+    }
+
+    #[test]
+    fn more_workers_converge_in_fewer_steps() {
+        // The “faster” half: at a fixed per-worker step budget, more
+        // workers land the center closer to the optimum.
+        let p = problem();
+        let d1 = easgd_on_quadratic(&p, 1, 60, 4, 0.02, 2.0, 9);
+        let d8 = easgd_on_quadratic(&p, 8, 60, 4, 0.02, 2.0, 9);
+        assert!(
+            d8 < d1,
+            "8 workers (d²={d8}) should beat 1 worker (d²={d1}) at equal steps"
+        );
+    }
+
+    #[test]
+    fn smaller_steps_reach_smaller_neighbourhoods() {
+        // The noise-ball radius shrinks with η — the standard convex-SGD
+        // property the proof's assumptions inherit.
+        let p = problem();
+        let coarse = easgd_on_quadratic(&p, 4, 2000, 4, 0.05, 1.0, 10);
+        let fine = easgd_on_quadratic(&p, 4, 2000, 4, 0.005, 10.0, 10);
+        assert!(fine < coarse, "fine {fine} !< coarse {coarse}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Uniform dispatch from [`crate::lineage::MethodId`] to the
+//! wall-clock implementations — one entry point for sweeps and harnesses
+//! that iterate over the whole Figure 8/9 method family.
+
+use crate::config::TrainConfig;
+use crate::hogwild::{hogwild_easgd, hogwild_sgd};
+use crate::lineage::MethodId;
+use crate::metrics::RunResult;
+use crate::shared::{
+    async_easgd, async_measgd, async_msgd, async_sgd, original_easgd_turns, sync_easgd_shared,
+};
+use easgd_data::Dataset;
+use easgd_nn::Network;
+
+/// Runs the shared-memory (wall-clock) implementation of `method`.
+///
+/// Momentum methods are sensitive to the raw learning rate (the
+/// effective rate is `η/(1−µ)`); callers comparing across methods
+/// typically pass a smaller `η` for [`MethodId::AsyncMsgd`] /
+/// [`MethodId::AsyncMeasgd`], as the paper's experiments do.
+pub fn run_method(
+    method: MethodId,
+    proto: &Network,
+    train: &Dataset,
+    test: &Dataset,
+    cfg: &TrainConfig,
+) -> RunResult {
+    match method {
+        MethodId::OriginalEasgd => original_easgd_turns(proto, train, test, cfg),
+        MethodId::AsyncSgd => async_sgd(proto, train, test, cfg),
+        MethodId::AsyncMsgd => async_msgd(proto, train, test, cfg),
+        MethodId::HogwildSgd => hogwild_sgd(proto, train, test, cfg),
+        MethodId::AsyncEasgd => async_easgd(proto, train, test, cfg),
+        MethodId::AsyncMeasgd => async_measgd(proto, train, test, cfg),
+        MethodId::HogwildEasgd => hogwild_easgd(proto, train, test, cfg),
+        MethodId::SyncEasgd => sync_easgd_shared(proto, train, test, cfg),
+    }
+}
+
+/// Runs a method and its Figure 6 counterpart under identical settings;
+/// returns `(ours, counterpart)`. `None` for the existing methods, which
+/// have no counterpart.
+pub fn run_comparison(
+    method: MethodId,
+    proto: &Network,
+    train: &Dataset,
+    test: &Dataset,
+    cfg: &TrainConfig,
+) -> Option<(RunResult, RunResult)> {
+    let counterpart = method.counterpart()?;
+    Some((
+        run_method(method, proto, train, test, cfg),
+        run_method(counterpart, proto, train, test, cfg),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easgd_data::SyntheticSpec;
+    use easgd_nn::models::lenet_tiny;
+
+    #[test]
+    fn dispatch_covers_all_methods_with_matching_names() {
+        let task = SyntheticSpec::mnist_small().task(121);
+        let (train, test) = task.train_test(200, 80, 122);
+        let net = lenet_tiny(123);
+        let cfg = TrainConfig::figure6(5).with_eta(0.02);
+        for m in MethodId::ALL {
+            let r = run_method(m, &net, &train, &test, &cfg);
+            assert_eq!(r.method, m.name(), "dispatch mismatch for {m:?}");
+            assert!(r.final_loss.is_finite(), "{m:?} diverged instantly");
+        }
+    }
+
+    #[test]
+    fn comparison_pairs_match_lineage() {
+        let task = SyntheticSpec::mnist_small().task(131);
+        let (train, test) = task.train_test(200, 80, 132);
+        let net = lenet_tiny(133);
+        let cfg = TrainConfig::figure6(5).with_eta(0.02);
+        let (ours, theirs) =
+            run_comparison(MethodId::HogwildEasgd, &net, &train, &test, &cfg).unwrap();
+        assert_eq!(ours.method, "Hogwild EASGD");
+        assert_eq!(theirs.method, "Hogwild SGD");
+        assert!(run_comparison(MethodId::AsyncSgd, &net, &train, &test, &cfg).is_none());
+    }
+}

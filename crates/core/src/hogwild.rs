@@ -1,0 +1,217 @@
+//! The lock-free algorithms: Hogwild SGD (§3.2) and Hogwild EASGD
+//! (§5.1, contribution 1).
+//!
+//! Hogwild removes the master's update lock: workers apply their updates
+//! to the shared vector concurrently, component-by-component, with no
+//! cross-component atomicity. Hogwild EASGD applies the same idea to the
+//! *center* weight `W̄`: multiple workers' Equation (2) pulls may
+//! interleave freely. The paper observes this is what finally makes the
+//! asynchronous family competitive with Sync EASGD (Figure 8); the
+//! convergence proof is in the paper's appendix — the key safety property
+//! (each component update is a convex pull, so the center stays in the
+//! workers' hull) is exercised by `easgd-tensor`'s `AtomicBuffer` tests.
+
+use crate::config::TrainConfig;
+use crate::metrics::RunResult;
+use crate::shared::evaluate_center;
+use easgd_data::Dataset;
+use easgd_nn::Network;
+use easgd_tensor::ops::elastic_worker_update;
+use easgd_tensor::{AtomicBuffer, Rng};
+use std::time::Instant;
+
+fn per_worker_rng(cfg: &TrainConfig, worker: usize) -> Rng {
+    Rng::new(cfg.seed ^ ((worker as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407)))
+}
+
+/// Hogwild SGD (§3.2): the shared weight vector is updated lock-free.
+/// Workers snapshot `W`, compute a gradient at the snapshot, and apply
+/// `W ← W − η·ΔW` with per-component atomic adds.
+pub fn hogwild_sgd(
+    proto: &Network,
+    train: &Dataset,
+    test: &Dataset,
+    cfg: &TrainConfig,
+) -> RunResult {
+    cfg.validate();
+    let shards = train.partition(cfg.workers);
+    let shared = AtomicBuffer::from_slice(proto.params().as_slice());
+    let start = Instant::now();
+    let losses: Vec<f32> = std::thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .iter()
+            .enumerate()
+            .map(|(w, shard)| {
+                let shared = &shared;
+                s.spawn(move || {
+                    let mut net = proto.clone();
+                    let mut rng = per_worker_rng(cfg, w);
+                    let n = net.num_params();
+                    let mut snapshot = vec![0.0f32; n];
+                    let mut last_loss = f32::NAN;
+                    for _ in 0..cfg.iterations {
+                        shared.snapshot_into(&mut snapshot);
+                        net.set_params(&snapshot);
+                        let batch = shard.sample_batch(&mut rng, cfg.batch);
+                        let stats = net.forward_backward(&batch.images, &batch.labels);
+                        last_loss = stats.loss;
+                        shared.sgd_update(cfg.eta, net.grads().as_slice());
+                    }
+                    last_loss
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let final_w = shared.snapshot();
+    RunResult {
+        method: "Hogwild SGD".to_string(),
+        iterations: cfg.iterations,
+        wall_seconds: wall,
+        sim_seconds: None,
+        accuracy: evaluate_center(proto, &final_w, test),
+        final_loss: losses.iter().sum::<f32>() / losses.len().max(1) as f32,
+        breakdown: None,
+        trace: Vec::new(),
+    }
+}
+
+/// Hogwild EASGD (ours, §5.1): each worker keeps a private local weight
+/// `Wᵢ`; the shared *center* `W̄` is updated lock-free with the
+/// Equation (2) pull, and the worker applies Equation (1) against its
+/// snapshot. “The master first receives multiple weights from different
+/// workers … then processes these weights by the Hogwild (lock-free)
+/// updating rule.”
+pub fn hogwild_easgd(
+    proto: &Network,
+    train: &Dataset,
+    test: &Dataset,
+    cfg: &TrainConfig,
+) -> RunResult {
+    cfg.validate();
+    let shards = train.partition(cfg.workers);
+    let shared = AtomicBuffer::from_slice(proto.params().as_slice());
+    let start = Instant::now();
+    let losses: Vec<f32> = std::thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .iter()
+            .enumerate()
+            .map(|(w, shard)| {
+                let shared = &shared;
+                s.spawn(move || {
+                    let mut net = proto.clone();
+                    let mut rng = per_worker_rng(cfg, w);
+                    let n = net.num_params();
+                    let mut grad = vec![0.0f32; n];
+                    let mut snapshot = vec![0.0f32; n];
+                    let mut last_loss = f32::NAN;
+                    for step in 0..cfg.iterations {
+                        // Compute the gradient at the local weight Wᵢ.
+                        let batch = shard.sample_batch(&mut rng, cfg.batch);
+                        let stats = net.forward_backward(&batch.images, &batch.labels);
+                        last_loss = stats.loss;
+                        grad.copy_from_slice(net.grads().as_slice());
+                        // Communication period τ: local SGD steps between
+                        // lock-free exchanges.
+                        if (step + 1) % cfg.comm_period != 0 {
+                            easgd_tensor::ops::sgd_update(
+                                cfg.eta,
+                                net.params_mut().as_mut_slice(),
+                                &grad,
+                            );
+                            continue;
+                        }
+                        // Lock-free center pull (Eq 2) and snapshot.
+                        shared.elastic_center_update(cfg.eta, cfg.rho, net.params().as_slice());
+                        shared.snapshot_into(&mut snapshot);
+                        // Local elastic update (Eq 1).
+                        elastic_worker_update(
+                            cfg.eta,
+                            cfg.rho,
+                            net.params_mut().as_mut_slice(),
+                            &grad,
+                            &snapshot,
+                        );
+                    }
+                    last_loss
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let final_w = shared.snapshot();
+    RunResult {
+        method: "Hogwild EASGD".to_string(),
+        iterations: cfg.iterations,
+        wall_seconds: wall,
+        sim_seconds: None,
+        accuracy: evaluate_center(proto, &final_w, test),
+        final_loss: losses.iter().sum::<f32>() / losses.len().max(1) as f32,
+        breakdown: None,
+        trace: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easgd_data::SyntheticSpec;
+    use easgd_nn::models::lenet_tiny;
+
+    fn setup() -> (Network, Dataset, Dataset) {
+        let task = SyntheticSpec::mnist_small().task(31);
+        let (train, test) = task.train_test(600, 200, 32);
+        (lenet_tiny(33), train, test)
+    }
+
+    fn quick_cfg(iters: usize) -> TrainConfig {
+        TrainConfig {
+            workers: 4,
+            batch: 16,
+            eta: 0.05,
+            rho: 0.3,
+            mu: 0.9,
+            iterations: iters,
+            seed: 41,
+            comm_period: 1,
+        }
+    }
+
+    #[test]
+    fn hogwild_sgd_learns_above_chance() {
+        let (proto, train, test) = setup();
+        let r = hogwild_sgd(&proto, &train, &test, &quick_cfg(150));
+        assert!(r.accuracy > 0.4, "acc = {}", r.accuracy);
+    }
+
+    #[test]
+    fn hogwild_easgd_learns_above_chance() {
+        let (proto, train, test) = setup();
+        let r = hogwild_easgd(&proto, &train, &test, &quick_cfg(200));
+        assert!(r.accuracy > 0.4, "acc = {}", r.accuracy);
+    }
+
+    #[test]
+    fn hogwild_easgd_center_stays_finite_under_contention() {
+        // 8 workers hammering a small model: the lock-free interleavings
+        // must not blow the center up.
+        let (proto, train, test) = setup();
+        let cfg = quick_cfg(60).with_workers(8);
+        let r = hogwild_easgd(&proto, &train, &test, &cfg);
+        assert!(r.final_loss.is_finite());
+        assert!(r.accuracy >= 0.0);
+    }
+
+    #[test]
+    fn method_names() {
+        let (proto, train, test) = setup();
+        let cfg = quick_cfg(5);
+        assert_eq!(hogwild_sgd(&proto, &train, &test, &cfg).method, "Hogwild SGD");
+        assert_eq!(
+            hogwild_easgd(&proto, &train, &test, &cfg).method,
+            "Hogwild EASGD"
+        );
+    }
+}

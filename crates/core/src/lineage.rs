@@ -1,0 +1,155 @@
+//! Figure 9: the method-design lineage as data.
+//!
+//! The paper presents its contributions as a derivation graph — each new
+//! method is an existing method plus one idea (FCFS, momentum,
+//! lock-freedom, elastic averaging, tree reduction). Encoding the graph
+//! makes it testable and lets the harness print it.
+
+use std::fmt;
+
+/// The eight methods of Figure 8/9.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum MethodId {
+    /// Round-robin elastic averaging (existing; Zhang et al. 2015).
+    OriginalEasgd,
+    /// FCFS parameter server (existing; Dean et al. 2012).
+    AsyncSgd,
+    /// Async SGD + momentum (existing).
+    AsyncMsgd,
+    /// Lock-free shared-memory SGD (existing; Recht et al. 2011).
+    HogwildSgd,
+    /// FCFS elastic averaging (this paper).
+    AsyncEasgd,
+    /// FCFS elastic averaging + momentum (this paper).
+    AsyncMeasgd,
+    /// Lock-free elastic averaging (this paper).
+    HogwildEasgd,
+    /// Tree-reduced bulk-synchronous elastic averaging (this paper).
+    SyncEasgd,
+}
+
+impl MethodId {
+    /// All methods in a stable order.
+    pub const ALL: [MethodId; 8] = [
+        MethodId::OriginalEasgd,
+        MethodId::AsyncSgd,
+        MethodId::AsyncMsgd,
+        MethodId::HogwildSgd,
+        MethodId::AsyncEasgd,
+        MethodId::AsyncMeasgd,
+        MethodId::HogwildEasgd,
+        MethodId::SyncEasgd,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MethodId::OriginalEasgd => "Original EASGD",
+            MethodId::AsyncSgd => "Async SGD",
+            MethodId::AsyncMsgd => "Async MSGD",
+            MethodId::HogwildSgd => "Hogwild SGD",
+            MethodId::AsyncEasgd => "Async EASGD",
+            MethodId::AsyncMeasgd => "Async MEASGD",
+            MethodId::HogwildEasgd => "Hogwild EASGD",
+            MethodId::SyncEasgd => "Sync EASGD",
+        }
+    }
+
+    /// Whether the method pre-dates the paper (the red boxes of
+    /// Figure 9).
+    pub fn is_existing(&self) -> bool {
+        matches!(
+            self,
+            MethodId::OriginalEasgd
+                | MethodId::AsyncSgd
+                | MethodId::AsyncMsgd
+                | MethodId::HogwildSgd
+        )
+    }
+
+    /// The existing method each of the paper's methods is compared
+    /// against in Figure 6 (`None` for the existing methods themselves).
+    pub fn counterpart(&self) -> Option<MethodId> {
+        match self {
+            MethodId::AsyncEasgd => Some(MethodId::AsyncSgd),
+            MethodId::AsyncMeasgd => Some(MethodId::AsyncMsgd),
+            MethodId::HogwildEasgd => Some(MethodId::HogwildSgd),
+            MethodId::SyncEasgd => Some(MethodId::OriginalEasgd),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One derivation arrow of Figure 9.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LineageEdge {
+    /// Source method.
+    pub from: MethodId,
+    /// Derived method.
+    pub to: MethodId,
+    /// The idea added along the edge.
+    pub idea: &'static str,
+}
+
+/// The full Figure 9 derivation graph.
+pub fn lineage() -> Vec<LineageEdge> {
+    use MethodId::*;
+    vec![
+        LineageEdge { from: AsyncSgd, to: AsyncMsgd, idea: "momentum" },
+        LineageEdge { from: AsyncSgd, to: HogwildSgd, idea: "lock-free" },
+        LineageEdge { from: AsyncSgd, to: AsyncEasgd, idea: "elastic averaging" },
+        LineageEdge { from: OriginalEasgd, to: AsyncEasgd, idea: "FCFS" },
+        LineageEdge { from: AsyncEasgd, to: AsyncMeasgd, idea: "momentum" },
+        LineageEdge { from: AsyncEasgd, to: HogwildEasgd, idea: "lock-free" },
+        LineageEdge { from: HogwildSgd, to: HogwildEasgd, idea: "elastic averaging" },
+        LineageEdge { from: OriginalEasgd, to: SyncEasgd, idea: "tree reduce" },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_existing_four_new() {
+        let existing = MethodId::ALL.iter().filter(|m| m.is_existing()).count();
+        assert_eq!(existing, 4);
+    }
+
+    #[test]
+    fn every_new_method_is_derived_from_something() {
+        let edges = lineage();
+        for m in MethodId::ALL.iter().filter(|m| !m.is_existing()) {
+            assert!(
+                edges.iter().any(|e| e.to == *m),
+                "{m} has no derivation edge"
+            );
+        }
+    }
+
+    #[test]
+    fn counterparts_match_figure_6() {
+        assert_eq!(MethodId::AsyncEasgd.counterpart(), Some(MethodId::AsyncSgd));
+        assert_eq!(
+            MethodId::HogwildEasgd.counterpart(),
+            Some(MethodId::HogwildSgd)
+        );
+        assert_eq!(MethodId::SyncEasgd.counterpart(), Some(MethodId::OriginalEasgd));
+        assert_eq!(MethodId::AsyncSgd.counterpart(), None);
+    }
+
+    #[test]
+    fn roots_are_never_derived() {
+        // Async SGD and Original EASGD are the roots of Figure 9.
+        for e in lineage() {
+            assert_ne!(e.to, MethodId::AsyncSgd, "{e:?}");
+            assert_ne!(e.to, MethodId::OriginalEasgd, "{e:?}");
+        }
+    }
+}

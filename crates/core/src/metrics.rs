@@ -1,0 +1,105 @@
+//! Run results and derived metrics.
+
+use easgd_cluster::TimeBreakdown;
+
+/// One point of an accuracy-vs-time curve.
+#[derive(Clone, Copy, Debug)]
+pub struct TracePoint {
+    /// Iterations completed at this point.
+    pub iteration: usize,
+    /// Seconds elapsed (wall or simulated — see the owning result).
+    pub seconds: f64,
+    /// Test accuracy at this point, if measured.
+    pub accuracy: f32,
+}
+
+/// Outcome of one distributed training run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Method name, e.g. `"Hogwild EASGD"`.
+    pub method: String,
+    /// Iteration budget of the run.
+    pub iterations: usize,
+    /// Real elapsed seconds.
+    pub wall_seconds: f64,
+    /// Simulated seconds, for cluster-scheduled methods.
+    pub sim_seconds: Option<f64>,
+    /// Final test accuracy in `[0, 1]`.
+    pub accuracy: f32,
+    /// Final training loss (mean cross-entropy of the last step).
+    pub final_loss: f32,
+    /// Time-category breakdown (Table 3), where the method tracks one.
+    pub breakdown: Option<TimeBreakdown>,
+    /// Intermediate accuracy measurements, if the run recorded any.
+    pub trace: Vec<TracePoint>,
+}
+
+impl RunResult {
+    /// The time axis a figure should plot: simulated seconds when
+    /// available, wall-clock otherwise.
+    pub fn seconds(&self) -> f64 {
+        self.sim_seconds.unwrap_or(self.wall_seconds)
+    }
+
+    /// Error rate `1 − accuracy` (the y-axis of Figure 8).
+    pub fn error_rate(&self) -> f32 {
+        1.0 - self.accuracy
+    }
+
+    /// `log₁₀` of the error rate, clamped away from −∞ (Figure 8's
+    /// "log10 scale of error rate").
+    pub fn log10_error(&self) -> f32 {
+        self.error_rate().max(1e-4).log10()
+    }
+}
+
+/// First time at which a sequence of runs (one method at increasing
+/// iteration budgets) reaches `target` accuracy; `None` if never.
+pub fn time_to_accuracy(runs: &[RunResult], target: f32) -> Option<f64> {
+    runs.iter()
+        .filter(|r| r.accuracy >= target)
+        .map(RunResult::seconds)
+        .min_by(|a, b| a.partial_cmp(b).unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(secs: f64, acc: f32) -> RunResult {
+        RunResult {
+            method: "m".to_string(),
+            iterations: 100,
+            wall_seconds: secs,
+            sim_seconds: None,
+            accuracy: acc,
+            final_loss: 0.1,
+            breakdown: None,
+            trace: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn seconds_prefers_simulated() {
+        let mut r = run(5.0, 0.9);
+        assert_eq!(r.seconds(), 5.0);
+        r.sim_seconds = Some(2.0);
+        assert_eq!(r.seconds(), 2.0);
+    }
+
+    #[test]
+    fn error_rate_and_log() {
+        let r = run(1.0, 0.99);
+        assert!((r.error_rate() - 0.01).abs() < 1e-6);
+        assert!((r.log10_error() - (-2.0)).abs() < 1e-3);
+        // Perfect accuracy clamps instead of -inf.
+        assert!(run(1.0, 1.0).log10_error().is_finite());
+    }
+
+    #[test]
+    fn time_to_accuracy_picks_earliest_hit() {
+        let runs = vec![run(10.0, 0.95), run(4.0, 0.96), run(2.0, 0.80)];
+        assert_eq!(time_to_accuracy(&runs, 0.95), Some(4.0));
+        assert_eq!(time_to_accuracy(&runs, 0.99), None);
+    }
+}

@@ -1,0 +1,331 @@
+//! Original EASGD (Algorithm 1) on the simulated multi-GPU node.
+//!
+//! The baseline of the whole paper: the master (CPU) serves workers
+//! (GPUs) strictly in rank order, one at a time. Two variants appear in
+//! Table 3:
+//!
+//! * **Serialized** (`Original EASGD*`): the master dispatches worker
+//!   `j`, waits for its forward/backward, collects the weight, updates —
+//!   nothing overlaps. Only one GPU computes at any moment.
+//! * **Pipelined** (`Original EASGD`): the master dispatches worker `j`
+//!   and collects `j`'s *previous* result one sweep later, so worker
+//!   compute hides behind the master's service loop. The master becomes
+//!   purely communication-bound — Table 3's 87 % comm ratio.
+//!
+//! Both use the *unpacked* (per-layer) CPU↔GPU transfer path, because
+//! packing (§5.2) is one of the optimizations the paper adds on the way
+//! to Sync EASGD.
+
+use crate::config::TrainConfig;
+use crate::metrics::RunResult;
+use crate::shared::evaluate_center;
+use crate::simcost::SimCosts;
+use easgd_cluster::{ClusterConfig, Comm, RankReport, TimeCategory, VirtualCluster};
+use easgd_data::Dataset;
+use easgd_nn::Network;
+use easgd_tensor::ops::{elastic_center_update, elastic_worker_update};
+use easgd_tensor::Rng;
+use std::time::Instant;
+
+const TAG_DATA: u32 = 1;
+const TAG_CENTER: u32 = 2;
+const TAG_WEIGHT: u32 = 3;
+
+/// Which Algorithm 1 schedule to simulate.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum OriginalMode {
+    /// No overlap (Table 3 row "Original EASGD*").
+    Serialized,
+    /// Worker compute hidden under the master's round-robin service loop
+    /// (Table 3 row "Original EASGD").
+    Pipelined,
+}
+
+impl OriginalMode {
+    fn label(&self) -> &'static str {
+        match self {
+            OriginalMode::Serialized => "Original EASGD*",
+            OriginalMode::Pipelined => "Original EASGD",
+        }
+    }
+}
+
+/// Encodes a batch as one flat message: `[labels…, pixels…]`.
+pub(crate) fn encode_batch(images: &[f32], labels: &[usize]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(labels.len() + images.len());
+    out.extend(labels.iter().map(|&l| l as f32));
+    out.extend_from_slice(images);
+    out
+}
+
+/// Decodes [`encode_batch`]'s framing given the batch size.
+pub(crate) fn decode_batch(payload: &[f32], batch: usize) -> (Vec<usize>, &[f32]) {
+    let labels = payload[..batch].iter().map(|&l| l as usize).collect();
+    (labels, &payload[batch..])
+}
+
+enum RankOut {
+    Master {
+        center: Vec<f32>,
+        report: RankReport,
+    },
+    Worker {
+        last_loss: f32,
+    },
+}
+
+/// Runs Original EASGD on a simulated `cfg.workers`-GPU node.
+///
+/// `cfg.iterations` is the per-worker step count; the master performs
+/// `iterations × workers` round-robin interactions in total. Returns the
+/// master's simulated-time breakdown (the Table 3 row).
+pub fn original_easgd_sim(
+    proto: &Network,
+    train: &Dataset,
+    test: &Dataset,
+    cfg: &TrainConfig,
+    costs: &SimCosts,
+    mode: OriginalMode,
+) -> RunResult {
+    cfg.validate();
+    let g = cfg.workers;
+    let total = cfg.iterations * g;
+    let cluster = ClusterConfig::new(g + 1);
+    let up = costs.unpacked_weight_time();
+    let down = costs.unpacked_weight_time();
+    let wall_start = Instant::now();
+
+    let outs = VirtualCluster::run(&cluster, |comm: &mut Comm| {
+        if comm.rank() == 0 {
+            master_loop(comm, proto, train, cfg, costs, mode, total, up, down)
+        } else {
+            worker_loop(comm, proto, cfg, costs, total)
+        }
+    });
+
+    let wall = wall_start.elapsed().as_secs_f64();
+    let mut center = Vec::new();
+    let mut report = None;
+    let mut losses = Vec::new();
+    for o in outs {
+        match o {
+            RankOut::Master { center: c, report: r } => {
+                center = c;
+                report = Some(r);
+            }
+            RankOut::Worker { last_loss } => losses.push(last_loss),
+        }
+    }
+    let report = report.expect("master output missing");
+    RunResult {
+        method: mode.label().to_string(),
+        iterations: cfg.iterations,
+        wall_seconds: wall,
+        sim_seconds: Some(report.time),
+        accuracy: evaluate_center(proto, &center, test),
+        final_loss: losses.iter().sum::<f32>() / losses.len().max(1) as f32,
+        breakdown: Some(report.breakdown),
+        trace: Vec::new(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn master_loop(
+    comm: &mut Comm,
+    proto: &Network,
+    train: &Dataset,
+    cfg: &TrainConfig,
+    costs: &SimCosts,
+    mode: OriginalMode,
+    total: usize,
+    up: f64,
+    down: f64,
+) -> RankOut {
+    let g = cfg.workers;
+    let mut rng = Rng::new(cfg.seed);
+    let mut center = proto.params().as_slice().to_vec();
+    let mut inflight = vec![false; g + 1];
+
+    let collect = |comm: &mut Comm, center: &mut [f32], j: usize| {
+        // The wait (worker still computing) is attributed to
+        // forward/backward, the transfer to CPU↔GPU parameter traffic —
+        // Table 3's accounting.
+        let w = comm.recv_costed(
+            j,
+            TAG_WEIGHT,
+            up,
+            TimeCategory::ForwardBackward,
+            TimeCategory::CpuGpuParam,
+        );
+        elastic_center_update(cfg.eta, cfg.rho, center, &w);
+        comm.charge(TimeCategory::CpuUpdate, costs.cpu_update);
+    };
+
+    for t in 0..total {
+        let j = 1 + (t % g);
+        if mode == OriginalMode::Pipelined && inflight[j] {
+            collect(comm, &mut center, j);
+        }
+        let batch = train.sample_batch(&mut rng, cfg.batch);
+        let payload = encode_batch(batch.images.as_slice(), &batch.labels);
+        comm.send_costed(j, TAG_DATA, &payload, costs.data_time(), TimeCategory::CpuGpuData);
+        comm.send_costed(j, TAG_CENTER, &center, down, TimeCategory::CpuGpuParam);
+        inflight[j] = true;
+        if mode == OriginalMode::Serialized {
+            collect(comm, &mut center, j);
+            inflight[j] = false;
+        }
+    }
+    // Drain the pipeline.
+    if mode == OriginalMode::Pipelined {
+        for j in 1..=g {
+            if inflight[j] {
+                collect(comm, &mut center, j);
+            }
+        }
+    }
+    RankOut::Master {
+        center,
+        report: comm.report(),
+    }
+}
+
+fn worker_loop(
+    comm: &mut Comm,
+    proto: &Network,
+    cfg: &TrainConfig,
+    costs: &SimCosts,
+    total: usize,
+) -> RankOut {
+    let g = cfg.workers;
+    let me = comm.rank();
+    let rounds = (0..total).filter(|t| 1 + (t % g) == me).count();
+    let mut net = proto.clone();
+    let mut jitter_rng = Rng::new(cfg.seed ^ (me as u64 * 0x9E37_79B9_7F4A_7C15));
+    let mut grad = vec![0.0f32; net.num_params()];
+    let mut last_loss = f32::NAN;
+    for _ in 0..rounds {
+        let payload = comm.recv(0, TAG_DATA, TimeCategory::Other);
+        let center = comm.recv(0, TAG_CENTER, TimeCategory::Other);
+        let (labels, pixels) = decode_batch(&payload, cfg.batch);
+        let mut shape = vec![cfg.batch];
+        shape.extend_from_slice(net.input_shape());
+        let x = easgd_tensor::Tensor::from_vec(shape, pixels.to_vec());
+        let stats = net.forward_backward(&x, &labels);
+        last_loss = stats.loss;
+        let jit = 1.0 + costs.compute_jitter * jitter_rng.uniform() as f64;
+        comm.charge(TimeCategory::ForwardBackward, costs.fwd_bwd * jit);
+        grad.copy_from_slice(net.grads().as_slice());
+        // Ship W_jt (pre-update, per Algorithm 1 lines 12–14); the master
+        // pays the transfer on its own timeline.
+        comm.send_costed(0, TAG_WEIGHT, net.params().as_slice(), 0.0, TimeCategory::Other);
+        elastic_worker_update(
+            cfg.eta,
+            cfg.rho,
+            net.params_mut().as_mut_slice(),
+            &grad,
+            &center,
+        );
+        comm.charge(TimeCategory::GpuUpdate, costs.gpu_update);
+    }
+    RankOut::Worker { last_loss }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easgd_data::SyntheticSpec;
+    use easgd_nn::models::lenet_tiny;
+
+    fn setup() -> (Network, Dataset, Dataset) {
+        let task = SyntheticSpec::mnist_small().task(51);
+        let (train, test) = task.train_test(600, 200, 52);
+        (lenet_tiny(53), train, test)
+    }
+
+    fn cfg(iters: usize) -> TrainConfig {
+        TrainConfig {
+            workers: 4,
+            batch: 16,
+            eta: 0.05,
+            rho: 0.3,
+            mu: 0.9,
+            iterations: iters,
+            seed: 61,
+            comm_period: 1,
+        }
+    }
+
+    #[test]
+    fn batch_codec_roundtrip() {
+        let images = vec![0.5f32; 8];
+        let labels = vec![3usize, 9];
+        let p = encode_batch(&images, &labels);
+        let (l2, i2) = decode_batch(&p, 2);
+        assert_eq!(l2, labels);
+        assert_eq!(i2, &images[..]);
+    }
+
+    #[test]
+    fn pipelined_learns_and_reports_breakdown() {
+        let (proto, train, test) = setup();
+        let r = original_easgd_sim(&proto, &train, &test, &cfg(50), &SimCosts::mnist_lenet_4gpu(), OriginalMode::Pipelined);
+        assert!(r.accuracy > 0.3, "acc = {}", r.accuracy);
+        assert!(r.sim_seconds.unwrap() > 0.0);
+        let b = r.breakdown.unwrap();
+        assert!(b.get(TimeCategory::CpuGpuParam) > 0.0);
+        assert!(b.get(TimeCategory::CpuUpdate) > 0.0);
+    }
+
+    #[test]
+    fn pipelined_is_comm_bound_serialized_is_not() {
+        // The Table 3 contrast: pipelining hides compute under the
+        // service loop, pushing the comm ratio way up (52% → 87% in the
+        // paper) while *reducing* total time.
+        let (proto, train, test) = setup();
+        let costs = SimCosts::mnist_lenet_4gpu();
+        let c = cfg(25);
+        let pip = original_easgd_sim(&proto, &train, &test, &c, &costs, OriginalMode::Pipelined);
+        let ser = original_easgd_sim(&proto, &train, &test, &c, &costs, OriginalMode::Serialized);
+        let pip_t = pip.sim_seconds.unwrap();
+        let ser_t = ser.sim_seconds.unwrap();
+        assert!(pip_t < ser_t, "pipelined {pip_t} !< serialized {ser_t}");
+        let pip_ratio = pip.breakdown.as_ref().unwrap().comm_ratio();
+        let ser_ratio = ser.breakdown.as_ref().unwrap().comm_ratio();
+        assert!(
+            pip_ratio > ser_ratio,
+            "pipelined ratio {pip_ratio} !> serialized {ser_ratio}"
+        );
+        assert!(pip_ratio > 0.7, "expected comm-bound master, got {pip_ratio}");
+    }
+
+    #[test]
+    fn serialized_time_matches_phase_sum() {
+        // Every serialized iteration is the exact sum of its phases.
+        let (proto, train, test) = setup();
+        let costs = SimCosts::mnist_lenet_4gpu();
+        let c = cfg(5);
+        let r = original_easgd_sim(&proto, &train, &test, &c, &costs, OriginalMode::Serialized);
+        let per_iter = costs.data_time()
+            + 2.0 * costs.unpacked_weight_time()
+            + costs.fwd_bwd
+            + costs.cpu_update;
+        let expect = per_iter * (c.iterations * c.workers) as f64;
+        let got = r.sim_seconds.unwrap();
+        assert!(
+            (got - expect).abs() / expect < 0.05,
+            "sim {got} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (proto, train, test) = setup();
+        let costs = SimCosts::mnist_lenet_4gpu();
+        let c = cfg(10);
+        let a = original_easgd_sim(&proto, &train, &test, &c, &costs, OriginalMode::Pipelined);
+        let b = original_easgd_sim(&proto, &train, &test, &c, &costs, OriginalMode::Pipelined);
+        assert_eq!(a.accuracy, b.accuracy);
+        assert_eq!(a.sim_seconds, b.sim_seconds);
+    }
+}

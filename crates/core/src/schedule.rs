@@ -1,0 +1,173 @@
+//! Learning-rate schedules and weight decay.
+//!
+//! §7.2 of the paper: changing the batch size requires retuning the
+//! learning rate (and momentum). These are the standard Caffe-era
+//! schedules used for that tuning, applied by [`crate::serial`]'s
+//! single-node trainer and available to every distributed method through
+//! per-step recomputation of `η`.
+
+/// A learning-rate schedule: `η(t)` as a function of the iteration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LrSchedule {
+    /// Constant `η₀`.
+    Constant {
+        /// Base rate.
+        base: f32,
+    },
+    /// Step decay: `η₀ · γ^{⌊t/every⌋}` (Caffe's `step`).
+    Step {
+        /// Base rate.
+        base: f32,
+        /// Multiplicative decay per step.
+        gamma: f32,
+        /// Iterations between decays.
+        every: usize,
+    },
+    /// Polynomial decay to zero: `η₀ · (1 − t/max_iter)^power`
+    /// (Caffe's `poly`; Intel Caffe's default for large-batch ImageNet).
+    Poly {
+        /// Base rate.
+        base: f32,
+        /// Decay exponent.
+        power: f32,
+        /// Total iteration budget.
+        max_iter: usize,
+    },
+    /// Inverse decay: `η₀ · (1 + γt)^{−power}` (Caffe's `inv`).
+    Inv {
+        /// Base rate.
+        base: f32,
+        /// Time scale.
+        gamma: f32,
+        /// Decay exponent.
+        power: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at iteration `t` (0-based).
+    pub fn at(&self, t: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant { base } => base,
+            LrSchedule::Step { base, gamma, every } => {
+                assert!(every > 0, "step schedule needs every >= 1");
+                base * gamma.powi((t / every) as i32)
+            }
+            LrSchedule::Poly {
+                base,
+                power,
+                max_iter,
+            } => {
+                let frac = 1.0 - (t.min(max_iter) as f32 / max_iter.max(1) as f32);
+                base * frac.powf(power)
+            }
+            LrSchedule::Inv { base, gamma, power } => {
+                base * (1.0 + gamma * t as f32).powf(-power)
+            }
+        }
+    }
+
+    /// The base (t = 0) rate.
+    pub fn base(&self) -> f32 {
+        self.at(0)
+    }
+
+    /// The linear-scaling rule for batch-size changes (§7.2: “the users
+    /// need to change learning rate … at the same time”): scales the base
+    /// rate by `new_batch / old_batch`.
+    pub fn rescaled_for_batch(&self, old_batch: usize, new_batch: usize) -> LrSchedule {
+        let k = new_batch as f32 / old_batch as f32;
+        let mut s = self.clone();
+        match &mut s {
+            LrSchedule::Constant { base }
+            | LrSchedule::Step { base, .. }
+            | LrSchedule::Poly { base, .. }
+            | LrSchedule::Inv { base, .. } => *base *= k,
+        }
+        s
+    }
+}
+
+/// L2 weight decay applied as `grad += λ·w` before the optimizer step.
+pub fn apply_weight_decay(lambda: f32, weights: &[f32], grad: &mut [f32]) {
+    assert_eq!(weights.len(), grad.len(), "weight decay length mismatch");
+    if lambda == 0.0 {
+        return;
+    }
+    for (g, w) in grad.iter_mut().zip(weights) {
+        *g += lambda * w;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_flat() {
+        let s = LrSchedule::Constant { base: 0.1 };
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(10_000), 0.1);
+    }
+
+    #[test]
+    fn step_decays_at_boundaries() {
+        let s = LrSchedule::Step {
+            base: 1.0,
+            gamma: 0.1,
+            every: 100,
+        };
+        assert_eq!(s.at(0), 1.0);
+        assert_eq!(s.at(99), 1.0);
+        assert!((s.at(100) - 0.1).abs() < 1e-7);
+        assert!((s.at(250) - 0.01).abs() < 1e-8);
+    }
+
+    #[test]
+    fn poly_reaches_zero_at_max_iter() {
+        let s = LrSchedule::Poly {
+            base: 0.5,
+            power: 2.0,
+            max_iter: 100,
+        };
+        assert_eq!(s.at(0), 0.5);
+        assert!(s.at(50) < 0.5);
+        assert_eq!(s.at(100), 0.0);
+        assert_eq!(s.at(200), 0.0); // clamped past the end
+    }
+
+    #[test]
+    fn inv_decays_monotonically() {
+        let s = LrSchedule::Inv {
+            base: 0.1,
+            gamma: 1e-3,
+            power: 0.75,
+        };
+        let mut prev = f32::INFINITY;
+        for t in [0usize, 10, 100, 1000, 10000] {
+            let v = s.at(t);
+            assert!(v <= prev);
+            assert!(v > 0.0);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn linear_scaling_rule() {
+        let s = LrSchedule::Constant { base: 0.05 };
+        let scaled = s.rescaled_for_batch(64, 512);
+        assert!((scaled.base() - 0.4).abs() < 1e-7);
+    }
+
+    #[test]
+    fn weight_decay_adds_l2_term() {
+        let w = vec![2.0f32, -4.0];
+        let mut g = vec![1.0f32, 1.0];
+        apply_weight_decay(0.5, &w, &mut g);
+        assert_eq!(g, vec![2.0, -1.0]);
+        // λ = 0 is a no-op.
+        let mut g2 = vec![1.0f32, 1.0];
+        apply_weight_decay(0.0, &w, &mut g2);
+        assert_eq!(g2, vec![1.0, 1.0]);
+    }
+}

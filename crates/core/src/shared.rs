@@ -1,0 +1,566 @@
+//! The shared-memory, wall-clock algorithm family (Figures 6 and 8).
+//!
+//! The paper's asynchronous methods differ only in *how workers
+//! synchronize with the master's center weight*:
+//!
+//! | method            | ordering        | exchange                      |
+//! |-------------------|-----------------|-------------------------------|
+//! | Original EASGD    | round-robin     | elastic (Eq 1 + 2)            |
+//! | Async SGD         | FCFS (lock)     | gradient push, weight pull    |
+//! | Async MSGD        | FCFS (lock)     | + momentum (Eq 3–4)           |
+//! | Async EASGD       | FCFS (lock)     | elastic (Eq 1 + 2)            |
+//! | Async MEASGD      | FCFS (lock)     | elastic + momentum (Eq 5–6)   |
+//! | Sync EASGD        | barrier (BSP)   | elastic, tree-reduced         |
+//!
+//! (The lock-free Hogwild variants live in [`crate::hogwild`].) Workers
+//! are real threads computing real gradients; the master's state lives in
+//! shared memory behind exactly the synchronization discipline each
+//! method prescribes, so the relative performance the paper measures is a
+//! genuine concurrency outcome here too.
+
+use crate::config::TrainConfig;
+use crate::metrics::RunResult;
+use easgd_data::Dataset;
+use easgd_nn::Network;
+use easgd_tensor::ops::{
+    elastic_center_update, elastic_momentum_update, elastic_worker_update, momentum_update,
+    sgd_update,
+};
+use easgd_tensor::Rng;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// Master state for the gradient-push methods (Async SGD / MSGD).
+struct GradCenter {
+    w: Vec<f32>,
+    v: Vec<f32>,
+}
+
+/// Evaluates `weights` on the test set using a fresh replica of `proto`.
+pub(crate) fn evaluate_center(proto: &Network, weights: &[f32], test: &Dataset) -> f32 {
+    let mut net = proto.clone();
+    net.set_params(weights);
+    net.evaluate(&test.as_tensor(), test.labels(), 256)
+}
+
+fn per_worker_rng(cfg: &TrainConfig, worker: usize) -> Rng {
+    Rng::new(cfg.seed ^ ((worker as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+fn finish(
+    method: &str,
+    proto: &Network,
+    center: &[f32],
+    test: &Dataset,
+    cfg: &TrainConfig,
+    wall: f64,
+    losses: Vec<f32>,
+) -> RunResult {
+    RunResult {
+        method: method.to_string(),
+        iterations: cfg.iterations,
+        wall_seconds: wall,
+        sim_seconds: None,
+        accuracy: evaluate_center(proto, center, test),
+        final_loss: losses.iter().sum::<f32>() / losses.len().max(1) as f32,
+        breakdown: None,
+        trace: Vec::new(),
+    }
+}
+
+/// Runs the generic locked-master worker loop. `exchange` is called once
+/// per step with `(center_lock_free_scratch…)`; it owns the
+/// method-specific synchronization.
+fn run_locked<F>(
+    method: &str,
+    proto: &Network,
+    train: &Dataset,
+    test: &Dataset,
+    cfg: &TrainConfig,
+    center: &Mutex<GradCenter>,
+    exchange: F,
+) -> RunResult
+where
+    F: Fn(&Mutex<GradCenter>, &mut Network, &mut [f32], &[f32], &TrainConfig, usize) + Sync,
+{
+    cfg.validate();
+    let shards = train.partition(cfg.workers);
+    let start = Instant::now();
+    let losses: Vec<f32> = std::thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .iter()
+            .enumerate()
+            .map(|(w, shard)| {
+                let exchange = &exchange;
+                s.spawn(move || {
+                    let mut net = proto.clone();
+                    let mut rng = per_worker_rng(cfg, w);
+                    let n = net.num_params();
+                    let mut grad = vec![0.0f32; n];
+                    let mut velocity = vec![0.0f32; n];
+                    let mut last_loss = f32::NAN;
+                    for step in 0..cfg.iterations {
+                        let batch = shard.sample_batch(&mut rng, cfg.batch);
+                        let stats = net.forward_backward(&batch.images, &batch.labels);
+                        last_loss = stats.loss;
+                        grad.copy_from_slice(net.grads().as_slice());
+                        exchange(center, &mut net, &mut velocity, &grad, cfg, step);
+                    }
+                    last_loss
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let center_w = center.lock().w.clone();
+    finish(method, proto, &center_w, test, cfg, wall, losses)
+}
+
+/// Async SGD (§3.1): FCFS parameter server. The worker pushes its
+/// sub-gradient; the master applies `W ← W − η·ΔWᵢ` under the lock and
+/// returns the fresh weights.
+pub fn async_sgd(
+    proto: &Network,
+    train: &Dataset,
+    test: &Dataset,
+    cfg: &TrainConfig,
+) -> RunResult {
+    let center = Mutex::new(GradCenter {
+        w: proto.params().as_slice().to_vec(),
+        v: vec![0.0; proto.num_params()],
+    });
+    run_locked(
+        "Async SGD",
+        proto,
+        train,
+        test,
+        cfg,
+        &center,
+        |center, net, _vel, grad, cfg, _step| {
+            let mut c = center.lock();
+            sgd_update(cfg.eta, &mut c.w, grad);
+            net.set_params(&c.w);
+        },
+    )
+}
+
+/// Async MSGD: Async SGD with the momentum update of Equations (3)–(4)
+/// applied at the master.
+pub fn async_msgd(
+    proto: &Network,
+    train: &Dataset,
+    test: &Dataset,
+    cfg: &TrainConfig,
+) -> RunResult {
+    let center = Mutex::new(GradCenter {
+        w: proto.params().as_slice().to_vec(),
+        v: vec![0.0; proto.num_params()],
+    });
+    run_locked(
+        "Async MSGD",
+        proto,
+        train,
+        test,
+        cfg,
+        &center,
+        |center, net, _vel, grad, cfg, _step| {
+            let mut c = center.lock();
+            let GradCenter { w, v } = &mut *c;
+            momentum_update(cfg.eta, cfg.mu, w, v, grad);
+            net.set_params(w);
+        },
+    )
+}
+
+/// Async EASGD (ours, §5.1): FCFS exchange of *weights*. Under the lock
+/// the master performs the Equation (2) pull toward the worker; the
+/// worker then applies Equation (1) locally against the snapshot it took.
+pub fn async_easgd(
+    proto: &Network,
+    train: &Dataset,
+    test: &Dataset,
+    cfg: &TrainConfig,
+) -> RunResult {
+    let center = Mutex::new(GradCenter {
+        w: proto.params().as_slice().to_vec(),
+        v: Vec::new(),
+    });
+    run_locked(
+        "Async EASGD",
+        proto,
+        train,
+        test,
+        cfg,
+        &center,
+        |center, net, vel, grad, cfg, step| {
+            // Communication period τ: τ−1 local SGD steps between elastic
+            // exchanges (τ = 1 ⇒ exchange every step, the paper's setting).
+            if (step + 1) % cfg.comm_period != 0 {
+                sgd_update(cfg.eta, net.params_mut().as_mut_slice(), grad);
+                return;
+            }
+            // `vel` doubles as the center-snapshot scratch here (unused by
+            // the plain elastic update).
+            let snapshot: &mut [f32] = vel;
+            {
+                let mut c = center.lock();
+                elastic_center_update(cfg.eta, cfg.rho, &mut c.w, net.params().as_slice());
+                snapshot.copy_from_slice(&c.w);
+            }
+            elastic_worker_update(
+                cfg.eta,
+                cfg.rho,
+                net.params_mut().as_mut_slice(),
+                grad,
+                snapshot,
+            );
+        },
+    )
+}
+
+/// Async MEASGD (ours, §5.1): Async EASGD with the worker update replaced
+/// by the momentum-elastic Equations (5)–(6).
+pub fn async_measgd(
+    proto: &Network,
+    train: &Dataset,
+    test: &Dataset,
+    cfg: &TrainConfig,
+) -> RunResult {
+    cfg.validate();
+    let shards = train.partition(cfg.workers);
+    let center = Mutex::new(proto.params().as_slice().to_vec());
+    let start = Instant::now();
+    let losses: Vec<f32> = std::thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .iter()
+            .enumerate()
+            .map(|(w, shard)| {
+                let center = &center;
+                s.spawn(move || {
+                    let mut net = proto.clone();
+                    let mut rng = per_worker_rng(cfg, w);
+                    let n = net.num_params();
+                    let mut grad = vec![0.0f32; n];
+                    let mut velocity = vec![0.0f32; n];
+                    let mut snapshot = vec![0.0f32; n];
+                    let mut last_loss = f32::NAN;
+                    for step in 0..cfg.iterations {
+                        let batch = shard.sample_batch(&mut rng, cfg.batch);
+                        let stats = net.forward_backward(&batch.images, &batch.labels);
+                        last_loss = stats.loss;
+                        grad.copy_from_slice(net.grads().as_slice());
+                        if (step + 1) % cfg.comm_period != 0 {
+                            // Local momentum step between exchanges.
+                            momentum_update(
+                                cfg.eta,
+                                cfg.mu,
+                                net.params_mut().as_mut_slice(),
+                                &mut velocity,
+                                &grad,
+                            );
+                            continue;
+                        }
+                        {
+                            let mut c = center.lock();
+                            elastic_center_update(cfg.eta, cfg.rho, &mut c, net.params().as_slice());
+                            snapshot.copy_from_slice(&c);
+                        }
+                        elastic_momentum_update(
+                            cfg.eta,
+                            cfg.mu,
+                            cfg.rho,
+                            net.params_mut().as_mut_slice(),
+                            &mut velocity,
+                            &grad,
+                            &snapshot,
+                        );
+                    }
+                    last_loss
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let center_w = center.lock().clone();
+    finish("Async MEASGD", proto, &center_w, test, cfg, wall, losses)
+}
+
+/// Original EASGD (§3.3, Algorithm 1): identical elastic exchange to
+/// [`async_easgd`], but the master serves workers in strict *round-robin
+/// rank order* — worker `i+1`'s exchange cannot begin before worker `i`'s
+/// has finished. Gradient computation is pipelined outside the turn
+/// (matching the overlapped Original EASGD row of Table 3); the ordering
+/// constraint is what costs performance.
+pub fn original_easgd_turns(
+    proto: &Network,
+    train: &Dataset,
+    test: &Dataset,
+    cfg: &TrainConfig,
+) -> RunResult {
+    cfg.validate();
+    let shards = train.partition(cfg.workers);
+    let center = Mutex::new(proto.params().as_slice().to_vec());
+    let turn = Mutex::new(0usize);
+    let turn_cv = Condvar::new();
+    let start = Instant::now();
+    let losses: Vec<f32> = std::thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .iter()
+            .enumerate()
+            .map(|(w, shard)| {
+                let center = &center;
+                let turn = &turn;
+                let turn_cv = &turn_cv;
+                s.spawn(move || {
+                    let mut net = proto.clone();
+                    let mut rng = per_worker_rng(cfg, w);
+                    let n = net.num_params();
+                    let mut grad = vec![0.0f32; n];
+                    let mut snapshot = vec![0.0f32; n];
+                    let mut last_loss = f32::NAN;
+                    for _ in 0..cfg.iterations {
+                        let batch = shard.sample_batch(&mut rng, cfg.batch);
+                        let stats = net.forward_backward(&batch.images, &batch.labels);
+                        last_loss = stats.loss;
+                        grad.copy_from_slice(net.grads().as_slice());
+                        // Wait for this worker's slot in the global order.
+                        {
+                            let mut t = turn.lock();
+                            while *t % cfg.workers != w {
+                                turn_cv.wait(&mut t);
+                            }
+                            {
+                                let mut c = center.lock();
+                                elastic_center_update(
+                                    cfg.eta,
+                                    cfg.rho,
+                                    &mut c,
+                                    net.params().as_slice(),
+                                );
+                                snapshot.copy_from_slice(&c);
+                            }
+                            *t += 1;
+                            turn_cv.notify_all();
+                        }
+                        elastic_worker_update(
+                            cfg.eta,
+                            cfg.rho,
+                            net.params_mut().as_mut_slice(),
+                            &grad,
+                            &snapshot,
+                        );
+                    }
+                    last_loss
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let center_w = center.lock().clone();
+    finish("Original EASGD", proto, &center_w, test, cfg, wall, losses)
+}
+
+/// Sync EASGD (ours, §5.1), shared-memory realization: bulk-synchronous
+/// rounds. Each round every worker computes a gradient, the local weights
+/// are tree-reduced (here: a shared accumulator behind a barrier), the
+/// master applies Equation (2) once with the full sum, workers apply
+/// Equation (1). Deterministic given the seed.
+pub fn sync_easgd_shared(
+    proto: &Network,
+    train: &Dataset,
+    test: &Dataset,
+    cfg: &TrainConfig,
+) -> RunResult {
+    cfg.validate();
+    let shards = train.partition(cfg.workers);
+    let n = proto.num_params();
+    let center = RwLock::new(proto.params().as_slice().to_vec());
+    // One weight slot per worker; the master folds them in rank order so
+    // the reduction — like the paper's fixed-shape tree — is
+    // deterministic.
+    let slots: Vec<Mutex<Vec<f32>>> = (0..cfg.workers)
+        .map(|_| Mutex::new(vec![0.0f32; n]))
+        .collect();
+    let barrier = Barrier::new(cfg.workers);
+    let start = Instant::now();
+    let losses: Vec<f32> = std::thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .iter()
+            .enumerate()
+            .map(|(w, shard)| {
+                let center = &center;
+                let slots = &slots;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let mut net = proto.clone();
+                    let mut rng = per_worker_rng(cfg, w);
+                    let mut grad = vec![0.0f32; n];
+                    let mut snapshot = vec![0.0f32; n];
+                    let mut last_loss = f32::NAN;
+                    for _ in 0..cfg.iterations {
+                        // Steps (1)+(2): gradient + read of W̄_t (overlappable).
+                        snapshot.copy_from_slice(&center.read());
+                        let batch = shard.sample_batch(&mut rng, cfg.batch);
+                        let stats = net.forward_backward(&batch.images, &batch.labels);
+                        last_loss = stats.loss;
+                        grad.copy_from_slice(net.grads().as_slice());
+                        // Step (3): publish Wᵢ for the reduction.
+                        slots[w].lock().copy_from_slice(net.params().as_slice());
+                        barrier.wait();
+                        // Step (5): master folds Σ Wᵢ into W̄ once, in order.
+                        if w == 0 {
+                            let mut c = center.write();
+                            let p = cfg.workers as f32;
+                            let scale = cfg.eta * cfg.rho;
+                            let mut sum = vec![0.0f32; n];
+                            for slot in slots.iter() {
+                                easgd_tensor::ops::add_assign(&mut sum, &slot.lock());
+                            }
+                            for (ci, si) in c.iter_mut().zip(sum.iter()) {
+                                *ci += scale * (si - p * *ci);
+                            }
+                        }
+                        // Step (4): worker update with the pre-round W̄_t.
+                        elastic_worker_update(
+                            cfg.eta,
+                            cfg.rho,
+                            net.params_mut().as_mut_slice(),
+                            &grad,
+                            &snapshot,
+                        );
+                        barrier.wait();
+                    }
+                    last_loss
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let center_w = center.read().clone();
+    finish("Sync EASGD", proto, &center_w, test, cfg, wall, losses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easgd_data::SyntheticSpec;
+    use easgd_nn::models::lenet_tiny;
+
+    fn setup() -> (Network, Dataset, Dataset) {
+        let task = SyntheticSpec::mnist_small().task(11);
+        let (train, test) = task.train_test(600, 200, 12);
+        (lenet_tiny(13), train, test)
+    }
+
+    fn quick_cfg(iters: usize) -> TrainConfig {
+        TrainConfig {
+            workers: 4,
+            batch: 16,
+            eta: 0.05,
+            rho: 0.3,
+            mu: 0.9,
+            iterations: iters,
+            seed: 21,
+            comm_period: 1,
+        }
+    }
+
+    #[test]
+    fn async_sgd_learns_above_chance() {
+        let (proto, train, test) = setup();
+        let r = async_sgd(&proto, &train, &test, &quick_cfg(150));
+        assert!(r.accuracy > 0.4, "acc = {}", r.accuracy);
+        assert!(r.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn async_msgd_learns_above_chance() {
+        let (proto, train, test) = setup();
+        // Momentum amplifies the effective rate by ~1/(1−µ); use the
+        // correspondingly smaller η (standard MSGD practice).
+        let mut cfg = quick_cfg(150);
+        cfg.eta = 0.01;
+        let r = async_msgd(&proto, &train, &test, &cfg);
+        assert!(r.accuracy > 0.4, "acc = {}", r.accuracy);
+    }
+
+    #[test]
+    fn async_easgd_learns_above_chance() {
+        let (proto, train, test) = setup();
+        let r = async_easgd(&proto, &train, &test, &quick_cfg(200));
+        assert!(r.accuracy > 0.4, "acc = {}", r.accuracy);
+    }
+
+    #[test]
+    fn async_measgd_learns_above_chance() {
+        let (proto, train, test) = setup();
+        let r = async_measgd(&proto, &train, &test, &quick_cfg(150));
+        assert!(r.accuracy > 0.4, "acc = {}", r.accuracy);
+    }
+
+    #[test]
+    fn original_easgd_learns_above_chance() {
+        let (proto, train, test) = setup();
+        let r = original_easgd_turns(&proto, &train, &test, &quick_cfg(200));
+        assert!(r.accuracy > 0.4, "acc = {}", r.accuracy);
+    }
+
+    #[test]
+    fn sync_easgd_learns_above_chance() {
+        let (proto, train, test) = setup();
+        let r = sync_easgd_shared(&proto, &train, &test, &quick_cfg(200));
+        assert!(r.accuracy > 0.4, "acc = {}", r.accuracy);
+    }
+
+    #[test]
+    fn sync_easgd_is_deterministic() {
+        let (proto, train, test) = setup();
+        let cfg = quick_cfg(30);
+        let a = sync_easgd_shared(&proto, &train, &test, &cfg);
+        let b = sync_easgd_shared(&proto, &train, &test, &cfg);
+        // §8: "Sync EASGD … deterministic and reproducible."
+        assert_eq!(a.accuracy, b.accuracy);
+        assert_eq!(a.final_loss, b.final_loss);
+    }
+
+    #[test]
+    fn methods_report_their_names() {
+        let (proto, train, test) = setup();
+        let cfg = quick_cfg(5);
+        assert_eq!(async_sgd(&proto, &train, &test, &cfg).method, "Async SGD");
+        assert_eq!(
+            original_easgd_turns(&proto, &train, &test, &cfg).method,
+            "Original EASGD"
+        );
+        assert_eq!(
+            sync_easgd_shared(&proto, &train, &test, &cfg).method,
+            "Sync EASGD"
+        );
+    }
+
+    #[test]
+    fn comm_period_trades_exchanges_for_local_steps() {
+        // τ = 4: the elastic methods still learn (local SGD between
+        // exchanges is a valid EASGD configuration), and the center is
+        // still pulled toward the workers.
+        let (proto, train, test) = setup();
+        let cfg = quick_cfg(200).with_comm_period(4);
+        let r = async_easgd(&proto, &train, &test, &cfg);
+        assert!(r.accuracy > 0.4, "tau=4 async easgd acc = {}", r.accuracy);
+        let h = crate::hogwild::hogwild_easgd(&proto, &train, &test, &cfg);
+        assert!(h.accuracy > 0.4, "tau=4 hogwild easgd acc = {}", h.accuracy);
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_serial_sgd() {
+        let (proto, train, test) = setup();
+        let cfg = quick_cfg(100).with_workers(1);
+        let r = async_sgd(&proto, &train, &test, &cfg);
+        assert!(r.accuracy > 0.4, "acc = {}", r.accuracy);
+    }
+}

@@ -1,0 +1,168 @@
+//! Straggler study: why cloud systems go asynchronous and HPC can go
+//! synchronous.
+//!
+//! The paper's introduction argues that existing distributed ML methods
+//! are asynchronous *because of the cloud* — slow networks and high
+//! fault-tolerance requirements — while HPC clusters (fast, reliable
+//! interconnects) make the deterministic synchronous schedule viable and
+//! fastest. This module quantifies that trade-off with a Monte-Carlo
+//! timing model: per worker-step slowdowns occur with some probability
+//! (the “straggler”), a bulk-synchronous round waits for the slowest
+//! worker, an asynchronous worker only suffers its own slowdowns.
+
+use easgd_tensor::Rng;
+
+/// Parameters of one straggler simulation.
+#[derive(Clone, Debug)]
+pub struct StragglerConfig {
+    /// Workers `P`.
+    pub workers: usize,
+    /// Rounds (steps per worker).
+    pub rounds: usize,
+    /// Nominal seconds per worker step.
+    pub base_step_seconds: f64,
+    /// Probability that a given worker-step straggles.
+    pub straggler_prob: f64,
+    /// Slowdown multiplier of a straggling step.
+    pub straggler_factor: f64,
+    /// Per-step communication seconds (same for both schedules).
+    pub comm_seconds: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Outcome of one simulation.
+#[derive(Clone, Debug)]
+pub struct StragglerOutcome {
+    /// Makespan of the bulk-synchronous schedule (each round waits for
+    /// the slowest worker).
+    pub sync_seconds: f64,
+    /// Makespan of the asynchronous schedule (workers independent; the
+    /// last to finish its budget determines the makespan).
+    pub async_seconds: f64,
+    /// Straggler-free ideal makespan.
+    pub ideal_seconds: f64,
+}
+
+impl StragglerOutcome {
+    /// Sync slowdown relative to ideal.
+    pub fn sync_penalty(&self) -> f64 {
+        self.sync_seconds / self.ideal_seconds
+    }
+
+    /// Async slowdown relative to ideal.
+    pub fn async_penalty(&self) -> f64 {
+        self.async_seconds / self.ideal_seconds
+    }
+}
+
+/// Runs the Monte-Carlo straggler simulation.
+///
+/// # Panics
+/// Panics on a degenerate configuration.
+pub fn straggler_study(cfg: &StragglerConfig) -> StragglerOutcome {
+    assert!(cfg.workers > 0 && cfg.rounds > 0, "degenerate config");
+    assert!((0.0..=1.0).contains(&cfg.straggler_prob), "bad probability");
+    assert!(cfg.straggler_factor >= 1.0, "factor must be >= 1");
+    let mut rng = Rng::new(cfg.seed);
+    let mut sync_total = 0.0f64;
+    let mut per_worker_async = vec![0.0f64; cfg.workers];
+    for _ in 0..cfg.rounds {
+        let mut round_max = 0.0f64;
+        for (w, acc) in per_worker_async.iter_mut().enumerate() {
+            let slow = (rng.uniform() as f64) < cfg.straggler_prob;
+            let t = cfg.base_step_seconds
+                * if slow { cfg.straggler_factor } else { 1.0 };
+            *acc += t + cfg.comm_seconds;
+            round_max = round_max.max(t);
+            let _ = w;
+        }
+        sync_total += round_max + cfg.comm_seconds;
+    }
+    let async_seconds = per_worker_async
+        .iter()
+        .cloned()
+        .fold(0.0f64, f64::max);
+    StragglerOutcome {
+        sync_seconds: sync_total,
+        async_seconds,
+        ideal_seconds: cfg.rounds as f64 * (cfg.base_step_seconds + cfg.comm_seconds),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_cfg() -> StragglerConfig {
+        StragglerConfig {
+            workers: 16,
+            rounds: 2_000,
+            base_step_seconds: 0.01,
+            straggler_prob: 0.05,
+            straggler_factor: 10.0,
+            comm_seconds: 0.001,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn no_stragglers_means_no_penalty() {
+        let cfg = StragglerConfig {
+            straggler_prob: 0.0,
+            ..base_cfg()
+        };
+        let out = straggler_study(&cfg);
+        assert!((out.sync_penalty() - 1.0).abs() < 1e-9);
+        assert!((out.async_penalty() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sync_pays_more_than_async_under_stragglers() {
+        // The cloud argument: with 5% 10× stragglers over 16 workers,
+        // most sync rounds contain at least one straggler (1−0.95¹⁶ ≈
+        // 56%) while each async worker straggles on only 5% of its steps.
+        let out = straggler_study(&base_cfg());
+        assert!(
+            out.sync_penalty() > out.async_penalty() + 0.5,
+            "sync {:.2} vs async {:.2}",
+            out.sync_penalty(),
+            out.async_penalty()
+        );
+    }
+
+    #[test]
+    fn sync_penalty_grows_with_worker_count() {
+        let p4 = straggler_study(&StragglerConfig {
+            workers: 4,
+            ..base_cfg()
+        })
+        .sync_penalty();
+        let p64 = straggler_study(&StragglerConfig {
+            workers: 64,
+            ..base_cfg()
+        })
+        .sync_penalty();
+        assert!(p64 > p4, "P=64 penalty {p64} !> P=4 penalty {p4}");
+    }
+
+    #[test]
+    fn reliable_hpc_regime_keeps_sync_cheap() {
+        // Near-zero straggler probability (the paper's HPC premise):
+        // sync penalty stays within a few percent, so the deterministic
+        // schedule costs almost nothing.
+        let out = straggler_study(&StragglerConfig {
+            straggler_prob: 0.001,
+            ..base_cfg()
+        });
+        assert!(out.sync_penalty() < 1.15, "{}", out.sync_penalty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = straggler_study(&base_cfg());
+        let b = straggler_study(&base_cfg());
+        assert_eq!(a.sync_seconds, b.sync_seconds);
+        assert_eq!(a.async_seconds, b.async_seconds);
+    }
+}

@@ -1,0 +1,456 @@
+//! The synchronous family on the simulated cluster: Sync EASGD1/2/3
+//! (Algorithms 2–4, §6.1) and Sync SGD (the allreduce baseline used by
+//! Figure 10 and the weak-scaling comparisons).
+//!
+//! The three-step optimization story of §6.1, charged explicitly:
+//!
+//! 1. **Sync EASGD1** — replace the round-robin exchange with a tree
+//!    broadcast + tree reduction rooted at the *CPU*; packed (§5.2)
+//!    pinned transfers. `P(α+|W|β) → log P(α+|W|β)`.
+//! 2. **Sync EASGD2** — move the center weight to GPU1: parameter
+//!    traffic becomes GPU↔GPU peer transfers; the CPU only ships batch
+//!    data.
+//! 3. **Sync EASGD3** — overlap the broadcast with the data-copy +
+//!    forward/backward critical path (steps 7–10 vs 11–12 of
+//!    Algorithm 3); only the non-hidden residual is charged.
+
+use crate::config::TrainConfig;
+use crate::metrics::{RunResult, TracePoint};
+use crate::original::{decode_batch, encode_batch};
+use crate::shared::evaluate_center;
+use crate::simcost::SimCosts;
+use easgd_cluster::{ClusterConfig, Comm, RankReport, TimeCategory, VirtualCluster};
+use easgd_data::Dataset;
+use easgd_hardware::net::AlphaBeta;
+use easgd_nn::{CommSchedule, LayoutKind, Network};
+use easgd_tensor::ops::elastic_worker_update;
+use easgd_tensor::{Rng, Tensor};
+use std::time::Instant;
+
+const TAG_DATA: u32 = 10;
+
+/// Which Sync EASGD implementation stage to run (§6.1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SyncVariant {
+    /// Tree collectives rooted at the CPU (Algorithm 2).
+    Easgd1,
+    /// Center weight on GPU1 (Algorithm 3).
+    Easgd2,
+    /// EASGD2 + communication/computation overlap ("Communication
+    /// Efficient EASGD", Algorithm 4's schedule).
+    Easgd3,
+}
+
+impl SyncVariant {
+    fn label(&self) -> &'static str {
+        match self {
+            SyncVariant::Easgd1 => "Sync EASGD1",
+            SyncVariant::Easgd2 => "Sync EASGD2",
+            SyncVariant::Easgd3 => "Sync EASGD3",
+        }
+    }
+}
+
+enum RankOut {
+    Center {
+        center: Vec<f32>,
+        report: RankReport,
+        trace: Vec<TracePoint>,
+    },
+    Other {
+        report: RankReport,
+        last_loss: f32,
+    },
+}
+
+/// Runs Sync EASGD (variant per `variant`) on a simulated
+/// `cfg.workers`-GPU node. `cfg.iterations` bulk-synchronous rounds; in
+/// each round every GPU computes one batch gradient. When
+/// `trace_every > 0`, test accuracy is recorded on the simulated
+/// timeline every that many rounds (evaluation itself is off-clock).
+pub fn sync_easgd_sim(
+    proto: &Network,
+    train: &Dataset,
+    test: &Dataset,
+    cfg: &TrainConfig,
+    costs: &SimCosts,
+    variant: SyncVariant,
+    trace_every: usize,
+) -> RunResult {
+    cfg.validate();
+    let g = cfg.workers;
+    let cluster = ClusterConfig::new(g + 1);
+    let center_rank = match variant {
+        SyncVariant::Easgd1 => 0,
+        _ => 1,
+    };
+    // Collective pricing per variant (see module docs).
+    let (coll_cost, coll_cat) = match variant {
+        SyncVariant::Easgd1 => (
+            costs.tree_collective_time(&costs.cpu_gpu_packed, g + 1),
+            TimeCategory::CpuGpuParam,
+        ),
+        _ => (
+            costs.tree_collective_time(&costs.gpu_gpu, g),
+            TimeCategory::GpuGpuParam,
+        ),
+    };
+    // EASGD3 hides the broadcast under the data + forward/backward path.
+    let bcast_cost = match variant {
+        SyncVariant::Easgd3 => (coll_cost - costs.fwd_bwd - costs.data_time()).max(0.0),
+        _ => coll_cost,
+    };
+    let reduce_cost = coll_cost;
+    let wall_start = Instant::now();
+
+    let outs = VirtualCluster::run(&cluster, |comm: &mut Comm| {
+        let me = comm.rank();
+        let mut rng = Rng::new(cfg.seed.wrapping_add(me as u64));
+        let mut center = proto.params().as_slice().to_vec();
+        let n = center.len();
+        let mut net = (me != 0).then(|| proto.clone());
+        let mut grad = vec![0.0f32; n];
+        let mut last_loss = f32::NAN;
+        let mut trace = Vec::new();
+        for round in 0..cfg.iterations {
+            // --- data path: CPU ships one batch per GPU; the copies are
+            // issued asynchronously and overlap, so one is charged.
+            if me == 0 {
+                for j in 1..=g {
+                    let batch = train.sample_batch(&mut rng, cfg.batch);
+                    let payload = encode_batch(batch.images.as_slice(), &batch.labels);
+                    let cost = if j == 1 { costs.data_time() } else { 0.0 };
+                    comm.send_costed(j, TAG_DATA, &payload, cost, TimeCategory::CpuGpuData);
+                }
+                // The CPU waits out the GPUs' compute phase (Table 3
+                // attributes that window to for/backward).
+                comm.charge(TimeCategory::ForwardBackward, costs.fwd_bwd);
+            } else {
+                let net = net.as_mut().unwrap();
+                let payload = comm.recv(0, TAG_DATA, TimeCategory::Other);
+                let (labels, pixels) = decode_batch(&payload, cfg.batch);
+                let mut shape = vec![cfg.batch];
+                shape.extend_from_slice(net.input_shape());
+                let x = Tensor::from_vec(shape, pixels.to_vec());
+                let stats = net.forward_backward(&x, &labels);
+                last_loss = stats.loss;
+                comm.charge(TimeCategory::ForwardBackward, costs.fwd_bwd);
+                grad.copy_from_slice(net.grads().as_slice());
+            }
+            // --- step (2): broadcast W̄_t from the center holder.
+            let cat = if me == 0 && center_rank != 0 {
+                TimeCategory::Other
+            } else {
+                coll_cat
+            };
+            let center_t = comm.broadcast_costed(center_rank, &center, bcast_cost, cat);
+            // --- step (3): reduce Σ W_i (CPU contributes zeros).
+            let contribution = match &net {
+                Some(net) => net.params().as_slice().to_vec(),
+                None => vec![0.0f32; n],
+            };
+            let weight_sum = comm.reduce_sum_costed(&contribution, reduce_cost, cat);
+            // --- step (5): center update, Equation (2) with the full sum.
+            if me == center_rank {
+                let scale = cfg.eta * cfg.rho;
+                let p = g as f32;
+                for i in 0..n {
+                    center[i] += scale * (weight_sum[i] - p * center[i]);
+                }
+                let (update_cat, update_cost) = match variant {
+                    SyncVariant::Easgd1 => (TimeCategory::CpuUpdate, costs.cpu_update),
+                    _ => (TimeCategory::GpuUpdate, costs.gpu_update),
+                };
+                comm.charge(update_cat, update_cost);
+            } else {
+                // Keep non-center replicas of W̄ in sync for the next
+                // broadcast (only the center holder's copy is ever used,
+                // but the state must not diverge).
+                center.copy_from_slice(&center_t);
+                let scale = cfg.eta * cfg.rho;
+                let p = g as f32;
+                for i in 0..n {
+                    center[i] += scale * (weight_sum[i] - p * center[i]);
+                }
+            }
+            // --- step (4): worker update, Equation (1) against W̄_t.
+            if let Some(net) = net.as_mut() {
+                elastic_worker_update(
+                    cfg.eta,
+                    cfg.rho,
+                    net.params_mut().as_mut_slice(),
+                    &grad,
+                    &center_t,
+                );
+                comm.charge(TimeCategory::GpuUpdate, costs.gpu_update);
+            }
+            if me == center_rank && trace_every > 0 && (round + 1) % trace_every == 0 {
+                trace.push(TracePoint {
+                    iteration: round + 1,
+                    seconds: comm.now(),
+                    accuracy: evaluate_center(proto, &center, test),
+                });
+            }
+        }
+        if me == center_rank {
+            RankOut::Center {
+                center,
+                report: comm.report(),
+                trace,
+            }
+        } else {
+            RankOut::Other {
+                report: comm.report(),
+                last_loss,
+            }
+        }
+    });
+
+    assemble(variant.label(), proto, test, cfg, outs, wall_start.elapsed().as_secs_f64())
+}
+
+fn assemble(
+    method: &str,
+    proto: &Network,
+    test: &Dataset,
+    cfg: &TrainConfig,
+    outs: Vec<RankOut>,
+    wall: f64,
+) -> RunResult {
+    let mut center = Vec::new();
+    let mut breakdown = None;
+    let mut sim = 0.0f64;
+    let mut losses = Vec::new();
+    let mut trace = Vec::new();
+    for o in outs {
+        match o {
+            RankOut::Center {
+                center: c,
+                report,
+                trace: tr,
+            } => {
+                center = c;
+                sim = sim.max(report.time);
+                breakdown = Some(report.breakdown);
+                trace = tr;
+            }
+            RankOut::Other { report, last_loss } => {
+                sim = sim.max(report.time);
+                if last_loss.is_finite() {
+                    losses.push(last_loss);
+                }
+            }
+        }
+    }
+    RunResult {
+        method: method.to_string(),
+        iterations: cfg.iterations,
+        wall_seconds: wall,
+        sim_seconds: Some(sim),
+        accuracy: evaluate_center(proto, &center, test),
+        final_loss: losses.iter().sum::<f32>() / losses.len().max(1) as f32,
+        breakdown,
+        trace,
+    }
+}
+
+/// Sync SGD: plain data-parallel SGD with a summed-gradient exchange —
+/// the Figure 10 workhorse and the "well-tuned framework" stand-in for
+/// the Intel Caffe baseline. Runs directly on cluster ranks (each worker
+/// owns a shard), with the gradient allreduce priced as
+/// `2·⌈log₂P⌉` tree hops over the given `link`, under either parameter
+/// layout of §5.2.
+///
+/// `shards.len()` must equal `cfg.workers`. With `trace_every > 0` the
+/// rank-0 worker records test accuracy on the simulated timeline.
+#[allow(clippy::too_many_arguments)]
+pub fn sync_sgd_sim(
+    proto: &Network,
+    shards: &[Dataset],
+    test: &Dataset,
+    cfg: &TrainConfig,
+    link: &AlphaBeta,
+    layout: LayoutKind,
+    fwd_bwd_cost: f64,
+    trace_every: usize,
+) -> RunResult {
+    cfg.validate();
+    assert_eq!(shards.len(), cfg.workers, "one shard per worker required");
+    let g = cfg.workers;
+    let cluster = ClusterConfig::new(g);
+    let schedule = CommSchedule::from_network(proto, layout);
+    // Tree reduce + tree broadcast of the whole schedule per round.
+    let hops = 2.0 * easgd_hardware::collective::ceil_log2(g) as f64;
+    let allreduce_cost = hops * schedule.time_alpha_beta(link.alpha_s, link.beta_s_per_byte);
+    let update_cost = 3.0 * proto.size_bytes() as f64 / 200.0e9;
+    let wall_start = Instant::now();
+
+    let outs = VirtualCluster::run(&cluster, |comm: &mut Comm| {
+        let me = comm.rank();
+        let shard = &shards[me];
+        let mut rng = Rng::new(cfg.seed.wrapping_add(1 + me as u64));
+        let mut net = proto.clone();
+        let scale = cfg.eta / g as f32;
+        let mut last_loss = f32::NAN;
+        let mut trace = Vec::new();
+        for round in 0..cfg.iterations {
+            let batch = shard.sample_batch(&mut rng, cfg.batch);
+            let stats = net.forward_backward(&batch.images, &batch.labels);
+            last_loss = stats.loss;
+            comm.charge(TimeCategory::ForwardBackward, fwd_bwd_cost);
+            let grad_sum =
+                comm.reduce_sum_costed(net.grads().as_slice(), allreduce_cost, TimeCategory::GpuGpuParam);
+            easgd_tensor::ops::axpy(-scale, &grad_sum, net.params_mut().as_mut_slice());
+            comm.charge(TimeCategory::GpuUpdate, update_cost);
+            if me == 0 && trace_every > 0 && (round + 1) % trace_every == 0 {
+                trace.push(TracePoint {
+                    iteration: round + 1,
+                    seconds: comm.now(),
+                    accuracy: evaluate_center(proto, net.params().as_slice(), test),
+                });
+            }
+        }
+        if me == 0 {
+            RankOut::Center {
+                center: net.params().as_slice().to_vec(),
+                report: comm.report(),
+                trace,
+            }
+        } else {
+            RankOut::Other {
+                report: comm.report(),
+                last_loss,
+            }
+        }
+    });
+
+    let label = match layout {
+        LayoutKind::Packed => "Sync SGD (packed)",
+        LayoutKind::PerLayer => "Sync SGD (per-layer)",
+    };
+    assemble(label, proto, test, cfg, outs, wall_start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easgd_data::SyntheticSpec;
+    use easgd_nn::models::lenet_tiny;
+
+    fn setup() -> (Network, Dataset, Dataset) {
+        let task = SyntheticSpec::mnist_small().task(71);
+        let (train, test) = task.train_test(600, 200, 72);
+        (lenet_tiny(73), train, test)
+    }
+
+    fn cfg(iters: usize) -> TrainConfig {
+        TrainConfig {
+            workers: 4,
+            batch: 16,
+            eta: 0.05,
+            rho: 0.3,
+            mu: 0.9,
+            iterations: iters,
+            seed: 81,
+            comm_period: 1,
+        }
+    }
+
+    #[test]
+    fn easgd1_learns_and_breaks_down_time() {
+        let (proto, train, test) = setup();
+        let costs = SimCosts::mnist_lenet_4gpu();
+        let r = sync_easgd_sim(&proto, &train, &test, &cfg(60), &costs, SyncVariant::Easgd1, 0);
+        assert!(r.accuracy > 0.4, "acc = {}", r.accuracy);
+        let b = r.breakdown.unwrap();
+        assert!(b.get(TimeCategory::CpuGpuParam) > 0.0);
+        assert!(b.get(TimeCategory::CpuUpdate) > 0.0);
+        assert_eq!(b.get(TimeCategory::GpuGpuParam), 0.0);
+    }
+
+    #[test]
+    fn easgd2_moves_traffic_to_gpu_links() {
+        let (proto, train, test) = setup();
+        let costs = SimCosts::mnist_lenet_4gpu();
+        let r = sync_easgd_sim(&proto, &train, &test, &cfg(20), &costs, SyncVariant::Easgd2, 0);
+        let b = r.breakdown.unwrap();
+        assert_eq!(b.get(TimeCategory::CpuGpuParam), 0.0);
+        assert!(b.get(TimeCategory::GpuGpuParam) > 0.0);
+        assert_eq!(b.get(TimeCategory::CpuUpdate), 0.0);
+    }
+
+    #[test]
+    fn optimization_chain_strictly_improves() {
+        // §6.1: EASGD1 → EASGD2 → EASGD3 each step is faster.
+        let (proto, train, test) = setup();
+        let costs = SimCosts::mnist_lenet_4gpu();
+        let c = cfg(20);
+        let t1 = sync_easgd_sim(&proto, &train, &test, &c, &costs, SyncVariant::Easgd1, 0)
+            .sim_seconds
+            .unwrap();
+        let t2 = sync_easgd_sim(&proto, &train, &test, &c, &costs, SyncVariant::Easgd2, 0)
+            .sim_seconds
+            .unwrap();
+        let t3 = sync_easgd_sim(&proto, &train, &test, &c, &costs, SyncVariant::Easgd3, 0)
+            .sim_seconds
+            .unwrap();
+        assert!(t1 > t2, "EASGD1 {t1} !> EASGD2 {t2}");
+        assert!(t2 > t3, "EASGD2 {t2} !> EASGD3 {t3}");
+    }
+
+    #[test]
+    fn easgd3_comm_ratio_is_low() {
+        let (proto, train, test) = setup();
+        let costs = SimCosts::mnist_lenet_4gpu();
+        let r = sync_easgd_sim(&proto, &train, &test, &cfg(20), &costs, SyncVariant::Easgd3, 0);
+        let ratio = r.breakdown.unwrap().comm_ratio();
+        // Paper: 14%. Anything clearly compute-bound passes.
+        assert!(ratio < 0.3, "comm ratio = {ratio}");
+    }
+
+    #[test]
+    fn trace_records_on_simulated_timeline() {
+        let (proto, train, test) = setup();
+        let costs = SimCosts::mnist_lenet_4gpu();
+        let r = sync_easgd_sim(&proto, &train, &test, &cfg(30), &costs, SyncVariant::Easgd3, 10);
+        assert_eq!(r.trace.len(), 3);
+        assert!(r.trace[0].seconds < r.trace[2].seconds);
+        assert_eq!(r.trace[2].iteration, 30);
+    }
+
+    #[test]
+    fn sync_sgd_packed_beats_per_layer_in_time_same_accuracy_per_iteration() {
+        // Figure 10: identical heights (same updates), different time axis.
+        let (proto, train, test) = setup();
+        let c = cfg(40);
+        let shards = train.partition(c.workers);
+        let link = AlphaBeta::qdr_infiniband();
+        let packed = sync_sgd_sim(&proto, &shards, &test, &c, &link, LayoutKind::Packed, 1e-3, 0);
+        let unpacked =
+            sync_sgd_sim(&proto, &shards, &test, &c, &link, LayoutKind::PerLayer, 1e-3, 0);
+        // Same gradients, same final weights → identical accuracy.
+        assert_eq!(packed.accuracy, unpacked.accuracy);
+        assert!(packed.sim_seconds.unwrap() < unpacked.sim_seconds.unwrap());
+    }
+
+    #[test]
+    fn sync_sgd_learns() {
+        let (proto, train, test) = setup();
+        let c = cfg(80);
+        let shards = train.partition(c.workers);
+        let link = AlphaBeta::fdr_infiniband();
+        let r = sync_sgd_sim(&proto, &shards, &test, &c, &link, LayoutKind::Packed, 1e-3, 0);
+        assert!(r.accuracy > 0.4, "acc = {}", r.accuracy);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (proto, train, test) = setup();
+        let costs = SimCosts::mnist_lenet_4gpu();
+        let c = cfg(15);
+        let a = sync_easgd_sim(&proto, &train, &test, &c, &costs, SyncVariant::Easgd3, 0);
+        let b = sync_easgd_sim(&proto, &train, &test, &c, &costs, SyncVariant::Easgd3, 0);
+        assert_eq!(a.accuracy, b.accuracy);
+        assert_eq!(a.sim_seconds, b.sim_seconds);
+    }
+}

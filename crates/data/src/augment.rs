@@ -1,0 +1,214 @@
+//! Training-time data augmentation: random horizontal flips and random
+//! crops with zero padding — the standard CIFAR pipeline of the paper's
+//! Caffe era. Augmentation multiplies the effective dataset size, which
+//! interacts directly with the Figure 13 "more data" axis.
+
+use crate::dataset::{Batch, Dataset};
+use easgd_tensor::{Rng, Tensor};
+
+/// Augmentation policy applied per sampled image.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Augment {
+    /// Probability of a horizontal flip.
+    pub flip_prob: f32,
+    /// Zero padding added on each side before a random crop back to the
+    /// original size (0 disables cropping).
+    pub crop_pad: usize,
+}
+
+impl Augment {
+    /// The classic CIFAR policy: 50 % flips, 4-pixel pad-and-crop.
+    pub fn cifar() -> Self {
+        Self {
+            flip_prob: 0.5,
+            crop_pad: 4,
+        }
+    }
+
+    /// Flips only (digits don't survive mirroring, so MNIST pipelines
+    /// usually crop without flipping; this is the generic knob).
+    pub fn flips_only() -> Self {
+        Self {
+            flip_prob: 0.5,
+            crop_pad: 0,
+        }
+    }
+
+    /// No-op policy.
+    pub fn none() -> Self {
+        Self {
+            flip_prob: 0.0,
+            crop_pad: 0,
+        }
+    }
+
+    /// Applies the policy to one CHW image in place (via a scratch
+    /// buffer when cropping).
+    pub fn apply(&self, rng: &mut Rng, channels: usize, h: usize, w: usize, image: &mut [f32]) {
+        assert_eq!(image.len(), channels * h * w, "augment shape mismatch");
+        if self.flip_prob > 0.0 && rng.uniform() < self.flip_prob {
+            for c in 0..channels {
+                let plane = &mut image[c * h * w..(c + 1) * h * w];
+                for row in plane.chunks_mut(w) {
+                    row.reverse();
+                }
+            }
+        }
+        if self.crop_pad > 0 {
+            let pad = self.crop_pad as isize;
+            // Offsets in [-pad, +pad]: where the crop window sits on the
+            // zero-padded canvas.
+            let dy = rng.below(2 * self.crop_pad + 1) as isize - pad;
+            let dx = rng.below(2 * self.crop_pad + 1) as isize - pad;
+            if dy != 0 || dx != 0 {
+                let mut out = vec![0.0f32; image.len()];
+                for c in 0..channels {
+                    for y in 0..h as isize {
+                        let sy = y + dy;
+                        if sy < 0 || sy >= h as isize {
+                            continue;
+                        }
+                        for x in 0..w as isize {
+                            let sx = x + dx;
+                            if sx < 0 || sx >= w as isize {
+                                continue;
+                            }
+                            out[c * h * w + (y as usize) * w + x as usize] =
+                                image[c * h * w + (sy as usize) * w + sx as usize];
+                        }
+                    }
+                }
+                image.copy_from_slice(&out);
+            }
+        }
+    }
+}
+
+/// Samples an augmented batch: like
+/// [`Dataset::sample_batch`](crate::dataset::Dataset::sample_batch) with
+/// the policy applied to every drawn image.
+///
+/// # Panics
+/// Panics if the dataset's samples are not `[C, H, W]`-shaped.
+pub fn sample_batch_augmented(
+    dataset: &Dataset,
+    rng: &mut Rng,
+    batch: usize,
+    policy: &Augment,
+) -> Batch {
+    assert_eq!(
+        dataset.shape.len(),
+        3,
+        "augmentation needs [C,H,W] samples, got {:?}",
+        dataset.shape
+    );
+    let (c, h, w) = (dataset.shape[0], dataset.shape[1], dataset.shape[2]);
+    let mut b = dataset.sample_batch(rng, batch);
+    let per = c * h * w;
+    let images = b.images.as_mut_slice();
+    for s in 0..batch {
+        policy.apply(rng, c, h, w, &mut images[s * per..(s + 1) * per]);
+    }
+    Batch {
+        images: Tensor::from_vec(b.images.shape().clone(), b.images.as_slice().to_vec()),
+        labels: b.labels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticSpec;
+
+    #[test]
+    fn none_policy_is_identity() {
+        let mut rng = Rng::new(1);
+        let mut img: Vec<f32> = (0..2 * 3 * 3).map(|i| i as f32).collect();
+        let orig = img.clone();
+        Augment::none().apply(&mut rng, 2, 3, 3, &mut img);
+        assert_eq!(img, orig);
+    }
+
+    #[test]
+    fn flip_reverses_rows() {
+        let mut rng = Rng::new(1);
+        let policy = Augment {
+            flip_prob: 1.0,
+            crop_pad: 0,
+        };
+        let mut img = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        policy.apply(&mut rng, 1, 2, 3, &mut img);
+        assert_eq!(img, vec![3.0, 2.0, 1.0, 6.0, 5.0, 4.0]);
+    }
+
+    #[test]
+    fn double_flip_restores() {
+        let mut rng = Rng::new(2);
+        let policy = Augment {
+            flip_prob: 1.0,
+            crop_pad: 0,
+        };
+        let mut img: Vec<f32> = (0..3 * 4 * 4).map(|i| (i % 7) as f32).collect();
+        let orig = img.clone();
+        policy.apply(&mut rng, 3, 4, 4, &mut img);
+        policy.apply(&mut rng, 3, 4, 4, &mut img);
+        assert_eq!(img, orig);
+    }
+
+    #[test]
+    fn crop_shifts_and_zero_pads() {
+        // With pad 1, repeatedly cropping a constant image sometimes
+        // introduces zero borders; content never grows.
+        let mut rng = Rng::new(3);
+        let policy = Augment {
+            flip_prob: 0.0,
+            crop_pad: 1,
+        };
+        let mut saw_zero = false;
+        for _ in 0..32 {
+            let mut img = vec![1.0f32; 5 * 5];
+            policy.apply(&mut rng, 1, 5, 5, &mut img);
+            assert!(img.iter().all(|&v| v == 0.0 || v == 1.0));
+            if img.iter().any(|&v| v == 0.0) {
+                saw_zero = true;
+            }
+        }
+        assert!(saw_zero, "pad-and-crop never shifted in 32 draws");
+    }
+
+    #[test]
+    fn augmented_batches_preserve_labels_and_shape() {
+        let task = SyntheticSpec::cifar_small().task(4);
+        let d = task.generate(50, 5);
+        let mut rng = Rng::new(6);
+        let b = sample_batch_augmented(&d, &mut rng, 8, &Augment::cifar());
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.images.shape().dims(), &[8, 3, 16, 16]);
+        assert!(b.labels.iter().all(|&l| l < 10));
+        assert!(b.images.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn augmentation_changes_most_images() {
+        let task = SyntheticSpec::cifar_small().task(7);
+        let d = task.generate(20, 8);
+        let mut rng_a = Rng::new(9);
+        let plain = d.sample_batch(&mut Rng::new(9), 16);
+        let aug = sample_batch_augmented(&d, &mut rng_a, 16, &Augment::cifar());
+        // Same draws (same rng seed consumed identically up to the first
+        // augmentation call) is not guaranteed, so just check aggregate:
+        // augmented pixels differ from any verbatim dataset image for most
+        // samples.
+        let per = d.sample_len();
+        let mut changed = 0;
+        for s in 0..16 {
+            let img = &aug.images.as_slice()[s * per..(s + 1) * per];
+            let verbatim = (0..d.len()).any(|i| d.image(i) == img);
+            if !verbatim {
+                changed += 1;
+            }
+        }
+        let _ = plain;
+        assert!(changed >= 8, "only {changed}/16 augmented images changed");
+    }
+}

@@ -1,0 +1,84 @@
+//! Table 1 of the paper: the dataset card.
+
+use std::fmt;
+
+/// Descriptive card for one benchmark dataset (one row of Table 1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DatasetCard {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Training images.
+    pub training_images: usize,
+    /// Test images.
+    pub test_images: usize,
+    /// Pixel description, e.g. `"28x28"`.
+    pub pixels: &'static str,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl DatasetCard {
+    /// Random-guess accuracy (`1 / classes`), quoted in §4.1.
+    pub fn random_guess_accuracy(&self) -> f64 {
+        1.0 / self.classes as f64
+    }
+}
+
+impl fmt::Display for DatasetCard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<10} {:>12} {:>12} {:>10} {:>8}",
+            self.name, self.training_images, self.test_images, self.pixels, self.classes
+        )
+    }
+}
+
+/// The three rows of Table 1.
+pub fn standard_cards() -> Vec<DatasetCard> {
+    vec![
+        DatasetCard {
+            name: "Mnist",
+            training_images: 60_000,
+            test_images: 10_000,
+            pixels: "28x28",
+            classes: 10,
+        },
+        DatasetCard {
+            name: "Cifar",
+            training_images: 50_000,
+            test_images: 10_000,
+            pixels: "3x32x32",
+            classes: 10,
+        },
+        DatasetCard {
+            name: "ImageNet",
+            training_images: 1_200_000,
+            test_images: 150_000,
+            pixels: "256x256",
+            classes: 1000,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_rows_match_paper() {
+        let cards = standard_cards();
+        assert_eq!(cards.len(), 3);
+        assert_eq!(cards[0].training_images, 60_000);
+        assert_eq!(cards[1].training_images, 50_000);
+        assert_eq!(cards[2].training_images, 1_200_000);
+        assert_eq!(cards[2].classes, 1000);
+    }
+
+    #[test]
+    fn random_guess_accuracies_match_section_4_1() {
+        let cards = standard_cards();
+        assert!((cards[0].random_guess_accuracy() - 0.1).abs() < 1e-12);
+        assert!((cards[2].random_guess_accuracy() - 0.001).abs() < 1e-12);
+    }
+}

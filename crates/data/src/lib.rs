@@ -1,0 +1,34 @@
+//! # easgd-data
+//!
+//! Datasets for the `knl-easgd` reproduction of *“Scaling Deep Learning on
+//! GPU and Knights Landing clusters”* (SC '17).
+//!
+//! The paper's benchmarks are MNIST, CIFAR-10 and ImageNet (Table 1). This
+//! environment is offline, so the crate provides two paths:
+//!
+//! * [`loaders`] — readers for the *real* on-disk formats (MNIST idx,
+//!   CIFAR-10 binary), unit-tested against generated fixtures, so the real
+//!   datasets drop in unchanged when available.
+//! * [`synthetic`] — deterministic generators producing class-conditional
+//!   image distributions with the same shapes as the real datasets
+//!   (Table 1 card in [`card`]). Each class has a smooth random prototype;
+//!   samples are noisy, randomly shifted draws around it. These are real
+//!   supervised problems (non-trivial Bayes error, learnable by the same
+//!   CNNs), so optimizer comparisons transfer.
+//!
+//! [`dataset::Dataset`] is the common container: normalized images, labels,
+//! random batch sampling — everything Algorithm 1 needs (line 1 is the
+//! normalization, line 8 the random batch pick).
+
+pub mod augment;
+pub mod card;
+pub mod dataset;
+pub mod loaders;
+pub mod stats;
+pub mod synthetic;
+
+pub use augment::{sample_batch_augmented, Augment};
+pub use card::{standard_cards, DatasetCard};
+pub use dataset::{Batch, Dataset};
+pub use stats::{channel_stats, class_histogram, stratified_split, ChannelStats};
+pub use synthetic::{SyntheticSpec, SyntheticTask, TaskKind};

@@ -1,0 +1,150 @@
+//! Dataset statistics and splits: per-channel moments (the per-channel
+//! normalization real pipelines use) and class-stratified splitting.
+
+use crate::dataset::Dataset;
+
+/// Per-channel mean and standard deviation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChannelStats {
+    /// Mean per channel.
+    pub mean: Vec<f32>,
+    /// Standard deviation per channel.
+    pub std: Vec<f32>,
+}
+
+/// Computes per-channel statistics of a `[C, H, W]`-shaped dataset.
+///
+/// # Panics
+/// Panics if samples are not rank-3 or the dataset is empty.
+pub fn channel_stats(d: &Dataset) -> ChannelStats {
+    assert_eq!(d.shape.len(), 3, "channel stats need [C,H,W] samples");
+    assert!(!d.is_empty(), "empty dataset");
+    let (c, h, w) = (d.shape[0], d.shape[1], d.shape[2]);
+    let plane = h * w;
+    let count = (d.len() * plane) as f64;
+    let mut sum = vec![0.0f64; c];
+    let mut sumsq = vec![0.0f64; c];
+    for i in 0..d.len() {
+        let img = d.image(i);
+        for ch in 0..c {
+            for &v in &img[ch * plane..(ch + 1) * plane] {
+                sum[ch] += v as f64;
+                sumsq[ch] += v as f64 * v as f64;
+            }
+        }
+    }
+    let mean: Vec<f32> = sum.iter().map(|&s| (s / count) as f32).collect();
+    let std: Vec<f32> = sumsq
+        .iter()
+        .zip(&mean)
+        .map(|(&sq, &m)| (((sq / count) as f32 - m * m).max(0.0)).sqrt())
+        .collect();
+    ChannelStats { mean, std }
+}
+
+/// Class histogram: samples per class.
+pub fn class_histogram(d: &Dataset) -> Vec<usize> {
+    let mut counts = vec![0usize; d.classes];
+    for &l in d.labels() {
+        counts[l] += 1;
+    }
+    counts
+}
+
+/// Splits a dataset into (head, tail) with the head containing
+/// approximately `fraction` of *every class* (stratified). Sample order
+/// within a class is preserved.
+///
+/// # Panics
+/// Panics unless `0 < fraction < 1`.
+pub fn stratified_split(d: &Dataset, fraction: f64) -> (Dataset, Dataset) {
+    assert!(
+        fraction > 0.0 && fraction < 1.0,
+        "fraction must be in (0,1)"
+    );
+    let per = d.sample_len();
+    let hist = class_histogram(d);
+    let take: Vec<usize> = hist
+        .iter()
+        .map(|&n| ((n as f64 * fraction).round() as usize).min(n))
+        .collect();
+    let mut taken = vec![0usize; d.classes];
+    let mut head_images = Vec::new();
+    let mut head_labels = Vec::new();
+    let mut tail_images = Vec::new();
+    let mut tail_labels = Vec::new();
+    for i in 0..d.len() {
+        let l = d.label(i);
+        if taken[l] < take[l] {
+            taken[l] += 1;
+            head_images.extend_from_slice(d.image(i));
+            head_labels.push(l);
+        } else {
+            tail_images.extend_from_slice(d.image(i));
+            tail_labels.push(l);
+        }
+    }
+    let _ = per;
+    (
+        Dataset::new(
+            format!("{}-strat-head", d.name),
+            d.shape.clone(),
+            d.classes,
+            head_images,
+            head_labels,
+        ),
+        Dataset::new(
+            format!("{}-strat-tail", d.name),
+            d.shape.clone(),
+            d.classes,
+            tail_images,
+            tail_labels,
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticSpec;
+
+    #[test]
+    fn channel_stats_of_normalized_data_are_near_standard() {
+        let d = SyntheticSpec::cifar_small().task(1).generate(300, 2);
+        let s = channel_stats(&d);
+        assert_eq!(s.mean.len(), 3);
+        // Global normalization makes the overall stats standard; per
+        // channel they are close but not exact.
+        for (m, sd) in s.mean.iter().zip(&s.std) {
+            assert!(m.abs() < 0.5, "mean {m}");
+            assert!((0.5..1.5).contains(sd), "std {sd}");
+        }
+    }
+
+    #[test]
+    fn histogram_counts_round_robin_labels() {
+        let d = SyntheticSpec::mnist_small().task(3).generate(35, 4);
+        let h = class_histogram(&d);
+        assert_eq!(h.iter().sum::<usize>(), 35);
+        // 35 over 10 classes round-robin: classes 0..5 get 4, rest get 3.
+        assert_eq!(h[0], 4);
+        assert_eq!(h[9], 3);
+    }
+
+    #[test]
+    fn stratified_split_balances_classes() {
+        let d = SyntheticSpec::mnist_small().task(5).generate(200, 6);
+        let (head, tail) = stratified_split(&d, 0.25);
+        assert_eq!(head.len() + tail.len(), 200);
+        let hh = class_histogram(&head);
+        // 20 per class → 5 per class in the head.
+        assert!(hh.iter().all(|&c| c == 5), "{hh:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn split_rejects_bad_fraction() {
+        let d = SyntheticSpec::mnist_small().task(7).generate(10, 8);
+        let _ = stratified_split(&d, 1.5);
+    }
+}

@@ -1,0 +1,390 @@
+//! Deterministic synthetic datasets standing in for MNIST / CIFAR /
+//! ImageNet (offline substitution; see DESIGN.md §2).
+//!
+//! Construction: each class gets a smooth random *prototype* image (a
+//! coarse random field, bilinearly upsampled). A sample is its class
+//! prototype, randomly shifted by up to `max_shift` pixels, plus white
+//! noise. The result is a real classification task: classes overlap
+//! through noise and shift, gradients are informative, and the same CNNs
+//! that fit MNIST/CIFAR fit these at comparable speed.
+
+use crate::dataset::Dataset;
+use easgd_tensor::Rng;
+
+/// Which standard benchmark a synthetic spec mirrors.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Handwritten-digit-like: 1 channel, 10 classes.
+    Mnist,
+    /// Object-recognition-like: 3 channels, 10 classes.
+    Cifar,
+    /// Large-scale: 3 channels, 1000 classes.
+    ImageNet,
+}
+
+/// Parameters of a synthetic dataset.
+#[derive(Clone, Debug)]
+pub struct SyntheticSpec {
+    /// Name for the produced [`Dataset`].
+    pub name: String,
+    /// Number of classes.
+    pub classes: usize,
+    /// Image channels.
+    pub channels: usize,
+    /// Image height = width.
+    pub size: usize,
+    /// Coarse-grid resolution of the class prototypes (smoothness knob).
+    pub coarse: usize,
+    /// Per-pixel noise standard deviation (difficulty knob; prototypes
+    /// have roughly unit variance).
+    pub noise: f32,
+    /// Maximum random translation in pixels (augmentation-like jitter).
+    pub max_shift: usize,
+}
+
+impl SyntheticSpec {
+    /// MNIST-shaped: 1×28×28, 10 classes (Table 1 row 1).
+    pub fn mnist() -> Self {
+        Self {
+            name: "synthetic-mnist".to_string(),
+            classes: 10,
+            channels: 1,
+            size: 28,
+            coarse: 7,
+            noise: 0.6,
+            max_shift: 2,
+        }
+    }
+
+    /// A reduced MNIST-like task (1×12×12) for experiments that run many
+    /// hundreds of independent trainings.
+    pub fn mnist_small() -> Self {
+        Self {
+            name: "synthetic-mnist-small".to_string(),
+            classes: 10,
+            channels: 1,
+            size: 12,
+            coarse: 4,
+            noise: 0.6,
+            max_shift: 1,
+        }
+    }
+
+    /// CIFAR-shaped: 3×32×32, 10 classes (Table 1 row 2).
+    pub fn cifar() -> Self {
+        Self {
+            name: "synthetic-cifar".to_string(),
+            classes: 10,
+            channels: 3,
+            size: 32,
+            coarse: 8,
+            noise: 0.7,
+            max_shift: 2,
+        }
+    }
+
+    /// A reduced CIFAR-like task (3×16×16).
+    pub fn cifar_small() -> Self {
+        Self {
+            name: "synthetic-cifar-small".to_string(),
+            classes: 10,
+            channels: 3,
+            size: 16,
+            coarse: 4,
+            noise: 0.7,
+            max_shift: 1,
+        }
+    }
+
+    /// ImageNet-shaped: 3×256×256, 1000 classes (Table 1 row 3). Generate
+    /// small counts only — one sample is 768 KB of f32.
+    pub fn imagenet() -> Self {
+        Self {
+            name: "synthetic-imagenet".to_string(),
+            classes: 1000,
+            channels: 3,
+            size: 256,
+            coarse: 16,
+            noise: 0.7,
+            max_shift: 8,
+        }
+    }
+
+    /// The spec mirroring a standard benchmark.
+    pub fn of(kind: TaskKind) -> Self {
+        match kind {
+            TaskKind::Mnist => Self::mnist(),
+            TaskKind::Cifar => Self::cifar(),
+            TaskKind::ImageNet => Self::imagenet(),
+        }
+    }
+
+    /// Elements per sample.
+    pub fn sample_len(&self) -> usize {
+        self.channels * self.size * self.size
+    }
+
+    /// Instantiates the *task*: draws the class prototypes from `seed`.
+    /// Datasets sampled from the same task share the prototypes — which
+    /// is what makes a held-out test set meaningful.
+    pub fn task(&self, seed: u64) -> SyntheticTask {
+        let mut rng = Rng::new(seed);
+        SyntheticTask {
+            spec: self.clone(),
+            prototypes: self.prototypes(&mut rng),
+        }
+    }
+
+    /// Convenience: one dataset of `n` samples from a task seeded with
+    /// `seed` (prototype seed = sample seed). For a train/test pair use
+    /// [`task`](Self::task) + [`SyntheticTask::generate`], or
+    /// [`SyntheticTask::train_test`].
+    pub fn generate(&self, n: usize, seed: u64) -> Dataset {
+        self.task(seed).generate(n, seed.wrapping_add(0x5A11))
+    }
+
+    /// Class prototypes: per channel, a `coarse × coarse` standard-normal
+    /// field bilinearly upsampled to `size × size`.
+    fn prototypes(&self, rng: &mut Rng) -> Vec<Vec<f32>> {
+        (0..self.classes)
+            .map(|_| {
+                let mut proto = Vec::with_capacity(self.sample_len());
+                for _ in 0..self.channels {
+                    let mut grid = vec![0.0f32; self.coarse * self.coarse];
+                    rng.fill_normal(&mut grid, 0.0, 1.0);
+                    upsample_bilinear(&grid, self.coarse, self.size, &mut proto);
+                }
+                proto
+            })
+            .collect()
+    }
+
+    fn emit_sample(&self, proto: &[f32], rng: &mut Rng, out: &mut Vec<f32>) {
+        let s = self.size;
+        let (dx, dy) = if self.max_shift == 0 {
+            (0isize, 0isize)
+        } else {
+            let span = 2 * self.max_shift + 1;
+            (
+                rng.below(span) as isize - self.max_shift as isize,
+                rng.below(span) as isize - self.max_shift as isize,
+            )
+        };
+        for c in 0..self.channels {
+            let plane = &proto[c * s * s..(c + 1) * s * s];
+            for y in 0..s {
+                // Toroidal shift keeps energy constant across samples.
+                let sy = (y as isize + dy).rem_euclid(s as isize) as usize;
+                for x in 0..s {
+                    let sx = (x as isize + dx).rem_euclid(s as isize) as usize;
+                    out.push(plane[sy * s + sx] + self.noise * rng.normal());
+                }
+            }
+        }
+    }
+}
+
+/// An instantiated synthetic task: a fixed set of class prototypes.
+///
+/// All datasets generated from one task are draws from the *same*
+/// distribution, so train/test splits and per-worker shards are
+/// statistically coherent.
+#[derive(Clone, Debug)]
+pub struct SyntheticTask {
+    spec: SyntheticSpec,
+    prototypes: Vec<Vec<f32>>,
+}
+
+impl SyntheticTask {
+    /// The spec this task was instantiated from.
+    pub fn spec(&self) -> &SyntheticSpec {
+        &self.spec
+    }
+
+    /// Generates `n` samples (labels round-robin over classes so every
+    /// class is evenly represented), normalized to zero mean / unit
+    /// variance. Determined by `sample_seed` given the task.
+    pub fn generate(&self, n: usize, sample_seed: u64) -> Dataset {
+        let mut rng = Rng::new(sample_seed);
+        let per = self.spec.sample_len();
+        let mut images = Vec::with_capacity(n * per);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % self.spec.classes;
+            self.spec
+                .emit_sample(&self.prototypes[class], &mut rng, &mut images);
+            labels.push(class);
+        }
+        let mut d = Dataset::new(
+            self.spec.name.clone(),
+            vec![self.spec.channels, self.spec.size, self.spec.size],
+            self.spec.classes,
+            images,
+            labels,
+        );
+        d.normalize();
+        d
+    }
+
+    /// A train/test pair drawn from the same prototypes with independent
+    /// sample noise.
+    pub fn train_test(&self, n_train: usize, n_test: usize, seed: u64) -> (Dataset, Dataset) {
+        (
+            self.generate(n_train, seed),
+            self.generate(n_test, seed.wrapping_add(0x7E57)),
+        )
+    }
+}
+
+/// Bilinear upsample of a `c × c` grid to `s × s`, appended to `out`.
+fn upsample_bilinear(grid: &[f32], c: usize, s: usize, out: &mut Vec<f32>) {
+    debug_assert_eq!(grid.len(), c * c);
+    if c == 1 {
+        out.extend(std::iter::repeat(grid[0]).take(s * s));
+        return;
+    }
+    let scale = (c - 1) as f32 / (s - 1).max(1) as f32;
+    for y in 0..s {
+        let fy = y as f32 * scale;
+        let y0 = fy.floor() as usize;
+        let y1 = (y0 + 1).min(c - 1);
+        let wy = fy - y0 as f32;
+        for x in 0..s {
+            let fx = x as f32 * scale;
+            let x0 = fx.floor() as usize;
+            let x1 = (x0 + 1).min(c - 1);
+            let wx = fx - x0 as f32;
+            let v = grid[y0 * c + x0] * (1.0 - wy) * (1.0 - wx)
+                + grid[y0 * c + x1] * (1.0 - wy) * wx
+                + grid[y1 * c + x0] * wy * (1.0 - wx)
+                + grid[y1 * c + x1] * wy * wx;
+            out.push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_table_1() {
+        assert_eq!(SyntheticSpec::mnist().sample_len(), 28 * 28);
+        assert_eq!(SyntheticSpec::cifar().sample_len(), 3 * 32 * 32);
+        assert_eq!(SyntheticSpec::imagenet().sample_len(), 3 * 256 * 256);
+        assert_eq!(SyntheticSpec::imagenet().classes, 1000);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = SyntheticSpec::mnist_small();
+        let a = spec.generate(50, 9);
+        let b = spec.generate(50, 9);
+        assert_eq!(a.image(17), b.image(17));
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn different_seeds_give_different_data() {
+        let spec = SyntheticSpec::mnist_small();
+        let a = spec.generate(10, 1);
+        let b = spec.generate(10, 2);
+        assert_ne!(a.image(0), b.image(0));
+    }
+
+    #[test]
+    fn labels_cycle_over_classes() {
+        let d = SyntheticSpec::mnist_small().generate(25, 3);
+        for i in 0..25 {
+            assert_eq!(d.label(i), i % 10);
+        }
+    }
+
+    #[test]
+    fn output_is_normalized() {
+        let d = SyntheticSpec::cifar_small().generate(200, 4);
+        let n = (d.len() * d.sample_len()) as f32;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for i in 0..d.len() {
+            for &v in d.image(i) {
+                sum += v;
+                sumsq += v * v;
+            }
+        }
+        let mean = sum / n;
+        let var = sumsq / n - mean * mean;
+        assert!(mean.abs() < 1e-3, "mean {mean}");
+        assert!((var - 1.0).abs() < 1e-2, "var {var}");
+    }
+
+    #[test]
+    fn same_class_samples_are_correlated_across_noise() {
+        let spec = SyntheticSpec {
+            max_shift: 0,
+            ..SyntheticSpec::mnist_small()
+        };
+        let d = spec.generate(40, 5);
+        // Samples 0 and 10 share class 0; 0 and 5 differ (classes 0 vs 5).
+        let corr = |a: &[f32], b: &[f32]| {
+            let n = a.len() as f32;
+            let (ma, mb) = (
+                a.iter().sum::<f32>() / n,
+                b.iter().sum::<f32>() / n,
+            );
+            let cov: f32 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+            let va: f32 = a.iter().map(|x| (x - ma) * (x - ma)).sum();
+            let vb: f32 = b.iter().map(|y| (y - mb) * (y - mb)).sum();
+            cov / (va.sqrt() * vb.sqrt())
+        };
+        let same = corr(d.image(0), d.image(10));
+        let diff = corr(d.image(0), d.image(5));
+        assert!(
+            same > diff + 0.2,
+            "same-class corr {same} vs cross-class {diff}"
+        );
+    }
+
+    #[test]
+    fn upsample_constant_grid_is_constant() {
+        let mut out = Vec::new();
+        upsample_bilinear(&[2.0, 2.0, 2.0, 2.0], 2, 8, &mut out);
+        assert_eq!(out.len(), 64);
+        assert!(out.iter().all(|&v| (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn upsample_interpolates_between_corners() {
+        // 2x2 grid [0,1;0,1] → values increase left to right.
+        let mut out = Vec::new();
+        upsample_bilinear(&[0.0, 1.0, 0.0, 1.0], 2, 5, &mut out);
+        assert!((out[0] - 0.0).abs() < 1e-6);
+        assert!((out[4] - 1.0).abs() < 1e-6);
+        assert!((out[2] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn a_small_mlp_can_learn_the_task() {
+        // End-to-end sanity: the synthetic task must be learnable well
+        // above chance, otherwise every accuracy-vs-time figure collapses.
+        use easgd_tensor::ops::sgd_update;
+        let spec = SyntheticSpec::mnist_small();
+        let task = spec.task(6);
+        let (train, test) = task.train_test(400, 100, 7);
+        let mut net = easgd_nn::models::mlp(spec.sample_len(), &[32], 10, 8);
+        let mut rng = Rng::new(9);
+        for _ in 0..300 {
+            let b = train.sample_batch(&mut rng, 32);
+            let flat = b
+                .images
+                .clone()
+                .reshape([b.len(), spec.sample_len()]);
+            let _ = net.forward_backward(&flat, &b.labels);
+            let g = net.grads().as_slice().to_vec();
+            sgd_update(0.1, net.params_mut().as_mut_slice(), &g);
+        }
+        let images = test.as_tensor().reshape([100, spec.sample_len()]);
+        let acc = net.evaluate(&images, test.labels(), 50);
+        assert!(acc > 0.5, "synthetic task not learnable: acc = {acc}");
+    }
+}

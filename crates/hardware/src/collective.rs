@@ -1,0 +1,125 @@
+//! Closed-form costs of collective communication patterns.
+//!
+//! The heart of Sync EASGD1 (§6.1.1): replacing `P` ordered blocking
+//! send/receives — cost `P·(α + β·|W|)` — with a binomial-tree reduction —
+//! cost `⌈log₂P⌉·(α + β·|W|)`. These formulas price every schedule the
+//! algorithms use; the executable counterparts live in `easgd-cluster`.
+
+use crate::net::AlphaBeta;
+
+/// Ceil of log₂(p); 0 for p ≤ 1.
+pub fn ceil_log2(p: usize) -> u32 {
+    if p <= 1 {
+        0
+    } else {
+        usize::BITS - (p - 1).leading_zeros()
+    }
+}
+
+/// Round-robin exchange (Original EASGD, §3.3): the master talks to one
+/// worker at a time, in rank order; `p` sequential messages of `bytes`.
+/// Θ(P).
+pub fn round_robin_exchange(link: &AlphaBeta, p: usize, bytes: usize) -> f64 {
+    p as f64 * link.time(bytes)
+}
+
+/// Linear gather/scatter (a parameter server serving `p` workers one by
+/// one): identical asymptotics to round-robin.
+pub fn linear_exchange(link: &AlphaBeta, p: usize, bytes: usize) -> f64 {
+    round_robin_exchange(link, p, bytes)
+}
+
+/// Binomial-tree reduce of `bytes` across `p` ranks: `⌈log₂p⌉` rounds,
+/// each a full-size message (Sync EASGD1's tree reduction). Θ(log P).
+pub fn reduce_tree(link: &AlphaBeta, p: usize, bytes: usize) -> f64 {
+    ceil_log2(p) as f64 * link.time(bytes)
+}
+
+/// Binomial-tree broadcast: same cost shape as the tree reduce.
+pub fn broadcast_tree(link: &AlphaBeta, p: usize, bytes: usize) -> f64 {
+    reduce_tree(link, p, bytes)
+}
+
+/// Rabenseifner-style allreduce (reduce-scatter + allgather):
+/// `2·log₂p·α + 2·((p−1)/p)·n·β`. The bandwidth-optimal schedule MPI
+/// libraries use for large messages; included as the "well-tuned
+/// state-of-the-art" cost the Intel-Caffe baseline would pay.
+pub fn allreduce_rabenseifner(link: &AlphaBeta, p: usize, bytes: usize) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let lg = ceil_log2(p) as f64;
+    2.0 * lg * link.alpha_s
+        + 2.0 * ((p - 1) as f64 / p as f64) * bytes as f64 * link.beta_s_per_byte
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> AlphaBeta {
+        AlphaBeta::fdr_infiniband()
+    }
+
+    #[test]
+    fn ceil_log2_known_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(64), 6);
+        assert_eq!(ceil_log2(65), 7);
+    }
+
+    #[test]
+    fn tree_beats_round_robin_for_p_above_2() {
+        // The Θ(log P) vs Θ(P) claim (contribution 1 of the paper).
+        let bytes = 1_000_000; // ~a LeNet of weights
+        for p in [4, 8, 16, 64, 256] {
+            let rr = round_robin_exchange(&link(), p, bytes);
+            let tree = reduce_tree(&link(), p, bytes);
+            assert!(tree < rr, "p={p}: tree {tree} !< round-robin {rr}");
+        }
+    }
+
+    #[test]
+    fn speedup_ratio_is_p_over_log_p() {
+        let bytes = 4_000_000;
+        let p = 64;
+        let ratio = round_robin_exchange(&link(), p, bytes) / reduce_tree(&link(), p, bytes);
+        assert!((ratio - 64.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_at_p_2() {
+        let bytes = 1024;
+        assert!(
+            (round_robin_exchange(&link(), 2, bytes) - 2.0 * reduce_tree(&link(), 2, bytes))
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn rabenseifner_beats_tree_for_large_messages() {
+        // For big |W| the bandwidth term dominates and reduce-scatter wins.
+        let p = 32;
+        let bytes = 100_000_000; // VGG-scale
+        assert!(allreduce_rabenseifner(&link(), p, bytes) < 2.0 * reduce_tree(&link(), p, bytes));
+    }
+
+    #[test]
+    fn rabenseifner_zero_for_single_rank() {
+        assert_eq!(allreduce_rabenseifner(&link(), 1, 123456), 0.0);
+    }
+
+    #[test]
+    fn costs_scale_linearly_with_message_size_at_fixed_p() {
+        let p = 8;
+        let t1 = reduce_tree(&link(), p, 1_000_000);
+        let t2 = reduce_tree(&link(), p, 2_000_000);
+        let beta_part = |t: f64| t - ceil_log2(p) as f64 * link().alpha_s;
+        assert!((beta_part(t2) / beta_part(t1) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,127 @@
+//! Device compute-rate models.
+//!
+//! Converts model flop counts (from `easgd-nn::spec`) into simulated
+//! seconds. Peak rates come from the paper (§1: KNL = 6 Tflops single
+//! precision) and vendor specs; `dnn_efficiency` is the fraction of peak a
+//! well-tuned DNN framework sustains on conv/GEMM-heavy work — the
+//! absolute value shifts all times equally and cancels out of every ratio
+//! the experiments report.
+
+use serde::{Deserialize, Serialize};
+
+/// A device's sustained compute rate.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ComputeModel {
+    /// Device name.
+    pub name: String,
+    /// Peak single-precision flops/second.
+    pub peak_flops: f64,
+    /// Sustained fraction of peak on DNN workloads, in `(0, 1]`.
+    pub dnn_efficiency: f64,
+}
+
+impl ComputeModel {
+    /// A custom device.
+    pub fn new(name: impl Into<String>, peak_flops: f64, dnn_efficiency: f64) -> Self {
+        assert!(peak_flops > 0.0, "peak must be positive");
+        assert!(
+            dnn_efficiency > 0.0 && dnn_efficiency <= 1.0,
+            "efficiency must be in (0,1]"
+        );
+        Self {
+            name: name.into(),
+            peak_flops,
+            dnn_efficiency,
+        }
+    }
+
+    /// Intel Xeon Phi 7250 (KNL, 68 cores @ 1.4 GHz): 6 Tflops SP peak
+    /// (§1 of the paper).
+    pub fn knl_7250() -> Self {
+        Self::new("Intel Xeon Phi 7250 (KNL)", 6.0e12, 0.35)
+    }
+
+    /// One GPU of an Nvidia Tesla K80 board (≈ 4.1 Tflops SP with boost,
+    /// half the board).
+    pub fn k80_half() -> Self {
+        Self::new("Nvidia Tesla K80 (1 GPU)", 4.1e12, 0.45)
+    }
+
+    /// Nvidia Tesla M40: 7 Tflops SP peak.
+    pub fn m40() -> Self {
+        Self::new("Nvidia Tesla M40", 7.0e12, 0.45)
+    }
+
+    /// Intel Xeon E5-2698 v3 (Haswell, 16 cores @ 2.3 GHz): ≈ 1.2 Tflops
+    /// SP peak (Cori CPU partition, §10.4).
+    pub fn haswell_e5_2698() -> Self {
+        Self::new("Intel Xeon E5-2698 v3 (Haswell)", 1.2e12, 0.5)
+    }
+
+    /// Intel Knights Corner 7120 (KNC): ≈ 2 Tflops SP (the predecessor the
+    /// paper contrasts against in §1).
+    pub fn knc() -> Self {
+        Self::new("Intel Xeon Phi 7120 (KNC)", 2.0e12, 0.25)
+    }
+
+    /// Sustained flops/second.
+    pub fn sustained_flops(&self) -> f64 {
+        self.peak_flops * self.dnn_efficiency
+    }
+
+    /// Seconds to execute `flops` floating-point operations.
+    pub fn time(&self, flops: f64) -> f64 {
+        assert!(flops >= 0.0, "negative flops");
+        flops / self.sustained_flops()
+    }
+
+    /// Seconds per training iteration of a model at a batch size, given
+    /// the model's per-sample training flops.
+    pub fn iteration_time(&self, flops_train_per_sample: f64, batch: usize) -> f64 {
+        self.time(flops_train_per_sample * batch as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knl_peak_matches_paper_claim() {
+        // §1: "6 Tflops vs 2 Tflops for single precision" (KNL vs KNC).
+        assert!((ComputeModel::knl_7250().peak_flops - 6.0e12).abs() < 1.0);
+        assert!((ComputeModel::knc().peak_flops - 2.0e12).abs() < 1.0);
+    }
+
+    #[test]
+    fn time_is_linear_in_flops() {
+        let m = ComputeModel::knl_7250();
+        assert!((m.time(2.0e12) - 2.0 * m.time(1.0e12)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iteration_time_scales_with_batch() {
+        let m = ComputeModel::m40();
+        let per_sample = 3.0e9;
+        assert!(
+            (m.iteration_time(per_sample, 128) - 2.0 * m.iteration_time(per_sample, 64)).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn googlenet_iteration_on_knl_is_order_seconds() {
+        // Plausibility anchor for Table 4: GoogLeNet train ≈ 9.6 GFLOP per
+        // sample; batch 256 on one KNL ≈ a few seconds — the paper
+        // measures 1533 s / 300 iterations ≈ 5.1 s per iteration.
+        let m = ComputeModel::knl_7250();
+        let t = m.iteration_time(3.0 * 3.2e9, 256);
+        assert!((0.5..10.0).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn rejects_zero_efficiency() {
+        let _ = ComputeModel::new("bad", 1e12, 0.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Element-wise non-linearities: ReLU, Tanh, Sigmoid (§2.2 lists exactly
+//! these as the non-linear transforms of a CNN).
+
+use crate::layer::Layer;
+use easgd_tensor::{ParamArena, Tensor};
+
+/// Rectified linear unit `max(0, x)`.
+#[derive(Clone, Debug)]
+pub struct Relu {
+    name: String,
+    shape: Vec<usize>,
+    /// Mask of active units from the last forward (1.0 where x > 0).
+    mask: Vec<f32>,
+}
+
+impl Relu {
+    /// ReLU over per-sample shape `shape`.
+    pub fn new(name: impl Into<String>, shape: Vec<usize>) -> Self {
+        Self {
+            name: name.into(),
+            shape,
+            mask: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn out_shape(&self) -> Vec<usize> {
+        self.shape.clone()
+    }
+
+    fn forward(&mut self, _params: &ParamArena, input: &Tensor, _train: bool) -> Tensor {
+        self.mask.clear();
+        self.mask.reserve(input.len());
+        let mut out = input.clone();
+        for v in out.as_mut_slice() {
+            if *v > 0.0 {
+                self.mask.push(1.0);
+            } else {
+                self.mask.push(0.0);
+                *v = 0.0;
+            }
+        }
+        out
+    }
+
+    fn backward(
+        &mut self,
+        _params: &ParamArena,
+        _grads: &mut ParamArena,
+        grad_out: &Tensor,
+    ) -> Tensor {
+        assert_eq!(grad_out.len(), self.mask.len(), "backward before forward");
+        let mut g = grad_out.clone();
+        for (gi, &m) in g.as_mut_slice().iter_mut().zip(&self.mask) {
+            *gi *= m;
+        }
+        g
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        let mut c = self.clone();
+        c.mask = Vec::new();
+        Box::new(c)
+    }
+}
+
+/// Hyperbolic tangent.
+#[derive(Clone, Debug)]
+pub struct Tanh {
+    name: String,
+    shape: Vec<usize>,
+    /// Cached outputs (tanh'(x) = 1 − tanh²(x)).
+    out_cache: Vec<f32>,
+}
+
+impl Tanh {
+    /// Tanh over per-sample shape `shape`.
+    pub fn new(name: impl Into<String>, shape: Vec<usize>) -> Self {
+        Self {
+            name: name.into(),
+            shape,
+            out_cache: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Tanh {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn out_shape(&self) -> Vec<usize> {
+        self.shape.clone()
+    }
+
+    fn forward(&mut self, _params: &ParamArena, input: &Tensor, _train: bool) -> Tensor {
+        let mut out = input.clone();
+        for v in out.as_mut_slice() {
+            *v = v.tanh();
+        }
+        self.out_cache = out.as_slice().to_vec();
+        out
+    }
+
+    fn backward(
+        &mut self,
+        _params: &ParamArena,
+        _grads: &mut ParamArena,
+        grad_out: &Tensor,
+    ) -> Tensor {
+        assert_eq!(grad_out.len(), self.out_cache.len(), "backward before forward");
+        let mut g = grad_out.clone();
+        for (gi, &y) in g.as_mut_slice().iter_mut().zip(&self.out_cache) {
+            *gi *= 1.0 - y * y;
+        }
+        g
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        let mut c = self.clone();
+        c.out_cache = Vec::new();
+        Box::new(c)
+    }
+}
+
+/// Logistic sigmoid `1 / (1 + e^{-x})`.
+#[derive(Clone, Debug)]
+pub struct Sigmoid {
+    name: String,
+    shape: Vec<usize>,
+    out_cache: Vec<f32>,
+}
+
+impl Sigmoid {
+    /// Sigmoid over per-sample shape `shape`.
+    pub fn new(name: impl Into<String>, shape: Vec<usize>) -> Self {
+        Self {
+            name: name.into(),
+            shape,
+            out_cache: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Sigmoid {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn out_shape(&self) -> Vec<usize> {
+        self.shape.clone()
+    }
+
+    fn forward(&mut self, _params: &ParamArena, input: &Tensor, _train: bool) -> Tensor {
+        let mut out = input.clone();
+        for v in out.as_mut_slice() {
+            *v = 1.0 / (1.0 + (-*v).exp());
+        }
+        self.out_cache = out.as_slice().to_vec();
+        out
+    }
+
+    fn backward(
+        &mut self,
+        _params: &ParamArena,
+        _grads: &mut ParamArena,
+        grad_out: &Tensor,
+    ) -> Tensor {
+        assert_eq!(grad_out.len(), self.out_cache.len(), "backward before forward");
+        let mut g = grad_out.clone();
+        for (gi, &y) in g.as_mut_slice().iter_mut().zip(&self.out_cache) {
+            *gi *= y * (1.0 - y);
+        }
+        g
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        let mut c = self.clone();
+        c.out_cache = Vec::new();
+        Box::new(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{build_arenas, check_layer};
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut l = Relu::new("r", vec![4]);
+        let x = Tensor::from_vec([1, 4], vec![-1.0, 0.0, 2.0, -3.0]);
+        let y = l.forward(&ParamArena::flat(0), &x, true);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let mut l = Relu::new("r", vec![3]);
+        let x = Tensor::from_vec([1, 3], vec![-1.0, 1.0, 2.0]);
+        let _ = l.forward(&ParamArena::flat(0), &x, true);
+        let gy = Tensor::from_vec([1, 3], vec![10.0, 10.0, 10.0]);
+        let mut g = ParamArena::flat(0);
+        let gx = l.backward(&ParamArena::flat(0), &mut g, &gy);
+        assert_eq!(gx.as_slice(), &[0.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn tanh_gradcheck() {
+        let mut l = Tanh::new("t", vec![6]);
+        let (params, grads) = build_arenas(&mut l, 1);
+        check_layer(&mut l, params, grads, &[6], 3, 1e-2, 5);
+    }
+
+    #[test]
+    fn sigmoid_gradcheck() {
+        let mut l = Sigmoid::new("s", vec![6]);
+        let (params, grads) = build_arenas(&mut l, 1);
+        check_layer(&mut l, params, grads, &[6], 3, 1e-2, 6);
+    }
+
+    #[test]
+    fn relu_gradcheck() {
+        let mut l = Relu::new("r", vec![8]);
+        let (params, grads) = build_arenas(&mut l, 1);
+        check_layer(&mut l, params, grads, &[8], 2, 1e-2, 7);
+    }
+
+    #[test]
+    fn sigmoid_range_is_unit_interval() {
+        let mut l = Sigmoid::new("s", vec![3]);
+        let x = Tensor::from_vec([1, 3], vec![-100.0, 0.0, 100.0]);
+        let y = l.forward(&ParamArena::flat(0), &x, true);
+        assert!(y.as_slice()[0] >= 0.0 && y.as_slice()[0] < 1e-6);
+        assert!((y.as_slice()[1] - 0.5).abs() < 1e-6);
+        assert!(y.as_slice()[2] > 1.0 - 1e-6 && y.as_slice()[2] <= 1.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Model checkpointing: save/load the packed parameter arena.
+//!
+//! A minimal self-describing binary format (magic, version, segment
+//! registry, raw little-endian `f32` payload). Because the whole model
+//! lives in one contiguous arena (§5.2), a checkpoint is one header plus
+//! one flat write — the same property that makes it one network message.
+
+use crate::network::Network;
+use easgd_tensor::ParamArena;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"EASGDCP1";
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a valid checkpoint or does not match the model.
+    Format(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "i/o error: {e}"),
+            CheckpointError::Format(m) => write!(f, "checkpoint format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64, CheckpointError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    write_u64(w, s.len() as u64)?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_str(r: &mut impl Read) -> Result<String, CheckpointError> {
+    let len = read_u64(r)? as usize;
+    if len > 1 << 20 {
+        return Err(CheckpointError::Format("unreasonable string length".into()));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| CheckpointError::Format("non-utf8 name".into()))
+}
+
+/// Writes an arena (names, offsets, data) to `path`.
+pub fn save_arena(arena: &ParamArena, path: &Path) -> Result<(), CheckpointError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    write_u64(&mut w, arena.segments().len() as u64)?;
+    for seg in arena.segments() {
+        write_str(&mut w, &seg.name)?;
+        write_u64(&mut w, seg.offset as u64)?;
+        write_u64(&mut w, seg.len as u64)?;
+    }
+    write_u64(&mut w, arena.len() as u64)?;
+    for &v in arena.as_slice() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads a checkpoint into an existing arena. The segment registry must
+/// match exactly (names, offsets, lengths) — loading a LeNet checkpoint
+/// into an AlexNet is an error, not a silent corruption.
+pub fn load_arena(arena: &mut ParamArena, path: &Path) -> Result<(), CheckpointError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::Format("bad magic".into()));
+    }
+    let nseg = read_u64(&mut r)? as usize;
+    if nseg != arena.segments().len() {
+        return Err(CheckpointError::Format(format!(
+            "segment count {} != model's {}",
+            nseg,
+            arena.segments().len()
+        )));
+    }
+    for seg in arena.segments().to_vec() {
+        let name = read_str(&mut r)?;
+        let offset = read_u64(&mut r)? as usize;
+        let len = read_u64(&mut r)? as usize;
+        if name != seg.name || offset != seg.offset || len != seg.len {
+            return Err(CheckpointError::Format(format!(
+                "segment mismatch: file has {name}@{offset}+{len}, model has {}@{}+{}",
+                seg.name, seg.offset, seg.len
+            )));
+        }
+    }
+    let total = read_u64(&mut r)? as usize;
+    if total != arena.len() {
+        return Err(CheckpointError::Format(format!(
+            "element count {} != model's {}",
+            total,
+            arena.len()
+        )));
+    }
+    let mut b = [0u8; 4];
+    for v in arena.as_mut_slice() {
+        r.read_exact(&mut b)?;
+        *v = f32::from_le_bytes(b);
+    }
+    Ok(())
+}
+
+/// Saves a network's parameters.
+pub fn save_network(net: &Network, path: &Path) -> Result<(), CheckpointError> {
+    save_arena(net.params(), path)
+}
+
+/// Loads parameters into a network with an identical architecture.
+pub fn load_network(net: &mut Network, path: &Path) -> Result<(), CheckpointError> {
+    load_arena(net.params_mut(), path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{lenet_tiny, mlp};
+    use easgd_tensor::Tensor;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("easgd_checkpoints");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_preserves_weights_exactly() {
+        let net = lenet_tiny(1);
+        let path = tmp("roundtrip.ckpt");
+        save_network(&net, &path).unwrap();
+        let mut restored = lenet_tiny(999); // different init
+        assert_ne!(restored.params().as_slice(), net.params().as_slice());
+        load_network(&mut restored, &path).unwrap();
+        assert_eq!(restored.params().as_slice(), net.params().as_slice());
+    }
+
+    #[test]
+    fn restored_network_predicts_identically() {
+        let mut net = lenet_tiny(2);
+        let path = tmp("predict.ckpt");
+        save_network(&net, &path).unwrap();
+        let mut restored = lenet_tiny(3);
+        load_network(&mut restored, &path).unwrap();
+        let x = Tensor::full([2, 1, 12, 12], 0.3);
+        assert_eq!(
+            net.forward(&x, false).as_slice(),
+            restored.forward(&x, false).as_slice()
+        );
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let net = lenet_tiny(4);
+        let path = tmp("mismatch.ckpt");
+        save_network(&net, &path).unwrap();
+        let mut other = mlp(10, &[5], 2, 5);
+        let err = load_network(&mut other, &path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_corrupt_magic() {
+        let path = tmp("corrupt.ckpt");
+        std::fs::write(&path, b"NOTACKPTxxxxxxxxxxxx").unwrap();
+        let mut net = lenet_tiny(6);
+        assert!(matches!(
+            load_network(&mut net, &path),
+            Err(CheckpointError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let net = lenet_tiny(7);
+        let path = tmp("truncated.ckpt");
+        save_network(&net, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let mut restored = lenet_tiny(8);
+        assert!(matches!(
+            load_network(&mut restored, &path),
+            Err(CheckpointError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,306 @@
+//! 2-D convolution via im2col + GEMM.
+
+use crate::layer::{batch_of, Init, Layer, ParamSpec};
+use easgd_tensor::{gemm, ParamArena, Tensor, Transpose};
+use easgd_tensor::{col2im, im2col, Conv2dGeometry};
+
+/// Convolutional layer.
+///
+/// Weights are stored `[out_channels, in_channels·k_h·k_w]` row-major —
+/// exactly the left operand of the im2col GEMM — plus one bias per output
+/// channel.
+#[derive(Clone, Debug)]
+pub struct Conv2d {
+    /// Layer name used for parameter segments.
+    pub name: String,
+    /// Spatial geometry (input dims, kernel, stride, padding).
+    pub geom: Conv2dGeometry,
+    /// Number of output channels (filters).
+    pub out_channels: usize,
+    w_seg: usize,
+    b_seg: usize,
+    /// Cached im2col matrices, one per sample of the last forward batch.
+    col_cache: Vec<Vec<f32>>,
+}
+
+impl Conv2d {
+    /// A convolution over `geom` producing `out_channels` feature maps.
+    pub fn new(name: impl Into<String>, geom: Conv2dGeometry, out_channels: usize) -> Self {
+        assert!(geom.is_valid(), "invalid conv geometry {geom:?}");
+        assert!(out_channels > 0, "out_channels must be > 0");
+        Self {
+            name: name.into(),
+            geom,
+            out_channels,
+            w_seg: usize::MAX,
+            b_seg: usize::MAX,
+            col_cache: Vec::new(),
+        }
+    }
+
+    /// Elements in the filter bank.
+    pub fn weight_len(&self) -> usize {
+        self.out_channels * self.geom.col_rows()
+    }
+
+    /// Total parameters (weights + biases).
+    pub fn num_params(&self) -> usize {
+        self.weight_len() + self.out_channels
+    }
+
+    /// Per-sample output feature-map size `[out_channels, out_h, out_w]`.
+    pub fn output_len(&self) -> usize {
+        self.out_channels * self.geom.col_cols()
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn param_specs(&self) -> Vec<ParamSpec> {
+        let fan_in = self.geom.col_rows();
+        let fan_out = self.out_channels * self.geom.k_h * self.geom.k_w;
+        vec![
+            ParamSpec {
+                name: format!("{}.weight", self.name),
+                len: self.weight_len(),
+                init: Init::Xavier { fan_in, fan_out },
+            },
+            ParamSpec {
+                name: format!("{}.bias", self.name),
+                len: self.out_channels,
+                init: Init::Constant(0.0),
+            },
+        ]
+    }
+
+    fn bind(&mut self, segments: &[usize]) {
+        assert_eq!(segments.len(), 2, "conv expects weight+bias segments");
+        self.w_seg = segments[0];
+        self.b_seg = segments[1];
+    }
+
+    fn out_shape(&self) -> Vec<usize> {
+        vec![self.out_channels, self.geom.out_h(), self.geom.out_w()]
+    }
+
+    fn forward(&mut self, params: &ParamArena, input: &Tensor, _train: bool) -> Tensor {
+        let b = batch_of(input);
+        let in_len = self.geom.input_len();
+        assert_eq!(
+            input.len(),
+            b * in_len,
+            "conv '{}' expected {} elements/sample, input is {:?}",
+            self.name,
+            in_len,
+            input.shape()
+        );
+        let w = params.segment(self.w_seg);
+        let bias = params.segment(self.b_seg);
+        let (rows, cols) = (self.geom.col_rows(), self.geom.col_cols());
+        let out_len = self.output_len();
+        let mut out = Tensor::zeros([b, self.out_channels, self.geom.out_h(), self.geom.out_w()]);
+
+        self.col_cache.clear();
+        self.col_cache.resize(b, Vec::new());
+        for (s, col) in self.col_cache.iter_mut().enumerate() {
+            col.resize(rows * cols, 0.0);
+            let image = &input.as_slice()[s * in_len..(s + 1) * in_len];
+            im2col(&self.geom, image, col);
+            let y = &mut out.as_mut_slice()[s * out_len..(s + 1) * out_len];
+            // Y[oc, ohw] = W[oc, rows] · col[rows, ohw]
+            gemm(
+                Transpose::No,
+                Transpose::No,
+                self.out_channels,
+                cols,
+                rows,
+                1.0,
+                w,
+                col,
+                0.0,
+                y,
+            );
+            for (oc, plane) in y.chunks_mut(cols).enumerate() {
+                let bc = bias[oc];
+                plane.iter_mut().for_each(|v| *v += bc);
+            }
+        }
+        out
+    }
+
+    fn backward(
+        &mut self,
+        params: &ParamArena,
+        grads: &mut ParamArena,
+        grad_out: &Tensor,
+    ) -> Tensor {
+        let b = self.col_cache.len();
+        assert!(b > 0, "backward called before forward");
+        let (rows, cols) = (self.geom.col_rows(), self.geom.col_cols());
+        let out_len = self.output_len();
+        assert_eq!(grad_out.len(), b * out_len, "grad_out shape mismatch");
+        let in_len = self.geom.input_len();
+        let w = params.segment(self.w_seg);
+
+        let mut grad_in = Tensor::zeros(vec![b, self.geom.in_channels, self.geom.in_h, self.geom.in_w]);
+        let mut grad_col = vec![0.0f32; rows * cols];
+        for s in 0..b {
+            let gy = &grad_out.as_slice()[s * out_len..(s + 1) * out_len];
+            let col = &self.col_cache[s];
+            // gradW[oc, rows] += gy[oc, cols] · colᵀ
+            gemm(
+                Transpose::No,
+                Transpose::Yes,
+                self.out_channels,
+                rows,
+                cols,
+                1.0,
+                gy,
+                col,
+                1.0,
+                grads.segment_mut(self.w_seg),
+            );
+            // gradB[oc] += Σ gy[oc,:]
+            {
+                let gb = grads.segment_mut(self.b_seg);
+                for (oc, plane) in gy.chunks(cols).enumerate() {
+                    gb[oc] += easgd_tensor::ops::sum(plane);
+                }
+            }
+            // gradCol[rows, cols] = Wᵀ[rows, oc] · gy[oc, cols]
+            gemm(
+                Transpose::Yes,
+                Transpose::No,
+                rows,
+                cols,
+                self.out_channels,
+                1.0,
+                w,
+                gy,
+                0.0,
+                &mut grad_col,
+            );
+            let gx = &mut grad_in.as_mut_slice()[s * in_len..(s + 1) * in_len];
+            col2im(&self.geom, &grad_col, gx);
+        }
+        grad_in
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        // Caches are transient; cloning the configuration is enough.
+        let mut c = self.clone();
+        c.col_cache = Vec::new();
+        Box::new(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{build_arenas, check_layer};
+
+    fn small_geom() -> Conv2dGeometry {
+        Conv2dGeometry {
+            in_channels: 2,
+            in_h: 5,
+            in_w: 5,
+            k_h: 3,
+            k_w: 3,
+            stride: 1,
+            pad: 1,
+        }
+    }
+
+    #[test]
+    fn out_shape_follows_geometry() {
+        let l = Conv2d::new("c", small_geom(), 4);
+        assert_eq!(l.out_shape(), vec![4, 5, 5]);
+        assert_eq!(l.num_params(), 4 * 2 * 9 + 4);
+    }
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        // 1 input channel, 1 output channel, 1x1 kernel with weight 1 → copy.
+        let geom = Conv2dGeometry {
+            in_channels: 1,
+            in_h: 3,
+            in_w: 3,
+            k_h: 1,
+            k_w: 1,
+            stride: 1,
+            pad: 0,
+        };
+        let mut l = Conv2d::new("c", geom, 1);
+        let (mut params, _) = build_arenas(&mut l, 1);
+        params.segment_mut(0)[0] = 1.0;
+        let x = Tensor::from_vec([1, 1, 3, 3], (0..9).map(|i| i as f32).collect());
+        let y = l.forward(&params, &x, true);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let geom = Conv2dGeometry {
+            in_channels: 1,
+            in_h: 2,
+            in_w: 2,
+            k_h: 1,
+            k_w: 1,
+            stride: 1,
+            pad: 0,
+        };
+        let mut l = Conv2d::new("c", geom, 2);
+        let (mut params, _) = build_arenas(&mut l, 1);
+        params.segment_mut(0).copy_from_slice(&[0.0, 0.0]); // zero kernels
+        params.segment_mut(1).copy_from_slice(&[1.5, -2.0]);
+        let x = Tensor::zeros([1, 1, 2, 2]);
+        let y = l.forward(&params, &x, true);
+        assert_eq!(&y.as_slice()[0..4], &[1.5; 4]);
+        assert_eq!(&y.as_slice()[4..8], &[-2.0; 4]);
+    }
+
+    #[test]
+    fn gradients_pass_finite_difference_check() {
+        let mut l = Conv2d::new("c", small_geom(), 3);
+        let (params, grads) = build_arenas(&mut l, 5);
+        check_layer(&mut l, params, grads, &[2, 5, 5], 2, 1e-2, 11);
+    }
+
+    #[test]
+    fn strided_padded_gradients_pass_check() {
+        let geom = Conv2dGeometry {
+            in_channels: 1,
+            in_h: 7,
+            in_w: 6,
+            k_h: 3,
+            k_w: 2,
+            stride: 2,
+            pad: 1,
+        };
+        let mut l = Conv2d::new("c", geom, 2);
+        let (params, grads) = build_arenas(&mut l, 6);
+        check_layer(&mut l, params, grads, &[1, 7, 6], 3, 1e-2, 12);
+    }
+
+    #[test]
+    fn batch_samples_are_independent() {
+        let mut l = Conv2d::new("c", small_geom(), 2);
+        let (params, _) = build_arenas(&mut l, 7);
+        let mut rng = easgd_tensor::Rng::new(8);
+        let mut x1 = Tensor::zeros([1, 2, 5, 5]);
+        rng.fill_normal(x1.as_mut_slice(), 0.0, 1.0);
+        let mut x2 = Tensor::zeros([1, 2, 5, 5]);
+        rng.fill_normal(x2.as_mut_slice(), 0.0, 1.0);
+        let y1 = l.forward(&params, &x1, true);
+        let y2 = l.forward(&params, &x2, true);
+        let mut both = Tensor::zeros([2, 2, 5, 5]);
+        both.as_mut_slice()[..50].copy_from_slice(x1.as_slice());
+        both.as_mut_slice()[50..].copy_from_slice(x2.as_slice());
+        let y = l.forward(&params, &both, true);
+        assert_eq!(&y.as_slice()[..y1.len()], y1.as_slice());
+        assert_eq!(&y.as_slice()[y1.len()..], y2.as_slice());
+    }
+}

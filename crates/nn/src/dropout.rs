@@ -1,0 +1,159 @@
+//! Dropout regularization (used by the AlexNet/VGG fully-connected stages).
+
+use crate::layer::Layer;
+use easgd_tensor::{ParamArena, Rng, Tensor};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone counter so cloned dropout layers (one per worker replica)
+/// decorrelate their masks without shared RNG state.
+static CLONE_SALT: AtomicU64 = AtomicU64::new(0x5EED);
+
+/// Inverted dropout: during training each unit is zeroed with probability
+/// `p` and survivors are scaled by `1/(1-p)`; at inference it is the
+/// identity.
+#[derive(Debug)]
+pub struct Dropout {
+    name: String,
+    shape: Vec<usize>,
+    /// Drop probability in `[0, 1)`.
+    pub p: f32,
+    rng: Rng,
+    mask: Vec<f32>,
+}
+
+impl Dropout {
+    /// Dropout with drop probability `p` over per-sample shape `shape`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn new(name: impl Into<String>, shape: Vec<usize>, p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
+        Self {
+            name: name.into(),
+            shape,
+            p,
+            rng: Rng::new(seed),
+            mask: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn out_shape(&self) -> Vec<usize> {
+        self.shape.clone()
+    }
+
+    fn forward(&mut self, _params: &ParamArena, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            // Identity at inference; mark mask as pass-through for backward.
+            self.mask.clear();
+            self.mask.resize(input.len(), 1.0);
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        self.mask.clear();
+        self.mask.reserve(input.len());
+        let mut out = input.clone();
+        for v in out.as_mut_slice() {
+            if self.rng.uniform() < self.p {
+                self.mask.push(0.0);
+                *v = 0.0;
+            } else {
+                self.mask.push(scale);
+                *v *= scale;
+            }
+        }
+        out
+    }
+
+    fn backward(
+        &mut self,
+        _params: &ParamArena,
+        _grads: &mut ParamArena,
+        grad_out: &Tensor,
+    ) -> Tensor {
+        assert_eq!(grad_out.len(), self.mask.len(), "backward before forward");
+        let mut g = grad_out.clone();
+        for (gi, &m) in g.as_mut_slice().iter_mut().zip(&self.mask) {
+            *gi *= m;
+        }
+        g
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        let salt = CLONE_SALT.fetch_add(1, Ordering::Relaxed);
+        Box::new(Dropout {
+            name: self.name.clone(),
+            shape: self.shape.clone(),
+            p: self.p,
+            rng: Rng::new(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            mask: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_identity() {
+        let mut l = Dropout::new("d", vec![100], 0.5, 1);
+        let x = Tensor::full([1, 100], 2.0);
+        let y = l.forward(&ParamArena::flat(0), &x, false);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn training_zeroes_about_p_fraction() {
+        let mut l = Dropout::new("d", vec![10_000], 0.3, 2);
+        let x = Tensor::full([1, 10_000], 1.0);
+        let y = l.forward(&ParamArena::flat(0), &x, true);
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!((2_700..3_300).contains(&zeros), "dropped {zeros}");
+    }
+
+    #[test]
+    fn survivors_are_scaled_to_preserve_expectation() {
+        let mut l = Dropout::new("d", vec![10_000], 0.5, 3);
+        let x = Tensor::full([1, 10_000], 1.0);
+        let y = l.forward(&ParamArena::flat(0), &x, true);
+        let mean = y.sum() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn backward_reuses_forward_mask() {
+        let mut l = Dropout::new("d", vec![1000], 0.5, 4);
+        let x = Tensor::full([1, 1000], 1.0);
+        let y = l.forward(&ParamArena::flat(0), &x, true);
+        let gy = Tensor::full([1, 1000], 1.0);
+        let mut g = ParamArena::flat(0);
+        let gx = l.backward(&ParamArena::flat(0), &mut g, &gy);
+        // Gradient flows exactly where activations survived.
+        for (yv, gv) in y.as_slice().iter().zip(gx.as_slice()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    fn clones_use_independent_masks() {
+        let mut a = Dropout::new("d", vec![256], 0.5, 5);
+        let mut b_box = a.boxed_clone();
+        let x = Tensor::full([1, 256], 1.0);
+        let ya = a.forward(&ParamArena::flat(0), &x, true);
+        let yb = b_box.forward(&ParamArena::flat(0), &x, true);
+        assert_ne!(ya.as_slice(), yb.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be")]
+    fn rejects_p_of_one() {
+        let _ = Dropout::new("d", vec![4], 1.0, 1);
+    }
+}

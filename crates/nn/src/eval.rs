@@ -1,0 +1,203 @@
+//! Evaluation metrics beyond plain accuracy: top-k (the standard
+//! ImageNet report — the paper's large-scale workloads are ImageNet
+//! models) and per-class confusion.
+
+use crate::network::Network;
+use easgd_tensor::Tensor;
+
+/// Counts of true class vs predicted class.
+#[derive(Clone, Debug)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    /// `counts[true * classes + predicted]`.
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// An empty matrix over `classes` classes.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        Self {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Records one prediction.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(truth < self.classes && predicted < self.classes, "class out of range");
+        self.counts[truth * self.classes + predicted] += 1;
+    }
+
+    /// Count at `(truth, predicted)`.
+    pub fn get(&self, truth: usize, predicted: usize) -> usize {
+        self.counts[truth * self.classes + predicted]
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (diagonal mass).
+    pub fn accuracy(&self) -> f32 {
+        let correct: usize = (0..self.classes).map(|c| self.get(c, c)).sum();
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f32 / total as f32
+        }
+    }
+
+    /// Recall of one class (diagonal / row sum); 0 for an unseen class.
+    pub fn recall(&self, class: usize) -> f32 {
+        let row: usize = (0..self.classes).map(|p| self.get(class, p)).sum();
+        if row == 0 {
+            0.0
+        } else {
+            self.get(class, class) as f32 / row as f32
+        }
+    }
+
+    /// The most-confused off-diagonal pair `(truth, predicted, count)`,
+    /// if any misclassification occurred.
+    pub fn worst_confusion(&self) -> Option<(usize, usize, usize)> {
+        let mut best = None;
+        for t in 0..self.classes {
+            for p in 0..self.classes {
+                if t != p {
+                    let c = self.get(t, p);
+                    if c > 0 && best.map_or(true, |(_, _, bc)| c > bc) {
+                        best = Some((t, p, c));
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Result of a top-k evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct TopKAccuracy {
+    /// Fraction with the true label ranked first.
+    pub top1: f32,
+    /// Fraction with the true label in the top k.
+    pub topk: f32,
+    /// The k used.
+    pub k: usize,
+}
+
+/// Indices of the `k` largest entries of `row`, best first.
+pub fn top_k_indices(row: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..row.len()).collect();
+    idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.truncate(k);
+    idx
+}
+
+/// Evaluates top-1/top-k accuracy and the confusion matrix over a
+/// labelled set, in inference mode.
+///
+/// # Panics
+/// Panics if shapes disagree or `k` is 0.
+pub fn evaluate_topk(
+    net: &mut Network,
+    images: &Tensor,
+    labels: &[usize],
+    batch: usize,
+    k: usize,
+) -> (TopKAccuracy, ConfusionMatrix) {
+    assert!(k >= 1, "k must be at least 1");
+    let n = labels.len();
+    assert!(n > 0, "empty evaluation set");
+    let classes = net.num_classes();
+    let per: usize = net.input_shape().iter().product();
+    assert_eq!(images.len(), n * per, "images/labels mismatch");
+    let k = k.min(classes);
+    let mut top1 = 0usize;
+    let mut topk = 0usize;
+    let mut confusion = ConfusionMatrix::new(classes);
+    let mut start = 0;
+    while start < n {
+        let end = (start + batch).min(n);
+        let bsz = end - start;
+        let mut shape = vec![bsz];
+        shape.extend_from_slice(net.input_shape());
+        let x = Tensor::from_vec(shape, images.as_slice()[start * per..end * per].to_vec());
+        let logits = net.forward(&x, false);
+        for (s, &label) in labels[start..end].iter().enumerate() {
+            let row = &logits.as_slice()[s * classes..(s + 1) * classes];
+            let ranked = top_k_indices(row, k);
+            if ranked[0] == label {
+                top1 += 1;
+            }
+            if ranked.contains(&label) {
+                topk += 1;
+            }
+            confusion.record(label, ranked[0]);
+        }
+        start = end;
+    }
+    (
+        TopKAccuracy {
+            top1: top1 as f32 / n as f32,
+            topk: topk as f32 / n as f32,
+            k,
+        },
+        confusion,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::mlp;
+
+    #[test]
+    fn top_k_indices_ranked_descending() {
+        let row = [0.1f32, 0.9, 0.5, 0.7];
+        assert_eq!(top_k_indices(&row, 3), vec![1, 3, 2]);
+        assert_eq!(top_k_indices(&row, 1), vec![1]);
+    }
+
+    #[test]
+    fn confusion_matrix_accounting() {
+        let mut m = ConfusionMatrix::new(3);
+        m.record(0, 0);
+        m.record(0, 0);
+        m.record(0, 1);
+        m.record(2, 2);
+        assert_eq!(m.total(), 4);
+        assert!((m.accuracy() - 0.75).abs() < 1e-6);
+        assert!((m.recall(0) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(m.recall(1), 0.0);
+        assert_eq!(m.worst_confusion(), Some((0, 1, 1)));
+    }
+
+    #[test]
+    fn topk_always_at_least_top1() {
+        let mut net = mlp(8, &[12], 5, 1);
+        let mut rng = easgd_tensor::Rng::new(2);
+        let mut images = Tensor::zeros([30, 8]);
+        rng.fill_normal(images.as_mut_slice(), 0.0, 1.0);
+        let labels: Vec<usize> = (0..30).map(|i| i % 5).collect();
+        let (acc, confusion) = evaluate_topk(&mut net, &images, &labels, 10, 3);
+        assert!(acc.topk >= acc.top1);
+        assert_eq!(acc.k, 3);
+        assert_eq!(confusion.total(), 30);
+        assert!((confusion.accuracy() - acc.top1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn top_classes_equals_certain_hit() {
+        // k = classes → topk accuracy is 1 by definition.
+        let mut net = mlp(4, &[6], 3, 3);
+        let images = Tensor::zeros([6, 4]);
+        let labels = vec![0, 1, 2, 0, 1, 2];
+        let (acc, _) = evaluate_topk(&mut net, &images, &labels, 3, 99);
+        assert_eq!(acc.k, 3);
+        assert!((acc.topk - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,90 @@
+//! Shape adapter between convolutional and dense stages.
+
+use crate::layer::{batch_of, Layer};
+use easgd_tensor::{ParamArena, Tensor};
+
+/// Flattens `[B, C, H, W]` (or any rank) into `[B, features]`.
+///
+/// Pure bookkeeping: the data is already contiguous row-major, so forward
+/// and backward are reshapes.
+#[derive(Clone, Debug)]
+pub struct Flatten {
+    name: String,
+    in_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Flattens the per-sample shape `in_shape`.
+    pub fn new(name: impl Into<String>, in_shape: Vec<usize>) -> Self {
+        assert!(!in_shape.is_empty(), "flatten needs an input shape");
+        Self {
+            name: name.into(),
+            in_shape,
+        }
+    }
+
+    fn features(&self) -> usize {
+        self.in_shape.iter().product()
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn out_shape(&self) -> Vec<usize> {
+        vec![self.features()]
+    }
+
+    fn forward(&mut self, _params: &ParamArena, input: &Tensor, _train: bool) -> Tensor {
+        let b = batch_of(input);
+        assert_eq!(
+            input.len(),
+            b * self.features(),
+            "flatten input shape mismatch"
+        );
+        input.clone().reshape([b, self.features()])
+    }
+
+    fn backward(
+        &mut self,
+        _params: &ParamArena,
+        _grads: &mut ParamArena,
+        grad_out: &Tensor,
+    ) -> Tensor {
+        let b = batch_of(grad_out);
+        let mut shape = vec![b];
+        shape.extend_from_slice(&self.in_shape);
+        grad_out.clone().reshape(shape)
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_reshapes_only() {
+        let mut l = Flatten::new("f", vec![2, 3, 4]);
+        let x = Tensor::from_vec([2, 2, 3, 4], (0..48).map(|i| i as f32).collect());
+        let y = l.forward(&ParamArena::flat(0), &x, true);
+        assert_eq!(y.shape().dims(), &[2, 24]);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn backward_restores_shape() {
+        let mut l = Flatten::new("f", vec![3, 2]);
+        let x = Tensor::zeros([4, 3, 2]);
+        let _ = l.forward(&ParamArena::flat(0), &x, true);
+        let gy = Tensor::zeros([4, 6]);
+        let mut g = ParamArena::flat(0);
+        let gx = l.backward(&ParamArena::flat(0), &mut g, &gy);
+        assert_eq!(gx.shape().dims(), &[4, 3, 2]);
+    }
+}

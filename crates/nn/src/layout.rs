@@ -1,0 +1,153 @@
+//! Packed vs per-layer communication schedules (§5.2, Figure 10).
+//!
+//! Frameworks of the paper's era allocated each layer separately and sent
+//! one message per layer. The paper packs all layers contiguously and
+//! sends one message, paying the network latency α once instead of once
+//! per layer. [`CommSchedule`] materializes both schedules so harnesses
+//! can charge them against any α-β network model.
+
+use crate::network::Network;
+use crate::spec::ModelSpec;
+
+/// Which parameter layout a schedule models.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LayoutKind {
+    /// One contiguous arena, one message (the paper's §5.2 optimization).
+    Packed,
+    /// One message per parameter-carrying layer (the baseline).
+    PerLayer,
+}
+
+/// A sequence of message sizes (bytes) that one model-exchange costs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommSchedule {
+    /// Layout this schedule was derived from.
+    pub kind: LayoutKind,
+    /// Message sizes in bytes, in transmission order.
+    pub messages: Vec<usize>,
+}
+
+impl CommSchedule {
+    /// Schedule for a runnable [`Network`].
+    ///
+    /// Per-layer mode sends one message per parameter *segment pair*
+    /// grouped by layer (weight+bias together, as frameworks did), packed
+    /// mode sends the whole arena at once.
+    pub fn from_network(net: &Network, kind: LayoutKind) -> Self {
+        match kind {
+            LayoutKind::Packed => Self {
+                kind,
+                messages: vec![net.size_bytes()],
+            },
+            LayoutKind::PerLayer => {
+                // Group `<layer>.weight` + `<layer>.bias` into one message.
+                let mut messages = Vec::new();
+                let mut cur_layer = String::new();
+                for (name, len) in net.segment_sizes() {
+                    let layer = name.split('.').next().unwrap_or(&name).to_string();
+                    if layer == cur_layer {
+                        *messages.last_mut().unwrap() += len * 4;
+                    } else {
+                        messages.push(len * 4);
+                        cur_layer = layer;
+                    }
+                }
+                Self { kind, messages }
+            }
+        }
+    }
+
+    /// Schedule for a cost-model [`ModelSpec`].
+    pub fn from_spec(spec: &ModelSpec, kind: LayoutKind) -> Self {
+        match kind {
+            LayoutKind::Packed => Self {
+                kind,
+                messages: vec![spec.weight_bytes()],
+            },
+            LayoutKind::PerLayer => Self {
+                kind,
+                messages: spec.layer_message_bytes(),
+            },
+        }
+    }
+
+    /// Number of messages (α payments).
+    pub fn num_messages(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Total bytes moved (β payments) — identical across layouts.
+    pub fn total_bytes(&self) -> usize {
+        self.messages.iter().sum()
+    }
+
+    /// Transfer time in seconds under the α-β model:
+    /// `Σ (α + β · bytes)` (§5.2 and Table 2 of the paper).
+    pub fn time_alpha_beta(&self, alpha_s: f64, beta_s_per_byte: f64) -> f64 {
+        self.messages
+            .iter()
+            .map(|&b| alpha_s + beta_s_per_byte * b as f64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::lenet_tiny;
+    use crate::spec::spec_googlenet;
+
+    #[test]
+    fn packed_is_one_message_with_same_bytes() {
+        let net = lenet_tiny(1);
+        let packed = CommSchedule::from_network(&net, LayoutKind::Packed);
+        let unpacked = CommSchedule::from_network(&net, LayoutKind::PerLayer);
+        assert_eq!(packed.num_messages(), 1);
+        assert!(unpacked.num_messages() > 1);
+        assert_eq!(packed.total_bytes(), unpacked.total_bytes());
+    }
+
+    #[test]
+    fn per_layer_groups_weight_and_bias() {
+        let net = lenet_tiny(1);
+        // conv1 + fc? lenet_tiny has conv, fc, fc → 3 layer messages.
+        let unpacked = CommSchedule::from_network(&net, LayoutKind::PerLayer);
+        assert_eq!(unpacked.num_messages(), 3);
+    }
+
+    #[test]
+    fn spec_schedules_match_totals() {
+        let spec = spec_googlenet();
+        let packed = CommSchedule::from_spec(&spec, LayoutKind::Packed);
+        let unpacked = CommSchedule::from_spec(&spec, LayoutKind::PerLayer);
+        assert_eq!(packed.total_bytes(), unpacked.total_bytes());
+        assert_eq!(unpacked.num_messages(), spec.layer_message_bytes().len());
+    }
+
+    #[test]
+    fn packed_always_wins_under_alpha_beta() {
+        // With any α > 0 the packed schedule is strictly faster — the
+        // Figure 10 claim.
+        let spec = spec_googlenet();
+        let packed = CommSchedule::from_spec(&spec, LayoutKind::Packed);
+        let unpacked = CommSchedule::from_spec(&spec, LayoutKind::PerLayer);
+        // Table 2 FDR InfiniBand: α = 0.7 µs, β = 0.2 ns/byte.
+        let (a, b) = (0.7e-6, 0.2e-9);
+        assert!(packed.time_alpha_beta(a, b) < unpacked.time_alpha_beta(a, b));
+        // And equal when latency is free.
+        let p0 = packed.time_alpha_beta(0.0, b);
+        let u0 = unpacked.time_alpha_beta(0.0, b);
+        assert!((p0 - u0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_saving_scales_with_message_count() {
+        let spec = spec_googlenet();
+        let unpacked = CommSchedule::from_spec(&spec, LayoutKind::PerLayer);
+        let (a, b) = (0.7e-6, 0.2e-9);
+        let saving = unpacked.time_alpha_beta(a, b)
+            - CommSchedule::from_spec(&spec, LayoutKind::Packed).time_alpha_beta(a, b);
+        let expect = a * (unpacked.num_messages() - 1) as f64;
+        assert!((saving - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,62 @@
+//! # easgd-nn
+//!
+//! Convolutional-neural-network substrate for the `knl-easgd` reproduction
+//! of *“Scaling Deep Learning on GPU and Knights Landing clusters”*
+//! (SC '17).
+//!
+//! The paper's distributed algorithms (EASGD variants) are *inter-device*
+//! schedules; every worker still runs real forward/backward propagation
+//! (§2.2). This crate provides that per-worker compute path:
+//!
+//! * [`layer`] — the [`layer::Layer`] trait plus concrete layers:
+//!   [`dense::Dense`], [`conv::Conv2d`], pooling,
+//!   activations, dropout, local response normalization.
+//! * [`loss`] — softmax cross-entropy with analytic gradient.
+//! * [`network`] — [`network::Network`]: a layer stack whose
+//!   parameters live in a single packed `ParamArena` (the §5.2
+//!   single-layer-communication layout).
+//! * [`models`] — the runnable model zoo (LeNet for MNIST, AlexNet-style
+//!   for CIFAR, generic MLPs) at both paper scale and `tiny` scale for
+//!   fast experiments.
+//! * [`spec`] — full-size cost specifications (parameter and flop counts
+//!   per layer) of LeNet, AlexNet, GoogLeNet and VGG-16/19, used by the
+//!   weak-scaling and communication models (Table 4, Figure 10).
+//! * [`layout`] — packed vs per-layer communication schedules (§5.2).
+//! * [`gradcheck`] — finite-difference gradient verification used by the
+//!   test-suite to certify every layer's backward pass.
+
+pub mod activations;
+pub mod batchnorm;
+pub mod checkpoint;
+pub mod conv;
+pub mod dense;
+pub mod dropout;
+pub mod eval;
+pub mod flatten;
+pub mod gradcheck;
+pub mod inception;
+pub mod layer;
+pub mod layout;
+pub mod loss;
+pub mod lrn;
+pub mod models;
+pub mod network;
+pub mod pool;
+pub mod spec;
+
+pub use activations::{Relu, Sigmoid, Tanh};
+pub use batchnorm::BatchNorm;
+pub use checkpoint::{load_network, save_network};
+pub use eval::{evaluate_topk, ConfusionMatrix, TopKAccuracy};
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use inception::{Inception, InceptionConfig};
+pub use layer::{Init, Layer, ParamSpec};
+pub use layout::{CommSchedule, LayoutKind};
+pub use loss::SoftmaxCrossEntropy;
+pub use lrn::LocalResponseNorm;
+pub use network::{Network, NetworkBuilder, StepStats};
+pub use pool::{AvgPool2d, MaxPool2d};
+pub use spec::{LayerCost, ModelSpec};

@@ -1,0 +1,156 @@
+//! Softmax cross-entropy loss with analytic gradient.
+
+use easgd_tensor::Tensor;
+
+/// Combined softmax + cross-entropy head.
+///
+/// Fusing the two is both numerically stable (log-sum-exp trick) and gives
+/// the famously simple gradient `(softmax(z) − onehot(y)) / B`.
+#[derive(Clone, Debug, Default)]
+pub struct SoftmaxCrossEntropy;
+
+/// Output of a loss evaluation on one batch.
+#[derive(Clone, Debug)]
+pub struct LossOutput {
+    /// Mean cross-entropy over the batch.
+    pub loss: f32,
+    /// Softmax probabilities, `[B, classes]`.
+    pub probs: Tensor,
+    /// Number of samples whose argmax prediction equals the label.
+    pub correct: usize,
+}
+
+impl SoftmaxCrossEntropy {
+    /// Evaluates mean cross-entropy of `logits` (`[B, classes]`) against
+    /// integer `labels`.
+    ///
+    /// # Panics
+    /// Panics if shapes disagree or any label is out of range.
+    pub fn forward(&self, logits: &Tensor, labels: &[usize]) -> LossOutput {
+        let b = labels.len();
+        assert!(b > 0, "empty batch");
+        assert_eq!(logits.len() % b, 0, "logit rows must match labels");
+        let classes = logits.len() / b;
+        let mut probs = Tensor::zeros([b, classes]);
+        let mut loss = 0.0f64;
+        let mut correct = 0;
+        for (s, &label) in labels.iter().enumerate() {
+            assert!(label < classes, "label {label} out of range {classes}");
+            let z = &logits.as_slice()[s * classes..(s + 1) * classes];
+            let p = &mut probs.as_mut_slice()[s * classes..(s + 1) * classes];
+            let max = z.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for (pi, &zi) in p.iter_mut().zip(z) {
+                *pi = (zi - max).exp();
+                denom += *pi;
+            }
+            let inv = 1.0 / denom;
+            p.iter_mut().for_each(|pi| *pi *= inv);
+            loss -= (p[label].max(1e-12) as f64).ln();
+            if easgd_tensor::ops::argmax(z) == Some(label) {
+                correct += 1;
+            }
+        }
+        LossOutput {
+            loss: (loss / b as f64) as f32,
+            probs,
+            correct,
+        }
+    }
+
+    /// Gradient of the mean loss with respect to the logits:
+    /// `(probs − onehot) / B`.
+    ///
+    /// # Panics
+    /// Panics if shapes disagree.
+    pub fn backward(&self, out: &LossOutput, labels: &[usize]) -> Tensor {
+        let b = labels.len();
+        let classes = out.probs.len() / b;
+        let mut grad = out.probs.clone();
+        let inv_b = 1.0 / b as f32;
+        for (s, &label) in labels.iter().enumerate() {
+            let row = &mut grad.as_mut_slice()[s * classes..(s + 1) * classes];
+            row[label] -= 1.0;
+            row.iter_mut().for_each(|g| *g *= inv_b);
+        }
+        grad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let loss = SoftmaxCrossEntropy.forward(&Tensor::zeros([2, 10]), &[3, 7]);
+        assert!((loss.loss - (10.0f32).ln()).abs() < 1e-5);
+        for p in loss.probs.as_slice() {
+            assert!((p - 0.1).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let mut logits = Tensor::zeros([1, 4]);
+        logits.as_mut_slice()[2] = 20.0;
+        let loss = SoftmaxCrossEntropy.forward(&logits, &[2]);
+        assert!(loss.loss < 1e-3);
+        assert_eq!(loss.correct, 1);
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits = Tensor::from_vec([2, 3], vec![1.0, 5.0, 0.0, 9.0, 1.0, 2.0]);
+        let loss = SoftmaxCrossEntropy.forward(&logits, &[1, 2]);
+        assert_eq!(loss.correct, 1);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec([2, 3], vec![0.3, -0.2, 0.9, 1.0, 1.0, 1.0]);
+        let out = SoftmaxCrossEntropy.forward(&logits, &[0, 2]);
+        let grad = SoftmaxCrossEntropy.backward(&out, &[0, 2]);
+        for row in grad.as_slice().chunks(3) {
+            let sum: f32 = row.iter().sum();
+            assert!(sum.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut logits = Tensor::from_vec([2, 4], vec![0.5, -1.0, 2.0, 0.1, 1.0, 0.0, -0.5, 0.3]);
+        let labels = [2usize, 0];
+        let out = SoftmaxCrossEntropy.forward(&logits, &labels);
+        let grad = SoftmaxCrossEntropy.backward(&out, &labels);
+        let eps = 1e-3f32;
+        for idx in 0..logits.len() {
+            let orig = logits.as_slice()[idx];
+            logits.as_mut_slice()[idx] = orig + eps;
+            let lp = SoftmaxCrossEntropy.forward(&logits, &labels).loss;
+            logits.as_mut_slice()[idx] = orig - eps;
+            let lm = SoftmaxCrossEntropy.forward(&logits, &labels).loss;
+            logits.as_mut_slice()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grad.as_slice()[idx]).abs() < 1e-3,
+                "logit {idx}: fd {fd} vs analytic {}",
+                grad.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn numerically_stable_for_huge_logits() {
+        let logits = Tensor::from_vec([1, 3], vec![1000.0, 999.0, -1000.0]);
+        let out = SoftmaxCrossEntropy.forward(&logits, &[0]);
+        assert!(out.loss.is_finite());
+        assert!(out.probs.as_slice().iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_label() {
+        let _ = SoftmaxCrossEntropy.forward(&Tensor::zeros([1, 3]), &[3]);
+    }
+}

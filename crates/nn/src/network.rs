@@ -1,0 +1,530 @@
+//! Networks: layer stacks over one packed parameter arena.
+
+use crate::activations::{Relu, Sigmoid, Tanh};
+use crate::conv::Conv2d;
+use crate::dense::Dense;
+use crate::dropout::Dropout;
+use crate::flatten::Flatten;
+use crate::layer::Layer;
+use crate::loss::SoftmaxCrossEntropy;
+use crate::lrn::LocalResponseNorm;
+use crate::pool::{AvgPool2d, MaxPool2d};
+use easgd_tensor::{Conv2dGeometry, ParamArena, Rng, Tensor};
+
+/// Statistics of one training step.
+#[derive(Clone, Copy, Debug)]
+pub struct StepStats {
+    /// Mean cross-entropy loss of the batch.
+    pub loss: f32,
+    /// Samples predicted correctly.
+    pub correct: usize,
+    /// Batch size.
+    pub batch: usize,
+}
+
+impl StepStats {
+    /// Batch accuracy in `[0, 1]`.
+    pub fn accuracy(&self) -> f32 {
+        self.correct as f32 / self.batch as f32
+    }
+}
+
+/// Fluent builder that tracks the per-sample shape through the stack.
+///
+/// ```
+/// use easgd_nn::NetworkBuilder;
+/// let net = NetworkBuilder::new([1, 8, 8])
+///     .conv2d(4, 3, 1, 1)
+///     .relu()
+///     .maxpool(2, 2)
+///     .flatten()
+///     .dense(10)
+///     .build(42);
+/// assert_eq!(net.num_classes(), 10);
+/// ```
+pub struct NetworkBuilder {
+    input_shape: Vec<usize>,
+    cur: Vec<usize>,
+    layers: Vec<Box<dyn Layer>>,
+    n: usize,
+}
+
+impl NetworkBuilder {
+    /// Starts a network taking per-sample inputs of `input_shape`
+    /// (`[channels, h, w]` for image models, `[features]` for MLPs).
+    pub fn new(input_shape: impl Into<Vec<usize>>) -> Self {
+        let input_shape = input_shape.into();
+        assert!(!input_shape.is_empty(), "input shape cannot be empty");
+        Self {
+            cur: input_shape.clone(),
+            input_shape,
+            layers: Vec::new(),
+            n: 0,
+        }
+    }
+
+    fn next_name(&mut self, kind: &str) -> String {
+        self.n += 1;
+        format!("{kind}{}", self.n)
+    }
+
+    fn chw(&self) -> (usize, usize, usize) {
+        assert_eq!(
+            self.cur.len(),
+            3,
+            "layer expects a [C,H,W] input, current shape is {:?}",
+            self.cur
+        );
+        (self.cur[0], self.cur[1], self.cur[2])
+    }
+
+    /// Appends a convolution with `out_channels` filters of size
+    /// `k × k`, the given stride and zero padding.
+    pub fn conv2d(mut self, out_channels: usize, k: usize, stride: usize, pad: usize) -> Self {
+        let (c, h, w) = self.chw();
+        let geom = Conv2dGeometry {
+            in_channels: c,
+            in_h: h,
+            in_w: w,
+            k_h: k,
+            k_w: k,
+            stride,
+            pad,
+        };
+        let name = self.next_name("conv");
+        let layer = Conv2d::new(name, geom, out_channels);
+        self.cur = layer.out_shape();
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a ReLU.
+    pub fn relu(mut self) -> Self {
+        let name = self.next_name("relu");
+        let layer = Relu::new(name, self.cur.clone());
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a Tanh.
+    pub fn tanh(mut self) -> Self {
+        let name = self.next_name("tanh");
+        let layer = Tanh::new(name, self.cur.clone());
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a Sigmoid.
+    pub fn sigmoid(mut self) -> Self {
+        let name = self.next_name("sigmoid");
+        let layer = Sigmoid::new(name, self.cur.clone());
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends max pooling.
+    pub fn maxpool(mut self, size: usize, stride: usize) -> Self {
+        let (c, h, w) = self.chw();
+        let name = self.next_name("pool");
+        let layer = MaxPool2d::new(name, c, h, w, size, stride);
+        self.cur = layer.out_shape();
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends average pooling.
+    pub fn avgpool(mut self, size: usize, stride: usize) -> Self {
+        let (c, h, w) = self.chw();
+        let name = self.next_name("pool");
+        let layer = AvgPool2d::new(name, c, h, w, size, stride);
+        self.cur = layer.out_shape();
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends batch normalization over the current shape (per-channel
+    /// for `[C,H,W]` maps, per-feature for flat activations).
+    pub fn batchnorm(mut self) -> Self {
+        let (channels, plane) = match self.cur.len() {
+            1 => (self.cur[0], 1),
+            3 => (self.cur[0], self.cur[1] * self.cur[2]),
+            _ => panic!("batchnorm expects [C,H,W] or [features], got {:?}", self.cur),
+        };
+        let name = self.next_name("bn");
+        let layer = crate::batchnorm::BatchNorm::new(name, channels, plane);
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a GoogLeNet inception module.
+    pub fn inception(mut self, config: crate::inception::InceptionConfig) -> Self {
+        let (c, h, w) = self.chw();
+        let name = self.next_name("inception");
+        let layer = crate::inception::Inception::new(name, c, h, w, config);
+        self.cur = layer.out_shape();
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends local response normalization with AlexNet defaults.
+    pub fn lrn(mut self) -> Self {
+        let (c, h, w) = self.chw();
+        let name = self.next_name("lrn");
+        let layer = LocalResponseNorm::new(name, c, h, w);
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a flatten stage.
+    pub fn flatten(mut self) -> Self {
+        let name = self.next_name("flatten");
+        let layer = Flatten::new(name, self.cur.clone());
+        self.cur = layer.out_shape();
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a fully-connected layer to `out_features`.
+    ///
+    /// # Panics
+    /// Panics if the current shape is not flat (call
+    /// [`flatten`](Self::flatten) after convolutional stages first).
+    pub fn dense(mut self, out_features: usize) -> Self {
+        assert_eq!(
+            self.cur.len(),
+            1,
+            "dense expects a flat input; call .flatten() first (shape {:?})",
+            self.cur
+        );
+        let name = self.next_name("fc");
+        let layer = Dense::new(name, self.cur[0], out_features);
+        self.cur = layer.out_shape();
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends dropout with drop probability `p`.
+    pub fn dropout(mut self, p: f32) -> Self {
+        let name = self.next_name("drop");
+        let layer = Dropout::new(name, self.cur.clone(), p, 0xD0_u64 + self.n as u64);
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Freezes the stack: allocates the packed arena, initializes weights
+    /// from `seed`, binds layers, and returns the runnable network.
+    pub fn build(self, seed: u64) -> Network {
+        let mut rng = Rng::new(seed);
+        let mut arena_builder = ParamArena::builder();
+        let mut bindings = Vec::new();
+        let mut specs_all = Vec::new();
+        for layer in &self.layers {
+            let specs = layer.param_specs();
+            let mut segs = Vec::new();
+            for spec in &specs {
+                segs.push(arena_builder.push(spec.name.clone(), spec.len));
+            }
+            bindings.push(segs);
+            specs_all.push(specs);
+        }
+        let mut params = arena_builder.build();
+        let mut layers = self.layers;
+        for ((layer, segs), specs) in layers.iter_mut().zip(&bindings).zip(&specs_all) {
+            for (i, spec) in specs.iter().enumerate() {
+                spec.init.fill(params.segment_mut(segs[i]), &mut rng);
+            }
+            layer.bind(segs);
+        }
+        let grads = ParamArena::like(&params);
+        Network {
+            layers,
+            params,
+            grads,
+            loss: SoftmaxCrossEntropy,
+            input_shape: self.input_shape,
+            num_classes: self.cur.iter().product(),
+        }
+    }
+}
+
+/// A runnable feed-forward network.
+///
+/// All parameters live in one packed [`ParamArena`] (the §5.2 layout);
+/// gradients live in a second arena of identical layout. Every worker in a
+/// distributed run clones the network (data parallelism replicates the
+/// model, §2.3) — clones share nothing.
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+    params: ParamArena,
+    grads: ParamArena,
+    loss: SoftmaxCrossEntropy,
+    input_shape: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Clone for Network {
+    fn clone(&self) -> Self {
+        Self {
+            layers: self.layers.clone(),
+            params: self.params.clone(),
+            grads: self.grads.clone(),
+            loss: SoftmaxCrossEntropy,
+            input_shape: self.input_shape.clone(),
+            num_classes: self.num_classes,
+        }
+    }
+}
+
+impl Network {
+    /// Per-sample input shape.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Total number of parameters.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Model size in bytes — the packed message size of §5.2.
+    pub fn size_bytes(&self) -> usize {
+        self.params.size_bytes()
+    }
+
+    /// The packed parameter arena.
+    pub fn params(&self) -> &ParamArena {
+        &self.params
+    }
+
+    /// Mutable packed parameter arena (optimizers write here).
+    pub fn params_mut(&mut self) -> &mut ParamArena {
+        &mut self.params
+    }
+
+    /// The gradient arena from the last [`forward_backward`](Self::forward_backward).
+    pub fn grads(&self) -> &ParamArena {
+        &self.grads
+    }
+
+    /// Mutable gradient arena.
+    pub fn grads_mut(&mut self) -> &mut ParamArena {
+        &mut self.grads
+    }
+
+    /// Per-parameter-segment `(name, len)` pairs, in arena order — the
+    /// per-layer message schedule of the *unpacked* layout (Figure 10).
+    pub fn segment_sizes(&self) -> Vec<(String, usize)> {
+        self.params
+            .segments()
+            .iter()
+            .map(|s| (s.name.clone(), s.len))
+            .collect()
+    }
+
+    /// Forward propagation on a batch `[B, …input_shape]`; returns logits
+    /// `[B, classes]`.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&self.params, &cur, train);
+        }
+        cur
+    }
+
+    /// One full training evaluation: forward, loss, backward. Gradients
+    /// are zeroed first, then accumulated into [`grads`](Self::grads).
+    pub fn forward_backward(&mut self, x: &Tensor, labels: &[usize]) -> StepStats {
+        let logits = self.forward(x, true);
+        let out = self.loss.forward(&logits, labels);
+        let mut grad = self.loss.backward(&out, labels);
+        self.grads.zero();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&self.params, &mut self.grads, &grad);
+        }
+        StepStats {
+            loss: out.loss,
+            correct: out.correct,
+            batch: labels.len(),
+        }
+    }
+
+    /// Classification accuracy over a labelled set, evaluated in batches
+    /// of `batch` (inference mode: dropout off).
+    ///
+    /// # Panics
+    /// Panics if `images` and `labels` disagree on the sample count.
+    pub fn evaluate(&mut self, images: &Tensor, labels: &[usize], batch: usize) -> f32 {
+        let n = labels.len();
+        assert!(n > 0, "empty evaluation set");
+        let per: usize = self.input_shape.iter().product();
+        assert_eq!(images.len(), n * per, "evaluate: images/labels mismatch");
+        let mut correct = 0usize;
+        let mut start = 0;
+        while start < n {
+            let end = (start + batch).min(n);
+            let bsz = end - start;
+            let mut shape = vec![bsz];
+            shape.extend_from_slice(&self.input_shape);
+            let x = Tensor::from_vec(
+                shape,
+                images.as_slice()[start * per..end * per].to_vec(),
+            );
+            let logits = self.forward(&x, false);
+            for (s, &label) in labels[start..end].iter().enumerate() {
+                let row = &logits.as_slice()[s * self.num_classes..(s + 1) * self.num_classes];
+                if easgd_tensor::ops::argmax(row) == Some(label) {
+                    correct += 1;
+                }
+            }
+            start = end;
+        }
+        correct as f32 / n as f32
+    }
+
+    /// Overwrites all parameters from a flat slice.
+    ///
+    /// # Panics
+    /// Panics if `src.len() != num_params()`.
+    pub fn set_params(&mut self, src: &[f32]) {
+        assert_eq!(src.len(), self.params.len(), "parameter length mismatch");
+        self.params.as_mut_slice().copy_from_slice(src);
+    }
+
+    /// Layer count (diagnostics).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_net() -> Network {
+        NetworkBuilder::new([1, 6, 6])
+            .conv2d(2, 3, 1, 1)
+            .relu()
+            .maxpool(2, 2)
+            .flatten()
+            .dense(10)
+            .build(7)
+    }
+
+    #[test]
+    fn builder_tracks_shapes() {
+        let net = tiny_net();
+        assert_eq!(net.num_classes(), 10);
+        assert_eq!(net.input_shape(), &[1, 6, 6]);
+        // conv(1→2, 3x3 pad 1): 2*9+2 = 20; fc(2*3*3=18→10): 190. Total 210.
+        assert_eq!(net.num_params(), 20 + 190);
+    }
+
+    #[test]
+    fn forward_shape_is_batch_by_classes() {
+        let mut net = tiny_net();
+        let x = Tensor::zeros([5, 1, 6, 6]);
+        let y = net.forward(&x, false);
+        assert_eq!(y.shape().dims(), &[5, 10]);
+    }
+
+    #[test]
+    fn forward_backward_fills_grads() {
+        let mut net = tiny_net();
+        let mut rng = Rng::new(1);
+        let mut x = Tensor::zeros([4, 1, 6, 6]);
+        rng.fill_normal(x.as_mut_slice(), 0.0, 1.0);
+        let stats = net.forward_backward(&x, &[0, 1, 2, 3]);
+        assert!(stats.loss > 0.0);
+        assert_eq!(stats.batch, 4);
+        let g = net.grads().as_slice();
+        assert!(g.iter().any(|&v| v != 0.0), "gradients all zero");
+    }
+
+    #[test]
+    fn sgd_loop_reduces_loss() {
+        // A single linearly-separable blob task must be learnable.
+        let mut net = NetworkBuilder::new([4]).dense(8).relu().dense(2).build(3);
+        let mut rng = Rng::new(9);
+        let n = 64;
+        let mut xs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let center = if class == 0 { -1.0 } else { 1.0 };
+            for _ in 0..4 {
+                xs.push(center + 0.3 * rng.normal());
+            }
+            labels.push(class);
+        }
+        let x = Tensor::from_vec([n, 4], xs);
+        let first = net.forward_backward(&x, &labels).loss;
+        for _ in 0..60 {
+            let stats = net.forward_backward(&x, &labels);
+            let g = net.grads.as_slice().to_vec();
+            easgd_tensor::ops::sgd_update(0.5, net.params_mut().as_mut_slice(), &g);
+            let _ = stats;
+        }
+        let last = net.forward_backward(&x, &labels);
+        assert!(
+            last.loss < first * 0.3,
+            "loss did not drop: {first} -> {}",
+            last.loss
+        );
+        assert!(last.accuracy() > 0.9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = tiny_net();
+        let mut b = tiny_net();
+        assert_eq!(a.params().as_slice(), b.params().as_slice());
+        let x = Tensor::full([2, 1, 6, 6], 0.5);
+        let ya = a.forward(&x, false);
+        let yb = b.forward(&x, false);
+        assert_eq!(ya.as_slice(), yb.as_slice());
+    }
+
+    #[test]
+    fn clone_is_independent_replica() {
+        let mut a = tiny_net();
+        let mut b = a.clone();
+        b.params_mut().as_mut_slice()[0] += 1.0;
+        assert_ne!(a.params().as_slice()[0], b.params().as_slice()[0]);
+        // Both still runnable.
+        let x = Tensor::zeros([1, 1, 6, 6]);
+        let _ = a.forward(&x, false);
+        let _ = b.forward(&x, false);
+    }
+
+    #[test]
+    fn evaluate_counts_correct_fraction() {
+        let mut net = tiny_net();
+        let mut rng = Rng::new(2);
+        let mut images = Tensor::zeros([10, 1, 6, 6]);
+        rng.fill_normal(images.as_mut_slice(), 0.0, 1.0);
+        let labels = vec![0usize; 10];
+        let acc = net.evaluate(&images, &labels, 4);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn segment_sizes_enumerate_layers() {
+        let net = tiny_net();
+        let sizes = net.segment_sizes();
+        assert_eq!(sizes.len(), 4); // conv w+b, fc w+b
+        assert_eq!(sizes[0].0, "conv1.weight");
+        let total: usize = sizes.iter().map(|(_, l)| l).sum();
+        assert_eq!(total, net.num_params());
+    }
+
+    #[test]
+    #[should_panic(expected = "flatten")]
+    fn dense_requires_flat_input() {
+        let _ = NetworkBuilder::new([1, 4, 4]).dense(10);
+    }
+}

@@ -1,0 +1,337 @@
+//! Spatial pooling layers.
+
+use crate::layer::{batch_of, Layer};
+use easgd_tensor::{ParamArena, Tensor};
+
+/// Shared spatial bookkeeping for pooling windows.
+#[derive(Clone, Copy, Debug)]
+struct PoolGeom {
+    channels: usize,
+    in_h: usize,
+    in_w: usize,
+    size: usize,
+    stride: usize,
+}
+
+impl PoolGeom {
+    fn out_h(&self) -> usize {
+        (self.in_h - self.size) / self.stride + 1
+    }
+    fn out_w(&self) -> usize {
+        (self.in_w - self.size) / self.stride + 1
+    }
+    fn in_plane(&self) -> usize {
+        self.in_h * self.in_w
+    }
+    fn out_plane(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+}
+
+/// Max pooling over square windows.
+#[derive(Clone, Debug)]
+pub struct MaxPool2d {
+    name: String,
+    geom: PoolGeom,
+    /// For each output element of the last batch: the flat input index of
+    /// its maximum (the routing for backward).
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Max pooling on `[channels, in_h, in_w]` maps with the given window
+    /// `size` and `stride`.
+    ///
+    /// # Panics
+    /// Panics if the window doesn't fit the input.
+    pub fn new(
+        name: impl Into<String>,
+        channels: usize,
+        in_h: usize,
+        in_w: usize,
+        size: usize,
+        stride: usize,
+    ) -> Self {
+        assert!(size > 0 && stride > 0, "pool size/stride must be > 0");
+        assert!(in_h >= size && in_w >= size, "pool window exceeds input");
+        Self {
+            name: name.into(),
+            geom: PoolGeom {
+                channels,
+                in_h,
+                in_w,
+                size,
+                stride,
+            },
+            argmax: Vec::new(),
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn out_shape(&self) -> Vec<usize> {
+        vec![self.geom.channels, self.geom.out_h(), self.geom.out_w()]
+    }
+
+    fn forward(&mut self, _params: &ParamArena, input: &Tensor, _train: bool) -> Tensor {
+        let g = &self.geom;
+        let b = batch_of(input);
+        let in_len = g.channels * g.in_plane();
+        assert_eq!(input.len(), b * in_len, "maxpool input shape mismatch");
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let out_len = g.channels * g.out_plane();
+        let mut out = Tensor::zeros([b, g.channels, oh, ow]);
+        self.argmax.clear();
+        self.argmax.resize(b * out_len, 0);
+        let x = input.as_slice();
+        let y = out.as_mut_slice();
+        for s in 0..b {
+            for c in 0..g.channels {
+                let plane_off = s * in_len + c * g.in_plane();
+                let out_off = s * out_len + c * g.out_plane();
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best_idx = plane_off + (oy * g.stride) * g.in_w + ox * g.stride;
+                        let mut best = x[best_idx];
+                        for ky in 0..g.size {
+                            for kx in 0..g.size {
+                                let idx = plane_off
+                                    + (oy * g.stride + ky) * g.in_w
+                                    + (ox * g.stride + kx);
+                                if x[idx] > best {
+                                    best = x[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let o = out_off + oy * ow + ox;
+                        y[o] = best;
+                        self.argmax[o] = best_idx;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(
+        &mut self,
+        _params: &ParamArena,
+        _grads: &mut ParamArena,
+        grad_out: &Tensor,
+    ) -> Tensor {
+        let g = &self.geom;
+        assert_eq!(
+            grad_out.len(),
+            self.argmax.len(),
+            "backward called with mismatched batch"
+        );
+        let b = grad_out.len() / (g.channels * g.out_plane());
+        let mut grad_in = Tensor::zeros([b, g.channels, g.in_h, g.in_w]);
+        let gx = grad_in.as_mut_slice();
+        for (o, &src) in self.argmax.iter().enumerate() {
+            gx[src] += grad_out.as_slice()[o];
+        }
+        grad_in
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        let mut c = self.clone();
+        c.argmax = Vec::new();
+        Box::new(c)
+    }
+}
+
+/// Average pooling over square windows.
+#[derive(Clone, Debug)]
+pub struct AvgPool2d {
+    name: String,
+    geom: PoolGeom,
+    last_batch: usize,
+}
+
+impl AvgPool2d {
+    /// Average pooling on `[channels, in_h, in_w]` maps.
+    ///
+    /// # Panics
+    /// Panics if the window doesn't fit the input.
+    pub fn new(
+        name: impl Into<String>,
+        channels: usize,
+        in_h: usize,
+        in_w: usize,
+        size: usize,
+        stride: usize,
+    ) -> Self {
+        assert!(size > 0 && stride > 0, "pool size/stride must be > 0");
+        assert!(in_h >= size && in_w >= size, "pool window exceeds input");
+        Self {
+            name: name.into(),
+            geom: PoolGeom {
+                channels,
+                in_h,
+                in_w,
+                size,
+                stride,
+            },
+            last_batch: 0,
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn out_shape(&self) -> Vec<usize> {
+        vec![self.geom.channels, self.geom.out_h(), self.geom.out_w()]
+    }
+
+    fn forward(&mut self, _params: &ParamArena, input: &Tensor, _train: bool) -> Tensor {
+        let g = &self.geom;
+        let b = batch_of(input);
+        let in_len = g.channels * g.in_plane();
+        assert_eq!(input.len(), b * in_len, "avgpool input shape mismatch");
+        self.last_batch = b;
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let norm = 1.0 / (g.size * g.size) as f32;
+        let mut out = Tensor::zeros([b, g.channels, oh, ow]);
+        let x = input.as_slice();
+        let y = out.as_mut_slice();
+        let out_len = g.channels * g.out_plane();
+        for s in 0..b {
+            for c in 0..g.channels {
+                let plane_off = s * in_len + c * g.in_plane();
+                let out_off = s * out_len + c * g.out_plane();
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for ky in 0..g.size {
+                            for kx in 0..g.size {
+                                acc += x[plane_off
+                                    + (oy * g.stride + ky) * g.in_w
+                                    + (ox * g.stride + kx)];
+                            }
+                        }
+                        y[out_off + oy * ow + ox] = acc * norm;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(
+        &mut self,
+        _params: &ParamArena,
+        _grads: &mut ParamArena,
+        grad_out: &Tensor,
+    ) -> Tensor {
+        let g = &self.geom;
+        let b = self.last_batch;
+        assert_eq!(
+            grad_out.len(),
+            b * g.channels * g.out_plane(),
+            "backward called with mismatched batch"
+        );
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let norm = 1.0 / (g.size * g.size) as f32;
+        let mut grad_in = Tensor::zeros([b, g.channels, g.in_h, g.in_w]);
+        let gx = grad_in.as_mut_slice();
+        let gy = grad_out.as_slice();
+        let in_len = g.channels * g.in_plane();
+        let out_len = g.channels * g.out_plane();
+        for s in 0..b {
+            for c in 0..g.channels {
+                let plane_off = s * in_len + c * g.in_plane();
+                let out_off = s * out_len + c * g.out_plane();
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let gv = gy[out_off + oy * ow + ox] * norm;
+                        for ky in 0..g.size {
+                            for kx in 0..g.size {
+                                gx[plane_off
+                                    + (oy * g.stride + ky) * g.in_w
+                                    + (ox * g.stride + kx)] += gv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{build_arenas, check_layer};
+
+    #[test]
+    fn maxpool_picks_window_maxima() {
+        let mut l = MaxPool2d::new("p", 1, 4, 4, 2, 2);
+        let x = Tensor::from_vec([1, 1, 4, 4], (0..16).map(|i| i as f32).collect());
+        let y = l.forward(&ParamArena::flat(0), &x, true);
+        assert_eq!(y.as_slice(), &[5., 7., 13., 15.]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut l = MaxPool2d::new("p", 1, 2, 2, 2, 2);
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1., 9., 3., 4.]);
+        let _ = l.forward(&ParamArena::flat(0), &x, true);
+        let gy = Tensor::from_vec([1, 1, 1, 1], vec![5.0]);
+        let mut g = ParamArena::flat(0);
+        let gx = l.backward(&ParamArena::flat(0), &mut g, &gy);
+        assert_eq!(gx.as_slice(), &[0., 5., 0., 0.]);
+    }
+
+    #[test]
+    fn maxpool_gradcheck() {
+        let mut l = MaxPool2d::new("p", 2, 6, 6, 2, 2);
+        let (params, grads) = build_arenas(&mut l, 1);
+        // Max pooling is piecewise linear; random normal inputs avoid ties.
+        check_layer(&mut l, params, grads, &[2, 6, 6], 2, 1e-2, 3);
+    }
+
+    #[test]
+    fn avgpool_averages() {
+        let mut l = AvgPool2d::new("p", 1, 2, 2, 2, 2);
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1., 2., 3., 6.]);
+        let y = l.forward(&ParamArena::flat(0), &x, true);
+        assert_eq!(y.as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn avgpool_gradcheck() {
+        let mut l = AvgPool2d::new("p", 3, 4, 4, 2, 2);
+        let (params, grads) = build_arenas(&mut l, 2);
+        check_layer(&mut l, params, grads, &[3, 4, 4], 2, 1e-2, 4);
+    }
+
+    #[test]
+    fn overlapping_stride_supported() {
+        // AlexNet uses overlapping 3x3/stride-2 pooling.
+        let mut l = MaxPool2d::new("p", 1, 5, 5, 3, 2);
+        let x = Tensor::from_vec([1, 1, 5, 5], (0..25).map(|i| i as f32).collect());
+        let y = l.forward(&ParamArena::flat(0), &x, true);
+        assert_eq!(l.out_shape(), vec![1, 2, 2]);
+        assert_eq!(y.as_slice(), &[12., 14., 22., 24.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window exceeds input")]
+    fn rejects_oversized_window() {
+        let _ = MaxPool2d::new("p", 1, 2, 2, 3, 1);
+    }
+}

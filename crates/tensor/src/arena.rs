@@ -1,0 +1,286 @@
+//! Packed parameter arena: the §5.2 “single-layer communication” substrate.
+//!
+//! Deep-learning frameworks of the paper's era allocated each layer's
+//! weights separately and sent one message per layer. §5.2 shows that
+//! packing all layers into one contiguous allocation wins twice: the α
+//! (latency) term is paid once instead of once per layer, and contiguous
+//! memory access has a higher cache-hit rate.
+//!
+//! [`ParamArena`] is that contiguous allocation: a single `Vec<f32>` with a
+//! registry of named [`Segment`]s. A whole model's parameters — and,
+//! symmetrically, its gradients, velocities, and center weights — live in
+//! arenas of identical layout, so elastic updates and collectives operate
+//! on one flat slice.
+
+use std::fmt;
+
+/// A named sub-range of a [`ParamArena`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// Human-readable name, e.g. `"conv1.weight"`.
+    pub name: String,
+    /// Offset in elements from the start of the arena.
+    pub offset: usize,
+    /// Length in elements.
+    pub len: usize,
+}
+
+impl Segment {
+    /// The element range of this segment.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.offset..self.offset + self.len
+    }
+}
+
+/// Builder that lays out segments back-to-back, then freezes into an arena.
+#[derive(Default)]
+pub struct ArenaBuilder {
+    segments: Vec<Segment>,
+    total: usize,
+}
+
+impl ArenaBuilder {
+    /// A builder with no segments.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a segment of `len` elements and returns its index.
+    pub fn push(&mut self, name: impl Into<String>, len: usize) -> usize {
+        let idx = self.segments.len();
+        self.segments.push(Segment {
+            name: name.into(),
+            offset: self.total,
+            len,
+        });
+        self.total += len;
+        idx
+    }
+
+    /// Freezes the layout into a zero-initialized arena.
+    pub fn build(self) -> ParamArena {
+        ParamArena {
+            data: vec![0.0; self.total],
+            segments: self.segments,
+        }
+    }
+}
+
+/// A contiguous, named-segment parameter buffer.
+#[derive(Clone, PartialEq)]
+pub struct ParamArena {
+    data: Vec<f32>,
+    segments: Vec<Segment>,
+}
+
+impl ParamArena {
+    /// Starts building an arena.
+    pub fn builder() -> ArenaBuilder {
+        ArenaBuilder::new()
+    }
+
+    /// A segment-less arena over `len` raw elements (useful when only the
+    /// flat view matters, e.g. a gradient accumulation buffer).
+    pub fn flat(len: usize) -> Self {
+        Self {
+            data: vec![0.0; len],
+            segments: vec![Segment {
+                name: "flat".to_string(),
+                offset: 0,
+                len,
+            }],
+        }
+    }
+
+    /// An arena with the same segment layout as `other`, zero-filled.
+    ///
+    /// Gradients, momenta and center weights are all laid out like the
+    /// weights they shadow, which is what lets Equations (1)–(6) run as
+    /// flat-slice kernels.
+    pub fn like(other: &ParamArena) -> Self {
+        Self {
+            data: vec![0.0; other.data.len()],
+            segments: other.segments.clone(),
+        }
+    }
+
+    /// Total elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the arena holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes (the message size of the packed layout).
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// The segment registry.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// The whole arena as one flat slice — the packed message of §5.2.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat view.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Read-only view of segment `idx`.
+    pub fn segment(&self, idx: usize) -> &[f32] {
+        let r = self.segments[idx].range();
+        &self.data[r]
+    }
+
+    /// Mutable view of segment `idx`.
+    pub fn segment_mut(&mut self, idx: usize) -> &mut [f32] {
+        let r = self.segments[idx].range();
+        &mut self.data[r]
+    }
+
+    /// Looks a segment up by name.
+    pub fn find(&self, name: &str) -> Option<usize> {
+        self.segments.iter().position(|s| s.name == name)
+    }
+
+    /// Splits the arena into disjoint mutable segment views, in registry
+    /// order. This is how a layer gets simultaneous access to its weight
+    /// and bias without aliasing the rest of the model.
+    pub fn split_mut(&mut self) -> Vec<&mut [f32]> {
+        let mut out = Vec::with_capacity(self.segments.len());
+        let mut rest: &mut [f32] = &mut self.data;
+        let mut consumed = 0;
+        for seg in &self.segments {
+            assert!(
+                seg.offset >= consumed,
+                "segments must be non-overlapping and ordered"
+            );
+            let skip = seg.offset - consumed;
+            let (_, tail) = rest.split_at_mut(skip);
+            let (head, tail) = tail.split_at_mut(seg.len);
+            out.push(head);
+            rest = tail;
+            consumed = seg.offset + seg.len;
+        }
+        out
+    }
+
+    /// Overwrites this arena's contents from another of identical length.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn copy_from(&mut self, other: &ParamArena) {
+        assert_eq!(self.len(), other.len(), "arena length mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Zeroes all elements.
+    pub fn zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+}
+
+impl fmt::Debug for ParamArena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ParamArena({} segments, {} elements, {} bytes)",
+            self.segments.len(),
+            self.len(),
+            self.size_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ParamArena {
+        let mut b = ParamArena::builder();
+        b.push("conv1.weight", 6);
+        b.push("conv1.bias", 2);
+        b.push("fc.weight", 4);
+        b.build()
+    }
+
+    #[test]
+    fn layout_is_back_to_back() {
+        let a = sample();
+        assert_eq!(a.len(), 12);
+        assert_eq!(a.segments()[0].offset, 0);
+        assert_eq!(a.segments()[1].offset, 6);
+        assert_eq!(a.segments()[2].offset, 8);
+        assert_eq!(a.size_bytes(), 48);
+    }
+
+    #[test]
+    fn segment_views_are_disjoint_windows() {
+        let mut a = sample();
+        a.segment_mut(1).fill(5.0);
+        assert!(a.segment(0).iter().all(|&x| x == 0.0));
+        assert!(a.segment(1).iter().all(|&x| x == 5.0));
+        assert!(a.segment(2).iter().all(|&x| x == 0.0));
+        assert_eq!(a.as_slice()[6], 5.0);
+    }
+
+    #[test]
+    fn find_by_name() {
+        let a = sample();
+        assert_eq!(a.find("fc.weight"), Some(2));
+        assert_eq!(a.find("missing"), None);
+    }
+
+    #[test]
+    fn split_mut_returns_all_segments() {
+        let mut a = sample();
+        {
+            let mut views = a.split_mut();
+            assert_eq!(views.len(), 3);
+            assert_eq!(views[0].len(), 6);
+            views[2].fill(1.0);
+        }
+        assert!(a.segment(2).iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn like_copies_layout_not_data() {
+        let mut a = sample();
+        a.as_mut_slice().fill(3.0);
+        let b = ParamArena::like(&a);
+        assert_eq!(b.len(), a.len());
+        assert_eq!(b.segments(), a.segments());
+        assert!(b.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn copy_from_transfers_contents() {
+        let mut a = sample();
+        a.as_mut_slice().fill(2.0);
+        let mut b = ParamArena::like(&a);
+        b.copy_from(&a);
+        assert_eq!(b.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn flat_arena_single_segment() {
+        let a = ParamArena::flat(10);
+        assert_eq!(a.segments().len(), 1);
+        assert_eq!(a.segments()[0].len, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn copy_from_rejects_mismatch() {
+        let mut a = ParamArena::flat(3);
+        a.copy_from(&ParamArena::flat(4));
+    }
+}

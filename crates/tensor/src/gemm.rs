@@ -1,0 +1,245 @@
+//! Single-precision general matrix multiply.
+//!
+//! `gemm` computes `C ← α·op(A)·op(B) + β·C` for row-major matrices, with
+//! optional transposition of either operand. Three access patterns are
+//! implemented as dedicated loops because they are the ones dense and
+//! convolutional layers need:
+//!
+//! * `NoTrans × NoTrans` — forward propagation (`X · Wᵀ` is expressed as
+//!   `NoTrans × Trans`), im2col convolution.
+//! * `NoTrans × Trans` — forward dense layers, input gradients.
+//! * `Trans × NoTrans` — weight gradients (`δᵀ · X`).
+//!
+//! The `m` dimension is parallelized with Rayon: rows of `C` are
+//! independent, which mirrors how each simulated device runs its own
+//! intra-chip data-parallel compute (the KNL has 68 cores; we use a
+//! work-stealing pool the same way, per the Rayon guide).
+
+use rayon::prelude::*;
+
+/// Whether an operand is used as stored or transposed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Transpose {
+    /// Use the matrix as stored.
+    No,
+    /// Use the transpose of the stored matrix.
+    Yes,
+}
+
+/// Below this many output elements the serial kernel is used; parallel
+/// dispatch overhead would dominate.
+const PAR_THRESHOLD: usize = 64 * 64;
+
+/// `C ← α·op(A)·op(B) + β·C`.
+///
+/// Dimensions are those of the *operated* matrices: `op(A)` is `m×k`,
+/// `op(B)` is `k×n`, `C` is `m×n`. All matrices are dense row-major.
+///
+/// # Panics
+/// Panics if any buffer is smaller than its dimensions imply.
+pub fn gemm(
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    assert!(a.len() >= m * k, "A buffer too small: {} < {}", a.len(), m * k);
+    assert!(b.len() >= k * n, "B buffer too small: {} < {}", b.len(), k * n);
+    assert!(c.len() >= m * n, "C buffer too small: {} < {}", c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    let row_kernel = |i: usize, c_row: &mut [f32]| {
+        if beta == 0.0 {
+            c_row.iter_mut().for_each(|x| *x = 0.0);
+        } else if beta != 1.0 {
+            c_row.iter_mut().for_each(|x| *x *= beta);
+        }
+        if k == 0 || alpha == 0.0 {
+            return;
+        }
+        match (ta, tb) {
+            (Transpose::No, Transpose::No) => {
+                // C[i,:] += α Σ_l A[i,l]·B[l,:]  (axpy over contiguous B rows)
+                for l in 0..k {
+                    let ail = alpha * a[i * k + l];
+                    if ail != 0.0 {
+                        let b_row = &b[l * n..l * n + n];
+                        for (cj, bj) in c_row.iter_mut().zip(b_row) {
+                            *cj += ail * bj;
+                        }
+                    }
+                }
+            }
+            (Transpose::No, Transpose::Yes) => {
+                // C[i,j] += α·dot(A.row(i), B.row(j)); B stored n×k.
+                let a_row = &a[i * k..i * k + k];
+                for (j, cj) in c_row.iter_mut().enumerate() {
+                    let b_row = &b[j * k..j * k + k];
+                    *cj += alpha * crate::ops::dot(a_row, b_row);
+                }
+            }
+            (Transpose::Yes, Transpose::No) => {
+                // A stored k×m: C[i,j] += α Σ_l A[l,i]·B[l,j].
+                for l in 0..k {
+                    let ali = alpha * a[l * m + i];
+                    if ali != 0.0 {
+                        let b_row = &b[l * n..l * n + n];
+                        for (cj, bj) in c_row.iter_mut().zip(b_row) {
+                            *cj += ali * bj;
+                        }
+                    }
+                }
+            }
+            (Transpose::Yes, Transpose::Yes) => {
+                // Rare; A stored k×m, B stored n×k.
+                for (j, cj) in c_row.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for l in 0..k {
+                        acc += a[l * m + i] * b[j * k + l];
+                    }
+                    *cj += alpha * acc;
+                }
+            }
+        }
+    };
+
+    if m * n >= PAR_THRESHOLD && m > 1 {
+        c[..m * n]
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, c_row)| row_kernel(i, c_row));
+    } else {
+        for (i, c_row) in c[..m * n].chunks_mut(n).enumerate() {
+            row_kernel(i, c_row);
+        }
+    }
+}
+
+/// Convenience: `C = A·B` with fresh output.
+pub fn matmul(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut c = vec![0.0; m * n];
+    gemm(Transpose::No, Transpose::No, m, n, k, 1.0, a, b, 0.0, &mut c);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation: naive triple loop with explicit indexing.
+    fn naive(
+        ta: Transpose,
+        tb: Transpose,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+    ) -> Vec<f32> {
+        let get_a = |i: usize, l: usize| match ta {
+            Transpose::No => a[i * k + l],
+            Transpose::Yes => a[l * m + i],
+        };
+        let get_b = |l: usize, j: usize| match tb {
+            Transpose::No => b[l * n + j],
+            Transpose::Yes => b[j * k + l],
+        };
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for l in 0..k {
+                    acc += get_a(i, l) * get_b(l, j);
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+        let mut r = crate::rng::Rng::new(seed);
+        (0..n).map(|_| r.uniform_in(-1.0, 1.0)).collect()
+    }
+
+    fn assert_all_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "element {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn small_known_product() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let c = matmul(2, 2, 2, &[1., 2., 3., 4.], &[5., 6., 7., 8.]);
+        assert_eq!(c, vec![19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn all_transpose_variants_match_naive() {
+        let (m, n, k) = (7, 9, 11);
+        for (ta, a_len) in [(Transpose::No, m * k), (Transpose::Yes, k * m)] {
+            for (tb, b_len) in [(Transpose::No, k * n), (Transpose::Yes, n * k)] {
+                let a = rand_vec(a_len, 1);
+                let b = rand_vec(b_len, 2);
+                let mut c = vec![0.0; m * n];
+                gemm(ta, tb, m, n, k, 1.0, &a, &b, 0.0, &mut c);
+                assert_all_close(&c, &naive(ta, tb, m, n, k, &a, &b), 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_beta_blend() {
+        let a = rand_vec(4 * 3, 3);
+        let b = rand_vec(3 * 5, 4);
+        let c0 = rand_vec(4 * 5, 5);
+        let mut c = c0.clone();
+        gemm(Transpose::No, Transpose::No, 4, 5, 3, 2.0, &a, &b, 0.5, &mut c);
+        let p = naive(Transpose::No, Transpose::No, 4, 5, 3, &a, &b);
+        for i in 0..c.len() {
+            assert!((c[i] - (2.0 * p[i] + 0.5 * c0[i])).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        // Large enough to cross PAR_THRESHOLD.
+        let (m, n, k) = (96, 96, 33);
+        let a = rand_vec(m * k, 6);
+        let b = rand_vec(k * n, 7);
+        let mut c = vec![0.0; m * n];
+        gemm(Transpose::No, Transpose::No, m, n, k, 1.0, &a, &b, 0.0, &mut c);
+        assert_all_close(&c, &naive(Transpose::No, Transpose::No, m, n, k, &a, &b), 1e-3);
+    }
+
+    #[test]
+    fn zero_k_scales_c_only() {
+        let mut c = vec![2.0; 4];
+        gemm(Transpose::No, Transpose::No, 2, 2, 0, 1.0, &[], &[], 0.5, &mut c);
+        assert_eq!(c, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn zero_m_or_n_is_noop() {
+        let mut c: Vec<f32> = vec![];
+        gemm(Transpose::No, Transpose::No, 0, 5, 3, 1.0, &[], &[0.0; 15], 0.0, &mut c);
+        gemm(Transpose::No, Transpose::No, 5, 0, 3, 1.0, &[0.0; 15], &[], 0.0, &mut c);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_short_buffers() {
+        let mut c = vec![0.0; 4];
+        gemm(Transpose::No, Transpose::No, 2, 2, 2, 1.0, &[0.0; 3], &[0.0; 4], 0.0, &mut c);
+    }
+}

@@ -1,0 +1,287 @@
+//! im2col / col2im lowering for convolution-as-GEMM.
+//!
+//! Convolutional layers in the paper's era of frameworks (Caffe, cuDNN)
+//! were implemented by unrolling input patches into a matrix and calling
+//! GEMM; we do the same so the per-worker compute path matches what the
+//! paper benchmarked.
+
+/// Geometry of a 2-D convolution (single spatial configuration shared by
+/// im2col, col2im and the conv layer).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub k_h: usize,
+    /// Kernel width.
+    pub k_w: usize,
+    /// Stride (same both directions).
+    pub stride: usize,
+    /// Zero padding (same all sides).
+    pub pad: usize,
+}
+
+impl Conv2dGeometry {
+    /// Output height after the convolution.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad).saturating_sub(self.k_h) / self.stride + 1
+    }
+
+    /// Output width after the convolution.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad).saturating_sub(self.k_w) / self.stride + 1
+    }
+
+    /// Rows of the im2col matrix: one per kernel element per input channel.
+    pub fn col_rows(&self) -> usize {
+        self.in_channels * self.k_h * self.k_w
+    }
+
+    /// Columns of the im2col matrix: one per output pixel.
+    pub fn col_cols(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Number of elements in one input image (C·H·W).
+    pub fn input_len(&self) -> usize {
+        self.in_channels * self.in_h * self.in_w
+    }
+
+    /// Validates that the geometry produces at least one output pixel.
+    pub fn is_valid(&self) -> bool {
+        self.in_h + 2 * self.pad >= self.k_h
+            && self.in_w + 2 * self.pad >= self.k_w
+            && self.stride > 0
+            && self.k_h > 0
+            && self.k_w > 0
+    }
+}
+
+/// Unrolls one CHW image into the `col_rows() × col_cols()` patch matrix.
+///
+/// Out-of-image (padding) positions contribute zeros.
+///
+/// # Panics
+/// Panics if buffer sizes don't match the geometry.
+pub fn im2col(geom: &Conv2dGeometry, image: &[f32], col: &mut [f32]) {
+    assert!(geom.is_valid(), "invalid conv geometry {geom:?}");
+    assert_eq!(image.len(), geom.input_len(), "image buffer size mismatch");
+    assert_eq!(
+        col.len(),
+        geom.col_rows() * geom.col_cols(),
+        "col buffer size mismatch"
+    );
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let n_cols = oh * ow;
+    let mut row = 0;
+    for c in 0..geom.in_channels {
+        let plane = &image[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
+        for ky in 0..geom.k_h {
+            for kx in 0..geom.k_w {
+                let out_row = &mut col[row * n_cols..(row + 1) * n_cols];
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                    let dst = &mut out_row[oy * ow..(oy + 1) * ow];
+                    if iy < 0 || iy >= geom.in_h as isize {
+                        dst.iter_mut().for_each(|x| *x = 0.0);
+                        continue;
+                    }
+                    let src_row = &plane[iy as usize * geom.in_w..(iy as usize + 1) * geom.in_w];
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                        dst[ox] = if ix < 0 || ix >= geom.in_w as isize {
+                            0.0
+                        } else {
+                            src_row[ix as usize]
+                        };
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Scatters a patch-matrix gradient back to image space (the adjoint of
+/// [`im2col`]): overlapping patches accumulate.
+///
+/// # Panics
+/// Panics if buffer sizes don't match the geometry.
+pub fn col2im(geom: &Conv2dGeometry, col: &[f32], image: &mut [f32]) {
+    assert!(geom.is_valid(), "invalid conv geometry {geom:?}");
+    assert_eq!(image.len(), geom.input_len(), "image buffer size mismatch");
+    assert_eq!(
+        col.len(),
+        geom.col_rows() * geom.col_cols(),
+        "col buffer size mismatch"
+    );
+    image.iter_mut().for_each(|x| *x = 0.0);
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let n_cols = oh * ow;
+    let mut row = 0;
+    for c in 0..geom.in_channels {
+        let plane_off = c * geom.in_h * geom.in_w;
+        for ky in 0..geom.k_h {
+            for kx in 0..geom.k_w {
+                let src_row = &col[row * n_cols..(row + 1) * n_cols];
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                    if iy < 0 || iy >= geom.in_h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                        if ix < 0 || ix >= geom.in_w as isize {
+                            continue;
+                        }
+                        image[plane_off + iy as usize * geom.in_w + ix as usize] +=
+                            src_row[oy * ow + ox];
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom_3x3_input_2x2_kernel() -> Conv2dGeometry {
+        Conv2dGeometry {
+            in_channels: 1,
+            in_h: 3,
+            in_w: 3,
+            k_h: 2,
+            k_w: 2,
+            stride: 1,
+            pad: 0,
+        }
+    }
+
+    #[test]
+    fn output_dims() {
+        let g = geom_3x3_input_2x2_kernel();
+        assert_eq!((g.out_h(), g.out_w()), (2, 2));
+        let padded = Conv2dGeometry { pad: 1, ..g };
+        assert_eq!((padded.out_h(), padded.out_w()), (4, 4));
+        let strided = Conv2dGeometry {
+            in_h: 5,
+            in_w: 5,
+            stride: 2,
+            ..g
+        };
+        assert_eq!((strided.out_h(), strided.out_w()), (2, 2));
+    }
+
+    #[test]
+    fn im2col_known_patches() {
+        let g = geom_3x3_input_2x2_kernel();
+        // image: 0..9 row-major
+        let image: Vec<f32> = (0..9).map(|i| i as f32).collect();
+        let mut col = vec![0.0; g.col_rows() * g.col_cols()];
+        im2col(&g, &image, &mut col);
+        // Row 0 = kernel (0,0) across the 4 output pixels: 0,1,3,4
+        assert_eq!(&col[0..4], &[0., 1., 3., 4.]);
+        // Row 3 = kernel (1,1): 4,5,7,8
+        assert_eq!(&col[12..16], &[4., 5., 7., 8.]);
+    }
+
+    #[test]
+    fn im2col_pads_with_zeros() {
+        let g = Conv2dGeometry {
+            pad: 1,
+            ..geom_3x3_input_2x2_kernel()
+        };
+        let image = vec![1.0; 9];
+        let mut col = vec![7.0; g.col_rows() * g.col_cols()];
+        im2col(&g, &image, &mut col);
+        // Kernel (0,0), output (0,0) reads image(-1,-1) → 0.
+        assert_eq!(col[0], 0.0);
+        // There must be real values too.
+        assert!(col.iter().any(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn conv_via_gemm_matches_direct() {
+        // 1×4×4 input, 2×2 kernel, stride 1, no pad; compare GEMM result to
+        // a direct sliding-window convolution.
+        let g = Conv2dGeometry {
+            in_channels: 1,
+            in_h: 4,
+            in_w: 4,
+            k_h: 2,
+            k_w: 2,
+            stride: 1,
+            pad: 0,
+        };
+        let mut rng = crate::rng::Rng::new(1);
+        let image: Vec<f32> = (0..16).map(|_| rng.uniform()).collect();
+        let kernel: Vec<f32> = (0..4).map(|_| rng.uniform()).collect();
+        let mut col = vec![0.0; g.col_rows() * g.col_cols()];
+        im2col(&g, &image, &mut col);
+        // out = kernel(1×4) · col(4×9)
+        let out = crate::gemm::matmul(1, g.col_cols(), g.col_rows(), &kernel, &col);
+        for oy in 0..3 {
+            for ox in 0..3 {
+                let mut acc = 0.0;
+                for ky in 0..2 {
+                    for kx in 0..2 {
+                        acc += kernel[ky * 2 + kx] * image[(oy + ky) * 4 + (ox + kx)];
+                    }
+                }
+                assert!((out[oy * 3 + ox] - acc).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property,
+        // which is exactly what backprop correctness needs.
+        let g = Conv2dGeometry {
+            in_channels: 2,
+            in_h: 5,
+            in_w: 4,
+            k_h: 3,
+            k_w: 2,
+            stride: 2,
+            pad: 1,
+        };
+        let mut rng = crate::rng::Rng::new(2);
+        let x: Vec<f32> = (0..g.input_len()).map(|_| rng.normal()).collect();
+        let y: Vec<f32> = (0..g.col_rows() * g.col_cols())
+            .map(|_| rng.normal())
+            .collect();
+        let mut cx = vec![0.0; y.len()];
+        im2col(&g, &x, &mut cx);
+        let mut aty = vec![0.0; x.len()];
+        col2im(&g, &y, &mut aty);
+        let lhs = crate::ops::dot(&cx, &y);
+        let rhs = crate::ops::dot(&x, &aty);
+        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn multichannel_rows_are_grouped_by_channel() {
+        let g = Conv2dGeometry {
+            in_channels: 2,
+            in_h: 2,
+            in_w: 2,
+            k_h: 1,
+            k_w: 1,
+            stride: 1,
+            pad: 0,
+        };
+        let image = vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0];
+        let mut col = vec![0.0; g.col_rows() * g.col_cols()];
+        im2col(&g, &image, &mut col);
+        assert_eq!(&col[0..4], &[1., 2., 3., 4.]);
+        assert_eq!(&col[4..8], &[10., 20., 30., 40.]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # easgd-tensor
+//!
+//! Dense `f32` tensor and parallel linear-algebra substrate for the
+//! `knl-easgd` reproduction of *“Scaling Deep Learning on GPU and Knights
+//! Landing clusters”* (SC '17).
+//!
+//! The paper's workers each run real forward/backward propagation; this
+//! crate provides the kernels those workers need:
+//!
+//! * [`Tensor`] — an owned, row-major dense tensor with shape metadata.
+//! * [`gemm()`](gemm::gemm) — blocked, Rayon-parallel single-precision matrix multiply
+//!   with transpose variants (the workhorse of dense and convolutional
+//!   layers).
+//! * [`im2col()`](im2col::im2col) / [`col2im()`](im2col::col2im) — the lowering used to express convolution as
+//!   GEMM, exactly as cuDNN-era frameworks did.
+//! * [`ParamArena`] — a *packed*, contiguous parameter buffer with named
+//!   segments. This is the substrate for the paper's §5.2 “single-layer
+//!   communication” optimization: one contiguous allocation means the whole
+//!   model is one message.
+//! * [`AtomicF32`] / [`AtomicBuffer`] — lock-free shared weights for the
+//!   Hogwild-style algorithms (§3.2, Hogwild EASGD).
+//! * [`Rng`] — a small deterministic xorshift generator with Box–Muller
+//!   normals and Xavier initialization, so every experiment is reproducible
+//!   bit-for-bit (the paper stresses Sync EASGD's determinism).
+
+pub mod arena;
+pub mod atomic;
+pub mod gemm;
+pub mod im2col;
+pub mod ops;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+
+pub use arena::{ParamArena, Segment};
+pub use atomic::{AtomicBuffer, AtomicF32};
+pub use gemm::{gemm, Transpose};
+pub use im2col::{col2im, im2col, Conv2dGeometry};
+pub use ops::*;
+pub use rng::Rng;
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,283 @@
+//! Vector kernels: BLAS-1 style operations on `f32` slices.
+//!
+//! These are the primitives the elastic-averaging updates (Equations 1, 2,
+//! 5, 6 of the paper) and the optimizer steps are built from. They operate
+//! on raw slices so they can be applied to whole packed parameter arenas
+//! (§5.2) as easily as to individual layer buffers.
+
+/// `y += alpha * x` (BLAS `axpy`).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha` (BLAS `scal`).
+pub fn scale(alpha: f32, x: &mut [f32]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Dot product of two equally long slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    let mut acc = 0.0f32;
+    // Four accumulators: breaks the dependency chain so the compiler can
+    // vectorize without -ffast-math-style reassociation.
+    let mut a0 = 0.0f32;
+    let mut a1 = 0.0f32;
+    let mut a2 = 0.0f32;
+    let mut a3 = 0.0f32;
+    let chunks = x.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        a0 += x[i] * y[i];
+        a1 += x[i + 1] * y[i + 1];
+        a2 += x[i + 2] * y[i + 2];
+        a3 += x[i + 3] * y[i + 3];
+    }
+    for i in chunks * 4..x.len() {
+        acc += x[i] * y[i];
+    }
+    acc + a0 + a1 + a2 + a3
+}
+
+/// Element-wise `out = a - b`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn sub(a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), b.len(), "sub length mismatch");
+    assert_eq!(a.len(), out.len(), "sub output length mismatch");
+    for i in 0..a.len() {
+        out[i] = a[i] - b[i];
+    }
+}
+
+/// Element-wise `a += b`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn add_assign(a: &mut [f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "add_assign length mismatch");
+    for (ai, bi) in a.iter_mut().zip(b.iter()) {
+        *ai += bi;
+    }
+}
+
+/// Copies `src` into `dst`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn copy(src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "copy length mismatch");
+    dst.copy_from_slice(src);
+}
+
+/// Sum of all elements.
+pub fn sum(x: &[f32]) -> f32 {
+    x.iter().sum()
+}
+
+/// Squared L2 norm.
+pub fn norm_sq(x: &[f32]) -> f32 {
+    dot(x, x)
+}
+
+/// Index of the first maximum element, or `None` if empty.
+pub fn argmax(x: &[f32]) -> Option<usize> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &v) in x.iter().enumerate() {
+        if v > x[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// The elastic update of Equation (1):
+/// `W_i ← W_i − η(ΔW_i + ρ(W_i − W̄))`.
+///
+/// `local` is the worker's weight `W_i`, `grad` its sub-gradient `ΔW_i`,
+/// `center` the global weight `W̄`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn elastic_worker_update(
+    eta: f32,
+    rho: f32,
+    local: &mut [f32],
+    grad: &[f32],
+    center: &[f32],
+) {
+    assert_eq!(local.len(), grad.len(), "elastic update length mismatch");
+    assert_eq!(local.len(), center.len(), "elastic update length mismatch");
+    for i in 0..local.len() {
+        local[i] -= eta * (grad[i] + rho * (local[i] - center[i]));
+    }
+}
+
+/// The center update of Equation (2) for a single arriving worker:
+/// `W̄ ← W̄ + ηρ(W_i − W̄)`.
+///
+/// Calling this once per worker realizes the full sum of Equation (2).
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn elastic_center_update(eta: f32, rho: f32, center: &mut [f32], local: &[f32]) {
+    assert_eq!(center.len(), local.len(), "center update length mismatch");
+    let c = eta * rho;
+    for i in 0..center.len() {
+        center[i] += c * (local[i] - center[i]);
+    }
+}
+
+/// Momentum update of Equations (3)–(4):
+/// `V ← µV − ηΔW; W ← W + V`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn momentum_update(eta: f32, mu: f32, weight: &mut [f32], velocity: &mut [f32], grad: &[f32]) {
+    assert_eq!(weight.len(), grad.len(), "momentum update length mismatch");
+    assert_eq!(weight.len(), velocity.len(), "momentum update length mismatch");
+    for i in 0..weight.len() {
+        velocity[i] = mu * velocity[i] - eta * grad[i];
+        weight[i] += velocity[i];
+    }
+}
+
+/// Momentum-elastic worker update of Equations (5)–(6):
+/// `Vᵢ ← µVᵢ − ηΔWᵢ; Wᵢ ← Wᵢ + Vᵢ − ηρ(Wᵢ − W̄)`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn elastic_momentum_update(
+    eta: f32,
+    mu: f32,
+    rho: f32,
+    local: &mut [f32],
+    velocity: &mut [f32],
+    grad: &[f32],
+    center: &[f32],
+) {
+    assert_eq!(local.len(), grad.len(), "measgd update length mismatch");
+    assert_eq!(local.len(), velocity.len(), "measgd update length mismatch");
+    assert_eq!(local.len(), center.len(), "measgd update length mismatch");
+    for i in 0..local.len() {
+        velocity[i] = mu * velocity[i] - eta * grad[i];
+        local[i] += velocity[i] - eta * rho * (local[i] - center[i]);
+    }
+}
+
+/// Plain SGD step `W ← W − ηΔW`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn sgd_update(eta: f32, weight: &mut [f32], grad: &[f32]) {
+    axpy(-eta, grad, weight);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f32, b: f32) {
+        assert!((a - b).abs() < 1e-5, "{a} != {b}");
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 2.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 10.0]);
+    }
+
+    #[test]
+    fn dot_matches_naive_on_odd_lengths() {
+        let x: Vec<f32> = (0..11).map(|i| i as f32).collect();
+        let y: Vec<f32> = (0..11).map(|i| (i * 2) as f32).collect();
+        let naive: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert_close(dot(&x, &y), naive);
+    }
+
+    #[test]
+    fn scale_and_sum() {
+        let mut x = vec![1.0, 2.0, 3.0];
+        scale(2.0, &mut x);
+        assert_eq!(sum(&x), 12.0);
+    }
+
+    #[test]
+    fn sub_and_add_assign_are_inverse() {
+        let a = vec![5.0, 6.0];
+        let b = vec![1.0, 2.0];
+        let mut d = vec![0.0; 2];
+        sub(&a, &b, &mut d);
+        let mut r = b.clone();
+        add_assign(&mut r, &d);
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    fn elastic_worker_update_matches_equation_1() {
+        // W=1, grad=0.5, center=0 → W - η(grad + ρ(W - W̄)) = 1 - 0.1(0.5 + 0.2*1)
+        let mut w = vec![1.0];
+        elastic_worker_update(0.1, 0.2, &mut w, &[0.5], &[0.0]);
+        assert_close(w[0], 1.0 - 0.1 * (0.5 + 0.2));
+    }
+
+    #[test]
+    fn elastic_center_update_matches_equation_2() {
+        let mut c = vec![0.0];
+        elastic_center_update(0.1, 0.5, &mut c, &[2.0]);
+        assert_close(c[0], 0.1 * 0.5 * 2.0);
+    }
+
+    #[test]
+    fn center_update_is_convex_pull() {
+        // With ηρ ∈ (0,1) the center moves toward the worker without
+        // overshooting: this is the stability property EASGD relies on.
+        let mut c = vec![0.0];
+        for _ in 0..1000 {
+            elastic_center_update(0.1, 0.5, &mut c, &[1.0]);
+        }
+        assert!(c[0] > 0.99 && c[0] <= 1.0);
+    }
+
+    #[test]
+    fn momentum_update_matches_equations_3_4() {
+        let mut w = vec![1.0];
+        let mut v = vec![0.5];
+        momentum_update(0.1, 0.9, &mut w, &mut v, &[1.0]);
+        // v = 0.9*0.5 - 0.1*1 = 0.35; w = 1 + 0.35
+        assert_close(v[0], 0.35);
+        assert_close(w[0], 1.35);
+    }
+
+    #[test]
+    fn elastic_momentum_matches_equations_5_6() {
+        let mut w = vec![1.0];
+        let mut v = vec![0.0];
+        elastic_momentum_update(0.1, 0.9, 0.5, &mut w, &mut v, &[1.0], &[0.0]);
+        // v = -0.1; w = 1 - 0.1 - 0.1*0.5*(1-0) = 0.85
+        assert_close(w[0], 0.85);
+    }
+
+    #[test]
+    fn sgd_update_descends() {
+        let mut w = vec![1.0];
+        sgd_update(0.5, &mut w, &[2.0]);
+        assert_eq!(w, vec![0.0]);
+    }
+}

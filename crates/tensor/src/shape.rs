@@ -1,0 +1,195 @@
+//! Tensor shapes: dimension lists with row-major stride math.
+
+use std::fmt;
+
+/// The shape of a dense, row-major tensor.
+///
+/// Up to four dimensions are used by the networks in this workspace
+/// (`[batch, channels, height, width]` for feature maps, `[out, in]` for
+/// dense weights), but the type supports any rank.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a dimension list.
+    ///
+    /// Zero-sized dimensions are permitted (an empty tensor), but an empty
+    /// dimension list denotes a scalar with one element.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Self { dims: dims.into() }
+    }
+
+    /// The dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of dimensions; 1 for a scalar).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True if the shape contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of dimension `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// Row-major strides: `stride[i]` is the element distance between
+    /// consecutive indices along dimension `i`.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    /// Panics if `idx` has the wrong rank or any coordinate is out of range.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(
+            idx.len(),
+            self.dims.len(),
+            "index rank {} does not match shape rank {}",
+            idx.len(),
+            self.dims.len()
+        );
+        let mut off = 0;
+        let strides = self.strides();
+        for (d, (&i, &s)) in idx.iter().zip(strides.iter()).enumerate() {
+            assert!(
+                i < self.dims[d],
+                "index {i} out of bounds for dimension {d} of size {}",
+                self.dims[d]
+            );
+            off += i * s;
+        }
+        off
+    }
+
+    /// Interprets the shape as a matrix `[rows, cols]`, collapsing all
+    /// leading dimensions into `rows`.
+    ///
+    /// A rank-1 shape `[n]` is viewed as `[1, n]`; a scalar as `[1, 1]`.
+    pub fn as_matrix(&self) -> (usize, usize) {
+        match self.dims.len() {
+            0 => (1, 1),
+            1 => (1, self.dims[0]),
+            _ => {
+                let cols = *self.dims.last().unwrap();
+                (self.len() / cols.max(1), cols)
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        write!(f, "[{}]", parts.join("x"))
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_is_product_of_dims() {
+        assert_eq!(Shape::from([2, 3, 4]).len(), 24);
+        assert_eq!(Shape::from([7]).len(), 7);
+    }
+
+    #[test]
+    fn scalar_shape_has_one_element() {
+        let s = Shape::new(Vec::new());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rank(), 0);
+    }
+
+    #[test]
+    fn zero_dim_makes_empty() {
+        let s = Shape::from([3, 0, 5]);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn row_major_strides() {
+        assert_eq!(Shape::from([2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::from([5]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_walks_row_major() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 23);
+        assert_eq!(s.offset(&[0, 1, 0]), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_rejects_out_of_range() {
+        Shape::from([2, 2]).offset(&[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn offset_rejects_wrong_rank() {
+        Shape::from([2, 2]).offset(&[0]);
+    }
+
+    #[test]
+    fn as_matrix_collapses_leading_dims() {
+        assert_eq!(Shape::from([8, 3, 32, 32]).as_matrix(), (8 * 3 * 32, 32));
+        assert_eq!(Shape::from([10]).as_matrix(), (1, 10));
+        assert_eq!(Shape::new(Vec::new()).as_matrix(), (1, 1));
+    }
+
+    #[test]
+    fn display_uses_x_separator() {
+        assert_eq!(Shape::from([2, 3]).to_string(), "[2x3]");
+    }
+}

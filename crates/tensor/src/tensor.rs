@@ -1,0 +1,220 @@
+//! Owned dense tensors.
+
+use crate::shape::Shape;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// An owned, row-major, dense `f32` tensor.
+///
+/// This is deliberately simple: contiguous storage, no lazy evaluation, no
+/// autograd graph. The paper's algorithms need fast kernels and predictable
+/// memory layout (contiguity is itself one of the paper's optimizations,
+/// §5.2), not framework machinery.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let data = vec![0.0; shape.len()];
+        Self { shape, data }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let data = vec![value; shape.len()];
+        Self { shape, data }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not match the number of elements implied
+    /// by `shape`.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            shape.len(),
+            data.len(),
+            "shape {shape} implies {} elements but buffer has {}",
+            shape.len(),
+            data.len()
+        );
+        Self { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the backing buffer (row-major).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    pub fn set(&mut self, idx: &[usize], value: f32) {
+        let off = self.shape.offset(idx);
+        self.data[off] = value;
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    /// Panics if the element counts differ.
+    pub fn reshape(mut self, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            shape.len(),
+            self.data.len(),
+            "cannot reshape {} elements into {shape}",
+            self.data.len()
+        );
+        self.shape = shape;
+        self
+    }
+
+    /// Fills the tensor with a constant.
+    pub fn fill(&mut self, value: f32) {
+        self.data.iter_mut().for_each(|x| *x = value);
+    }
+
+    /// Index of the maximum element (first one on ties). Returns `None`
+    /// for an empty tensor.
+    pub fn argmax(&self) -> Option<usize> {
+        crate::ops::argmax(&self.data)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Interprets the tensor as a matrix `(rows, cols)` per
+    /// [`Shape::as_matrix`].
+    pub fn matrix_dims(&self) -> (usize, usize) {
+        self.shape.as_matrix()
+    }
+
+    /// Row `r` of the matrix view of this tensor.
+    pub fn row(&self, r: usize) -> &[f32] {
+        let (rows, cols) = self.matrix_dims();
+        assert!(r < rows, "row {r} out of bounds for {rows} rows");
+        &self.data[r * cols..(r + 1) * cols]
+    }
+}
+
+impl Index<usize> for Tensor {
+    type Output = f32;
+    fn index(&self, i: usize) -> &f32 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Tensor {
+    fn index_mut(&mut self, i: usize) -> &mut f32 {
+        &mut self.data[i]
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}, ", self.shape)?;
+        if self.len() <= 8 {
+            write!(f, "{:?})", self.data)
+        } else {
+            write!(f, "[{} elements])", self.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros([2, 3]);
+        assert_eq!(z.len(), 6);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let f = Tensor::full([4], 2.5);
+        assert!(f.as_slice().iter().all(|&x| x == 2.5));
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let t = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.at(&[1, 0]), 3.0);
+        assert_eq!(t.into_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "elements")]
+    fn from_vec_rejects_mismatch() {
+        Tensor::from_vec([2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn set_and_at() {
+        let mut t = Tensor::zeros([3, 3]);
+        t.set(&[2, 1], 7.0);
+        assert_eq!(t.at(&[2, 1]), 7.0);
+        assert_eq!(t[2 * 3 + 1], 7.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]).reshape([3, 2]);
+        assert_eq!(t.at(&[2, 1]), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape")]
+    fn reshape_rejects_bad_size() {
+        let _ = Tensor::zeros([2, 3]).reshape([4, 2]);
+    }
+
+    #[test]
+    fn argmax_finds_first_max() {
+        let t = Tensor::from_vec([5], vec![1.0, 9.0, 3.0, 9.0, 2.0]);
+        assert_eq!(t.argmax(), Some(1));
+        assert_eq!(Tensor::zeros([0]).argmax(), None);
+    }
+
+    #[test]
+    fn row_slices_matrix_view() {
+        let t = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.row(1), &[4., 5., 6.]);
+    }
+}

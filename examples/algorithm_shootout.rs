@@ -1,0 +1,50 @@
+//! The Figure 8 experience in miniature: run all eight methods on the
+//! same task, hardware and hyperparameters (§2.4's comparison rule) and
+//! rank them by time-to-accuracy.
+//!
+//! ```sh
+//! cargo run --release --example algorithm_shootout
+//! ```
+
+use knl_easgd::algorithms::RunResult;
+use knl_easgd::prelude::*;
+
+fn main() {
+    let task = SyntheticSpec::mnist_small().task(1001);
+    let (train, test) = task.train_test(2_000, 500, 1002);
+    let net = lenet_tiny(1003);
+    let cfg = TrainConfig::figure6(300);
+    let mut msgd_cfg = cfg.clone();
+    msgd_cfg.eta = 0.01; // momentum methods need the smaller rate
+
+    type Runner = fn(&Network, &Dataset, &Dataset, &TrainConfig) -> RunResult;
+    let methods: Vec<(Runner, &TrainConfig, &str)> = vec![
+        (original_easgd_turns as Runner, &cfg, "existing"),
+        (async_sgd as Runner, &cfg, "existing"),
+        (async_msgd as Runner, &msgd_cfg, "existing"),
+        (hogwild_sgd as Runner, &cfg, "existing"),
+        (async_easgd as Runner, &cfg, "ours"),
+        (async_measgd as Runner, &msgd_cfg, "ours"),
+        (hogwild_easgd as Runner, &cfg, "ours"),
+        (sync_easgd_shared as Runner, &cfg, "ours"),
+    ];
+
+    println!(
+        "{:<16} {:>10} {:>10} {:>12}  origin",
+        "method", "acc %", "err log10", "wall s"
+    );
+    let mut results: Vec<(RunResult, &str)> = methods
+        .into_iter()
+        .map(|(run, c, origin)| (run(&net, &train, &test, c), origin))
+        .collect();
+    results.sort_by(|a, b| b.0.accuracy.partial_cmp(&a.0.accuracy).unwrap());
+    for (r, origin) in &results {
+        println!(
+            "{:<16} {:>10.1} {:>10.2} {:>12.2}  {origin}",
+            r.method,
+            r.accuracy * 100.0,
+            r.log10_error(),
+            r.wall_seconds
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Table 4: weak-scaling of GoogLeNet and VGG over 68 → 4352 KNL cores
+//! under the calibrated allreduce model, plus the Intel Caffe comparison
+//! of §7.1.
+//!
+//! ```sh
+//! cargo run --release --example weak_scaling
+//! ```
+
+use knl_easgd::algorithms::weak_scaling::{
+    INTEL_CAFFE_GOOGLENET_2176, INTEL_CAFFE_VGG_2176,
+};
+use knl_easgd::prelude::*;
+
+fn main() {
+    let nodes = [1usize, 2, 4, 8, 16, 32, 64];
+
+    for (model, iters) in [
+        (WeakScalingModel::googlenet_imagenet(), 300usize),
+        (WeakScalingModel::vgg_imagenet(), 80usize),
+    ] {
+        println!(
+            "\n{} — {:.1} M parameters, {:.0} MB of weights, {iters} iterations",
+            model.spec.name,
+            model.spec.num_params() as f64 / 1e6,
+            model.spec.weight_bytes() as f64 / 1e6
+        );
+        println!("{:>8} {:>8} {:>12} {:>12}", "cores", "nodes", "time (s)", "efficiency");
+        for row in model.table(&nodes, iters) {
+            println!(
+                "{:>8} {:>8} {:>12.0} {:>11.1}%",
+                row.cores,
+                row.nodes,
+                row.total_seconds,
+                row.efficiency * 100.0
+            );
+        }
+    }
+
+    println!(
+        "\nIntel Caffe at 2176 cores (paper §7.1): GoogLeNet {:.0}%, VGG {:.0}% — \
+         both below this implementation's modelled efficiencies.",
+        INTEL_CAFFE_GOOGLENET_2176 * 100.0,
+        INTEL_CAFFE_VGG_2176 * 100.0
+    );
+}

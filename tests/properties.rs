@@ -1,0 +1,306 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! algebraic invariants the algorithms rely on.
+
+use knl_easgd::hardware::collective::{
+    allreduce_rabenseifner, ceil_log2, reduce_tree, round_robin_exchange,
+};
+use knl_easgd::prelude::{AlphaBeta, ClusterConfig, ParamArena, SyntheticSpec, TimeCategory, VirtualCluster};
+use knl_easgd::tensor::{gemm, ops, Transpose};
+use proptest::prelude::*;
+use knl_easgd::tensor::Rng;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    /// GEMM against the naive triple loop, random shapes and transposes.
+    #[test]
+    fn gemm_matches_naive(
+        m in 1usize..8,
+        n in 1usize..8,
+        k in 0usize..8,
+        ta in prop::bool::ANY,
+        tb in prop::bool::ANY,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = Rng::new(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+        let (ta, tb) = (
+            if ta { Transpose::Yes } else { Transpose::No },
+            if tb { Transpose::Yes } else { Transpose::No },
+        );
+        let get_a = |i: usize, l: usize| match ta {
+            Transpose::No => a[i * k + l],
+            Transpose::Yes => a[l * m + i],
+        };
+        let get_b = |l: usize, j: usize| match tb {
+            Transpose::No => b[l * n + j],
+            Transpose::Yes => b[j * k + l],
+        };
+        let mut c = vec![0.0f32; m * n];
+        gemm(ta, tb, m, n, k, 1.0, &a, &b, 0.0, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for l in 0..k {
+                    acc += get_a(i, l) * get_b(l, j);
+                }
+                prop_assert!((c[i * n + j] - acc).abs() < 1e-3);
+            }
+        }
+    }
+
+    /// The elastic center update is a convex pull: the center never
+    /// overshoots past the worker (for ηρ ≤ 1), and the gap shrinks
+    /// monotonically — the stability property EASGD convergence rests on.
+    #[test]
+    fn elastic_center_update_contracts(
+        center0 in finite_vec(16),
+        worker in finite_vec(16),
+        eta in 0.01f32..1.0,
+        rho in 0.0f32..1.0,
+    ) {
+        prop_assume!(eta * rho <= 1.0);
+        let mut center = center0.clone();
+        ops::elastic_center_update(eta, rho, &mut center, &worker);
+        for i in 0..16 {
+            let before = (center0[i] - worker[i]).abs();
+            let after = (center[i] - worker[i]).abs();
+            prop_assert!(after <= before + 1e-5);
+        }
+    }
+
+    /// Equation (1) with zero gradient is also a convex pull toward the
+    /// center.
+    #[test]
+    fn elastic_worker_update_contracts_without_gradient(
+        local0 in finite_vec(8),
+        center in finite_vec(8),
+        eta in 0.01f32..1.0,
+        rho in 0.0f32..1.0,
+    ) {
+        prop_assume!(eta * rho <= 1.0);
+        let zero = vec![0.0f32; 8];
+        let mut local = local0.clone();
+        ops::elastic_worker_update(eta, rho, &mut local, &zero, &center);
+        for i in 0..8 {
+            prop_assert!((local[i] - center[i]).abs() <= (local0[i] - center[i]).abs() + 1e-5);
+        }
+    }
+
+    /// The atomic Hogwild buffer agrees with the scalar kernels when
+    /// used single-threaded.
+    #[test]
+    fn atomic_buffer_matches_scalar_updates(
+        w0 in finite_vec(12),
+        grad in finite_vec(12),
+        eta in 0.001f32..0.5,
+    ) {
+        let buf = knl_easgd::tensor::AtomicBuffer::from_slice(&w0);
+        buf.sgd_update(eta, &grad);
+        let mut scalar = w0.clone();
+        ops::sgd_update(eta, &mut scalar, &grad);
+        let snap = buf.snapshot();
+        for i in 0..12 {
+            prop_assert!((snap[i] - scalar[i]).abs() < 1e-6);
+        }
+    }
+
+    /// Packed arenas: segments tile the arena exactly — no gaps, no
+    /// overlap, order preserved (the §5.2 contiguity invariant).
+    #[test]
+    fn arena_segments_tile_exactly(lens in proptest::collection::vec(0usize..50, 1..12)) {
+        let mut b = ParamArena::builder();
+        for (i, &l) in lens.iter().enumerate() {
+            b.push(format!("seg{i}"), l);
+        }
+        let arena = b.build();
+        let mut expected_offset = 0;
+        for (i, seg) in arena.segments().iter().enumerate() {
+            prop_assert_eq!(seg.offset, expected_offset);
+            prop_assert_eq!(seg.len, lens[i]);
+            expected_offset += seg.len;
+        }
+        prop_assert_eq!(arena.len(), expected_offset);
+    }
+
+    /// Tree reduction never loses to round-robin, and the gap is the
+    /// predicted Θ(P/log P) factor.
+    #[test]
+    fn tree_never_loses_to_round_robin(p in 1usize..512, kb in 1usize..10_000) {
+        let link = AlphaBeta::qdr_infiniband();
+        let bytes = kb * 1024;
+        let tree = reduce_tree(&link, p, bytes);
+        let rr = round_robin_exchange(&link, p, bytes);
+        prop_assert!(tree <= rr + 1e-15);
+        if p > 1 {
+            let ratio = rr / tree;
+            prop_assert!((ratio - p as f64 / ceil_log2(p) as f64).abs() < 1e-6);
+        }
+    }
+
+    /// Rabenseifner allreduce beats two tree traversals once messages
+    /// are large (bandwidth-dominated regime).
+    #[test]
+    fn rabenseifner_wins_for_large_messages(p in 2usize..256) {
+        let link = AlphaBeta::fdr_infiniband();
+        let bytes = 64 * 1024 * 1024;
+        prop_assert!(
+            allreduce_rabenseifner(&link, p, bytes) <= 2.0 * reduce_tree(&link, p, bytes)
+        );
+    }
+
+    /// Synthetic datasets: any spec yields normalized data with labels in
+    /// range and round-robin class coverage.
+    #[test]
+    fn synthetic_generation_invariants(
+        seed in 0u64..1_000,
+        n in 10usize..80,
+        size in 6usize..16,
+    ) {
+        let spec = SyntheticSpec {
+            name: "prop".to_string(),
+            classes: 5,
+            channels: 1,
+            size,
+            coarse: 3,
+            noise: 0.5,
+            max_shift: 1,
+        };
+        let d = spec.task(seed).generate(n, seed ^ 0xABCD);
+        prop_assert_eq!(d.len(), n);
+        for i in 0..n {
+            prop_assert_eq!(d.label(i), i % 5);
+            prop_assert!(d.image(i).iter().all(|v| v.is_finite()));
+        }
+    }
+
+    /// The virtual cluster's allreduce really sums: random rank count and
+    /// payload, every rank sees Σ contributions.
+    #[test]
+    fn cluster_allreduce_sums_exactly(p in 1usize..9, len in 1usize..33, seed in 0u64..100) {
+        let cfg = ClusterConfig::new(p);
+        let mut rng = Rng::new(seed);
+        let inputs: Vec<Vec<f32>> = (0..p)
+            .map(|_| (0..len).map(|_| rng.uniform_in(-1.0, 1.0)).collect())
+            .collect();
+        let mut expect = vec![0.0f32; len];
+        for v in &inputs {
+            ops::add_assign(&mut expect, v);
+        }
+        let inputs_ref = &inputs;
+        let outs = VirtualCluster::run(&cfg, move |comm| {
+            comm.allreduce_sum(&inputs_ref[comm.rank()], TimeCategory::Other)
+        });
+        for out in outs {
+            for i in 0..len {
+                prop_assert!((out[i] - expect[i]).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// The executable ring allreduce matches the gate allreduce for any
+    /// rank count and vector length (including lengths < P).
+    #[test]
+    fn ring_matches_gate_allreduce(p in 1usize..7, len in 1usize..40, seed in 0u64..50) {
+        let cfg = ClusterConfig::new(p);
+        let mut rng = Rng::new(seed);
+        let inputs: Vec<Vec<f32>> = (0..p)
+            .map(|_| (0..len).map(|_| rng.uniform_in(-2.0, 2.0)).collect())
+            .collect();
+        let inputs_ref = &inputs;
+        let outs = VirtualCluster::run(&cfg, move |comm| {
+            let mut ring = inputs_ref[comm.rank()].clone();
+            let gate = comm.allreduce_sum(&ring, TimeCategory::Other);
+            knl_easgd::cluster::ring_allreduce_sum(comm, &mut ring, TimeCategory::Other);
+            (ring, gate)
+        });
+        for (ring, gate) in outs {
+            for (a, b) in ring.iter().zip(&gate) {
+                prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+            }
+        }
+    }
+
+    /// Horizontal flip is an involution and preserves the pixel multiset
+    /// per row.
+    #[test]
+    fn flip_is_involutive(seed in 0u64..200, h in 1usize..6, w in 1usize..6) {
+        use knl_easgd::data::Augment;
+        let mut rng = Rng::new(seed);
+        let mut img: Vec<f32> = (0..2 * h * w).map(|_| rng.uniform()).collect();
+        let orig = img.clone();
+        let policy = Augment { flip_prob: 1.0, crop_pad: 0 };
+        // Two different rngs: the policy flips unconditionally, so the
+        // rng draws don't matter for the flip decision.
+        policy.apply(&mut Rng::new(1), 2, h, w, &mut img);
+        policy.apply(&mut Rng::new(2), 2, h, w, &mut img);
+        prop_assert_eq!(img, orig);
+    }
+
+    /// im2col / col2im stay adjoint for random geometries — the property
+    /// conv backward correctness rests on.
+    #[test]
+    fn im2col_col2im_adjoint(
+        seed in 0u64..100,
+        c in 1usize..3,
+        hw in 3usize..8,
+        k in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        use knl_easgd::tensor::{col2im, im2col, Conv2dGeometry};
+        let g = Conv2dGeometry {
+            in_channels: c,
+            in_h: hw,
+            in_w: hw,
+            k_h: k,
+            k_w: k,
+            stride,
+            pad,
+        };
+        prop_assume!(g.is_valid());
+        let mut rng = Rng::new(seed);
+        let x: Vec<f32> = (0..g.input_len()).map(|_| rng.normal()).collect();
+        let y: Vec<f32> = (0..g.col_rows() * g.col_cols()).map(|_| rng.normal()).collect();
+        let mut cx = vec![0.0; y.len()];
+        im2col(&g, &x, &mut cx);
+        let mut aty = vec![0.0; x.len()];
+        col2im(&g, &y, &mut aty);
+        let lhs = ops::dot(&cx, &y) as f64;
+        let rhs = ops::dot(&x, &aty) as f64;
+        prop_assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    /// LR schedules never go negative and (except Constant) never grow.
+    #[test]
+    fn schedules_are_nonincreasing(base in 0.001f32..1.0, t in 0usize..100_000) {
+        use knl_easgd::algorithms::LrSchedule;
+        for s in [
+            LrSchedule::Constant { base },
+            LrSchedule::Step { base, gamma: 0.5, every: 1000 },
+            LrSchedule::Poly { base, power: 1.5, max_iter: 50_000 },
+            LrSchedule::Inv { base, gamma: 1e-4, power: 0.75 },
+        ] {
+            let now = s.at(t);
+            let later = s.at(t + 1000);
+            prop_assert!(now >= 0.0 && later >= 0.0);
+            prop_assert!(later <= now + 1e-9, "{s:?} grew: {now} -> {later}");
+        }
+    }
+
+    /// Momentum update reduces to plain SGD when µ = 0 and velocity = 0.
+    #[test]
+    fn momentum_degenerates_to_sgd(w0 in finite_vec(8), grad in finite_vec(8), eta in 0.001f32..0.5) {
+        let mut w_m = w0.clone();
+        let mut v = vec![0.0f32; 8];
+        ops::momentum_update(eta, 0.0, &mut w_m, &mut v, &grad);
+        let mut w_s = w0.clone();
+        ops::sgd_update(eta, &mut w_s, &grad);
+        for i in 0..8 {
+            prop_assert!((w_m[i] - w_s[i]).abs() < 1e-6);
+        }
+    }
+}
