@@ -17,18 +17,14 @@ fn bench_allreduce(c: &mut Criterion) {
             ("rabenseifner", CollectiveAlgo::Rabenseifner),
         ] {
             let cfg = ClusterConfig::new(ranks).with_collective(algo);
-            group.bench_with_input(
-                BenchmarkId::new(name, ranks),
-                &cfg,
-                |bencher, cfg| {
-                    bencher.iter(|| {
-                        VirtualCluster::run(cfg, |comm| {
-                            let x = vec![comm.rank() as f32; len];
-                            comm.allreduce_sum(&x, TimeCategory::GpuGpuParam)[0]
-                        })
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, ranks), &cfg, |bencher, cfg| {
+                bencher.iter(|| {
+                    VirtualCluster::run(cfg, |comm| {
+                        let x = vec![comm.rank() as f32; len];
+                        comm.allreduce_sum(&x, TimeCategory::GpuGpuParam)[0]
+                    })
+                });
+            });
         }
     }
     group.finish();

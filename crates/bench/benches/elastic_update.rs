@@ -3,9 +3,7 @@
 //! memory-locality claim applied to the optimizer step.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use easgd_tensor::ops::{
-    elastic_center_update, elastic_momentum_update, elastic_worker_update,
-};
+use easgd_tensor::ops::{elastic_center_update, elastic_momentum_update, elastic_worker_update};
 use easgd_tensor::Rng;
 
 fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
@@ -30,9 +28,8 @@ fn bench_kernels(c: &mut Criterion) {
         bencher.iter(|| elastic_center_update(0.05, 0.3, &mut c2, &local));
     });
     group.bench_function("eq5_6_momentum_worker", |bencher| {
-        bencher.iter(|| {
-            elastic_momentum_update(0.05, 0.9, 0.3, &mut local, &mut vel, &grad, &center)
-        });
+        bencher
+            .iter(|| elastic_momentum_update(0.05, 0.9, 0.3, &mut local, &mut vel, &grad, &center));
     });
     group.finish();
 }

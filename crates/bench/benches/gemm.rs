@@ -47,13 +47,52 @@ fn bench_transpose_variants(c: &mut Criterion) {
     let at = rand_vec(k * m, 6);
     let mut out = vec![0.0f32; m * n];
     group.bench_function("forward_NT", |bencher| {
-        bencher.iter(|| gemm(Transpose::No, Transpose::Yes, m, n, k, 1.0, &a, &bt, 0.0, &mut out));
+        bencher.iter(|| {
+            gemm(
+                Transpose::No,
+                Transpose::Yes,
+                m,
+                n,
+                k,
+                1.0,
+                &a,
+                &bt,
+                0.0,
+                &mut out,
+            )
+        });
     });
     group.bench_function("wgrad_TN", |bencher| {
-        bencher.iter(|| gemm(Transpose::Yes, Transpose::No, m, n, k, 1.0, &at, &b, 0.0, &mut out));
+        bencher.iter(|| {
+            gemm(
+                Transpose::Yes,
+                Transpose::No,
+                m,
+                n,
+                k,
+                1.0,
+                &at,
+                &b,
+                0.0,
+                &mut out,
+            )
+        });
     });
     group.bench_function("xgrad_NN", |bencher| {
-        bencher.iter(|| gemm(Transpose::No, Transpose::No, m, n, k, 1.0, &a, &b, 0.0, &mut out));
+        bencher.iter(|| {
+            gemm(
+                Transpose::No,
+                Transpose::No,
+                m,
+                n,
+                k,
+                1.0,
+                &a,
+                &b,
+                0.0,
+                &mut out,
+            )
+        });
     });
     group.finish();
 }

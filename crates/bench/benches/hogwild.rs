@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use easgd_tensor::AtomicBuffer;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 const LEN: usize = 10_000;
 
@@ -22,7 +21,7 @@ fn bench_single_thread(c: &mut Criterion) {
     let locked = Mutex::new(vec![0.0f32; LEN]);
     group.bench_function("mutex", |bencher| {
         bencher.iter(|| {
-            let mut w = locked.lock();
+            let mut w = locked.lock().unwrap();
             easgd_tensor::ops::sgd_update(0.01, &mut w, &grad);
         });
     });
@@ -73,7 +72,7 @@ fn bench_contended(c: &mut Criterion) {
                             let grad = Arc::clone(&grad);
                             s.spawn(move || {
                                 for _ in 0..updates_per_thread {
-                                    let mut guard = w.lock();
+                                    let mut guard = w.lock().unwrap();
                                     easgd_tensor::ops::sgd_update(0.01, &mut guard, &grad);
                                 }
                             });

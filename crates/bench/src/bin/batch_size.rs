@@ -1,3 +1,4 @@
+// xtask: allow(wall-clock) — wall-clock trainer/driver: measures real elapsed time by design.
 //! §7.2 — the impact of batch size, measured.
 //!
 //! ```sh
@@ -27,7 +28,10 @@ fn main() {
     let base_batch = 16usize;
     let base_eta = 0.05f32;
 
-    println!("Batch-size study (§7.2): LeNet-tiny on synthetic MNIST, target {:.0}%", target * 100.0);
+    println!(
+        "Batch-size study (§7.2): LeNet-tiny on synthetic MNIST, target {:.0}%",
+        target * 100.0
+    );
     println!(
         "{:>7} {:>8} {:>14} {:>10} {:>12} {:>14}",
         "batch", "eta", "samples/sec", "iters", "acc %", "time-to-acc(s)"

@@ -31,7 +31,13 @@ fn main() {
     ] {
         println!(
             "  {:<22} {}x{}x{}, {} classes, noise σ={}, shift ±{}",
-            spec.name, spec.channels, spec.size, spec.size, spec.classes, spec.noise, spec.max_shift
+            spec.name,
+            spec.channels,
+            spec.size,
+            spec.size,
+            spec.classes,
+            spec.noise,
+            spec.max_shift
         );
     }
 }

@@ -57,7 +57,7 @@ fn main() {
         mu: 0.9,
         iterations: 150,
         seed: 0xF13,
-            comm_period: 1,
+        comm_period: 1,
     };
     let shards = train.partition(cfg.workers);
     // Effective per-message cost of the 2016-era MPI + driver stack the

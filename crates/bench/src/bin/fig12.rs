@@ -19,7 +19,10 @@ fn main() {
     let target = 0.88;
     let base_round = 0.5; // G = 1 full-chip seconds per iteration
 
-    println!("Figure 12: partitioned KNL training, target accuracy {:.1}%", target * 100.0);
+    println!(
+        "Figure 12: partitioned KNL training, target accuracy {:.1}%",
+        target * 100.0
+    );
     println!(
         "{:>6} {:>6} {:>8} {:>10} {:>8} {:>12} {:>9}",
         "parts", "fits?", "rounds", "s/round", "acc %", "sim secs", "speedup"
@@ -66,7 +69,11 @@ fn main() {
         let fits = chip.max_partitions(weights, data, &[p]) == p;
         println!(
             "  {p:>2} copies of (249 MB weights + 687 MB data): {}",
-            if fits { "fits in 16 GB MCDRAM" } else { "SPILLS to DDR4" }
+            if fits {
+                "fits in 16 GB MCDRAM"
+            } else {
+                "SPILLS to DDR4"
+            }
         );
     }
     println!(

@@ -54,7 +54,10 @@ fn main() {
             50,
         );
         println!("\n{nodes} node(s), {} total training samples:", 400 * nodes);
-        println!("{:>8} {:>12} {:>8} {:>14}", "iter", "sim secs", "acc %", "error (loss axis)");
+        println!(
+            "{:>8} {:>12} {:>8} {:>14}",
+            "iter", "sim secs", "acc %", "error (loss axis)"
+        );
         for p in &r.trace {
             println!(
                 "{:>8} {:>12.3} {:>8.1} {:>14.3}",

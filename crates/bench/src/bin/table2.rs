@@ -26,7 +26,10 @@ fn main() {
     println!("\nModel-implied one-way transfer time for full weight sets:");
     print!("{:<30}", "model (weights)");
     for spec in [spec_lenet(), spec_alexnet(), spec_googlenet(), spec_vgg19()] {
-        print!(" {:>14}", format!("{} ({:.0} MB)", spec.name, spec.weight_bytes() as f64 / 1e6));
+        print!(
+            " {:>14}",
+            format!("{} ({:.0} MB)", spec.name, spec.weight_bytes() as f64 / 1e6)
+        );
     }
     println!();
     for link in AlphaBeta::table2() {

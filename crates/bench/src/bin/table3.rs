@@ -12,9 +12,7 @@
 //! (§2.4).
 
 use easgd::metrics::RunResult;
-use easgd::{
-    original_easgd_sim, sync_easgd_sim, OriginalMode, SimCosts, SyncVariant, TrainConfig,
-};
+use easgd::{original_easgd_sim, sync_easgd_sim, OriginalMode, SimCosts, SyncVariant, TrainConfig};
 use easgd_bench::figure_task;
 use easgd_cluster::TimeCategory;
 
@@ -30,8 +28,17 @@ fn main() {
     println!("Table 3: Breakdown of time for EASGD variants (simulated 4-GPU node)");
     println!(
         "{:<16} {:>9} {:>7} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7}",
-        "method", "accuracy", "iters", "time", "g-g par", "c-g dat", "c-g par", "fwd/bwd",
-        "gpu upd", "cpu upd", "comm"
+        "method",
+        "accuracy",
+        "iters",
+        "time",
+        "g-g par",
+        "c-g dat",
+        "c-g par",
+        "fwd/bwd",
+        "gpu upd",
+        "cpu upd",
+        "comm"
     );
 
     let print_named = |name: &str, r: &RunResult, iters: usize| {
@@ -49,15 +56,53 @@ fn main() {
         println!(" {:>6.0}%", b.comm_ratio() * 100.0);
     };
 
-    let ser = original_easgd_sim(&net, &train, &test, &rr_cfg, &costs, OriginalMode::Serialized);
+    let ser = original_easgd_sim(
+        &net,
+        &train,
+        &test,
+        &rr_cfg,
+        &costs,
+        OriginalMode::Serialized,
+    );
     print_named("Original EASGD*", &ser, rr_cfg.iterations * 4);
-    let pip = original_easgd_sim(&net, &train, &test, &rr_cfg, &costs, OriginalMode::Pipelined);
+    let pip = original_easgd_sim(
+        &net,
+        &train,
+        &test,
+        &rr_cfg,
+        &costs,
+        OriginalMode::Pipelined,
+    );
     print_named("Original EASGD", &pip, rr_cfg.iterations * 4);
-    let e1 = sync_easgd_sim(&net, &train, &test, &sync_cfg, &costs, SyncVariant::Easgd1, 0);
+    let e1 = sync_easgd_sim(
+        &net,
+        &train,
+        &test,
+        &sync_cfg,
+        &costs,
+        SyncVariant::Easgd1,
+        0,
+    );
     print_named("Sync EASGD1", &e1, sync_cfg.iterations);
-    let e2 = sync_easgd_sim(&net, &train, &test, &sync_cfg, &costs, SyncVariant::Easgd2, 0);
+    let e2 = sync_easgd_sim(
+        &net,
+        &train,
+        &test,
+        &sync_cfg,
+        &costs,
+        SyncVariant::Easgd2,
+        0,
+    );
     print_named("Sync EASGD2", &e2, sync_cfg.iterations);
-    let e3 = sync_easgd_sim(&net, &train, &test, &sync_cfg, &costs, SyncVariant::Easgd3, 0);
+    let e3 = sync_easgd_sim(
+        &net,
+        &train,
+        &test,
+        &sync_cfg,
+        &costs,
+        SyncVariant::Easgd3,
+        0,
+    );
     print_named("Sync EASGD3", &e3, sync_cfg.iterations);
 
     let t = |r: &RunResult| r.sim_seconds.unwrap();

@@ -6,9 +6,7 @@
 //! cargo run --release -p easgd-bench --bin table4
 //! ```
 
-use easgd::weak_scaling::{
-    WeakScalingModel, INTEL_CAFFE_GOOGLENET_2176, INTEL_CAFFE_VGG_2176,
-};
+use easgd::weak_scaling::{WeakScalingModel, INTEL_CAFFE_GOOGLENET_2176, INTEL_CAFFE_VGG_2176};
 
 /// The paper's measured Table 4 rows (seconds, then efficiency).
 const PAPER_GOOGLENET: [(usize, f64, f64); 7] = [

@@ -60,7 +60,17 @@ impl TimeCategory {
     }
 
     fn index(&self) -> usize {
-        Self::ALL.iter().position(|c| c == self).unwrap()
+        // Must match `Self::ALL` order (pinned by the `index_matches_all`
+        // test below).
+        match self {
+            TimeCategory::GpuGpuParam => 0,
+            TimeCategory::CpuGpuData => 1,
+            TimeCategory::CpuGpuParam => 2,
+            TimeCategory::ForwardBackward => 3,
+            TimeCategory::GpuUpdate => 4,
+            TimeCategory::CpuUpdate => 5,
+            TimeCategory::Other => 6,
+        }
     }
 }
 
@@ -169,19 +179,35 @@ impl SimClock {
             seconds >= 0.0 && seconds.is_finite(),
             "invalid time charge: {seconds}"
         );
+        #[cfg(feature = "strict-invariants")]
+        let before = self.now;
         self.now += seconds;
         self.breakdown.add(category, seconds);
+        #[cfg(feature = "strict-invariants")]
+        debug_assert!(
+            self.now >= before && self.now.is_finite(),
+            "SimClock moved backwards or overflowed: {before} -> {}",
+            self.now
+        );
     }
 
     /// Advances to absolute time `t` (no-op if already past), attributing
     /// the gap to `category`. Used when a message's arrival time or a
     /// collective's completion time is known.
     pub fn advance_to(&mut self, t: f64, category: TimeCategory) {
+        #[cfg(feature = "strict-invariants")]
+        let before = self.now;
         if t > self.now {
             let gap = t - self.now;
             self.now = t;
             self.breakdown.add(category, gap);
         }
+        #[cfg(feature = "strict-invariants")]
+        debug_assert!(
+            self.now >= before && self.now.is_finite(),
+            "SimClock moved backwards: {before} -> {}",
+            self.now
+        );
     }
 
     /// The category breakdown so far.
@@ -204,6 +230,13 @@ pub struct RankReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn index_matches_all() {
+        for (i, c) in TimeCategory::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c:?}");
+        }
+    }
 
     #[test]
     fn charge_accumulates_time_and_category() {

@@ -1,11 +1,11 @@
 //! Cluster construction and the rendezvous machinery behind collectives.
 
+use crate::channel;
 use crate::comm::{Comm, Message};
-use easgd_hardware::net::AlphaBeta;
 use easgd_hardware::collective as cost;
-use parking_lot::{Condvar, Mutex};
+use easgd_hardware::net::AlphaBeta;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Which allreduce schedule the cluster charges for (§6.1.1's contrast).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -98,6 +98,12 @@ pub(crate) struct Gate {
 }
 
 impl Gate {
+    /// Locks the gate, recovering from poisoning (a panicked rank's panic
+    /// is what surfaces to the caller via the join, not the poison).
+    fn lock_inner(&self) -> MutexGuard<'_, GateInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn new(config: ClusterConfig) -> Self {
         let size = config.ranks;
         Self {
@@ -169,7 +175,7 @@ impl Gate {
         op: CollOp,
         cost_override: Option<f64>,
     ) -> (Arc<Vec<f32>>, f64) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         let gen = inner.generation;
         inner.times[rank] = time_in;
         inner.inputs[rank] = input;
@@ -222,7 +228,7 @@ impl Gate {
             self.cv.notify_all();
         } else {
             while !inner.results.contains_key(&gen) {
-                self.cv.wait(&mut inner);
+                inner = self.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
             }
         }
         let entry = inner.results.get_mut(&gen).unwrap();
@@ -239,7 +245,7 @@ impl Gate {
 pub(crate) struct Shared {
     pub(crate) config: ClusterConfig,
     pub(crate) gate: Gate,
-    pub(crate) senders: Vec<crossbeam::channel::Sender<Message>>,
+    pub(crate) senders: Vec<channel::Sender<Message>>,
 }
 
 /// A virtual cluster: P ranks as threads over a priced interconnect.
@@ -261,7 +267,7 @@ impl VirtualCluster {
         let mut senders = Vec::with_capacity(p);
         let mut receivers = Vec::with_capacity(p);
         for _ in 0..p {
-            let (tx, rx) = crossbeam::channel::unbounded();
+            let (tx, rx) = channel::unbounded();
             senders.push(tx);
             receivers.push(rx);
         }

@@ -23,27 +23,58 @@ pub(crate) struct Message {
 /// communicator.
 pub struct Comm {
     rank: usize,
-    rx: crossbeam::channel::Receiver<Message>,
+    rx: crate::channel::Receiver<Message>,
     /// Messages received but not yet matched by a `recv(from, tag)`.
     pending: VecDeque<Message>,
     clock: SimClock,
     shared: Arc<Shared>,
+    /// Latest arrival time ingested per sender, for the strict-invariants
+    /// per-sender FCFS check (the channel is FIFO per sender, and each
+    /// sender's simulated clock is monotone, so arrivals from one rank
+    /// must reach us in non-decreasing arrival order).
+    #[cfg(feature = "strict-invariants")]
+    last_arrival: Vec<f64>,
 }
 
 impl Comm {
     pub(crate) fn new(
         rank: usize,
-        rx: crossbeam::channel::Receiver<Message>,
+        rx: crate::channel::Receiver<Message>,
         shared: Arc<Shared>,
     ) -> Self {
+        #[cfg(feature = "strict-invariants")]
+        let ranks = shared.config.ranks;
         Self {
             rank,
             rx,
             pending: VecDeque::new(),
             clock: SimClock::new(),
             shared,
+            #[cfg(feature = "strict-invariants")]
+            last_arrival: vec![f64::NEG_INFINITY; ranks],
         }
     }
+
+    /// Strict-invariants ingest check, applied to every message pulled
+    /// off the channel: per-sender FCFS arrival-order monotonicity.
+    #[cfg(feature = "strict-invariants")]
+    fn check_ingest(&mut self, msg: &Message) {
+        let last = &mut self.last_arrival[msg.from];
+        debug_assert!(
+            msg.arrival >= *last,
+            "FCFS violation: rank {} received a message from rank {} with \
+             arrival {} after one with arrival {}",
+            self.rank,
+            msg.from,
+            msg.arrival,
+            *last
+        );
+        *last = msg.arrival;
+    }
+
+    #[cfg(not(feature = "strict-invariants"))]
+    #[inline]
+    fn check_ingest(&mut self, _msg: &Message) {}
 
     /// This rank's id in `0..size()`.
     pub fn rank(&self) -> usize {
@@ -115,6 +146,7 @@ impl Comm {
         }
         loop {
             let msg = self.rx.recv().expect("all senders hung up");
+            self.check_ingest(&msg);
             if msg.from == from && msg.tag == tag {
                 self.clock.advance_to(msg.arrival, category);
                 return msg.data;
@@ -134,6 +166,7 @@ impl Comm {
         }
         loop {
             let msg = self.rx.recv().expect("all senders hung up");
+            self.check_ingest(&msg);
             if msg.tag == tag {
                 self.clock.advance_to(msg.arrival, category);
                 return (msg.from, msg.data);
@@ -151,6 +184,7 @@ impl Comm {
             return Some((msg.from, msg.data));
         }
         while let Ok(msg) = self.rx.try_recv() {
+            self.check_ingest(&msg);
             if msg.tag == tag {
                 self.clock.advance_to(msg.arrival, category);
                 return Some((msg.from, msg.data));
@@ -261,10 +295,10 @@ impl Comm {
 
     /// Barrier across all ranks (tree-priced).
     pub fn barrier(&mut self) {
-        let (_, t) = self
-            .shared
-            .gate
-            .rendezvous(self.rank, self.clock.now(), Vec::new(), CollOp::Barrier);
+        let (_, t) =
+            self.shared
+                .gate
+                .rendezvous(self.rank, self.clock.now(), Vec::new(), CollOp::Barrier);
         self.clock.advance_to(t, TimeCategory::Other);
     }
 
@@ -276,10 +310,12 @@ impl Comm {
         } else {
             Vec::new()
         };
-        let (out, t) =
-            self.shared
-                .gate
-                .rendezvous(self.rank, self.clock.now(), input, CollOp::Broadcast { root });
+        let (out, t) = self.shared.gate.rendezvous(
+            self.rank,
+            self.clock.now(),
+            input,
+            CollOp::Broadcast { root },
+        );
         self.clock.advance_to(t, category);
         out.as_ref().clone()
     }
@@ -305,12 +341,10 @@ impl Comm {
     /// rank; non-roots are free to ignore it.
     pub fn gather(&mut self, root: usize, data: &[f32], category: TimeCategory) -> Vec<f32> {
         assert!(root < self.size(), "gather root out of range");
-        let (out, t) = self.shared.gate.rendezvous(
-            self.rank,
-            self.clock.now(),
-            data.to_vec(),
-            CollOp::Concat,
-        );
+        let (out, t) =
+            self.shared
+                .gate
+                .rendezvous(self.rank, self.clock.now(), data.to_vec(), CollOp::Concat);
         self.clock.advance_to(t, category);
         out.as_ref().clone()
     }
@@ -321,8 +355,7 @@ impl Comm {
         let gathered = self.gather(0, data, category);
         // The broadcast of the assembled buffer (non-roots already hold
         // the data in shared memory; only the time is charged).
-        let bcast = self.broadcast(0, &gathered, category);
-        bcast
+        self.broadcast(0, &gathered, category)
     }
 
     /// Element-wise allreduce-sum, priced per the configured
@@ -336,6 +369,30 @@ impl Comm {
         );
         self.clock.advance_to(t, category);
         out.as_ref().clone()
+    }
+}
+
+/// No-message-loss check: a message that was pulled off the channel and
+/// buffered in `pending` but never matched by any `recv` means a rank
+/// ended with a tag/peer mismatch in its protocol — a silent loss the
+/// trainer would otherwise never notice. In-flight messages still in the
+/// channel at shutdown are NOT flagged: an asynchronous master legitimately
+/// stops consuming once training converges.
+#[cfg(feature = "strict-invariants")]
+impl Drop for Comm {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            debug_assert!(
+                self.pending.is_empty(),
+                "rank {} dropped {} buffered-but-unmatched message(s): {:?}",
+                self.rank,
+                self.pending.len(),
+                self.pending
+                    .iter()
+                    .map(|m| (m.from, m.tag))
+                    .collect::<Vec<_>>()
+            );
+        }
     }
 }
 

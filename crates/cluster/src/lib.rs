@@ -32,6 +32,7 @@
 //! assert_eq!(sums, vec![6.0; 4]);
 //! ```
 
+pub mod channel;
 pub mod clock;
 pub mod cluster;
 pub mod comm;

@@ -98,8 +98,7 @@ mod tests {
             let cfg = ClusterConfig::new(p);
             let outs = VirtualCluster::run(&cfg, |comm| {
                 let n = 23;
-                let mut ring: Vec<f32> =
-                    (0..n).map(|i| (comm.rank() * n + i) as f32).collect();
+                let mut ring: Vec<f32> = (0..n).map(|i| (comm.rank() * n + i) as f32).collect();
                 let gate = comm.allreduce_sum(&ring, TimeCategory::Other);
                 ring_allreduce_sum(comm, &mut ring, TimeCategory::GpuGpuParam);
                 (ring, gate)

@@ -1,3 +1,4 @@
+// xtask: allow(wall-clock) — wall-clock trainer/driver: measures real elapsed time by design.
 //! Asynchronous parameter server on the simulated cluster (Figure 5,
 //! §3.1, §5.1) — the message-passing counterpart of the shared-memory
 //! implementations in [`crate::shared`].
@@ -48,8 +49,13 @@ impl AsyncVariant {
 }
 
 enum RankOut {
-    Master { center: Vec<f32>, report: RankReport },
-    Worker { last_loss: f32 },
+    Master {
+        center: Vec<f32>,
+        report: RankReport,
+    },
+    Worker {
+        last_loss: f32,
+    },
 }
 
 /// Runs the FCFS parameter server on a simulated `cfg.workers`-GPU node.
@@ -76,8 +82,7 @@ pub fn async_server_sim(
             // ---- master: serve whoever arrives next, total times.
             let mut center = proto.params().as_slice().to_vec();
             for _ in 0..total {
-                let (from, payload) =
-                    comm.recv_any(TAG_REQ, TimeCategory::ForwardBackward);
+                let (from, payload) = comm.recv_any(TAG_REQ, TimeCategory::ForwardBackward);
                 // The inbound transfer crosses the host link.
                 comm.charge(TimeCategory::CpuGpuParam, xfer);
                 match variant {
@@ -104,7 +109,7 @@ pub fn async_server_sim(
             let me = comm.rank();
             let shard = &shards[me - 1];
             let mut net = proto.clone();
-            let mut rng = Rng::new(cfg.seed ^ (me as u64 * 0x9E37_79B9_7F4A_7C15));
+            let mut rng = Rng::new(cfg.seed ^ (me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let n = net.num_params();
             let mut grad = vec![0.0f32; n];
             let mut last_loss = f32::NAN;
@@ -130,8 +135,7 @@ pub fn async_server_sim(
                             0.0,
                             TimeCategory::Other,
                         );
-                        let center =
-                            comm.recv(0, TAG_REPLY_BASE + me as u32, TimeCategory::Other);
+                        let center = comm.recv(0, TAG_REPLY_BASE + me as u32, TimeCategory::Other);
                         elastic_worker_update(
                             cfg.eta,
                             cfg.rho,
@@ -153,7 +157,10 @@ pub fn async_server_sim(
     let mut losses = Vec::new();
     for o in outs {
         match o {
-            RankOut::Master { center: c, report: r } => {
+            RankOut::Master {
+                center: c,
+                report: r,
+            } => {
                 center = c;
                 report = Some(r);
             }

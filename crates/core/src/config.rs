@@ -98,10 +98,7 @@ impl TrainConfig {
             self.rho >= 0.0 && self.rho.is_finite(),
             "elastic strength must be non-negative"
         );
-        assert!(
-            (0.0..1.0).contains(&self.mu),
-            "momentum must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&self.mu), "momentum must be in [0, 1)");
         assert!(self.comm_period >= 1, "communication period must be >= 1");
     }
 

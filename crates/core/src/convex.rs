@@ -101,10 +101,9 @@ impl QuadraticProblem {
                 .max_by(|&a_, &b_| {
                     aug[a_ * (n + 1) + col]
                         .abs()
-                        .partial_cmp(&aug[b_ * (n + 1) + col].abs())
-                        .unwrap()
+                        .total_cmp(&aug[b_ * (n + 1) + col].abs())
                 })
-                .unwrap();
+                .unwrap_or(col);
             if pivot != col {
                 for k in 0..n + 1 {
                     aug.swap(col * (n + 1) + k, pivot * (n + 1) + k);
@@ -154,7 +153,7 @@ pub fn easgd_on_quadratic(
     let mut center = vec![0.0f32; n];
     let mut locals = vec![vec![0.0f32; n]; workers];
     let mut rngs: Vec<Rng> = (0..workers)
-        .map(|w| Rng::new(seed ^ ((w as u64 + 1) * 0x9E37_79B9_7F4A_7C15)))
+        .map(|w| Rng::new(seed ^ (w as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
         .collect();
     let mut grad = vec![0.0f32; n];
     for _ in 0..steps {
@@ -186,7 +185,7 @@ pub fn hogwild_easgd_on_quadratic(
             let center = &center;
             let problem = &problem;
             s.spawn(move || {
-                let mut rng = Rng::new(seed ^ ((w as u64 + 1) * 0xA24B_AED4_963E_E407));
+                let mut rng = Rng::new(seed ^ (w as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407));
                 let mut local = vec![0.0f32; n];
                 let mut grad = vec![0.0f32; n];
                 let mut snapshot = vec![0.0f32; n];

@@ -1,3 +1,4 @@
+// xtask: allow(wall-clock) — wall-clock trainer/driver: measures real elapsed time by design.
 //! Hierarchical (two-level) Sync EASGD for multi-node multi-GPU
 //! clusters.
 //!
@@ -23,7 +24,9 @@
 use crate::config::TrainConfig;
 use crate::metrics::RunResult;
 use crate::shared::evaluate_center;
-use easgd_cluster::{ring_allreduce_sum, ClusterConfig, Comm, RankReport, TimeCategory, VirtualCluster};
+use easgd_cluster::{
+    ring_allreduce_sum, ClusterConfig, Comm, RankReport, TimeCategory, VirtualCluster,
+};
 use easgd_data::Dataset;
 use easgd_hardware::collective::ceil_log2;
 use easgd_hardware::net::AlphaBeta;
@@ -84,8 +87,14 @@ impl GpuClusterTopology {
 }
 
 enum RankOut {
-    Leader { center: Vec<f32>, report: RankReport },
-    Member { last_loss: f32, report: RankReport },
+    Leader {
+        center: Vec<f32>,
+        report: RankReport,
+    },
+    Member {
+        last_loss: f32,
+        report: RankReport,
+    },
 }
 
 /// Runs hierarchical Sync EASGD on the simulated topology. Ranks are laid
@@ -106,20 +115,19 @@ pub fn hierarchical_sync_easgd(
     assert!(total > 0, "empty topology");
     let shards = train.partition(total);
     let cluster = ClusterConfig::new(total).with_link(topo.inter.clone());
-    let intra_tree =
-        ceil_log2(topo.gpus_per_node) as f64 * topo.intra.time(proto.size_bytes());
+    let intra_tree = ceil_log2(topo.gpus_per_node) as f64 * topo.intra.time(proto.size_bytes());
     let g = topo.gpus_per_node;
     let wall_start = Instant::now();
 
     let outs = VirtualCluster::run(&cluster, |comm: &mut Comm| {
         let me = comm.rank();
         let node = me / g;
-        let is_leader = me % g == 0;
+        let is_leader = me.is_multiple_of(g);
         let leader_rank = node * g;
         let mut net = proto.clone();
         let mut center = proto.params().as_slice().to_vec();
         let n = center.len();
-        let mut rng = Rng::new(cfg.seed ^ ((me as u64 + 1) * 0x9E37_79B9_7F4A_7C15));
+        let mut rng = Rng::new(cfg.seed ^ (me as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut grad = vec![0.0f32; n];
         let mut last_loss = f32::NAN;
         let shard = &shards[me];

@@ -1,3 +1,4 @@
+// xtask: allow(wall-clock) — wall-clock trainer/driver: measures real elapsed time by design.
 //! The lock-free algorithms: Hogwild SGD (§3.2) and Hogwild EASGD
 //! (§5.1, contribution 1).
 //!
@@ -208,7 +209,10 @@ mod tests {
     fn method_names() {
         let (proto, train, test) = setup();
         let cfg = quick_cfg(5);
-        assert_eq!(hogwild_sgd(&proto, &train, &test, &cfg).method, "Hogwild SGD");
+        assert_eq!(
+            hogwild_sgd(&proto, &train, &test, &cfg).method,
+            "Hogwild SGD"
+        );
         assert_eq!(
             hogwild_easgd(&proto, &train, &test, &cfg).method,
             "Hogwild EASGD"

@@ -37,7 +37,10 @@ use easgd_tensor::Rng;
 /// given serial fraction.
 pub fn amdahl_speedup(cores: usize, serial_fraction: f64) -> f64 {
     assert!(cores > 0, "need at least one core");
-    assert!((0.0..=1.0).contains(&serial_fraction), "bad serial fraction");
+    assert!(
+        (0.0..=1.0).contains(&serial_fraction),
+        "bad serial fraction"
+    );
     let c = cores as f64;
     c / (1.0 + serial_fraction * (c - 1.0))
 }
@@ -76,6 +79,9 @@ pub const KNL_ITERATION_SERIAL_FRACTION: f64 = 0.05;
 /// iteration using the whole chip (the G = 1 case). Every group holds a
 /// full replica of `train` and contributes one real batch gradient per
 /// round; the *summed* gradient updates all replicas identically.
+// Experiment driver: takes the full §6.2 configuration tuple; bundling it
+// into a struct would just move the eight names one level down.
+#[allow(clippy::too_many_arguments)]
 pub fn knl_partition_run(
     proto: &Network,
     train: &Dataset,
@@ -93,7 +99,11 @@ pub fn knl_partition_run(
     let weight_bytes = proto.size_bytes();
     let data_bytes = train.size_bytes();
     let fits = chip.max_partitions(weight_bytes, data_bytes, &[g]) == g;
-    let memory_penalty = if fits { 1.0 } else { chip.mcdram_bw / chip.ddr_bw };
+    let memory_penalty = if fits {
+        1.0
+    } else {
+        chip.mcdram_bw / chip.ddr_bw
+    };
 
     // Per-round simulated time: the G groups run concurrently, each on
     // cores/G cores; one full-chip iteration costs base_round_seconds at
@@ -112,7 +122,7 @@ pub fn knl_partition_run(
     let mut net = proto.clone();
     let n = net.num_params();
     let mut rngs: Vec<Rng> = (0..g)
-        .map(|w| Rng::new(cfg.seed ^ ((w as u64 + 1) * 0x9E37_79B9_7F4A_7C15)))
+        .map(|w| Rng::new(cfg.seed ^ (w as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
         .collect();
     let mut grad_sum = vec![0.0f32; n];
     let mut hit_round = None;
@@ -186,7 +196,14 @@ mod tests {
     fn reaches_target_on_easy_task() {
         let (proto, train, test) = setup();
         let out = knl_partition_run(
-            &proto, &train, &test, &cfg(4, 600), &KnlChip::cori_node(), 0.5, 0.7, 10,
+            &proto,
+            &train,
+            &test,
+            &cfg(4, 600),
+            &KnlChip::cori_node(),
+            0.5,
+            0.7,
+            10,
         );
         assert!(out.fits_fast_memory);
         assert_eq!(out.memory_penalty, 1.0);
@@ -217,8 +234,8 @@ mod tests {
         // must cost much less than 16× one group's round.
         let (proto, train, test) = setup();
         let chip = KnlChip::cori_node();
-        let r1 = knl_partition_run(&proto, &train, &test, &cfg(1, 1), &chip, 1.0, 0.99, 1)
-            .round_seconds;
+        let r1 =
+            knl_partition_run(&proto, &train, &test, &cfg(1, 1), &chip, 1.0, 0.99, 1).round_seconds;
         let r16 = knl_partition_run(&proto, &train, &test, &cfg(16, 1), &chip, 1.0, 0.99, 1)
             .round_seconds;
         assert!(r16 < 16.0 * r1 * 0.5, "r1={r1:.3} r16={r16:.3}");

@@ -37,10 +37,9 @@
 pub mod async_sim;
 pub mod config;
 pub mod convex;
-pub mod hierarchical;
 pub mod dispatch;
+pub mod hierarchical;
 pub mod hogwild;
-pub mod simcost;
 pub mod knl_partition;
 pub mod lineage;
 pub mod metrics;
@@ -49,6 +48,7 @@ pub mod original;
 pub mod schedule;
 pub mod serial;
 pub mod shared;
+pub mod simcost;
 pub mod straggler;
 pub mod sync;
 pub mod weak_scaling;
@@ -64,11 +64,11 @@ pub use lineage::{lineage, LineageEdge, MethodId};
 pub use metrics::{RunResult, TracePoint};
 pub use model_parallel::model_parallel_speedup;
 pub use original::{original_easgd_sim, OriginalMode};
+pub use schedule::LrSchedule;
+pub use serial::{serial_sgd, SerialConfig};
 pub use shared::{
     async_easgd, async_measgd, async_msgd, async_sgd, original_easgd_turns, sync_easgd_shared,
 };
-pub use schedule::LrSchedule;
-pub use serial::{serial_sgd, SerialConfig};
 pub use simcost::SimCosts;
 pub use straggler::{straggler_study, StragglerConfig, StragglerOutcome};
 pub use sync::{sync_easgd_sim, sync_sgd_sim, SyncVariant};

@@ -101,14 +101,46 @@ pub struct LineageEdge {
 pub fn lineage() -> Vec<LineageEdge> {
     use MethodId::*;
     vec![
-        LineageEdge { from: AsyncSgd, to: AsyncMsgd, idea: "momentum" },
-        LineageEdge { from: AsyncSgd, to: HogwildSgd, idea: "lock-free" },
-        LineageEdge { from: AsyncSgd, to: AsyncEasgd, idea: "elastic averaging" },
-        LineageEdge { from: OriginalEasgd, to: AsyncEasgd, idea: "FCFS" },
-        LineageEdge { from: AsyncEasgd, to: AsyncMeasgd, idea: "momentum" },
-        LineageEdge { from: AsyncEasgd, to: HogwildEasgd, idea: "lock-free" },
-        LineageEdge { from: HogwildSgd, to: HogwildEasgd, idea: "elastic averaging" },
-        LineageEdge { from: OriginalEasgd, to: SyncEasgd, idea: "tree reduce" },
+        LineageEdge {
+            from: AsyncSgd,
+            to: AsyncMsgd,
+            idea: "momentum",
+        },
+        LineageEdge {
+            from: AsyncSgd,
+            to: HogwildSgd,
+            idea: "lock-free",
+        },
+        LineageEdge {
+            from: AsyncSgd,
+            to: AsyncEasgd,
+            idea: "elastic averaging",
+        },
+        LineageEdge {
+            from: OriginalEasgd,
+            to: AsyncEasgd,
+            idea: "FCFS",
+        },
+        LineageEdge {
+            from: AsyncEasgd,
+            to: AsyncMeasgd,
+            idea: "momentum",
+        },
+        LineageEdge {
+            from: AsyncEasgd,
+            to: HogwildEasgd,
+            idea: "lock-free",
+        },
+        LineageEdge {
+            from: HogwildSgd,
+            to: HogwildEasgd,
+            idea: "elastic averaging",
+        },
+        LineageEdge {
+            from: OriginalEasgd,
+            to: SyncEasgd,
+            idea: "tree reduce",
+        },
     ]
 }
 
@@ -140,7 +172,10 @@ mod tests {
             MethodId::HogwildEasgd.counterpart(),
             Some(MethodId::HogwildSgd)
         );
-        assert_eq!(MethodId::SyncEasgd.counterpart(), Some(MethodId::OriginalEasgd));
+        assert_eq!(
+            MethodId::SyncEasgd.counterpart(),
+            Some(MethodId::OriginalEasgd)
+        );
         assert_eq!(MethodId::AsyncSgd.counterpart(), None);
     }
 

@@ -59,7 +59,7 @@ pub fn time_to_accuracy(runs: &[RunResult], target: f32) -> Option<f64> {
     runs.iter()
         .filter(|r| r.accuracy >= target)
         .map(RunResult::seconds)
-        .min_by(|a, b| a.partial_cmp(b).unwrap())
+        .min_by(f64::total_cmp)
 }
 
 #[cfg(test)]

@@ -1,3 +1,4 @@
+// xtask: allow(wall-clock) — wall-clock trainer/driver: measures real elapsed time by design.
 //! Original EASGD (Algorithm 1) on the simulated multi-GPU node.
 //!
 //! The baseline of the whole paper: the master (CPU) serves workers
@@ -109,7 +110,10 @@ pub fn original_easgd_sim(
     let mut losses = Vec::new();
     for o in outs {
         match o {
-            RankOut::Master { center: c, report: r } => {
+            RankOut::Master {
+                center: c,
+                report: r,
+            } => {
                 center = c;
                 report = Some(r);
             }
@@ -168,7 +172,13 @@ fn master_loop(
         }
         let batch = train.sample_batch(&mut rng, cfg.batch);
         let payload = encode_batch(batch.images.as_slice(), &batch.labels);
-        comm.send_costed(j, TAG_DATA, &payload, costs.data_time(), TimeCategory::CpuGpuData);
+        comm.send_costed(
+            j,
+            TAG_DATA,
+            &payload,
+            costs.data_time(),
+            TimeCategory::CpuGpuData,
+        );
         comm.send_costed(j, TAG_CENTER, &center, down, TimeCategory::CpuGpuParam);
         inflight[j] = true;
         if mode == OriginalMode::Serialized {
@@ -178,8 +188,8 @@ fn master_loop(
     }
     // Drain the pipeline.
     if mode == OriginalMode::Pipelined {
-        for j in 1..=g {
-            if inflight[j] {
+        for (j, flag) in inflight.iter_mut().enumerate().skip(1) {
+            if std::mem::take(flag) {
                 collect(comm, &mut center, j);
             }
         }
@@ -201,7 +211,7 @@ fn worker_loop(
     let me = comm.rank();
     let rounds = (0..total).filter(|t| 1 + (t % g) == me).count();
     let mut net = proto.clone();
-    let mut jitter_rng = Rng::new(cfg.seed ^ (me as u64 * 0x9E37_79B9_7F4A_7C15));
+    let mut jitter_rng = Rng::new(cfg.seed ^ (me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut grad = vec![0.0f32; net.num_params()];
     let mut last_loss = f32::NAN;
     for _ in 0..rounds {
@@ -218,7 +228,13 @@ fn worker_loop(
         grad.copy_from_slice(net.grads().as_slice());
         // Ship W_jt (pre-update, per Algorithm 1 lines 12–14); the master
         // pays the transfer on its own timeline.
-        comm.send_costed(0, TAG_WEIGHT, net.params().as_slice(), 0.0, TimeCategory::Other);
+        comm.send_costed(
+            0,
+            TAG_WEIGHT,
+            net.params().as_slice(),
+            0.0,
+            TimeCategory::Other,
+        );
         elastic_worker_update(
             cfg.eta,
             cfg.rho,
@@ -269,7 +285,14 @@ mod tests {
     #[test]
     fn pipelined_learns_and_reports_breakdown() {
         let (proto, train, test) = setup();
-        let r = original_easgd_sim(&proto, &train, &test, &cfg(50), &SimCosts::mnist_lenet_4gpu(), OriginalMode::Pipelined);
+        let r = original_easgd_sim(
+            &proto,
+            &train,
+            &test,
+            &cfg(50),
+            &SimCosts::mnist_lenet_4gpu(),
+            OriginalMode::Pipelined,
+        );
         assert!(r.accuracy > 0.3, "acc = {}", r.accuracy);
         assert!(r.sim_seconds.unwrap() > 0.0);
         let b = r.breakdown.unwrap();
@@ -296,7 +319,10 @@ mod tests {
             pip_ratio > ser_ratio,
             "pipelined ratio {pip_ratio} !> serialized {ser_ratio}"
         );
-        assert!(pip_ratio > 0.7, "expected comm-bound master, got {pip_ratio}");
+        assert!(
+            pip_ratio > 0.7,
+            "expected comm-bound master, got {pip_ratio}"
+        );
     }
 
     #[test]

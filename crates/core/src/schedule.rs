@@ -61,9 +61,7 @@ impl LrSchedule {
                 let frac = 1.0 - (t.min(max_iter) as f32 / max_iter.max(1) as f32);
                 base * frac.powf(power)
             }
-            LrSchedule::Inv { base, gamma, power } => {
-                base * (1.0 + gamma * t as f32).powf(-power)
-            }
+            LrSchedule::Inv { base, gamma, power } => base * (1.0 + gamma * t as f32).powf(-power),
         }
     }
 

@@ -1,3 +1,4 @@
+// xtask: allow(wall-clock) — wall-clock trainer/driver: measures real elapsed time by design.
 //! Single-node SGD with schedules and weight decay — the baseline every
 //! distributed method is measured against, and the §7.2 batch-size
 //! study's engine.
@@ -115,14 +116,24 @@ mod tests {
     #[test]
     fn learns_with_constant_rate() {
         let (net, train, test) = setup();
-        let r = serial_sgd(&net, &train, &test, &SerialConfig::constant(0.1, 32, 300, 1));
+        let r = serial_sgd(
+            &net,
+            &train,
+            &test,
+            &SerialConfig::constant(0.1, 32, 300, 1),
+        );
         assert!(r.accuracy > 0.8, "acc {}", r.accuracy);
     }
 
     #[test]
     fn momentum_accelerates_early_progress() {
         let (net, train, test) = setup();
-        let plain = serial_sgd(&net, &train, &test, &SerialConfig::constant(0.02, 32, 120, 2));
+        let plain = serial_sgd(
+            &net,
+            &train,
+            &test,
+            &SerialConfig::constant(0.02, 32, 120, 2),
+        );
         let mut mcfg = SerialConfig::constant(0.02, 32, 120, 2);
         mcfg.mu = 0.9;
         let with_m = serial_sgd(&net, &train, &test, &mcfg);

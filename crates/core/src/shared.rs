@@ -1,3 +1,4 @@
+// xtask: allow(wall-clock) — wall-clock trainer/driver: measures real elapsed time by design.
 //! The shared-memory, wall-clock algorithm family (Figures 6 and 8).
 //!
 //! The paper's asynchronous methods differ only in *how workers
@@ -27,8 +28,7 @@ use easgd_tensor::ops::{
     sgd_update,
 };
 use easgd_tensor::Rng;
-use parking_lot::{Condvar, Mutex, RwLock};
-use std::sync::Barrier;
+use std::sync::{Barrier, Condvar, Mutex, RwLock};
 use std::time::Instant;
 
 /// Master state for the gradient-push methods (Async SGD / MSGD).
@@ -114,19 +114,14 @@ where
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let wall = start.elapsed().as_secs_f64();
-    let center_w = center.lock().w.clone();
+    let center_w = center.lock().unwrap().w.clone();
     finish(method, proto, &center_w, test, cfg, wall, losses)
 }
 
 /// Async SGD (§3.1): FCFS parameter server. The worker pushes its
 /// sub-gradient; the master applies `W ← W − η·ΔWᵢ` under the lock and
 /// returns the fresh weights.
-pub fn async_sgd(
-    proto: &Network,
-    train: &Dataset,
-    test: &Dataset,
-    cfg: &TrainConfig,
-) -> RunResult {
+pub fn async_sgd(proto: &Network, train: &Dataset, test: &Dataset, cfg: &TrainConfig) -> RunResult {
     let center = Mutex::new(GradCenter {
         w: proto.params().as_slice().to_vec(),
         v: vec![0.0; proto.num_params()],
@@ -139,7 +134,7 @@ pub fn async_sgd(
         cfg,
         &center,
         |center, net, _vel, grad, cfg, _step| {
-            let mut c = center.lock();
+            let mut c = center.lock().unwrap();
             sgd_update(cfg.eta, &mut c.w, grad);
             net.set_params(&c.w);
         },
@@ -166,7 +161,7 @@ pub fn async_msgd(
         cfg,
         &center,
         |center, net, _vel, grad, cfg, _step| {
-            let mut c = center.lock();
+            let mut c = center.lock().unwrap();
             let GradCenter { w, v } = &mut *c;
             momentum_update(cfg.eta, cfg.mu, w, v, grad);
             net.set_params(w);
@@ -205,7 +200,7 @@ pub fn async_easgd(
             // the plain elastic update).
             let snapshot: &mut [f32] = vel;
             {
-                let mut c = center.lock();
+                let mut c = center.lock().unwrap();
                 elastic_center_update(cfg.eta, cfg.rho, &mut c.w, net.params().as_slice());
                 snapshot.copy_from_slice(&c.w);
             }
@@ -263,8 +258,13 @@ pub fn async_measgd(
                             continue;
                         }
                         {
-                            let mut c = center.lock();
-                            elastic_center_update(cfg.eta, cfg.rho, &mut c, net.params().as_slice());
+                            let mut c = center.lock().unwrap();
+                            elastic_center_update(
+                                cfg.eta,
+                                cfg.rho,
+                                &mut c,
+                                net.params().as_slice(),
+                            );
                             snapshot.copy_from_slice(&c);
                         }
                         elastic_momentum_update(
@@ -284,7 +284,7 @@ pub fn async_measgd(
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let wall = start.elapsed().as_secs_f64();
-    let center_w = center.lock().clone();
+    let center_w = center.lock().unwrap().clone();
     finish("Async MEASGD", proto, &center_w, test, cfg, wall, losses)
 }
 
@@ -328,12 +328,12 @@ pub fn original_easgd_turns(
                         grad.copy_from_slice(net.grads().as_slice());
                         // Wait for this worker's slot in the global order.
                         {
-                            let mut t = turn.lock();
+                            let mut t = turn.lock().unwrap();
                             while *t % cfg.workers != w {
-                                turn_cv.wait(&mut t);
+                                t = turn_cv.wait(t).unwrap();
                             }
                             {
-                                let mut c = center.lock();
+                                let mut c = center.lock().unwrap();
                                 elastic_center_update(
                                     cfg.eta,
                                     cfg.rho,
@@ -360,7 +360,7 @@ pub fn original_easgd_turns(
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let wall = start.elapsed().as_secs_f64();
-    let center_w = center.lock().clone();
+    let center_w = center.lock().unwrap().clone();
     finish("Original EASGD", proto, &center_w, test, cfg, wall, losses)
 }
 
@@ -403,22 +403,25 @@ pub fn sync_easgd_shared(
                     let mut last_loss = f32::NAN;
                     for _ in 0..cfg.iterations {
                         // Steps (1)+(2): gradient + read of W̄_t (overlappable).
-                        snapshot.copy_from_slice(&center.read());
+                        snapshot.copy_from_slice(&center.read().unwrap());
                         let batch = shard.sample_batch(&mut rng, cfg.batch);
                         let stats = net.forward_backward(&batch.images, &batch.labels);
                         last_loss = stats.loss;
                         grad.copy_from_slice(net.grads().as_slice());
                         // Step (3): publish Wᵢ for the reduction.
-                        slots[w].lock().copy_from_slice(net.params().as_slice());
+                        slots[w]
+                            .lock()
+                            .unwrap()
+                            .copy_from_slice(net.params().as_slice());
                         barrier.wait();
                         // Step (5): master folds Σ Wᵢ into W̄ once, in order.
                         if w == 0 {
-                            let mut c = center.write();
+                            let mut c = center.write().unwrap();
                             let p = cfg.workers as f32;
                             let scale = cfg.eta * cfg.rho;
                             let mut sum = vec![0.0f32; n];
                             for slot in slots.iter() {
-                                easgd_tensor::ops::add_assign(&mut sum, &slot.lock());
+                                easgd_tensor::ops::add_assign(&mut sum, &slot.lock().unwrap());
                             }
                             for (ci, si) in c.iter_mut().zip(sum.iter()) {
                                 *ci += scale * (si - p * *ci);
@@ -441,7 +444,7 @@ pub fn sync_easgd_shared(
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let wall = start.elapsed().as_secs_f64();
-    let center_w = center.read().clone();
+    let center_w = center.read().unwrap().clone();
     finish("Sync EASGD", proto, &center_w, test, cfg, wall, losses)
 }
 

@@ -75,7 +75,12 @@ impl SimCosts {
     /// Costs derived from a model spec and batch size with the same link
     /// calibration (for non-LeNet workloads, e.g. the Figure 10 AlexNet
     /// run). `fwd_bwd` comes from a sustained-rate estimate.
-    pub fn derive(spec: &ModelSpec, sample_bytes: usize, batch: usize, sustained_flops: f64) -> Self {
+    pub fn derive(
+        spec: &ModelSpec,
+        sample_bytes: usize,
+        batch: usize,
+        sustained_flops: f64,
+    ) -> Self {
         Self {
             cpu_gpu_unpacked: AlphaBeta::new("PCIe pageable", 120e-6, 1.0e-9),
             cpu_gpu_packed: AlphaBeta::new("PCIe pinned", 80e-6, 1.0 / 8.0e9),

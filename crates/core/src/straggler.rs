@@ -71,18 +71,14 @@ pub fn straggler_study(cfg: &StragglerConfig) -> StragglerOutcome {
         let mut round_max = 0.0f64;
         for (w, acc) in per_worker_async.iter_mut().enumerate() {
             let slow = (rng.uniform() as f64) < cfg.straggler_prob;
-            let t = cfg.base_step_seconds
-                * if slow { cfg.straggler_factor } else { 1.0 };
+            let t = cfg.base_step_seconds * if slow { cfg.straggler_factor } else { 1.0 };
             *acc += t + cfg.comm_seconds;
             round_max = round_max.max(t);
             let _ = w;
         }
         sync_total += round_max + cfg.comm_seconds;
     }
-    let async_seconds = per_worker_async
-        .iter()
-        .cloned()
-        .fold(0.0f64, f64::max);
+    let async_seconds = per_worker_async.iter().cloned().fold(0.0f64, f64::max);
     StragglerOutcome {
         sync_seconds: sync_total,
         async_seconds,

@@ -1,3 +1,4 @@
+// xtask: allow(wall-clock) — wall-clock trainer/driver: measures real elapsed time by design.
 //! The synchronous family on the simulated cluster: Sync EASGD1/2/3
 //! (Algorithms 2–4, §6.1) and Sync SGD (the allreduce baseline used by
 //! Figure 10 and the weak-scaling comparisons).
@@ -206,7 +207,14 @@ pub fn sync_easgd_sim(
         }
     });
 
-    assemble(variant.label(), proto, test, cfg, outs, wall_start.elapsed().as_secs_f64())
+    assemble(
+        variant.label(),
+        proto,
+        test,
+        cfg,
+        outs,
+        wall_start.elapsed().as_secs_f64(),
+    )
 }
 
 fn assemble(
@@ -298,8 +306,11 @@ pub fn sync_sgd_sim(
             let stats = net.forward_backward(&batch.images, &batch.labels);
             last_loss = stats.loss;
             comm.charge(TimeCategory::ForwardBackward, fwd_bwd_cost);
-            let grad_sum =
-                comm.reduce_sum_costed(net.grads().as_slice(), allreduce_cost, TimeCategory::GpuGpuParam);
+            let grad_sum = comm.reduce_sum_costed(
+                net.grads().as_slice(),
+                allreduce_cost,
+                TimeCategory::GpuGpuParam,
+            );
             easgd_tensor::ops::axpy(-scale, &grad_sum, net.params_mut().as_mut_slice());
             comm.charge(TimeCategory::GpuUpdate, update_cost);
             if me == 0 && trace_every > 0 && (round + 1) % trace_every == 0 {
@@ -328,7 +339,14 @@ pub fn sync_sgd_sim(
         LayoutKind::Packed => "Sync SGD (packed)",
         LayoutKind::PerLayer => "Sync SGD (per-layer)",
     };
-    assemble(label, proto, test, cfg, outs, wall_start.elapsed().as_secs_f64())
+    assemble(
+        label,
+        proto,
+        test,
+        cfg,
+        outs,
+        wall_start.elapsed().as_secs_f64(),
+    )
 }
 
 #[cfg(test)]
@@ -360,7 +378,15 @@ mod tests {
     fn easgd1_learns_and_breaks_down_time() {
         let (proto, train, test) = setup();
         let costs = SimCosts::mnist_lenet_4gpu();
-        let r = sync_easgd_sim(&proto, &train, &test, &cfg(60), &costs, SyncVariant::Easgd1, 0);
+        let r = sync_easgd_sim(
+            &proto,
+            &train,
+            &test,
+            &cfg(60),
+            &costs,
+            SyncVariant::Easgd1,
+            0,
+        );
         assert!(r.accuracy > 0.4, "acc = {}", r.accuracy);
         let b = r.breakdown.unwrap();
         assert!(b.get(TimeCategory::CpuGpuParam) > 0.0);
@@ -372,7 +398,15 @@ mod tests {
     fn easgd2_moves_traffic_to_gpu_links() {
         let (proto, train, test) = setup();
         let costs = SimCosts::mnist_lenet_4gpu();
-        let r = sync_easgd_sim(&proto, &train, &test, &cfg(20), &costs, SyncVariant::Easgd2, 0);
+        let r = sync_easgd_sim(
+            &proto,
+            &train,
+            &test,
+            &cfg(20),
+            &costs,
+            SyncVariant::Easgd2,
+            0,
+        );
         let b = r.breakdown.unwrap();
         assert_eq!(b.get(TimeCategory::CpuGpuParam), 0.0);
         assert!(b.get(TimeCategory::GpuGpuParam) > 0.0);
@@ -402,7 +436,15 @@ mod tests {
     fn easgd3_comm_ratio_is_low() {
         let (proto, train, test) = setup();
         let costs = SimCosts::mnist_lenet_4gpu();
-        let r = sync_easgd_sim(&proto, &train, &test, &cfg(20), &costs, SyncVariant::Easgd3, 0);
+        let r = sync_easgd_sim(
+            &proto,
+            &train,
+            &test,
+            &cfg(20),
+            &costs,
+            SyncVariant::Easgd3,
+            0,
+        );
         let ratio = r.breakdown.unwrap().comm_ratio();
         // Paper: 14%. Anything clearly compute-bound passes.
         assert!(ratio < 0.3, "comm ratio = {ratio}");
@@ -412,7 +454,15 @@ mod tests {
     fn trace_records_on_simulated_timeline() {
         let (proto, train, test) = setup();
         let costs = SimCosts::mnist_lenet_4gpu();
-        let r = sync_easgd_sim(&proto, &train, &test, &cfg(30), &costs, SyncVariant::Easgd3, 10);
+        let r = sync_easgd_sim(
+            &proto,
+            &train,
+            &test,
+            &cfg(30),
+            &costs,
+            SyncVariant::Easgd3,
+            10,
+        );
         assert_eq!(r.trace.len(), 3);
         assert!(r.trace[0].seconds < r.trace[2].seconds);
         assert_eq!(r.trace[2].iteration, 30);
@@ -425,9 +475,26 @@ mod tests {
         let c = cfg(40);
         let shards = train.partition(c.workers);
         let link = AlphaBeta::qdr_infiniband();
-        let packed = sync_sgd_sim(&proto, &shards, &test, &c, &link, LayoutKind::Packed, 1e-3, 0);
-        let unpacked =
-            sync_sgd_sim(&proto, &shards, &test, &c, &link, LayoutKind::PerLayer, 1e-3, 0);
+        let packed = sync_sgd_sim(
+            &proto,
+            &shards,
+            &test,
+            &c,
+            &link,
+            LayoutKind::Packed,
+            1e-3,
+            0,
+        );
+        let unpacked = sync_sgd_sim(
+            &proto,
+            &shards,
+            &test,
+            &c,
+            &link,
+            LayoutKind::PerLayer,
+            1e-3,
+            0,
+        );
         // Same gradients, same final weights → identical accuracy.
         assert_eq!(packed.accuracy, unpacked.accuracy);
         assert!(packed.sim_seconds.unwrap() < unpacked.sim_seconds.unwrap());
@@ -439,7 +506,16 @@ mod tests {
         let c = cfg(80);
         let shards = train.partition(c.workers);
         let link = AlphaBeta::fdr_infiniband();
-        let r = sync_sgd_sim(&proto, &shards, &test, &c, &link, LayoutKind::Packed, 1e-3, 0);
+        let r = sync_sgd_sim(
+            &proto,
+            &shards,
+            &test,
+            &c,
+            &link,
+            LayoutKind::Packed,
+            1e-3,
+            0,
+        );
         assert!(r.accuracy > 0.4, "acc = {}", r.accuracy);
     }
 

@@ -238,7 +238,12 @@ mod tests {
         d.normalize();
         let n = 12.0;
         let mean: f32 = d.images.iter().sum::<f32>() / n;
-        let var: f32 = d.images.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+        let var: f32 = d
+            .images
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / n;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-4);
     }

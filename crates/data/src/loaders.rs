@@ -116,7 +116,7 @@ pub const CIFAR_RECORD_BYTES: usize = 1 + 3 * 32 * 32;
 /// Parses one CIFAR-10 binary batch (`data_batch_N.bin` layout: records of
 /// label byte + 3072 channel-major pixel bytes).
 pub fn parse_cifar_batch(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), LoadError> {
-    if bytes.is_empty() || bytes.len() % CIFAR_RECORD_BYTES != 0 {
+    if bytes.is_empty() || !bytes.len().is_multiple_of(CIFAR_RECORD_BYTES) {
         return Err(LoadError::Format(format!(
             "cifar batch size {} is not a multiple of {CIFAR_RECORD_BYTES}",
             bytes.len()
@@ -199,10 +199,7 @@ mod tests {
     fn idx3_rejects_wrong_magic() {
         let mut f = idx3_fixture(1, 2, 2);
         f[3] = 0x01; // idx1 magic in an idx3 parse
-        assert!(matches!(
-            parse_idx_images(&f),
-            Err(LoadError::Format(_))
-        ));
+        assert!(matches!(parse_idx_images(&f), Err(LoadError::Format(_))));
     }
 
     #[test]
@@ -289,8 +286,14 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let p1 = dir.join("b1.bin");
         let p2 = dir.join("b2.bin");
-        File::create(&p1).unwrap().write_all(&cifar_fixture(2)).unwrap();
-        File::create(&p2).unwrap().write_all(&cifar_fixture(3)).unwrap();
+        File::create(&p1)
+            .unwrap()
+            .write_all(&cifar_fixture(2))
+            .unwrap();
+        File::create(&p2)
+            .unwrap()
+            .write_all(&cifar_fixture(3))
+            .unwrap();
         let d = load_cifar(&[&p1, &p2]).unwrap();
         assert_eq!(d.len(), 5);
         assert_eq!(d.shape, vec![3, 32, 32]);

@@ -240,7 +240,7 @@ impl SyntheticTask {
 fn upsample_bilinear(grid: &[f32], c: usize, s: usize, out: &mut Vec<f32>) {
     debug_assert_eq!(grid.len(), c * c);
     if c == 1 {
-        out.extend(std::iter::repeat(grid[0]).take(s * s));
+        out.extend(std::iter::repeat_n(grid[0], s * s));
         return;
     }
     let scale = (c - 1) as f32 / (s - 1).max(1) as f32;
@@ -328,10 +328,7 @@ mod tests {
         // Samples 0 and 10 share class 0; 0 and 5 differ (classes 0 vs 5).
         let corr = |a: &[f32], b: &[f32]| {
             let n = a.len() as f32;
-            let (ma, mb) = (
-                a.iter().sum::<f32>() / n,
-                b.iter().sum::<f32>() / n,
-            );
+            let (ma, mb) = (a.iter().sum::<f32>() / n, b.iter().sum::<f32>() / n);
             let cov: f32 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
             let va: f32 = a.iter().map(|x| (x - ma) * (x - ma)).sum();
             let vb: f32 = b.iter().map(|y| (y - mb) * (y - mb)).sum();
@@ -375,10 +372,7 @@ mod tests {
         let mut rng = Rng::new(9);
         for _ in 0..300 {
             let b = train.sample_batch(&mut rng, 32);
-            let flat = b
-                .images
-                .clone()
-                .reshape([b.len(), spec.sample_len()]);
+            let flat = b.images.clone().reshape([b.len(), spec.sample_len()]);
             let _ = net.forward_backward(&flat, &b.labels);
             let g = net.grads().as_slice().to_vec();
             sgd_update(0.1, net.params_mut().as_mut_slice(), &g);

@@ -95,8 +95,7 @@ mod tests {
     fn equal_at_p_2() {
         let bytes = 1024;
         assert!(
-            (round_robin_exchange(&link(), 2, bytes) - 2.0 * reduce_tree(&link(), 2, bytes))
-                .abs()
+            (round_robin_exchange(&link(), 2, bytes) - 2.0 * reduce_tree(&link(), 2, bytes)).abs()
                 < 1e-12
         );
     }

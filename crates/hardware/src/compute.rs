@@ -7,10 +7,8 @@
 //! absolute value shifts all times equally and cancels out of every ratio
 //! the experiments report.
 
-use serde::{Deserialize, Serialize};
-
 /// A device's sustained compute rate.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ComputeModel {
     /// Device name.
     pub name: String,

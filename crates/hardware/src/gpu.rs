@@ -6,10 +6,9 @@
 
 use crate::compute::ComputeModel;
 use crate::net::AlphaBeta;
-use serde::{Deserialize, Serialize};
 
 /// A GPU with its on-board memory and host link.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GpuDevice {
     /// Device name.
     pub name: String,

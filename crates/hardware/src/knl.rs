@@ -5,10 +5,8 @@
 //! weight and P copies of data”, §6.2) and the bandwidth cliff between
 //! MCDRAM (475 GB/s measured) and DDR4 (90 GB/s).
 
-use serde::{Deserialize, Serialize};
-
 /// MCDRAM operating modes (§2.1 item 2, Figure 2).
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub enum McdramMode {
     /// MCDRAM is the last-level cache.
     Cache,
@@ -19,7 +17,7 @@ pub enum McdramMode {
 }
 
 /// On-chip clustering modes (§2.1 item 3).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum ClusterMode {
     /// Addresses uniformly distributed over all tag directories.
     AllToAll,
@@ -45,7 +43,7 @@ impl ClusterMode {
 }
 
 /// A Knights Landing chip.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct KnlChip {
     /// Core count (68 on the paper's Cori nodes; 72 exists).
     pub cores: usize,
@@ -107,12 +105,14 @@ impl KnlChip {
     /// Effective bandwidth for a working set of `bytes`: MCDRAM speed
     /// while it fits in fast memory, DDR speed once it spills.
     pub fn effective_bandwidth(&self, working_set: usize) -> f64 {
-        if working_set <= self.fast_memory_bytes().max(match self.mcdram_mode {
-            // In cache mode a working set within MCDRAM capacity still
-            // enjoys MCDRAM bandwidth through the cache.
-            McdramMode::Cache => self.mcdram_bytes,
-            _ => 0,
-        }) {
+        if working_set
+            <= self.fast_memory_bytes().max(match self.mcdram_mode {
+                // In cache mode a working set within MCDRAM capacity still
+                // enjoys MCDRAM bandwidth through the cache.
+                McdramMode::Cache => self.mcdram_bytes,
+                _ => 0,
+            })
+        {
             self.mcdram_bw
         } else {
             self.ddr_bw
@@ -125,7 +125,12 @@ impl KnlChip {
     ///
     /// “The limitation of this method is that the fast memory … should be
     /// able to handle P copies of weight and P copies of data.”
-    pub fn max_partitions(&self, weight_bytes: usize, data_copy_bytes: usize, candidates: &[usize]) -> usize {
+    pub fn max_partitions(
+        &self,
+        weight_bytes: usize,
+        data_copy_bytes: usize,
+        candidates: &[usize],
+    ) -> usize {
         let budget = match self.mcdram_mode {
             McdramMode::Cache => self.mcdram_bytes,
             _ => self.fast_memory_bytes(),

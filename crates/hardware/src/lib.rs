@@ -27,7 +27,9 @@ pub mod gpu;
 pub mod knl;
 pub mod net;
 
-pub use collective::{allreduce_rabenseifner, broadcast_tree, linear_exchange, reduce_tree, round_robin_exchange};
+pub use collective::{
+    allreduce_rabenseifner, broadcast_tree, linear_exchange, reduce_tree, round_robin_exchange,
+};
 pub use compute::ComputeModel;
 pub use gpu::GpuDevice;
 pub use knl::{ClusterMode, KnlChip, McdramMode};

@@ -5,10 +5,8 @@
 //! byte, so message *count* dominates and packing layers into one message
 //! wins.
 
-use serde::{Deserialize, Serialize};
-
 /// One α-β link.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AlphaBeta {
     /// Human-readable name, e.g. `"Mellanox 56Gb/s FDR IB"`.
     pub name: String,

@@ -113,7 +113,11 @@ impl Layer for Tanh {
         _grads: &mut ParamArena,
         grad_out: &Tensor,
     ) -> Tensor {
-        assert_eq!(grad_out.len(), self.out_cache.len(), "backward before forward");
+        assert_eq!(
+            grad_out.len(),
+            self.out_cache.len(),
+            "backward before forward"
+        );
         let mut g = grad_out.clone();
         for (gi, &y) in g.as_mut_slice().iter_mut().zip(&self.out_cache) {
             *gi *= 1.0 - y * y;
@@ -171,7 +175,11 @@ impl Layer for Sigmoid {
         _grads: &mut ParamArena,
         grad_out: &Tensor,
     ) -> Tensor {
-        assert_eq!(grad_out.len(), self.out_cache.len(), "backward before forward");
+        assert_eq!(
+            grad_out.len(),
+            self.out_cache.len(),
+            "backward before forward"
+        );
         let mut g = grad_out.clone();
         for (gi, &y) in g.as_mut_slice().iter_mut().zip(&self.out_cache) {
             *gi *= y * (1.0 - y);

@@ -162,7 +162,7 @@ impl Layer for BatchNorm {
         let n = self.stat_count(b);
         let mut grad_in = Tensor::zeros(grad_out.shape().clone());
 
-        for c in 0..self.channels {
+        for (c, &gamma_c) in gamma.iter().enumerate().take(self.channels) {
             // Accumulate dγ, dβ and the two reduction terms of the BN
             // backward formula.
             let mut dgamma = 0.0f32;
@@ -177,7 +177,7 @@ impl Layer for BatchNorm {
             grads.segment_mut(self.gamma_seg)[c] += dgamma;
             grads.segment_mut(self.beta_seg)[c] += dbeta;
             // dx = γ·inv_std/n · (n·dy − Σdy − x̂·Σ(dy·x̂))
-            let scale = gamma[c] * self.batch_inv_std[c] / n;
+            let scale = gamma_c * self.batch_inv_std[c] / n;
             for s in 0..b {
                 for p in 0..self.plane {
                     let idx = s * per + c * self.plane + p;

@@ -1,8 +1,8 @@
 //! 2-D convolution via im2col + GEMM.
 
 use crate::layer::{batch_of, Init, Layer, ParamSpec};
-use easgd_tensor::{gemm, ParamArena, Tensor, Transpose};
 use easgd_tensor::{col2im, im2col, Conv2dGeometry};
+use easgd_tensor::{gemm, ParamArena, Tensor, Transpose};
 
 /// Convolutional layer.
 ///
@@ -145,7 +145,12 @@ impl Layer for Conv2d {
         let in_len = self.geom.input_len();
         let w = params.segment(self.w_seg);
 
-        let mut grad_in = Tensor::zeros(vec![b, self.geom.in_channels, self.geom.in_h, self.geom.in_w]);
+        let mut grad_in = Tensor::zeros(vec![
+            b,
+            self.geom.in_channels,
+            self.geom.in_h,
+            self.geom.in_w,
+        ]);
         let mut grad_col = vec![0.0f32; rows * cols];
         for s in 0..b {
             let gy = &grad_out.as_slice()[s * out_len..(s + 1) * out_len];

@@ -23,7 +23,10 @@ pub struct Dense {
 impl Dense {
     /// A dense layer mapping `in_features → out_features`.
     pub fn new(name: impl Into<String>, in_features: usize, out_features: usize) -> Self {
-        assert!(in_features > 0 && out_features > 0, "dense dims must be > 0");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "dense dims must be > 0"
+        );
         Self {
             name: name.into(),
             in_features,
@@ -117,7 +120,11 @@ impl Layer for Dense {
             .as_ref()
             .expect("backward called before forward");
         let b = batch_of(input);
-        assert_eq!(grad_out.len(), b * self.out_features, "grad_out shape mismatch");
+        assert_eq!(
+            grad_out.len(),
+            b * self.out_features,
+            "grad_out shape mismatch"
+        );
 
         // gradW[out,in] += Σ_b gradY[b,out]·X[b,in] = gradYᵀ · X
         gemm(
@@ -188,7 +195,9 @@ mod tests {
         let mut l = Dense::new("fc", 3, 2);
         let (mut params, _) = build(&mut l, &mut rng);
         // W = [[1,0,0],[0,1,0]], b = [0.5, -0.5]
-        params.segment_mut(0).copy_from_slice(&[1., 0., 0., 0., 1., 0.]);
+        params
+            .segment_mut(0)
+            .copy_from_slice(&[1., 0., 0., 0., 1., 0.]);
         params.segment_mut(1).copy_from_slice(&[0.5, -0.5]);
         let x = Tensor::from_vec([1, 3], vec![2.0, 3.0, 4.0]);
         let y = l.forward(&params, &x, true);

@@ -86,6 +86,8 @@ impl Layer for Dropout {
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {
+        // ordering: only a unique salt per clone is needed; no other memory
+        // is published through this counter.
         let salt = CLONE_SALT.fetch_add(1, Ordering::Relaxed);
         Box::new(Dropout {
             name: self.name.clone(),

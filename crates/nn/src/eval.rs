@@ -25,7 +25,10 @@ impl ConfusionMatrix {
 
     /// Records one prediction.
     pub fn record(&mut self, truth: usize, predicted: usize) {
-        assert!(truth < self.classes && predicted < self.classes, "class out of range");
+        assert!(
+            truth < self.classes && predicted < self.classes,
+            "class out of range"
+        );
         self.counts[truth * self.classes + predicted] += 1;
     }
 
@@ -68,7 +71,7 @@ impl ConfusionMatrix {
             for p in 0..self.classes {
                 if t != p {
                     let c = self.get(t, p);
-                    if c > 0 && best.map_or(true, |(_, _, bc)| c > bc) {
+                    if c > 0 && best.is_none_or(|(_, _, bc)| c > bc) {
                         best = Some((t, p, c));
                     }
                 }
@@ -92,7 +95,11 @@ pub struct TopKAccuracy {
 /// Indices of the `k` largest entries of `row`, best first.
 pub fn top_k_indices(row: &[f32], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..row.len()).collect();
-    idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        row[b]
+            .partial_cmp(&row[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     idx.truncate(k);
     idx
 }

@@ -101,7 +101,7 @@ pub fn check_layer_mode(
     let n_probes = 24;
 
     // Probe parameter coordinates.
-    if params.len() > 0 {
+    if !params.is_empty() {
         for _ in 0..n_probes {
             let idx = rng.below(params.len());
             let orig = params.as_slice()[idx];

@@ -28,7 +28,12 @@ impl Branch {
         cur
     }
 
-    fn backward(&mut self, params: &ParamArena, grads: &mut ParamArena, grad_out: &Tensor) -> Tensor {
+    fn backward(
+        &mut self,
+        params: &ParamArena,
+        grads: &mut ParamArena,
+        grad_out: &Tensor,
+    ) -> Tensor {
         let mut cur = grad_out.clone();
         for l in self.layers.iter_mut().rev() {
             cur = l.backward(params, grads, &cur);
@@ -87,21 +92,22 @@ impl Inception {
         config: InceptionConfig,
     ) -> Self {
         let name = name.into();
-        let conv = |suffix: &str, in_c: usize, out_c: usize, k: usize, pad: usize| -> Box<dyn Layer> {
-            Box::new(Conv2d::new(
-                format!("{name}.{suffix}"),
-                Conv2dGeometry {
-                    in_channels: in_c,
-                    in_h: h,
-                    in_w: w,
-                    k_h: k,
-                    k_w: k,
-                    stride: 1,
-                    pad,
-                },
-                out_c,
-            ))
-        };
+        let conv =
+            |suffix: &str, in_c: usize, out_c: usize, k: usize, pad: usize| -> Box<dyn Layer> {
+                Box::new(Conv2d::new(
+                    format!("{name}.{suffix}"),
+                    Conv2dGeometry {
+                        in_channels: in_c,
+                        in_h: h,
+                        in_w: w,
+                        k_h: k,
+                        k_w: k,
+                        stride: 1,
+                        pad,
+                    },
+                    out_c,
+                ))
+            };
         let branches = vec![
             Branch {
                 layers: vec![conv("1x1", in_channels, config.c1, 1, 0)],
@@ -176,7 +182,11 @@ impl Layer for Inception {
                 off += n;
             }
         }
-        assert_eq!(off, segments.len(), "segment count mismatch in inception bind");
+        assert_eq!(
+            off,
+            segments.len(),
+            "segment count mismatch in inception bind"
+        );
     }
 
     fn out_shape(&self) -> Vec<usize> {

@@ -85,8 +85,12 @@ pub trait Layer: Send + Sync {
 
     /// Backward propagation: accumulates parameter gradients into `grads`
     /// and returns the gradient with respect to the layer input.
-    fn backward(&mut self, params: &ParamArena, grads: &mut ParamArena, grad_out: &Tensor)
-        -> Tensor;
+    fn backward(
+        &mut self,
+        params: &ParamArena,
+        grads: &mut ParamArena,
+        grad_out: &Tensor,
+    ) -> Tensor;
 
     /// Clones the layer (including its configuration, excluding transient
     /// caches is permitted) into a box. Needed because every worker in a

@@ -45,8 +45,8 @@ impl CommSchedule {
                 let mut cur_layer = String::new();
                 for (name, len) in net.segment_sizes() {
                     let layer = name.split('.').next().unwrap_or(&name).to_string();
-                    if layer == cur_layer {
-                        *messages.last_mut().unwrap() += len * 4;
+                    if let (true, Some(last)) = (layer == cur_layer, messages.last_mut()) {
+                        *last += len * 4;
                     } else {
                         messages.push(len * 4);
                         cur_layer = layer;

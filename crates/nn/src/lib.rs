@@ -47,10 +47,10 @@ pub mod spec;
 pub use activations::{Relu, Sigmoid, Tanh};
 pub use batchnorm::BatchNorm;
 pub use checkpoint::{load_network, save_network};
-pub use eval::{evaluate_topk, ConfusionMatrix, TopKAccuracy};
 pub use conv::Conv2d;
 pub use dense::Dense;
 pub use dropout::Dropout;
+pub use eval::{evaluate_topk, ConfusionMatrix, TopKAccuracy};
 pub use flatten::Flatten;
 pub use inception::{Inception, InceptionConfig};
 pub use layer::{Init, Layer, ParamSpec};

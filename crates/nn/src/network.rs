@@ -148,7 +148,10 @@ impl NetworkBuilder {
         let (channels, plane) = match self.cur.len() {
             1 => (self.cur[0], 1),
             3 => (self.cur[0], self.cur[1] * self.cur[2]),
-            _ => panic!("batchnorm expects [C,H,W] or [features], got {:?}", self.cur),
+            _ => panic!(
+                "batchnorm expects [C,H,W] or [features], got {:?}",
+                self.cur
+            ),
         };
         let name = self.next_name("bn");
         let layer = crate::batchnorm::BatchNorm::new(name, channels, plane);
@@ -370,10 +373,7 @@ impl Network {
             let bsz = end - start;
             let mut shape = vec![bsz];
             shape.extend_from_slice(&self.input_shape);
-            let x = Tensor::from_vec(
-                shape,
-                images.as_slice()[start * per..end * per].to_vec(),
-            );
+            let x = Tensor::from_vec(shape, images.as_slice()[start * per..end * per].to_vec());
             let logits = self.forward(&x, false);
             for (s, &label) in labels[start..end].iter().enumerate() {
                 let row = &logits.as_slice()[s * self.num_classes..(s + 1) * self.num_classes];

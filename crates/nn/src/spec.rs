@@ -115,7 +115,14 @@ pub fn spec_alexnet() -> ModelSpec {
 }
 
 /// One VGG conv block: `n` 3×3 convolutions at `ch` channels on `hw²` maps.
-fn vgg_block(layers: &mut Vec<LayerCost>, block: usize, in_c: usize, ch: usize, n: usize, hw: usize) {
+fn vgg_block(
+    layers: &mut Vec<LayerCost>,
+    block: usize,
+    in_c: usize,
+    ch: usize,
+    n: usize,
+    hw: usize,
+) {
     let mut prev = in_c;
     for i in 0..n {
         layers.push(conv(&format!("conv{block}_{}", i + 1), prev, ch, 3, hw));

@@ -22,11 +22,16 @@ impl AtomicF32 {
 
     /// Relaxed load.
     pub fn load(&self) -> f32 {
+        // ordering: Hogwild reads are deliberately racy — a stale component
+        // is part of the algorithm's noise model; no ordering with other
+        // memory is needed (see DESIGN.md §"Static analysis & invariants").
         f32::from_bits(self.0.load(Ordering::Relaxed))
     }
 
     /// Relaxed store.
     pub fn store(&self, v: f32) {
+        // ordering: value-only publication; readers tolerate staleness and
+        // never infer other memory state from this cell.
         self.0.store(v.to_bits(), Ordering::Relaxed)
     }
 
@@ -34,11 +39,16 @@ impl AtomicF32 {
     /// component update: lock-free, but each single component is updated
     /// without lost writes.
     pub fn fetch_add(&self, delta: f32) -> f32 {
+        // ordering: the CAS loop only needs atomicity of this one cell, not
+        // ordering against other cells; per-component no-lost-update is
+        // what EASGD requires, and the xtask interleaving explorer model
+        // checks exactly this load+CAS shape.
         let mut cur = self.0.load(Ordering::Relaxed);
         loop {
             let new = (f32::from_bits(cur) + delta).to_bits();
             match self
                 .0
+                // ordering: success/failure both Relaxed — see load above.
                 .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => return f32::from_bits(cur),
@@ -49,11 +59,14 @@ impl AtomicF32 {
 
     /// Atomic update through an arbitrary function, retried on contention.
     pub fn update(&self, f: impl Fn(f32) -> f32) -> f32 {
+        // ordering: single-cell read-modify-write; Relaxed suffices for the
+        // same reason as fetch_add (atomicity, not cross-cell ordering).
         let mut cur = self.0.load(Ordering::Relaxed);
         loop {
             let new = f(f32::from_bits(cur)).to_bits();
             match self
                 .0
+                // ordering: success/failure both Relaxed — see load above.
                 .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => return f32::from_bits(new),

@@ -10,12 +10,10 @@
 //! * `NoTrans × Trans` — forward dense layers, input gradients.
 //! * `Trans × NoTrans` — weight gradients (`δᵀ · X`).
 //!
-//! The `m` dimension is parallelized with Rayon: rows of `C` are
-//! independent, which mirrors how each simulated device runs its own
-//! intra-chip data-parallel compute (the KNL has 68 cores; we use a
-//! work-stealing pool the same way, per the Rayon guide).
-
-use rayon::prelude::*;
+//! The `m` dimension is parallelized with [`crate::par::par_rows`]: rows
+//! of `C` are independent, which mirrors how each simulated device runs
+//! its own intra-chip data-parallel compute (the KNL has 68 cores; we
+//! fork-join one band of rows per core the same way).
 
 /// Whether an operand is used as stored or transposed.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -37,6 +35,9 @@ const PAR_THRESHOLD: usize = 64 * 64;
 ///
 /// # Panics
 /// Panics if any buffer is smaller than its dimensions imply.
+// BLAS sgemm signature by design: callers pass the full (op, dims, scalars,
+// buffers) tuple exactly as in the reference interface.
+#[allow(clippy::too_many_arguments)]
 pub fn gemm(
     ta: Transpose,
     tb: Transpose,
@@ -49,9 +50,24 @@ pub fn gemm(
     beta: f32,
     c: &mut [f32],
 ) {
-    assert!(a.len() >= m * k, "A buffer too small: {} < {}", a.len(), m * k);
-    assert!(b.len() >= k * n, "B buffer too small: {} < {}", b.len(), k * n);
-    assert!(c.len() >= m * n, "C buffer too small: {} < {}", c.len(), m * n);
+    assert!(
+        a.len() >= m * k,
+        "A buffer too small: {} < {}",
+        a.len(),
+        m * k
+    );
+    assert!(
+        b.len() >= k * n,
+        "B buffer too small: {} < {}",
+        b.len(),
+        k * n
+    );
+    assert!(
+        c.len() >= m * n,
+        "C buffer too small: {} < {}",
+        c.len(),
+        m * n
+    );
     if m == 0 || n == 0 {
         return;
     }
@@ -112,10 +128,7 @@ pub fn gemm(
     };
 
     if m * n >= PAR_THRESHOLD && m > 1 {
-        c[..m * n]
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, c_row)| row_kernel(i, c_row));
+        crate::par::par_rows(&mut c[..m * n], n, row_kernel);
     } else {
         for (i, c_row) in c[..m * n].chunks_mut(n).enumerate() {
             row_kernel(i, c_row);
@@ -126,7 +139,18 @@ pub fn gemm(
 /// Convenience: `C = A·B` with fresh output.
 pub fn matmul(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
     let mut c = vec![0.0; m * n];
-    gemm(Transpose::No, Transpose::No, m, n, k, 1.0, a, b, 0.0, &mut c);
+    gemm(
+        Transpose::No,
+        Transpose::No,
+        m,
+        n,
+        k,
+        1.0,
+        a,
+        b,
+        0.0,
+        &mut c,
+    );
     c
 }
 
@@ -204,7 +228,18 @@ mod tests {
         let b = rand_vec(3 * 5, 4);
         let c0 = rand_vec(4 * 5, 5);
         let mut c = c0.clone();
-        gemm(Transpose::No, Transpose::No, 4, 5, 3, 2.0, &a, &b, 0.5, &mut c);
+        gemm(
+            Transpose::No,
+            Transpose::No,
+            4,
+            5,
+            3,
+            2.0,
+            &a,
+            &b,
+            0.5,
+            &mut c,
+        );
         let p = naive(Transpose::No, Transpose::No, 4, 5, 3, &a, &b);
         for i in 0..c.len() {
             assert!((c[i] - (2.0 * p[i] + 0.5 * c0[i])).abs() < 1e-4);
@@ -218,28 +253,87 @@ mod tests {
         let a = rand_vec(m * k, 6);
         let b = rand_vec(k * n, 7);
         let mut c = vec![0.0; m * n];
-        gemm(Transpose::No, Transpose::No, m, n, k, 1.0, &a, &b, 0.0, &mut c);
-        assert_all_close(&c, &naive(Transpose::No, Transpose::No, m, n, k, &a, &b), 1e-3);
+        gemm(
+            Transpose::No,
+            Transpose::No,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c,
+        );
+        assert_all_close(
+            &c,
+            &naive(Transpose::No, Transpose::No, m, n, k, &a, &b),
+            1e-3,
+        );
     }
 
     #[test]
     fn zero_k_scales_c_only() {
         let mut c = vec![2.0; 4];
-        gemm(Transpose::No, Transpose::No, 2, 2, 0, 1.0, &[], &[], 0.5, &mut c);
+        gemm(
+            Transpose::No,
+            Transpose::No,
+            2,
+            2,
+            0,
+            1.0,
+            &[],
+            &[],
+            0.5,
+            &mut c,
+        );
         assert_eq!(c, vec![1.0; 4]);
     }
 
     #[test]
     fn zero_m_or_n_is_noop() {
         let mut c: Vec<f32> = vec![];
-        gemm(Transpose::No, Transpose::No, 0, 5, 3, 1.0, &[], &[0.0; 15], 0.0, &mut c);
-        gemm(Transpose::No, Transpose::No, 5, 0, 3, 1.0, &[0.0; 15], &[], 0.0, &mut c);
+        gemm(
+            Transpose::No,
+            Transpose::No,
+            0,
+            5,
+            3,
+            1.0,
+            &[],
+            &[0.0; 15],
+            0.0,
+            &mut c,
+        );
+        gemm(
+            Transpose::No,
+            Transpose::No,
+            5,
+            0,
+            3,
+            1.0,
+            &[0.0; 15],
+            &[],
+            0.0,
+            &mut c,
+        );
     }
 
     #[test]
     #[should_panic(expected = "too small")]
     fn rejects_short_buffers() {
         let mut c = vec![0.0; 4];
-        gemm(Transpose::No, Transpose::No, 2, 2, 2, 1.0, &[0.0; 3], &[0.0; 4], 0.0, &mut c);
+        gemm(
+            Transpose::No,
+            Transpose::No,
+            2,
+            2,
+            2,
+            1.0,
+            &[0.0; 3],
+            &[0.0; 4],
+            0.0,
+            &mut c,
+        );
     }
 }

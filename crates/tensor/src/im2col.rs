@@ -91,9 +91,9 @@ pub fn im2col(geom: &Conv2dGeometry, image: &[f32], col: &mut [f32]) {
                         continue;
                     }
                     let src_row = &plane[iy as usize * geom.in_w..(iy as usize + 1) * geom.in_w];
-                    for ox in 0..ow {
+                    for (ox, d) in dst.iter_mut().enumerate() {
                         let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
-                        dst[ox] = if ix < 0 || ix >= geom.in_w as isize {
+                        *d = if ix < 0 || ix >= geom.in_w as isize {
                             0.0
                         } else {
                             src_row[ix as usize]
@@ -204,7 +204,7 @@ mod tests {
         // Kernel (0,0), output (0,0) reads image(-1,-1) → 0.
         assert_eq!(col[0], 0.0);
         // There must be real values too.
-        assert!(col.iter().any(|&x| x == 1.0));
+        assert!(col.contains(&1.0));
     }
 
     #[test]
@@ -264,7 +264,10 @@ mod tests {
         col2im(&g, &y, &mut aty);
         let lhs = crate::ops::dot(&cx, &y);
         let rhs = crate::ops::dot(&x, &aty);
-        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]

@@ -8,9 +8,9 @@
 //! crate provides the kernels those workers need:
 //!
 //! * [`Tensor`] — an owned, row-major dense tensor with shape metadata.
-//! * [`gemm()`](gemm::gemm) — blocked, Rayon-parallel single-precision matrix multiply
-//!   with transpose variants (the workhorse of dense and convolutional
-//!   layers).
+//! * [`gemm()`](gemm::gemm) — blocked, thread-parallel single-precision matrix
+//!   multiply with transpose variants (the workhorse of dense and
+//!   convolutional layers), fork-joined via [`par`].
 //! * [`im2col()`](im2col::im2col) / [`col2im()`](im2col::col2im) — the lowering used to express convolution as
 //!   GEMM, exactly as cuDNN-era frameworks did.
 //! * [`ParamArena`] — a *packed*, contiguous parameter buffer with named
@@ -28,6 +28,7 @@ pub mod atomic;
 pub mod gemm;
 pub mod im2col;
 pub mod ops;
+pub mod par;
 pub mod rng;
 pub mod shape;
 pub mod tensor;

@@ -5,6 +5,21 @@
 //! on raw slices so they can be applied to whole packed parameter arenas
 //! (§5.2) as easily as to individual layer buffers.
 
+/// With `strict-invariants`, debug-asserts every element of `xs` is
+/// finite — a NaN/Inf escaping an update kernel poisons all further
+/// training silently, so catch it at the source.
+#[cfg(feature = "strict-invariants")]
+#[inline]
+pub(crate) fn debug_check_finite(what: &str, xs: &[f32]) {
+    debug_assert!(
+        xs.iter().all(|x| x.is_finite()),
+        "{what}: non-finite value in output"
+    );
+}
+#[cfg(not(feature = "strict-invariants"))]
+#[inline]
+pub(crate) fn debug_check_finite(_what: &str, _xs: &[f32]) {}
+
 /// `y += alpha * x` (BLAS `axpy`).
 ///
 /// # Panics
@@ -114,18 +129,13 @@ pub fn argmax(x: &[f32]) -> Option<usize> {
 ///
 /// # Panics
 /// Panics if lengths differ.
-pub fn elastic_worker_update(
-    eta: f32,
-    rho: f32,
-    local: &mut [f32],
-    grad: &[f32],
-    center: &[f32],
-) {
+pub fn elastic_worker_update(eta: f32, rho: f32, local: &mut [f32], grad: &[f32], center: &[f32]) {
     assert_eq!(local.len(), grad.len(), "elastic update length mismatch");
     assert_eq!(local.len(), center.len(), "elastic update length mismatch");
     for i in 0..local.len() {
         local[i] -= eta * (grad[i] + rho * (local[i] - center[i]));
     }
+    debug_check_finite("elastic_worker_update", local);
 }
 
 /// The center update of Equation (2) for a single arriving worker:
@@ -141,6 +151,7 @@ pub fn elastic_center_update(eta: f32, rho: f32, center: &mut [f32], local: &[f3
     for i in 0..center.len() {
         center[i] += c * (local[i] - center[i]);
     }
+    debug_check_finite("elastic_center_update", center);
 }
 
 /// Momentum update of Equations (3)–(4):
@@ -150,11 +161,16 @@ pub fn elastic_center_update(eta: f32, rho: f32, center: &mut [f32], local: &[f3
 /// Panics if lengths differ.
 pub fn momentum_update(eta: f32, mu: f32, weight: &mut [f32], velocity: &mut [f32], grad: &[f32]) {
     assert_eq!(weight.len(), grad.len(), "momentum update length mismatch");
-    assert_eq!(weight.len(), velocity.len(), "momentum update length mismatch");
+    assert_eq!(
+        weight.len(),
+        velocity.len(),
+        "momentum update length mismatch"
+    );
     for i in 0..weight.len() {
         velocity[i] = mu * velocity[i] - eta * grad[i];
         weight[i] += velocity[i];
     }
+    debug_check_finite("momentum_update", weight);
 }
 
 /// Momentum-elastic worker update of Equations (5)–(6):
@@ -178,6 +194,7 @@ pub fn elastic_momentum_update(
         velocity[i] = mu * velocity[i] - eta * grad[i];
         local[i] += velocity[i] - eta * rho * (local[i] - center[i]);
     }
+    debug_check_finite("elastic_momentum_update", local);
 }
 
 /// Plain SGD step `W ← W − ηΔW`.
@@ -186,6 +203,7 @@ pub fn elastic_momentum_update(
 /// Panics if lengths differ.
 pub fn sgd_update(eta: f32, weight: &mut [f32], grad: &[f32]) {
     axpy(-eta, grad, weight);
+    debug_check_finite("sgd_update", weight);
 }
 
 #[cfg(test)]

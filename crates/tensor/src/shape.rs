@@ -93,7 +93,7 @@ impl Shape {
             0 => (1, 1),
             1 => (1, self.dims[0]),
             _ => {
-                let cols = *self.dims.last().unwrap();
+                let cols = self.dims.last().copied().unwrap_or(1);
                 (self.len() / cols.max(1), cols)
             }
         }

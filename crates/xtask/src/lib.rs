@@ -1,0 +1,15 @@
+//! `easgd-xtask` — workspace static analysis and model checking.
+//!
+//! Two subsystems, exposed as a library (so the root test suite can drive
+//! them) and as a `cargo run -p easgd-xtask` CLI:
+//!
+//! * [`lint`] — a source-level lint pass over every workspace `.rs` file
+//!   enforcing the repo's concurrency/determinism rules (no `unsafe`, no
+//!   wall-clock reads in simulated-clock code, justified atomic orderings,
+//!   no `unwrap` in library hot paths).
+//! * [`interleave`] — a bounded, exhaustive, deterministic interleaving
+//!   explorer for the Hogwild CAS kernels (`fetch_add`, elastic center
+//!   update), with a deliberately racy kernel as a negative self-test.
+
+pub mod interleave;
+pub mod lint;

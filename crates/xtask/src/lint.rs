@@ -1,0 +1,592 @@
+//! Source-level lint pass enforcing the repo's concurrency and
+//! determinism invariants.
+//!
+//! Four rules, run over every workspace `.rs` file (see DESIGN.md
+//! §"Static analysis & invariants" for the rationale):
+//!
+//! 1. **no-unsafe** — the tree is `unsafe`-free and must stay that way
+//!    (also enforced at compile time via `unsafe_code = "forbid"`; this
+//!    pass catches it before a compile and inside cfg'd-out code).
+//! 2. **wall-clock** — `Instant::now`, `SystemTime` and `thread_rng`
+//!    must not appear in simulated-clock / deterministic code. Wall-clock
+//!    trainer files opt out with a `// xtask: allow(wall-clock)` pragma.
+//! 3. **ordering-justification** — every `Ordering::` usage must carry a
+//!    `// ordering:` justification, on the same line or in the comment
+//!    block immediately above. Import lines are exempt.
+//! 4. **no-unwrap** — `.unwrap()` / `.expect(` are banned in library
+//!    hot paths (the six algorithm crates' `src/` trees) outside
+//!    `#[cfg(test)]` blocks, except files listed in
+//!    `crates/xtask/lint-allow.txt`.
+//!
+//! The pass works on a *stripped* view of each file — comments, string
+//! and char literals blanked out — so tokens inside comments or strings
+//! never fire, while pragma and justification detection reads the raw
+//! comment text.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Pragma that exempts a whole file from the wall-clock rule.
+pub const WALL_CLOCK_PRAGMA: &str = "xtask: allow(wall-clock)";
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule name.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+fn blank(c: char) -> char {
+    if c == '\n' {
+        '\n'
+    } else {
+        ' '
+    }
+}
+
+/// Returns `source` with comments and string/char literal *contents*
+/// blanked to spaces, newlines preserved, so token scans can't be fooled
+/// by text in comments or strings. Handles nested block comments, raw
+/// strings (`r"…"`, `r#"…"#`, byte variants) and escapes; `'a` lifetimes
+/// are kept, `'x'` char literals are blanked.
+pub fn strip_comments_and_strings(source: &str) -> String {
+    let b: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            while i < b.len() && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (byte) string: (b)?r#*".
+        if (c == 'r' || (c == 'b' && b.get(i + 1) == Some(&'r'))) && !prev_is_ident(&b, i) {
+            let r_pos = if c == 'b' { i + 1 } else { i };
+            let mut j = r_pos + 1;
+            while b.get(j) == Some(&'#') {
+                j += 1;
+            }
+            if b.get(j) == Some(&'"') {
+                let hashes = j - (r_pos + 1);
+                for &ch in &b[i..=j] {
+                    out.push(blank(ch));
+                }
+                i = j + 1;
+                while i < b.len() {
+                    if b[i] == '"' {
+                        let mut h = 0;
+                        while h < hashes && b.get(i + 1 + h) == Some(&'#') {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            for _ in 0..=hashes {
+                                out.push(' ');
+                            }
+                            i += 1 + hashes;
+                            break;
+                        }
+                    }
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Plain (possibly byte) string.
+        if c == '"' {
+            out.push(' ');
+            i += 1;
+            while i < b.len() {
+                if b[i] == '\\' && i + 1 < b.len() {
+                    out.push(' ');
+                    out.push(blank(b[i + 1]));
+                    i += 2;
+                    continue;
+                }
+                let done = b[i] == '"';
+                out.push(if done { ' ' } else { blank(b[i]) });
+                i += 1;
+                if done {
+                    break;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if b.get(i + 1) == Some(&'\\') {
+                out.push_str("  ");
+                i += 2;
+                while i < b.len() && b[i] != '\'' {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                if i < b.len() {
+                    out.push(' ');
+                    i += 1;
+                }
+                continue;
+            }
+            if b.get(i + 2) == Some(&'\'') {
+                out.push_str("   ");
+                i += 3;
+                continue;
+            }
+            out.push('\'');
+            i += 1;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+fn prev_is_ident(b: &[char], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// True if `needle` occurs in `line` delimited by non-identifier chars.
+fn has_token(line: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(needle) {
+        let abs = start + pos;
+        let before_ok = abs == 0 || !is_ident_char(line[..abs].chars().next_back().unwrap_or(' '));
+        let after_ok = !line[abs + needle.len()..]
+            .chars()
+            .next()
+            .is_some_and(is_ident_char);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + needle.len();
+    }
+    false
+}
+
+/// Line spans (0-based, inclusive) of `#[cfg(test)]`-gated blocks,
+/// computed by brace matching on the stripped source.
+fn cfg_test_spans(stripped_lines: &[&str]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < stripped_lines.len() {
+        if stripped_lines[i].contains("#[cfg(test)]") {
+            // Find the opening brace of the gated item, then its match.
+            let mut depth = 0usize;
+            let mut opened = false;
+            let start = i;
+            let mut j = i;
+            'outer: while j < stripped_lines.len() {
+                for ch in stripped_lines[j].chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => {
+                            depth = depth.saturating_sub(1);
+                            if opened && depth == 0 {
+                                break 'outer;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            spans.push((start, j.min(stripped_lines.len() - 1)));
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+fn in_spans(spans: &[(usize, usize)], line: usize) -> bool {
+    spans.iter().any(|&(a, b)| (a..=b).contains(&line))
+}
+
+/// Lints one file's source. `hot_path` enables the no-unwrap rule (the
+/// caller has already applied the allowlist).
+pub fn lint_source(file: &str, source: &str, hot_path: bool) -> Vec<Finding> {
+    let stripped = strip_comments_and_strings(source);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let stripped_lines: Vec<&str> = stripped.lines().collect();
+    let wall_clock_allowed = raw_lines
+        .iter()
+        .any(|l| l.contains("//") && l.contains(WALL_CLOCK_PRAGMA));
+    let test_spans = cfg_test_spans(&stripped_lines);
+    let mut findings = Vec::new();
+
+    for (idx, sline) in stripped_lines.iter().enumerate() {
+        let lineno = idx + 1;
+
+        // Rule 1: no-unsafe.
+        if has_token(sline, "unsafe") {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: lineno,
+                rule: "no-unsafe",
+                message: "`unsafe` is banned workspace-wide (the tree is unsafe-free)".to_string(),
+            });
+        }
+
+        // Rule 2: wall-clock / nondeterminism sources.
+        if !wall_clock_allowed {
+            for tok in ["Instant::now", "SystemTime", "thread_rng"] {
+                if has_token(sline, tok) {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: lineno,
+                        rule: "wall-clock",
+                        message: format!(
+                            "`{tok}` in a file without `// {WALL_CLOCK_PRAGMA}`: \
+                             simulated-clock and deterministic paths must not read \
+                             wall time or OS entropy"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Rule 3: ordering-justification. Only the atomic memory-ordering
+        // variants count; `std::cmp::Ordering::{Less,Equal,Greater}` are
+        // unrelated and exempt.
+        let atomic_ordering = [
+            "Ordering::Relaxed",
+            "Ordering::Acquire",
+            "Ordering::Release",
+            "Ordering::AcqRel",
+            "Ordering::SeqCst",
+        ]
+        .iter()
+        .any(|tok| has_token(sline, tok));
+        if atomic_ordering {
+            let trimmed = sline.trim_start();
+            let is_import = trimmed.starts_with("use ") || trimmed.starts_with("pub use ");
+            if !is_import && !ordering_justified(&raw_lines, idx) {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: lineno,
+                    rule: "ordering-justification",
+                    message: "atomic `Ordering::` usage without a `// ordering:` \
+                              justification comment (same line or the comment block \
+                              directly above)"
+                        .to_string(),
+                });
+            }
+        }
+
+        // Rule 4: no-unwrap in library hot paths.
+        if hot_path
+            && !in_spans(&test_spans, idx)
+            && (sline.contains(".unwrap()") || sline.contains(".expect("))
+        {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: lineno,
+                rule: "no-unwrap",
+                message: "`.unwrap()`/`.expect(` in a library hot path; return an \
+                          error or add the file to crates/xtask/lint-allow.txt \
+                          with a justification"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// A `// ordering:` comment on the line itself or in the contiguous
+/// comment block directly above justifies an `Ordering::` usage.
+fn ordering_justified(raw_lines: &[&str], idx: usize) -> bool {
+    let has_note = |l: &str| {
+        l.find("//")
+            .is_some_and(|pos| l[pos..].contains("ordering:"))
+    };
+    if raw_lines.get(idx).copied().is_some_and(has_note) {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let t = raw_lines[j].trim_start();
+        if t.starts_with("//") {
+            if has_note(t) {
+                return true;
+            }
+        } else if t.is_empty() {
+            break;
+        } else {
+            // A code line ends the comment block — but it may itself be a
+            // justified sibling in the same CAS loop only if annotated;
+            // stop either way.
+            break;
+        }
+    }
+    false
+}
+
+/// The crates whose `src/` trees count as library hot paths for the
+/// no-unwrap rule.
+const HOT_PATH_PREFIXES: [&str; 6] = [
+    "crates/tensor/src/",
+    "crates/nn/src/",
+    "crates/data/src/",
+    "crates/hardware/src/",
+    "crates/cluster/src/",
+    "crates/core/src/",
+];
+
+fn is_hot_path(rel: &str) -> bool {
+    HOT_PATH_PREFIXES.iter().any(|p| rel.starts_with(p))
+}
+
+/// Parses `lint-allow.txt`: one workspace-relative path per line, `#`
+/// comments and blanks ignored.
+pub fn parse_allowlist(text: &str) -> BTreeSet<String> {
+    text.lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir entry: {e}"))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `.rs` file under `root`, returning all findings sorted by
+/// path and line.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let allow_path = root.join("crates/xtask/lint-allow.txt");
+    let allow = match fs::read_to_string(&allow_path) {
+        Ok(text) => parse_allowlist(&text),
+        Err(_) => BTreeSet::new(),
+    };
+    let mut files = Vec::new();
+    collect_rs(root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source =
+            fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let hot = is_hot_path(&rel) && !allow.contains(rel.as_str());
+        findings.extend(lint_source(&rel, &source, hot));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Forbidden tokens are spelled via concat! so this test file passes
+    // its own lint even when read as a seeded-violation fixture.
+    fn instant_now() -> String {
+        ["Instant", "::now"].concat()
+    }
+
+    #[test]
+    fn strip_blanks_comments_and_strings() {
+        let src = "let x = \"unsafe\"; // unsafe here\n/* unsafe */ let y = 'u';\n";
+        let s = strip_comments_and_strings(src);
+        assert!(!s.contains("unsafe"), "stripped: {s}");
+        assert!(s.contains("let x ="));
+        assert!(s.contains("let y ="));
+        assert_eq!(s.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn strip_handles_raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let s = r#\"Ordering::Relaxed\"#; }";
+        let s = strip_comments_and_strings(src);
+        assert!(!s.contains("Ordering::"));
+        assert!(s.contains("fn f<'a>(x: &'a str)"));
+    }
+
+    #[test]
+    fn no_unsafe_fires_on_seeded_violation() {
+        let src = "fn f() { unsafe { std::hint::unreachable_unchecked() } }";
+        let f = lint_source("x.rs", src, false);
+        assert!(f.iter().any(|f| f.rule == "no-unsafe"), "{f:?}");
+    }
+
+    #[test]
+    fn no_unsafe_ignores_comments_strings_and_identifiers() {
+        let src = "// unsafe\nlet s = \"unsafe\";\nlet unsafe_like = 1;\n";
+        assert!(lint_source("x.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_fires_on_planted_instant_now_in_sim_module() {
+        let src = format!("fn tick() {{ let t = {}(); }}", instant_now());
+        let f = lint_source("crates/cluster/src/clock.rs", &src, false);
+        assert!(f.iter().any(|f| f.rule == "wall-clock"), "{f:?}");
+    }
+
+    #[test]
+    fn wall_clock_pragma_opts_out() {
+        let src = format!(
+            "// {}\nfn tick() {{ let t = {}(); }}",
+            WALL_CLOCK_PRAGMA,
+            instant_now()
+        );
+        assert!(lint_source("crates/core/src/shared.rs", &src, false).is_empty());
+    }
+
+    #[test]
+    fn thread_rng_and_system_time_also_fire() {
+        let src = "fn f() { let r = rand::thread_rng(); let t = std::time::SystemTime::now(); }";
+        let f = lint_source("x.rs", src, false);
+        assert_eq!(
+            f.iter().filter(|f| f.rule == "wall-clock").count(),
+            2,
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn unannotated_ordering_fires() {
+        let src = "fn f(a: &AtomicU32) { a.load(Ordering::Relaxed); }";
+        let f = lint_source("x.rs", src, false);
+        assert!(
+            f.iter().any(|f| f.rule == "ordering-justification"),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn same_line_and_block_justifications_pass() {
+        let same = "a.load(Ordering::Relaxed); // ordering: racy read is the Hogwild model\n";
+        assert!(lint_source("x.rs", same, false).is_empty());
+        let above = "// ordering: single writer, relaxed suffices\n// (second comment line)\na.store(1, Ordering::Relaxed);\n";
+        assert!(lint_source("x.rs", above, false).is_empty());
+    }
+
+    #[test]
+    fn ordering_import_is_exempt() {
+        let src = "use std::sync::atomic::{AtomicU32, Ordering};\n";
+        assert!(lint_source("x.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn unwrap_fires_only_in_hot_paths_outside_tests() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n#[cfg(test)]\nmod tests {\n    fn g(x: Option<u32>) -> u32 { x.unwrap() }\n}\n";
+        let hot = lint_source("crates/tensor/src/ops.rs", src, true);
+        assert_eq!(
+            hot.iter().filter(|f| f.rule == "no-unwrap").count(),
+            1,
+            "{hot:?}"
+        );
+        assert_eq!(hot[0].line, 1);
+        let cold = lint_source("crates/bench/src/lib.rs", src, false);
+        assert!(cold.iter().all(|f| f.rule != "no-unwrap"));
+    }
+
+    #[test]
+    fn expect_also_fires() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.expect(\"boom\") }";
+        let f = lint_source("crates/core/src/hogwild.rs", src, true);
+        assert!(f.iter().any(|f| f.rule == "no-unwrap"), "{f:?}");
+    }
+
+    #[test]
+    fn allowlist_parsing_ignores_comments_and_blanks() {
+        let a = parse_allowlist(
+            "# header\ncrates/core/src/shared.rs\n\n  crates/cluster/src/comm.rs  # locks\n",
+        );
+        assert!(a.contains("crates/core/src/shared.rs"));
+        assert!(a.contains("crates/cluster/src/comm.rs"));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn workspace_lint_is_clean() {
+        // The tree itself must pass its own lint. CARGO_MANIFEST_DIR is
+        // crates/xtask; the workspace root is two levels up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root")
+            .to_path_buf();
+        let findings = lint_workspace(&root).expect("lint runs");
+        assert!(
+            findings.is_empty(),
+            "workspace lint found violations:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

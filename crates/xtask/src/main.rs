@@ -1,0 +1,130 @@
+//! CLI for the workspace static-analysis subsystem.
+//!
+//! ```text
+//! cargo run -p easgd-xtask -- lint       # lint every workspace .rs file
+//! cargo run -p easgd-xtask -- explore    # run the interleaving scenarios
+//! ```
+//!
+//! `lint` exits non-zero if any finding is reported; `explore` exits
+//! non-zero if a correct kernel shows a violation or the deliberately racy
+//! negative scenario fails to produce one.
+
+use easgd_xtask::interleave::{
+    scenario_elastic_center, scenario_fetch_add, scenario_racy_add_negative,
+    scenario_two_component, Outcome,
+};
+use easgd_xtask::lint::lint_workspace;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // Under `cargo run`, CARGO_MANIFEST_DIR points at crates/xtask; the
+    // workspace root is two levels up. Fall back to the current directory
+    // when invoked as a bare binary.
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => PathBuf::from(dir)
+            .ancestors()
+            .nth(2)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from(".")),
+        Err(_) => PathBuf::from("."),
+    }
+}
+
+fn run_lint() -> ExitCode {
+    let root = workspace_root();
+    match lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("xtask lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("xtask lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_explore() -> ExitCode {
+    let mut failed = false;
+    let scenarios: Vec<(&str, Outcome, bool)> = vec![
+        (
+            "fetch_add 2 threads x 2 adds",
+            scenario_fetch_add(2, 2),
+            true,
+        ),
+        (
+            "fetch_add 3 threads x 1 add",
+            scenario_fetch_add(3, 1),
+            true,
+        ),
+        (
+            "elastic center, workers {1.0, -0.5}, alpha 0.25, 2 rounds",
+            scenario_elastic_center(&[1.0, -0.5], 0.25, 2),
+            true,
+        ),
+        (
+            "two-component adds, 2 threads",
+            scenario_two_component(2),
+            true,
+        ),
+        (
+            "racy blind-store add (negative: must violate)",
+            scenario_racy_add_negative(2),
+            false,
+        ),
+    ];
+    for (name, outcome, expect_pass) in scenarios {
+        let stats = outcome.stats();
+        match (&outcome, expect_pass) {
+            (Outcome::Pass(_), true) => {
+                println!(
+                    "ok   {name}: {} interleavings, {} steps",
+                    stats.executions, stats.steps
+                );
+            }
+            (Outcome::Fail(v, _), false) => {
+                println!(
+                    "ok   {name}: counterexample found after {} interleavings ({v})",
+                    stats.executions
+                );
+            }
+            (Outcome::Fail(v, _), true) => {
+                println!("FAIL {name}: {v}");
+                failed = true;
+            }
+            (Outcome::Pass(_), false) => {
+                println!(
+                    "FAIL {name}: exhaustive search ({} interleavings) found no \
+                     violation in a kernel that is racy by construction",
+                    stats.executions
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        Some("explore") => run_explore(),
+        _ => {
+            eprintln!("usage: easgd-xtask <lint|explore>");
+            ExitCode::FAILURE
+        }
+    }
+}

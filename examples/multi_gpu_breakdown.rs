@@ -13,12 +13,7 @@ use knl_easgd::prelude::*;
 fn print_row(r: &RunResult) {
     let b = r.breakdown.as_ref().unwrap();
     let t = r.sim_seconds.unwrap();
-    print!(
-        "{:<16} {:>7.1}% {:>8.2}s",
-        r.method,
-        r.accuracy * 100.0,
-        t
-    );
+    print!("{:<16} {:>7.1}% {:>8.2}s", r.method, r.accuracy * 100.0, t);
     for c in TimeCategory::ALL.iter().take(6) {
         print!(" {:>6.1}%", 100.0 * b.get(*c) / b.total());
     }
@@ -38,14 +33,41 @@ fn main() {
 
     println!(
         "{:<16} {:>8} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
-        "method", "acc", "sim time", "g-g", "c-g dat", "c-g par", "fwdbwd", "gpu-up", "cpu-up", "comm"
+        "method",
+        "acc",
+        "sim time",
+        "g-g",
+        "c-g dat",
+        "c-g par",
+        "fwdbwd",
+        "gpu-up",
+        "cpu-up",
+        "comm"
     );
-    let ser = original_easgd_sim(&net, &train, &test, &rr_cfg, &costs, OriginalMode::Serialized);
+    let ser = original_easgd_sim(
+        &net,
+        &train,
+        &test,
+        &rr_cfg,
+        &costs,
+        OriginalMode::Serialized,
+    );
     print_row(&ser);
-    let pip = original_easgd_sim(&net, &train, &test, &rr_cfg, &costs, OriginalMode::Pipelined);
+    let pip = original_easgd_sim(
+        &net,
+        &train,
+        &test,
+        &rr_cfg,
+        &costs,
+        OriginalMode::Pipelined,
+    );
     print_row(&pip);
     let mut last = 0.0;
-    for v in [SyncVariant::Easgd1, SyncVariant::Easgd2, SyncVariant::Easgd3] {
+    for v in [
+        SyncVariant::Easgd1,
+        SyncVariant::Easgd2,
+        SyncVariant::Easgd3,
+    ] {
         let r = sync_easgd_sim(&net, &train, &test, &sync_cfg, &costs, v, 0);
         print_row(&r);
         last = r.sim_seconds.unwrap();

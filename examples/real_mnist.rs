@@ -34,7 +34,11 @@ fn main() {
         None => {
             let task = SyntheticSpec::mnist().task(0x3A57);
             let (tr, te) = task.train_test(4_000, 1_000, 0x3A58);
-            (tr, te, "synthetic MNIST stand-in (set MNIST_DIR for the real files)")
+            (
+                tr,
+                te,
+                "synthetic MNIST stand-in (set MNIST_DIR for the real files)",
+            )
         }
     };
     println!("data source: {source}");

@@ -6,9 +6,7 @@
 //! cargo run --release --example weak_scaling
 //! ```
 
-use knl_easgd::algorithms::weak_scaling::{
-    INTEL_CAFFE_GOOGLENET_2176, INTEL_CAFFE_VGG_2176,
-};
+use knl_easgd::algorithms::weak_scaling::{INTEL_CAFFE_GOOGLENET_2176, INTEL_CAFFE_VGG_2176};
 use knl_easgd::prelude::*;
 
 fn main() {
@@ -24,7 +22,10 @@ fn main() {
             model.spec.num_params() as f64 / 1e6,
             model.spec.weight_bytes() as f64 / 1e6
         );
-        println!("{:>8} {:>8} {:>12} {:>12}", "cores", "nodes", "time (s)", "efficiency");
+        println!(
+            "{:>8} {:>8} {:>12} {:>12}",
+            "cores", "nodes", "time (s)", "efficiency"
+        );
         for row in model.table(&nodes, iters) {
             println!(
                 "{:>8} {:>8} {:>12.0} {:>11.1}%",

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full local gate for the workspace. CI (.github/workflows/ci.yml) runs
+# exactly this script; if it passes here, it passes there.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> easgd-xtask lint"
+cargo run -q -p easgd-xtask -- lint
+
+echo "==> easgd-xtask explore"
+cargo run -q -p easgd-xtask -- explore
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> cargo test --workspace --features strict-invariants"
+cargo test --workspace -q --features strict-invariants
+
+echo "==> all checks passed"

@@ -50,10 +50,10 @@ pub mod prelude {
     pub use easgd::{
         async_easgd, async_measgd, async_msgd, async_sgd, hogwild_easgd, hogwild_sgd,
         knl_partition_run, original_easgd_sim, original_easgd_turns, sync_easgd_shared,
-        sync_easgd_sim, sync_sgd_sim, OriginalMode, RunResult, SimCosts, SyncVariant,
-        TrainConfig, WeakScalingModel,
+        sync_easgd_sim, sync_sgd_sim, OriginalMode, RunResult, SimCosts, SyncVariant, TrainConfig,
+        WeakScalingModel,
     };
-    pub use easgd_cluster::{ClusterConfig, Comm, TimeCategory, VirtualCluster};
+    pub use easgd_cluster::{ClusterConfig, Comm, SimClock, TimeCategory, VirtualCluster};
     pub use easgd_data::{Dataset, SyntheticSpec, SyntheticTask};
     pub use easgd_hardware::{AlphaBeta, ComputeModel, KnlChip};
     pub use easgd_nn::models::{alexnet_cifar, alexnet_cifar_tiny, lenet, lenet_tiny, mlp};

@@ -120,8 +120,14 @@ fn real_mnist_format_roundtrips_through_training() {
     lbl.extend_from_slice(&0x0000_0801u32.to_be_bytes());
     lbl.extend_from_slice(&(d.len() as u32).to_be_bytes());
     lbl.extend(d.labels().iter().map(|&l| l as u8));
-    std::fs::File::create(&img_path).unwrap().write_all(&img).unwrap();
-    std::fs::File::create(&lbl_path).unwrap().write_all(&lbl).unwrap();
+    std::fs::File::create(&img_path)
+        .unwrap()
+        .write_all(&img)
+        .unwrap();
+    std::fs::File::create(&lbl_path)
+        .unwrap()
+        .write_all(&lbl)
+        .unwrap();
 
     let loaded = load_mnist(&img_path, &lbl_path).unwrap();
     assert_eq!(loaded.len(), 64);

@@ -2,9 +2,7 @@
 //! reproduction's scale (see EXPERIMENTS.md for the full paper-vs-
 //! measured record).
 
-use knl_easgd::algorithms::weak_scaling::{
-    INTEL_CAFFE_GOOGLENET_2176, INTEL_CAFFE_VGG_2176,
-};
+use knl_easgd::algorithms::weak_scaling::{INTEL_CAFFE_GOOGLENET_2176, INTEL_CAFFE_VGG_2176};
 use knl_easgd::hardware::collective::{reduce_tree, round_robin_exchange};
 use knl_easgd::nn::spec::{spec_alexnet, spec_googlenet, spec_vgg19};
 use knl_easgd::nn::{CommSchedule, LayoutKind};
@@ -86,8 +84,16 @@ fn table4_efficiency_bands() {
     let g = WeakScalingModel::googlenet_imagenet();
     let v = WeakScalingModel::vgg_imagenet();
     // 4352 cores = 64 nodes: paper 91.6% / 80.2%.
-    assert!((0.85..1.0).contains(&g.efficiency(64)), "{}", g.efficiency(64));
-    assert!((0.70..0.95).contains(&v.efficiency(64)), "{}", v.efficiency(64));
+    assert!(
+        (0.85..1.0).contains(&g.efficiency(64)),
+        "{}",
+        g.efficiency(64)
+    );
+    assert!(
+        (0.70..0.95).contains(&v.efficiency(64)),
+        "{}",
+        v.efficiency(64)
+    );
     // 2176 cores = 32 nodes: beat Intel Caffe's 87% / 62%.
     assert!(g.efficiency(32) > INTEL_CAFFE_GOOGLENET_2176);
     assert!(v.efficiency(32) > INTEL_CAFFE_VGG_2176);

@@ -4,10 +4,12 @@
 use knl_easgd::hardware::collective::{
     allreduce_rabenseifner, ceil_log2, reduce_tree, round_robin_exchange,
 };
-use knl_easgd::prelude::{AlphaBeta, ClusterConfig, ParamArena, SyntheticSpec, TimeCategory, VirtualCluster};
+use knl_easgd::prelude::{
+    AlphaBeta, ClusterConfig, ParamArena, SyntheticSpec, TimeCategory, VirtualCluster,
+};
+use knl_easgd::tensor::Rng;
 use knl_easgd::tensor::{gemm, ops, Transpose};
 use proptest::prelude::*;
-use knl_easgd::tensor::Rng;
 
 fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
     proptest::collection::vec(-10.0f32..10.0, len)
@@ -302,5 +304,29 @@ proptest! {
         for i in 0..8 {
             prop_assert!((w_m[i] - w_s[i]).abs() < 1e-6);
         }
+    }
+}
+
+proptest! {
+    /// SimClock is monotone: any sequence of charge/advance_to calls with
+    /// non-negative durations never moves time backwards, and the
+    /// breakdown total always equals elapsed time.
+    #[test]
+    fn sim_clock_advances_monotonically(steps in proptest::collection::vec(0.0f64..10.0, 1..40), kind in 0usize..3) {
+        use knl_easgd::prelude::SimClock;
+        let mut clock = SimClock::new();
+        let mut prev = clock.now();
+        for (i, &dt) in steps.iter().enumerate() {
+            let cat = TimeCategory::ALL[i % TimeCategory::ALL.len()];
+            match (i + kind) % 3 {
+                0 => clock.charge(cat, dt),
+                1 => clock.advance_to(prev + dt, cat),
+                // Attempting to advance into the past must be a no-op.
+                _ => clock.advance_to(prev - dt, cat),
+            }
+            prop_assert!(clock.now() >= prev, "clock went backwards: {prev} -> {}", clock.now());
+            prev = clock.now();
+        }
+        prop_assert!((clock.breakdown().total() - clock.now()).abs() < 1e-9 * clock.now().max(1.0));
     }
 }
