@@ -1,8 +1,56 @@
 //! 2-D convolution via im2col + GEMM.
+//!
+//! The forward pass is batch-parallel: for large enough batches the
+//! per-sample im2col + GEMM jobs fan out over the persistent
+//! [`easgd_tensor::par::pool()`]. Jobs are owned closures over
+//! `Arc`-shared weight/bias copies (the pool cannot borrow — see
+//! DESIGN.md §8), each returning its `(col, y)` buffers, which the caller
+//! writes back in sample order — so the result is bit-identical to the
+//! serial loop at any worker count.
 
 use crate::layer::{batch_of, Init, Layer, ParamSpec};
+use easgd_tensor::par::{pool, WorkerPool};
 use easgd_tensor::{col2im, im2col, Conv2dGeometry};
 use easgd_tensor::{gemm, ParamArena, Tensor, Transpose};
+use std::sync::Arc;
+
+/// Batches below this many forward flops (`2·b·oc·cols·rows`) run the
+/// serial per-sample loop: dispatch plus the owned operand copies would
+/// cost more than they parallelize. Mirrors the flop threshold used by
+/// `easgd_tensor::gemm` for the same reason.
+const PAR_FLOPS: u64 = 8 << 20;
+
+/// One sample's forward work: lower `image` into `col` and compute
+/// `y = W·col + bias` (`y` laid out `[out_channels, out_h·out_w]`).
+fn sample_forward(
+    geom: &Conv2dGeometry,
+    out_channels: usize,
+    w: &[f32],
+    bias: &[f32],
+    image: &[f32],
+    col: &mut Vec<f32>,
+    y: &mut [f32],
+) {
+    let (rows, cols) = (geom.col_rows(), geom.col_cols());
+    col.resize(rows * cols, 0.0);
+    im2col(geom, image, col);
+    gemm(
+        Transpose::No,
+        Transpose::No,
+        out_channels,
+        cols,
+        rows,
+        1.0,
+        w,
+        col,
+        0.0,
+        y,
+    );
+    for (oc, plane) in y.chunks_mut(cols).enumerate() {
+        let bc = bias[oc];
+        plane.iter_mut().for_each(|v| *v += bc);
+    }
+}
 
 /// Convolutional layer.
 ///
@@ -52,6 +100,69 @@ impl Conv2d {
     pub fn output_len(&self) -> usize {
         self.out_channels * self.geom.col_cols()
     }
+
+    /// [`Layer::forward`] against an explicit pool (the trait method uses
+    /// the process-wide one); exposed for tests that need a local pool
+    /// with a known worker count.
+    pub fn forward_with_pool(
+        &mut self,
+        pool: &WorkerPool,
+        params: &ParamArena,
+        input: &Tensor,
+    ) -> Tensor {
+        let b = batch_of(input);
+        let in_len = self.geom.input_len();
+        assert_eq!(
+            input.len(),
+            b * in_len,
+            "conv '{}' expected {} elements/sample, input is {:?}",
+            self.name,
+            in_len,
+            input.shape()
+        );
+        let w = params.segment(self.w_seg);
+        let bias = params.segment(self.b_seg);
+        let (rows, cols) = (self.geom.col_rows(), self.geom.col_cols());
+        let out_len = self.output_len();
+        let mut out = Tensor::zeros([b, self.out_channels, self.geom.out_h(), self.geom.out_w()]);
+
+        self.col_cache.clear();
+        self.col_cache.resize(b, Vec::new());
+
+        let flops = 2 * (b * self.out_channels * cols * rows) as u64;
+        if pool.threads() > 1 && b >= 2 && flops >= PAR_FLOPS {
+            // Owned-job fan-out: one job per sample over Arc-shared
+            // weights; results return in sample order via `run`.
+            let w_shared: Arc<Vec<f32>> = Arc::new(w.to_vec());
+            let bias_shared: Arc<Vec<f32>> = Arc::new(bias.to_vec());
+            let geom = self.geom;
+            let out_channels = self.out_channels;
+            let tasks: Vec<_> = (0..b)
+                .map(|s| {
+                    let image = input.as_slice()[s * in_len..(s + 1) * in_len].to_vec();
+                    let w = w_shared.clone();
+                    let bias = bias_shared.clone();
+                    move || {
+                        let mut col = Vec::new();
+                        let mut y = vec![0.0f32; out_channels * cols];
+                        sample_forward(&geom, out_channels, &w, &bias, &image, &mut col, &mut y);
+                        (col, y)
+                    }
+                })
+                .collect();
+            for (s, (col, y)) in pool.run(tasks).into_iter().enumerate() {
+                self.col_cache[s] = col;
+                out.as_mut_slice()[s * out_len..(s + 1) * out_len].copy_from_slice(&y);
+            }
+        } else {
+            for (s, col) in self.col_cache.iter_mut().enumerate() {
+                let image = &input.as_slice()[s * in_len..(s + 1) * in_len];
+                let y = &mut out.as_mut_slice()[s * out_len..(s + 1) * out_len];
+                sample_forward(&self.geom, self.out_channels, w, bias, image, col, y);
+            }
+        }
+        out
+    }
 }
 
 impl Layer for Conv2d {
@@ -87,48 +198,7 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, params: &ParamArena, input: &Tensor, _train: bool) -> Tensor {
-        let b = batch_of(input);
-        let in_len = self.geom.input_len();
-        assert_eq!(
-            input.len(),
-            b * in_len,
-            "conv '{}' expected {} elements/sample, input is {:?}",
-            self.name,
-            in_len,
-            input.shape()
-        );
-        let w = params.segment(self.w_seg);
-        let bias = params.segment(self.b_seg);
-        let (rows, cols) = (self.geom.col_rows(), self.geom.col_cols());
-        let out_len = self.output_len();
-        let mut out = Tensor::zeros([b, self.out_channels, self.geom.out_h(), self.geom.out_w()]);
-
-        self.col_cache.clear();
-        self.col_cache.resize(b, Vec::new());
-        for (s, col) in self.col_cache.iter_mut().enumerate() {
-            col.resize(rows * cols, 0.0);
-            let image = &input.as_slice()[s * in_len..(s + 1) * in_len];
-            im2col(&self.geom, image, col);
-            let y = &mut out.as_mut_slice()[s * out_len..(s + 1) * out_len];
-            // Y[oc, ohw] = W[oc, rows] · col[rows, ohw]
-            gemm(
-                Transpose::No,
-                Transpose::No,
-                self.out_channels,
-                cols,
-                rows,
-                1.0,
-                w,
-                col,
-                0.0,
-                y,
-            );
-            for (oc, plane) in y.chunks_mut(cols).enumerate() {
-                let bc = bias[oc];
-                plane.iter_mut().for_each(|v| *v += bc);
-            }
-        }
-        out
+        self.forward_with_pool(pool(), params, input)
     }
 
     fn backward(
@@ -288,6 +358,68 @@ mod tests {
         let mut l = Conv2d::new("c", geom, 2);
         let (params, grads) = build_arenas(&mut l, 6);
         check_layer(&mut l, params, grads, &[1, 7, 6], 3, 1e-2, 12);
+    }
+
+    #[test]
+    fn parallel_forward_is_bit_identical_to_serial() {
+        // Large enough batch to clear PAR_FLOPS: rows = 4·9 = 36,
+        // cols = 16·16 = 256, so flops = 2·48·16·256·36 ≈ 14.2M ≥ 8M.
+        let geom = Conv2dGeometry {
+            in_channels: 4,
+            in_h: 16,
+            in_w: 16,
+            k_h: 3,
+            k_w: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let b = 48;
+        let mut l = Conv2d::new("c", geom, 16);
+        let (params, _) = build_arenas(&mut l, 3);
+        let mut x = Tensor::zeros([b, 4, 16, 16]);
+        easgd_tensor::Rng::new(21).fill_normal(x.as_mut_slice(), 0.0, 1.0);
+
+        let serial_pool = WorkerPool::new(0); // threads() == 1 → serial loop
+        let y_serial = l.forward_with_pool(&serial_pool, &params, &x);
+        for workers in [1, 3] {
+            let par_pool = WorkerPool::new(workers);
+            let y_par = l.forward_with_pool(&par_pool, &params, &x);
+            // Bit-exact, not approximate: the fan-out runs the same
+            // per-sample kernel and writes back in sample order.
+            assert_eq!(y_serial.as_slice(), y_par.as_slice(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid conv geometry")]
+    fn oversized_kernel_is_rejected() {
+        // 5×5 kernel cannot fit a 3×3 input with no padding; the old
+        // `saturating_sub` geometry silently produced a 1×1 output here.
+        let geom = Conv2dGeometry {
+            in_channels: 1,
+            in_h: 3,
+            in_w: 3,
+            k_h: 5,
+            k_w: 5,
+            stride: 1,
+            pad: 0,
+        };
+        let _ = Conv2d::new("c", geom, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid conv geometry")]
+    fn zero_stride_is_rejected() {
+        let geom = Conv2dGeometry {
+            in_channels: 1,
+            in_h: 3,
+            in_w: 3,
+            k_h: 1,
+            k_w: 1,
+            stride: 0,
+            pad: 0,
+        };
+        let _ = Conv2d::new("c", geom, 1);
     }
 
     #[test]

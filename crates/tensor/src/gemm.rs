@@ -1,19 +1,34 @@
 //! Single-precision general matrix multiply.
 //!
 //! `gemm` computes `C ← α·op(A)·op(B) + β·C` for row-major matrices, with
-//! optional transposition of either operand. Three access patterns are
-//! implemented as dedicated loops because they are the ones dense and
-//! convolutional layers need:
+//! optional transposition of either operand — the workhorse behind every
+//! worker's forward/backward pass (dense layers and im2col convolution),
+//! so its efficiency decides whether the repo's benchmark ratios measure
+//! the paper's *communication* co-design or mere kernel waste.
 //!
-//! * `NoTrans × NoTrans` — forward propagation (`X · Wᵀ` is expressed as
-//!   `NoTrans × Trans`), im2col convolution.
-//! * `NoTrans × Trans` — forward dense layers, input gradients.
-//! * `Trans × NoTrans` — weight gradients (`δᵀ · X`).
+//! Three tiers, picked by a `2·m·n·k` flop count (see DESIGN.md §8):
 //!
-//! The `m` dimension is parallelized with [`crate::par::par_rows`]: rows
-//! of `C` are independent, which mirrors how each simulated device runs
-//! its own intra-chip data-parallel compute (the KNL has 68 cores; we
-//! fork-join one band of rows per core the same way).
+//! * **tiny** — a direct row loop; packing overhead would dominate.
+//! * **blocked serial** — the cache-blocked packed kernel: A- and
+//!   B-panels are packed once per `MC×KC` / `KC×NC` block into
+//!   contiguous, microkernel-ordered buffers, and an `MR×NR`
+//!   register-tiled microkernel with fixed-size array accumulators (which
+//!   LLVM autovectorizes — no `unsafe` anywhere) does the flops. All four
+//!   [`Transpose`] combinations are normalized away by the packing step,
+//!   so the microkernel sees one layout.
+//! * **blocked parallel** — the same kernel fanned out over the
+//!   persistent [`crate::par::pool()`]: the operands are copied into
+//!   `Arc`-shared buffers, each worker computes an owned output band, and
+//!   the caller accumulates bands back. The copies are O(m·k + k·n + m·n)
+//!   against O(m·n·k) compute, the price of lending data to persistent
+//!   threads in safe Rust.
+//!
+//! The seed's naive kernel is retained as [`gemm_naive`] /
+//! [`gemm_naive_par`] so every future optimization can be A/B-measured
+//! in-repo (`cargo run --release -p easgd-bench --bin kernels`).
+
+use crate::par;
+use std::sync::Arc;
 
 /// Whether an operand is used as stored or transposed.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -24,9 +39,74 @@ pub enum Transpose {
     Yes,
 }
 
-/// Below this many output elements the serial kernel is used; parallel
-/// dispatch overhead would dominate.
-const PAR_THRESHOLD: usize = 64 * 64;
+/// Microkernel tile rows (C rows accumulated in registers).
+const MR: usize = 8;
+/// Microkernel tile columns: two AVX-512 vectors (or four AVX2 vectors)
+/// wide, giving `MR·2 = 16` independent zmm accumulator chains — enough
+/// to hide the 4-cycle FMA latency across two FMA ports, while halving
+/// the A-broadcast traffic per FMA relative to an `8×16` tile (measured
+/// 108 vs 71 GFLOP/s at 1024³ on an Ice-Lake-class Xeon; the tile sweep
+/// lives in DESIGN.md §8).
+const NR: usize = 32;
+/// Rows of packed A per L2-resident block (multiple of `MR`).
+const MC: usize = 256;
+/// Shared inner dimension per panel: `MR·KC` floats of A-panel and
+/// `NR·KC` of B-panel stay L1-resident inside the microkernel.
+const KC: usize = 256;
+/// Columns of packed B per outer block (multiple of `NR`); bounds the
+/// packed-B working set to `KC·NC` floats.
+const NC: usize = 2048;
+
+/// Below this many flops (`2·m·n·k`) the direct row loop wins: packing
+/// would touch more memory than the multiply itself.
+const SMALL_FLOPS: u64 = 1 << 17;
+/// Below this many flops parallel dispatch (pool wake + operand copies)
+/// costs more than it saves. Applied uniformly to every transpose
+/// combination — the old `m·n` element threshold misjudged tall-skinny
+/// and wide-flat shapes (an `m×1` weight-gradient GEMM has `m` output
+/// elements but `2·m·k` flops).
+const PAR_FLOPS: u64 = 8 << 20;
+
+// The microkernel spells out its MR row accumulators as straight-line
+// locals, so the row count is pinned at compile time.
+const _: () = assert!(MR == 8, "microkernel is hand-unrolled for MR = 8");
+
+/// Flop count of one GEMM call (each output element takes `k` fused
+/// multiply-adds = `2k` flops).
+fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * m as u64 * n as u64 * k as u64
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_dims(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &[f32]) {
+    assert!(
+        a.len() >= m * k,
+        "A buffer too small: {} < {}",
+        a.len(),
+        m * k
+    );
+    assert!(
+        b.len() >= k * n,
+        "B buffer too small: {} < {}",
+        b.len(),
+        k * n
+    );
+    assert!(
+        c.len() >= m * n,
+        "C buffer too small: {} < {}",
+        c.len(),
+        m * n
+    );
+}
+
+/// `C ← β·C` over the `m·n` output region.
+fn apply_beta(c: &mut [f32], beta: f32) {
+    if beta == 0.0 {
+        c.iter_mut().for_each(|x| *x = 0.0);
+    } else if beta != 1.0 {
+        c.iter_mut().for_each(|x| *x *= beta);
+    }
+}
 
 /// `C ← α·op(A)·op(B) + β·C`.
 ///
@@ -50,88 +130,582 @@ pub fn gemm(
     beta: f32,
     c: &mut [f32],
 ) {
-    assert!(
-        a.len() >= m * k,
-        "A buffer too small: {} < {}",
-        a.len(),
-        m * k
-    );
-    assert!(
-        b.len() >= k * n,
-        "B buffer too small: {} < {}",
-        b.len(),
-        k * n
-    );
-    assert!(
-        c.len() >= m * n,
-        "C buffer too small: {} < {}",
-        c.len(),
-        m * n
-    );
+    check_dims(m, n, k, a, b, c);
     if m == 0 || n == 0 {
         return;
     }
-
-    let row_kernel = |i: usize, c_row: &mut [f32]| {
-        if beta == 0.0 {
-            c_row.iter_mut().for_each(|x| *x = 0.0);
-        } else if beta != 1.0 {
-            c_row.iter_mut().for_each(|x| *x *= beta);
-        }
-        if k == 0 || alpha == 0.0 {
-            return;
-        }
-        match (ta, tb) {
-            (Transpose::No, Transpose::No) => {
-                // C[i,:] += α Σ_l A[i,l]·B[l,:]  (axpy over contiguous B rows)
-                for l in 0..k {
-                    let ail = alpha * a[i * k + l];
-                    if ail != 0.0 {
-                        let b_row = &b[l * n..l * n + n];
-                        for (cj, bj) in c_row.iter_mut().zip(b_row) {
-                            *cj += ail * bj;
-                        }
-                    }
-                }
-            }
-            (Transpose::No, Transpose::Yes) => {
-                // C[i,j] += α·dot(A.row(i), B.row(j)); B stored n×k.
-                let a_row = &a[i * k..i * k + k];
-                for (j, cj) in c_row.iter_mut().enumerate() {
-                    let b_row = &b[j * k..j * k + k];
-                    *cj += alpha * crate::ops::dot(a_row, b_row);
-                }
-            }
-            (Transpose::Yes, Transpose::No) => {
-                // A stored k×m: C[i,j] += α Σ_l A[l,i]·B[l,j].
-                for l in 0..k {
-                    let ali = alpha * a[l * m + i];
-                    if ali != 0.0 {
-                        let b_row = &b[l * n..l * n + n];
-                        for (cj, bj) in c_row.iter_mut().zip(b_row) {
-                            *cj += ali * bj;
-                        }
-                    }
-                }
-            }
-            (Transpose::Yes, Transpose::Yes) => {
-                // Rare; A stored k×m, B stored n×k.
-                for (j, cj) in c_row.iter_mut().enumerate() {
-                    let mut acc = 0.0;
-                    for l in 0..k {
-                        acc += a[l * m + i] * b[j * k + l];
-                    }
-                    *cj += alpha * acc;
-                }
-            }
-        }
-    };
-
-    if m * n >= PAR_THRESHOLD && m > 1 {
-        crate::par::par_rows(&mut c[..m * n], n, row_kernel);
+    let c = &mut c[..m * n];
+    if k == 0 || alpha == 0.0 {
+        apply_beta(c, beta);
+        return;
+    }
+    let flops = gemm_flops(m, n, k);
+    if flops < SMALL_FLOPS {
+        apply_beta(c, beta);
+        naive_rows(ta, tb, m, n, k, alpha, a, b, c);
+        return;
+    }
+    let pool = par::pool();
+    if flops >= PAR_FLOPS && pool.threads() > 1 {
+        gemm_blocked_parallel(pool, ta, tb, m, n, k, alpha, a, b, beta, c);
     } else {
-        for (i, c_row) in c[..m * n].chunks_mut(n).enumerate() {
-            row_kernel(i, c_row);
+        blocked_accumulate(ta, tb, m, n, k, 0, m, 0, n, alpha, a, b, beta, c, n);
+    }
+}
+
+/// The blocked kernel forced onto the calling thread (no pool), for
+/// single-threaded A/B measurement against [`gemm_naive`].
+///
+/// # Panics
+/// Panics if any buffer is smaller than its dimensions imply.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_serial(
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    check_dims(m, n, k, a, b, c);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let c = &mut c[..m * n];
+    if k == 0 || alpha == 0.0 {
+        apply_beta(c, beta);
+        return;
+    }
+    blocked_accumulate(ta, tb, m, n, k, 0, m, 0, n, alpha, a, b, beta, c, n);
+}
+
+// ---------------------------------------------------------------------------
+// Packing: normalize any (Transpose, layout) into the microkernel order.
+// ---------------------------------------------------------------------------
+
+/// Packs `op(A)[ic..ic+mcb, pc..pc+kcb]` into `ap` as row-tiles of `MR`:
+/// layout `[tile][p][r]`, short tiles zero-padded so the microkernel
+/// always runs full-width.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    ta: Transpose,
+    a: &[f32],
+    m: usize,
+    k: usize,
+    ic: usize,
+    mcb: usize,
+    pc: usize,
+    kcb: usize,
+    ap: &mut [f32],
+) {
+    let tiles = mcb.div_ceil(MR);
+    for it in 0..tiles {
+        let dst = &mut ap[it * kcb * MR..(it + 1) * kcb * MR];
+        let rows = MR.min(mcb - it * MR);
+        match ta {
+            Transpose::No => {
+                // op(A)[i][l] = a[i·k + l]: rows are contiguous in `l`.
+                for r in 0..MR {
+                    if r < rows {
+                        let src = &a[(ic + it * MR + r) * k + pc..][..kcb];
+                        for (p, &v) in src.iter().enumerate() {
+                            dst[p * MR + r] = v;
+                        }
+                    } else {
+                        for p in 0..kcb {
+                            dst[p * MR + r] = 0.0;
+                        }
+                    }
+                }
+            }
+            Transpose::Yes => {
+                // op(A)[i][l] = a[l·m + i]: each `p` step is contiguous
+                // in `r`, so copy MR-wide slivers.
+                let base = ic + it * MR;
+                for p in 0..kcb {
+                    let d = &mut dst[p * MR..(p + 1) * MR];
+                    let src = &a[(pc + p) * m + base..][..rows];
+                    d[..rows].copy_from_slice(src);
+                    d[rows..].iter_mut().for_each(|v| *v = 0.0);
+                }
+            }
+        }
+    }
+}
+
+/// Packs `op(B)[pc..pc+kcb, jc..jc+ncb]` into `bp` as column-tiles of
+/// `NR`: layout `[tile][p][j]`, zero-padded like [`pack_a`].
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    tb: Transpose,
+    b: &[f32],
+    k: usize,
+    n: usize,
+    pc: usize,
+    kcb: usize,
+    jc: usize,
+    ncb: usize,
+    bp: &mut [f32],
+) {
+    let tiles = ncb.div_ceil(NR);
+    for jt in 0..tiles {
+        let dst = &mut bp[jt * kcb * NR..(jt + 1) * kcb * NR];
+        let cols = NR.min(ncb - jt * NR);
+        match tb {
+            Transpose::No => {
+                // op(B)[l][j] = b[l·n + j]: each `p` step is contiguous in `j`.
+                for p in 0..kcb {
+                    let d = &mut dst[p * NR..(p + 1) * NR];
+                    let src = &b[(pc + p) * n + jc + jt * NR..][..cols];
+                    d[..cols].copy_from_slice(src);
+                    d[cols..].iter_mut().for_each(|v| *v = 0.0);
+                }
+            }
+            Transpose::Yes => {
+                // op(B)[l][j] = b[j·k + l]: columns are contiguous in `l`.
+                for j in 0..NR {
+                    if j < cols {
+                        let src = &b[(jc + jt * NR + j) * k + pc..][..kcb];
+                        for (p, &v) in src.iter().enumerate() {
+                            dst[p * NR + j] = v;
+                        }
+                    } else {
+                        for p in 0..kcb {
+                            dst[p * NR + j] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Micro / macro kernels.
+// ---------------------------------------------------------------------------
+
+/// One row of the register tile: `acc[j] += a · b[j]` for all `NR` lanes.
+///
+/// Takes and returns the row *by value* so each row lives in an SSA
+/// value LLVM can keep in one zmm (or two ymm) register across the whole
+/// `p` loop; in-place `&mut` rows tend to stay memory-resident and the
+/// vectorizer then emits gather/scatter traffic instead.
+///
+/// `mul_add` is gated on compile-time FMA support: with the feature it is
+/// one `vfmadd` (double throughput, one rounding); without it each call
+/// would lower to a *libm `fmaf` routine per element* — measured 20×
+/// slower than the naive kernel — so non-FMA builds (anything overriding
+/// the repo's `target-cpu=native` in `.cargo/config.toml`, e.g. an
+/// external `RUSTFLAGS`) fall back to separate multiply-add, which stays
+/// autovectorizable on any target.
+#[inline(always)]
+fn fma_row(mut acc: [f32; NR], a: f32, b: &[f32; NR]) -> [f32; NR] {
+    if cfg!(target_feature = "fma") {
+        for j in 0..NR {
+            acc[j] = b[j].mul_add(a, acc[j]);
+        }
+    } else {
+        for j in 0..NR {
+            acc[j] += a * b[j];
+        }
+    }
+    acc
+}
+
+/// The register-tiled core: returns the `MR×NR` tile
+/// `acc[r][j] = Σ_p ap[p][r] · bp[p][j]` accumulated over one packed
+/// A-panel (`kcb×MR`) and B-panel (`kcb×NR`).
+#[inline]
+fn microkernel(apanel: &[f32], bpanel: &[f32]) -> [[f32; NR]; MR] {
+    // MR independent row accumulators as straight-line locals: constant
+    // trip counts everywhere, so LLVM fully unrolls and SLP-vectorizes
+    // each row to vector FMAs with the accumulators register-resident.
+    let mut c0 = [0.0f32; NR];
+    let mut c1 = [0.0f32; NR];
+    let mut c2 = [0.0f32; NR];
+    let mut c3 = [0.0f32; NR];
+    let mut c4 = [0.0f32; NR];
+    let mut c5 = [0.0f32; NR];
+    let mut c6 = [0.0f32; NR];
+    let mut c7 = [0.0f32; NR];
+    for (ak, bk) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)) {
+        let (Ok(ak), Ok(bk)) = (<&[f32; MR]>::try_from(ak), <&[f32; NR]>::try_from(bk)) else {
+            // Unreachable: chunks_exact yields exactly MR/NR elements.
+            continue;
+        };
+        c0 = fma_row(c0, ak[0], bk);
+        c1 = fma_row(c1, ak[1], bk);
+        c2 = fma_row(c2, ak[2], bk);
+        c3 = fma_row(c3, ak[3], bk);
+        c4 = fma_row(c4, ak[4], bk);
+        c5 = fma_row(c5, ak[5], bk);
+        c6 = fma_row(c6, ak[6], bk);
+        c7 = fma_row(c7, ak[7], bk);
+    }
+    [c0, c1, c2, c3, c4, c5, c6, c7]
+}
+
+/// Adds `α·acc` into the `mr×nr` valid corner of the C tile at
+/// `(row0, col0)` of a row-major region with row stride `ldc`.
+#[allow(clippy::too_many_arguments)]
+fn write_tile(
+    acc: &[[f32; NR]; MR],
+    alpha: f32,
+    c: &mut [f32],
+    ldc: usize,
+    row0: usize,
+    col0: usize,
+    mr: usize,
+    nr: usize,
+) {
+    for (r, accr) in acc.iter().enumerate().take(mr) {
+        let crow = &mut c[(row0 + r) * ldc + col0..][..nr];
+        for (cj, accj) in crow.iter_mut().zip(accr.iter()) {
+            *cj += alpha * accj;
+        }
+    }
+}
+
+/// First-`KC`-pass tile write: `C ← α·acc + β·C`, so the caller needs no
+/// separate `β·C` sweep over the output before the loop nest. With
+/// `β = 0` the tile is *stored*, not read — the common `C = A·B` case
+/// never reads the old C at all, saving one full read-modify-write pass
+/// over the output per call.
+#[allow(clippy::too_many_arguments)]
+fn write_tile_blend(
+    acc: &[[f32; NR]; MR],
+    alpha: f32,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+    row0: usize,
+    col0: usize,
+    mr: usize,
+    nr: usize,
+) {
+    for (r, accr) in acc.iter().enumerate().take(mr) {
+        let crow = &mut c[(row0 + r) * ldc + col0..][..nr];
+        if beta == 0.0 {
+            for (cj, accj) in crow.iter_mut().zip(accr.iter()) {
+                *cj = alpha * accj;
+            }
+        } else {
+            for (cj, accj) in crow.iter_mut().zip(accr.iter()) {
+                *cj = alpha * accj + beta * *cj;
+            }
+        }
+    }
+}
+
+/// `C[i0.., j0..] ← α · op(A)[i0..i0+mc0, :] · op(B)[:, j0..j0+nc0] + β·C`
+/// with the full blocked loop nest. `c` is the row-major region holding
+/// exactly that output window (row stride `ldc`, origin at `(i0, j0)`).
+///
+/// `β` is folded into the first `KC` pass (`pc == 0`), which blends or —
+/// for `β = 0` — plainly stores each tile; later passes accumulate. The
+/// caller must not pre-scale C. Requires `k ≥ 1` so the first pass
+/// exists (callers handle `k = 0` as pure `β·C`).
+#[allow(clippy::too_many_arguments)]
+fn blocked_accumulate(
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    i0: usize,
+    mc0: usize,
+    j0: usize,
+    nc0: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    let mut ap = vec![0.0f32; MC * KC];
+    let bp_cols = NC.min(nc0.next_multiple_of(NR));
+    let mut bp = vec![0.0f32; KC * bp_cols];
+
+    let mut jc = j0;
+    while jc < j0 + nc0 {
+        let ncb = NC.min(j0 + nc0 - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kcb = KC.min(k - pc);
+            pack_b(tb, b, k, n, pc, kcb, jc, ncb, &mut bp);
+            let mut ic = i0;
+            while ic < i0 + mc0 {
+                let mcb = MC.min(i0 + mc0 - ic);
+                pack_a(ta, a, m, k, ic, mcb, pc, kcb, &mut ap);
+                let row_tiles = mcb.div_ceil(MR);
+                let col_tiles = ncb.div_ceil(NR);
+                for jt in 0..col_tiles {
+                    let bpanel = &bp[jt * kcb * NR..(jt + 1) * kcb * NR];
+                    for it in 0..row_tiles {
+                        let apanel = &ap[it * kcb * MR..(it + 1) * kcb * MR];
+                        let acc = microkernel(apanel, bpanel);
+                        let row0 = ic - i0 + it * MR;
+                        let col0 = jc - j0 + jt * NR;
+                        let mr = MR.min(mcb - it * MR);
+                        let nr = NR.min(ncb - jt * NR);
+                        if pc == 0 {
+                            write_tile_blend(&acc, alpha, beta, c, ldc, row0, col0, mr, nr);
+                        } else {
+                            write_tile(&acc, alpha, c, ldc, row0, col0, mr, nr);
+                        }
+                    }
+                }
+                ic += mcb;
+            }
+            pc += kcb;
+        }
+        jc += ncb;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel dispatch over the persistent pool.
+// ---------------------------------------------------------------------------
+
+/// Fans the blocked kernel out over `pool`: the output is split into
+/// `MR`/`NR`-aligned bands along its larger dimension, each worker
+/// computes an owned band from `Arc`-shared operand copies, and the
+/// caller accumulates the bands back into `c`.
+///
+/// Band results are produced by the same deterministic loop nest
+/// regardless of which worker runs them and accumulated in band order,
+/// so repeated calls are bit-identical (the Sync-EASGD determinism
+/// property extends down through the compute kernel).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_blocked_parallel(
+    pool: &par::WorkerPool,
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    let c = &mut c[..m * n];
+    apply_beta(c, beta);
+    if k == 0 || alpha == 0.0 {
+        return;
+    }
+    // Owned copies lend the operands to the persistent workers ('static
+    // jobs); O(m·k + k·n) against O(m·n·k) compute.
+    let a_shared: Arc<Vec<f32>> = Arc::new(a[..m * k].to_vec());
+    let b_shared: Arc<Vec<f32>> = Arc::new(b[..k * n].to_vec());
+
+    // Split the larger output dimension into tile-aligned bands, a few
+    // per thread so uneven bands still balance.
+    let target = pool.threads() * 3;
+    let split_rows = m >= n;
+    let (len, tile) = if split_rows { (m, MR) } else { (n, NR) };
+    let bands = target.min(len.div_ceil(tile));
+    let band_len = len.div_ceil(bands).next_multiple_of(tile);
+
+    let mut jobs: Vec<Box<dyn FnOnce() -> Vec<f32> + Send>> = Vec::new();
+    let mut starts = Vec::new();
+    let mut start = 0;
+    while start < len {
+        let this = band_len.min(len - start);
+        starts.push((start, this));
+        let (a_ref, b_ref) = (a_shared.clone(), b_shared.clone());
+        jobs.push(Box::new(move || {
+            let (i0, mc0, j0, nc0) = if split_rows {
+                (start, this, 0, n)
+            } else {
+                (0, m, start, this)
+            };
+            let width = if split_rows { n } else { this };
+            let mut out = vec![0.0f32; mc0 * nc0];
+            // β = 0: the band buffer is stored, not blended — the caller
+            // blends the real β into `c` when accumulating bands back.
+            blocked_accumulate(
+                ta, tb, m, n, k, i0, mc0, j0, nc0, alpha, &a_ref, &b_ref, 0.0, &mut out, width,
+            );
+            out
+        }));
+        start += this;
+    }
+
+    let results = pool.run(jobs);
+    for ((start, this), band) in starts.into_iter().zip(results) {
+        if split_rows {
+            // Whole contiguous row band.
+            let dst = &mut c[start * n..(start + this) * n];
+            for (ci, bi) in dst.iter_mut().zip(band) {
+                *ci += bi;
+            }
+        } else {
+            // Column band: add row by row.
+            for r in 0..m {
+                let dst = &mut c[r * n + start..][..this];
+                for (ci, bi) in dst.iter_mut().zip(&band[r * this..(r + 1) * this]) {
+                    *ci += bi;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retained naive baseline (the seed kernel) for in-repo A/B measurement.
+// ---------------------------------------------------------------------------
+
+/// The seed's row kernel: axpy/dot loops streaming strided operands
+/// straight from memory.
+#[allow(clippy::too_many_arguments)]
+fn naive_rows(
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    for (i, c_row) in c[..m * n].chunks_mut(n).enumerate() {
+        naive_row(ta, tb, m, n, k, alpha, a, b, i, c_row);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn naive_row(
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    i: usize,
+    c_row: &mut [f32],
+) {
+    match (ta, tb) {
+        (Transpose::No, Transpose::No) => {
+            // C[i,:] += α Σ_l A[i,l]·B[l,:]  (axpy over contiguous B rows)
+            for l in 0..k {
+                let ail = alpha * a[i * k + l];
+                if ail != 0.0 {
+                    let b_row = &b[l * n..l * n + n];
+                    for (cj, bj) in c_row.iter_mut().zip(b_row) {
+                        *cj += ail * bj;
+                    }
+                }
+            }
+        }
+        (Transpose::No, Transpose::Yes) => {
+            // C[i,j] += α·dot(A.row(i), B.row(j)); B stored n×k.
+            let a_row = &a[i * k..i * k + k];
+            for (j, cj) in c_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..j * k + k];
+                *cj += alpha * crate::ops::dot(a_row, b_row);
+            }
+        }
+        (Transpose::Yes, Transpose::No) => {
+            // A stored k×m: C[i,j] += α Σ_l A[l,i]·B[l,j].
+            for l in 0..k {
+                let ali = alpha * a[l * m + i];
+                if ali != 0.0 {
+                    let b_row = &b[l * n..l * n + n];
+                    for (cj, bj) in c_row.iter_mut().zip(b_row) {
+                        *cj += ali * bj;
+                    }
+                }
+            }
+        }
+        (Transpose::Yes, Transpose::Yes) => {
+            // Rare; A stored k×m, B stored n×k.
+            for (j, cj) in c_row.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for l in 0..k {
+                    acc += a[l * m + i] * b[j * k + l];
+                }
+                *cj += alpha * acc;
+            }
+        }
+    }
+}
+
+/// The seed GEMM, frozen as the perf baseline: the naive row kernel run
+/// serially. See [`gemm_naive_par`] for the seed's fork-join path.
+///
+/// # Panics
+/// Panics if any buffer is smaller than its dimensions imply.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_naive(
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    check_dims(m, n, k, a, b, c);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let c = &mut c[..m * n];
+    apply_beta(c, beta);
+    if k == 0 || alpha == 0.0 {
+        return;
+    }
+    naive_rows(ta, tb, m, n, k, alpha, a, b, c);
+}
+
+/// The seed GEMM with its original spawn-per-call row parallelism
+/// ([`par::par_rows`]) and its original `m·n ≥ 64·64 && m > 1` dispatch
+/// threshold — the strongest honest multi-threaded baseline for the
+/// kernel-trajectory benches.
+///
+/// # Panics
+/// Panics if any buffer is smaller than its dimensions imply.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_naive_par(
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    check_dims(m, n, k, a, b, c);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let c = &mut c[..m * n];
+    if m * n >= 64 * 64 && m > 1 {
+        par::par_rows(c, n, |i, c_row| {
+            apply_beta(c_row, beta);
+            if k > 0 && alpha != 0.0 {
+                naive_row(ta, tb, m, n, k, alpha, a, b, i, c_row);
+            }
+        });
+    } else {
+        apply_beta(c, beta);
+        if k > 0 && alpha != 0.0 {
+            naive_rows(ta, tb, m, n, k, alpha, a, b, c);
         }
     }
 }
@@ -197,7 +771,10 @@ mod tests {
     fn assert_all_close(a: &[f32], b: &[f32], tol: f32) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!((x - y).abs() < tol, "element {i}: {x} vs {y}");
+            assert!(
+                (x - y).abs() < tol * (1.0 + y.abs()),
+                "element {i}: {x} vs {y}"
+            );
         }
     }
 
@@ -220,6 +797,68 @@ mod tests {
                 assert_all_close(&c, &naive(ta, tb, m, n, k, &a, &b), 1e-4);
             }
         }
+    }
+
+    #[test]
+    fn blocked_serial_matches_naive_across_tile_boundaries() {
+        // Sizes straddling MR/NR (8), MC (64) and KC (256) edges.
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (MR, NR, 3),
+            (MR + 1, NR - 1, KC + 3),
+            (MC - 1, NR + 1, 5),
+            (MC + 7, 2 * NR + 3, KC),
+            (3, 130, KC + 1),
+            (130, 3, 70),
+            (65, 65, 65),
+        ] {
+            for (ta, a_len) in [(Transpose::No, m * k), (Transpose::Yes, k * m)] {
+                for (tb, b_len) in [(Transpose::No, k * n), (Transpose::Yes, n * k)] {
+                    let a = rand_vec(a_len, m as u64);
+                    let b = rand_vec(b_len, n as u64 + 100);
+                    let mut c = vec![0.0; m * n];
+                    gemm_serial(ta, tb, m, n, k, 1.0, &a, &b, 0.0, &mut c);
+                    let r = naive(ta, tb, m, n, k, &a, &b);
+                    assert_all_close(&c, &r, 1e-3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn naive_baselines_match_reference() {
+        let (m, n, k) = (65, 67, 33);
+        let a = rand_vec(m * k, 21);
+        let b = rand_vec(k * n, 22);
+        let r = naive(Transpose::No, Transpose::No, m, n, k, &a, &b);
+        let mut c1 = vec![0.0; m * n];
+        gemm_naive(
+            Transpose::No,
+            Transpose::No,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c1,
+        );
+        assert_all_close(&c1, &r, 1e-3);
+        let mut c2 = vec![0.0; m * n];
+        gemm_naive_par(
+            Transpose::No,
+            Transpose::No,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c2,
+        );
+        assert_all_close(&c2, &r, 1e-3);
     }
 
     #[test]
@@ -247,11 +886,112 @@ mod tests {
     }
 
     #[test]
+    fn alpha_beta_blend_on_blocked_path() {
+        // Large enough to take the blocked path; β blends the old C in.
+        let (m, n, k) = (70, 71, 72);
+        let a = rand_vec(m * k, 31);
+        let b = rand_vec(k * n, 32);
+        let c0 = rand_vec(m * n, 33);
+        let mut c = c0.clone();
+        gemm_serial(
+            Transpose::No,
+            Transpose::Yes,
+            m,
+            n,
+            k,
+            -1.5,
+            &a,
+            &b,
+            0.25,
+            &mut c,
+        );
+        let p = naive(Transpose::No, Transpose::Yes, m, n, k, &a, &b);
+        for i in 0..c.len() {
+            let want = -1.5 * p[i] + 0.25 * c0[i];
+            assert!(
+                (c[i] - want).abs() < 1e-3 * (1.0 + want.abs()),
+                "{i}: {} vs {want}",
+                c[i]
+            );
+        }
+    }
+
+    #[test]
     fn parallel_path_matches_serial() {
-        // Large enough to cross PAR_THRESHOLD.
-        let (m, n, k) = (96, 96, 33);
-        let a = rand_vec(m * k, 6);
-        let b = rand_vec(k * n, 7);
+        // Forced through a local pool regardless of host core count.
+        let pool = par::WorkerPool::new(3);
+        for &(m, n, k) in &[(96, 96, 33), (257, 19, 130), (19, 257, 130)] {
+            let a = rand_vec(m * k, 6);
+            let b = rand_vec(k * n, 7);
+            let mut c_par = rand_vec(m * n, 8);
+            let mut c_ser = c_par.clone();
+            gemm_blocked_parallel(
+                &pool,
+                Transpose::No,
+                Transpose::No,
+                m,
+                n,
+                k,
+                2.0,
+                &a,
+                &b,
+                0.5,
+                &mut c_par,
+            );
+            gemm_serial(
+                Transpose::No,
+                Transpose::No,
+                m,
+                n,
+                k,
+                2.0,
+                &a,
+                &b,
+                0.5,
+                &mut c_ser,
+            );
+            assert_all_close(&c_par, &c_ser, 1e-4);
+        }
+    }
+
+    #[test]
+    fn parallel_path_is_bit_deterministic() {
+        // Two runs through the pool must agree bit-for-bit: every output
+        // element is computed by exactly one job in a fixed loop order,
+        // so scheduling cannot perturb float summation order.
+        let pool = par::WorkerPool::new(4);
+        let (m, n, k) = (203, 111, 97);
+        let a = rand_vec(m * k, 40);
+        let b = rand_vec(k * n, 41);
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        for c in [&mut c1, &mut c2] {
+            gemm_blocked_parallel(
+                &pool,
+                Transpose::Yes,
+                Transpose::No,
+                m,
+                n,
+                k,
+                1.0,
+                &a[..k * m],
+                &b,
+                0.0,
+                c,
+            );
+        }
+        let bits1: Vec<u32> = c1.iter().map(|v| v.to_bits()).collect();
+        let bits2: Vec<u32> = c2.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits1, bits2);
+    }
+
+    #[test]
+    fn repeated_gemm_calls_spawn_no_new_pool_threads() {
+        // The global pool is created at most once per process; repeated
+        // large GEMMs must reuse its parked workers.
+        let (m, n, k) = (160, 160, 160);
+        let a = rand_vec(m * k, 50);
+        let b = rand_vec(k * n, 51);
         let mut c = vec![0.0; m * n];
         gemm(
             Transpose::No,
@@ -265,11 +1005,52 @@ mod tests {
             0.0,
             &mut c,
         );
-        assert_all_close(
-            &c,
-            &naive(Transpose::No, Transpose::No, m, n, k, &a, &b),
-            1e-3,
-        );
+        let baseline = par::pool().threads_spawned();
+        assert_eq!(baseline, par::pool().threads() - 1);
+        for _ in 0..10 {
+            gemm(
+                Transpose::No,
+                Transpose::No,
+                m,
+                n,
+                k,
+                1.0,
+                &a,
+                &b,
+                0.0,
+                &mut c,
+            );
+            assert_eq!(par::pool().threads_spawned(), baseline);
+        }
+    }
+
+    #[test]
+    fn flops_threshold_covers_degenerate_shapes() {
+        // Tall-skinny m×1 (weight gradients) and wide 1×n — the shapes
+        // the old m·n element threshold misjudged — stay correct through
+        // whatever path the flop count picks.
+        for &(m, n, k) in &[(4096, 1, 300), (1, 4096, 300)] {
+            let a = rand_vec(m * k, 60);
+            let b = rand_vec(k * n, 61);
+            let mut c = vec![0.0; m * n];
+            gemm(
+                Transpose::No,
+                Transpose::No,
+                m,
+                n,
+                k,
+                1.0,
+                &a,
+                &b,
+                0.0,
+                &mut c,
+            );
+            assert_all_close(
+                &c,
+                &naive(Transpose::No, Transpose::No, m, n, k, &a, &b),
+                1e-3,
+            );
+        }
     }
 
     #[test]

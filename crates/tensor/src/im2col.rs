@@ -26,14 +26,36 @@ pub struct Conv2dGeometry {
 }
 
 impl Conv2dGeometry {
+    /// Panics with the offending geometry unless [`is_valid`](Self::is_valid)
+    /// holds. The dimension accessors call this so an impossible geometry
+    /// (kernel larger than the padded input, zero stride or kernel) fails
+    /// loudly at the first size computation — a `saturating_sub` here used
+    /// to round such geometries to a bogus 1-pixel output, and every
+    /// buffer sized from it was silently wrong.
+    fn assert_valid(&self) {
+        assert!(
+            self.is_valid(),
+            "invalid conv geometry (kernel must fit the padded input, \
+             stride and kernel must be non-zero): {self:?}"
+        );
+    }
+
     /// Output height after the convolution.
+    ///
+    /// # Panics
+    /// Panics if the geometry is not [`is_valid`](Self::is_valid).
     pub fn out_h(&self) -> usize {
-        (self.in_h + 2 * self.pad).saturating_sub(self.k_h) / self.stride + 1
+        self.assert_valid();
+        (self.in_h + 2 * self.pad - self.k_h) / self.stride + 1
     }
 
     /// Output width after the convolution.
+    ///
+    /// # Panics
+    /// Panics if the geometry is not [`is_valid`](Self::is_valid).
     pub fn out_w(&self) -> usize {
-        (self.in_w + 2 * self.pad).saturating_sub(self.k_w) / self.stride + 1
+        self.assert_valid();
+        (self.in_w + 2 * self.pad - self.k_w) / self.stride + 1
     }
 
     /// Rows of the im2col matrix: one per kernel element per input channel.
@@ -177,6 +199,50 @@ mod tests {
             ..g
         };
         assert_eq!((strided.out_h(), strided.out_w()), (2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid conv geometry")]
+    fn oversized_kernel_is_rejected_not_rounded() {
+        // 2×2 input, 3×3 kernel, no padding: no valid output position.
+        // The old saturating arithmetic reported a 1×1 output here.
+        let g = Conv2dGeometry {
+            in_channels: 1,
+            in_h: 2,
+            in_w: 2,
+            k_h: 3,
+            k_w: 3,
+            stride: 1,
+            pad: 0,
+        };
+        let _ = g.out_h();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid conv geometry")]
+    fn zero_stride_is_rejected() {
+        let g = Conv2dGeometry {
+            stride: 0,
+            ..geom_3x3_input_2x2_kernel()
+        };
+        let _ = g.out_w();
+    }
+
+    #[test]
+    fn kernel_exactly_filling_padded_input_is_valid() {
+        // 2×2 input + pad 1 = 4×4 padded extent with a 4×4 kernel: exactly
+        // one output pixel, the boundary the rejection must not eat.
+        let g = Conv2dGeometry {
+            in_channels: 1,
+            in_h: 2,
+            in_w: 2,
+            k_h: 4,
+            k_w: 4,
+            stride: 1,
+            pad: 1,
+        };
+        assert!(g.is_valid());
+        assert_eq!((g.out_h(), g.out_w()), (1, 1));
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //! crate provides the kernels those workers need:
 //!
 //! * [`Tensor`] — an owned, row-major dense tensor with shape metadata.
-//! * [`gemm()`](gemm::gemm) — blocked, thread-parallel single-precision matrix
+//! * [`gemm()`](gemm::gemm) — cache-blocked, packed single-precision matrix
 //!   multiply with transpose variants (the workhorse of dense and
-//!   convolutional layers), fork-joined via [`par`].
+//!   convolutional layers), fanned out over the persistent worker pool in
+//!   [`par`]; the seed kernel is retained as [`gemm_naive()`](gemm::gemm_naive)
+//!   for in-repo A/B measurement (see DESIGN.md §8).
 //! * [`im2col()`](im2col::im2col) / [`col2im()`](im2col::col2im) — the lowering used to express convolution as
 //!   GEMM, exactly as cuDNN-era frameworks did.
 //! * [`ParamArena`] — a *packed*, contiguous parameter buffer with named
@@ -35,7 +37,7 @@ pub mod tensor;
 
 pub use arena::{ParamArena, Segment};
 pub use atomic::{AtomicBuffer, AtomicF32};
-pub use gemm::{gemm, Transpose};
+pub use gemm::{gemm, gemm_naive, gemm_naive_par, gemm_serial, matmul, Transpose};
 pub use im2col::{col2im, im2col, Conv2dGeometry};
 pub use ops::*;
 pub use rng::Rng;

@@ -4,6 +4,31 @@
 //! 5, 6 of the paper) and the optimizer steps are built from. They operate
 //! on raw slices so they can be applied to whole packed parameter arenas
 //! (§5.2) as easily as to individual layer buffers.
+//!
+//! Arena-sized inputs (≥ [`PAR_ELEMS`] elements — VGG-class models, not
+//! LeNet) fan out over scoped threads via the [`crate::par`] band-split
+//! helpers; everything smaller takes the serial fast path, where the
+//! spawn cost would dwarf a single memory pass. The split is by
+//! contiguous element bands, so every element is written by exactly one
+//! thread with the same arithmetic as the serial loop — results are
+//! bit-identical at any thread count.
+
+use crate::par;
+
+/// Element count at and above which the mutating BLAS-1 kernels fan out
+/// over scoped threads. 1 Mi floats = 4 MiB per operand: below this a
+/// single core's memory pass (~100 µs) is cheaper than thread spawns;
+/// above it the kernel is DRAM-bound and splits near-linearly. The §5.2
+/// packed arena of a VGG-class model (≈14.7 M params) qualifies; a
+/// LeNet-class arena (≈431 k) stays serial.
+pub const PAR_ELEMS: usize = 1 << 20;
+
+/// True when `n` is large enough to split and more than one thread is
+/// available.
+#[inline]
+fn should_par(n: usize) -> bool {
+    n >= PAR_ELEMS && par::max_threads() > 1
+}
 
 /// With `strict-invariants`, debug-asserts every element of `xs` is
 /// finite — a NaN/Inf escaping an update kernel poisons all further
@@ -26,6 +51,14 @@ pub(crate) fn debug_check_finite(_what: &str, _xs: &[f32]) {}
 /// Panics if the slices have different lengths.
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    if should_par(y.len()) {
+        par::par_zip_mut(y, x, |yc, xc| axpy_band(alpha, xc, yc));
+        return;
+    }
+    axpy_band(alpha, x, y);
+}
+
+fn axpy_band(alpha: f32, x: &[f32], y: &mut [f32]) {
     for (yi, xi) in y.iter_mut().zip(x.iter()) {
         *yi += alpha * xi;
     }
@@ -33,6 +66,14 @@ pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
 
 /// `x *= alpha` (BLAS `scal`).
 pub fn scale(alpha: f32, x: &mut [f32]) {
+    if should_par(x.len()) {
+        par::par_chunks_mut(x, |_, chunk| scale_band(alpha, chunk));
+        return;
+    }
+    scale_band(alpha, x);
+}
+
+fn scale_band(alpha: f32, x: &mut [f32]) {
     for xi in x.iter_mut() {
         *xi *= alpha;
     }
@@ -72,8 +113,16 @@ pub fn dot(x: &[f32], y: &[f32]) -> f32 {
 pub fn sub(a: &[f32], b: &[f32], out: &mut [f32]) {
     assert_eq!(a.len(), b.len(), "sub length mismatch");
     assert_eq!(a.len(), out.len(), "sub output length mismatch");
-    for i in 0..a.len() {
-        out[i] = a[i] - b[i];
+    if should_par(out.len()) {
+        par::par_zip2_mut(out, a, b, sub_band);
+        return;
+    }
+    sub_band(out, a, b);
+}
+
+fn sub_band(out: &mut [f32], a: &[f32], b: &[f32]) {
+    for ((o, ai), bi) in out.iter_mut().zip(a).zip(b) {
+        *o = ai - bi;
     }
 }
 
@@ -132,8 +181,15 @@ pub fn argmax(x: &[f32]) -> Option<usize> {
 pub fn elastic_worker_update(eta: f32, rho: f32, local: &mut [f32], grad: &[f32], center: &[f32]) {
     assert_eq!(local.len(), grad.len(), "elastic update length mismatch");
     assert_eq!(local.len(), center.len(), "elastic update length mismatch");
-    for i in 0..local.len() {
-        local[i] -= eta * (grad[i] + rho * (local[i] - center[i]));
+    let band = |lc: &mut [f32], gc: &[f32], cc: &[f32]| {
+        for ((li, gi), ci) in lc.iter_mut().zip(gc).zip(cc) {
+            *li -= eta * (gi + rho * (*li - ci));
+        }
+    };
+    if should_par(local.len()) {
+        par::par_zip2_mut(local, grad, center, band);
+    } else {
+        band(local, grad, center);
     }
     debug_check_finite("elastic_worker_update", local);
 }
@@ -148,8 +204,15 @@ pub fn elastic_worker_update(eta: f32, rho: f32, local: &mut [f32], grad: &[f32]
 pub fn elastic_center_update(eta: f32, rho: f32, center: &mut [f32], local: &[f32]) {
     assert_eq!(center.len(), local.len(), "center update length mismatch");
     let c = eta * rho;
-    for i in 0..center.len() {
-        center[i] += c * (local[i] - center[i]);
+    let band = |cc: &mut [f32], lc: &[f32]| {
+        for (ci, li) in cc.iter_mut().zip(lc) {
+            *ci += c * (li - *ci);
+        }
+    };
+    if should_par(center.len()) {
+        par::par_zip_mut(center, local, band);
+    } else {
+        band(center, local);
     }
     debug_check_finite("elastic_center_update", center);
 }
@@ -190,9 +253,16 @@ pub fn elastic_momentum_update(
     assert_eq!(local.len(), grad.len(), "measgd update length mismatch");
     assert_eq!(local.len(), velocity.len(), "measgd update length mismatch");
     assert_eq!(local.len(), center.len(), "measgd update length mismatch");
-    for i in 0..local.len() {
-        velocity[i] = mu * velocity[i] - eta * grad[i];
-        local[i] += velocity[i] - eta * rho * (local[i] - center[i]);
+    let band = |lc: &mut [f32], vc: &mut [f32], gc: &[f32], cc: &[f32]| {
+        for (((li, vi), gi), ci) in lc.iter_mut().zip(vc.iter_mut()).zip(gc).zip(cc) {
+            *vi = mu * *vi - eta * gi;
+            *li += *vi - eta * rho * (*li - ci);
+        }
+    };
+    if should_par(local.len()) {
+        par::par_zip22_mut(local, velocity, grad, center, band);
+    } else {
+        band(local, velocity, grad, center);
     }
     debug_check_finite("elastic_momentum_update", local);
 }

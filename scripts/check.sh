@@ -16,6 +16,9 @@ cargo run -q -p easgd-xtask -- lint
 echo "==> easgd-xtask explore"
 cargo run -q -p easgd-xtask -- explore
 
+echo "==> kernel perf harness (smoke: one iteration per bench, no JSON)"
+cargo run -q --release -p easgd-bench --bin kernels -- --smoke
+
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 

@@ -8,11 +8,31 @@ use knl_easgd::prelude::{
     AlphaBeta, ClusterConfig, ParamArena, SyntheticSpec, TimeCategory, VirtualCluster,
 };
 use knl_easgd::tensor::Rng;
-use knl_easgd::tensor::{gemm, ops, Transpose};
+use knl_easgd::tensor::{gemm, gemm_naive, gemm_serial, ops, Transpose};
 use proptest::prelude::*;
 
 fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
     proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+/// Maps a raw draw onto a GEMM dimension that lands on or one off the
+/// packed kernel's tile and block boundaries (MR = 8, NR = 32, the 64-ish
+/// small-matrix region, MC = KC = 256). These ±1 edges are exactly where
+/// the zero-padded partial tiles have to be handled; interior sizes add
+/// nothing a boundary size doesn't already cover.
+fn boundary_dim(anchor: usize, off: usize) -> usize {
+    const ANCHORS: [usize; 9] = [1, 2, 8, 31, 32, 33, 64, 255, 256];
+    (ANCHORS[anchor % ANCHORS.len()] + off)
+        .saturating_sub(1)
+        .max(1)
+}
+
+fn transpose_of(t: bool) -> Transpose {
+    if t {
+        Transpose::Yes
+    } else {
+        Transpose::No
+    }
 }
 
 proptest! {
@@ -51,6 +71,83 @@ proptest! {
                 }
                 prop_assert!((c[i * n + j] - acc).abs() < 1e-3);
             }
+        }
+    }
+
+    /// The blocked/packed GEMM agrees with the naive triple loop at and
+    /// around every tile and cache-block boundary, for all four transpose
+    /// combinations and both β regimes. Shapes here are big enough to take
+    /// the packed path (unlike `gemm_matches_naive` above, which pins the
+    /// small-matrix fallback).
+    #[test]
+    fn blocked_gemm_matches_naive_at_tile_boundaries(
+        ma in 0usize..9, moff in 0usize..3,
+        na in 0usize..9, noff in 0usize..3,
+        ka in 0usize..9, koff in 0usize..3,
+        ta in prop::bool::ANY,
+        tb in prop::bool::ANY,
+        accumulate in prop::bool::ANY,
+        seed in 0u64..1_000,
+    ) {
+        let (m, n, k) = (
+            boundary_dim(ma, moff),
+            boundary_dim(na, noff),
+            boundary_dim(ka, koff),
+        );
+        let mut rng = Rng::new(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+        let c0: Vec<f32> = (0..m * n).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+        let (alpha, beta) = if accumulate { (0.5, 1.0) } else { (1.0, 0.0) };
+        let (ta, tb) = (transpose_of(ta), transpose_of(tb));
+
+        let mut c = c0.clone();
+        gemm(ta, tb, m, n, k, alpha, &a, &b, beta, &mut c);
+        let mut want = c0;
+        gemm_naive(ta, tb, m, n, k, alpha, &a, &b, beta, &mut want);
+
+        // f32 accumulation order differs between the kernels; the gap
+        // grows like √k · ε · |partial sums|.
+        let tol = 1e-5 * (k as f32).sqrt().max(1.0) * 8.0;
+        for (i, (got, want)) in c.iter().zip(&want).enumerate() {
+            prop_assert!((got - want).abs() < tol, "c[{i}]: {got} vs {want} (m={m} n={n} k={k})");
+        }
+    }
+
+    /// GEMM is bit-deterministic: repeated calls produce identical bits,
+    /// and the dispatching entry point (which may fan out over the worker
+    /// pool) is bit-identical to the serial kernel — the property the
+    /// reproducible-trajectory harness rests on (DESIGN.md §8).
+    #[test]
+    fn gemm_is_bit_deterministic(
+        ma in 0usize..9, moff in 0usize..3,
+        na in 0usize..9, noff in 0usize..3,
+        ka in 0usize..9, koff in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let (m, n, k) = (
+            boundary_dim(ma, moff),
+            boundary_dim(na, noff),
+            boundary_dim(ka, koff),
+        );
+        let mut rng = Rng::new(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+        let c0: Vec<f32> = (0..m * n).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+
+        let mut c1 = c0.clone();
+        gemm(Transpose::No, Transpose::Yes, m, n, k, 1.0, &a, &b, 0.5, &mut c1);
+        let mut c2 = c0.clone();
+        gemm(Transpose::No, Transpose::Yes, m, n, k, 1.0, &a, &b, 0.5, &mut c2);
+        prop_assert_eq!(&c1, &c2);
+
+        // Below the small-matrix flop threshold `gemm` dispatches to the
+        // naive row loop, whose summation order legitimately differs from
+        // the blocked kernel — serial equivalence is a blocked-path claim.
+        if 2 * (m as u64) * (n as u64) * (k as u64) >= (1 << 17) {
+            let mut cs = c0;
+            gemm_serial(Transpose::No, Transpose::Yes, m, n, k, 1.0, &a, &b, 0.5, &mut cs);
+            prop_assert_eq!(&c1, &cs);
         }
     }
 
