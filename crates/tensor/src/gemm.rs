@@ -18,10 +18,12 @@
 //!   so the microkernel sees one layout.
 //! * **blocked parallel** — the same kernel fanned out over the
 //!   persistent [`crate::par::pool()`]: the operands are copied into
-//!   `Arc`-shared buffers, each worker computes an owned output band, and
-//!   the caller accumulates bands back. The copies are O(m·k + k·n + m·n)
-//!   against O(m·n·k) compute, the price of lending data to persistent
-//!   threads in safe Rust.
+//!   `Arc`-shared buffers, each worker runs the serial loop nest on an
+//!   owned output band (seeded with its C window so `β` blends exactly
+//!   as in the serial kernel), and the caller copies bands back — the
+//!   result is bit-identical to `gemm_serial`. The copies are
+//!   O(m·k + k·n + m·n) against O(m·n·k) compute, the price of lending
+//!   data to persistent threads in safe Rust.
 //!
 //! The seed's naive kernel is retained as [`gemm_naive`] /
 //! [`gemm_naive_par`] so every future optimization can be A/B-measured
@@ -145,12 +147,17 @@ pub fn gemm(
         naive_rows(ta, tb, m, n, k, alpha, a, b, c);
         return;
     }
-    let pool = par::pool();
-    if flops >= PAR_FLOPS && pool.threads() > 1 {
-        gemm_blocked_parallel(pool, ta, tb, m, n, k, alpha, a, b, beta, c);
-    } else {
-        blocked_accumulate(ta, tb, m, n, k, 0, m, 0, n, alpha, a, b, beta, c, n);
+    // Only touch the global pool past the parallel threshold: fetching
+    // it eagerly would spawn ncores−1 persistent threads in processes
+    // that only ever run serial-path GEMMs.
+    if flops >= PAR_FLOPS {
+        let pool = par::pool();
+        if pool.threads() > 1 {
+            gemm_blocked_parallel(pool, ta, tb, m, n, k, alpha, a, b, beta, c);
+            return;
+        }
     }
+    blocked_accumulate(ta, tb, m, n, k, 0, m, 0, n, alpha, a, b, beta, c, n);
 }
 
 /// The blocked kernel forced onto the calling thread (no pool), for
@@ -475,12 +482,18 @@ fn blocked_accumulate(
 /// Fans the blocked kernel out over `pool`: the output is split into
 /// `MR`/`NR`-aligned bands along its larger dimension, each worker
 /// computes an owned band from `Arc`-shared operand copies, and the
-/// caller accumulates the bands back into `c`.
+/// caller copies the finished bands back into `c`.
 ///
-/// Band results are produced by the same deterministic loop nest
-/// regardless of which worker runs them and accumulated in band order,
-/// so repeated calls are bit-identical (the Sync-EASGD determinism
-/// property extends down through the compute kernel).
+/// Each band buffer is seeded with its window of the incoming C and run
+/// through [`blocked_accumulate`] with the *real* `β`, so the band job
+/// performs the exact per-element operation sequence of [`gemm_serial`]
+/// (β blended into the first `KC` pass, later passes accumulated in the
+/// same `pc` order; bands start on `MR`/`NR` multiples, so register
+/// tiles group the same rows/columns as the serial nest). Every output
+/// element is owned by exactly one band, making the result bit-identical
+/// to the serial kernel — and hence across runs and worker counts (the
+/// Sync-EASGD determinism property extends down through the compute
+/// kernel).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm_blocked_parallel(
     pool: &par::WorkerPool,
@@ -496,8 +509,8 @@ pub(crate) fn gemm_blocked_parallel(
     c: &mut [f32],
 ) {
     let c = &mut c[..m * n];
-    apply_beta(c, beta);
     if k == 0 || alpha == 0.0 {
+        apply_beta(c, beta);
         return;
     }
     // Owned copies lend the operands to the persistent workers ('static
@@ -520,18 +533,29 @@ pub(crate) fn gemm_blocked_parallel(
         let this = band_len.min(len - start);
         starts.push((start, this));
         let (a_ref, b_ref) = (a_shared.clone(), b_shared.clone());
-        jobs.push(Box::new(move || {
-            let (i0, mc0, j0, nc0) = if split_rows {
-                (start, this, 0, n)
+        let (i0, mc0, j0, nc0) = if split_rows {
+            (start, this, 0, n)
+        } else {
+            (0, m, start, this)
+        };
+        let width = if split_rows { n } else { this };
+        // Seed the band with its window of the incoming C so the job
+        // blends the real β exactly as the serial kernel does; with
+        // β = 0 the first KC pass stores without reading, so the seed
+        // values are never observed and the copy is skipped.
+        let mut out = vec![0.0f32; mc0 * nc0];
+        if beta != 0.0 {
+            if split_rows {
+                out.copy_from_slice(&c[start * n..(start + this) * n]);
             } else {
-                (0, m, start, this)
-            };
-            let width = if split_rows { n } else { this };
-            let mut out = vec![0.0f32; mc0 * nc0];
-            // β = 0: the band buffer is stored, not blended — the caller
-            // blends the real β into `c` when accumulating bands back.
+                for r in 0..m {
+                    out[r * this..(r + 1) * this].copy_from_slice(&c[r * n + start..][..this]);
+                }
+            }
+        }
+        jobs.push(Box::new(move || {
             blocked_accumulate(
-                ta, tb, m, n, k, i0, mc0, j0, nc0, alpha, &a_ref, &b_ref, 0.0, &mut out, width,
+                ta, tb, m, n, k, i0, mc0, j0, nc0, alpha, &a_ref, &b_ref, beta, &mut out, width,
             );
             out
         }));
@@ -542,17 +566,11 @@ pub(crate) fn gemm_blocked_parallel(
     for ((start, this), band) in starts.into_iter().zip(results) {
         if split_rows {
             // Whole contiguous row band.
-            let dst = &mut c[start * n..(start + this) * n];
-            for (ci, bi) in dst.iter_mut().zip(band) {
-                *ci += bi;
-            }
+            c[start * n..(start + this) * n].copy_from_slice(&band);
         } else {
-            // Column band: add row by row.
+            // Column band: copy row by row.
             for r in 0..m {
-                let dst = &mut c[r * n + start..][..this];
-                for (ci, bi) in dst.iter_mut().zip(&band[r * this..(r + 1) * this]) {
-                    *ci += bi;
-                }
+                c[r * n + start..][..this].copy_from_slice(&band[r * this..(r + 1) * this]);
             }
         }
     }
@@ -917,10 +935,21 @@ mod tests {
     }
 
     #[test]
-    fn parallel_path_matches_serial() {
+    fn parallel_path_is_bit_identical_to_serial() {
         // Forced through a local pool regardless of host core count.
+        // Shapes cross the KC boundary (k > 256) with β ≠ 0 — the case
+        // where a pre-scale-then-add scheme would associate the β·C term
+        // differently from the serial kernel — plus row- and column-split
+        // bands and a k = 0 degenerate.
         let pool = par::WorkerPool::new(3);
-        for &(m, n, k) in &[(96, 96, 33), (257, 19, 130), (19, 257, 130)] {
+        for &(m, n, k) in &[
+            (96, 96, 33),
+            (257, 19, 130),
+            (19, 257, 130),
+            (257, 257, 257),
+            (70, 300, KC + 9),
+            (40, 40, 0),
+        ] {
             let a = rand_vec(m * k, 6);
             let b = rand_vec(k * n, 7);
             let mut c_par = rand_vec(m * n, 8);
@@ -950,7 +979,9 @@ mod tests {
                 0.5,
                 &mut c_ser,
             );
-            assert_all_close(&c_par, &c_ser, 1e-4);
+            let bits_par: Vec<u32> = c_par.iter().map(|v| v.to_bits()).collect();
+            let bits_ser: Vec<u32> = c_ser.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits_par, bits_ser, "m={m} n={n} k={k}");
         }
     }
 

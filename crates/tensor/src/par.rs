@@ -117,7 +117,15 @@ impl WorkerPool {
                                 };
                             }
                         };
-                        job();
+                        // A panicking job must not kill the worker: the
+                        // pool is process-lifetime, so a dead worker would
+                        // silently degrade every later parallel region.
+                        // The panic still reaches the submitter — the
+                        // job's result-channel sender is dropped without
+                        // sending, which `run` reports as a panic. Jobs
+                        // own their captures (`'static` + `Send`), so no
+                        // caller-visible state is left half-mutated.
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                     }
                 })
                 .unwrap_or_else(|e| panic!("failed to spawn pool worker: {e}"));
@@ -421,6 +429,47 @@ mod tests {
             // Every submission reuses the same parked workers.
             assert_eq!(pool.threads_spawned(), 3, "round {round}");
         }
+    }
+
+    #[test]
+    fn worker_survives_job_panic() {
+        let pool = WorkerPool::new(1);
+        // Two tasks so `run` takes the queued path rather than inlining;
+        // whichever thread executes the panicking job, `run` must
+        // surface the panic to the submitter.
+        type Task = Box<dyn FnOnce() -> i32 + Send>;
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(vec![
+                Box::new(|| -> i32 { panic!("deliberate job panic") }) as Task,
+                Box::new(|| 1) as Task,
+            ])
+        }));
+        assert!(panicked.is_err());
+        // The worker must still be alive afterwards: across repeated
+        // submissions of briefly-sleeping jobs, at least one must land
+        // on the pool thread. If the panic had killed the worker, every
+        // job would run inline on this (test) thread.
+        let mut saw_worker = false;
+        for _ in 0..50 {
+            let names = pool.run(
+                (0..2)
+                    .map(|_| {
+                        || {
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                            std::thread::current()
+                                .name()
+                                .map(str::to_string)
+                                .unwrap_or_default()
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            if names.iter().any(|n| n.starts_with("easgd-pool")) {
+                saw_worker = true;
+                break;
+            }
+        }
+        assert!(saw_worker, "pool worker did not survive a panicking job");
     }
 
     #[test]

@@ -4,6 +4,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# cargo silently ignores .cargo/config.toml's [build].rustflags when the
+# RUSTFLAGS env var is set — dropping target-cpu=native/FMA and putting the
+# GEMM microkernel on its documented ~20x non-FMA cliff. Warn, don't fail:
+# results stay correct, only kernel benchmark numbers become meaningless.
+if [[ -n "${RUSTFLAGS:-}" ]]; then
+  echo "WARNING: RUSTFLAGS is set ('${RUSTFLAGS}'); .cargo/config.toml's" >&2
+  echo "         target-cpu=native/FMA flags are being IGNORED — kernel bench" >&2
+  echo "         numbers from this build are not comparable (see DESIGN.md §8.3)." >&2
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
