@@ -1,0 +1,271 @@
+//! Typed codec for shipping training batches over [`crate::Comm`]'s
+//! `f32`-payload messages.
+//!
+//! The simulated trainers move mini-batches from the data-holding rank
+//! to the compute ranks as flat `Vec<f32>` messages. This module gives
+//! that convention one implementation with a validating decoder, instead
+//! of each trainer hand-rolling `[labels…, pixels…]` framing and
+//! panicking on malformed input.
+//!
+//! Wire format (all `f32`, exactly representable integers for the
+//! header fields):
+//!
+//! ```text
+//! [ MAGIC, label_count, pixel_count, labels…, pixels… ]
+//! ```
+//!
+//! Framing costs three floats per message; simulated transfer *times*
+//! are unaffected because every data send prices the transfer explicitly
+//! (`send_costed` and friends), never by payload length.
+
+use std::fmt;
+
+/// Sentinel first element of every encoded batch (`0x5EA5` — exactly
+/// representable in `f32`, compared bit-for-bit on decode).
+pub const BATCH_MAGIC: f32 = 0x5EA5 as f32;
+
+/// Largest count encodable exactly in an `f32` header field.
+const MAX_EXACT: usize = 1 << 24;
+
+/// Why a payload failed to decode as a [`BatchMsg`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum CodecError {
+    /// Payload shorter than the three-float header.
+    Truncated {
+        /// Floats present.
+        got: usize,
+    },
+    /// First element is not [`BATCH_MAGIC`] — the message is not a
+    /// batch (mis-tagged or mis-routed).
+    BadMagic {
+        /// Bit pattern found where the magic was expected.
+        got_bits: u32,
+    },
+    /// Header declares a different batch size than the receiver expects.
+    BatchMismatch {
+        /// Label count declared in the header.
+        declared: usize,
+        /// Label count the receiver expected.
+        expected: usize,
+    },
+    /// Header field is not a non-negative integer.
+    BadHeader {
+        /// Offending header value.
+        value: f32,
+    },
+    /// Payload length disagrees with the declared label + pixel counts.
+    LengthMismatch {
+        /// Floats the header implies.
+        declared: usize,
+        /// Floats actually present.
+        got: usize,
+    },
+    /// A label slot holds something other than a non-negative integer.
+    BadLabel {
+        /// Index of the bad label.
+        index: usize,
+        /// Its value.
+        value: f32,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { got } => {
+                write!(f, "batch payload truncated: {got} floats, header needs 3")
+            }
+            CodecError::BadMagic { got_bits } => {
+                write!(f, "not a batch message: magic bits 0x{got_bits:08x}")
+            }
+            CodecError::BatchMismatch { declared, expected } => {
+                write!(
+                    f,
+                    "batch size mismatch: message has {declared}, expected {expected}"
+                )
+            }
+            CodecError::BadHeader { value } => {
+                write!(
+                    f,
+                    "batch header field {value} is not a non-negative integer"
+                )
+            }
+            CodecError::LengthMismatch { declared, got } => {
+                write!(
+                    f,
+                    "batch length mismatch: header declares {declared} floats, got {got}"
+                )
+            }
+            CodecError::BadLabel { index, value } => {
+                write!(f, "label {index} is {value}, not a non-negative integer")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Reads a header count field: a finite, non-negative, exact integer.
+fn header_count(value: f32) -> Result<usize, CodecError> {
+    let ok = value.is_finite() && value >= 0.0 && value.fract() == 0.0;
+    if !ok {
+        return Err(CodecError::BadHeader { value });
+    }
+    Ok(value as usize)
+}
+
+/// One mini-batch on the wire. Stateless namespace for the codec.
+pub struct BatchMsg;
+
+impl BatchMsg {
+    /// Encodes `pixels` + `labels` into one flat message.
+    ///
+    /// # Panics
+    /// Panics if either count exceeds 2²⁴ (no longer exactly
+    /// representable in the `f32` header) — a caller bug, not a wire
+    /// condition.
+    pub fn encode(pixels: &[f32], labels: &[usize]) -> Vec<f32> {
+        assert!(
+            labels.len() <= MAX_EXACT && pixels.len() <= MAX_EXACT,
+            "batch too large for exact f32 framing"
+        );
+        let mut out = Vec::with_capacity(3 + labels.len() + pixels.len());
+        out.push(BATCH_MAGIC);
+        out.push(labels.len() as f32);
+        out.push(pixels.len() as f32);
+        out.extend(labels.iter().map(|&l| l as f32));
+        out.extend_from_slice(pixels);
+        out
+    }
+
+    /// Decodes a payload produced by [`BatchMsg::encode`], validating
+    /// magic, shape, and label integrity. `expected_batch` is the label
+    /// count the receiver was configured for.
+    pub fn decode(
+        payload: &[f32],
+        expected_batch: usize,
+    ) -> Result<(Vec<usize>, &[f32]), CodecError> {
+        if payload.len() < 3 {
+            return Err(CodecError::Truncated { got: payload.len() });
+        }
+        if payload[0].to_bits() != BATCH_MAGIC.to_bits() {
+            return Err(CodecError::BadMagic {
+                got_bits: payload[0].to_bits(),
+            });
+        }
+        let n_labels = header_count(payload[1])?;
+        let n_pixels = header_count(payload[2])?;
+        if n_labels != expected_batch {
+            return Err(CodecError::BatchMismatch {
+                declared: n_labels,
+                expected: expected_batch,
+            });
+        }
+        let declared = 3 + n_labels + n_pixels;
+        if payload.len() != declared {
+            return Err(CodecError::LengthMismatch {
+                declared,
+                got: payload.len(),
+            });
+        }
+        let mut labels = Vec::with_capacity(n_labels);
+        for (i, &l) in payload[3..3 + n_labels].iter().enumerate() {
+            if !(l.is_finite() && l >= 0.0 && l.fract() == 0.0) {
+                return Err(CodecError::BadLabel { index: i, value: l });
+            }
+            labels.push(l as usize);
+        }
+        Ok((labels, &payload[3 + n_labels..]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let pixels = vec![0.25f32, -1.5, 3.0, 0.0, 9.75, 2.5, -0.125, 7.0];
+        let labels = vec![3usize, 9];
+        let msg = BatchMsg::encode(&pixels, &labels);
+        let (l2, p2) = BatchMsg::decode(&msg, 2).expect("roundtrip decodes");
+        assert_eq!(l2, labels);
+        assert_eq!(p2, &pixels[..]);
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let msg = BatchMsg::encode(&[], &[]);
+        let (l, p) = BatchMsg::decode(&msg, 0).expect("empty decodes");
+        assert!(l.is_empty() && p.is_empty());
+    }
+
+    #[test]
+    fn truncated_payload_is_a_typed_error() {
+        let msg = BatchMsg::encode(&[1.0; 6], &[0, 1, 2]);
+        // Chop mid-pixels: header now over-declares.
+        let cut = &msg[..msg.len() - 4];
+        assert_eq!(
+            BatchMsg::decode(cut, 3),
+            Err(CodecError::LengthMismatch {
+                declared: 12,
+                got: 8
+            })
+        );
+        // Chop into the header itself.
+        assert_eq!(
+            BatchMsg::decode(&msg[..2], 3),
+            Err(CodecError::Truncated { got: 2 })
+        );
+    }
+
+    #[test]
+    fn mistagged_payload_is_a_typed_error() {
+        // A weight vector (arbitrary floats) mis-routed to a batch recv.
+        let weights = vec![0.17f32, -0.3, 1.2, 0.9];
+        let err = BatchMsg::decode(&weights, 2).unwrap_err();
+        assert!(matches!(err, CodecError::BadMagic { .. }), "{err}");
+    }
+
+    #[test]
+    fn corrupted_fields_are_typed_errors() {
+        let mut msg = BatchMsg::encode(&[1.0; 4], &[1, 2]);
+        msg[1] = f32::NAN; // label count corrupted
+        assert!(matches!(
+            BatchMsg::decode(&msg, 2),
+            Err(CodecError::BadHeader { .. })
+        ));
+
+        let mut msg = BatchMsg::encode(&[1.0; 4], &[1, 2]);
+        msg[3] = 2.5; // non-integral label
+        assert_eq!(
+            BatchMsg::decode(&msg, 2),
+            Err(CodecError::BadLabel {
+                index: 0,
+                value: 2.5
+            })
+        );
+
+        let msg = BatchMsg::encode(&[1.0; 4], &[1, 2]);
+        assert_eq!(
+            BatchMsg::decode(&msg, 4),
+            Err(CodecError::BatchMismatch {
+                declared: 2,
+                expected: 4
+            })
+        );
+    }
+
+    #[test]
+    fn error_messages_name_the_failure() {
+        let e = CodecError::LengthMismatch {
+            declared: 12,
+            got: 8,
+        };
+        assert!(e.to_string().contains("12"));
+        let e = CodecError::BadMagic {
+            got_bits: 0xDEAD_BEEF,
+        };
+        assert!(e.to_string().contains("deadbeef"));
+    }
+}

@@ -35,10 +35,12 @@
 pub mod channel;
 pub mod clock;
 pub mod cluster;
+pub mod codec;
 pub mod comm;
 pub mod ring;
 
 pub use clock::{RankReport, SimClock, TimeBreakdown, TimeCategory};
 pub use cluster::{ClusterConfig, CollectiveAlgo, VirtualCluster};
+pub use codec::{BatchMsg, CodecError};
 pub use comm::Comm;
 pub use ring::ring_allreduce_sum;

@@ -15,14 +15,13 @@
 //! doesn't — the mechanism this module makes measurable.
 
 use crate::config::TrainConfig;
+use crate::engine::{assemble_sim, rank_rng, ElasticRule, LocalStep, RankOutcome, SALT_PHI};
 use crate::metrics::RunResult;
-use crate::shared::evaluate_center;
 use crate::simcost::SimCosts;
-use easgd_cluster::{ClusterConfig, Comm, RankReport, TimeCategory, VirtualCluster};
+use easgd_cluster::{ClusterConfig, Comm, TimeCategory, VirtualCluster};
 use easgd_data::Dataset;
 use easgd_nn::Network;
-use easgd_tensor::ops::{elastic_center_update, elastic_worker_update, sgd_update};
-use easgd_tensor::Rng;
+use easgd_tensor::ops::sgd_update;
 use std::time::Instant;
 
 const TAG_REQ: u32 = 21;
@@ -48,16 +47,6 @@ impl AsyncVariant {
     }
 }
 
-enum RankOut {
-    Master {
-        center: Vec<f32>,
-        report: RankReport,
-    },
-    Worker {
-        last_loss: f32,
-    },
-}
-
 /// Runs the FCFS parameter server on a simulated `cfg.workers`-GPU node.
 /// `cfg.iterations` steps per worker. Worker compute is jittered per
 /// `costs.compute_jitter`.
@@ -75,6 +64,7 @@ pub fn async_server_sim(
     let total = cfg.iterations * g;
     let xfer = costs.unpacked_weight_time();
     let shards = train.partition(g);
+    let rule = ElasticRule::from_config(cfg);
     let wall_start = Instant::now();
 
     let outs = VirtualCluster::run(&cluster, |comm: &mut Comm| {
@@ -87,9 +77,7 @@ pub fn async_server_sim(
                 comm.charge(TimeCategory::CpuGpuParam, xfer);
                 match variant {
                     AsyncVariant::Sgd => sgd_update(cfg.eta, &mut center, &payload),
-                    AsyncVariant::Easgd => {
-                        elastic_center_update(cfg.eta, cfg.rho, &mut center, &payload)
-                    }
+                    AsyncVariant::Easgd => rule.center_pull(&mut center, &payload),
                 }
                 comm.charge(TimeCategory::CpuUpdate, costs.cpu_update);
                 comm.send_costed(
@@ -100,88 +88,48 @@ pub fn async_server_sim(
                     TimeCategory::CpuGpuParam,
                 );
             }
-            RankOut::Master {
+            RankOutcome::Center {
                 center,
                 report: comm.report(),
+                trace: Vec::new(),
+                loss_trace: Vec::new(),
             }
         } else {
             // ---- worker: compute, push, pull, update.
             let me = comm.rank();
             let shard = &shards[me - 1];
-            let mut net = proto.clone();
-            let mut rng = Rng::new(cfg.seed ^ (me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            let n = net.num_params();
-            let mut grad = vec![0.0f32; n];
-            let mut last_loss = f32::NAN;
+            let mut local = LocalStep::new(proto);
+            let mut rng = rank_rng(cfg.seed, SALT_PHI, me);
             for _ in 0..cfg.iterations {
                 let batch = shard.sample_batch(&mut rng, cfg.batch);
-                let stats = net.forward_backward(&batch.images, &batch.labels);
-                last_loss = stats.loss;
-                grad.copy_from_slice(net.grads().as_slice());
+                local.forward_backward(&batch);
                 // Jittered compute: heterogeneity knob of the study.
                 let jit = 1.0 + costs.compute_jitter * rng.uniform() as f64;
                 comm.charge(TimeCategory::ForwardBackward, costs.fwd_bwd * jit);
                 match variant {
                     AsyncVariant::Sgd => {
-                        comm.send_costed(0, TAG_REQ, &grad, 0.0, TimeCategory::Other);
+                        comm.send_costed(0, TAG_REQ, local.grad(), 0.0, TimeCategory::Other);
                         let w = comm.recv(0, TAG_REPLY_BASE + me as u32, TimeCategory::Other);
-                        net.set_params(&w);
+                        local.set_params(&w);
                     }
                     AsyncVariant::Easgd => {
-                        comm.send_costed(
-                            0,
-                            TAG_REQ,
-                            net.params().as_slice(),
-                            0.0,
-                            TimeCategory::Other,
-                        );
+                        comm.send_costed(0, TAG_REQ, local.params(), 0.0, TimeCategory::Other);
                         let center = comm.recv(0, TAG_REPLY_BASE + me as u32, TimeCategory::Other);
-                        elastic_worker_update(
-                            cfg.eta,
-                            cfg.rho,
-                            net.params_mut().as_mut_slice(),
-                            &grad,
-                            &center,
-                        );
+                        local.elastic_step_against(&rule, &center);
                         comm.charge(TimeCategory::GpuUpdate, costs.gpu_update);
                     }
                 }
             }
-            RankOut::Worker { last_loss }
+            RankOutcome::Worker {
+                report: None,
+                last_loss: local.last_loss(),
+                loss_trace: local.take_loss_trace(),
+            }
         }
     });
 
     let wall = wall_start.elapsed().as_secs_f64();
-    let mut center = Vec::new();
-    let mut report = None;
-    let mut losses = Vec::new();
-    for o in outs {
-        match o {
-            RankOut::Master {
-                center: c,
-                report: r,
-            } => {
-                center = c;
-                report = Some(r);
-            }
-            RankOut::Worker { last_loss } => {
-                if last_loss.is_finite() {
-                    losses.push(last_loss);
-                }
-            }
-        }
-    }
-    let report = report.expect("master output missing");
-    RunResult {
-        method: variant.label().to_string(),
-        iterations: cfg.iterations,
-        wall_seconds: wall,
-        sim_seconds: Some(report.time),
-        accuracy: evaluate_center(proto, &center, test),
-        final_loss: losses.iter().sum::<f32>() / losses.len().max(1) as f32,
-        breakdown: Some(report.breakdown),
-        trace: Vec::new(),
-    }
+    assemble_sim(variant.label(), proto, test, cfg.iterations, wall, outs)
 }
 
 #[cfg(test)]

@@ -107,6 +107,12 @@ impl TrainConfig {
         self.comm_period = tau;
         self
     }
+
+    /// The `(η, ρ, µ)` elastic triple of this configuration, as an
+    /// [`crate::engine::ElasticRule`].
+    pub fn elastic(&self) -> crate::engine::ElasticRule {
+        crate::engine::ElasticRule::from_config(self)
+    }
 }
 
 #[cfg(test)]

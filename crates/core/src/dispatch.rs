@@ -1,14 +1,15 @@
 //! Uniform dispatch from [`crate::lineage::MethodId`] to the
 //! wall-clock implementations — one entry point for sweeps and harnesses
 //! that iterate over the whole Figure 8/9 method family.
+//!
+//! Dispatch goes through the [`crate::engine::trainer`] registry, whose
+//! match over [`MethodId`] is exhaustive with no fallback arm: adding a
+//! lineage method without registering a trainer is a compile error, not a
+//! runtime surprise.
 
 use crate::config::TrainConfig;
-use crate::hogwild::{hogwild_easgd, hogwild_sgd};
 use crate::lineage::MethodId;
 use crate::metrics::RunResult;
-use crate::shared::{
-    async_easgd, async_measgd, async_msgd, async_sgd, original_easgd_turns, sync_easgd_shared,
-};
 use easgd_data::Dataset;
 use easgd_nn::Network;
 
@@ -25,16 +26,7 @@ pub fn run_method(
     test: &Dataset,
     cfg: &TrainConfig,
 ) -> RunResult {
-    match method {
-        MethodId::OriginalEasgd => original_easgd_turns(proto, train, test, cfg),
-        MethodId::AsyncSgd => async_sgd(proto, train, test, cfg),
-        MethodId::AsyncMsgd => async_msgd(proto, train, test, cfg),
-        MethodId::HogwildSgd => hogwild_sgd(proto, train, test, cfg),
-        MethodId::AsyncEasgd => async_easgd(proto, train, test, cfg),
-        MethodId::AsyncMeasgd => async_measgd(proto, train, test, cfg),
-        MethodId::HogwildEasgd => hogwild_easgd(proto, train, test, cfg),
-        MethodId::SyncEasgd => sync_easgd_shared(proto, train, test, cfg),
-    }
+    crate::engine::trainer(method).run(proto, train, test, cfg)
 }
 
 /// Runs a method and its Figure 6 counterpart under identical settings;
@@ -70,6 +62,26 @@ mod tests {
             let r = run_method(m, &net, &train, &test, &cfg);
             assert_eq!(r.method, m.name(), "dispatch mismatch for {m:?}");
             assert!(r.final_loss.is_finite(), "{m:?} diverged instantly");
+        }
+    }
+
+    #[test]
+    fn every_lineage_method_is_constructible_and_runnable() {
+        // Satellite guarantee: each Fig 9 lineage MethodId resolves to a
+        // registered trainer that reports the right id and completes a
+        // tiny task end-to-end, populating the engine's trace fields.
+        let task = SyntheticSpec::mnist_small().task(221);
+        let (train, test) = task.train_test(120, 48, 222);
+        let net = lenet_tiny(223);
+        let cfg = TrainConfig::figure6(3).with_eta(0.02).with_workers(2);
+        for m in MethodId::ALL {
+            let t = crate::engine::trainer(m);
+            assert_eq!(t.id(), m, "registry id mismatch for {m:?}");
+            let r = t.run(&net, &train, &test, &cfg);
+            assert_eq!(r.method, m.name());
+            assert_eq!(r.iterations, 3);
+            assert_ne!(r.center_hash, 0, "{m:?} left the center unfingerprinted");
+            assert!(!r.loss_trace.is_empty(), "{m:?} produced no loss trace");
         }
     }
 

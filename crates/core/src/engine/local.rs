@@ -1,0 +1,253 @@
+//! One worker's local optimization state: network replica, gradient and
+//! velocity buffers, center snapshot, and per-step loss trace.
+//!
+//! [`LocalStep`] is the compute half of every trainer — wall-clock and
+//! simulated alike. It owns the forward/backward call and the local
+//! update rules (SGD, momentum, and the elastic forms via
+//! [`ElasticRule`]), so the exact FP evaluation order of a training step
+//! lives in exactly one place.
+
+use crate::engine::elastic::ElasticRule;
+use crate::schedule::apply_weight_decay;
+use easgd_data::Batch;
+use easgd_nn::Network;
+use easgd_tensor::{ops, Tensor};
+
+/// Per-worker training state plus the step kernels that mutate it.
+pub struct LocalStep {
+    net: Network,
+    grad: Vec<f32>,
+    velocity: Vec<f32>,
+    snapshot: Vec<f32>,
+    loss_trace: Vec<f32>,
+    last_loss: f32,
+}
+
+impl LocalStep {
+    /// A fresh replica of `proto` with zeroed buffers.
+    pub fn new(proto: &Network) -> Self {
+        let net = proto.clone();
+        let n = net.num_params();
+        Self {
+            net,
+            grad: vec![0.0f32; n],
+            velocity: vec![0.0f32; n],
+            snapshot: vec![0.0f32; n],
+            loss_trace: Vec::new(),
+            last_loss: f32::NAN,
+        }
+    }
+
+    /// One forward/backward pass: records the loss and captures the
+    /// gradient into the local buffer. Returns the step loss.
+    pub fn forward_backward(&mut self, batch: &Batch) -> f32 {
+        let stats = self.net.forward_backward(&batch.images, &batch.labels);
+        self.record_loss(stats.loss);
+        self.grad.copy_from_slice(self.net.grads().as_slice());
+        stats.loss
+    }
+
+    /// [`LocalStep::forward_backward`] over a flat pixel buffer (the
+    /// decoded form of a [`easgd_cluster::BatchMsg`]): builds the
+    /// `[batch, …input_shape]` tensor and steps on it.
+    pub fn forward_backward_flat(&mut self, batch: usize, pixels: &[f32], labels: &[usize]) -> f32 {
+        let mut shape = vec![batch];
+        shape.extend_from_slice(self.net.input_shape());
+        let x = Tensor::from_vec(shape, pixels.to_vec());
+        let stats = self.net.forward_backward(&x, labels);
+        self.record_loss(stats.loss);
+        self.grad.copy_from_slice(self.net.grads().as_slice());
+        stats.loss
+    }
+
+    fn record_loss(&mut self, loss: f32) {
+        self.last_loss = loss;
+        self.loss_trace.push(loss);
+    }
+
+    /// Plain SGD step `W ← W − ηΔW` on the captured gradient.
+    pub fn sgd_step(&mut self, eta: f32) {
+        ops::sgd_update(eta, self.net.params_mut().as_mut_slice(), &self.grad);
+    }
+
+    /// Momentum step, Equations (3)–(4), on the captured gradient.
+    pub fn momentum_step(&mut self, eta: f32, mu: f32) {
+        ops::momentum_update(
+            eta,
+            mu,
+            self.net.params_mut().as_mut_slice(),
+            &mut self.velocity,
+            &self.grad,
+        );
+    }
+
+    /// Adds `λ·W` to the captured gradient (L2 weight decay).
+    pub fn decay_grad(&mut self, lambda: f32) {
+        apply_weight_decay(lambda, self.net.params().as_slice(), &mut self.grad);
+    }
+
+    /// Equation (1) against the stored center snapshot.
+    pub fn elastic_step(&mut self, rule: &ElasticRule) {
+        rule.worker_pull(
+            self.net.params_mut().as_mut_slice(),
+            &self.grad,
+            &self.snapshot,
+        );
+    }
+
+    /// Equation (1) against an explicit center (simulated trainers that
+    /// receive the center over the wire).
+    pub fn elastic_step_against(&mut self, rule: &ElasticRule, center: &[f32]) {
+        rule.worker_pull(self.net.params_mut().as_mut_slice(), &self.grad, center);
+    }
+
+    /// Equations (5)–(6) against the stored center snapshot.
+    pub fn elastic_momentum_step(&mut self, rule: &ElasticRule) {
+        rule.momentum_pull(
+            self.net.params_mut().as_mut_slice(),
+            &mut self.velocity,
+            &self.grad,
+            &self.snapshot,
+        );
+    }
+
+    /// Copies `center` into the snapshot buffer.
+    pub fn snapshot_center(&mut self, center: &[f32]) {
+        self.snapshot.copy_from_slice(center);
+    }
+
+    /// The stored center snapshot.
+    pub fn snapshot(&self) -> &[f32] {
+        &self.snapshot
+    }
+
+    /// Mutable snapshot buffer, for fillers like
+    /// `AtomicBuffer::snapshot_into`.
+    pub fn snapshot_mut(&mut self) -> &mut [f32] {
+        &mut self.snapshot
+    }
+
+    /// Loads the stored snapshot into the network parameters (the
+    /// Hogwild SGD read phase).
+    pub fn load_snapshot_params(&mut self) {
+        self.net.set_params(&self.snapshot);
+    }
+
+    /// Current local parameters.
+    pub fn params(&self) -> &[f32] {
+        self.net.params().as_slice()
+    }
+
+    /// Mutable local parameters (for updates the rule types don't cover,
+    /// e.g. Sync SGD's summed-gradient `axpy`).
+    pub fn params_mut(&mut self) -> &mut [f32] {
+        self.net.params_mut().as_mut_slice()
+    }
+
+    /// Overwrites the local parameters.
+    pub fn set_params(&mut self, src: &[f32]) {
+        self.net.set_params(src);
+    }
+
+    /// The captured gradient of the last forward/backward.
+    pub fn grad(&self) -> &[f32] {
+        &self.grad
+    }
+
+    /// Parameter count.
+    pub fn num_params(&self) -> usize {
+        self.net.num_params()
+    }
+
+    /// Loss of the most recent step (NaN before the first).
+    pub fn last_loss(&self) -> f32 {
+        self.last_loss
+    }
+
+    /// Consumes the accumulated per-step loss trace.
+    pub fn take_loss_trace(&mut self) -> Vec<f32> {
+        std::mem::take(&mut self.loss_trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easgd_data::SyntheticSpec;
+    use easgd_nn::models::lenet_tiny;
+
+    fn setup() -> (Network, easgd_data::Dataset) {
+        let task = SyntheticSpec::mnist_small().task(3);
+        let (train, _) = task.train_test(64, 16, 4);
+        (lenet_tiny(5), train)
+    }
+
+    #[test]
+    fn forward_backward_matches_raw_network_use() {
+        let (proto, train) = setup();
+        let mut rng = easgd_tensor::Rng::new(17);
+        let batch = train.sample_batch(&mut rng, 8);
+
+        let mut local = LocalStep::new(&proto);
+        let loss = local.forward_backward(&batch);
+
+        let mut net = proto.clone();
+        let stats = net.forward_backward(&batch.images, &batch.labels);
+        assert_eq!(loss.to_bits(), stats.loss.to_bits());
+        assert_eq!(local.grad(), net.grads().as_slice());
+        assert_eq!(local.last_loss().to_bits(), stats.loss.to_bits());
+    }
+
+    #[test]
+    fn flat_and_batch_paths_agree() {
+        let (proto, train) = setup();
+        let mut rng = easgd_tensor::Rng::new(18);
+        let batch = train.sample_batch(&mut rng, 8);
+
+        let mut a = LocalStep::new(&proto);
+        let la = a.forward_backward(&batch);
+        let mut b = LocalStep::new(&proto);
+        let lb = b.forward_backward_flat(8, batch.images.as_slice(), &batch.labels);
+        assert_eq!(la.to_bits(), lb.to_bits());
+        assert_eq!(a.params(), b.params());
+    }
+
+    #[test]
+    fn sgd_step_applies_the_captured_gradient() {
+        let (proto, train) = setup();
+        let mut rng = easgd_tensor::Rng::new(19);
+        let batch = train.sample_batch(&mut rng, 8);
+        let mut local = LocalStep::new(&proto);
+        local.forward_backward(&batch);
+        let mut want = local.params().to_vec();
+        ops::sgd_update(0.1, &mut want, local.grad());
+        local.sgd_step(0.1);
+        assert_eq!(local.params(), &want[..]);
+    }
+
+    #[test]
+    fn loss_trace_accumulates_in_step_order() {
+        let (proto, train) = setup();
+        let mut rng = easgd_tensor::Rng::new(20);
+        let mut local = LocalStep::new(&proto);
+        for _ in 0..3 {
+            let batch = train.sample_batch(&mut rng, 8);
+            local.forward_backward(&batch);
+        }
+        let trace = local.take_loss_trace();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[2].to_bits(), local.last_loss().to_bits());
+        assert!(local.take_loss_trace().is_empty());
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let (proto, _) = setup();
+        let mut local = LocalStep::new(&proto);
+        let center = vec![0.5f32; local.num_params()];
+        local.snapshot_center(&center);
+        assert_eq!(local.snapshot(), &center[..]);
+        local.load_snapshot_params();
+        assert_eq!(local.params(), &center[..]);
+    }
+}

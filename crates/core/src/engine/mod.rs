@@ -1,0 +1,148 @@
+//! The unified training engine: one worker runtime, one elastic rule,
+//! one trace pipeline under every EASGD variant.
+//!
+//! Every trainer in this crate — wall-clock or simulated — is a thin
+//! composition of four layers:
+//!
+//! * [`shard`] — dataset partitioning and the seed-derivation rule:
+//!   which RNG stream each worker/rank draws its batches from.
+//! * [`local`] — [`LocalStep`]: the per-worker network replica and its
+//!   step kernels (forward/backward, SGD, momentum, elastic forms).
+//! * [`elastic`] — [`ElasticRule`]: Equations (1), (2), (5)–(6) and the
+//!   bulk-synchronous Σ-form, keyed by the `(η, ρ, µ)` triple.
+//! * [`trace`] / [`sim`] / [`wall`] — the measurement layer: off-clock
+//!   evaluation, accuracy traces, loss traces, center fingerprints, and
+//!   [`crate::metrics::RunResult`] assembly for the thread-pool and
+//!   virtual-cluster substrates respectively.
+//!
+//! What remains in each trainer module is only the method itself: the
+//! synchronization discipline (lock, turn, barrier, FCFS server, tree
+//! reduce) and the schedule of communication charges. Adding a new
+//! algorithm is typically ~50 lines: pick a runtime
+//! ([`wall::run_exchange_loop`] or a `VirtualCluster` closure returning
+//! [`sim::RankOutcome`]s), write the exchange, and register it.
+//!
+//! The [`Trainer`] registry maps every [`MethodId`] of the Figure 9
+//! lineage to its wall-clock implementation, exhaustively — there is no
+//! fallback arm, so adding a `MethodId` without a trainer is a compile
+//! error.
+
+pub mod elastic;
+pub mod local;
+pub mod shard;
+pub mod sim;
+pub mod trace;
+pub mod wall;
+
+pub use elastic::ElasticRule;
+pub use local::LocalStep;
+pub use shard::{
+    additive_rng, derive_seed, rank_rng, worker_rng, WorkerShard, SALT_HOGWILD, SALT_PHI,
+};
+pub use sim::{assemble_sim, RankOutcome};
+pub use trace::{center_fingerprint, evaluate_center, RunAssembler, TraceRecorder};
+pub use wall::{run_exchange_loop, run_worker_loop, WallRun};
+
+use crate::config::TrainConfig;
+use crate::lineage::MethodId;
+use crate::metrics::RunResult;
+use easgd_data::Dataset;
+use easgd_nn::Network;
+
+/// A runnable training method of the Figure 9 lineage.
+pub trait Trainer: Sync {
+    /// Which lineage method this trainer implements.
+    fn id(&self) -> MethodId;
+
+    /// Runs the method's wall-clock implementation.
+    fn run(&self, proto: &Network, train: &Dataset, test: &Dataset, cfg: &TrainConfig)
+        -> RunResult;
+}
+
+macro_rules! wall_trainer {
+    ($name:ident, $id:expr, $f:path) => {
+        struct $name;
+        impl Trainer for $name {
+            fn id(&self) -> MethodId {
+                $id
+            }
+            fn run(
+                &self,
+                proto: &Network,
+                train: &Dataset,
+                test: &Dataset,
+                cfg: &TrainConfig,
+            ) -> RunResult {
+                $f(proto, train, test, cfg)
+            }
+        }
+    };
+}
+
+wall_trainer!(
+    OriginalEasgdTrainer,
+    MethodId::OriginalEasgd,
+    crate::shared::original_easgd_turns
+);
+wall_trainer!(
+    AsyncSgdTrainer,
+    MethodId::AsyncSgd,
+    crate::shared::async_sgd
+);
+wall_trainer!(
+    AsyncMsgdTrainer,
+    MethodId::AsyncMsgd,
+    crate::shared::async_msgd
+);
+wall_trainer!(
+    HogwildSgdTrainer,
+    MethodId::HogwildSgd,
+    crate::hogwild::hogwild_sgd
+);
+wall_trainer!(
+    AsyncEasgdTrainer,
+    MethodId::AsyncEasgd,
+    crate::shared::async_easgd
+);
+wall_trainer!(
+    AsyncMeasgdTrainer,
+    MethodId::AsyncMeasgd,
+    crate::shared::async_measgd
+);
+wall_trainer!(
+    HogwildEasgdTrainer,
+    MethodId::HogwildEasgd,
+    crate::hogwild::hogwild_easgd
+);
+wall_trainer!(
+    SyncEasgdTrainer,
+    MethodId::SyncEasgd,
+    crate::shared::sync_easgd_shared
+);
+
+/// The exhaustive method registry: every [`MethodId`] resolves to its
+/// trainer; the match has no fallback arm by design.
+pub fn trainer(method: MethodId) -> &'static dyn Trainer {
+    match method {
+        MethodId::OriginalEasgd => &OriginalEasgdTrainer,
+        MethodId::AsyncSgd => &AsyncSgdTrainer,
+        MethodId::AsyncMsgd => &AsyncMsgdTrainer,
+        MethodId::HogwildSgd => &HogwildSgdTrainer,
+        MethodId::AsyncEasgd => &AsyncEasgdTrainer,
+        MethodId::AsyncMeasgd => &AsyncMeasgdTrainer,
+        MethodId::HogwildEasgd => &HogwildEasgdTrainer,
+        MethodId::SyncEasgd => &SyncEasgdTrainer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_match_their_keys() {
+        for m in MethodId::ALL {
+            assert_eq!(trainer(m).id(), m, "registry mismatch for {m:?}");
+        }
+    }
+}

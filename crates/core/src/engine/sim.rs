@@ -1,0 +1,212 @@
+//! Result assembly for the simulated-cluster trainers.
+//!
+//! Every `VirtualCluster` method returns one [`RankOutcome`] per rank
+//! (in rank order); [`assemble_sim`] folds them into a [`RunResult`]
+//! with the family's shared conventions:
+//!
+//! * **simulated time** is the max over the reports that ranks chose to
+//!   expose — master-only for the parameter-server methods (workers pass
+//!   `report: None`), all-ranks for the bulk-synchronous ones;
+//! * **breakdown and accuracy trace** come from the center rank;
+//! * **final loss** is the mean of the finite worker last-step losses
+//!   (the center's own loss, where it computes, is deliberately not
+//!   counted — matching the historical per-trainer assemblers);
+//! * **canonical loss trace** is the first non-empty per-step trace in
+//!   rank order (the first computing rank).
+
+use crate::engine::trace::RunAssembler;
+use crate::metrics::{RunResult, TracePoint};
+use easgd_cluster::RankReport;
+use easgd_data::Dataset;
+use easgd_nn::Network;
+
+/// What one simulated rank contributed to the run.
+pub enum RankOutcome {
+    /// The rank holding the final center weights (master or center GPU).
+    Center {
+        /// Final center parameters.
+        center: Vec<f32>,
+        /// The rank's simulated-time report.
+        report: RankReport,
+        /// Accuracy trace recorded on this rank's simulated timeline.
+        trace: Vec<TracePoint>,
+        /// Per-step losses, when the center rank also computes.
+        loss_trace: Vec<f32>,
+    },
+    /// Any other rank.
+    Worker {
+        /// Simulated-time report, or `None` to keep this rank's clock
+        /// out of the run's total (parameter-server convention: the
+        /// master's timeline is the measurement).
+        report: Option<RankReport>,
+        /// Loss of the rank's last step (NaN if it never computed).
+        last_loss: f32,
+        /// Per-step losses of this rank.
+        loss_trace: Vec<f32>,
+    },
+}
+
+/// Folds per-rank outcomes into a [`RunResult`].
+///
+/// # Panics
+/// Panics if no rank produced a [`RankOutcome::Center`].
+pub fn assemble_sim(
+    method: &str,
+    proto: &Network,
+    test: &Dataset,
+    iterations: usize,
+    wall_seconds: f64,
+    outcomes: Vec<RankOutcome>,
+) -> RunResult {
+    let mut center = None;
+    let mut breakdown = None;
+    let mut sim = 0.0f64;
+    let mut losses = Vec::new();
+    let mut trace = Vec::new();
+    let mut loss_trace = Vec::new();
+    for o in outcomes {
+        match o {
+            RankOutcome::Center {
+                center: c,
+                report,
+                trace: tr,
+                loss_trace: lt,
+            } => {
+                sim = sim.max(report.time);
+                breakdown = Some(report.breakdown);
+                trace = tr;
+                if loss_trace.is_empty() {
+                    loss_trace = lt;
+                }
+                center = Some(c);
+            }
+            RankOutcome::Worker {
+                report,
+                last_loss,
+                loss_trace: lt,
+            } => {
+                if let Some(r) = report {
+                    sim = sim.max(r.time);
+                }
+                if last_loss.is_finite() {
+                    losses.push(last_loss);
+                }
+                if loss_trace.is_empty() {
+                    loss_trace = lt;
+                }
+            }
+        }
+    }
+    let Some(center) = center else {
+        panic!("{method}: no rank returned the center weights");
+    };
+    RunAssembler::new(method, proto, test, iterations)
+        .wall(wall_seconds)
+        .sim(sim)
+        .breakdown(breakdown)
+        .trace(trace)
+        .loss_trace(loss_trace)
+        .worker_losses(losses)
+        .finish(&center)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easgd_cluster::TimeBreakdown;
+    use easgd_data::SyntheticSpec;
+    use easgd_nn::models::lenet_tiny;
+
+    fn setup() -> (Network, Dataset) {
+        let task = SyntheticSpec::mnist_small().task(27);
+        let (_, test) = task.train_test(32, 32, 28);
+        (lenet_tiny(29), test)
+    }
+
+    fn report(time: f64) -> RankReport {
+        RankReport {
+            rank: 0,
+            time,
+            breakdown: TimeBreakdown::default(),
+        }
+    }
+
+    #[test]
+    fn master_only_timing_ignores_worker_clocks() {
+        let (proto, test) = setup();
+        let w = proto.params().as_slice().to_vec();
+        let r = assemble_sim(
+            "m",
+            &proto,
+            &test,
+            3,
+            0.1,
+            vec![
+                RankOutcome::Center {
+                    center: w,
+                    report: report(5.0),
+                    trace: Vec::new(),
+                    loss_trace: Vec::new(),
+                },
+                RankOutcome::Worker {
+                    report: None,
+                    last_loss: 1.0,
+                    loss_trace: vec![2.0, 1.0],
+                },
+            ],
+        );
+        assert_eq!(r.sim_seconds, Some(5.0));
+        assert_eq!(r.final_loss, 1.0);
+        assert_eq!(r.loss_trace, vec![2.0, 1.0]);
+        assert!(r.breakdown.is_some());
+    }
+
+    #[test]
+    fn all_rank_timing_takes_the_max() {
+        let (proto, test) = setup();
+        let w = proto.params().as_slice().to_vec();
+        let r = assemble_sim(
+            "m",
+            &proto,
+            &test,
+            3,
+            0.1,
+            vec![
+                RankOutcome::Center {
+                    center: w,
+                    report: report(2.0),
+                    trace: Vec::new(),
+                    loss_trace: vec![0.5],
+                },
+                RankOutcome::Worker {
+                    report: Some(report(7.0)),
+                    last_loss: f32::NAN,
+                    loss_trace: Vec::new(),
+                },
+            ],
+        );
+        assert_eq!(r.sim_seconds, Some(7.0));
+        // NaN losses are filtered; empty mean divides by max(1).
+        assert_eq!(r.final_loss, 0.0);
+        // First non-empty trace in rank order: the center's.
+        assert_eq!(r.loss_trace, vec![0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no rank returned the center weights")]
+    fn missing_center_is_a_loud_failure() {
+        let (proto, test) = setup();
+        assemble_sim(
+            "m",
+            &proto,
+            &test,
+            1,
+            0.0,
+            vec![RankOutcome::Worker {
+                report: None,
+                last_loss: 0.0,
+                loss_trace: Vec::new(),
+            }],
+        );
+    }
+}

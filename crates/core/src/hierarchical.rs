@@ -22,17 +22,13 @@
 //! the “less global communication” of the acknowledgement.
 
 use crate::config::TrainConfig;
+use crate::engine::{assemble_sim, worker_rng, ElasticRule, LocalStep, RankOutcome, SALT_PHI};
 use crate::metrics::RunResult;
-use crate::shared::evaluate_center;
-use easgd_cluster::{
-    ring_allreduce_sum, ClusterConfig, Comm, RankReport, TimeCategory, VirtualCluster,
-};
+use easgd_cluster::{ring_allreduce_sum, ClusterConfig, Comm, TimeCategory, VirtualCluster};
 use easgd_data::Dataset;
 use easgd_hardware::collective::ceil_log2;
 use easgd_hardware::net::AlphaBeta;
 use easgd_nn::Network;
-use easgd_tensor::ops::elastic_worker_update;
-use easgd_tensor::Rng;
 use std::time::Instant;
 
 /// Topology of the simulated GPU cluster.
@@ -86,17 +82,6 @@ impl GpuClusterTopology {
     }
 }
 
-enum RankOut {
-    Leader {
-        center: Vec<f32>,
-        report: RankReport,
-    },
-    Member {
-        last_loss: f32,
-        report: RankReport,
-    },
-}
-
 /// Runs hierarchical Sync EASGD on the simulated topology. Ranks are laid
 /// out node-major: rank = node·gpus_per_node + gpu; rank 0 of each node
 /// is the node leader; global rank 0 holds the reported center.
@@ -117,6 +102,7 @@ pub fn hierarchical_sync_easgd(
     let cluster = ClusterConfig::new(total).with_link(topo.inter.clone());
     let intra_tree = ceil_log2(topo.gpus_per_node) as f64 * topo.intra.time(proto.size_bytes());
     let g = topo.gpus_per_node;
+    let rule = ElasticRule::from_config(cfg);
     let wall_start = Instant::now();
 
     let outs = VirtualCluster::run(&cluster, |comm: &mut Comm| {
@@ -124,26 +110,22 @@ pub fn hierarchical_sync_easgd(
         let node = me / g;
         let is_leader = me.is_multiple_of(g);
         let leader_rank = node * g;
-        let mut net = proto.clone();
+        let mut local = LocalStep::new(proto);
         let mut center = proto.params().as_slice().to_vec();
         let n = center.len();
-        let mut rng = Rng::new(cfg.seed ^ (me as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let mut grad = vec![0.0f32; n];
-        let mut last_loss = f32::NAN;
+        let mut rng = worker_rng(cfg.seed, SALT_PHI, me);
         let shard = &shards[me];
 
         for round in 0..cfg.iterations {
             let batch = shard.sample_batch(&mut rng, cfg.batch);
-            let stats = net.forward_backward(&batch.images, &batch.labels);
-            last_loss = stats.loss;
-            grad.copy_from_slice(net.grads().as_slice());
+            local.forward_backward(&batch);
             comm.charge(TimeCategory::ForwardBackward, 6.0e-3);
 
             // ---- level 1: intra-node reduce of local weights to leader.
             let tag = 0x6000 + (round as u32 % 0x1000);
             let mut node_sum;
             if is_leader {
-                node_sum = net.params().as_slice().to_vec();
+                node_sum = local.params().to_vec();
                 for member in leader_rank + 1..leader_rank + g {
                     let w = comm.recv(member, tag, TimeCategory::GpuGpuParam);
                     for (a, b) in node_sum.iter_mut().zip(&w) {
@@ -153,13 +135,7 @@ pub fn hierarchical_sync_easgd(
                 // Tree depth, not member count, prices the reduce.
                 comm.charge(TimeCategory::GpuGpuParam, intra_tree);
             } else {
-                comm.send_costed(
-                    leader_rank,
-                    tag,
-                    net.params().as_slice(),
-                    0.0,
-                    TimeCategory::Other,
-                );
+                comm.send_costed(leader_rank, tag, local.params(), 0.0, TimeCategory::Other);
                 node_sum = vec![0.0f32; n];
             }
 
@@ -172,69 +148,43 @@ pub fn hierarchical_sync_easgd(
             let global_sum = node_sum;
 
             // ---- Equation (2) on the identical global sum, everywhere.
-            let scale = cfg.eta * cfg.rho;
-            let p = total as f32;
-            for i in 0..n {
-                center[i] += scale * (global_sum[i] - p * center[i]);
-            }
+            rule.center_dilution(&mut center, &global_sum, total);
             // ---- level 1 down: leader broadcasts the center in-node.
             if is_leader {
                 comm.charge(TimeCategory::GpuGpuParam, intra_tree);
             }
             // ---- Equation (1) locally.
-            elastic_worker_update(
-                cfg.eta,
-                cfg.rho,
-                net.params_mut().as_mut_slice(),
-                &grad,
-                &center,
-            );
+            local.elastic_step_against(&rule, &center);
             comm.charge(TimeCategory::GpuUpdate, 0.02e-3);
         }
 
+        let last_loss = local.last_loss();
+        let loss_trace = local.take_loss_trace();
         if me == 0 {
-            RankOut::Leader {
+            RankOutcome::Center {
                 center,
                 report: comm.report(),
+                trace: Vec::new(),
+                loss_trace,
             }
         } else {
-            RankOut::Member {
+            RankOutcome::Worker {
+                report: Some(comm.report()),
                 last_loss,
-                report: comm.report(),
+                loss_trace,
             }
         }
     });
 
     let wall = wall_start.elapsed().as_secs_f64();
-    let mut center = Vec::new();
-    let mut breakdown = None;
-    let mut sim = 0.0f64;
-    let mut losses = Vec::new();
-    for o in outs {
-        match o {
-            RankOut::Leader { center: c, report } => {
-                center = c;
-                sim = sim.max(report.time);
-                breakdown = Some(report.breakdown);
-            }
-            RankOut::Member { last_loss, report } => {
-                sim = sim.max(report.time);
-                if last_loss.is_finite() {
-                    losses.push(last_loss);
-                }
-            }
-        }
-    }
-    RunResult {
-        method: "Hierarchical Sync EASGD".to_string(),
-        iterations: cfg.iterations,
-        wall_seconds: wall,
-        sim_seconds: Some(sim),
-        accuracy: evaluate_center(proto, &center, test),
-        final_loss: losses.iter().sum::<f32>() / losses.len().max(1) as f32,
-        breakdown,
-        trace: Vec::new(),
-    }
+    assemble_sim(
+        "Hierarchical Sync EASGD",
+        proto,
+        test,
+        cfg.iterations,
+        wall,
+        outs,
+    )
 }
 
 #[cfg(test)]
@@ -300,5 +250,6 @@ mod tests {
         let b = hierarchical_sync_easgd(&net, &train, &test, &cfg, &topo);
         assert_eq!(a.accuracy, b.accuracy);
         assert_eq!(a.sim_seconds, b.sim_seconds);
+        assert_eq!(a.center_hash, b.center_hash);
     }
 }

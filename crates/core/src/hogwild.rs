@@ -1,4 +1,3 @@
-// xtask: allow(wall-clock) — wall-clock trainer/driver: measures real elapsed time by design.
 //! The lock-free algorithms: Hogwild SGD (§3.2) and Hogwild EASGD
 //! (§5.1, contribution 1).
 //!
@@ -11,19 +10,16 @@
 //! convergence proof is in the paper's appendix — the key safety property
 //! (each component update is a convex pull, so the center stays in the
 //! workers' hull) is exercised by `easgd-tensor`'s `AtomicBuffer` tests.
+//!
+//! Both trainers ride the engine's worker runtime; all that lives here is
+//! the lock-free exchange against the [`AtomicBuffer`].
 
 use crate::config::TrainConfig;
+use crate::engine::{run_exchange_loop, run_worker_loop, ElasticRule, RunAssembler, SALT_HOGWILD};
 use crate::metrics::RunResult;
-use crate::shared::evaluate_center;
 use easgd_data::Dataset;
 use easgd_nn::Network;
-use easgd_tensor::ops::elastic_worker_update;
-use easgd_tensor::{AtomicBuffer, Rng};
-use std::time::Instant;
-
-fn per_worker_rng(cfg: &TrainConfig, worker: usize) -> Rng {
-    Rng::new(cfg.seed ^ ((worker as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407)))
-}
+use easgd_tensor::AtomicBuffer;
 
 /// Hogwild SGD (§3.2): the shared weight vector is updated lock-free.
 /// Workers snapshot `W`, compute a gradient at the snapshot, and apply
@@ -34,48 +30,24 @@ pub fn hogwild_sgd(
     test: &Dataset,
     cfg: &TrainConfig,
 ) -> RunResult {
-    cfg.validate();
-    let shards = train.partition(cfg.workers);
     let shared = AtomicBuffer::from_slice(proto.params().as_slice());
-    let start = Instant::now();
-    let losses: Vec<f32> = std::thread::scope(|s| {
-        let handles: Vec<_> = shards
-            .iter()
-            .enumerate()
-            .map(|(w, shard)| {
-                let shared = &shared;
-                s.spawn(move || {
-                    let mut net = proto.clone();
-                    let mut rng = per_worker_rng(cfg, w);
-                    let n = net.num_params();
-                    let mut snapshot = vec![0.0f32; n];
-                    let mut last_loss = f32::NAN;
-                    for _ in 0..cfg.iterations {
-                        shared.snapshot_into(&mut snapshot);
-                        net.set_params(&snapshot);
-                        let batch = shard.sample_batch(&mut rng, cfg.batch);
-                        let stats = net.forward_backward(&batch.images, &batch.labels);
-                        last_loss = stats.loss;
-                        shared.sgd_update(cfg.eta, net.grads().as_slice());
-                    }
-                    last_loss
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    let run = run_worker_loop(proto, train, cfg, SALT_HOGWILD, |shard, local| {
+        for _ in 0..cfg.iterations {
+            // Snapshot-first: the gradient is computed *at* the shared
+            // weight, not at a private local replica.
+            shared.snapshot_into(local.snapshot_mut());
+            local.load_snapshot_params();
+            let batch = shard.next_batch(cfg.batch);
+            local.forward_backward(&batch);
+            shared.sgd_update(cfg.eta, local.grad());
+        }
     });
-    let wall = start.elapsed().as_secs_f64();
     let final_w = shared.snapshot();
-    RunResult {
-        method: "Hogwild SGD".to_string(),
-        iterations: cfg.iterations,
-        wall_seconds: wall,
-        sim_seconds: None,
-        accuracy: evaluate_center(proto, &final_w, test),
-        final_loss: losses.iter().sum::<f32>() / losses.len().max(1) as f32,
-        breakdown: None,
-        trace: Vec::new(),
-    }
+    RunAssembler::new("Hogwild SGD", proto, test, cfg.iterations)
+        .wall(run.wall_seconds)
+        .worker_losses(run.worker_losses)
+        .loss_trace(run.loss_trace)
+        .finish(&final_w)
 }
 
 /// Hogwild EASGD (ours, §5.1): each worker keeps a private local weight
@@ -90,69 +62,26 @@ pub fn hogwild_easgd(
     test: &Dataset,
     cfg: &TrainConfig,
 ) -> RunResult {
-    cfg.validate();
-    let shards = train.partition(cfg.workers);
+    let rule = ElasticRule::from_config(cfg);
     let shared = AtomicBuffer::from_slice(proto.params().as_slice());
-    let start = Instant::now();
-    let losses: Vec<f32> = std::thread::scope(|s| {
-        let handles: Vec<_> = shards
-            .iter()
-            .enumerate()
-            .map(|(w, shard)| {
-                let shared = &shared;
-                s.spawn(move || {
-                    let mut net = proto.clone();
-                    let mut rng = per_worker_rng(cfg, w);
-                    let n = net.num_params();
-                    let mut grad = vec![0.0f32; n];
-                    let mut snapshot = vec![0.0f32; n];
-                    let mut last_loss = f32::NAN;
-                    for step in 0..cfg.iterations {
-                        // Compute the gradient at the local weight Wᵢ.
-                        let batch = shard.sample_batch(&mut rng, cfg.batch);
-                        let stats = net.forward_backward(&batch.images, &batch.labels);
-                        last_loss = stats.loss;
-                        grad.copy_from_slice(net.grads().as_slice());
-                        // Communication period τ: local SGD steps between
-                        // lock-free exchanges.
-                        if (step + 1) % cfg.comm_period != 0 {
-                            easgd_tensor::ops::sgd_update(
-                                cfg.eta,
-                                net.params_mut().as_mut_slice(),
-                                &grad,
-                            );
-                            continue;
-                        }
-                        // Lock-free center pull (Eq 2) and snapshot.
-                        shared.elastic_center_update(cfg.eta, cfg.rho, net.params().as_slice());
-                        shared.snapshot_into(&mut snapshot);
-                        // Local elastic update (Eq 1).
-                        elastic_worker_update(
-                            cfg.eta,
-                            cfg.rho,
-                            net.params_mut().as_mut_slice(),
-                            &grad,
-                            &snapshot,
-                        );
-                    }
-                    last_loss
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    let run = run_exchange_loop(proto, train, cfg, SALT_HOGWILD, |_, step, local| {
+        // Communication period τ: local SGD steps between lock-free
+        // exchanges.
+        if (step + 1) % cfg.comm_period != 0 {
+            local.sgd_step(cfg.eta);
+            return;
+        }
+        // Lock-free center pull (Eq 2), snapshot, local elastic (Eq 1).
+        shared.elastic_center_update(cfg.eta, cfg.rho, local.params());
+        shared.snapshot_into(local.snapshot_mut());
+        local.elastic_step(&rule);
     });
-    let wall = start.elapsed().as_secs_f64();
     let final_w = shared.snapshot();
-    RunResult {
-        method: "Hogwild EASGD".to_string(),
-        iterations: cfg.iterations,
-        wall_seconds: wall,
-        sim_seconds: None,
-        accuracy: evaluate_center(proto, &final_w, test),
-        final_loss: losses.iter().sum::<f32>() / losses.len().max(1) as f32,
-        breakdown: None,
-        trace: Vec::new(),
-    }
+    RunAssembler::new("Hogwild EASGD", proto, test, cfg.iterations)
+        .wall(run.wall_seconds)
+        .worker_losses(run.worker_losses)
+        .loss_trace(run.loss_trace)
+        .finish(&final_w)
 }
 
 #[cfg(test)]

@@ -27,7 +27,7 @@
 //! [`crate::shared::sync_easgd_shared`].)
 
 use crate::config::TrainConfig;
-use crate::shared::evaluate_center;
+use crate::engine::{evaluate_center, worker_rng, SALT_PHI};
 use easgd_data::Dataset;
 use easgd_hardware::knl::KnlChip;
 use easgd_nn::Network;
@@ -121,9 +121,7 @@ pub fn knl_partition_run(
     // Real training: G per-group gradients per round, applied as a sum.
     let mut net = proto.clone();
     let n = net.num_params();
-    let mut rngs: Vec<Rng> = (0..g)
-        .map(|w| Rng::new(cfg.seed ^ (w as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
-        .collect();
+    let mut rngs: Vec<Rng> = (0..g).map(|w| worker_rng(cfg.seed, SALT_PHI, w)).collect();
     let mut grad_sum = vec![0.0f32; n];
     let mut hit_round = None;
     let mut final_accuracy = 0.0f32;

@@ -38,6 +38,7 @@ pub mod async_sim;
 pub mod config;
 pub mod convex;
 pub mod dispatch;
+pub mod engine;
 pub mod hierarchical;
 pub mod hogwild;
 pub mod knl_partition;
@@ -57,6 +58,7 @@ pub use async_sim::{async_server_sim, AsyncVariant};
 pub use config::TrainConfig;
 pub use convex::QuadraticProblem;
 pub use dispatch::{run_comparison, run_method};
+pub use engine::{trainer, ElasticRule, LocalStep, Trainer, WorkerShard};
 pub use hierarchical::{hierarchical_sync_easgd, GpuClusterTopology};
 pub use hogwild::{hogwild_easgd, hogwild_sgd};
 pub use knl_partition::{knl_partition_run, KnlPartitionOutcome};

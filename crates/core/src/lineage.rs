@@ -55,6 +55,21 @@ impl MethodId {
         }
     }
 
+    /// Filesystem/CLI-safe identifier (golden-digest keys, bench CLI
+    /// flags): the display name, lowercased with underscores.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            MethodId::OriginalEasgd => "original_easgd",
+            MethodId::AsyncSgd => "async_sgd",
+            MethodId::AsyncMsgd => "async_msgd",
+            MethodId::HogwildSgd => "hogwild_sgd",
+            MethodId::AsyncEasgd => "async_easgd",
+            MethodId::AsyncMeasgd => "async_measgd",
+            MethodId::HogwildEasgd => "hogwild_easgd",
+            MethodId::SyncEasgd => "sync_easgd",
+        }
+    }
+
     /// Whether the method pre-dates the paper (the red boxes of
     /// Figure 9).
     pub fn is_existing(&self) -> bool {

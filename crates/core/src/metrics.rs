@@ -32,6 +32,12 @@ pub struct RunResult {
     pub breakdown: Option<TimeBreakdown>,
     /// Intermediate accuracy measurements, if the run recorded any.
     pub trace: Vec<TracePoint>,
+    /// Per-step training losses of the canonical worker (worker 0, or
+    /// the first computing rank), in step order.
+    pub loss_trace: Vec<f32>,
+    /// FNV-1a 64 hash of the final center parameters' bit patterns —
+    /// a cheap fingerprint for determinism and golden-trace tests.
+    pub center_hash: u64,
 }
 
 impl RunResult {
@@ -76,6 +82,8 @@ mod tests {
             final_loss: 0.1,
             breakdown: None,
             trace: Vec::new(),
+            loss_trace: Vec::new(),
+            center_hash: 0,
         }
     }
 

@@ -15,16 +15,16 @@
 //!
 //! Both use the *unpacked* (per-layer) CPU↔GPU transfer path, because
 //! packing (§5.2) is one of the optimizations the paper adds on the way
-//! to Sync EASGD.
+//! to Sync EASGD. Batches travel as [`BatchMsg`] frames; the elastic
+//! math and result assembly come from [`crate::engine`].
 
 use crate::config::TrainConfig;
+use crate::engine::{assemble_sim, rank_rng, ElasticRule, LocalStep, RankOutcome, SALT_PHI};
 use crate::metrics::RunResult;
-use crate::shared::evaluate_center;
 use crate::simcost::SimCosts;
-use easgd_cluster::{ClusterConfig, Comm, RankReport, TimeCategory, VirtualCluster};
+use easgd_cluster::{BatchMsg, ClusterConfig, Comm, TimeCategory, VirtualCluster};
 use easgd_data::Dataset;
 use easgd_nn::Network;
-use easgd_tensor::ops::{elastic_center_update, elastic_worker_update};
 use easgd_tensor::Rng;
 use std::time::Instant;
 
@@ -49,30 +49,6 @@ impl OriginalMode {
             OriginalMode::Pipelined => "Original EASGD",
         }
     }
-}
-
-/// Encodes a batch as one flat message: `[labels…, pixels…]`.
-pub(crate) fn encode_batch(images: &[f32], labels: &[usize]) -> Vec<f32> {
-    let mut out = Vec::with_capacity(labels.len() + images.len());
-    out.extend(labels.iter().map(|&l| l as f32));
-    out.extend_from_slice(images);
-    out
-}
-
-/// Decodes [`encode_batch`]'s framing given the batch size.
-pub(crate) fn decode_batch(payload: &[f32], batch: usize) -> (Vec<usize>, &[f32]) {
-    let labels = payload[..batch].iter().map(|&l| l as usize).collect();
-    (labels, &payload[batch..])
-}
-
-enum RankOut {
-    Master {
-        center: Vec<f32>,
-        report: RankReport,
-    },
-    Worker {
-        last_loss: f32,
-    },
 }
 
 /// Runs Original EASGD on a simulated `cfg.workers`-GPU node.
@@ -105,32 +81,7 @@ pub fn original_easgd_sim(
     });
 
     let wall = wall_start.elapsed().as_secs_f64();
-    let mut center = Vec::new();
-    let mut report = None;
-    let mut losses = Vec::new();
-    for o in outs {
-        match o {
-            RankOut::Master {
-                center: c,
-                report: r,
-            } => {
-                center = c;
-                report = Some(r);
-            }
-            RankOut::Worker { last_loss } => losses.push(last_loss),
-        }
-    }
-    let report = report.expect("master output missing");
-    RunResult {
-        method: mode.label().to_string(),
-        iterations: cfg.iterations,
-        wall_seconds: wall,
-        sim_seconds: Some(report.time),
-        accuracy: evaluate_center(proto, &center, test),
-        final_loss: losses.iter().sum::<f32>() / losses.len().max(1) as f32,
-        breakdown: Some(report.breakdown),
-        trace: Vec::new(),
-    }
+    assemble_sim(mode.label(), proto, test, cfg.iterations, wall, outs)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -144,8 +95,9 @@ fn master_loop(
     total: usize,
     up: f64,
     down: f64,
-) -> RankOut {
+) -> RankOutcome {
     let g = cfg.workers;
+    let rule = ElasticRule::from_config(cfg);
     let mut rng = Rng::new(cfg.seed);
     let mut center = proto.params().as_slice().to_vec();
     let mut inflight = vec![false; g + 1];
@@ -161,7 +113,7 @@ fn master_loop(
             TimeCategory::ForwardBackward,
             TimeCategory::CpuGpuParam,
         );
-        elastic_center_update(cfg.eta, cfg.rho, center, &w);
+        rule.center_pull(center, &w);
         comm.charge(TimeCategory::CpuUpdate, costs.cpu_update);
     };
 
@@ -171,7 +123,7 @@ fn master_loop(
             collect(comm, &mut center, j);
         }
         let batch = train.sample_batch(&mut rng, cfg.batch);
-        let payload = encode_batch(batch.images.as_slice(), &batch.labels);
+        let payload = BatchMsg::encode(batch.images.as_slice(), &batch.labels);
         comm.send_costed(
             j,
             TAG_DATA,
@@ -194,9 +146,11 @@ fn master_loop(
             }
         }
     }
-    RankOut::Master {
+    RankOutcome::Center {
         center,
         report: comm.report(),
+        trace: Vec::new(),
+        loss_trace: Vec::new(),
     }
 }
 
@@ -206,45 +160,34 @@ fn worker_loop(
     cfg: &TrainConfig,
     costs: &SimCosts,
     total: usize,
-) -> RankOut {
+) -> RankOutcome {
     let g = cfg.workers;
     let me = comm.rank();
     let rounds = (0..total).filter(|t| 1 + (t % g) == me).count();
-    let mut net = proto.clone();
-    let mut jitter_rng = Rng::new(cfg.seed ^ (me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    let mut grad = vec![0.0f32; net.num_params()];
-    let mut last_loss = f32::NAN;
+    let rule = ElasticRule::from_config(cfg);
+    let mut local = LocalStep::new(proto);
+    let mut jitter_rng = rank_rng(cfg.seed, SALT_PHI, me);
     for _ in 0..rounds {
         let payload = comm.recv(0, TAG_DATA, TimeCategory::Other);
         let center = comm.recv(0, TAG_CENTER, TimeCategory::Other);
-        let (labels, pixels) = decode_batch(&payload, cfg.batch);
-        let mut shape = vec![cfg.batch];
-        shape.extend_from_slice(net.input_shape());
-        let x = easgd_tensor::Tensor::from_vec(shape, pixels.to_vec());
-        let stats = net.forward_backward(&x, &labels);
-        last_loss = stats.loss;
+        let (labels, pixels) = match BatchMsg::decode(&payload, cfg.batch) {
+            Ok(x) => x,
+            Err(e) => panic!("batch codec (rank {me}): {e}"),
+        };
+        local.forward_backward_flat(cfg.batch, pixels, &labels);
         let jit = 1.0 + costs.compute_jitter * jitter_rng.uniform() as f64;
         comm.charge(TimeCategory::ForwardBackward, costs.fwd_bwd * jit);
-        grad.copy_from_slice(net.grads().as_slice());
         // Ship W_jt (pre-update, per Algorithm 1 lines 12–14); the master
         // pays the transfer on its own timeline.
-        comm.send_costed(
-            0,
-            TAG_WEIGHT,
-            net.params().as_slice(),
-            0.0,
-            TimeCategory::Other,
-        );
-        elastic_worker_update(
-            cfg.eta,
-            cfg.rho,
-            net.params_mut().as_mut_slice(),
-            &grad,
-            &center,
-        );
+        comm.send_costed(0, TAG_WEIGHT, local.params(), 0.0, TimeCategory::Other);
+        local.elastic_step_against(&rule, &center);
         comm.charge(TimeCategory::GpuUpdate, costs.gpu_update);
     }
-    RankOut::Worker { last_loss }
+    RankOutcome::Worker {
+        report: None,
+        last_loss: local.last_loss(),
+        loss_trace: local.take_loss_trace(),
+    }
 }
 
 #[cfg(test)]
@@ -270,16 +213,6 @@ mod tests {
             seed: 61,
             comm_period: 1,
         }
-    }
-
-    #[test]
-    fn batch_codec_roundtrip() {
-        let images = vec![0.5f32; 8];
-        let labels = vec![3usize, 9];
-        let p = encode_batch(&images, &labels);
-        let (l2, i2) = decode_batch(&p, 2);
-        assert_eq!(l2, labels);
-        assert_eq!(i2, &images[..]);
     }
 
     #[test]
@@ -353,5 +286,6 @@ mod tests {
         let b = original_easgd_sim(&proto, &train, &test, &c, &costs, OriginalMode::Pipelined);
         assert_eq!(a.accuracy, b.accuracy);
         assert_eq!(a.sim_seconds, b.sim_seconds);
+        assert_eq!(a.center_hash, b.center_hash);
     }
 }

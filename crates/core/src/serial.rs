@@ -3,12 +3,11 @@
 //! distributed method is measured against, and the §7.2 batch-size
 //! study's engine.
 
-use crate::metrics::{RunResult, TracePoint};
-use crate::schedule::{apply_weight_decay, LrSchedule};
-use crate::shared::evaluate_center;
+use crate::engine::{LocalStep, RunAssembler, TraceRecorder};
+use crate::metrics::RunResult;
+use crate::schedule::LrSchedule;
 use easgd_data::Dataset;
 use easgd_nn::Network;
-use easgd_tensor::ops::{momentum_update, sgd_update};
 use easgd_tensor::Rng;
 use std::time::Instant;
 
@@ -54,58 +53,43 @@ pub fn serial_sgd(
     cfg: &SerialConfig,
 ) -> RunResult {
     assert!(cfg.batch > 0 && cfg.iterations > 0, "invalid serial config");
-    let mut net = proto.clone();
+    let mut local = LocalStep::new(proto);
     let mut rng = Rng::new(cfg.seed);
-    let n = net.num_params();
-    let mut grad = vec![0.0f32; n];
-    let mut velocity = vec![0.0f32; n];
-    let mut trace = Vec::new();
-    let mut last_loss = f32::NAN;
+    let mut recorder = TraceRecorder::new(cfg.trace_every);
     let start = Instant::now();
     for t in 0..cfg.iterations {
         let batch = train.sample_batch(&mut rng, cfg.batch);
-        let stats = net.forward_backward(&batch.images, &batch.labels);
-        last_loss = stats.loss;
-        grad.copy_from_slice(net.grads().as_slice());
-        apply_weight_decay(cfg.weight_decay, net.params().as_slice(), &mut grad);
+        local.forward_backward(&batch);
+        local.decay_grad(cfg.weight_decay);
         let eta = cfg.schedule.at(t);
         if cfg.mu > 0.0 {
-            momentum_update(
-                eta,
-                cfg.mu,
-                net.params_mut().as_mut_slice(),
-                &mut velocity,
-                &grad,
-            );
+            local.momentum_step(eta, cfg.mu);
         } else {
-            sgd_update(eta, net.params_mut().as_mut_slice(), &grad);
+            local.sgd_step(eta);
         }
-        if cfg.trace_every > 0 && (t + 1) % cfg.trace_every == 0 {
-            trace.push(TracePoint {
-                iteration: t + 1,
-                seconds: start.elapsed().as_secs_f64(),
-                accuracy: evaluate_center(proto, net.params().as_slice(), test),
-            });
+        if recorder.due(t) {
+            let secs = start.elapsed().as_secs_f64();
+            recorder.record(t, secs, proto, local.params(), test);
         }
     }
     let wall = start.elapsed().as_secs_f64();
-    RunResult {
-        method: "Serial SGD".to_string(),
-        iterations: cfg.iterations,
-        wall_seconds: wall,
-        sim_seconds: None,
-        accuracy: evaluate_center(proto, net.params().as_slice(), test),
-        final_loss: last_loss,
-        breakdown: None,
-        trace,
-    }
+    let last_loss = local.last_loss();
+    let loss_trace = local.take_loss_trace();
+    RunAssembler::new("Serial SGD", proto, test, cfg.iterations)
+        .wall(wall)
+        .trace(recorder.into_points())
+        .loss_trace(loss_trace)
+        .final_loss(last_loss)
+        .finish(local.params())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schedule::apply_weight_decay;
     use easgd_data::SyntheticSpec;
     use easgd_nn::models::lenet_tiny;
+    use easgd_tensor::ops::sgd_update;
 
     fn setup() -> (Network, Dataset, Dataset) {
         let task = SyntheticSpec::mnist_small().task(111);
@@ -179,6 +163,8 @@ mod tests {
         let r = serial_sgd(&net, &train, &test, &cfg);
         assert_eq!(r.trace.len(), 3);
         assert!(r.trace[2].accuracy >= r.trace[0].accuracy - 0.1);
+        assert_eq!(r.loss_trace.len(), 90);
+        assert_eq!(r.final_loss, r.loss_trace[89]);
     }
 
     #[test]

@@ -1,4 +1,3 @@
-// xtask: allow(wall-clock) — wall-clock trainer/driver: measures real elapsed time by design.
 //! The shared-memory, wall-clock algorithm family (Figures 6 and 8).
 //!
 //! The paper's asynchronous methods differ only in *how workers
@@ -13,109 +12,23 @@
 //! | Async MEASGD      | FCFS (lock)     | elastic + momentum (Eq 5–6)   |
 //! | Sync EASGD        | barrier (BSP)   | elastic, tree-reduced         |
 //!
-//! (The lock-free Hogwild variants live in [`crate::hogwild`].) Workers
-//! are real threads computing real gradients; the master's state lives in
-//! shared memory behind exactly the synchronization discipline each
-//! method prescribes, so the relative performance the paper measures is a
-//! genuine concurrency outcome here too.
+//! (The lock-free Hogwild variants live in [`crate::hogwild`].) The
+//! compute loop, sharding, seeding, and result assembly all come from
+//! [`crate::engine`]; each function below is exactly its exchange
+//! discipline — the lock, turn, or barrier protocol around the center.
 
 use crate::config::TrainConfig;
+use crate::engine::{run_exchange_loop, run_worker_loop, ElasticRule, RunAssembler, SALT_PHI};
 use crate::metrics::RunResult;
 use easgd_data::Dataset;
 use easgd_nn::Network;
-use easgd_tensor::ops::{
-    elastic_center_update, elastic_momentum_update, elastic_worker_update, momentum_update,
-    sgd_update,
-};
-use easgd_tensor::Rng;
+use easgd_tensor::ops::{momentum_update, sgd_update};
 use std::sync::{Barrier, Condvar, Mutex, RwLock};
-use std::time::Instant;
 
 /// Master state for the gradient-push methods (Async SGD / MSGD).
 struct GradCenter {
     w: Vec<f32>,
     v: Vec<f32>,
-}
-
-/// Evaluates `weights` on the test set using a fresh replica of `proto`.
-pub(crate) fn evaluate_center(proto: &Network, weights: &[f32], test: &Dataset) -> f32 {
-    let mut net = proto.clone();
-    net.set_params(weights);
-    net.evaluate(&test.as_tensor(), test.labels(), 256)
-}
-
-fn per_worker_rng(cfg: &TrainConfig, worker: usize) -> Rng {
-    Rng::new(cfg.seed ^ ((worker as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
-}
-
-fn finish(
-    method: &str,
-    proto: &Network,
-    center: &[f32],
-    test: &Dataset,
-    cfg: &TrainConfig,
-    wall: f64,
-    losses: Vec<f32>,
-) -> RunResult {
-    RunResult {
-        method: method.to_string(),
-        iterations: cfg.iterations,
-        wall_seconds: wall,
-        sim_seconds: None,
-        accuracy: evaluate_center(proto, center, test),
-        final_loss: losses.iter().sum::<f32>() / losses.len().max(1) as f32,
-        breakdown: None,
-        trace: Vec::new(),
-    }
-}
-
-/// Runs the generic locked-master worker loop. `exchange` is called once
-/// per step with `(center_lock_free_scratch…)`; it owns the
-/// method-specific synchronization.
-fn run_locked<F>(
-    method: &str,
-    proto: &Network,
-    train: &Dataset,
-    test: &Dataset,
-    cfg: &TrainConfig,
-    center: &Mutex<GradCenter>,
-    exchange: F,
-) -> RunResult
-where
-    F: Fn(&Mutex<GradCenter>, &mut Network, &mut [f32], &[f32], &TrainConfig, usize) + Sync,
-{
-    cfg.validate();
-    let shards = train.partition(cfg.workers);
-    let start = Instant::now();
-    let losses: Vec<f32> = std::thread::scope(|s| {
-        let handles: Vec<_> = shards
-            .iter()
-            .enumerate()
-            .map(|(w, shard)| {
-                let exchange = &exchange;
-                s.spawn(move || {
-                    let mut net = proto.clone();
-                    let mut rng = per_worker_rng(cfg, w);
-                    let n = net.num_params();
-                    let mut grad = vec![0.0f32; n];
-                    let mut velocity = vec![0.0f32; n];
-                    let mut last_loss = f32::NAN;
-                    for step in 0..cfg.iterations {
-                        let batch = shard.sample_batch(&mut rng, cfg.batch);
-                        let stats = net.forward_backward(&batch.images, &batch.labels);
-                        last_loss = stats.loss;
-                        grad.copy_from_slice(net.grads().as_slice());
-                        exchange(center, &mut net, &mut velocity, &grad, cfg, step);
-                    }
-                    last_loss
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-    let wall = start.elapsed().as_secs_f64();
-    let center_w = center.lock().unwrap().w.clone();
-    finish(method, proto, &center_w, test, cfg, wall, losses)
 }
 
 /// Async SGD (§3.1): FCFS parameter server. The worker pushes its
@@ -126,19 +39,17 @@ pub fn async_sgd(proto: &Network, train: &Dataset, test: &Dataset, cfg: &TrainCo
         w: proto.params().as_slice().to_vec(),
         v: vec![0.0; proto.num_params()],
     });
-    run_locked(
-        "Async SGD",
-        proto,
-        train,
-        test,
-        cfg,
-        &center,
-        |center, net, _vel, grad, cfg, _step| {
-            let mut c = center.lock().unwrap();
-            sgd_update(cfg.eta, &mut c.w, grad);
-            net.set_params(&c.w);
-        },
-    )
+    let run = run_exchange_loop(proto, train, cfg, SALT_PHI, |_, _, local| {
+        let mut c = center.lock().unwrap();
+        sgd_update(cfg.eta, &mut c.w, local.grad());
+        local.set_params(&c.w);
+    });
+    let center_w = center.into_inner().unwrap().w;
+    RunAssembler::new("Async SGD", proto, test, cfg.iterations)
+        .wall(run.wall_seconds)
+        .worker_losses(run.worker_losses)
+        .loss_trace(run.loss_trace)
+        .finish(&center_w)
 }
 
 /// Async MSGD: Async SGD with the momentum update of Equations (3)–(4)
@@ -153,20 +64,18 @@ pub fn async_msgd(
         w: proto.params().as_slice().to_vec(),
         v: vec![0.0; proto.num_params()],
     });
-    run_locked(
-        "Async MSGD",
-        proto,
-        train,
-        test,
-        cfg,
-        &center,
-        |center, net, _vel, grad, cfg, _step| {
-            let mut c = center.lock().unwrap();
-            let GradCenter { w, v } = &mut *c;
-            momentum_update(cfg.eta, cfg.mu, w, v, grad);
-            net.set_params(w);
-        },
-    )
+    let run = run_exchange_loop(proto, train, cfg, SALT_PHI, |_, _, local| {
+        let mut c = center.lock().unwrap();
+        let GradCenter { w, v } = &mut *c;
+        momentum_update(cfg.eta, cfg.mu, w, v, local.grad());
+        local.set_params(w);
+    });
+    let center_w = center.into_inner().unwrap().w;
+    RunAssembler::new("Async MSGD", proto, test, cfg.iterations)
+        .wall(run.wall_seconds)
+        .worker_losses(run.worker_losses)
+        .loss_trace(run.loss_trace)
+        .finish(&center_w)
 }
 
 /// Async EASGD (ours, §5.1): FCFS exchange of *weights*. Under the lock
@@ -178,41 +87,28 @@ pub fn async_easgd(
     test: &Dataset,
     cfg: &TrainConfig,
 ) -> RunResult {
-    let center = Mutex::new(GradCenter {
-        w: proto.params().as_slice().to_vec(),
-        v: Vec::new(),
+    let rule = ElasticRule::from_config(cfg);
+    let center = Mutex::new(proto.params().as_slice().to_vec());
+    let run = run_exchange_loop(proto, train, cfg, SALT_PHI, |_, step, local| {
+        // Communication period τ: τ−1 local SGD steps between elastic
+        // exchanges (τ = 1 ⇒ exchange every step, the paper's setting).
+        if (step + 1) % cfg.comm_period != 0 {
+            local.sgd_step(cfg.eta);
+            return;
+        }
+        {
+            let mut c = center.lock().unwrap();
+            rule.center_pull(&mut c, local.params());
+            local.snapshot_center(&c);
+        }
+        local.elastic_step(&rule);
     });
-    run_locked(
-        "Async EASGD",
-        proto,
-        train,
-        test,
-        cfg,
-        &center,
-        |center, net, vel, grad, cfg, step| {
-            // Communication period τ: τ−1 local SGD steps between elastic
-            // exchanges (τ = 1 ⇒ exchange every step, the paper's setting).
-            if (step + 1) % cfg.comm_period != 0 {
-                sgd_update(cfg.eta, net.params_mut().as_mut_slice(), grad);
-                return;
-            }
-            // `vel` doubles as the center-snapshot scratch here (unused by
-            // the plain elastic update).
-            let snapshot: &mut [f32] = vel;
-            {
-                let mut c = center.lock().unwrap();
-                elastic_center_update(cfg.eta, cfg.rho, &mut c.w, net.params().as_slice());
-                snapshot.copy_from_slice(&c.w);
-            }
-            elastic_worker_update(
-                cfg.eta,
-                cfg.rho,
-                net.params_mut().as_mut_slice(),
-                grad,
-                snapshot,
-            );
-        },
-    )
+    let center_w = center.into_inner().unwrap();
+    RunAssembler::new("Async EASGD", proto, test, cfg.iterations)
+        .wall(run.wall_seconds)
+        .worker_losses(run.worker_losses)
+        .loss_trace(run.loss_trace)
+        .finish(&center_w)
 }
 
 /// Async MEASGD (ours, §5.1): Async EASGD with the worker update replaced
@@ -223,69 +119,27 @@ pub fn async_measgd(
     test: &Dataset,
     cfg: &TrainConfig,
 ) -> RunResult {
-    cfg.validate();
-    let shards = train.partition(cfg.workers);
+    let rule = ElasticRule::from_config(cfg);
     let center = Mutex::new(proto.params().as_slice().to_vec());
-    let start = Instant::now();
-    let losses: Vec<f32> = std::thread::scope(|s| {
-        let handles: Vec<_> = shards
-            .iter()
-            .enumerate()
-            .map(|(w, shard)| {
-                let center = &center;
-                s.spawn(move || {
-                    let mut net = proto.clone();
-                    let mut rng = per_worker_rng(cfg, w);
-                    let n = net.num_params();
-                    let mut grad = vec![0.0f32; n];
-                    let mut velocity = vec![0.0f32; n];
-                    let mut snapshot = vec![0.0f32; n];
-                    let mut last_loss = f32::NAN;
-                    for step in 0..cfg.iterations {
-                        let batch = shard.sample_batch(&mut rng, cfg.batch);
-                        let stats = net.forward_backward(&batch.images, &batch.labels);
-                        last_loss = stats.loss;
-                        grad.copy_from_slice(net.grads().as_slice());
-                        if (step + 1) % cfg.comm_period != 0 {
-                            // Local momentum step between exchanges.
-                            momentum_update(
-                                cfg.eta,
-                                cfg.mu,
-                                net.params_mut().as_mut_slice(),
-                                &mut velocity,
-                                &grad,
-                            );
-                            continue;
-                        }
-                        {
-                            let mut c = center.lock().unwrap();
-                            elastic_center_update(
-                                cfg.eta,
-                                cfg.rho,
-                                &mut c,
-                                net.params().as_slice(),
-                            );
-                            snapshot.copy_from_slice(&c);
-                        }
-                        elastic_momentum_update(
-                            cfg.eta,
-                            cfg.mu,
-                            cfg.rho,
-                            net.params_mut().as_mut_slice(),
-                            &mut velocity,
-                            &grad,
-                            &snapshot,
-                        );
-                    }
-                    last_loss
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    let run = run_exchange_loop(proto, train, cfg, SALT_PHI, |_, step, local| {
+        if (step + 1) % cfg.comm_period != 0 {
+            // Local momentum step between exchanges.
+            local.momentum_step(cfg.eta, cfg.mu);
+            return;
+        }
+        {
+            let mut c = center.lock().unwrap();
+            rule.center_pull(&mut c, local.params());
+            local.snapshot_center(&c);
+        }
+        local.elastic_momentum_step(&rule);
     });
-    let wall = start.elapsed().as_secs_f64();
-    let center_w = center.lock().unwrap().clone();
-    finish("Async MEASGD", proto, &center_w, test, cfg, wall, losses)
+    let center_w = center.into_inner().unwrap();
+    RunAssembler::new("Async MEASGD", proto, test, cfg.iterations)
+        .wall(run.wall_seconds)
+        .worker_losses(run.worker_losses)
+        .loss_trace(run.loss_trace)
+        .finish(&center_w)
 }
 
 /// Original EASGD (§3.3, Algorithm 1): identical elastic exchange to
@@ -300,68 +154,35 @@ pub fn original_easgd_turns(
     test: &Dataset,
     cfg: &TrainConfig,
 ) -> RunResult {
-    cfg.validate();
-    let shards = train.partition(cfg.workers);
+    let rule = ElasticRule::from_config(cfg);
     let center = Mutex::new(proto.params().as_slice().to_vec());
     let turn = Mutex::new(0usize);
     let turn_cv = Condvar::new();
-    let start = Instant::now();
-    let losses: Vec<f32> = std::thread::scope(|s| {
-        let handles: Vec<_> = shards
-            .iter()
-            .enumerate()
-            .map(|(w, shard)| {
-                let center = &center;
-                let turn = &turn;
-                let turn_cv = &turn_cv;
-                s.spawn(move || {
-                    let mut net = proto.clone();
-                    let mut rng = per_worker_rng(cfg, w);
-                    let n = net.num_params();
-                    let mut grad = vec![0.0f32; n];
-                    let mut snapshot = vec![0.0f32; n];
-                    let mut last_loss = f32::NAN;
-                    for _ in 0..cfg.iterations {
-                        let batch = shard.sample_batch(&mut rng, cfg.batch);
-                        let stats = net.forward_backward(&batch.images, &batch.labels);
-                        last_loss = stats.loss;
-                        grad.copy_from_slice(net.grads().as_slice());
-                        // Wait for this worker's slot in the global order.
-                        {
-                            let mut t = turn.lock().unwrap();
-                            while *t % cfg.workers != w {
-                                t = turn_cv.wait(t).unwrap();
-                            }
-                            {
-                                let mut c = center.lock().unwrap();
-                                elastic_center_update(
-                                    cfg.eta,
-                                    cfg.rho,
-                                    &mut c,
-                                    net.params().as_slice(),
-                                );
-                                snapshot.copy_from_slice(&c);
-                            }
-                            *t += 1;
-                            turn_cv.notify_all();
-                        }
-                        elastic_worker_update(
-                            cfg.eta,
-                            cfg.rho,
-                            net.params_mut().as_mut_slice(),
-                            &grad,
-                            &snapshot,
-                        );
-                    }
-                    last_loss
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    let run = run_exchange_loop(proto, train, cfg, SALT_PHI, |w, _, local| {
+        // Wait for this worker's slot in the global order.
+        {
+            let mut t = turn.lock().unwrap();
+            while *t % cfg.workers != w {
+                t = turn_cv.wait(t).unwrap();
+            }
+            {
+                let mut c = center.lock().unwrap();
+                rule.center_pull(&mut c, local.params());
+                local.snapshot_center(&c);
+            }
+            *t += 1;
+            turn_cv.notify_all();
+        }
+        // Equation (1) happens outside the turn: only the *exchange* is
+        // round-robin ordered, the local update overlaps freely.
+        local.elastic_step(&rule);
     });
-    let wall = start.elapsed().as_secs_f64();
-    let center_w = center.lock().unwrap().clone();
-    finish("Original EASGD", proto, &center_w, test, cfg, wall, losses)
+    let center_w = center.into_inner().unwrap();
+    RunAssembler::new("Original EASGD", proto, test, cfg.iterations)
+        .wall(run.wall_seconds)
+        .worker_losses(run.worker_losses)
+        .loss_trace(run.loss_trace)
+        .finish(&center_w)
 }
 
 /// Sync EASGD (ours, §5.1), shared-memory realization: bulk-synchronous
@@ -375,8 +196,7 @@ pub fn sync_easgd_shared(
     test: &Dataset,
     cfg: &TrainConfig,
 ) -> RunResult {
-    cfg.validate();
-    let shards = train.partition(cfg.workers);
+    let rule = ElasticRule::from_config(cfg);
     let n = proto.num_params();
     let center = RwLock::new(proto.params().as_slice().to_vec());
     // One weight slot per worker; the master folds them in rank order so
@@ -386,66 +206,36 @@ pub fn sync_easgd_shared(
         .map(|_| Mutex::new(vec![0.0f32; n]))
         .collect();
     let barrier = Barrier::new(cfg.workers);
-    let start = Instant::now();
-    let losses: Vec<f32> = std::thread::scope(|s| {
-        let handles: Vec<_> = shards
-            .iter()
-            .enumerate()
-            .map(|(w, shard)| {
-                let center = &center;
-                let slots = &slots;
-                let barrier = &barrier;
-                s.spawn(move || {
-                    let mut net = proto.clone();
-                    let mut rng = per_worker_rng(cfg, w);
-                    let mut grad = vec![0.0f32; n];
-                    let mut snapshot = vec![0.0f32; n];
-                    let mut last_loss = f32::NAN;
-                    for _ in 0..cfg.iterations {
-                        // Steps (1)+(2): gradient + read of W̄_t (overlappable).
-                        snapshot.copy_from_slice(&center.read().unwrap());
-                        let batch = shard.sample_batch(&mut rng, cfg.batch);
-                        let stats = net.forward_backward(&batch.images, &batch.labels);
-                        last_loss = stats.loss;
-                        grad.copy_from_slice(net.grads().as_slice());
-                        // Step (3): publish Wᵢ for the reduction.
-                        slots[w]
-                            .lock()
-                            .unwrap()
-                            .copy_from_slice(net.params().as_slice());
-                        barrier.wait();
-                        // Step (5): master folds Σ Wᵢ into W̄ once, in order.
-                        if w == 0 {
-                            let mut c = center.write().unwrap();
-                            let p = cfg.workers as f32;
-                            let scale = cfg.eta * cfg.rho;
-                            let mut sum = vec![0.0f32; n];
-                            for slot in slots.iter() {
-                                easgd_tensor::ops::add_assign(&mut sum, &slot.lock().unwrap());
-                            }
-                            for (ci, si) in c.iter_mut().zip(sum.iter()) {
-                                *ci += scale * (si - p * *ci);
-                            }
-                        }
-                        // Step (4): worker update with the pre-round W̄_t.
-                        elastic_worker_update(
-                            cfg.eta,
-                            cfg.rho,
-                            net.params_mut().as_mut_slice(),
-                            &grad,
-                            &snapshot,
-                        );
-                        barrier.wait();
-                    }
-                    last_loss
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    let run = run_worker_loop(proto, train, cfg, SALT_PHI, |shard, local| {
+        let w = shard.worker();
+        for _ in 0..cfg.iterations {
+            // Steps (1)+(2): gradient + read of W̄_t (overlappable).
+            local.snapshot_center(&center.read().unwrap());
+            let batch = shard.next_batch(cfg.batch);
+            local.forward_backward(&batch);
+            // Step (3): publish Wᵢ for the reduction.
+            slots[w].lock().unwrap().copy_from_slice(local.params());
+            barrier.wait();
+            // Step (5): master folds Σ Wᵢ into W̄ once, in order.
+            if w == 0 {
+                let mut c = center.write().unwrap();
+                let mut sum = vec![0.0f32; n];
+                for slot in slots.iter() {
+                    easgd_tensor::ops::add_assign(&mut sum, &slot.lock().unwrap());
+                }
+                rule.center_dilution(&mut c, &sum, cfg.workers);
+            }
+            // Step (4): worker update with the pre-round W̄_t.
+            local.elastic_step(&rule);
+            barrier.wait();
+        }
     });
-    let wall = start.elapsed().as_secs_f64();
-    let center_w = center.read().unwrap().clone();
-    finish("Sync EASGD", proto, &center_w, test, cfg, wall, losses)
+    let center_w = center.into_inner().unwrap();
+    RunAssembler::new("Sync EASGD", proto, test, cfg.iterations)
+        .wall(run.wall_seconds)
+        .worker_losses(run.worker_losses)
+        .loss_trace(run.loss_trace)
+        .finish(&center_w)
 }
 
 #[cfg(test)]
@@ -529,6 +319,7 @@ mod tests {
         // §8: "Sync EASGD … deterministic and reproducible."
         assert_eq!(a.accuracy, b.accuracy);
         assert_eq!(a.final_loss, b.final_loss);
+        assert_eq!(a.center_hash, b.center_hash);
     }
 
     #[test]
@@ -565,5 +356,14 @@ mod tests {
         let cfg = quick_cfg(100).with_workers(1);
         let r = async_sgd(&proto, &train, &test, &cfg);
         assert!(r.accuracy > 0.4, "acc = {}", r.accuracy);
+    }
+
+    #[test]
+    fn runs_populate_loss_trace_and_center_hash() {
+        let (proto, train, test) = setup();
+        let cfg = quick_cfg(10).with_workers(1);
+        let r = async_easgd(&proto, &train, &test, &cfg);
+        assert_eq!(r.loss_trace.len(), 10);
+        assert_ne!(r.center_hash, 0);
     }
 }

@@ -16,16 +16,15 @@
 //!    Algorithm 3); only the non-hidden residual is charged.
 
 use crate::config::TrainConfig;
-use crate::metrics::{RunResult, TracePoint};
-use crate::original::{decode_batch, encode_batch};
-use crate::shared::evaluate_center;
+use crate::engine::{
+    additive_rng, assemble_sim, ElasticRule, LocalStep, RankOutcome, TraceRecorder,
+};
+use crate::metrics::RunResult;
 use crate::simcost::SimCosts;
-use easgd_cluster::{ClusterConfig, Comm, RankReport, TimeCategory, VirtualCluster};
+use easgd_cluster::{BatchMsg, ClusterConfig, Comm, TimeCategory, VirtualCluster};
 use easgd_data::Dataset;
 use easgd_hardware::net::AlphaBeta;
 use easgd_nn::{CommSchedule, LayoutKind, Network};
-use easgd_tensor::ops::elastic_worker_update;
-use easgd_tensor::{Rng, Tensor};
 use std::time::Instant;
 
 const TAG_DATA: u32 = 10;
@@ -52,18 +51,6 @@ impl SyncVariant {
     }
 }
 
-enum RankOut {
-    Center {
-        center: Vec<f32>,
-        report: RankReport,
-        trace: Vec<TracePoint>,
-    },
-    Other {
-        report: RankReport,
-        last_loss: f32,
-    },
-}
-
 /// Runs Sync EASGD (variant per `variant`) on a simulated
 /// `cfg.workers`-GPU node. `cfg.iterations` bulk-synchronous rounds; in
 /// each round every GPU computes one batch gradient. When
@@ -81,6 +68,7 @@ pub fn sync_easgd_sim(
     cfg.validate();
     let g = cfg.workers;
     let cluster = ClusterConfig::new(g + 1);
+    let rule = ElasticRule::from_config(cfg);
     let center_rank = match variant {
         SyncVariant::Easgd1 => 0,
         _ => 1,
@@ -106,37 +94,36 @@ pub fn sync_easgd_sim(
 
     let outs = VirtualCluster::run(&cluster, |comm: &mut Comm| {
         let me = comm.rank();
-        let mut rng = Rng::new(cfg.seed.wrapping_add(me as u64));
+        let mut rng = additive_rng(cfg.seed, me as u64);
         let mut center = proto.params().as_slice().to_vec();
         let n = center.len();
-        let mut net = (me != 0).then(|| proto.clone());
-        let mut grad = vec![0.0f32; n];
-        let mut last_loss = f32::NAN;
-        let mut trace = Vec::new();
+        // Rank 0 is the data-feeding CPU; GPUs carry a network replica.
+        let mut local = (me != 0).then(|| LocalStep::new(proto));
+        let mut recorder = TraceRecorder::new(trace_every);
         for round in 0..cfg.iterations {
             // --- data path: CPU ships one batch per GPU; the copies are
             // issued asynchronously and overlap, so one is charged.
-            if me == 0 {
-                for j in 1..=g {
-                    let batch = train.sample_batch(&mut rng, cfg.batch);
-                    let payload = encode_batch(batch.images.as_slice(), &batch.labels);
-                    let cost = if j == 1 { costs.data_time() } else { 0.0 };
-                    comm.send_costed(j, TAG_DATA, &payload, cost, TimeCategory::CpuGpuData);
+            match local.as_mut() {
+                None => {
+                    for j in 1..=g {
+                        let batch = train.sample_batch(&mut rng, cfg.batch);
+                        let payload = BatchMsg::encode(batch.images.as_slice(), &batch.labels);
+                        let cost = if j == 1 { costs.data_time() } else { 0.0 };
+                        comm.send_costed(j, TAG_DATA, &payload, cost, TimeCategory::CpuGpuData);
+                    }
+                    // The CPU waits out the GPUs' compute phase (Table 3
+                    // attributes that window to for/backward).
+                    comm.charge(TimeCategory::ForwardBackward, costs.fwd_bwd);
                 }
-                // The CPU waits out the GPUs' compute phase (Table 3
-                // attributes that window to for/backward).
-                comm.charge(TimeCategory::ForwardBackward, costs.fwd_bwd);
-            } else {
-                let net = net.as_mut().unwrap();
-                let payload = comm.recv(0, TAG_DATA, TimeCategory::Other);
-                let (labels, pixels) = decode_batch(&payload, cfg.batch);
-                let mut shape = vec![cfg.batch];
-                shape.extend_from_slice(net.input_shape());
-                let x = Tensor::from_vec(shape, pixels.to_vec());
-                let stats = net.forward_backward(&x, &labels);
-                last_loss = stats.loss;
-                comm.charge(TimeCategory::ForwardBackward, costs.fwd_bwd);
-                grad.copy_from_slice(net.grads().as_slice());
+                Some(local) => {
+                    let payload = comm.recv(0, TAG_DATA, TimeCategory::Other);
+                    let (labels, pixels) = match BatchMsg::decode(&payload, cfg.batch) {
+                        Ok(x) => x,
+                        Err(e) => panic!("batch codec (rank {me}): {e}"),
+                    };
+                    local.forward_backward_flat(cfg.batch, pixels, &labels);
+                    comm.charge(TimeCategory::ForwardBackward, costs.fwd_bwd);
+                }
             }
             // --- step (2): broadcast W̄_t from the center holder.
             let cat = if me == 0 && center_rank != 0 {
@@ -146,18 +133,14 @@ pub fn sync_easgd_sim(
             };
             let center_t = comm.broadcast_costed(center_rank, &center, bcast_cost, cat);
             // --- step (3): reduce Σ W_i (CPU contributes zeros).
-            let contribution = match &net {
-                Some(net) => net.params().as_slice().to_vec(),
+            let contribution = match &local {
+                Some(local) => local.params().to_vec(),
                 None => vec![0.0f32; n],
             };
             let weight_sum = comm.reduce_sum_costed(&contribution, reduce_cost, cat);
             // --- step (5): center update, Equation (2) with the full sum.
             if me == center_rank {
-                let scale = cfg.eta * cfg.rho;
-                let p = g as f32;
-                for i in 0..n {
-                    center[i] += scale * (weight_sum[i] - p * center[i]);
-                }
+                rule.center_dilution(&mut center, &weight_sum, g);
                 let (update_cat, update_cost) = match variant {
                     SyncVariant::Easgd1 => (TimeCategory::CpuUpdate, costs.cpu_update),
                     _ => (TimeCategory::GpuUpdate, costs.gpu_update),
@@ -168,98 +151,46 @@ pub fn sync_easgd_sim(
                 // broadcast (only the center holder's copy is ever used,
                 // but the state must not diverge).
                 center.copy_from_slice(&center_t);
-                let scale = cfg.eta * cfg.rho;
-                let p = g as f32;
-                for i in 0..n {
-                    center[i] += scale * (weight_sum[i] - p * center[i]);
-                }
+                rule.center_dilution(&mut center, &weight_sum, g);
             }
             // --- step (4): worker update, Equation (1) against W̄_t.
-            if let Some(net) = net.as_mut() {
-                elastic_worker_update(
-                    cfg.eta,
-                    cfg.rho,
-                    net.params_mut().as_mut_slice(),
-                    &grad,
-                    &center_t,
-                );
+            if let Some(local) = local.as_mut() {
+                local.elastic_step_against(&rule, &center_t);
                 comm.charge(TimeCategory::GpuUpdate, costs.gpu_update);
             }
-            if me == center_rank && trace_every > 0 && (round + 1) % trace_every == 0 {
-                trace.push(TracePoint {
-                    iteration: round + 1,
-                    seconds: comm.now(),
-                    accuracy: evaluate_center(proto, &center, test),
-                });
+            if me == center_rank && recorder.due(round) {
+                let now = comm.now();
+                recorder.record(round, now, proto, &center, test);
             }
         }
+        let (last_loss, loss_trace) = match local {
+            Some(mut l) => (l.last_loss(), l.take_loss_trace()),
+            None => (f32::NAN, Vec::new()),
+        };
         if me == center_rank {
-            RankOut::Center {
+            RankOutcome::Center {
                 center,
                 report: comm.report(),
-                trace,
+                trace: recorder.into_points(),
+                loss_trace,
             }
         } else {
-            RankOut::Other {
-                report: comm.report(),
+            RankOutcome::Worker {
+                report: Some(comm.report()),
                 last_loss,
+                loss_trace,
             }
         }
     });
 
-    assemble(
+    assemble_sim(
         variant.label(),
         proto,
         test,
-        cfg,
-        outs,
+        cfg.iterations,
         wall_start.elapsed().as_secs_f64(),
+        outs,
     )
-}
-
-fn assemble(
-    method: &str,
-    proto: &Network,
-    test: &Dataset,
-    cfg: &TrainConfig,
-    outs: Vec<RankOut>,
-    wall: f64,
-) -> RunResult {
-    let mut center = Vec::new();
-    let mut breakdown = None;
-    let mut sim = 0.0f64;
-    let mut losses = Vec::new();
-    let mut trace = Vec::new();
-    for o in outs {
-        match o {
-            RankOut::Center {
-                center: c,
-                report,
-                trace: tr,
-            } => {
-                center = c;
-                sim = sim.max(report.time);
-                breakdown = Some(report.breakdown);
-                trace = tr;
-            }
-            RankOut::Other { report, last_loss } => {
-                sim = sim.max(report.time);
-                if last_loss.is_finite() {
-                    losses.push(last_loss);
-                }
-            }
-        }
-    }
-    RunResult {
-        method: method.to_string(),
-        iterations: cfg.iterations,
-        wall_seconds: wall,
-        sim_seconds: Some(sim),
-        accuracy: evaluate_center(proto, &center, test),
-        final_loss: losses.iter().sum::<f32>() / losses.len().max(1) as f32,
-        breakdown,
-        trace,
-    }
 }
 
 /// Sync SGD: plain data-parallel SGD with a summed-gradient exchange —
@@ -296,41 +227,37 @@ pub fn sync_sgd_sim(
     let outs = VirtualCluster::run(&cluster, |comm: &mut Comm| {
         let me = comm.rank();
         let shard = &shards[me];
-        let mut rng = Rng::new(cfg.seed.wrapping_add(1 + me as u64));
-        let mut net = proto.clone();
+        let mut rng = additive_rng(cfg.seed, 1 + me as u64);
+        let mut local = LocalStep::new(proto);
         let scale = cfg.eta / g as f32;
-        let mut last_loss = f32::NAN;
-        let mut trace = Vec::new();
+        let mut recorder = TraceRecorder::new(trace_every);
         for round in 0..cfg.iterations {
             let batch = shard.sample_batch(&mut rng, cfg.batch);
-            let stats = net.forward_backward(&batch.images, &batch.labels);
-            last_loss = stats.loss;
+            local.forward_backward(&batch);
             comm.charge(TimeCategory::ForwardBackward, fwd_bwd_cost);
-            let grad_sum = comm.reduce_sum_costed(
-                net.grads().as_slice(),
-                allreduce_cost,
-                TimeCategory::GpuGpuParam,
-            );
-            easgd_tensor::ops::axpy(-scale, &grad_sum, net.params_mut().as_mut_slice());
+            let grad_sum =
+                comm.reduce_sum_costed(local.grad(), allreduce_cost, TimeCategory::GpuGpuParam);
+            easgd_tensor::ops::axpy(-scale, &grad_sum, local.params_mut());
             comm.charge(TimeCategory::GpuUpdate, update_cost);
-            if me == 0 && trace_every > 0 && (round + 1) % trace_every == 0 {
-                trace.push(TracePoint {
-                    iteration: round + 1,
-                    seconds: comm.now(),
-                    accuracy: evaluate_center(proto, net.params().as_slice(), test),
-                });
+            if me == 0 && recorder.due(round) {
+                let now = comm.now();
+                recorder.record(round, now, proto, local.params(), test);
             }
         }
+        let last_loss = local.last_loss();
+        let loss_trace = local.take_loss_trace();
         if me == 0 {
-            RankOut::Center {
-                center: net.params().as_slice().to_vec(),
+            RankOutcome::Center {
+                center: local.params().to_vec(),
                 report: comm.report(),
-                trace,
+                trace: recorder.into_points(),
+                loss_trace,
             }
         } else {
-            RankOut::Other {
-                report: comm.report(),
+            RankOutcome::Worker {
+                report: Some(comm.report()),
                 last_loss,
+                loss_trace,
             }
         }
     });
@@ -339,13 +266,13 @@ pub fn sync_sgd_sim(
         LayoutKind::Packed => "Sync SGD (packed)",
         LayoutKind::PerLayer => "Sync SGD (per-layer)",
     };
-    assemble(
+    assemble_sim(
         label,
         proto,
         test,
-        cfg,
-        outs,
+        cfg.iterations,
         wall_start.elapsed().as_secs_f64(),
+        outs,
     )
 }
 
@@ -528,5 +455,6 @@ mod tests {
         let b = sync_easgd_sim(&proto, &train, &test, &c, &costs, SyncVariant::Easgd3, 0);
         assert_eq!(a.accuracy, b.accuracy);
         assert_eq!(a.sim_seconds, b.sim_seconds);
+        assert_eq!(a.center_hash, b.center_hash);
     }
 }

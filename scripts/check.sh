@@ -23,6 +23,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> easgd-xtask lint"
 cargo run -q -p easgd-xtask -- lint
 
+echo "==> golden-trace determinism suite (release, the recording profile)"
+cargo test -q --release --test golden_traces
+
 echo "==> easgd-xtask explore"
 cargo run -q -p easgd-xtask -- explore
 

@@ -32,9 +32,10 @@
 //! let (train, test) = task.train_test(600, 200, 2);
 //! let net = lenet_tiny(3);
 //!
-//! // Train with the paper's fastest method on 4 workers.
+//! // Train with the paper's fastest method on 4 workers; every method
+//! // in the Figure 9 lineage dispatches through the same registry.
 //! let cfg = TrainConfig::figure6(100);
-//! let result = sync_easgd_shared(&net, &train, &test, &cfg);
+//! let result = run_method(MethodId::SyncEasgd, &net, &train, &test, &cfg);
 //! assert!(result.accuracy > 0.3);
 //! ```
 
@@ -49,9 +50,9 @@ pub use easgd_tensor as tensor;
 pub mod prelude {
     pub use easgd::{
         async_easgd, async_measgd, async_msgd, async_sgd, hogwild_easgd, hogwild_sgd,
-        knl_partition_run, original_easgd_sim, original_easgd_turns, sync_easgd_shared,
-        sync_easgd_sim, sync_sgd_sim, OriginalMode, RunResult, SimCosts, SyncVariant, TrainConfig,
-        WeakScalingModel,
+        knl_partition_run, original_easgd_sim, original_easgd_turns, run_method, sync_easgd_shared,
+        sync_easgd_sim, sync_sgd_sim, MethodId, OriginalMode, RunResult, SimCosts, SyncVariant,
+        TrainConfig, WeakScalingModel,
     };
     pub use easgd_cluster::{ClusterConfig, Comm, SimClock, TimeCategory, VirtualCluster};
     pub use easgd_data::{Dataset, SyntheticSpec, SyntheticTask};
