@@ -1,0 +1,580 @@
+// xtask: allow(wall-clock) — a benchmark harness measures real time by
+// definition; the pragma is confined to this bench timer binary.
+//! Exchange-path perf harness.
+//!
+//! Measures the zero-allocation exchange path of ISSUE 4 — the fused
+//! `elastic_exchange` kernel against the two-pass copy+Eq(1) composition
+//! it replaced, the full pooled exchange step against the old
+//! `Vec`-returning shim APIs on a live 2-rank [`VirtualCluster`], the
+//! pool's allocation and bytes-moved counters, and the executable tree
+//! reduce against the flat gather-sum at 8 ranks — and emits
+//! `BENCH_comm.json` at the repo root.
+//!
+//! ```text
+//! cargo run --release -p easgd-bench --bin comm            # full run, writes JSON
+//! cargo run --release -p easgd-bench --bin comm -- --smoke # short run + validate checked-in JSON
+//! cargo run --release -p easgd-bench --bin comm -- --out p # write JSON to `p`
+//! ```
+//!
+//! Acceptance (checked in, re-validated by `--smoke` in CI):
+//! steady-state allocations per pooled exchange step must be 0, the
+//! fused+pooled step must be ≥ 2× the shim path on the VGG-sized arena,
+//! and the tree reduce must cost no more simulated time than the flat
+//! gather at 8 ranks.
+
+use easgd_bench::arg_value;
+use easgd_cluster::collectives::{flat_gather_sum, tree_reduce_sum};
+use easgd_cluster::{ClusterConfig, Comm, PoolStats, TimeCategory, VirtualCluster};
+use easgd_hardware::AlphaBeta;
+use easgd_tensor::{ops, Rng};
+use std::time::Instant;
+
+/// VGG-conv-class packed arena (matches `kernels.rs`'s `vgg_conv_arena`).
+const VGG_ARENA: usize = 14_710_464;
+const ETA: f32 = 0.05;
+const RHO: f32 = 0.3;
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = Rng::new(seed);
+    (0..n).map(|_| rng.uniform_in(-1.0, 1.0)).collect()
+}
+
+/// One measured point of the trajectory.
+struct Entry {
+    bench: &'static str,
+    shape: String,
+    implementation: &'static str,
+    ms: f64,
+    /// Moved elements per iteration.
+    work: u64,
+    /// `"melem_per_s"` (wall) or `"sim_ms"`-style simulated entries keep
+    /// the same unit for uniformity.
+    rate_unit: &'static str,
+}
+
+impl Entry {
+    fn rate(&self) -> f64 {
+        self.work as f64 / (self.ms / 1e3).max(1e-12) / 1e6
+    }
+}
+
+/// Best-of-several wall time for `f`, in milliseconds. In smoke mode a
+/// single iteration (compile-and-run sanity, no timing claims).
+fn time_ms(smoke: bool, mut f: impl FnMut()) -> f64 {
+    if smoke {
+        let t = Instant::now();
+        f();
+        return t.elapsed().as_secs_f64() * 1e3;
+    }
+    let mut best = f64::INFINITY;
+    let mut spent = 0.0;
+    let mut iters = 0u32;
+    while iters < 3 || (spent < 0.6 && iters < 40) {
+        let t = Instant::now();
+        f();
+        let s = t.elapsed().as_secs_f64();
+        best = best.min(s);
+        spent += s;
+        iters += 1;
+    }
+    best * 1e3
+}
+
+/// Interleaved A/B measurement (see `kernels.rs`): alternating the two
+/// sides spreads cache state and thermal drift over both, and the
+/// per-side minimum estimates true cost under transient load.
+fn time_pair_ms(
+    smoke: bool,
+    budget_s: f64,
+    mut fa: impl FnMut(),
+    mut fb: impl FnMut(),
+) -> (f64, f64) {
+    if smoke {
+        let (a, b) = (time_ms(true, &mut fa), time_ms(true, &mut fb));
+        return (a, b);
+    }
+    let mut best_a = f64::INFINITY;
+    let mut best_b = f64::INFINITY;
+    let mut spent = 0.0;
+    let mut rounds = 0u32;
+    while rounds < 5 || (spent < budget_s && rounds < 60) {
+        for (best, f) in [
+            (&mut best_a, &mut fa as &mut dyn FnMut()),
+            (&mut best_b, &mut fb),
+        ] {
+            let t = Instant::now();
+            f();
+            let s = t.elapsed().as_secs_f64();
+            *best = best.min(s);
+            spent += s;
+        }
+        rounds += 1;
+    }
+    (best_a * 1e3, best_b * 1e3)
+}
+
+/// Kernel-level rows: the fused exchange sweep vs the two-pass
+/// composition, and the fused dilution-from vs copy-then-dilute.
+fn bench_exchange_kernels(entries: &mut Vec<Entry>, smoke: bool) -> f64 {
+    let n = if smoke { 65_536 } else { VGG_ARENA };
+    let grad = rand_vec(n, 1);
+    let center = rand_vec(n, 2);
+    let mut local_a = rand_vec(n, 3);
+    let mut local_b = local_a.clone();
+    let mut contribution_a = vec![0.0f32; n];
+    let mut contribution_b = vec![0.0f32; n];
+
+    let (two_pass_ms, fused_ms) = time_pair_ms(
+        smoke,
+        6.0,
+        || {
+            contribution_a.copy_from_slice(&local_a);
+            ops::elastic_worker_update(ETA, RHO, &mut local_a, &grad, &center);
+        },
+        || ops::elastic_exchange(ETA, RHO, &mut local_b, &mut contribution_b, &grad, &center),
+    );
+    for (implementation, ms) in [("two_pass_copy_eq1", two_pass_ms), ("fused", fused_ms)] {
+        entries.push(Entry {
+            bench: "exchange_kernel",
+            shape: format!("vgg_arena/{n}"),
+            implementation,
+            ms,
+            work: n as u64,
+            rate_unit: "melem_per_s",
+        });
+    }
+
+    let center_t = rand_vec(n, 4);
+    let sum = rand_vec(n, 5);
+    let mut out_a = vec![0.0f32; n];
+    let mut out_b = vec![0.0f32; n];
+    let (copy_dilute_ms, dilute_from_ms) = time_pair_ms(
+        smoke,
+        4.0,
+        || {
+            out_a.copy_from_slice(&center_t);
+            ops::center_dilution(ETA, RHO, &mut out_a, &sum, 4);
+        },
+        || ops::center_dilution_from(ETA, RHO, &center_t, &sum, 4, &mut out_b),
+    );
+    for (implementation, ms) in [
+        ("copy_then_dilute", copy_dilute_ms),
+        ("dilute_from", dilute_from_ms),
+    ] {
+        entries.push(Entry {
+            bench: "dilution_kernel",
+            shape: format!("vgg_arena/{n}"),
+            implementation,
+            ms,
+            work: n as u64,
+            rate_unit: "melem_per_s",
+        });
+    }
+    if fused_ms > 0.0 {
+        two_pass_ms / fused_ms
+    } else {
+        0.0
+    }
+}
+
+/// What the 2-rank full-exchange-step measurement returns (from rank 0).
+struct StepOutcome {
+    old_ms: f64,
+    new_ms: f64,
+    steps: u64,
+    old_pool: PoolStats,
+    new_pool: PoolStats,
+}
+
+/// One Sync-EASGD-shaped exchange step through the seed's exchange path:
+/// broadcast the center (fresh result vector), copy the local weights out
+/// for the reduce, apply Eq (1) as a second pass, reduce to a fresh sum
+/// vector, dilute.
+///
+/// The seed's rendezvous consumed an *owned* input (`data.to_vec()`
+/// inside `broadcast_costed`/`reduce_sum_costed`) and every reader cloned
+/// the result; today's `Vec`-returning shims already route through the
+/// pooled slot path, so the input copies the seed paid are restored here
+/// explicitly to keep the baseline honest.
+fn old_step(comm: &mut Comm, local: &mut [f32], grad: &[f32], center: &mut Vec<f32>) {
+    let workers = comm.size();
+    let bcast_in = if comm.rank() == 0 {
+        center.to_vec()
+    } else {
+        Vec::new()
+    };
+    let center_t = comm.broadcast_costed(0, &bcast_in, 0.0, TimeCategory::GpuGpuParam);
+    let contribution = local.to_vec();
+    ops::elastic_worker_update(ETA, RHO, local, grad, &center_t);
+    let reduce_in = contribution.to_vec();
+    let sum = comm.reduce_sum_costed(&reduce_in, 0.0, TimeCategory::GpuGpuParam);
+    *center = center_t;
+    ops::center_dilution(ETA, RHO, center, &sum, workers);
+}
+
+/// The same step on the pooled+fused path: collectives write into
+/// persistent scratch, the fused kernel publishes and pulls in one sweep,
+/// and the dilution writes the next center without the intermediate copy.
+#[allow(clippy::too_many_arguments)]
+fn new_step(
+    comm: &mut Comm,
+    local: &mut [f32],
+    grad: &[f32],
+    center: &mut [f32],
+    center_t: &mut Vec<f32>,
+    contribution: &mut [f32],
+    sum: &mut Vec<f32>,
+) {
+    let workers = comm.size();
+    comm.broadcast_costed_into(0, center, 0.0, TimeCategory::GpuGpuParam, center_t);
+    ops::elastic_exchange(ETA, RHO, local, contribution, grad, center_t);
+    comm.reduce_sum_costed_into(contribution, 0.0, TimeCategory::GpuGpuParam, sum);
+    ops::center_dilution_from(ETA, RHO, center_t, sum, workers, center);
+}
+
+/// Full-exchange-step comparison on a live 2-rank cluster, interleaved
+/// old/new inside one run; also snapshots the pool counters over the
+/// measured windows for the allocs-per-step and bytes-moved columns.
+fn bench_exchange_step(entries: &mut Vec<Entry>, smoke: bool) -> StepOutcome {
+    let n = if smoke { 65_536 } else { VGG_ARENA };
+    let rounds: u64 = if smoke { 1 } else { 6 };
+    let cfg = ClusterConfig::new(2);
+    let outs = VirtualCluster::run(&cfg, |comm| {
+        let me = comm.rank() as u64;
+        let grad = rand_vec(n, 10 + me);
+        let mut local = rand_vec(n, 20 + me);
+        let mut center = rand_vec(n, 30);
+        let mut center_t: Vec<f32> = Vec::new();
+        let mut contribution = vec![0.0f32; n];
+        let mut sum: Vec<f32> = Vec::new();
+
+        // Warm both paths (grows persistent scratch and gate slots), then
+        // park spares: the pool's steady state needs one buffer of slack
+        // per pipeline stage (the gate retires its combine buffer on the
+        // *last* read, which can land after the fastest rank has already
+        // started the next step).
+        for _ in 0..2 {
+            old_step(comm, &mut local, &grad, &mut center);
+            new_step(
+                comm,
+                &mut local,
+                &grad,
+                &mut center,
+                &mut center_t,
+                &mut contribution,
+                &mut sum,
+            );
+        }
+        if comm.rank() == 0 {
+            let spares: Vec<_> = (0..4).map(|_| comm.take_buffer(n)).collect();
+            for s in spares {
+                comm.recycle_buffer(s);
+            }
+        }
+        comm.barrier();
+
+        // Pool counters over a pure-old window, then a pure-new window.
+        let before_old = comm.pool_stats();
+        for _ in 0..rounds {
+            old_step(comm, &mut local, &grad, &mut center);
+        }
+        comm.barrier();
+        let before_new = comm.pool_stats();
+        let old_pool = before_new.since(&before_old);
+        for _ in 0..rounds {
+            new_step(
+                comm,
+                &mut local,
+                &grad,
+                &mut center,
+                &mut center_t,
+                &mut contribution,
+                &mut sum,
+            );
+        }
+        comm.barrier();
+        let new_pool = comm.pool_stats().since(&before_new);
+
+        // Interleaved wall timing, min per side (both ranks step in
+        // lockstep through the collectives, so rank 0's clock stands for
+        // the pair).
+        let mut best_old = f64::INFINITY;
+        let mut best_new = f64::INFINITY;
+        let timing_rounds = if smoke { 1 } else { 8 };
+        for _ in 0..timing_rounds {
+            let t = Instant::now();
+            old_step(comm, &mut local, &grad, &mut center);
+            best_old = best_old.min(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            new_step(
+                comm,
+                &mut local,
+                &grad,
+                &mut center,
+                &mut center_t,
+                &mut contribution,
+                &mut sum,
+            );
+            best_new = best_new.min(t.elapsed().as_secs_f64());
+        }
+        (best_old * 1e3, best_new * 1e3, old_pool, new_pool)
+    });
+    let (old_ms, new_ms, old_pool, new_pool) = (outs[0].0, outs[0].1, outs[0].2, outs[0].3);
+
+    for (implementation, ms) in [("seed_two_pass", old_ms), ("pooled_fused", new_ms)] {
+        entries.push(Entry {
+            bench: "exchange_step_2rank",
+            shape: format!("vgg_arena/{n}"),
+            implementation,
+            ms,
+            work: n as u64,
+            rate_unit: "melem_per_s",
+        });
+    }
+    StepOutcome {
+        old_ms,
+        new_ms,
+        steps: rounds,
+        old_pool,
+        new_pool,
+    }
+}
+
+/// Simulated-time comparison: executable binary-tree reduce vs the flat
+/// gather-sum at 8 ranks over a PCIe-class link. Deterministic (virtual
+/// clocks), so one run each suffices; `ms` holds *simulated* millis.
+fn bench_tree_vs_flat(entries: &mut Vec<Entry>, smoke: bool) -> (f64, f64) {
+    let n = if smoke { 4_096 } else { 1 << 20 };
+    let p = 8;
+    let run = |use_tree: bool| -> f64 {
+        let cfg = ClusterConfig::new(p).with_link(AlphaBeta::pcie_gen3_x16());
+        let times = VirtualCluster::run(&cfg, |comm| {
+            let mut data = rand_vec(n, 40 + comm.rank() as u64);
+            if use_tree {
+                tree_reduce_sum(comm, 0, &mut data, TimeCategory::GpuGpuParam);
+            } else {
+                flat_gather_sum(comm, 0, &mut data, TimeCategory::GpuGpuParam);
+            }
+            comm.now()
+        });
+        times[0]
+    };
+    let (tree_s, flat_s) = (run(true), run(false));
+    for (implementation, s) in [("tree_reduce", tree_s), ("flat_gather_sum", flat_s)] {
+        entries.push(Entry {
+            bench: "reduce_p8_simulated",
+            shape: format!("{p}ranks/{n}"),
+            implementation,
+            ms: s * 1e3,
+            work: n as u64,
+            rate_unit: "melem_per_s",
+        });
+    }
+    (tree_s, flat_s)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+struct Acceptance {
+    fused_kernel_speedup: f64,
+    step_speedup: f64,
+    pooled_allocs_per_step: f64,
+    seed_allocs_per_step: f64,
+    pooled_mb_per_step: f64,
+    seed_mb_per_step: f64,
+    tree_over_flat: f64,
+}
+
+fn render_json(entries: &[Entry], acc: &Acceptance) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"generated_by\": \"cargo run --release -p easgd-bench --bin comm\",\n");
+    out.push_str(&format!(
+        "  \"threads\": {},\n",
+        easgd_tensor::par::max_threads()
+    ));
+    out.push_str("  \"acceptance\": {\n");
+    out.push_str(&format!(
+        "    \"fused_kernel_speedup_vs_two_pass\": {:.2},\n",
+        acc.fused_kernel_speedup
+    ));
+    out.push_str(&format!(
+        "    \"pooled_fused_step_speedup_vs_seed\": {:.2},\n",
+        acc.step_speedup
+    ));
+    out.push_str(&format!(
+        "    \"pooled_allocs_per_exchange_step\": {:.2},\n",
+        acc.pooled_allocs_per_step
+    ));
+    out.push_str(&format!(
+        "    \"seed_allocs_per_exchange_step\": {:.2},\n",
+        acc.seed_allocs_per_step
+    ));
+    out.push_str(&format!(
+        "    \"pooled_bytes_copied_mb_per_step\": {:.2},\n",
+        acc.pooled_mb_per_step
+    ));
+    out.push_str(&format!(
+        "    \"seed_bytes_copied_mb_per_step\": {:.2},\n",
+        acc.seed_mb_per_step
+    ));
+    out.push_str(&format!(
+        "    \"tree_over_flat_time_ratio_p8\": {:.3}\n",
+        acc.tree_over_flat
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"shape\": \"{}\", \"impl\": \"{}\", \"ms\": {:.4}, \"{}\": {:.3}}}{}\n",
+            json_escape(e.bench),
+            json_escape(&e.shape),
+            json_escape(e.implementation),
+            e.ms,
+            e.rate_unit,
+            e.rate(),
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Pulls `"key": <number>` out of the checked-in JSON (hand-rolled like
+/// the writer; the bench has no JSON dependency by design).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// `--smoke` also re-validates the checked-in acceptance ratios, so CI
+/// fails if someone regenerates `BENCH_comm.json` below the bar (or
+/// forgets to check it in).
+fn validate_checked_in(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let allocs = json_number(&text, "pooled_allocs_per_exchange_step")
+        .ok_or("missing pooled_allocs_per_exchange_step")?;
+    let speedup = json_number(&text, "pooled_fused_step_speedup_vs_seed")
+        .ok_or("missing pooled_fused_step_speedup_vs_seed")?;
+    let ratio = json_number(&text, "tree_over_flat_time_ratio_p8")
+        .ok_or("missing tree_over_flat_time_ratio_p8")?;
+    if allocs != 0.0 {
+        return Err(format!(
+            "pooled_allocs_per_exchange_step = {allocs}, want 0"
+        ));
+    }
+    if speedup < 2.0 {
+        return Err(format!(
+            "pooled_fused_step_speedup_vs_seed = {speedup}, want >= 2.0"
+        ));
+    }
+    if ratio > 1.0 {
+        return Err(format!(
+            "tree_over_flat_time_ratio_p8 = {ratio}, want <= 1.0"
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut entries = Vec::new();
+
+    let fused_kernel_speedup = bench_exchange_kernels(&mut entries, smoke);
+    let step = bench_exchange_step(&mut entries, smoke);
+    let (tree_s, flat_s) = bench_tree_vs_flat(&mut entries, smoke);
+
+    let per_step = |stats: &PoolStats, steps: u64| {
+        let s = steps.max(1) as f64;
+        (
+            stats.allocations() as f64 / s,
+            stats.bytes_copied as f64 / s / (1 << 20) as f64,
+        )
+    };
+    let (pooled_allocs, pooled_mb) = per_step(&step.new_pool, step.steps);
+    let (shim_allocs, shim_mb) = per_step(&step.old_pool, step.steps);
+    let acc = Acceptance {
+        fused_kernel_speedup,
+        step_speedup: if step.new_ms > 0.0 {
+            step.old_ms / step.new_ms
+        } else {
+            0.0
+        },
+        pooled_allocs_per_step: pooled_allocs,
+        seed_allocs_per_step: shim_allocs,
+        pooled_mb_per_step: pooled_mb,
+        seed_mb_per_step: shim_mb,
+        tree_over_flat: if flat_s > 0.0 { tree_s / flat_s } else { 0.0 },
+    };
+
+    println!(
+        "{:<22} {:<22} {:<18} {:>10} {:>12}",
+        "bench", "shape", "impl", "ms", "rate"
+    );
+    for e in &entries {
+        println!(
+            "{:<22} {:<22} {:<18} {:>10.3} {:>9.2} {}",
+            e.bench,
+            e.shape,
+            e.implementation,
+            e.ms,
+            e.rate(),
+            e.rate_unit,
+        );
+    }
+    println!(
+        "\nfused kernel speedup {:.2}x | step speedup {:.2}x | allocs/step pooled {:.2} seed {:.2} | copied MB/step pooled {:.2} seed {:.2} | tree/flat {:.3}",
+        acc.fused_kernel_speedup,
+        acc.step_speedup,
+        acc.pooled_allocs_per_step,
+        acc.seed_allocs_per_step,
+        acc.pooled_mb_per_step,
+        acc.seed_mb_per_step,
+        acc.tree_over_flat,
+    );
+
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_comm.json");
+    let out_path = arg_value("--out").unwrap_or_else(|| default_out.to_string());
+    if smoke {
+        // Smoke runs must still hold the structural invariants that do
+        // not depend on timing.
+        if acc.pooled_allocs_per_step != 0.0 {
+            eprintln!(
+                "smoke: pooled path allocated ({} allocs/step)",
+                acc.pooled_allocs_per_step
+            );
+            std::process::exit(1);
+        }
+        if acc.tree_over_flat > 1.0 {
+            eprintln!(
+                "smoke: tree reduce slower than flat gather ({})",
+                acc.tree_over_flat
+            );
+            std::process::exit(1);
+        }
+        match validate_checked_in(&out_path) {
+            Ok(()) => println!("smoke run ok; checked-in {out_path} acceptance holds"),
+            Err(e) => {
+                eprintln!("checked-in {out_path} fails acceptance: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let json = render_json(&entries, &acc);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

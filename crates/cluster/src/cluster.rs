@@ -2,6 +2,7 @@
 
 use crate::channel;
 use crate::comm::{Comm, Message};
+use crate::pool::BufferPool;
 use easgd_hardware::collective as cost;
 use easgd_hardware::net::AlphaBeta;
 use std::collections::HashMap;
@@ -74,7 +75,9 @@ pub(crate) enum CollOp {
 }
 
 struct ResultEntry {
-    data: Arc<Vec<f32>>,
+    /// Combined data, in a pool-recycled buffer: readers copy out of it
+    /// under the gate lock, and the last reader returns it to the pool.
+    data: Vec<f32>,
     time: f64,
     pending_reads: usize,
 }
@@ -82,6 +85,8 @@ struct ResultEntry {
 struct GateInner {
     arrived: usize,
     generation: u64,
+    /// Per-rank input slots. Persistent across generations (cleared, not
+    /// replaced) so a steady-state rendezvous never allocates.
     inputs: Vec<Vec<f32>>,
     times: Vec<f64>,
     results: HashMap<u64, ResultEntry>,
@@ -151,60 +156,76 @@ impl Gate {
         }
     }
 
-    /// Enters the rendezvous. Blocks until all `size` ranks have entered
-    /// with the same `op`, then returns the combined data and the
-    /// simulated completion time.
-    pub(crate) fn rendezvous(
+    /// Enters the rendezvous and writes the combined result into `out`.
+    /// Blocks until all `size` ranks have entered with the same `op`,
+    /// then returns the simulated completion time.
+    ///
+    /// Zero-allocation in steady state: the caller's `input` is copied
+    /// into a persistent per-rank slot, the last arriver combines into a
+    /// buffer recycled through `pool`, every rank copies the result into
+    /// its own `out`, and the last reader returns the combine buffer to
+    /// the pool. The combine's FP order — accumulator seeded from rank
+    /// 0's input, then `+=` in rank order — is pinned by the golden-trace
+    /// tests.
+    // One parameter per rendezvous ingredient; bundling them into a
+    // struct would just move the argument list one call site up.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn rendezvous_into(
         &self,
+        pool: &BufferPool,
         rank: usize,
         time_in: f64,
-        input: Vec<f32>,
-        op: CollOp,
-    ) -> (Arc<Vec<f32>>, f64) {
-        self.rendezvous_costed(rank, time_in, input, op, None)
-    }
-
-    /// [`rendezvous`](Self::rendezvous) with an optional explicit cost
-    /// replacing the configured pricing. All ranks must pass the same
-    /// override.
-    pub(crate) fn rendezvous_costed(
-        &self,
-        rank: usize,
-        time_in: f64,
-        input: Vec<f32>,
+        input: &[f32],
         op: CollOp,
         cost_override: Option<f64>,
-    ) -> (Arc<Vec<f32>>, f64) {
+        out: &mut Vec<f32>,
+    ) -> f64 {
         let mut inner = self.lock_inner();
         let gen = inner.generation;
         inner.times[rank] = time_in;
-        inner.inputs[rank] = input;
+        let slot = &mut inner.inputs[rank];
+        slot.clear();
+        if slot.capacity() < input.len() {
+            pool.note_external_alloc();
+        }
+        slot.extend_from_slice(input);
+        pool.note_copy(input.len() * 4);
         inner.arrived += 1;
         if inner.arrived == self.size {
             let start = inner.times.iter().cloned().fold(0.0f64, f64::max);
             let bytes = inner.inputs.iter().map(|v| v.len()).max().unwrap_or(0) * 4;
             let data = match &op {
                 CollOp::Barrier => Vec::new(),
-                CollOp::Broadcast { root } => std::mem::take(&mut inner.inputs[*root]),
+                CollOp::Broadcast { root } => {
+                    let src = &inner.inputs[*root];
+                    let mut data = pool.take(src.len());
+                    data.extend_from_slice(src);
+                    pool.note_copy(src.len() * 4);
+                    data
+                }
                 CollOp::Concat => {
-                    let mut out = Vec::new();
+                    let total: usize = inner.inputs.iter().map(|v| v.len()).sum();
+                    let mut data = pool.take(total);
                     for r in 0..self.size {
-                        out.extend(std::mem::take(&mut inner.inputs[r]));
+                        data.extend_from_slice(&inner.inputs[r]);
                     }
-                    out
+                    pool.note_copy(total * 4);
+                    data
                 }
                 CollOp::ReduceSum | CollOp::AllReduceSum => {
-                    let mut acc = std::mem::take(&mut inner.inputs[0]);
-                    // Gather the remaining inputs immutably to satisfy the
-                    // borrow checker, then fold.
+                    // Accumulator seeded from rank 0, folded in rank order
+                    // — the pinned combine order.
+                    let mut acc = pool.take(inner.inputs[0].len());
+                    acc.extend_from_slice(&inner.inputs[0]);
+                    pool.note_copy(acc.len() * 4);
                     for r in 1..self.size {
-                        let src = std::mem::take(&mut inner.inputs[r]);
+                        let src = &inner.inputs[r];
                         assert_eq!(
                             src.len(),
                             acc.len(),
                             "collective contributions must have equal length"
                         );
-                        for (a, b) in acc.iter_mut().zip(&src) {
+                        for (a, b) in acc.iter_mut().zip(src) {
                             *a += b;
                         }
                     }
@@ -215,7 +236,7 @@ impl Gate {
             inner.results.insert(
                 gen,
                 ResultEntry {
-                    data: Arc::new(data),
+                    data,
                     time,
                     pending_reads: self.size,
                 },
@@ -232,12 +253,19 @@ impl Gate {
             }
         }
         let entry = inner.results.get_mut(&gen).unwrap();
-        let out = (Arc::clone(&entry.data), entry.time);
+        out.clear();
+        if out.capacity() < entry.data.len() {
+            pool.note_external_alloc();
+        }
+        out.extend_from_slice(&entry.data);
+        pool.note_copy(entry.data.len() * 4);
+        let time = entry.time;
         entry.pending_reads -= 1;
         if entry.pending_reads == 0 {
-            inner.results.remove(&gen);
+            let retired = inner.results.remove(&gen).expect("result entry vanished");
+            pool.put(retired.data);
         }
-        out
+        time
     }
 }
 
@@ -246,6 +274,8 @@ pub(crate) struct Shared {
     pub(crate) config: ClusterConfig,
     pub(crate) gate: Gate,
     pub(crate) senders: Vec<channel::Sender<Message>>,
+    /// Cluster-wide payload buffer pool (see [`crate::pool`]).
+    pub(crate) pool: BufferPool,
 }
 
 /// A virtual cluster: P ranks as threads over a priced interconnect.
@@ -272,9 +302,12 @@ impl VirtualCluster {
             receivers.push(rx);
         }
         let shared = Arc::new(Shared {
+            // xtask: allow(payload-copy) — ClusterConfig handles, not payloads.
             config: config.clone(),
-            gate: Gate::new(config.clone()),
+            gate: Gate::new(config.clone()), // xtask: allow(payload-copy) — config handle
+
             senders,
+            pool: BufferPool::new(),
         });
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(p);

@@ -125,17 +125,26 @@ impl BatchMsg {
     /// representable in the `f32` header) — a caller bug, not a wire
     /// condition.
     pub fn encode(pixels: &[f32], labels: &[usize]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(3 + labels.len() + pixels.len());
+        Self::encode_into(pixels, labels, &mut out);
+        out
+    }
+
+    /// [`encode`](Self::encode) into a caller-provided buffer (cleared
+    /// first) — the zero-allocation framing path once `out` has warmed
+    /// up to the batch size.
+    pub fn encode_into(pixels: &[f32], labels: &[usize], out: &mut Vec<f32>) {
         assert!(
             labels.len() <= MAX_EXACT && pixels.len() <= MAX_EXACT,
             "batch too large for exact f32 framing"
         );
-        let mut out = Vec::with_capacity(3 + labels.len() + pixels.len());
+        out.clear();
+        out.reserve(3 + labels.len() + pixels.len());
         out.push(BATCH_MAGIC);
         out.push(labels.len() as f32);
         out.push(pixels.len() as f32);
         out.extend(labels.iter().map(|&l| l as f32));
         out.extend_from_slice(pixels);
-        out
     }
 
     /// Decodes a payload produced by [`BatchMsg::encode`], validating

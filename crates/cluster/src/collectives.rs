@@ -1,0 +1,463 @@
+//! Executable collectives over the point-to-point layer.
+//!
+//! The priced collectives in [`crate::comm`] synchronize at a gate and
+//! charge a closed-form cost. This module is the *executable* schedule:
+//! every message really traverses the point-to-point layer, so simulated
+//! time emerges from the α-β send/recv accounting instead of a formula.
+//! Two families live here:
+//!
+//! * [`ring_allreduce_sum`] — reduce-scatter + allgather, `2(P−1)`
+//!   messages of `n/P` elements per rank: the bandwidth-optimal pattern
+//!   whose cost the
+//!   [`allreduce_rabenseifner`](easgd_hardware::collective::allreduce_rabenseifner)
+//!   formula approximates, and the reason VGG's weak-scaling efficiency
+//!   flattens in Table 4.
+//! * [`tree_reduce_sum`] / [`tree_broadcast`] / [`tree_allreduce_sum`] —
+//!   binomial trees, `Θ(log P)` full-size messages on the critical path:
+//!   the §6.1 schedule Sync EASGD charges for, now executable so Table
+//!   3's priced timeline and the running code share one implementation.
+//!   The `_among` variants run the same trees over a subgroup of ranks
+//!   (Sync EASGD's GPU set, excluding the data-serving CPU rank).
+//! * [`flat_gather_sum`] — the `Θ(P)` root-serialized baseline the tree
+//!   is measured against in `BENCH_comm.json`.
+//!
+//! All receive paths use pooled scratch ([`Comm::take_buffer`] /
+//! [`Comm::recycle_buffer`]), so steady-state collectives allocate
+//! nothing.
+
+use crate::clock::TimeCategory;
+use crate::comm::Comm;
+
+/// Tag space for tree reduce messages (`| mask` disambiguates steps).
+const TAG_TREE_REDUCE: u32 = 0x4100_0000;
+/// Tag space for tree broadcast messages.
+const TAG_TREE_BCAST: u32 = 0x4200_0000;
+/// Tag for the flat gather-sum baseline.
+const TAG_FLAT: u32 = 0x4300_0000;
+
+/// Chunk boundaries: `n` elements into `p` nearly equal chunks.
+fn chunk_bounds(n: usize, p: usize, chunk: usize) -> (usize, usize) {
+    let base = n / p;
+    let extra = n % p;
+    let start = chunk * base + chunk.min(extra);
+    let len = base + usize::from(chunk < extra);
+    (start, start + len)
+}
+
+/// In-place ring allreduce-sum of `data` across all ranks of `comm`.
+///
+/// After the call every rank holds the element-wise sum. Charges real
+/// α-β costs for each of the `2(P−1)` ring messages to `category`.
+///
+/// # Panics
+/// Panics if ranks disagree on `data.len()`.
+pub fn ring_allreduce_sum(comm: &mut Comm, data: &mut [f32], category: TimeCategory) {
+    let p = comm.size();
+    if p == 1 {
+        return;
+    }
+    let me = comm.rank();
+    let right = (me + 1) % p;
+    let left = (me + p - 1) % p;
+    let n = data.len();
+    let mut incoming = comm.take_buffer(n.div_ceil(p));
+
+    // Phase 1 — reduce-scatter: after P−1 steps, rank r owns the full sum
+    // of chunk (r+1) mod P.
+    for step in 0..p - 1 {
+        let send_chunk = (me + p - step) % p;
+        let recv_chunk = (me + p - step - 1) % p;
+        let (s0, s1) = chunk_bounds(n, p, send_chunk);
+        let tag = ring_tag(0, step);
+        comm.send(right, tag, &data[s0..s1], category);
+        comm.recv_into(left, tag, category, &mut incoming);
+        let (r0, r1) = chunk_bounds(n, p, recv_chunk);
+        assert_eq!(incoming.len(), r1 - r0, "ring chunk size mismatch");
+        for (d, v) in data[r0..r1].iter_mut().zip(&incoming) {
+            *d += v;
+        }
+    }
+    // Phase 2 — allgather: circulate the completed chunks.
+    for step in 0..p - 1 {
+        let send_chunk = (me + 1 + p - step) % p;
+        let recv_chunk = (me + p - step) % p;
+        let (s0, s1) = chunk_bounds(n, p, send_chunk);
+        let tag = ring_tag(1, step);
+        comm.send(right, tag, &data[s0..s1], category);
+        comm.recv_into(left, tag, category, &mut incoming);
+        let (r0, r1) = chunk_bounds(n, p, recv_chunk);
+        assert_eq!(incoming.len(), r1 - r0, "ring chunk size mismatch");
+        data[r0..r1].copy_from_slice(&incoming);
+    }
+    comm.recycle_buffer(incoming);
+}
+
+fn ring_tag(phase: u32, step: usize) -> u32 {
+    0x8000_0000 | (phase << 16) | (step as u32)
+}
+
+/// Position of `rank` in `ranks`.
+///
+/// # Panics
+/// Panics if `rank` is not a participant.
+fn vrank_of(ranks: &[usize], rank: usize) -> usize {
+    ranks
+        .iter()
+        .position(|&r| r == rank)
+        .unwrap_or_else(|| panic!("rank {rank} is not in the participant set {ranks:?}"))
+}
+
+/// Binomial-tree reduce-sum over the subgroup `ranks`, rooted at `root`
+/// (which must be a member). Every participant calls with its own
+/// `data`; after the call **only `root`'s `data` holds the sum** — the
+/// other participants' buffers hold partial sums and must be treated as
+/// garbage. Non-participant ranks must not call.
+///
+/// The critical path is `ceil(log2(ranks.len()))` full-size messages —
+/// the executable form of
+/// [`reduce_tree`](easgd_hardware::collective::reduce_tree).
+pub fn tree_reduce_sum_among(
+    comm: &mut Comm,
+    ranks: &[usize],
+    root: usize,
+    data: &mut [f32],
+    category: TimeCategory,
+) {
+    let p = ranks.len();
+    if p <= 1 {
+        return;
+    }
+    let vroot = vrank_of(ranks, root);
+    let vme = vrank_of(ranks, comm.rank());
+    // Virtual rank with the root shifted to 0.
+    let vr = (vme + p - vroot) % p;
+    let to_real = |v: usize| ranks[(v + vroot) % p];
+    let mut tmp: Option<Vec<f32>> = None;
+    let mut mask = 1usize;
+    while mask < p {
+        if vr & mask != 0 {
+            // My subtree is folded; push it to the parent and stop.
+            let parent = to_real(vr - mask);
+            comm.send(parent, TAG_TREE_REDUCE | mask as u32, data, category);
+            break;
+        } else if vr + mask < p {
+            let child = to_real(vr + mask);
+            let buf = tmp.get_or_insert_with(Vec::new);
+            comm.recv_into(child, TAG_TREE_REDUCE | mask as u32, category, buf);
+            assert_eq!(buf.len(), data.len(), "tree reduce length mismatch");
+            for (d, v) in data.iter_mut().zip(buf.iter()) {
+                *d += v;
+            }
+        }
+        mask <<= 1;
+    }
+    if let Some(buf) = tmp {
+        comm.recycle_buffer(buf);
+    }
+}
+
+/// [`tree_reduce_sum_among`] over all ranks of the cluster.
+pub fn tree_reduce_sum(comm: &mut Comm, root: usize, data: &mut [f32], category: TimeCategory) {
+    let ranks: Vec<usize> = (0..comm.size()).collect();
+    tree_reduce_sum_among(comm, &ranks, root, data, category);
+}
+
+/// Binomial-tree broadcast of `root`'s `data` over the subgroup `ranks`.
+/// On return every participant's `data` holds root's contents (lengths
+/// must agree across participants).
+pub fn tree_broadcast_among(
+    comm: &mut Comm,
+    ranks: &[usize],
+    root: usize,
+    data: &mut Vec<f32>,
+    category: TimeCategory,
+) {
+    let p = ranks.len();
+    if p <= 1 {
+        return;
+    }
+    let vroot = vrank_of(ranks, root);
+    let vme = vrank_of(ranks, comm.rank());
+    let vr = (vme + p - vroot) % p;
+    let to_real = |v: usize| ranks[(v + vroot) % p];
+    // Climb to the mask at which this rank receives (root never does).
+    let mut mask = 1usize;
+    while mask < p {
+        if vr & mask != 0 {
+            let parent = to_real(vr - mask);
+            comm.recv_into(parent, TAG_TREE_BCAST | mask as u32, category, data);
+            break;
+        }
+        mask <<= 1;
+    }
+    // Then fan out to the subtree below that mask.
+    mask >>= 1;
+    while mask > 0 {
+        if vr + mask < p {
+            let child = to_real(vr + mask);
+            comm.send(child, TAG_TREE_BCAST | mask as u32, data, category);
+        }
+        mask >>= 1;
+    }
+}
+
+/// [`tree_broadcast_among`] over all ranks of the cluster.
+pub fn tree_broadcast(comm: &mut Comm, root: usize, data: &mut Vec<f32>, category: TimeCategory) {
+    let ranks: Vec<usize> = (0..comm.size()).collect();
+    tree_broadcast_among(comm, &ranks, root, data, category);
+}
+
+/// Executable allreduce: [`tree_reduce_sum_among`] to `root`, then
+/// [`tree_broadcast_among`] of the sum — §6.1's `Θ(2 log P)` schedule.
+pub fn tree_allreduce_sum_among(
+    comm: &mut Comm,
+    ranks: &[usize],
+    root: usize,
+    data: &mut Vec<f32>,
+    category: TimeCategory,
+) {
+    tree_reduce_sum_among(comm, ranks, root, data, category);
+    tree_broadcast_among(comm, ranks, root, data, category);
+}
+
+/// [`tree_allreduce_sum_among`] over all ranks of the cluster.
+pub fn tree_allreduce_sum(comm: &mut Comm, data: &mut Vec<f32>, category: TimeCategory) {
+    let ranks: Vec<usize> = (0..comm.size()).collect();
+    tree_allreduce_sum_among(comm, &ranks, 0, data, category);
+}
+
+/// The `Θ(P)` baseline the tree is measured against: every non-root
+/// sends its full vector straight to `root`, whose timeline absorbs the
+/// `P−1` transfers *serially* (each priced at the link's α-β cost on the
+/// root's clock — a root NIC draining one message at a time). Only
+/// `root`'s `data` ends up holding the sum.
+pub fn flat_gather_sum(comm: &mut Comm, root: usize, data: &mut [f32], category: TimeCategory) {
+    let p = comm.size();
+    if p == 1 {
+        return;
+    }
+    if comm.rank() != root {
+        // The root's clock carries the transfer cost, mirroring
+        // `recv_costed`'s receiver-driven accounting.
+        comm.send_costed(root, TAG_FLAT, data, 0.0, category);
+        return;
+    }
+    let bytes = data.len() * 4;
+    let mut tmp = comm.take_buffer(data.len());
+    for r in 0..p {
+        if r == root {
+            continue;
+        }
+        let transfer = comm.link_time(bytes);
+        comm.recv_costed_into(r, TAG_FLAT, transfer, category, category, &mut tmp);
+        assert_eq!(tmp.len(), data.len(), "flat gather length mismatch");
+        for (d, v) in data.iter_mut().zip(tmp.iter()) {
+            *d += v;
+        }
+    }
+    comm.recycle_buffer(tmp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, VirtualCluster};
+
+    #[test]
+    fn chunk_bounds_cover_exactly() {
+        for (n, p) in [(10usize, 3usize), (7, 7), (5, 2), (16, 4), (3, 5)] {
+            let mut total = 0;
+            let mut expected_start = 0;
+            for c in 0..p {
+                let (s, e) = chunk_bounds(n, p, c);
+                assert_eq!(s, expected_start);
+                total += e - s;
+                expected_start = e;
+            }
+            assert_eq!(total, n);
+        }
+    }
+
+    #[test]
+    fn matches_gate_allreduce() {
+        for p in [2usize, 3, 4, 7] {
+            let cfg = ClusterConfig::new(p);
+            let outs = VirtualCluster::run(&cfg, |comm| {
+                let n = 23;
+                let mut ring: Vec<f32> = (0..n).map(|i| (comm.rank() * n + i) as f32).collect();
+                let gate = comm.allreduce_sum(&ring, TimeCategory::Other);
+                ring_allreduce_sum(comm, &mut ring, TimeCategory::GpuGpuParam);
+                (ring, gate)
+            });
+            for (ring, gate) in outs {
+                for (a, b) in ring.iter().zip(&gate) {
+                    assert!((a - b).abs() < 1e-3, "p={p}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_is_identity() {
+        let cfg = ClusterConfig::new(1);
+        let outs = VirtualCluster::run(&cfg, |comm| {
+            let mut v = vec![1.0f32, 2.0, 3.0];
+            ring_allreduce_sum(comm, &mut v, TimeCategory::Other);
+            v
+        });
+        assert_eq!(outs[0], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn short_vectors_with_more_ranks_than_elements() {
+        let cfg = ClusterConfig::new(5);
+        let outs = VirtualCluster::run(&cfg, |comm| {
+            let mut v = vec![1.0f32, 1.0];
+            ring_allreduce_sum(comm, &mut v, TimeCategory::Other);
+            v
+        });
+        for v in outs {
+            assert_eq!(v, vec![5.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn ring_charges_bandwidth_efficient_time() {
+        // For a large vector the executable ring's simulated time must be
+        // close to the Rabenseifner closed form and below the tree cost.
+        let p = 8;
+        let n = 1_000_000; // 4 MB
+        let cfg = ClusterConfig::new(p);
+        let link = cfg.link.clone();
+        let times = VirtualCluster::run(&cfg, |comm| {
+            let mut v = vec![1.0f32; n];
+            ring_allreduce_sum(comm, &mut v, TimeCategory::GpuGpuParam);
+            comm.now()
+        });
+        let ring_time = times.iter().cloned().fold(0.0f64, f64::max);
+        let tree = 2.0 * easgd_hardware::collective::reduce_tree(&link, p, n * 4);
+        assert!(
+            ring_time < tree,
+            "ring {ring_time:.6}s should beat 2x tree {tree:.6}s for large messages"
+        );
+        // Within 3x of the ideal closed form (the executable schedule has
+        // pipeline fill effects the formula ignores).
+        let ideal = easgd_hardware::collective::allreduce_rabenseifner(&link, p, n * 4);
+        assert!(ring_time < 3.0 * ideal, "ring {ring_time} vs ideal {ideal}");
+    }
+
+    #[test]
+    fn tree_allreduce_matches_gate_allreduce() {
+        for p in [2usize, 3, 4, 7, 8] {
+            let cfg = ClusterConfig::new(p);
+            let outs = VirtualCluster::run(&cfg, |comm| {
+                let n = 19;
+                let mut mine: Vec<f32> = (0..n).map(|i| (comm.rank() * n + i) as f32).collect();
+                let gate = comm.allreduce_sum(&mine, TimeCategory::Other);
+                tree_allreduce_sum(comm, &mut mine, TimeCategory::GpuGpuParam);
+                (mine, gate)
+            });
+            for (tree, gate) in outs {
+                for (a, b) in tree.iter().zip(&gate) {
+                    assert!((a - b).abs() < 1e-3, "p={p}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_reduce_delivers_sum_to_root_only_contract() {
+        let p = 6;
+        let root = 2;
+        let cfg = ClusterConfig::new(p);
+        let outs = VirtualCluster::run(&cfg, |comm| {
+            let mut v = vec![comm.rank() as f32 + 1.0; 5];
+            tree_reduce_sum(comm, root, &mut v, TimeCategory::Other);
+            v
+        });
+        let expected: f32 = (1..=p as i32).map(|r| r as f32).sum();
+        assert_eq!(outs[root], vec![expected; 5]);
+    }
+
+    #[test]
+    fn tree_among_subgroup_leaves_outsiders_untouched() {
+        // Ranks {1, 2, 3} reduce + broadcast among themselves; rank 0
+        // never participates.
+        let cfg = ClusterConfig::new(4);
+        let participants = [1usize, 2, 3];
+        let outs = VirtualCluster::run(&cfg, |comm| {
+            let mut v = vec![comm.rank() as f32; 3];
+            if participants.contains(&comm.rank()) {
+                tree_reduce_sum_among(comm, &participants, 1, &mut v, TimeCategory::Other);
+                tree_broadcast_among(comm, &participants, 1, &mut v, TimeCategory::Other);
+            }
+            v
+        });
+        assert_eq!(outs[0], vec![0.0; 3]);
+        for r in participants {
+            assert_eq!(outs[r], vec![6.0; 3], "rank {r}");
+        }
+    }
+
+    #[test]
+    fn executable_tree_time_matches_formula_at_powers_of_two() {
+        // At P = 2^k the binomial critical path is exactly
+        // ceil(log2 P) serial full-size hops — the reduce_tree formula.
+        for p in [2usize, 4, 8] {
+            let n = 50_000;
+            let cfg = ClusterConfig::new(p);
+            let link = cfg.link.clone();
+            let times = VirtualCluster::run(&cfg, |comm| {
+                let mut v = vec![1.0f32; n];
+                tree_reduce_sum(comm, 0, &mut v, TimeCategory::GpuGpuParam);
+                comm.now()
+            });
+            let exec = times.iter().cloned().fold(0.0f64, f64::max);
+            let formula = easgd_hardware::collective::reduce_tree(&link, p, n * 4);
+            assert!(
+                (exec - formula).abs() < 1e-12,
+                "p={p}: executable {exec} vs formula {formula}"
+            );
+        }
+        // Off powers of two the executable path can only be faster.
+        let p = 6;
+        let n = 50_000;
+        let cfg = ClusterConfig::new(p);
+        let link = cfg.link.clone();
+        let times = VirtualCluster::run(&cfg, |comm| {
+            let mut v = vec![1.0f32; n];
+            tree_reduce_sum(comm, 0, &mut v, TimeCategory::GpuGpuParam);
+            comm.now()
+        });
+        let exec = times.iter().cloned().fold(0.0f64, f64::max);
+        let formula = easgd_hardware::collective::reduce_tree(&link, p, n * 4);
+        assert!(exec <= formula + 1e-12, "p={p}: {exec} vs {formula}");
+    }
+
+    #[test]
+    fn tree_reduce_beats_flat_gather_at_eight_ranks() {
+        let p = 8;
+        let n = 200_000;
+        let run = |use_tree: bool| {
+            let cfg = ClusterConfig::new(p);
+            let times = VirtualCluster::run(&cfg, |comm| {
+                let mut v = vec![1.0f32; n];
+                if use_tree {
+                    tree_reduce_sum(comm, 0, &mut v, TimeCategory::GpuGpuParam);
+                } else {
+                    flat_gather_sum(comm, 0, &mut v, TimeCategory::GpuGpuParam);
+                }
+                (comm.now(), v)
+            });
+            // The root's completion time is the collective's cost.
+            assert_eq!(times[0].1, vec![p as f32; n]);
+            times[0].0
+        };
+        let tree = run(true);
+        let flat = run(false);
+        assert!(
+            tree <= flat,
+            "tree reduce {tree:.6}s must not exceed flat gather-sum {flat:.6}s at P={p}"
+        );
+    }
+}

@@ -1,16 +1,85 @@
 //! The per-rank communicator.
+//!
+//! Steady-state data movement is zero-allocation: point-to-point payloads
+//! ride in pool-recycled buffers that migrate with the message (the
+//! receiver recycles them), collectives write into caller-provided
+//! outputs, and the `Vec`-returning APIs remain as thin shims so call
+//! sites can migrate incrementally (DESIGN.md §10).
 
 use crate::clock::{RankReport, SimClock, TimeCategory};
 use crate::cluster::{CollOp, Shared};
+use crate::pool::PoolStats;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+/// How many recycled buffers a rank keeps privately before spilling to
+/// the cluster-wide pool. Small: the exchange path needs at most a couple
+/// of in-flight buffers per rank, and anything beyond that should be
+/// visible to other ranks.
+const LOCAL_FREE_MAX: usize = 4;
+
+/// Backing storage of a message payload: either a pool-recycled buffer
+/// owned by the message (the common case), or a shared reference-counted
+/// buffer for one-copy fan-out of the same data to many destinations
+/// (§5.2's packed center broadcast from the master).
+#[derive(Debug)]
+pub(crate) enum PayloadBuf {
+    Owned(Vec<f32>),
+    Shared(Arc<Vec<f32>>),
+}
+
+impl PayloadBuf {
+    fn as_slice(&self) -> &[f32] {
+        match self {
+            PayloadBuf::Owned(v) => v,
+            PayloadBuf::Shared(a) => a,
+        }
+    }
+
+    /// Extracts an owned `Vec`, copying only when the buffer is still
+    /// shared with other in-flight messages.
+    fn into_vec(self) -> Vec<f32> {
+        match self {
+            PayloadBuf::Owned(v) => v,
+            PayloadBuf::Shared(a) => {
+                // xtask: allow(payload-copy) — Vec-returning shim: a
+                // still-shared fan-out buffer must be copied to hand the
+                // caller ownership. Pooled callers use `recv_into`.
+                Arc::try_unwrap(a).unwrap_or_else(|a| a.as_ref().clone())
+            }
+        }
+    }
+}
+
+/// A reusable, reference-counted payload for fanning the same data out to
+/// several destinations with one copy (see [`Comm::make_payload`] and
+/// [`Comm::send_payload_costed`]).
+#[derive(Clone)]
+pub struct Payload(Arc<Vec<f32>>);
+
+impl Payload {
+    /// The payload's contents.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.0
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
 /// A point-to-point message between ranks.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub(crate) struct Message {
     pub(crate) from: usize,
     pub(crate) tag: u32,
-    pub(crate) data: Vec<f32>,
+    pub(crate) data: PayloadBuf,
     /// Simulated arrival time at the receiver (sender's clock after the
     /// α-β send cost).
     pub(crate) arrival: f64,
@@ -28,6 +97,10 @@ pub struct Comm {
     pending: VecDeque<Message>,
     clock: SimClock,
     shared: Arc<Shared>,
+    /// Private free list in front of the cluster-wide pool: the
+    /// steady-state p2p path pops and pushes here without touching the
+    /// shared mutex.
+    local_free: Vec<Vec<f32>>,
     /// Latest arrival time ingested per sender, for the strict-invariants
     /// per-sender FCFS check (the channel is FIFO per sender, and each
     /// sender's simulated clock is monotone, so arrivals from one rank
@@ -50,6 +123,7 @@ impl Comm {
             pending: VecDeque::new(),
             clock: SimClock::new(),
             shared,
+            local_free: Vec::new(),
             #[cfg(feature = "strict-invariants")]
             last_arrival: vec![f64::NEG_INFINITY; ranks],
         }
@@ -97,21 +171,91 @@ impl Comm {
         self.clock.charge(category, seconds);
     }
 
+    /// The cluster link's α-β price for a `bytes`-sized message.
+    pub fn link_time(&self, bytes: usize) -> f64 {
+        self.shared.config.link.time(bytes)
+    }
+
     /// Final accounting for this rank.
     pub fn report(&self) -> RankReport {
         RankReport {
             rank: self.rank,
             time: self.clock.now(),
+            // xtask: allow(payload-copy) — TimeBreakdown, not a payload.
             breakdown: self.clock.breakdown().clone(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Buffer pool
+    // ------------------------------------------------------------------
+
+    /// Takes a cleared buffer with capacity ≥ `len` from this rank's
+    /// private free list, falling back to the cluster-wide pool.
+    pub fn take_buffer(&mut self, len: usize) -> Vec<f32> {
+        match self.local_free.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                if buf.capacity() < len {
+                    self.shared.pool.note_external_alloc();
+                    buf.reserve(len);
+                }
+                buf
+            }
+            None => self.shared.pool.take(len),
+        }
+    }
+
+    /// Returns a buffer for reuse: to the private free list while it has
+    /// room, else to the cluster-wide pool.
+    pub fn recycle_buffer(&mut self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        if self.local_free.len() < LOCAL_FREE_MAX {
+            self.local_free.push(buf);
+        } else {
+            self.shared.pool.put(buf);
+        }
+    }
+
+    /// Snapshot of the cluster-wide pool counters (allocations and bytes
+    /// copied across *all* ranks — the numbers behind `BENCH_comm.json`).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.shared.pool.stats()
     }
 
     // ------------------------------------------------------------------
     // Point-to-point
     // ------------------------------------------------------------------
 
+    /// Posts an already-built payload to `to`; the arrival carries this
+    /// rank's current simulated time, so charge costs *before* posting.
+    fn post(&mut self, to: usize, tag: u32, data: PayloadBuf) {
+        self.shared.senders[to]
+            .send(Message {
+                from: self.rank,
+                tag,
+                data,
+                arrival: self.clock.now(),
+            })
+            .expect("receiver hung up");
+    }
+
+    /// Copies `data` into a pooled buffer for sending. The copy is
+    /// counted in the pool's `bytes_copied`.
+    fn pooled_copy(&mut self, data: &[f32]) -> Vec<f32> {
+        let mut buf = self.take_buffer(data.len());
+        buf.extend_from_slice(data);
+        self.shared.pool.note_copy(data.len() * 4);
+        buf
+    }
+
     /// Blocking send of `data` to `to` with a user `tag`, charged to
-    /// `category` at the α-β cost of one message.
+    /// `category` at the α-β cost of one message. Copies `data` once into
+    /// a pooled buffer; to send without any copy, build the buffer with
+    /// [`take_buffer`](Self::take_buffer) and use
+    /// [`send_from`](Self::send_from).
     ///
     /// # Panics
     /// Panics if `to` is out of range or is this rank.
@@ -120,74 +264,134 @@ impl Comm {
         assert_ne!(to, self.rank, "send to self");
         let cost = self.shared.config.link.time(data.len() * 4);
         self.clock.charge(category, cost);
-        self.shared.senders[to]
-            .send(Message {
-                from: self.rank,
-                tag,
-                data: data.to_vec(),
-                arrival: self.clock.now(),
-            })
-            .expect("receiver hung up");
+        let buf = self.pooled_copy(data);
+        self.post(to, tag, PayloadBuf::Owned(buf));
+    }
+
+    /// Zero-copy send: `buf` (typically from
+    /// [`take_buffer`](Self::take_buffer)) migrates with the message and
+    /// is recycled by the *receiver*. Charged like [`send`](Self::send).
+    pub fn send_from(&mut self, to: usize, tag: u32, buf: Vec<f32>, category: TimeCategory) {
+        assert!(to < self.size(), "send to rank {to} out of range");
+        assert_ne!(to, self.rank, "send to self");
+        let cost = self.shared.config.link.time(buf.len() * 4);
+        self.clock.charge(category, cost);
+        self.post(to, tag, PayloadBuf::Owned(buf));
+    }
+
+    /// Builds a reusable shared payload from `data` (one pooled copy
+    /// plus a constant-size reference count), for fanning the same data
+    /// out to several destinations via
+    /// [`send_payload_costed`](Self::send_payload_costed).
+    pub fn make_payload(&mut self, data: &[f32]) -> Payload {
+        let buf = self.pooled_copy(data);
+        Payload(Arc::new(buf))
+    }
+
+    /// Like [`send_costed`](Self::send_costed) but posts a shared
+    /// [`Payload`] without copying it: N destinations cost one copy
+    /// total. The backing buffer is recycled by whichever receiver drops
+    /// the last reference.
+    pub fn send_payload_costed(
+        &mut self,
+        to: usize,
+        tag: u32,
+        payload: &Payload,
+        seconds: f64,
+        category: TimeCategory,
+    ) {
+        assert!(to < self.size(), "send to rank {to} out of range");
+        assert_ne!(to, self.rank, "send to self");
+        self.clock.charge(category, seconds);
+        self.post(to, tag, PayloadBuf::Shared(Arc::clone(&payload.0)));
+    }
+
+    /// Pulls the next message matching `pred` — from `pending` first
+    /// (FCFS), then the channel, buffering non-matches.
+    fn next_matching(&mut self, pred: impl Fn(&Message) -> bool) -> Message {
+        if let Some(pos) = self.pending.iter().position(&pred) {
+            return self.pending.remove(pos).expect("indexed message present");
+        }
+        loop {
+            let msg = self.rx.recv().expect("all senders hung up");
+            self.check_ingest(&msg);
+            if pred(&msg) {
+                return msg;
+            }
+            self.pending.push_back(msg);
+        }
+    }
+
+    /// Copies a received payload into `out` and recycles the backing
+    /// buffer when this was its last reference.
+    fn payload_into(&mut self, data: PayloadBuf, out: &mut Vec<f32>) {
+        let src = data.as_slice();
+        out.clear();
+        if out.capacity() < src.len() {
+            self.shared.pool.note_external_alloc();
+        }
+        out.extend_from_slice(src);
+        self.shared.pool.note_copy(src.len() * 4);
+        match data {
+            PayloadBuf::Owned(v) => self.recycle_buffer(v),
+            PayloadBuf::Shared(a) => {
+                if let Ok(v) = Arc::try_unwrap(a) {
+                    self.recycle_buffer(v);
+                }
+            }
+        }
     }
 
     /// Blocking receive of the next message from `from` with `tag`.
     /// Simulated time advances to the message's arrival (waiting charged
     /// to `category`).
     pub fn recv(&mut self, from: usize, tag: u32, category: TimeCategory) -> Vec<f32> {
-        // Check messages already buffered.
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|m| m.from == from && m.tag == tag)
-        {
-            let msg = self.pending.remove(pos).unwrap();
-            self.clock.advance_to(msg.arrival, category);
-            return msg.data;
-        }
-        loop {
-            let msg = self.rx.recv().expect("all senders hung up");
-            self.check_ingest(&msg);
-            if msg.from == from && msg.tag == tag {
-                self.clock.advance_to(msg.arrival, category);
-                return msg.data;
-            }
-            self.pending.push_back(msg);
-        }
+        let msg = self.next_matching(|m| m.from == from && m.tag == tag);
+        self.clock.advance_to(msg.arrival, category);
+        msg.data.into_vec()
+    }
+
+    /// Like [`recv`](Self::recv) but writes the payload into `out`
+    /// (cleared first) and recycles the message's buffer — the
+    /// zero-allocation receive once `out` has warmed up to capacity.
+    pub fn recv_into(&mut self, from: usize, tag: u32, category: TimeCategory, out: &mut Vec<f32>) {
+        let msg = self.next_matching(|m| m.from == from && m.tag == tag);
+        self.clock.advance_to(msg.arrival, category);
+        self.payload_into(msg.data, out);
     }
 
     /// Blocking receive of the next message with `tag` from *any* rank —
     /// the FCFS order of a parameter server (§3.1). Returns
     /// `(sender, data)`.
     pub fn recv_any(&mut self, tag: u32, category: TimeCategory) -> (usize, Vec<f32>) {
-        if let Some(pos) = self.pending.iter().position(|m| m.tag == tag) {
-            let msg = self.pending.remove(pos).unwrap();
-            self.clock.advance_to(msg.arrival, category);
-            return (msg.from, msg.data);
-        }
-        loop {
-            let msg = self.rx.recv().expect("all senders hung up");
-            self.check_ingest(&msg);
-            if msg.tag == tag {
-                self.clock.advance_to(msg.arrival, category);
-                return (msg.from, msg.data);
-            }
-            self.pending.push_back(msg);
-        }
+        let msg = self.next_matching(|m| m.tag == tag);
+        self.clock.advance_to(msg.arrival, category);
+        (msg.from, msg.data.into_vec())
+    }
+
+    /// [`recv_any`](Self::recv_any) into a caller-provided buffer;
+    /// returns the sender.
+    pub fn recv_any_into(&mut self, tag: u32, category: TimeCategory, out: &mut Vec<f32>) -> usize {
+        let msg = self.next_matching(|m| m.tag == tag);
+        self.clock.advance_to(msg.arrival, category);
+        let from = msg.from;
+        self.payload_into(msg.data, out);
+        from
     }
 
     /// Non-blocking variant of [`recv_any`](Self::recv_any): returns
     /// `None` if no matching message has arrived yet.
     pub fn try_recv_any(&mut self, tag: u32, category: TimeCategory) -> Option<(usize, Vec<f32>)> {
         if let Some(pos) = self.pending.iter().position(|m| m.tag == tag) {
-            let msg = self.pending.remove(pos).unwrap();
+            let msg = self.pending.remove(pos).expect("indexed message present");
             self.clock.advance_to(msg.arrival, category);
-            return Some((msg.from, msg.data));
+            return Some((msg.from, msg.data.into_vec()));
         }
         while let Ok(msg) = self.rx.try_recv() {
             self.check_ingest(&msg);
             if msg.tag == tag {
                 self.clock.advance_to(msg.arrival, category);
-                return Some((msg.from, msg.data));
+                return Some((msg.from, msg.data.into_vec()));
             }
             self.pending.push_back(msg);
         }
@@ -218,14 +422,23 @@ impl Comm {
         assert!(to < self.size(), "send to rank {to} out of range");
         assert_ne!(to, self.rank, "send to self");
         self.clock.charge(category, seconds);
-        self.shared.senders[to]
-            .send(Message {
-                from: self.rank,
-                tag,
-                data: data.to_vec(),
-                arrival: self.clock.now(),
-            })
-            .expect("receiver hung up");
+        let buf = self.pooled_copy(data);
+        self.post(to, tag, PayloadBuf::Owned(buf));
+    }
+
+    /// [`send_from`](Self::send_from) with an explicit cost.
+    pub fn send_from_costed(
+        &mut self,
+        to: usize,
+        tag: u32,
+        buf: Vec<f32>,
+        seconds: f64,
+        category: TimeCategory,
+    ) {
+        assert!(to < self.size(), "send to rank {to} out of range");
+        assert_ne!(to, self.rank, "send to self");
+        self.clock.charge(category, seconds);
+        self.post(to, tag, PayloadBuf::Owned(buf));
     }
 
     /// Receiver-driven transfer: waits for the message (the wait — e.g.
@@ -246,6 +459,40 @@ impl Comm {
         data
     }
 
+    /// [`recv_costed`](Self::recv_costed) into a caller-provided buffer.
+    pub fn recv_costed_into(
+        &mut self,
+        from: usize,
+        tag: u32,
+        seconds: f64,
+        wait_category: TimeCategory,
+        transfer_category: TimeCategory,
+        out: &mut Vec<f32>,
+    ) {
+        self.recv_into(from, tag, wait_category, out);
+        self.clock.charge(transfer_category, seconds);
+    }
+
+    /// [`broadcast_into`](Self::broadcast_into) with an explicit cost.
+    pub fn broadcast_costed_into(
+        &mut self,
+        root: usize,
+        data: &[f32],
+        seconds: f64,
+        category: TimeCategory,
+        out: &mut Vec<f32>,
+    ) {
+        assert!(root < self.size(), "broadcast root out of range");
+        let input: &[f32] = if self.rank == root { data } else { &[] };
+        self.collective_into(
+            input,
+            CollOp::Broadcast { root },
+            Some(seconds),
+            category,
+            out,
+        );
+    }
+
     /// [`broadcast`](Self::broadcast) with an explicit cost.
     pub fn broadcast_costed(
         &mut self,
@@ -254,21 +501,21 @@ impl Comm {
         seconds: f64,
         category: TimeCategory,
     ) -> Vec<f32> {
-        assert!(root < self.size(), "broadcast root out of range");
-        let input = if self.rank == root {
-            data.to_vec()
-        } else {
-            Vec::new()
-        };
-        let (out, t) = self.shared.gate.rendezvous_costed(
-            self.rank,
-            self.clock.now(),
-            input,
-            CollOp::Broadcast { root },
-            Some(seconds),
-        );
-        self.clock.advance_to(t, category);
-        out.as_ref().clone()
+        let mut out = Vec::new();
+        self.broadcast_costed_into(root, data, seconds, category, &mut out);
+        out
+    }
+
+    /// [`reduce_sum_into`](Self::reduce_sum_into) with an explicit cost
+    /// (and no explicit root: every rank receives the sum).
+    pub fn reduce_sum_costed_into(
+        &mut self,
+        data: &[f32],
+        seconds: f64,
+        category: TimeCategory,
+        out: &mut Vec<f32>,
+    ) {
+        self.collective_into(data, CollOp::ReduceSum, Some(seconds), category, out);
     }
 
     /// [`reduce_sum`](Self::reduce_sum) with an explicit cost.
@@ -278,97 +525,139 @@ impl Comm {
         seconds: f64,
         category: TimeCategory,
     ) -> Vec<f32> {
-        let (out, t) = self.shared.gate.rendezvous_costed(
-            self.rank,
-            self.clock.now(),
-            data.to_vec(),
-            CollOp::ReduceSum,
-            Some(seconds),
-        );
-        self.clock.advance_to(t, category);
-        out.as_ref().clone()
+        let mut out = Vec::new();
+        self.reduce_sum_costed_into(data, seconds, category, &mut out);
+        out
     }
 
     // ------------------------------------------------------------------
     // Collectives (synchronizing; all ranks must call with matching op)
     // ------------------------------------------------------------------
 
+    /// Enters the gate, writes the combined result into `out`, and
+    /// advances this rank's clock to the collective's completion.
+    fn collective_into(
+        &mut self,
+        input: &[f32],
+        op: CollOp,
+        cost_override: Option<f64>,
+        category: TimeCategory,
+        out: &mut Vec<f32>,
+    ) {
+        let t = self.shared.gate.rendezvous_into(
+            &self.shared.pool,
+            self.rank,
+            self.clock.now(),
+            input,
+            op,
+            cost_override,
+            out,
+        );
+        self.clock.advance_to(t, category);
+    }
+
     /// Barrier across all ranks (tree-priced).
     pub fn barrier(&mut self) {
-        let (_, t) =
-            self.shared
-                .gate
-                .rendezvous(self.rank, self.clock.now(), Vec::new(), CollOp::Barrier);
-        self.clock.advance_to(t, TimeCategory::Other);
+        let mut out = Vec::new();
+        self.collective_into(&[], CollOp::Barrier, None, TimeCategory::Other, &mut out);
+    }
+
+    /// Broadcast `data` from `root` into `out` on every rank.
+    pub fn broadcast_into(
+        &mut self,
+        root: usize,
+        data: &[f32],
+        category: TimeCategory,
+        out: &mut Vec<f32>,
+    ) {
+        assert!(root < self.size(), "broadcast root out of range");
+        let input: &[f32] = if self.rank == root { data } else { &[] };
+        self.collective_into(input, CollOp::Broadcast { root }, None, category, out);
     }
 
     /// Broadcast `data` from `root` to every rank; returns root's data.
     pub fn broadcast(&mut self, root: usize, data: &[f32], category: TimeCategory) -> Vec<f32> {
-        assert!(root < self.size(), "broadcast root out of range");
-        let input = if self.rank == root {
-            data.to_vec()
-        } else {
-            Vec::new()
-        };
-        let (out, t) = self.shared.gate.rendezvous(
-            self.rank,
-            self.clock.now(),
-            input,
-            CollOp::Broadcast { root },
-        );
-        self.clock.advance_to(t, category);
-        out.as_ref().clone()
+        let mut out = Vec::new();
+        self.broadcast_into(root, data, category, &mut out);
+        out
+    }
+
+    /// Element-wise sum of every rank's `data` written into `out`, priced
+    /// as a rooted tree reduce. The sum lands on all ranks (non-roots of
+    /// the logical reduce are free to ignore it).
+    pub fn reduce_sum_into(
+        &mut self,
+        root: usize,
+        data: &[f32],
+        category: TimeCategory,
+        out: &mut Vec<f32>,
+    ) {
+        assert!(root < self.size(), "reduce root out of range");
+        self.collective_into(data, CollOp::ReduceSum, None, category, out);
     }
 
     /// Element-wise sum of every rank's `data`, priced as a rooted tree
     /// reduce. The sum is returned on all ranks (non-roots of the logical
     /// reduce are free to ignore it).
     pub fn reduce_sum(&mut self, root: usize, data: &[f32], category: TimeCategory) -> Vec<f32> {
-        assert!(root < self.size(), "reduce root out of range");
-        let (out, t) = self.shared.gate.rendezvous(
-            self.rank,
-            self.clock.now(),
-            data.to_vec(),
-            CollOp::ReduceSum,
-        );
-        self.clock.advance_to(t, category);
-        out.as_ref().clone()
+        let mut out = Vec::new();
+        self.reduce_sum_into(root, data, category, &mut out);
+        out
     }
 
-    /// Gather: concatenation of every rank's `data` in rank order,
-    /// priced as a rooted tree gather. As with
+    /// Gather written into `out`: concatenation of every rank's `data` in
+    /// rank order, priced as a rooted tree gather. As with
     /// [`reduce_sum`](Self::reduce_sum), the result is visible on every
     /// rank; non-roots are free to ignore it.
-    pub fn gather(&mut self, root: usize, data: &[f32], category: TimeCategory) -> Vec<f32> {
+    pub fn gather_into(
+        &mut self,
+        root: usize,
+        data: &[f32],
+        category: TimeCategory,
+        out: &mut Vec<f32>,
+    ) {
         assert!(root < self.size(), "gather root out of range");
-        let (out, t) =
-            self.shared
-                .gate
-                .rendezvous(self.rank, self.clock.now(), data.to_vec(), CollOp::Concat);
-        self.clock.advance_to(t, category);
-        out.as_ref().clone()
+        self.collective_into(data, CollOp::Concat, None, category, out);
+    }
+
+    /// Gather: concatenation of every rank's `data` in rank order.
+    pub fn gather(&mut self, root: usize, data: &[f32], category: TimeCategory) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.gather_into(root, data, category, &mut out);
+        out
+    }
+
+    /// Allgather written into `out`: every rank receives the rank-ordered
+    /// concatenation. Priced like a gather followed by a broadcast of the
+    /// concatenation.
+    pub fn allgather_into(&mut self, data: &[f32], category: TimeCategory, out: &mut Vec<f32>) {
+        self.gather_into(0, data, category, out);
+        // The broadcast of the assembled buffer (non-roots already hold
+        // the data in shared memory; only the time is charged).
+        let gathered = std::mem::take(out);
+        self.broadcast_into(0, &gathered, category, out);
+        self.recycle_buffer(gathered);
     }
 
     /// Allgather: every rank receives the rank-ordered concatenation.
-    /// Priced like a gather followed by a broadcast of the concatenation.
     pub fn allgather(&mut self, data: &[f32], category: TimeCategory) -> Vec<f32> {
-        let gathered = self.gather(0, data, category);
-        // The broadcast of the assembled buffer (non-roots already hold
-        // the data in shared memory; only the time is charged).
-        self.broadcast(0, &gathered, category)
+        let mut out = Vec::new();
+        self.allgather_into(data, category, &mut out);
+        out
+    }
+
+    /// Element-wise allreduce-sum written into `out`, priced per the
+    /// configured [`CollectiveAlgo`](crate::cluster::CollectiveAlgo).
+    pub fn allreduce_sum_into(&mut self, data: &[f32], category: TimeCategory, out: &mut Vec<f32>) {
+        self.collective_into(data, CollOp::AllReduceSum, None, category, out);
     }
 
     /// Element-wise allreduce-sum, priced per the configured
     /// [`CollectiveAlgo`](crate::cluster::CollectiveAlgo).
     pub fn allreduce_sum(&mut self, data: &[f32], category: TimeCategory) -> Vec<f32> {
-        let (out, t) = self.shared.gate.rendezvous(
-            self.rank,
-            self.clock.now(),
-            data.to_vec(),
-            CollOp::AllReduceSum,
-        );
-        self.clock.advance_to(t, category);
-        out.as_ref().clone()
+        let mut out = Vec::new();
+        self.allreduce_sum_into(data, category, &mut out);
+        out
     }
 }
 
@@ -459,6 +748,58 @@ mod tests {
     }
 
     #[test]
+    fn recv_selects_by_tag_preserving_per_tag_fifo() {
+        // One sender interleaves tags X, Y, X; the receiver pulls Y first
+        // (buffering the first X in `pending`), then both X's — which
+        // must come back in send order.
+        const X: u32 = 10;
+        const Y: u32 = 11;
+        let cfg = ClusterConfig::new(2);
+        let out = VirtualCluster::run(&cfg, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, X, &[1.0], TimeCategory::Other);
+                comm.send(1, Y, &[2.0], TimeCategory::Other);
+                comm.send(1, X, &[3.0], TimeCategory::Other);
+                vec![]
+            } else {
+                let y = comm.recv(0, Y, TimeCategory::Other);
+                let x1 = comm.recv(0, X, TimeCategory::Other);
+                let x2 = comm.recv(0, X, TimeCategory::Other);
+                vec![y[0], x1[0], x2[0]]
+            }
+        });
+        assert_eq!(out[1], vec![2.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn recv_any_drains_buffered_messages_in_arrival_order() {
+        // Three TAG messages get buffered while the receiver waits for an
+        // OTHER-tagged message; recv_any must then serve them FCFS.
+        const OTHER: u32 = 42;
+        let cfg = ClusterConfig::new(2);
+        let out = VirtualCluster::run(&cfg, |comm| {
+            if comm.rank() == 0 {
+                for v in [1.0, 2.0, 3.0] {
+                    comm.send(1, TAG, &[v], TimeCategory::Other);
+                }
+                comm.send(1, OTHER, &[9.0], TimeCategory::Other);
+                vec![]
+            } else {
+                let marker = comm.recv(0, OTHER, TimeCategory::Other);
+                assert_eq!(marker, vec![9.0]);
+                let mut seen = Vec::new();
+                for _ in 0..3 {
+                    let (from, data) = comm.recv_any(TAG, TimeCategory::Other);
+                    assert_eq!(from, 0);
+                    seen.push(data[0]);
+                }
+                seen
+            }
+        });
+        assert_eq!(out[1], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
     fn recv_any_serves_fcfs() {
         let cfg = ClusterConfig::new(4);
         let out = VirtualCluster::run(&cfg, |comm| {
@@ -477,6 +818,24 @@ mod tests {
             }
         });
         assert_eq!(out[0], vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[cfg(feature = "strict-invariants")]
+    #[should_panic(expected = "rank panicked")]
+    fn unmatched_pending_message_is_flagged_at_shutdown() {
+        // Rank 0 sends tags 1 then 2; rank 1 only ever matches tag 2, so
+        // the tag-1 message is buffered in `pending` and never consumed —
+        // the strict-invariants Drop must flag it.
+        let cfg = ClusterConfig::new(2);
+        let _ = VirtualCluster::run(&cfg, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[1.0], TimeCategory::Other);
+                comm.send(1, 2, &[2.0], TimeCategory::Other);
+            } else {
+                let _ = comm.recv(0, 2, TimeCategory::Other);
+            }
+        });
     }
 
     #[test]
@@ -511,6 +870,100 @@ mod tests {
             }
         });
         assert!((out[0] - link.time(4000)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn send_from_and_recv_into_roundtrip() {
+        let cfg = ClusterConfig::new(2);
+        let link = cfg.link.clone();
+        let out = VirtualCluster::run(&cfg, |comm| {
+            if comm.rank() == 0 {
+                let mut buf = comm.take_buffer(3);
+                buf.extend_from_slice(&[4.0, 5.0, 6.0]);
+                comm.send_from(1, TAG, buf, TimeCategory::CpuGpuParam);
+                (comm.now(), vec![])
+            } else {
+                let mut scratch = comm.take_buffer(3);
+                comm.recv_into(0, TAG, TimeCategory::CpuGpuParam, &mut scratch);
+                (comm.now(), scratch)
+            }
+        });
+        // send_from charges the same α-β price as send.
+        assert!((out[0].0 - link.time(12)).abs() < 1e-15);
+        assert_eq!(out[1].1, vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn shared_payload_fans_out_with_one_copy() {
+        let cfg = ClusterConfig::new(3);
+        let out = VirtualCluster::run(&cfg, |comm| {
+            if comm.rank() == 0 {
+                let before = comm.pool_stats().bytes_copied;
+                let payload = comm.make_payload(&[1.0, 2.0]);
+                let copied = comm.pool_stats().bytes_copied - before;
+                comm.send_payload_costed(1, TAG, &payload, 0.0, TimeCategory::Other);
+                comm.send_payload_costed(2, TAG, &payload, 0.0, TimeCategory::Other);
+                vec![copied as f32]
+            } else {
+                comm.recv(0, TAG, TimeCategory::Other)
+            }
+        });
+        // Building the payload copied it exactly once (8 bytes).
+        assert_eq!(out[0], vec![8.0]);
+        assert_eq!(out[1], vec![1.0, 2.0]);
+        assert_eq!(out[2], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn steady_state_pooled_exchange_does_not_allocate() {
+        let cfg = ClusterConfig::new(2);
+        let allocs = VirtualCluster::run(&cfg, |comm| {
+            // All buffers share one arena size, mirroring a parameter
+            // exchange; the pool's LIFO free list then always hands back
+            // a big-enough buffer.
+            let n = 512;
+            let mut scratch = comm.take_buffer(n);
+            scratch.resize(n, 0.5);
+            let mut sum = comm.take_buffer(n);
+            let exchange = |comm: &mut Comm, scratch: &mut Vec<f32>, sum: &mut Vec<f32>| {
+                if comm.rank() == 0 {
+                    let mut buf = comm.take_buffer(n);
+                    buf.resize(n, 1.0);
+                    comm.send_from(1, TAG, buf, TimeCategory::Other);
+                } else {
+                    comm.recv_into(0, TAG, TimeCategory::Other, scratch);
+                }
+                let (s, out) = (&scratch[..], sum);
+                comm.allreduce_sum_into(s, TimeCategory::Other, out);
+            };
+            // Warm up buffer capacities, then measure. The sender also
+            // parks a few spares in its private free list: the pool's
+            // steady state needs one buffer of slack per pipeline stage
+            // (the gate retires its combine buffer on the *last* read,
+            // which can land after the fastest rank has already started
+            // the next step).
+            for _ in 0..4 {
+                exchange(comm, &mut scratch, &mut sum);
+            }
+            if comm.rank() == 0 {
+                let spares: Vec<_> = (0..4).map(|_| comm.take_buffer(n)).collect();
+                for s in spares {
+                    comm.recycle_buffer(s);
+                }
+            }
+            comm.barrier();
+            let before = comm.pool_stats();
+            for _ in 0..8 {
+                exchange(comm, &mut scratch, &mut sum);
+            }
+            comm.barrier();
+            comm.pool_stats().since(&before)
+        });
+        assert_eq!(
+            (allocs[0].allocations(), allocs[1].allocations()),
+            (0, 0),
+            "warm pooled exchange must not allocate: {allocs:?}"
+        );
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //!   binomial tree Θ(log P) vs Rabenseifner).
 //! * [`cluster`] — [`cluster::VirtualCluster::run`]:
 //!   spawns the ranks, hands each a [`comm::Comm`], joins results.
+//! * [`collectives`] — *executable* ring / binomial-tree collectives
+//!   whose simulated time emerges from the p2p layer instead of a
+//!   closed form.
+//! * [`pool`] — the cluster-wide payload buffer pool behind the
+//!   zero-allocation exchange path (DESIGN.md §10).
 //!
 //! ```
 //! use easgd_cluster::{ClusterConfig, VirtualCluster, TimeCategory};
@@ -36,11 +41,16 @@ pub mod channel;
 pub mod clock;
 pub mod cluster;
 pub mod codec;
+pub mod collectives;
 pub mod comm;
-pub mod ring;
+pub mod pool;
 
 pub use clock::{RankReport, SimClock, TimeBreakdown, TimeCategory};
 pub use cluster::{ClusterConfig, CollectiveAlgo, VirtualCluster};
 pub use codec::{BatchMsg, CodecError};
-pub use comm::Comm;
-pub use ring::ring_allreduce_sum;
+pub use collectives::{
+    flat_gather_sum, ring_allreduce_sum, tree_allreduce_sum, tree_allreduce_sum_among,
+    tree_broadcast, tree_broadcast_among, tree_reduce_sum, tree_reduce_sum_among,
+};
+pub use comm::{Comm, Payload};
+pub use pool::PoolStats;

@@ -1,0 +1,184 @@
+//! The cluster-wide payload buffer pool: recycled `Vec<f32>` storage for
+//! every message and collective result, plus the counting instrumentation
+//! behind `BENCH_comm.json`'s allocs-per-step and bytes-moved columns.
+//!
+//! Ownership rules (DESIGN.md §10): a buffer is owned by exactly one of
+//! (a) the rank that took it from the pool, (b) a `Message` in flight,
+//! or (c) the gate's result store. Point-to-point payloads migrate with
+//! the message — the *receiver* recycles them — so the pool is shared
+//! across the whole cluster: asymmetric traffic (the CPU rank streaming
+//! batches to the GPUs) drains nobody. Each [`crate::Comm`] additionally
+//! keeps a small private free list in front of this pool so the
+//! steady-state exchange path never touches the shared mutex.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Counter snapshot of pool activity (see [`BufferPool::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers handed out that required a fresh heap allocation.
+    pub fresh: u64,
+    /// Reused buffers whose capacity had to grow (a realloc).
+    pub grown: u64,
+    /// Buffers handed out without touching the allocator.
+    pub reused: u64,
+    /// Payload bytes copied through the exchange path (sends into
+    /// messages, gate combine traffic, results copied out).
+    pub bytes_copied: u64,
+}
+
+impl PoolStats {
+    /// Total allocator events: fresh buffers plus capacity growths.
+    pub fn allocations(&self) -> u64 {
+        self.fresh + self.grown
+    }
+
+    /// Counter-wise difference `self − earlier` (for per-window deltas).
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            fresh: self.fresh - earlier.fresh,
+            grown: self.grown - earlier.grown,
+            reused: self.reused - earlier.reused,
+            bytes_copied: self.bytes_copied - earlier.bytes_copied,
+        }
+    }
+}
+
+/// A mutex-guarded free list of `Vec<f32>` buffers with allocation and
+/// copy counters. All counters are `Relaxed`: they are statistics — no
+/// memory is published through them, and the bench reads them only after
+/// the cluster's threads have joined.
+#[derive(Default)]
+pub struct BufferPool {
+    free: Mutex<Vec<Vec<f32>>>,
+    fresh: AtomicU64,
+    grown: AtomicU64,
+    reused: AtomicU64,
+    bytes_copied: AtomicU64,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a cleared buffer with capacity ≥ `len`. Zero-length requests
+    /// return a fresh `Vec::new()` without touching the pool or the
+    /// counters (an empty `Vec` never allocates).
+    pub fn take(&self, len: usize) -> Vec<f32> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let popped = {
+            let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
+            free.pop()
+        };
+        match popped {
+            Some(mut buf) => {
+                buf.clear();
+                if buf.capacity() < len {
+                    // ordering: statistics counter, see type docs.
+                    self.grown.fetch_add(1, Ordering::Relaxed);
+                    buf.reserve(len - buf.len());
+                } else {
+                    // ordering: statistics counter, see type docs.
+                    self.reused.fetch_add(1, Ordering::Relaxed);
+                }
+                buf
+            }
+            None => {
+                // ordering: statistics counter, see type docs.
+                self.fresh.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(len)
+            }
+        }
+    }
+
+    /// Returns a buffer to the free list. Capacity-less buffers are
+    /// dropped — recycling them would only inflate the list.
+    pub fn put(&self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
+        free.push(buf);
+    }
+
+    /// Records `bytes` of payload copied through the exchange path.
+    pub fn note_copy(&self, bytes: usize) {
+        // ordering: statistics counter, see type docs.
+        self.bytes_copied.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records one allocator event on a buffer managed *outside* the free
+    /// list (a caller-provided `_into` output or gate input slot growing
+    /// its capacity) so allocs-per-step counts every allocation on the
+    /// exchange path, pooled or not.
+    pub fn note_external_alloc(&self) {
+        // ordering: statistics counter, see type docs.
+        self.grown.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            // ordering: statistics counters, see type docs.
+            fresh: self.fresh.load(Ordering::Relaxed),
+            grown: self.grown.load(Ordering::Relaxed), // ordering: statistics counter
+            reused: self.reused.load(Ordering::Relaxed), // ordering: statistics counter
+            bytes_copied: self.bytes_copied.load(Ordering::Relaxed), // ordering: statistics counter
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_then_put_then_take_reuses() {
+        let pool = BufferPool::new();
+        let mut a = pool.take(16);
+        a.extend_from_slice(&[1.0; 16]);
+        pool.put(a);
+        let b = pool.take(8);
+        assert!(b.is_empty(), "recycled buffer must come back cleared");
+        assert!(b.capacity() >= 16);
+        let s = pool.stats();
+        assert_eq!((s.fresh, s.reused, s.grown), (1, 1, 0));
+        assert_eq!(s.allocations(), 1);
+    }
+
+    #[test]
+    fn growing_a_small_recycled_buffer_counts_as_allocation() {
+        let pool = BufferPool::new();
+        let a = pool.take(4);
+        pool.put(a);
+        let b = pool.take(1024);
+        assert!(b.capacity() >= 1024);
+        assert_eq!(pool.stats().allocations(), 2);
+    }
+
+    #[test]
+    fn zero_length_takes_are_free() {
+        let pool = BufferPool::new();
+        let v = pool.take(0);
+        assert_eq!(v.capacity(), 0);
+        pool.put(v);
+        assert_eq!(pool.stats(), PoolStats::default());
+    }
+
+    #[test]
+    fn stats_since_subtracts() {
+        let pool = BufferPool::new();
+        let _ = pool.take(8);
+        let before = pool.stats();
+        let _ = pool.take(8);
+        pool.note_copy(32);
+        let d = pool.stats().since(&before);
+        assert_eq!(d.fresh, 1);
+        assert_eq!(d.bytes_copied, 32);
+    }
+}

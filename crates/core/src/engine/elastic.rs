@@ -66,12 +66,34 @@ impl ElasticRule {
     /// the full `P`-worker weight sum,
     /// `W̄ ← W̄ + ηρ·(ΣWᵢ − P·W̄)`.
     pub fn center_dilution(&self, center: &mut [f32], weight_sum: &[f32], workers: usize) {
-        assert_eq!(center.len(), weight_sum.len(), "dilution length mismatch");
-        let scale = self.eta * self.rho;
-        let p = workers as f32;
-        for (ci, si) in center.iter_mut().zip(weight_sum) {
-            *ci += scale * (si - p * *ci);
-        }
+        ops::center_dilution(self.eta, self.rho, center, weight_sum, workers);
+    }
+
+    /// The fused exchange step: captures `Wᵢ` into `contribution` (the
+    /// Equation (2) reduce input) and applies the Equation (1) pull in
+    /// one sweep. Bit-identical to copying the weights and then calling
+    /// [`ElasticRule::worker_pull`].
+    pub fn exchange(
+        &self,
+        local: &mut [f32],
+        contribution: &mut [f32],
+        grad: &[f32],
+        center: &[f32],
+    ) {
+        ops::elastic_exchange(self.eta, self.rho, local, contribution, grad, center);
+    }
+
+    /// [`ElasticRule::center_dilution`] fused with the preceding center
+    /// refresh: `out ← center_t + ηρ(ΣWᵢ − P·center_t)`, bit-identical
+    /// to `copy(center_t, out)` + dilution.
+    pub fn center_dilution_from(
+        &self,
+        center_t: &[f32],
+        weight_sum: &[f32],
+        workers: usize,
+        out: &mut [f32],
+    ) {
+        ops::center_dilution_from(self.eta, self.rho, center_t, weight_sum, workers, out);
     }
 }
 
@@ -143,5 +165,45 @@ mod tests {
     #[should_panic(expected = "dilution length mismatch")]
     fn dilution_rejects_mismatched_lengths() {
         rule().center_dilution(&mut [0.0], &[0.0, 0.0], 2);
+    }
+
+    #[test]
+    fn fused_exchange_is_bit_identical_to_copy_then_worker_pull() {
+        let r = rule();
+        let w0 = vec![1.0f32, -0.5, 0.25, 3.5];
+        let grad = vec![0.5f32, 1.5, -2.0, 0.125];
+        let center = vec![0.75f32, -0.25, 0.5, 3.0];
+
+        let mut fused = w0.clone();
+        let mut contribution = vec![0.0f32; w0.len()];
+        r.exchange(&mut fused, &mut contribution, &grad, &center);
+
+        let mut two_pass = w0.clone();
+        let published = two_pass.clone();
+        r.worker_pull(&mut two_pass, &grad, &center);
+
+        for (a, b) in fused.iter().zip(&two_pass) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in contribution.iter().zip(&published) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_dilution_from_is_bit_identical_to_copy_then_dilution() {
+        let r = rule();
+        let center_t = vec![0.5f32, -1.25, 2.0];
+        let sum = vec![3.0f32, 1.0, -0.5];
+
+        let mut out = vec![9.0f32; 3];
+        r.center_dilution_from(&center_t, &sum, 3, &mut out);
+
+        let mut two_pass = center_t.clone();
+        r.center_dilution(&mut two_pass, &sum, 3);
+
+        for (a, b) in out.iter().zip(&two_pass) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

@@ -101,6 +101,36 @@ impl LocalStep {
         rule.worker_pull(self.net.params_mut().as_mut_slice(), &self.grad, center);
     }
 
+    /// The fused exchange step against an explicit center: publishes the
+    /// pre-update weights into `contribution` (the Equation (2) reduce
+    /// input) and applies Equation (1), in one sweep. Bit-identical to
+    /// copying [`LocalStep::params`] out and then calling
+    /// [`LocalStep::elastic_step_against`].
+    pub fn elastic_exchange_against(
+        &mut self,
+        rule: &ElasticRule,
+        center: &[f32],
+        contribution: &mut [f32],
+    ) {
+        rule.exchange(
+            self.net.params_mut().as_mut_slice(),
+            contribution,
+            &self.grad,
+            center,
+        );
+    }
+
+    /// [`LocalStep::elastic_exchange_against`] using the stored center
+    /// snapshot (the shared-memory Sync EASGD path).
+    pub fn elastic_exchange_step(&mut self, rule: &ElasticRule, contribution: &mut [f32]) {
+        rule.exchange(
+            self.net.params_mut().as_mut_slice(),
+            contribution,
+            &self.grad,
+            &self.snapshot,
+        );
+    }
+
     /// Equations (5)–(6) against the stored center snapshot.
     pub fn elastic_momentum_step(&mut self, rule: &ElasticRule) {
         rule.momentum_pull(

@@ -10,6 +10,12 @@
 //! shared by the locked asynchronous family; trainers with a different
 //! round structure (Hogwild SGD's snapshot-first read, Sync EASGD's
 //! barriers) drive the loop themselves via [`run_worker_loop`].
+//!
+//! Exchange steps should prefer the fused kernels on [`LocalStep`]
+//! (`elastic_exchange_step` / `elastic_exchange_against`): they publish
+//! the pre-update weights and apply the Equation (1) pull in one sweep,
+//! bit-identical to the copy-then-update pair but with one pass over the
+//! parameter arena and no per-step allocation.
 
 use crate::config::TrainConfig;
 use crate::engine::local::LocalStep;

@@ -24,7 +24,8 @@
 use crate::config::TrainConfig;
 use crate::engine::{assemble_sim, worker_rng, ElasticRule, LocalStep, RankOutcome, SALT_PHI};
 use crate::metrics::RunResult;
-use easgd_cluster::{ring_allreduce_sum, ClusterConfig, Comm, TimeCategory, VirtualCluster};
+use easgd_cluster::collectives::ring_allreduce_sum;
+use easgd_cluster::{ClusterConfig, Comm, TimeCategory, VirtualCluster};
 use easgd_data::Dataset;
 use easgd_hardware::collective::ceil_log2;
 use easgd_hardware::net::AlphaBeta;
@@ -115,6 +116,10 @@ pub fn hierarchical_sync_easgd(
         let n = center.len();
         let mut rng = worker_rng(cfg.seed, SALT_PHI, me);
         let shard = &shards[me];
+        // Round scratch, allocated once: the node-level reduction buffer
+        // and the leader's pool-recycled receive buffer.
+        let mut node_sum = vec![0.0f32; n];
+        let mut wbuf: Vec<f32> = Vec::new();
 
         for round in 0..cfg.iterations {
             let batch = shard.sample_batch(&mut rng, cfg.batch);
@@ -123,12 +128,11 @@ pub fn hierarchical_sync_easgd(
 
             // ---- level 1: intra-node reduce of local weights to leader.
             let tag = 0x6000 + (round as u32 % 0x1000);
-            let mut node_sum;
             if is_leader {
-                node_sum = local.params().to_vec();
+                node_sum.copy_from_slice(local.params());
                 for member in leader_rank + 1..leader_rank + g {
-                    let w = comm.recv(member, tag, TimeCategory::GpuGpuParam);
-                    for (a, b) in node_sum.iter_mut().zip(&w) {
+                    comm.recv_into(member, tag, TimeCategory::GpuGpuParam, &mut wbuf);
+                    for (a, b) in node_sum.iter_mut().zip(&wbuf) {
                         *a += b;
                     }
                 }
@@ -136,7 +140,7 @@ pub fn hierarchical_sync_easgd(
                 comm.charge(TimeCategory::GpuGpuParam, intra_tree);
             } else {
                 comm.send_costed(leader_rank, tag, local.params(), 0.0, TimeCategory::Other);
-                node_sum = vec![0.0f32; n];
+                node_sum.fill(0.0);
             }
 
             // ---- level 2: ring-allreduce over the fabric. Implemented
@@ -145,10 +149,9 @@ pub fn hierarchical_sync_easgd(
             // ring exactly; the latency term is conservatively larger
             // (2(total−1)·α instead of 2(nodes−1)·α).
             ring_allreduce_sum(comm, &mut node_sum, TimeCategory::GpuGpuParam);
-            let global_sum = node_sum;
 
             // ---- Equation (2) on the identical global sum, everywhere.
-            rule.center_dilution(&mut center, &global_sum, total);
+            rule.center_dilution(&mut center, &node_sum, total);
             // ---- level 1 down: leader broadcasts the center in-node.
             if is_leader {
                 comm.charge(TimeCategory::GpuGpuParam, intra_tree);

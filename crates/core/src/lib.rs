@@ -73,5 +73,5 @@ pub use shared::{
 };
 pub use simcost::SimCosts;
 pub use straggler::{straggler_study, StragglerConfig, StragglerOutcome};
-pub use sync::{sync_easgd_sim, sync_sgd_sim, SyncVariant};
+pub use sync::{sync_easgd_sim, sync_easgd_sim_with, sync_sgd_sim, SyncExchange, SyncVariant};
 pub use weak_scaling::{WeakScalingModel, WeakScalingRow};

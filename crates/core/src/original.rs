@@ -101,40 +101,45 @@ fn master_loop(
     let mut rng = Rng::new(cfg.seed);
     let mut center = proto.params().as_slice().to_vec();
     let mut inflight = vec![false; g + 1];
+    // Receive scratch for the worker-weight collects, reused every round.
+    let mut wbuf: Vec<f32> = Vec::new();
 
-    let collect = |comm: &mut Comm, center: &mut [f32], j: usize| {
+    let collect = |comm: &mut Comm, center: &mut [f32], wbuf: &mut Vec<f32>, j: usize| {
         // The wait (worker still computing) is attributed to
         // forward/backward, the transfer to CPU↔GPU parameter traffic —
         // Table 3's accounting.
-        let w = comm.recv_costed(
+        comm.recv_costed_into(
             j,
             TAG_WEIGHT,
             up,
             TimeCategory::ForwardBackward,
             TimeCategory::CpuGpuParam,
+            wbuf,
         );
-        rule.center_pull(center, &w);
+        rule.center_pull(center, wbuf);
         comm.charge(TimeCategory::CpuUpdate, costs.cpu_update);
     };
 
     for t in 0..total {
         let j = 1 + (t % g);
         if mode == OriginalMode::Pipelined && inflight[j] {
-            collect(comm, &mut center, j);
+            collect(comm, &mut center, &mut wbuf, j);
         }
         let batch = train.sample_batch(&mut rng, cfg.batch);
-        let payload = BatchMsg::encode(batch.images.as_slice(), &batch.labels);
-        comm.send_costed(
+        let pixels = batch.images.as_slice();
+        let mut frame = comm.take_buffer(3 + batch.labels.len() + pixels.len());
+        BatchMsg::encode_into(pixels, &batch.labels, &mut frame);
+        comm.send_from_costed(
             j,
             TAG_DATA,
-            &payload,
+            frame,
             costs.data_time(),
             TimeCategory::CpuGpuData,
         );
         comm.send_costed(j, TAG_CENTER, &center, down, TimeCategory::CpuGpuParam);
         inflight[j] = true;
         if mode == OriginalMode::Serialized {
-            collect(comm, &mut center, j);
+            collect(comm, &mut center, &mut wbuf, j);
             inflight[j] = false;
         }
     }
@@ -142,7 +147,7 @@ fn master_loop(
     if mode == OriginalMode::Pipelined {
         for (j, flag) in inflight.iter_mut().enumerate().skip(1) {
             if std::mem::take(flag) {
-                collect(comm, &mut center, j);
+                collect(comm, &mut center, &mut wbuf, j);
             }
         }
     }
@@ -167,9 +172,12 @@ fn worker_loop(
     let rule = ElasticRule::from_config(cfg);
     let mut local = LocalStep::new(proto);
     let mut jitter_rng = rank_rng(cfg.seed, SALT_PHI, me);
+    // Receive scratch, reused across rounds (pool-recycled payloads).
+    let mut payload: Vec<f32> = Vec::new();
+    let mut center: Vec<f32> = Vec::new();
     for _ in 0..rounds {
-        let payload = comm.recv(0, TAG_DATA, TimeCategory::Other);
-        let center = comm.recv(0, TAG_CENTER, TimeCategory::Other);
+        comm.recv_into(0, TAG_DATA, TimeCategory::Other, &mut payload);
+        comm.recv_into(0, TAG_CENTER, TimeCategory::Other, &mut center);
         let (labels, pixels) = match BatchMsg::decode(&payload, cfg.batch) {
             Ok(x) => x,
             Err(e) => panic!("batch codec (rank {me}): {e}"),

@@ -205,6 +205,8 @@ pub fn sync_easgd_shared(
     let slots: Vec<Mutex<Vec<f32>>> = (0..cfg.workers)
         .map(|_| Mutex::new(vec![0.0f32; n]))
         .collect();
+    // The master's reduction scratch, allocated once for the whole run.
+    let sum = Mutex::new(vec![0.0f32; n]);
     let barrier = Barrier::new(cfg.workers);
     let run = run_worker_loop(proto, train, cfg, SALT_PHI, |shard, local| {
         let w = shard.worker();
@@ -213,20 +215,22 @@ pub fn sync_easgd_shared(
             local.snapshot_center(&center.read().unwrap());
             let batch = shard.next_batch(cfg.batch);
             local.forward_backward(&batch);
-            // Step (3): publish Wᵢ for the reduction.
-            slots[w].lock().unwrap().copy_from_slice(local.params());
+            // Steps (3)+(4) fused: publish the pre-update Wᵢ into this
+            // worker's slot and apply Equation (1) against the pre-round
+            // W̄_t in the same sweep (bit-identical to copy-then-update;
+            // the master only ever reads the slots, never our params).
+            local.elastic_exchange_step(&rule, &mut slots[w].lock().unwrap());
             barrier.wait();
             // Step (5): master folds Σ Wᵢ into W̄ once, in order.
             if w == 0 {
                 let mut c = center.write().unwrap();
-                let mut sum = vec![0.0f32; n];
+                let mut sum = sum.lock().unwrap();
+                sum.fill(0.0);
                 for slot in slots.iter() {
                     easgd_tensor::ops::add_assign(&mut sum, &slot.lock().unwrap());
                 }
                 rule.center_dilution(&mut c, &sum, cfg.workers);
             }
-            // Step (4): worker update with the pre-round W̄_t.
-            local.elastic_step(&rule);
             barrier.wait();
         }
     });

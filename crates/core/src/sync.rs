@@ -21,6 +21,7 @@ use crate::engine::{
 };
 use crate::metrics::RunResult;
 use crate::simcost::SimCosts;
+use easgd_cluster::collectives::{tree_broadcast_among, tree_reduce_sum_among};
 use easgd_cluster::{BatchMsg, ClusterConfig, Comm, TimeCategory, VirtualCluster};
 use easgd_data::Dataset;
 use easgd_hardware::net::AlphaBeta;
@@ -51,6 +52,19 @@ impl SyncVariant {
     }
 }
 
+/// How the Sync EASGD exchange step moves data (§6.1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SyncExchange {
+    /// Gate-synchronized collectives charged at the Table 3 closed-form
+    /// prices — the default, pinned by the golden-trace suite.
+    Priced,
+    /// Executable binomial-tree broadcast/reduce over the point-to-point
+    /// layer ([`easgd_cluster::collectives`]): simulated time emerges
+    /// from per-message α-β accounting instead of a formula, so the
+    /// priced timeline and the running schedule share one tree.
+    ExecutableTree,
+}
+
 /// Runs Sync EASGD (variant per `variant`) on a simulated
 /// `cfg.workers`-GPU node. `cfg.iterations` bulk-synchronous rounds; in
 /// each round every GPU computes one batch gradient. When
@@ -65,9 +79,49 @@ pub fn sync_easgd_sim(
     variant: SyncVariant,
     trace_every: usize,
 ) -> RunResult {
+    sync_easgd_sim_with(
+        proto,
+        train,
+        test,
+        cfg,
+        costs,
+        variant,
+        trace_every,
+        SyncExchange::Priced,
+    )
+}
+
+/// [`sync_easgd_sim`] with an explicit exchange implementation.
+#[allow(clippy::too_many_arguments)]
+pub fn sync_easgd_sim_with(
+    proto: &Network,
+    train: &Dataset,
+    test: &Dataset,
+    cfg: &TrainConfig,
+    costs: &SimCosts,
+    variant: SyncVariant,
+    trace_every: usize,
+    exchange: SyncExchange,
+) -> RunResult {
     cfg.validate();
     let g = cfg.workers;
-    let cluster = ClusterConfig::new(g + 1);
+    let cluster = match exchange {
+        SyncExchange::Priced => ClusterConfig::new(g + 1),
+        // The executable tree's messages traverse the variant's dominant
+        // link: host↔device packed transfers for EASGD1 (CPU-rooted),
+        // GPU peer links otherwise.
+        SyncExchange::ExecutableTree => ClusterConfig::new(g + 1).with_link(match variant {
+            SyncVariant::Easgd1 => costs.cpu_gpu_packed.clone(),
+            _ => costs.gpu_gpu.clone(),
+        }),
+    };
+    // Collective participants for the executable tree: EASGD1 roots the
+    // tree at the CPU (which contributes zeros to the reduce); EASGD2/3
+    // keep parameter traffic entirely on the GPU set.
+    let participants: Vec<usize> = match variant {
+        SyncVariant::Easgd1 => (0..=g).collect(),
+        _ => (1..=g).collect(),
+    };
     let rule = ElasticRule::from_config(cfg);
     let center_rank = match variant {
         SyncVariant::Easgd1 => 0,
@@ -100,6 +154,17 @@ pub fn sync_easgd_sim(
         // Rank 0 is the data-feeding CPU; GPUs carry a network replica.
         let mut local = (me != 0).then(|| LocalStep::new(proto));
         let mut recorder = TraceRecorder::new(trace_every);
+        let is_participant = participants.contains(&me);
+        // Per-round scratch, allocated once: the exchange step itself is
+        // zero-allocation in steady state.
+        let mut center_t = vec![0.0f32; n];
+        let mut contribution = vec![0.0f32; n];
+        let mut weight_sum = vec![0.0f32; n];
+        let mut payload = Vec::new();
+        let (update_cat, update_cost) = match variant {
+            SyncVariant::Easgd1 => (TimeCategory::CpuUpdate, costs.cpu_update),
+            _ => (TimeCategory::GpuUpdate, costs.gpu_update),
+        };
         for round in 0..cfg.iterations {
             // --- data path: CPU ships one batch per GPU; the copies are
             // issued asynchronously and overlap, so one is charged.
@@ -107,16 +172,18 @@ pub fn sync_easgd_sim(
                 None => {
                     for j in 1..=g {
                         let batch = train.sample_batch(&mut rng, cfg.batch);
-                        let payload = BatchMsg::encode(batch.images.as_slice(), &batch.labels);
+                        let pixels = batch.images.as_slice();
+                        let mut buf = comm.take_buffer(3 + batch.labels.len() + pixels.len());
+                        BatchMsg::encode_into(pixels, &batch.labels, &mut buf);
                         let cost = if j == 1 { costs.data_time() } else { 0.0 };
-                        comm.send_costed(j, TAG_DATA, &payload, cost, TimeCategory::CpuGpuData);
+                        comm.send_from_costed(j, TAG_DATA, buf, cost, TimeCategory::CpuGpuData);
                     }
                     // The CPU waits out the GPUs' compute phase (Table 3
                     // attributes that window to for/backward).
                     comm.charge(TimeCategory::ForwardBackward, costs.fwd_bwd);
                 }
                 Some(local) => {
-                    let payload = comm.recv(0, TAG_DATA, TimeCategory::Other);
+                    comm.recv_into(0, TAG_DATA, TimeCategory::Other, &mut payload);
                     let (labels, pixels) = match BatchMsg::decode(&payload, cfg.batch) {
                         Ok(x) => x,
                         Err(e) => panic!("batch codec (rank {me}): {e}"),
@@ -125,38 +192,85 @@ pub fn sync_easgd_sim(
                     comm.charge(TimeCategory::ForwardBackward, costs.fwd_bwd);
                 }
             }
-            // --- step (2): broadcast W̄_t from the center holder.
-            let cat = if me == 0 && center_rank != 0 {
-                TimeCategory::Other
-            } else {
-                coll_cat
-            };
-            let center_t = comm.broadcast_costed(center_rank, &center, bcast_cost, cat);
-            // --- step (3): reduce Σ W_i (CPU contributes zeros).
-            let contribution = match &local {
-                Some(local) => local.params().to_vec(),
-                None => vec![0.0f32; n],
-            };
-            let weight_sum = comm.reduce_sum_costed(&contribution, reduce_cost, cat);
-            // --- step (5): center update, Equation (2) with the full sum.
-            if me == center_rank {
-                rule.center_dilution(&mut center, &weight_sum, g);
-                let (update_cat, update_cost) = match variant {
-                    SyncVariant::Easgd1 => (TimeCategory::CpuUpdate, costs.cpu_update),
-                    _ => (TimeCategory::GpuUpdate, costs.gpu_update),
-                };
-                comm.charge(update_cat, update_cost);
-            } else {
-                // Keep non-center replicas of W̄ in sync for the next
-                // broadcast (only the center holder's copy is ever used,
-                // but the state must not diverge).
-                center.copy_from_slice(&center_t);
-                rule.center_dilution(&mut center, &weight_sum, g);
-            }
-            // --- step (4): worker update, Equation (1) against W̄_t.
-            if let Some(local) = local.as_mut() {
-                local.elastic_step_against(&rule, &center_t);
-                comm.charge(TimeCategory::GpuUpdate, costs.gpu_update);
+            match exchange {
+                SyncExchange::Priced => {
+                    // --- step (2): broadcast W̄_t from the center holder.
+                    let cat = if me == 0 && center_rank != 0 {
+                        TimeCategory::Other
+                    } else {
+                        coll_cat
+                    };
+                    comm.broadcast_costed_into(
+                        center_rank,
+                        &center,
+                        bcast_cost,
+                        cat,
+                        &mut center_t,
+                    );
+                    // --- steps (3)+(4) fused: publish W_i into the reduce
+                    // input and apply Equation (1) against W̄_t in one
+                    // sweep (the CPU's contribution stays all-zero). The
+                    // GpuUpdate charge stays at its original program point
+                    // below, so the timeline is unchanged.
+                    if let Some(local) = local.as_mut() {
+                        local.elastic_exchange_against(&rule, &center_t, &mut contribution);
+                    }
+                    comm.reduce_sum_costed_into(&contribution, reduce_cost, cat, &mut weight_sum);
+                    // --- step (5): center update, Equation (2) with the
+                    // full sum.
+                    if me == center_rank {
+                        rule.center_dilution(&mut center, &weight_sum, g);
+                        comm.charge(update_cat, update_cost);
+                    } else {
+                        // Keep non-center replicas of W̄ in sync for the
+                        // next broadcast (only the center holder's copy is
+                        // ever used, but the state must not diverge).
+                        rule.center_dilution_from(&center_t, &weight_sum, g, &mut center);
+                    }
+                    if local.is_some() {
+                        comm.charge(TimeCategory::GpuUpdate, costs.gpu_update);
+                    }
+                }
+                SyncExchange::ExecutableTree => {
+                    if is_participant {
+                        // --- step (2): executable tree broadcast of W̄_t.
+                        center_t.clear();
+                        if me == center_rank {
+                            center_t.extend_from_slice(&center);
+                        }
+                        tree_broadcast_among(
+                            comm,
+                            &participants,
+                            center_rank,
+                            &mut center_t,
+                            coll_cat,
+                        );
+                        // --- steps (3)+(4) fused, the reduce input built
+                        // in place (the EASGD1 CPU contributes zeros).
+                        match local.as_mut() {
+                            Some(local) => {
+                                local.elastic_exchange_against(&rule, &center_t, &mut weight_sum)
+                            }
+                            None => weight_sum.fill(0.0),
+                        }
+                        tree_reduce_sum_among(
+                            comm,
+                            &participants,
+                            center_rank,
+                            &mut weight_sum,
+                            coll_cat,
+                        );
+                        // --- step (5): only the tree root holds Σ W_i;
+                        // the others receive next round's W̄ by broadcast.
+                        if me == center_rank {
+                            rule.center_dilution(&mut center, &weight_sum, g);
+                            comm.charge(update_cat, update_cost);
+                        }
+                        if local.is_some() {
+                            comm.charge(TimeCategory::GpuUpdate, costs.gpu_update);
+                        }
+                    }
+                }
             }
             if me == center_rank && recorder.due(round) {
                 let now = comm.now();
@@ -231,12 +345,17 @@ pub fn sync_sgd_sim(
         let mut local = LocalStep::new(proto);
         let scale = cfg.eta / g as f32;
         let mut recorder = TraceRecorder::new(trace_every);
+        let mut grad_sum = Vec::with_capacity(local.num_params());
         for round in 0..cfg.iterations {
             let batch = shard.sample_batch(&mut rng, cfg.batch);
             local.forward_backward(&batch);
             comm.charge(TimeCategory::ForwardBackward, fwd_bwd_cost);
-            let grad_sum =
-                comm.reduce_sum_costed(local.grad(), allreduce_cost, TimeCategory::GpuGpuParam);
+            comm.reduce_sum_costed_into(
+                local.grad(),
+                allreduce_cost,
+                TimeCategory::GpuGpuParam,
+                &mut grad_sum,
+            );
             easgd_tensor::ops::axpy(-scale, &grad_sum, local.params_mut());
             comm.charge(TimeCategory::GpuUpdate, update_cost);
             if me == 0 && recorder.due(round) {
@@ -444,6 +563,87 @@ mod tests {
             0,
         );
         assert!(r.accuracy > 0.4, "acc = {}", r.accuracy);
+    }
+
+    #[test]
+    fn executable_tree_exchange_learns() {
+        let (proto, train, test) = setup();
+        let costs = SimCosts::mnist_lenet_4gpu();
+        let r = sync_easgd_sim_with(
+            &proto,
+            &train,
+            &test,
+            &cfg(60),
+            &costs,
+            SyncVariant::Easgd2,
+            0,
+            SyncExchange::ExecutableTree,
+        );
+        assert!(r.accuracy > 0.4, "acc = {}", r.accuracy);
+        let b = r.breakdown.unwrap();
+        assert!(b.get(TimeCategory::GpuGpuParam) > 0.0);
+        assert_eq!(b.get(TimeCategory::CpuGpuParam), 0.0);
+    }
+
+    #[test]
+    fn executable_tree_agrees_with_priced_path_on_learning() {
+        // Same schedule, different reduction order (pairwise tree vs the
+        // gate's rank-ordered fold): accuracies must land close.
+        let (proto, train, test) = setup();
+        let costs = SimCosts::mnist_lenet_4gpu();
+        let c = cfg(40);
+        let priced = sync_easgd_sim(&proto, &train, &test, &c, &costs, SyncVariant::Easgd2, 0);
+        let exec = sync_easgd_sim_with(
+            &proto,
+            &train,
+            &test,
+            &c,
+            &costs,
+            SyncVariant::Easgd2,
+            0,
+            SyncExchange::ExecutableTree,
+        );
+        assert!(
+            (priced.accuracy - exec.accuracy).abs() < 0.15,
+            "priced {} vs executable {}",
+            priced.accuracy,
+            exec.accuracy
+        );
+    }
+
+    #[test]
+    fn executable_easgd1_pays_the_extra_tree_hop() {
+        // EASGD1's tree spans G+1 ranks (CPU root) while EASGD2's spans G
+        // over an identically-priced link, so the executable EASGD1
+        // exchange cannot be faster.
+        let (proto, train, test) = setup();
+        let costs = SimCosts::mnist_lenet_4gpu();
+        let c = cfg(15);
+        let t1 = sync_easgd_sim_with(
+            &proto,
+            &train,
+            &test,
+            &c,
+            &costs,
+            SyncVariant::Easgd1,
+            0,
+            SyncExchange::ExecutableTree,
+        )
+        .sim_seconds
+        .unwrap();
+        let t2 = sync_easgd_sim_with(
+            &proto,
+            &train,
+            &test,
+            &c,
+            &costs,
+            SyncVariant::Easgd2,
+            0,
+            SyncExchange::ExecutableTree,
+        )
+        .sim_seconds
+        .unwrap();
+        assert!(t1 > t2, "EASGD1 {t1} !> EASGD2 {t2} (executable)");
     }
 
     #[test]

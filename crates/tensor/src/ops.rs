@@ -132,8 +132,15 @@ fn sub_band(out: &mut [f32], a: &[f32], b: &[f32]) {
 /// Panics if lengths differ.
 pub fn add_assign(a: &mut [f32], b: &[f32]) {
     assert_eq!(a.len(), b.len(), "add_assign length mismatch");
-    for (ai, bi) in a.iter_mut().zip(b.iter()) {
-        *ai += bi;
+    let band = |ac: &mut [f32], bc: &[f32]| {
+        for (ai, bi) in ac.iter_mut().zip(bc.iter()) {
+            *ai += bi;
+        }
+    };
+    if should_par(a.len()) {
+        par::par_zip_mut(a, b, band);
+    } else {
+        band(a, b);
     }
 }
 
@@ -229,9 +236,16 @@ pub fn momentum_update(eta: f32, mu: f32, weight: &mut [f32], velocity: &mut [f3
         velocity.len(),
         "momentum update length mismatch"
     );
-    for i in 0..weight.len() {
-        velocity[i] = mu * velocity[i] - eta * grad[i];
-        weight[i] += velocity[i];
+    let band = |wc: &mut [f32], vc: &mut [f32], gc: &[f32]| {
+        for ((wi, vi), gi) in wc.iter_mut().zip(vc.iter_mut()).zip(gc) {
+            *vi = mu * *vi - eta * gi;
+            *wi += *vi;
+        }
+    };
+    if should_par(weight.len()) {
+        par::par_zip21_mut(weight, velocity, grad, band);
+    } else {
+        band(weight, velocity, grad);
     }
     debug_check_finite("momentum_update", weight);
 }
@@ -265,6 +279,110 @@ pub fn elastic_momentum_update(
         band(local, velocity, grad, center);
     }
     debug_check_finite("elastic_momentum_update", local);
+}
+
+/// The fused exchange-step kernel: captures the pre-update worker weight
+/// `Wᵢ` into `contribution` (the Equation (2) reduce input) and applies
+/// the Equation (1) pull in the same sweep —
+/// `contribution ← Wᵢ; Wᵢ ← Wᵢ − η(ΔWᵢ + ρ(Wᵢ − W̄))`.
+///
+/// Bit-identical to `copy(local, contribution)` followed by
+/// [`elastic_worker_update`]: the captured value and the update both read
+/// the same pre-update element, exactly as the two-pass composition does,
+/// so fusing removes two of the seven memory streams without moving a
+/// single rounding.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn elastic_exchange(
+    eta: f32,
+    rho: f32,
+    local: &mut [f32],
+    contribution: &mut [f32],
+    grad: &[f32],
+    center: &[f32],
+) {
+    assert_eq!(
+        local.len(),
+        contribution.len(),
+        "elastic exchange length mismatch"
+    );
+    assert_eq!(local.len(), grad.len(), "elastic exchange length mismatch");
+    assert_eq!(
+        local.len(),
+        center.len(),
+        "elastic exchange length mismatch"
+    );
+    let band = |lc: &mut [f32], oc: &mut [f32], gc: &[f32], cc: &[f32]| {
+        for (((li, oi), gi), ci) in lc.iter_mut().zip(oc.iter_mut()).zip(gc).zip(cc) {
+            let w = *li;
+            *oi = w;
+            *li = w - eta * (gi + rho * (w - ci));
+        }
+    };
+    if should_par(local.len()) {
+        par::par_zip22_mut(local, contribution, grad, center, band);
+    } else {
+        band(local, contribution, grad, center);
+    }
+    debug_check_finite("elastic_exchange", local);
+}
+
+/// Equation (2) in bulk-synchronous Σ-form:
+/// `W̄ ← W̄ + ηρ(ΣWᵢ − P·W̄)` — the single center update Sync EASGD's
+/// tree reduction produces. The FP evaluation order (one fused pass over
+/// the sum) is pinned by the golden-trace tests.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn center_dilution(eta: f32, rho: f32, center: &mut [f32], weight_sum: &[f32], workers: usize) {
+    assert_eq!(center.len(), weight_sum.len(), "dilution length mismatch");
+    let scale = eta * rho;
+    let p = workers as f32;
+    let band = |cc: &mut [f32], sc: &[f32]| {
+        for (ci, si) in cc.iter_mut().zip(sc) {
+            *ci += scale * (si - p * *ci);
+        }
+    };
+    if should_par(center.len()) {
+        par::par_zip_mut(center, weight_sum, band);
+    } else {
+        band(center, weight_sum);
+    }
+    debug_check_finite("center_dilution", center);
+}
+
+/// [`center_dilution`] fused with the preceding center refresh: computes
+/// `center_out ← center_t + ηρ(ΣWᵢ − P·center_t)` without first copying
+/// `center_t` into `center_out`. Bit-identical to
+/// `copy(center_t, center_out)` + [`center_dilution`], because `x += e`
+/// evaluates as `x = x + e` on the copied value.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn center_dilution_from(
+    eta: f32,
+    rho: f32,
+    center_t: &[f32],
+    weight_sum: &[f32],
+    workers: usize,
+    center_out: &mut [f32],
+) {
+    assert_eq!(center_t.len(), weight_sum.len(), "dilution length mismatch");
+    assert_eq!(center_t.len(), center_out.len(), "dilution length mismatch");
+    let scale = eta * rho;
+    let p = workers as f32;
+    let band = |oc: &mut [f32], tc: &[f32], sc: &[f32]| {
+        for ((oi, ti), si) in oc.iter_mut().zip(tc).zip(sc) {
+            *oi = ti + scale * (si - p * ti);
+        }
+    };
+    if should_par(center_out.len()) {
+        par::par_zip2_mut(center_out, center_t, weight_sum, band);
+    } else {
+        band(center_out, center_t, weight_sum);
+    }
+    debug_check_finite("center_dilution_from", center_out);
 }
 
 /// Plain SGD step `W ← W − ηΔW`.
@@ -367,5 +485,54 @@ mod tests {
         let mut w = vec![1.0];
         sgd_update(0.5, &mut w, &[2.0]);
         assert_eq!(w, vec![0.0]);
+    }
+
+    #[test]
+    fn elastic_exchange_is_bit_identical_to_copy_then_eq1() {
+        let n = 257;
+        let grad: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+        let center: Vec<f32> = (0..n).map(|i| (i as f32 * 0.11).cos()).collect();
+        let start: Vec<f32> = (0..n).map(|i| 0.5 - (i % 17) as f32 * 0.03).collect();
+
+        let mut two_pass = start.clone();
+        let mut want_contrib = vec![0.0f32; n];
+        want_contrib.copy_from_slice(&two_pass);
+        elastic_worker_update(0.05, 0.3, &mut two_pass, &grad, &center);
+
+        let mut fused = start.clone();
+        let mut contrib = vec![0.0f32; n];
+        elastic_exchange(0.05, 0.3, &mut fused, &mut contrib, &grad, &center);
+
+        for i in 0..n {
+            assert_eq!(fused[i].to_bits(), two_pass[i].to_bits(), "local[{i}]");
+            assert_eq!(
+                contrib[i].to_bits(),
+                want_contrib[i].to_bits(),
+                "contrib[{i}]"
+            );
+        }
+    }
+
+    #[test]
+    fn center_dilution_from_matches_copy_then_dilution() {
+        let n = 101;
+        let center_t: Vec<f32> = (0..n).map(|i| (i as f32 * 0.21).sin()).collect();
+        let weight_sum: Vec<f32> = (0..n).map(|i| 4.0 * (i as f32 * 0.09).cos()).collect();
+        let mut two_pass = vec![0.0f32; n];
+        two_pass.copy_from_slice(&center_t);
+        center_dilution(0.05, 0.3, &mut two_pass, &weight_sum, 4);
+        let mut fused = vec![7.0f32; n];
+        center_dilution_from(0.05, 0.3, &center_t, &weight_sum, 4, &mut fused);
+        for i in 0..n {
+            assert_eq!(fused[i].to_bits(), two_pass[i].to_bits(), "center[{i}]");
+        }
+    }
+
+    #[test]
+    fn center_dilution_fixed_point_is_the_worker_mean() {
+        // ΣWᵢ = P·W̄ ⇒ no movement.
+        let mut c = vec![2.0f32, -1.0];
+        center_dilution(0.1, 0.5, &mut c, &[8.0, -4.0], 4);
+        assert_eq!(c, vec![2.0, -1.0]);
     }
 }

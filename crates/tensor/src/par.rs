@@ -231,7 +231,17 @@ pub fn par_chunks_mut<F>(x: &mut [f32], f: F)
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
-    let threads = max_threads().min(x.len());
+    par_chunks_mut_bands(max_threads(), x, f);
+}
+
+/// [`par_chunks_mut`] with an explicit band count instead of
+/// [`max_threads`] — the banded/serial bit-equivalence tests force a
+/// band split even on single-core machines through this entry point.
+pub fn par_chunks_mut_bands<F>(bands: usize, x: &mut [f32], f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let threads = bands.min(x.len());
     if threads <= 1 {
         f(0, x);
         return;
@@ -254,8 +264,17 @@ pub fn par_zip_mut<F>(y: &mut [f32], x: &[f32], f: F)
 where
     F: Fn(&mut [f32], &[f32]) + Sync,
 {
+    par_zip_mut_bands(max_threads(), y, x, f);
+}
+
+/// [`par_zip_mut`] with an explicit band count (see
+/// [`par_chunks_mut_bands`]).
+pub fn par_zip_mut_bands<F>(bands: usize, y: &mut [f32], x: &[f32], f: F)
+where
+    F: Fn(&mut [f32], &[f32]) + Sync,
+{
     assert_eq!(y.len(), x.len(), "par_zip_mut length mismatch");
-    let threads = max_threads().min(y.len());
+    let threads = bands.min(y.len());
     if threads <= 1 {
         f(y, x);
         return;
@@ -277,9 +296,18 @@ pub fn par_zip2_mut<F>(out: &mut [f32], a: &[f32], b: &[f32], f: F)
 where
     F: Fn(&mut [f32], &[f32], &[f32]) + Sync,
 {
+    par_zip2_mut_bands(max_threads(), out, a, b, f);
+}
+
+/// [`par_zip2_mut`] with an explicit band count (see
+/// [`par_chunks_mut_bands`]).
+pub fn par_zip2_mut_bands<F>(bands: usize, out: &mut [f32], a: &[f32], b: &[f32], f: F)
+where
+    F: Fn(&mut [f32], &[f32], &[f32]) + Sync,
+{
     assert_eq!(out.len(), a.len(), "par_zip2_mut length mismatch");
     assert_eq!(out.len(), b.len(), "par_zip2_mut length mismatch");
-    let threads = max_threads().min(out.len());
+    let threads = bands.min(out.len());
     if threads <= 1 {
         f(out, a, b);
         return;
@@ -297,6 +325,45 @@ where
     });
 }
 
+/// Parallel zip over two mutable and one shared slice of equal length
+/// (the Eq. 3–4 momentum shape: weights and velocity updated in place
+/// against the gradient).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn par_zip21_mut<F>(y1: &mut [f32], y2: &mut [f32], a: &[f32], f: F)
+where
+    F: Fn(&mut [f32], &mut [f32], &[f32]) + Sync,
+{
+    par_zip21_mut_bands(max_threads(), y1, y2, a, f);
+}
+
+/// [`par_zip21_mut`] with an explicit band count (see
+/// [`par_chunks_mut_bands`]).
+pub fn par_zip21_mut_bands<F>(bands: usize, y1: &mut [f32], y2: &mut [f32], a: &[f32], f: F)
+where
+    F: Fn(&mut [f32], &mut [f32], &[f32]) + Sync,
+{
+    assert_eq!(y1.len(), y2.len(), "par_zip21_mut length mismatch");
+    assert_eq!(y1.len(), a.len(), "par_zip21_mut length mismatch");
+    let threads = bands.min(y1.len());
+    if threads <= 1 {
+        f(y1, y2, a);
+        return;
+    }
+    let chunk = y1.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        for ((y1c, y2c), ac) in y1
+            .chunks_mut(chunk)
+            .zip(y2.chunks_mut(chunk))
+            .zip(a.chunks(chunk))
+        {
+            let f = &f;
+            s.spawn(move || f(y1c, y2c, ac));
+        }
+    });
+}
+
 /// Parallel zip over two mutable and two shared slices of equal length
 /// (the Eq. 5–6 momentum-elastic update shape: weights and velocity
 /// updated in place against gradient and center).
@@ -307,10 +374,25 @@ pub fn par_zip22_mut<F>(y1: &mut [f32], y2: &mut [f32], a: &[f32], b: &[f32], f:
 where
     F: Fn(&mut [f32], &mut [f32], &[f32], &[f32]) + Sync,
 {
+    par_zip22_mut_bands(max_threads(), y1, y2, a, b, f);
+}
+
+/// [`par_zip22_mut`] with an explicit band count (see
+/// [`par_chunks_mut_bands`]).
+pub fn par_zip22_mut_bands<F>(
+    bands: usize,
+    y1: &mut [f32],
+    y2: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    f: F,
+) where
+    F: Fn(&mut [f32], &mut [f32], &[f32], &[f32]) + Sync,
+{
     assert_eq!(y1.len(), y2.len(), "par_zip22_mut length mismatch");
     assert_eq!(y1.len(), a.len(), "par_zip22_mut length mismatch");
     assert_eq!(y1.len(), b.len(), "par_zip22_mut length mismatch");
-    let threads = max_threads().min(y1.len());
+    let threads = bands.min(y1.len());
     if threads <= 1 {
         f(y1, y2, a, b);
         return;
@@ -518,6 +600,51 @@ mod tests {
         });
         for (i, v) in x.iter().enumerate() {
             assert_eq!(*v, i as f32);
+        }
+    }
+
+    #[test]
+    fn par_zip21_mut_covers_all_elements() {
+        let n = 10_007;
+        let g: Vec<f32> = (0..n).map(|i| (i % 13) as f32).collect();
+        let mut w = vec![1.0f32; n];
+        let mut v = vec![0.5f32; n];
+        par_zip21_mut(&mut w, &mut v, &g, |wc, vc, gc| {
+            for ((wi, vi), gi) in wc.iter_mut().zip(vc.iter_mut()).zip(gc) {
+                *vi = 0.9 * *vi - 0.1 * gi;
+                *wi += *vi;
+            }
+        });
+        for i in 0..n {
+            let vi = 0.9f32 * 0.5 - 0.1 * g[i];
+            assert_eq!(v[i], vi);
+            assert_eq!(w[i], 1.0 + vi);
+        }
+    }
+
+    #[test]
+    fn forced_band_split_is_bit_identical_to_serial() {
+        // Boundary-heavy length: not a multiple of the band counts below.
+        let n = 4099;
+        let a: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..n).map(|i| (i as f32).cos()).collect();
+        let mut serial = vec![0.1f32; n];
+        let kernel = |oc: &mut [f32], ac: &[f32], bc: &[f32]| {
+            for ((o, x), y) in oc.iter_mut().zip(ac).zip(bc) {
+                *o += 0.3 * (x - 0.7 * y);
+            }
+        };
+        kernel(&mut serial, &a, &b);
+        for bands in [2usize, 3, 5, 8] {
+            let mut banded = vec![0.1f32; n];
+            par_zip2_mut_bands(bands, &mut banded, &a, &b, kernel);
+            for i in 0..n {
+                assert_eq!(
+                    serial[i].to_bits(),
+                    banded[i].to_bits(),
+                    "bands={bands} i={i}"
+                );
+            }
         }
     }
 

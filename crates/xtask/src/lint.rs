@@ -1,7 +1,7 @@
 //! Source-level lint pass enforcing the repo's concurrency and
 //! determinism invariants.
 //!
-//! Four rules, run over every workspace `.rs` file (see DESIGN.md
+//! Five rules, run over every workspace `.rs` file (see DESIGN.md
 //! §"Static analysis & invariants" for the rationale):
 //!
 //! 1. **no-unsafe** — the tree is `unsafe`-free and must stay that way
@@ -17,6 +17,13 @@
 //!    hot paths (the six algorithm crates' `src/` trees) outside
 //!    `#[cfg(test)]` blocks, except files listed in
 //!    `crates/xtask/lint-allow.txt`.
+//! 5. **payload-copy** — `.to_vec()` / `.clone()` are banned inside
+//!    `crates/cluster/src/` (outside `#[cfg(test)]`): the exchange path
+//!    is zero-allocation by design, so payload copies must go through
+//!    the buffer pool's counted entry points. Deliberate sites (the
+//!    `Vec`-returning compatibility shims, non-payload handle clones)
+//!    carry a `// xtask: allow(payload-copy)` justification on the same
+//!    line or in the comment block directly above.
 //!
 //! The pass works on a *stripped* view of each file — comments, string
 //! and char literals blanked out — so tokens inside comments or strings
@@ -30,6 +37,10 @@ use std::path::{Path, PathBuf};
 
 /// Pragma that exempts a whole file from the wall-clock rule.
 pub const WALL_CLOCK_PRAGMA: &str = "xtask: allow(wall-clock)";
+
+/// Pragma that justifies one payload copy site in `crates/cluster/src/`
+/// (same line or the comment block directly above).
+pub const PAYLOAD_COPY_PRAGMA: &str = "xtask: allow(payload-copy)";
 
 /// One lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -341,6 +352,26 @@ pub fn lint_source(file: &str, source: &str, hot_path: bool) -> Vec<Finding> {
                     .to_string(),
             });
         }
+
+        // Rule 5: payload-copy — the comm crate's exchange path is
+        // zero-allocation; copies must be pooled and counted, or carry a
+        // per-site justification pragma.
+        if file.starts_with("crates/cluster/src/")
+            && !in_spans(&test_spans, idx)
+            && (sline.contains(".to_vec()") || sline.contains(".clone()"))
+            && !comment_justified(&raw_lines, idx, PAYLOAD_COPY_PRAGMA)
+        {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: lineno,
+                rule: "payload-copy",
+                message: format!(
+                    "`.to_vec()`/`.clone()` on the exchange path; route the copy \
+                     through the buffer pool (`take_buffer`/`recv_into`/`send_from`) \
+                     or justify the site with `// {PAYLOAD_COPY_PRAGMA}`"
+                ),
+            });
+        }
     }
     findings
 }
@@ -348,10 +379,13 @@ pub fn lint_source(file: &str, source: &str, hot_path: bool) -> Vec<Finding> {
 /// A `// ordering:` comment on the line itself or in the contiguous
 /// comment block directly above justifies an `Ordering::` usage.
 fn ordering_justified(raw_lines: &[&str], idx: usize) -> bool {
-    let has_note = |l: &str| {
-        l.find("//")
-            .is_some_and(|pos| l[pos..].contains("ordering:"))
-    };
+    comment_justified(raw_lines, idx, "ordering:")
+}
+
+/// `needle` inside a `//` comment on the line itself or in the contiguous
+/// comment block directly above justifies the flagged usage.
+fn comment_justified(raw_lines: &[&str], idx: usize, needle: &str) -> bool {
+    let has_note = |l: &str| l.find("//").is_some_and(|pos| l[pos..].contains(needle));
     if raw_lines.get(idx).copied().is_some_and(has_note) {
         return true;
     }
@@ -567,6 +601,48 @@ mod tests {
         assert!(a.contains("crates/core/src/shared.rs"));
         assert!(a.contains("crates/cluster/src/comm.rs"));
         assert_eq!(a.len(), 2);
+    }
+
+    // Spelled via concat! so this file's own payload-copy literal scan
+    // (which only applies to crates/cluster/src/ anyway) never trips on
+    // the fixtures.
+    fn to_vec_call() -> String {
+        [".to_", "vec()"].concat()
+    }
+
+    #[test]
+    fn payload_copy_fires_inside_cluster_src() {
+        let src = format!("fn f(x: &[f32]) -> Vec<f32> {{ x{} }}", to_vec_call());
+        let f = lint_source("crates/cluster/src/comm.rs", &src, false);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "payload-copy");
+    }
+
+    #[test]
+    fn payload_copy_pragma_opts_out_per_site() {
+        let src = format!(
+            "// {}\n// compatibility shim.\nfn f(x: &[f32]) -> Vec<f32> {{ x{} }}\n\
+             fn g(x: &[f32]) -> Vec<f32> {{ x{} }} // {}\n",
+            PAYLOAD_COPY_PRAGMA,
+            to_vec_call(),
+            to_vec_call(),
+            PAYLOAD_COPY_PRAGMA,
+        );
+        let f = lint_source("crates/cluster/src/comm.rs", &src, false);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn payload_copy_ignores_tests_and_other_crates() {
+        // Other crates' sources are out of scope entirely.
+        let src = format!("fn f(x: &[f32]) -> Vec<f32> {{ x{} }}", to_vec_call());
+        assert!(lint_source("crates/core/src/sync.rs", &src, false).is_empty());
+        // And #[cfg(test)] spans inside the cluster crate are exempt.
+        let src = format!(
+            "#[cfg(test)]\nmod tests {{\n    fn f(x: &[f32]) -> Vec<f32> {{ x{} }}\n}}\n",
+            to_vec_call()
+        );
+        assert!(lint_source("crates/cluster/src/comm.rs", &src, false).is_empty());
     }
 
     #[test]

@@ -32,6 +32,9 @@ cargo run -q -p easgd-xtask -- explore
 echo "==> kernel perf harness (smoke: one iteration per bench, no JSON)"
 cargo run -q --release -p easgd-bench --bin kernels -- --smoke
 
+echo "==> comm perf harness (smoke + checked-in BENCH_comm.json acceptance)"
+cargo run -q --release -p easgd-bench --bin comm -- --smoke
+
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 

@@ -427,3 +427,111 @@ proptest! {
         prop_assert!((clock.breakdown().total() - clock.now()).abs() < 1e-9 * clock.now().max(1.0));
     }
 }
+
+proptest! {
+    /// The fused exchange-step kernel is bit-identical to the two-pass
+    /// composition it replaces (copy the pre-update weights out, then
+    /// apply the Equation (1) worker pull), and stays bit-identical when
+    /// forced through the worker-pool banding at lengths that do *not*
+    /// divide evenly into bands (the ragged-tail case single-core CI
+    /// would otherwise never exercise).
+    #[test]
+    fn fused_elastic_exchange_matches_two_pass_composition(
+        bands in 2usize..8,
+        quot in 1usize..40,
+        rem in 0usize..8,
+        eta in 0.01f32..0.5,
+        rho in 0.01f32..0.9,
+        seed in 0u64..1_000,
+    ) {
+        use knl_easgd::tensor::par;
+        // Lengths straddling band boundaries: len % bands ranges over
+        // 0..bands, including the ragged remainders.
+        let len = bands * quot + (rem % bands);
+        let mut rng = Rng::new(seed);
+        let w0: Vec<f32> = (0..len).map(|_| rng.uniform_in(-2.0, 2.0)).collect();
+        let grad: Vec<f32> = (0..len).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+        let center: Vec<f32> = (0..len).map(|_| rng.uniform_in(-2.0, 2.0)).collect();
+
+        // Two-pass reference: publish a copy, then Equation (1).
+        let published = w0.clone();
+        let mut two_pass = w0.clone();
+        ops::elastic_worker_update(eta, rho, &mut two_pass, &grad, &center);
+
+        // Fused serial kernel.
+        let mut fused = w0.clone();
+        let mut contribution = vec![0.0f32; len];
+        ops::elastic_exchange(eta, rho, &mut fused, &mut contribution, &grad, &center);
+        for i in 0..len {
+            prop_assert_eq!(fused[i].to_bits(), two_pass[i].to_bits(), "local[{}]", i);
+            prop_assert_eq!(contribution[i].to_bits(), published[i].to_bits(), "contribution[{}]", i);
+        }
+
+        // The same sweep forced through an explicit band split must not
+        // move a single bit relative to the serial fused kernel.
+        let mut banded = w0.clone();
+        let mut banded_contribution = vec![0.0f32; len];
+        par::par_zip22_mut_bands(
+            bands,
+            &mut banded,
+            &mut banded_contribution,
+            &grad,
+            &center,
+            |lc, oc, gc, cc| {
+                for (((li, oi), gi), ci) in lc.iter_mut().zip(oc.iter_mut()).zip(gc).zip(cc) {
+                    let w = *li;
+                    *oi = w;
+                    *li = w - eta * (gi + rho * (w - ci));
+                }
+            },
+        );
+        for i in 0..len {
+            prop_assert_eq!(banded[i].to_bits(), fused[i].to_bits(), "banded local[{}]", i);
+            prop_assert_eq!(
+                banded_contribution[i].to_bits(),
+                contribution[i].to_bits(),
+                "banded contribution[{}]", i
+            );
+        }
+    }
+
+    /// The fused center refresh+dilution (`center_dilution_from`) is
+    /// bit-identical to copy-then-dilute, serial and band-forced alike.
+    #[test]
+    fn fused_center_dilution_from_matches_copy_then_dilution(
+        bands in 2usize..8,
+        quot in 1usize..40,
+        rem in 0usize..8,
+        eta in 0.01f32..0.5,
+        rho in 0.01f32..0.9,
+        workers in 1usize..16,
+        seed in 0u64..1_000,
+    ) {
+        use knl_easgd::tensor::par;
+        let len = bands * quot + (rem % bands);
+        let mut rng = Rng::new(seed);
+        let center_t: Vec<f32> = (0..len).map(|_| rng.uniform_in(-2.0, 2.0)).collect();
+        let sum: Vec<f32> = (0..len).map(|_| rng.uniform_in(-2.0, 2.0)).collect();
+
+        let mut two_pass = center_t.clone();
+        ops::center_dilution(eta, rho, &mut two_pass, &sum, workers);
+
+        let mut fused = vec![0.0f32; len];
+        ops::center_dilution_from(eta, rho, &center_t, &sum, workers, &mut fused);
+        for i in 0..len {
+            prop_assert_eq!(fused[i].to_bits(), two_pass[i].to_bits(), "out[{}]", i);
+        }
+
+        let scale = eta * rho;
+        let p = workers as f32;
+        let mut banded = vec![0.0f32; len];
+        par::par_zip2_mut_bands(bands, &mut banded, &center_t, &sum, |oc, tc, sc| {
+            for ((oi, ti), si) in oc.iter_mut().zip(tc).zip(sc) {
+                *oi = ti + scale * (si - p * ti);
+            }
+        });
+        for i in 0..len {
+            prop_assert_eq!(banded[i].to_bits(), fused[i].to_bits(), "banded out[{}]", i);
+        }
+    }
+}
