@@ -1,0 +1,867 @@
+// xtask: allow(step-alloc) — this module *is* the frozen allocating
+// baseline; fresh per-step allocations are the behaviour under test.
+//! The seed training step, frozen at this PR's base commit.
+//!
+//! A faithful port of the pre-arena `forward`/`backward` path — the
+//! allocating layer methods, the per-call im2col/col2im lowering, and
+//! the GEMM exactly as they stood before the zero-allocation refactor
+//! (including the GEMM's per-call packing-buffer allocations, which the
+//! library version has since moved to thread-local scratch). Freezing
+//! the baseline here keeps the A/B honest: improvements to the live
+//! kernels cannot leak into the side they are measured against.
+//!
+//! The frozen step computes the *same function to the bit* as the live
+//! pooled path — `main.rs` asserts loss and full-gradient bit-equality
+//! before timing — so the speedup column measures implementation cost
+//! only. Every fresh heap allocation the seed path performs is tallied
+//! in [`SeedNet::allocs`], giving the `seed_allocs_per_train_step`
+//! counter its meaning.
+
+use easgd_tensor::{Conv2dGeometry, ParamArena};
+
+// ---------------------------------------------------------------------------
+// Frozen GEMM (seed `easgd_tensor::gemm`, serial tiers).
+// ---------------------------------------------------------------------------
+
+/// Operand orientation (frozen copy of `easgd_tensor::Transpose`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Tr {
+    /// Use the matrix as stored.
+    No,
+    /// Use the transpose of the stored matrix.
+    Yes,
+}
+
+const MR: usize = 8;
+const NR: usize = 32;
+const MC: usize = 256;
+const KC: usize = 256;
+const NC: usize = 2048;
+const SMALL_FLOPS: u64 = 1 << 17;
+
+fn apply_beta(c: &mut [f32], beta: f32) {
+    if beta == 0.0 {
+        c.iter_mut().for_each(|x| *x = 0.0);
+    } else if beta != 1.0 {
+        c.iter_mut().for_each(|x| *x *= beta);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn naive_row(
+    ta: Tr,
+    tb: Tr,
+    m: usize,
+    _n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    i: usize,
+    c_row: &mut [f32],
+) {
+    let n = c_row.len();
+    match (ta, tb) {
+        (Tr::No, Tr::No) => {
+            for l in 0..k {
+                let ail = alpha * a[i * k + l];
+                if ail != 0.0 {
+                    let b_row = &b[l * n..l * n + n];
+                    for (cj, bj) in c_row.iter_mut().zip(b_row) {
+                        *cj += ail * bj;
+                    }
+                }
+            }
+        }
+        (Tr::No, Tr::Yes) => {
+            let a_row = &a[i * k..i * k + k];
+            for (j, cj) in c_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..j * k + k];
+                *cj += alpha * easgd_tensor::ops::dot(a_row, b_row);
+            }
+        }
+        (Tr::Yes, Tr::No) => {
+            for l in 0..k {
+                let ali = alpha * a[l * m + i];
+                if ali != 0.0 {
+                    let b_row = &b[l * n..l * n + n];
+                    for (cj, bj) in c_row.iter_mut().zip(b_row) {
+                        *cj += ali * bj;
+                    }
+                }
+            }
+        }
+        (Tr::Yes, Tr::Yes) => {
+            for (j, cj) in c_row.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for l in 0..k {
+                    acc += a[l * m + i] * b[j * k + l];
+                }
+                *cj += alpha * acc;
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    ta: Tr,
+    a: &[f32],
+    m: usize,
+    k: usize,
+    ic: usize,
+    mcb: usize,
+    pc: usize,
+    kcb: usize,
+    ap: &mut [f32],
+) {
+    let tiles = mcb.div_ceil(MR);
+    for it in 0..tiles {
+        let dst = &mut ap[it * kcb * MR..(it + 1) * kcb * MR];
+        let rows = MR.min(mcb - it * MR);
+        match ta {
+            Tr::No => {
+                for r in 0..MR {
+                    if r < rows {
+                        let src = &a[(ic + it * MR + r) * k + pc..][..kcb];
+                        for (p, &v) in src.iter().enumerate() {
+                            dst[p * MR + r] = v;
+                        }
+                    } else {
+                        for p in 0..kcb {
+                            dst[p * MR + r] = 0.0;
+                        }
+                    }
+                }
+            }
+            Tr::Yes => {
+                let base = ic + it * MR;
+                for p in 0..kcb {
+                    let d = &mut dst[p * MR..(p + 1) * MR];
+                    let src = &a[(pc + p) * m + base..][..rows];
+                    d[..rows].copy_from_slice(src);
+                    d[rows..].iter_mut().for_each(|v| *v = 0.0);
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    tb: Tr,
+    b: &[f32],
+    k: usize,
+    n: usize,
+    pc: usize,
+    kcb: usize,
+    jc: usize,
+    ncb: usize,
+    bp: &mut [f32],
+) {
+    let tiles = ncb.div_ceil(NR);
+    for jt in 0..tiles {
+        let dst = &mut bp[jt * kcb * NR..(jt + 1) * kcb * NR];
+        let cols = NR.min(ncb - jt * NR);
+        match tb {
+            Tr::No => {
+                for p in 0..kcb {
+                    let d = &mut dst[p * NR..(p + 1) * NR];
+                    let src = &b[(pc + p) * n + jc + jt * NR..][..cols];
+                    d[..cols].copy_from_slice(src);
+                    d[cols..].iter_mut().for_each(|v| *v = 0.0);
+                }
+            }
+            Tr::Yes => {
+                for j in 0..NR {
+                    if j < cols {
+                        let src = &b[(jc + jt * NR + j) * k + pc..][..kcb];
+                        for (p, &v) in src.iter().enumerate() {
+                            dst[p * NR + j] = v;
+                        }
+                    } else {
+                        for p in 0..kcb {
+                            dst[p * NR + j] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn fma_row(mut acc: [f32; NR], a: f32, b: &[f32; NR]) -> [f32; NR] {
+    if cfg!(target_feature = "fma") {
+        for j in 0..NR {
+            acc[j] = b[j].mul_add(a, acc[j]);
+        }
+    } else {
+        for j in 0..NR {
+            acc[j] += a * b[j];
+        }
+    }
+    acc
+}
+
+#[inline]
+fn microkernel(apanel: &[f32], bpanel: &[f32]) -> [[f32; NR]; MR] {
+    let mut c0 = [0.0f32; NR];
+    let mut c1 = [0.0f32; NR];
+    let mut c2 = [0.0f32; NR];
+    let mut c3 = [0.0f32; NR];
+    let mut c4 = [0.0f32; NR];
+    let mut c5 = [0.0f32; NR];
+    let mut c6 = [0.0f32; NR];
+    let mut c7 = [0.0f32; NR];
+    for (ak, bk) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)) {
+        let (Ok(ak), Ok(bk)) = (<&[f32; MR]>::try_from(ak), <&[f32; NR]>::try_from(bk)) else {
+            continue;
+        };
+        c0 = fma_row(c0, ak[0], bk);
+        c1 = fma_row(c1, ak[1], bk);
+        c2 = fma_row(c2, ak[2], bk);
+        c3 = fma_row(c3, ak[3], bk);
+        c4 = fma_row(c4, ak[4], bk);
+        c5 = fma_row(c5, ak[5], bk);
+        c6 = fma_row(c6, ak[6], bk);
+        c7 = fma_row(c7, ak[7], bk);
+    }
+    [c0, c1, c2, c3, c4, c5, c6, c7]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_tile(
+    acc: &[[f32; NR]; MR],
+    alpha: f32,
+    c: &mut [f32],
+    ldc: usize,
+    row0: usize,
+    col0: usize,
+    mr: usize,
+    nr: usize,
+) {
+    for (r, accr) in acc.iter().enumerate().take(mr) {
+        let crow = &mut c[(row0 + r) * ldc + col0..][..nr];
+        for (cj, accj) in crow.iter_mut().zip(accr.iter()) {
+            *cj += alpha * accj;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_tile_blend(
+    acc: &[[f32; NR]; MR],
+    alpha: f32,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+    row0: usize,
+    col0: usize,
+    mr: usize,
+    nr: usize,
+) {
+    for (r, accr) in acc.iter().enumerate().take(mr) {
+        let crow = &mut c[(row0 + r) * ldc + col0..][..nr];
+        if beta == 0.0 {
+            for (cj, accj) in crow.iter_mut().zip(accr.iter()) {
+                *cj = alpha * accj;
+            }
+        } else {
+            for (cj, accj) in crow.iter_mut().zip(accr.iter()) {
+                *cj = alpha * accj + beta * *cj;
+            }
+        }
+    }
+}
+
+/// Frozen seed GEMM: the serial blocked kernel with its per-call packing
+/// allocations, dispatching to the naive row loop below `SMALL_FLOPS`
+/// exactly as the seed did. Returns how many heap allocations it made.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    ta: Tr,
+    tb: Tr,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) -> u64 {
+    assert!(
+        a.len() >= m * k && b.len() >= k * n && c.len() >= m * n,
+        "seed gemm buffer mismatch"
+    );
+    if m == 0 || n == 0 {
+        return 0;
+    }
+    let c = &mut c[..m * n];
+    if k == 0 || alpha == 0.0 {
+        apply_beta(c, beta);
+        return 0;
+    }
+    let flops = 2 * m as u64 * n as u64 * k as u64;
+    if flops < SMALL_FLOPS {
+        apply_beta(c, beta);
+        for (i, c_row) in c.chunks_mut(n).enumerate() {
+            naive_row(ta, tb, m, n, k, alpha, a, b, i, c_row);
+        }
+        return 0;
+    }
+    // Seed behaviour: both packing panels are allocated afresh per call.
+    let mut ap = vec![0.0f32; MC * KC];
+    let bp_cols = NC.min(n.next_multiple_of(NR));
+    let mut bp = vec![0.0f32; KC * bp_cols];
+
+    let mut jc = 0;
+    while jc < n {
+        let ncb = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kcb = KC.min(k - pc);
+            pack_b(tb, b, k, n, pc, kcb, jc, ncb, &mut bp);
+            let mut ic = 0;
+            while ic < m {
+                let mcb = MC.min(m - ic);
+                pack_a(ta, a, m, k, ic, mcb, pc, kcb, &mut ap);
+                let row_tiles = mcb.div_ceil(MR);
+                let col_tiles = ncb.div_ceil(NR);
+                for jt in 0..col_tiles {
+                    let bpanel = &bp[jt * kcb * NR..(jt + 1) * kcb * NR];
+                    for it in 0..row_tiles {
+                        let apanel = &ap[it * kcb * MR..(it + 1) * kcb * MR];
+                        let acc = microkernel(apanel, bpanel);
+                        let row0 = ic + it * MR;
+                        let col0 = jc + jt * NR;
+                        let mr = MR.min(mcb - it * MR);
+                        let nr = NR.min(ncb - jt * NR);
+                        if pc == 0 {
+                            write_tile_blend(&acc, alpha, beta, c, n, row0, col0, mr, nr);
+                        } else {
+                            write_tile(&acc, alpha, c, n, row0, col0, mr, nr);
+                        }
+                    }
+                }
+                ic += mcb;
+            }
+            pc += kcb;
+        }
+        jc += ncb;
+    }
+    2
+}
+
+// ---------------------------------------------------------------------------
+// Frozen im2col / col2im (seed `easgd_tensor::im2col`, per-element form).
+// ---------------------------------------------------------------------------
+
+fn im2col(geom: &Conv2dGeometry, image: &[f32], col: &mut [f32]) {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let n_cols = oh * ow;
+    let mut row = 0;
+    for c in 0..geom.in_channels {
+        let plane = &image[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
+        for ky in 0..geom.k_h {
+            for kx in 0..geom.k_w {
+                let out_row = &mut col[row * n_cols..(row + 1) * n_cols];
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                    let dst = &mut out_row[oy * ow..(oy + 1) * ow];
+                    if iy < 0 || iy >= geom.in_h as isize {
+                        dst.iter_mut().for_each(|x| *x = 0.0);
+                        continue;
+                    }
+                    let src_row = &plane[iy as usize * geom.in_w..(iy as usize + 1) * geom.in_w];
+                    for (ox, d) in dst.iter_mut().enumerate() {
+                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                        *d = if ix < 0 || ix >= geom.in_w as isize {
+                            0.0
+                        } else {
+                            src_row[ix as usize]
+                        };
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+fn col2im(geom: &Conv2dGeometry, col: &[f32], image: &mut [f32]) {
+    image.iter_mut().for_each(|x| *x = 0.0);
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let n_cols = oh * ow;
+    let mut row = 0;
+    for c in 0..geom.in_channels {
+        let plane_off = c * geom.in_h * geom.in_w;
+        for ky in 0..geom.k_h {
+            for kx in 0..geom.k_w {
+                let src_row = &col[row * n_cols..(row + 1) * n_cols];
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                    if iy < 0 || iy >= geom.in_h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                        if ix < 0 || ix >= geom.in_w as isize {
+                            continue;
+                        }
+                        image[plane_off + iy as usize * geom.in_w + ix as usize] +=
+                            src_row[oy * ow + ox];
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frozen layers (seed `easgd_nn` allocating forward/backward).
+// ---------------------------------------------------------------------------
+
+/// One frozen layer with the seed's per-step caches.
+enum SeedLayer {
+    Conv {
+        geom: Conv2dGeometry,
+        oc: usize,
+        w_seg: usize,
+        b_seg: usize,
+        col_cache: Vec<Vec<f32>>,
+    },
+    Relu {
+        mask: Vec<f32>,
+    },
+    MaxPool {
+        channels: usize,
+        in_h: usize,
+        in_w: usize,
+        size: usize,
+        stride: usize,
+        argmax: Vec<usize>,
+    },
+    Flatten,
+    Dense {
+        in_f: usize,
+        out_f: usize,
+        w_seg: usize,
+        b_seg: usize,
+        input_cache: Vec<f32>,
+    },
+}
+
+/// The frozen seed network: a layer stack plus the allocation tally.
+pub struct SeedNet {
+    layers: Vec<SeedLayer>,
+    shape: Vec<usize>,
+    next_seg: usize,
+    /// Fresh heap allocations performed since construction.
+    pub allocs: u64,
+}
+
+impl SeedNet {
+    /// Starts a stack over per-sample input `shape` (C, H, W).
+    pub fn new(shape: [usize; 3]) -> Self {
+        Self {
+            layers: Vec::new(),
+            shape: shape.to_vec(),
+            next_seg: 0,
+            allocs: 0,
+        }
+    }
+
+    /// Mirrors `NetworkBuilder::conv2d` (square kernel, same stride/pad).
+    pub fn conv2d(mut self, oc: usize, k: usize, stride: usize, pad: usize) -> Self {
+        let geom = Conv2dGeometry {
+            in_channels: self.shape[0],
+            in_h: self.shape[1],
+            in_w: self.shape[2],
+            k_h: k,
+            k_w: k,
+            stride,
+            pad,
+        };
+        let (w_seg, b_seg) = (self.next_seg, self.next_seg + 1);
+        self.next_seg += 2;
+        self.shape = vec![oc, geom.out_h(), geom.out_w()];
+        self.layers.push(SeedLayer::Conv {
+            geom,
+            oc,
+            w_seg,
+            b_seg,
+            col_cache: Vec::new(),
+        });
+        self
+    }
+
+    /// Mirrors `NetworkBuilder::relu`.
+    pub fn relu(mut self) -> Self {
+        self.layers.push(SeedLayer::Relu { mask: Vec::new() });
+        self
+    }
+
+    /// Mirrors `NetworkBuilder::maxpool`.
+    pub fn maxpool(mut self, size: usize, stride: usize) -> Self {
+        let (c, h, w) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (oh, ow) = ((h - size) / stride + 1, (w - size) / stride + 1);
+        self.layers.push(SeedLayer::MaxPool {
+            channels: c,
+            in_h: h,
+            in_w: w,
+            size,
+            stride,
+            argmax: Vec::new(),
+        });
+        self.shape = vec![c, oh, ow];
+        self
+    }
+
+    /// Mirrors `NetworkBuilder::flatten`.
+    pub fn flatten(mut self) -> Self {
+        self.layers.push(SeedLayer::Flatten);
+        self.shape = vec![self.shape.iter().product()];
+        self
+    }
+
+    /// Mirrors `NetworkBuilder::dense`.
+    pub fn dense(mut self, out_f: usize) -> Self {
+        let in_f: usize = self.shape.iter().product();
+        let (w_seg, b_seg) = (self.next_seg, self.next_seg + 1);
+        self.next_seg += 2;
+        self.layers.push(SeedLayer::Dense {
+            in_f,
+            out_f,
+            w_seg,
+            b_seg,
+            input_cache: Vec::new(),
+        });
+        self.shape = vec![out_f];
+        self
+    }
+
+    /// One seed training evaluation — forward chain, softmax loss,
+    /// backward chain — accumulating into `grads` (zeroed first, as the
+    /// seed `Network::forward_backward` did). Returns the mean loss.
+    pub fn step(
+        &mut self,
+        params: &ParamArena,
+        grads: &mut ParamArena,
+        x: &[f32],
+        b: usize,
+        labels: &[usize],
+    ) -> f32 {
+        // Seed `Network::forward` began with `x.clone()`.
+        self.allocs += 1;
+        let mut cur = x.to_vec();
+        for layer in &mut self.layers {
+            cur = forward_layer(layer, params, &cur, b, &mut self.allocs);
+        }
+
+        // Frozen `SoftmaxCrossEntropy::forward` + `backward`.
+        let classes = cur.len() / b;
+        self.allocs += 1;
+        let mut probs = vec![0.0f32; cur.len()];
+        let mut loss = 0.0f64;
+        for (s, &label) in labels.iter().enumerate() {
+            let z = &cur[s * classes..(s + 1) * classes];
+            let p = &mut probs[s * classes..(s + 1) * classes];
+            let max = z.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for (pi, &zi) in p.iter_mut().zip(z) {
+                *pi = (zi - max).exp();
+                denom += *pi;
+            }
+            let inv = 1.0 / denom;
+            p.iter_mut().for_each(|pi| *pi *= inv);
+            loss -= (p[label].max(1e-12) as f64).ln();
+        }
+        self.allocs += 1;
+        let mut grad = probs.clone();
+        let inv_b = 1.0 / b as f32;
+        for (s, &label) in labels.iter().enumerate() {
+            let row = &mut grad[s * classes..(s + 1) * classes];
+            row[label] -= 1.0;
+            row.iter_mut().for_each(|g| *g *= inv_b);
+        }
+
+        grads.zero();
+        for layer in self.layers.iter_mut().rev() {
+            grad = backward_layer(layer, params, grads, &grad, b, &mut self.allocs);
+        }
+        (loss / b as f64) as f32
+    }
+}
+
+fn forward_layer(
+    layer: &mut SeedLayer,
+    params: &ParamArena,
+    input: &[f32],
+    b: usize,
+    allocs: &mut u64,
+) -> Vec<f32> {
+    match layer {
+        SeedLayer::Conv {
+            geom,
+            oc,
+            w_seg,
+            b_seg,
+            col_cache,
+        } => {
+            let w = params.segment(*w_seg);
+            let bias = params.segment(*b_seg);
+            let (rows, cols) = (geom.col_rows(), geom.col_cols());
+            let in_len = geom.input_len();
+            let out_len = *oc * cols;
+            *allocs += 1;
+            let mut out = vec![0.0f32; b * out_len];
+            // Seed: `col_cache.clear(); col_cache.resize(b, Vec::new())`
+            // dropped every panel, so each sample re-allocates below.
+            col_cache.clear();
+            col_cache.resize(b, Vec::new());
+            for (s, col) in col_cache.iter_mut().enumerate() {
+                let image = &input[s * in_len..(s + 1) * in_len];
+                let y = &mut out[s * out_len..(s + 1) * out_len];
+                *allocs += 1;
+                col.resize(rows * cols, 0.0);
+                im2col(geom, image, col);
+                *allocs += gemm(Tr::No, Tr::No, *oc, cols, rows, 1.0, w, col, 0.0, y);
+                for (c, plane) in y.chunks_mut(cols).enumerate() {
+                    let bc = bias[c];
+                    plane.iter_mut().for_each(|v| *v += bc);
+                }
+            }
+            out
+        }
+        SeedLayer::Relu { mask } => {
+            mask.clear();
+            mask.reserve(input.len());
+            *allocs += 1;
+            let mut out = input.to_vec();
+            for v in &mut out {
+                if *v > 0.0 {
+                    mask.push(1.0);
+                } else {
+                    mask.push(0.0);
+                    *v = 0.0;
+                }
+            }
+            out
+        }
+        SeedLayer::MaxPool {
+            channels,
+            in_h,
+            in_w,
+            size,
+            stride,
+            argmax,
+        } => {
+            let (oh, ow) = ((*in_h - *size) / *stride + 1, (*in_w - *size) / *stride + 1);
+            let in_plane = *in_h * *in_w;
+            let in_len = *channels * in_plane;
+            let out_len = *channels * oh * ow;
+            *allocs += 1;
+            let mut out = vec![0.0f32; b * out_len];
+            argmax.clear();
+            argmax.resize(b * out_len, 0);
+            for s in 0..b {
+                for c in 0..*channels {
+                    let plane_off = s * in_len + c * in_plane;
+                    let out_off = s * out_len + c * oh * ow;
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut best_idx = plane_off + (oy * *stride) * *in_w + ox * *stride;
+                            let mut best = input[best_idx];
+                            for ky in 0..*size {
+                                for kx in 0..*size {
+                                    let idx = plane_off
+                                        + (oy * *stride + ky) * *in_w
+                                        + (ox * *stride + kx);
+                                    if input[idx] > best {
+                                        best = input[idx];
+                                        best_idx = idx;
+                                    }
+                                }
+                            }
+                            let o = out_off + oy * ow + ox;
+                            out[o] = best;
+                            argmax[o] = best_idx;
+                        }
+                    }
+                }
+            }
+            out
+        }
+        SeedLayer::Flatten => {
+            *allocs += 1;
+            input.to_vec()
+        }
+        SeedLayer::Dense {
+            in_f,
+            out_f,
+            w_seg,
+            b_seg,
+            input_cache,
+        } => {
+            let w = params.segment(*w_seg);
+            let bias = params.segment(*b_seg);
+            *allocs += 1;
+            let mut out = vec![0.0f32; b * *out_f];
+            *allocs += gemm(
+                Tr::No,
+                Tr::Yes,
+                b,
+                *out_f,
+                *in_f,
+                1.0,
+                input,
+                w,
+                0.0,
+                &mut out,
+            );
+            for row in out.chunks_mut(*out_f) {
+                easgd_tensor::ops::add_assign(row, bias);
+            }
+            *allocs += 1;
+            *input_cache = input.to_vec();
+            out
+        }
+    }
+}
+
+fn backward_layer(
+    layer: &mut SeedLayer,
+    params: &ParamArena,
+    grads: &mut ParamArena,
+    grad_out: &[f32],
+    b: usize,
+    allocs: &mut u64,
+) -> Vec<f32> {
+    match layer {
+        SeedLayer::Conv {
+            geom,
+            oc,
+            w_seg,
+            b_seg,
+            col_cache,
+        } => {
+            let (rows, cols) = (geom.col_rows(), geom.col_cols());
+            let out_len = *oc * cols;
+            let in_len = geom.input_len();
+            let w = params.segment(*w_seg);
+            *allocs += 1;
+            let mut grad_in = vec![0.0f32; b * in_len];
+            *allocs += 1;
+            let mut grad_col = vec![0.0f32; rows * cols];
+            for s in 0..b {
+                let gy = &grad_out[s * out_len..(s + 1) * out_len];
+                let col = &col_cache[s];
+                *allocs += gemm(
+                    Tr::No,
+                    Tr::Yes,
+                    *oc,
+                    rows,
+                    cols,
+                    1.0,
+                    gy,
+                    col,
+                    1.0,
+                    grads.segment_mut(*w_seg),
+                );
+                {
+                    let gb = grads.segment_mut(*b_seg);
+                    for (c, plane) in gy.chunks(cols).enumerate() {
+                        gb[c] += easgd_tensor::ops::sum(plane);
+                    }
+                }
+                *allocs += gemm(
+                    Tr::Yes,
+                    Tr::No,
+                    rows,
+                    cols,
+                    *oc,
+                    1.0,
+                    w,
+                    gy,
+                    0.0,
+                    &mut grad_col,
+                );
+                let gx = &mut grad_in[s * in_len..(s + 1) * in_len];
+                col2im(geom, &grad_col, gx);
+            }
+            grad_in
+        }
+        SeedLayer::Relu { mask } => {
+            *allocs += 1;
+            let mut g = grad_out.to_vec();
+            for (gi, &m) in g.iter_mut().zip(mask.iter()) {
+                *gi *= m;
+            }
+            g
+        }
+        SeedLayer::MaxPool {
+            channels,
+            in_h,
+            in_w,
+            argmax,
+            ..
+        } => {
+            let in_len = *channels * *in_h * *in_w;
+            *allocs += 1;
+            let mut grad_in = vec![0.0f32; b * in_len];
+            for (o, &src) in argmax.iter().enumerate() {
+                grad_in[src] += grad_out[o];
+            }
+            grad_in
+        }
+        SeedLayer::Flatten => {
+            *allocs += 1;
+            grad_out.to_vec()
+        }
+        SeedLayer::Dense {
+            in_f,
+            out_f,
+            w_seg,
+            b_seg,
+            input_cache,
+        } => {
+            *allocs += gemm(
+                Tr::Yes,
+                Tr::No,
+                *out_f,
+                *in_f,
+                b,
+                1.0,
+                grad_out,
+                input_cache,
+                1.0,
+                grads.segment_mut(*w_seg),
+            );
+            {
+                let gb = grads.segment_mut(*b_seg);
+                for row in grad_out.chunks(*out_f) {
+                    easgd_tensor::ops::add_assign(gb, row);
+                }
+            }
+            *allocs += 1;
+            let mut grad_in = vec![0.0f32; b * *in_f];
+            let w = params.segment(*w_seg);
+            *allocs += gemm(
+                Tr::No,
+                Tr::No,
+                b,
+                *in_f,
+                *out_f,
+                1.0,
+                grad_out,
+                w,
+                0.0,
+                &mut grad_in,
+            );
+            grad_in
+        }
+    }
+}

@@ -154,6 +154,20 @@ impl BatchMsg {
         payload: &[f32],
         expected_batch: usize,
     ) -> Result<(Vec<usize>, &[f32]), CodecError> {
+        let mut labels = Vec::with_capacity(expected_batch);
+        let pixels = Self::decode_into(payload, expected_batch, &mut labels)?;
+        Ok((labels, pixels))
+    }
+
+    /// [`decode`](Self::decode) writing the labels into a caller-provided
+    /// buffer (cleared first) — the zero-allocation receive path once
+    /// `labels` has warmed up to the batch size.
+    pub fn decode_into<'a>(
+        payload: &'a [f32],
+        expected_batch: usize,
+        labels: &mut Vec<usize>,
+    ) -> Result<&'a [f32], CodecError> {
+        labels.clear();
         if payload.len() < 3 {
             return Err(CodecError::Truncated { got: payload.len() });
         }
@@ -177,14 +191,14 @@ impl BatchMsg {
                 got: payload.len(),
             });
         }
-        let mut labels = Vec::with_capacity(n_labels);
+        labels.reserve(n_labels);
         for (i, &l) in payload[3..3 + n_labels].iter().enumerate() {
             if !(l.is_finite() && l >= 0.0 && l.fract() == 0.0) {
                 return Err(CodecError::BadLabel { index: i, value: l });
             }
             labels.push(l as usize);
         }
-        Ok((labels, &payload[3 + n_labels..]))
+        Ok(&payload[3 + n_labels..])
     }
 }
 

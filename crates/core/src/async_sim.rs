@@ -71,8 +71,10 @@ pub fn async_server_sim(
         if comm.rank() == 0 {
             // ---- master: serve whoever arrives next, total times.
             let mut center = proto.params().as_slice().to_vec();
+            // Receive scratch, reused across requests.
+            let mut payload = Vec::new();
             for _ in 0..total {
-                let (from, payload) = comm.recv_any(TAG_REQ, TimeCategory::ForwardBackward);
+                let from = comm.recv_any_into(TAG_REQ, TimeCategory::ForwardBackward, &mut payload);
                 // The inbound transfer crosses the host link.
                 comm.charge(TimeCategory::CpuGpuParam, xfer);
                 match variant {
@@ -100,6 +102,8 @@ pub fn async_server_sim(
             let shard = &shards[me - 1];
             let mut local = LocalStep::new(proto);
             let mut rng = rank_rng(cfg.seed, SALT_PHI, me);
+            // Reply scratch, reused across rounds.
+            let mut reply = Vec::new();
             for _ in 0..cfg.iterations {
                 let batch = shard.sample_batch(&mut rng, cfg.batch);
                 local.forward_backward(&batch);
@@ -109,13 +113,23 @@ pub fn async_server_sim(
                 match variant {
                     AsyncVariant::Sgd => {
                         comm.send_costed(0, TAG_REQ, local.grad(), 0.0, TimeCategory::Other);
-                        let w = comm.recv(0, TAG_REPLY_BASE + me as u32, TimeCategory::Other);
-                        local.set_params(&w);
+                        comm.recv_into(
+                            0,
+                            TAG_REPLY_BASE + me as u32,
+                            TimeCategory::Other,
+                            &mut reply,
+                        );
+                        local.set_params(&reply);
                     }
                     AsyncVariant::Easgd => {
                         comm.send_costed(0, TAG_REQ, local.params(), 0.0, TimeCategory::Other);
-                        let center = comm.recv(0, TAG_REPLY_BASE + me as u32, TimeCategory::Other);
-                        local.elastic_step_against(&rule, &center);
+                        comm.recv_into(
+                            0,
+                            TAG_REPLY_BASE + me as u32,
+                            TimeCategory::Other,
+                            &mut reply,
+                        );
+                        local.elastic_step_against(&rule, &reply);
                         comm.charge(TimeCategory::GpuUpdate, costs.gpu_update);
                     }
                 }

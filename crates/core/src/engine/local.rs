@@ -11,7 +11,7 @@ use crate::engine::elastic::ElasticRule;
 use crate::schedule::apply_weight_decay;
 use easgd_data::Batch;
 use easgd_nn::Network;
-use easgd_tensor::{ops, Tensor};
+use easgd_tensor::ops;
 
 /// Per-worker training state plus the step kernels that mutate it.
 pub struct LocalStep {
@@ -48,13 +48,11 @@ impl LocalStep {
     }
 
     /// [`LocalStep::forward_backward`] over a flat pixel buffer (the
-    /// decoded form of a [`easgd_cluster::BatchMsg`]): builds the
-    /// `[batch, …input_shape]` tensor and steps on it.
+    /// decoded form of a [`easgd_cluster::BatchMsg`]): copies the pixels
+    /// into the network's pooled batch tensor and steps on it — no
+    /// per-round tensor allocation once warm.
     pub fn forward_backward_flat(&mut self, batch: usize, pixels: &[f32], labels: &[usize]) -> f32 {
-        let mut shape = vec![batch];
-        shape.extend_from_slice(self.net.input_shape());
-        let x = Tensor::from_vec(shape, pixels.to_vec());
-        let stats = self.net.forward_backward(&x, labels);
+        let stats = self.net.forward_backward_from_slice(batch, pixels, labels);
         self.record_loss(stats.loss);
         self.grad.copy_from_slice(self.net.grads().as_slice());
         stats.loss

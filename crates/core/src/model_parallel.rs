@@ -69,7 +69,8 @@ pub fn model_parallel_dense_forward(
     }
     // Allgather the slices ([batch, rows_r] blocks in rank order), then
     // interleave into [batch, out].
-    let gathered = comm.allgather(&part, TimeCategory::GpuGpuParam);
+    let mut gathered = Vec::new();
+    comm.allgather_into(&part, TimeCategory::GpuGpuParam, &mut gathered);
     let mut out = vec![0.0f32; batch * out_features];
     let mut offset = 0;
     for rank in 0..p {
@@ -120,7 +121,9 @@ pub fn model_parallel_dense_backward(
         0.0,
         &mut gx,
     );
-    comm.allreduce_sum(&gx, TimeCategory::GpuGpuParam)
+    let mut summed = Vec::new();
+    comm.allreduce_sum_into(&gx, TimeCategory::GpuGpuParam, &mut summed);
+    summed
 }
 
 /// The §2.3 cost argument, priced: speedup of `p`-way model parallelism

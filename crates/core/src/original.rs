@@ -175,10 +175,11 @@ fn worker_loop(
     // Receive scratch, reused across rounds (pool-recycled payloads).
     let mut payload: Vec<f32> = Vec::new();
     let mut center: Vec<f32> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
     for _ in 0..rounds {
         comm.recv_into(0, TAG_DATA, TimeCategory::Other, &mut payload);
         comm.recv_into(0, TAG_CENTER, TimeCategory::Other, &mut center);
-        let (labels, pixels) = match BatchMsg::decode(&payload, cfg.batch) {
+        let pixels = match BatchMsg::decode_into(&payload, cfg.batch, &mut labels) {
             Ok(x) => x,
             Err(e) => panic!("batch codec (rank {me}): {e}"),
         };

@@ -161,6 +161,7 @@ pub fn sync_easgd_sim_with(
         let mut contribution = vec![0.0f32; n];
         let mut weight_sum = vec![0.0f32; n];
         let mut payload = Vec::new();
+        let mut labels: Vec<usize> = Vec::new();
         let (update_cat, update_cost) = match variant {
             SyncVariant::Easgd1 => (TimeCategory::CpuUpdate, costs.cpu_update),
             _ => (TimeCategory::GpuUpdate, costs.gpu_update),
@@ -184,7 +185,7 @@ pub fn sync_easgd_sim_with(
                 }
                 Some(local) => {
                     comm.recv_into(0, TAG_DATA, TimeCategory::Other, &mut payload);
-                    let (labels, pixels) = match BatchMsg::decode(&payload, cfg.batch) {
+                    let pixels = match BatchMsg::decode_into(&payload, cfg.batch, &mut labels) {
                         Ok(x) => x,
                         Err(e) => panic!("batch codec (rank {me}): {e}"),
                     };

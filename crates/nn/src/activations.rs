@@ -2,7 +2,7 @@
 //! these as the non-linear transforms of a CNN).
 
 use crate::layer::Layer;
-use easgd_tensor::{ParamArena, Tensor};
+use easgd_tensor::{ParamArena, Tensor, TrainScratch};
 
 /// Rectified linear unit `max(0, x)`.
 #[derive(Clone, Debug)]
@@ -33,33 +33,41 @@ impl Layer for Relu {
         self.shape.clone()
     }
 
-    fn forward(&mut self, _params: &ParamArena, input: &Tensor, _train: bool) -> Tensor {
-        self.mask.clear();
-        self.mask.reserve(input.len());
-        let mut out = input.clone();
-        for v in out.as_mut_slice() {
+    fn forward_into(
+        &mut self,
+        _params: &ParamArena,
+        input: &Tensor,
+        _train: bool,
+        out: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
+        scratch.ensure_f32(&mut self.mask, input.len());
+        scratch.shape_tensor(out, input.shape().dims());
+        out.as_mut_slice().copy_from_slice(input.as_slice());
+        for (v, m) in out.as_mut_slice().iter_mut().zip(self.mask.iter_mut()) {
             if *v > 0.0 {
-                self.mask.push(1.0);
+                *m = 1.0;
             } else {
-                self.mask.push(0.0);
+                *m = 0.0;
                 *v = 0.0;
             }
         }
-        out
     }
 
-    fn backward(
+    fn backward_into(
         &mut self,
         _params: &ParamArena,
         _grads: &mut ParamArena,
         grad_out: &Tensor,
-    ) -> Tensor {
+        grad_in: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
         assert_eq!(grad_out.len(), self.mask.len(), "backward before forward");
-        let mut g = grad_out.clone();
-        for (gi, &m) in g.as_mut_slice().iter_mut().zip(&self.mask) {
+        scratch.shape_tensor(grad_in, grad_out.shape().dims());
+        grad_in.as_mut_slice().copy_from_slice(grad_out.as_slice());
+        for (gi, &m) in grad_in.as_mut_slice().iter_mut().zip(&self.mask) {
             *gi *= m;
         }
-        g
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {
@@ -98,31 +106,41 @@ impl Layer for Tanh {
         self.shape.clone()
     }
 
-    fn forward(&mut self, _params: &ParamArena, input: &Tensor, _train: bool) -> Tensor {
-        let mut out = input.clone();
+    fn forward_into(
+        &mut self,
+        _params: &ParamArena,
+        input: &Tensor,
+        _train: bool,
+        out: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
+        scratch.shape_tensor(out, input.shape().dims());
+        out.as_mut_slice().copy_from_slice(input.as_slice());
         for v in out.as_mut_slice() {
             *v = v.tanh();
         }
-        self.out_cache = out.as_slice().to_vec();
-        out
+        scratch.ensure_f32(&mut self.out_cache, out.len());
+        self.out_cache.copy_from_slice(out.as_slice());
     }
 
-    fn backward(
+    fn backward_into(
         &mut self,
         _params: &ParamArena,
         _grads: &mut ParamArena,
         grad_out: &Tensor,
-    ) -> Tensor {
+        grad_in: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
         assert_eq!(
             grad_out.len(),
             self.out_cache.len(),
             "backward before forward"
         );
-        let mut g = grad_out.clone();
-        for (gi, &y) in g.as_mut_slice().iter_mut().zip(&self.out_cache) {
+        scratch.shape_tensor(grad_in, grad_out.shape().dims());
+        grad_in.as_mut_slice().copy_from_slice(grad_out.as_slice());
+        for (gi, &y) in grad_in.as_mut_slice().iter_mut().zip(&self.out_cache) {
             *gi *= 1.0 - y * y;
         }
-        g
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {
@@ -160,31 +178,41 @@ impl Layer for Sigmoid {
         self.shape.clone()
     }
 
-    fn forward(&mut self, _params: &ParamArena, input: &Tensor, _train: bool) -> Tensor {
-        let mut out = input.clone();
+    fn forward_into(
+        &mut self,
+        _params: &ParamArena,
+        input: &Tensor,
+        _train: bool,
+        out: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
+        scratch.shape_tensor(out, input.shape().dims());
+        out.as_mut_slice().copy_from_slice(input.as_slice());
         for v in out.as_mut_slice() {
             *v = 1.0 / (1.0 + (-*v).exp());
         }
-        self.out_cache = out.as_slice().to_vec();
-        out
+        scratch.ensure_f32(&mut self.out_cache, out.len());
+        self.out_cache.copy_from_slice(out.as_slice());
     }
 
-    fn backward(
+    fn backward_into(
         &mut self,
         _params: &ParamArena,
         _grads: &mut ParamArena,
         grad_out: &Tensor,
-    ) -> Tensor {
+        grad_in: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
         assert_eq!(
             grad_out.len(),
             self.out_cache.len(),
             "backward before forward"
         );
-        let mut g = grad_out.clone();
-        for (gi, &y) in g.as_mut_slice().iter_mut().zip(&self.out_cache) {
+        scratch.shape_tensor(grad_in, grad_out.shape().dims());
+        grad_in.as_mut_slice().copy_from_slice(grad_out.as_slice());
+        for (gi, &y) in grad_in.as_mut_slice().iter_mut().zip(&self.out_cache) {
             *gi *= y * (1.0 - y);
         }
-        g
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {

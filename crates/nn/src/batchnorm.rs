@@ -8,7 +8,7 @@
 //! running-statistics inference.
 
 use crate::layer::{batch_of, Init, Layer, ParamSpec};
-use easgd_tensor::{ParamArena, Tensor};
+use easgd_tensor::{ParamArena, Tensor, TrainScratch};
 
 /// Batch normalization over `[B, C, …spatial]` inputs: statistics per
 /// channel across batch and spatial positions, learnable scale `γ` and
@@ -93,7 +93,14 @@ impl Layer for BatchNorm {
         vec![self.channels, self.plane]
     }
 
-    fn forward(&mut self, params: &ParamArena, input: &Tensor, train: bool) -> Tensor {
+    fn forward_into(
+        &mut self,
+        params: &ParamArena,
+        input: &Tensor,
+        train: bool,
+        out: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
         let b = batch_of(input);
         let per = self.channels * self.plane;
         assert_eq!(input.len(), b * per, "batchnorm input shape mismatch");
@@ -103,9 +110,10 @@ impl Layer for BatchNorm {
         let beta = params.segment(self.beta_seg);
         let x = input.as_slice();
         let n = self.stat_count(b);
-        let mut out = input.clone();
-        self.x_hat.clear();
-        self.x_hat.resize(input.len(), 0.0);
+        // Every element of out and x_hat is assigned in the channel loop,
+        // so neither buffer needs zeroing.
+        scratch.shape_tensor(out, input.shape().dims());
+        scratch.ensure_f32(&mut self.x_hat, input.len());
 
         for c in 0..self.channels {
             let (mean, var) = if train {
@@ -141,15 +149,16 @@ impl Layer for BatchNorm {
                 }
             }
         }
-        out
     }
 
-    fn backward(
+    fn backward_into(
         &mut self,
         params: &ParamArena,
         grads: &mut ParamArena,
         grad_out: &Tensor,
-    ) -> Tensor {
+        grad_in: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
         let b = self.last_batch;
         let per = self.channels * self.plane;
         assert_eq!(grad_out.len(), b * per, "backward before forward");
@@ -160,7 +169,8 @@ impl Layer for BatchNorm {
         let gamma = params.segment(self.gamma_seg);
         let gy = grad_out.as_slice();
         let n = self.stat_count(b);
-        let mut grad_in = Tensor::zeros(grad_out.shape().clone());
+        // Every element of grad_in is assigned in the channel loop.
+        scratch.shape_tensor(grad_in, grad_out.shape().dims());
 
         for (c, &gamma_c) in gamma.iter().enumerate().take(self.channels) {
             // Accumulate dγ, dβ and the two reduction terms of the BN
@@ -186,7 +196,6 @@ impl Layer for BatchNorm {
                 }
             }
         }
-        grad_in
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {

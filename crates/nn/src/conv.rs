@@ -11,7 +11,7 @@
 use crate::layer::{batch_of, Init, Layer, ParamSpec};
 use easgd_tensor::par::{pool, WorkerPool};
 use easgd_tensor::{col2im, im2col, Conv2dGeometry};
-use easgd_tensor::{gemm, ParamArena, Tensor, Transpose};
+use easgd_tensor::{gemm, ParamArena, ScratchPolicy, Tensor, TrainScratch, Transpose};
 use std::sync::Arc;
 
 /// Batches below this many forward flops (`2·b·oc·cols·rows`) run the
@@ -69,6 +69,54 @@ pub struct Conv2d {
     b_seg: usize,
     /// Cached im2col matrices, one per sample of the last forward batch.
     col_cache: Vec<Vec<f32>>,
+    /// Per-sample output buffers recycled through the parallel fan-out
+    /// (jobs take them by move and hand them back as results).
+    y_cache: Vec<Vec<f32>>,
+    /// Per-sample input copies recycled through the parallel fan-out.
+    image_cache: Vec<Vec<f32>>,
+    /// Shared weight/bias copies for the parallel fan-out. Steady state
+    /// refreshes them in place via `Arc::make_mut` — after `pool.run`
+    /// returns, every job's clone has been dropped, so the refcount is
+    /// back to one and no reallocation happens.
+    w_shared: Option<Arc<Vec<f32>>>,
+    bias_shared: Option<Arc<Vec<f32>>>,
+    /// Backward's `Wᵀ·gy` panel, reused across samples and steps.
+    grad_col: Vec<f32>,
+}
+
+/// Sizes a per-sample buffer list to `b` slots without dropping the
+/// capacity already accumulated in retained slots.
+fn ensure_slots(cache: &mut Vec<Vec<f32>>, b: usize) {
+    if cache.len() > b {
+        cache.truncate(b);
+    } else {
+        cache.resize_with(b, Vec::new);
+    }
+}
+
+/// Refreshes an `Arc`-shared operand copy from `src`, replacing it
+/// outright under the churn policy (the seed path built a fresh
+/// `Arc<Vec<f32>>` every step). Returns a handle to the refreshed
+/// buffer for fanning out to worker jobs.
+fn refresh_shared(
+    shared: &mut Option<Arc<Vec<f32>>>,
+    src: &[f32],
+    scratch: &mut TrainScratch,
+) -> Arc<Vec<f32>> {
+    match shared {
+        Some(arc) if scratch.policy() == ScratchPolicy::Pooled => {
+            let buf = Arc::make_mut(arc);
+            buf.resize(src.len(), 0.0);
+            buf.copy_from_slice(src);
+            arc.clone()
+        }
+        _ => {
+            let arc = Arc::new(src.to_vec());
+            scratch.note_external_alloc();
+            *shared = Some(arc.clone());
+            arc
+        }
+    }
 }
 
 impl Conv2d {
@@ -83,6 +131,11 @@ impl Conv2d {
             w_seg: usize::MAX,
             b_seg: usize::MAX,
             col_cache: Vec::new(),
+            y_cache: Vec::new(),
+            image_cache: Vec::new(),
+            w_shared: None,
+            bias_shared: None,
+            grad_col: Vec::new(),
         }
     }
 
@@ -110,6 +163,25 @@ impl Conv2d {
         params: &ParamArena,
         input: &Tensor,
     ) -> Tensor {
+        let mut out = Tensor::default();
+        let mut scratch = TrainScratch::default();
+        self.forward_with_pool_into(pool, params, input, &mut out, &mut scratch);
+        out
+    }
+
+    /// [`Layer::forward_into`] against an explicit pool. All per-sample
+    /// panels (im2col columns, output rows, input copies for the fan-out)
+    /// and the shared weight/bias `Arc`s are recycled across calls, so a
+    /// warmed-up step allocates nothing on either the serial or the
+    /// parallel branch.
+    pub fn forward_with_pool_into(
+        &mut self,
+        pool: &WorkerPool,
+        params: &ParamArena,
+        input: &Tensor,
+        out: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
         let b = batch_of(input);
         let in_len = self.geom.input_len();
         assert_eq!(
@@ -124,35 +196,53 @@ impl Conv2d {
         let bias = params.segment(self.b_seg);
         let (rows, cols) = (self.geom.col_rows(), self.geom.col_cols());
         let out_len = self.output_len();
-        let mut out = Tensor::zeros([b, self.out_channels, self.geom.out_h(), self.geom.out_w()]);
+        // Every output element is stored by the β = 0 GEMM, so the reused
+        // buffer needs no zeroing.
+        scratch.shape_tensor(
+            out,
+            &[b, self.out_channels, self.geom.out_h(), self.geom.out_w()],
+        );
 
-        self.col_cache.clear();
-        self.col_cache.resize(b, Vec::new());
+        ensure_slots(&mut self.col_cache, b);
+        for col in &mut self.col_cache {
+            scratch.ensure_f32(col, rows * cols);
+        }
 
         let flops = 2 * (b * self.out_channels * cols * rows) as u64;
         if pool.threads() > 1 && b >= 2 && flops >= PAR_FLOPS {
             // Owned-job fan-out: one job per sample over Arc-shared
-            // weights; results return in sample order via `run`.
-            let w_shared: Arc<Vec<f32>> = Arc::new(w.to_vec());
-            let bias_shared: Arc<Vec<f32>> = Arc::new(bias.to_vec());
+            // weights; results return in sample order via `run`. Each job
+            // takes its sample's recycled buffers by move and returns them,
+            // so steady state allocates only the pool's job list.
+            let w_shared = refresh_shared(&mut self.w_shared, w, scratch);
+            let bias_shared = refresh_shared(&mut self.bias_shared, bias, scratch);
+            ensure_slots(&mut self.y_cache, b);
+            ensure_slots(&mut self.image_cache, b);
             let geom = self.geom;
             let out_channels = self.out_channels;
-            let tasks: Vec<_> = (0..b)
-                .map(|s| {
-                    let image = input.as_slice()[s * in_len..(s + 1) * in_len].to_vec();
-                    let w = w_shared.clone();
-                    let bias = bias_shared.clone();
-                    move || {
-                        let mut col = Vec::new();
-                        let mut y = vec![0.0f32; out_channels * cols];
-                        sample_forward(&geom, out_channels, &w, &bias, &image, &mut col, &mut y);
-                        (col, y)
-                    }
-                })
-                .collect();
-            for (s, (col, y)) in pool.run(tasks).into_iter().enumerate() {
-                self.col_cache[s] = col;
+            let mut tasks = Vec::with_capacity(b);
+            for s in 0..b {
+                scratch.ensure_f32(&mut self.y_cache[s], out_len);
+                scratch.ensure_f32(&mut self.image_cache[s], in_len);
+                self.image_cache[s]
+                    .copy_from_slice(&input.as_slice()[s * in_len..(s + 1) * in_len]);
+                let image = std::mem::take(&mut self.image_cache[s]);
+                let mut col = std::mem::take(&mut self.col_cache[s]);
+                let mut y = std::mem::take(&mut self.y_cache[s]);
+                // Arc refcount bumps, not data copies; the weight
+                // buffers themselves are reused across steps.
+                let w = w_shared.clone(); // xtask: allow(step-alloc)
+                let bias = bias_shared.clone(); // xtask: allow(step-alloc)
+                tasks.push(move || {
+                    sample_forward(&geom, out_channels, &w, &bias, &image, &mut col, &mut y);
+                    (image, col, y)
+                });
+            }
+            for (s, (image, col, y)) in pool.run(tasks).into_iter().enumerate() {
                 out.as_mut_slice()[s * out_len..(s + 1) * out_len].copy_from_slice(&y);
+                self.image_cache[s] = image;
+                self.col_cache[s] = col;
+                self.y_cache[s] = y;
             }
         } else {
             for (s, col) in self.col_cache.iter_mut().enumerate() {
@@ -161,7 +251,6 @@ impl Conv2d {
                 sample_forward(&self.geom, self.out_channels, w, bias, image, col, y);
             }
         }
-        out
     }
 }
 
@@ -197,16 +286,25 @@ impl Layer for Conv2d {
         vec![self.out_channels, self.geom.out_h(), self.geom.out_w()]
     }
 
-    fn forward(&mut self, params: &ParamArena, input: &Tensor, _train: bool) -> Tensor {
-        self.forward_with_pool(pool(), params, input)
+    fn forward_into(
+        &mut self,
+        params: &ParamArena,
+        input: &Tensor,
+        _train: bool,
+        out: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
+        self.forward_with_pool_into(pool(), params, input, out, scratch);
     }
 
-    fn backward(
+    fn backward_into(
         &mut self,
         params: &ParamArena,
         grads: &mut ParamArena,
         grad_out: &Tensor,
-    ) -> Tensor {
+        grad_in: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
         let b = self.col_cache.len();
         assert!(b > 0, "backward called before forward");
         let (rows, cols) = (self.geom.col_rows(), self.geom.col_cols());
@@ -215,13 +313,15 @@ impl Layer for Conv2d {
         let in_len = self.geom.input_len();
         let w = params.segment(self.w_seg);
 
-        let mut grad_in = Tensor::zeros(vec![
-            b,
-            self.geom.in_channels,
-            self.geom.in_h,
-            self.geom.in_w,
-        ]);
-        let mut grad_col = vec![0.0f32; rows * cols];
+        // col2im zeroes each per-sample image slice itself before its
+        // `+=` accumulation, and the slices tile grad_in exactly, so the
+        // reused buffer needs no zeroing here. The β = 0 GEMM likewise
+        // stores every element of grad_col.
+        scratch.shape_tensor(
+            grad_in,
+            &[b, self.geom.in_channels, self.geom.in_h, self.geom.in_w],
+        );
+        scratch.ensure_f32(&mut self.grad_col, rows * cols);
         for s in 0..b {
             let gy = &grad_out.as_slice()[s * out_len..(s + 1) * out_len];
             let col = &self.col_cache[s];
@@ -256,18 +356,22 @@ impl Layer for Conv2d {
                 w,
                 gy,
                 0.0,
-                &mut grad_col,
+                &mut self.grad_col,
             );
             let gx = &mut grad_in.as_mut_slice()[s * in_len..(s + 1) * in_len];
-            col2im(&self.geom, &grad_col, gx);
+            col2im(&self.geom, &self.grad_col, gx);
         }
-        grad_in
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {
         // Caches are transient; cloning the configuration is enough.
         let mut c = self.clone();
         c.col_cache = Vec::new();
+        c.y_cache = Vec::new();
+        c.image_cache = Vec::new();
+        c.w_shared = None;
+        c.bias_shared = None;
+        c.grad_col = Vec::new();
         Box::new(c)
     }
 }

@@ -1,7 +1,7 @@
 //! Fully-connected layer.
 
 use crate::layer::{batch_of, Init, Layer, ParamSpec};
-use easgd_tensor::{gemm, ParamArena, Tensor, Transpose};
+use easgd_tensor::{gemm, ParamArena, Tensor, TrainScratch, Transpose};
 
 /// Fully-connected (inner-product) layer: `Y = X·Wᵀ + b`.
 ///
@@ -76,7 +76,14 @@ impl Layer for Dense {
         vec![self.out_features]
     }
 
-    fn forward(&mut self, params: &ParamArena, input: &Tensor, _train: bool) -> Tensor {
+    fn forward_into(
+        &mut self,
+        params: &ParamArena,
+        input: &Tensor,
+        _train: bool,
+        out: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
         let b = batch_of(input);
         assert_eq!(
             input.len(),
@@ -88,8 +95,9 @@ impl Layer for Dense {
         );
         let w = params.segment(self.w_seg);
         let bias = params.segment(self.b_seg);
-        let mut out = Tensor::zeros([b, self.out_features]);
-        // Y[B,out] = X[B,in] · Wᵀ  (W stored [out,in])
+        scratch.shape_tensor(out, &[b, self.out_features]);
+        // Y[B,out] = X[B,in] · Wᵀ  (W stored [out,in]; β = 0 never reads
+        // the reused buffer, so no zeroing is needed)
         gemm(
             Transpose::No,
             Transpose::Yes,
@@ -105,16 +113,19 @@ impl Layer for Dense {
         for row in out.as_mut_slice().chunks_mut(self.out_features) {
             easgd_tensor::ops::add_assign(row, bias);
         }
-        self.input_cache = Some(input.clone());
-        out
+        let cache = self.input_cache.get_or_insert_with(Tensor::default);
+        scratch.shape_tensor(cache, input.shape().dims());
+        cache.as_mut_slice().copy_from_slice(input.as_slice());
     }
 
-    fn backward(
+    fn backward_into(
         &mut self,
         params: &ParamArena,
         grads: &mut ParamArena,
         grad_out: &Tensor,
-    ) -> Tensor {
+        grad_in: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
         let input = self
             .input_cache
             .as_ref()
@@ -148,7 +159,7 @@ impl Layer for Dense {
         }
         // gradX[B,in] = gradY[B,out] · W[out,in]
         let w = params.segment(self.w_seg);
-        let mut grad_in = Tensor::zeros(input.shape().clone());
+        scratch.shape_tensor(grad_in, input.shape().dims());
         gemm(
             Transpose::No,
             Transpose::No,
@@ -161,7 +172,6 @@ impl Layer for Dense {
             0.0,
             grad_in.as_mut_slice(),
         );
-        grad_in
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {

@@ -1,7 +1,7 @@
 //! Dropout regularization (used by the AlexNet/VGG fully-connected stages).
 
 use crate::layer::Layer;
-use easgd_tensor::{ParamArena, Rng, Tensor};
+use easgd_tensor::{ParamArena, Rng, Tensor, TrainScratch};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Monotone counter so cloned dropout layers (one per worker replica)
@@ -47,42 +47,51 @@ impl Layer for Dropout {
         self.shape.clone()
     }
 
-    fn forward(&mut self, _params: &ParamArena, input: &Tensor, train: bool) -> Tensor {
+    fn forward_into(
+        &mut self,
+        _params: &ParamArena,
+        input: &Tensor,
+        train: bool,
+        out: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
+        scratch.ensure_f32(&mut self.mask, input.len());
+        scratch.shape_tensor(out, input.shape().dims());
+        out.as_mut_slice().copy_from_slice(input.as_slice());
         if !train || self.p == 0.0 {
             // Identity at inference; mark mask as pass-through for backward.
-            self.mask.clear();
-            self.mask.resize(input.len(), 1.0);
-            return input.clone();
+            self.mask.fill(1.0);
+            return;
         }
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        self.mask.clear();
-        self.mask.reserve(input.len());
-        let mut out = input.clone();
-        for v in out.as_mut_slice() {
+        // One rng draw per element, in element order — the same consumption
+        // order as the original allocating path, so seeded runs reproduce.
+        for (v, m) in out.as_mut_slice().iter_mut().zip(self.mask.iter_mut()) {
             if self.rng.uniform() < self.p {
-                self.mask.push(0.0);
+                *m = 0.0;
                 *v = 0.0;
             } else {
-                self.mask.push(scale);
+                *m = scale;
                 *v *= scale;
             }
         }
-        out
     }
 
-    fn backward(
+    fn backward_into(
         &mut self,
         _params: &ParamArena,
         _grads: &mut ParamArena,
         grad_out: &Tensor,
-    ) -> Tensor {
+        grad_in: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
         assert_eq!(grad_out.len(), self.mask.len(), "backward before forward");
-        let mut g = grad_out.clone();
-        for (gi, &m) in g.as_mut_slice().iter_mut().zip(&self.mask) {
+        scratch.shape_tensor(grad_in, grad_out.shape().dims());
+        grad_in.as_mut_slice().copy_from_slice(grad_out.as_slice());
+        for (gi, &m) in grad_in.as_mut_slice().iter_mut().zip(&self.mask) {
             *gi *= m;
         }
-        g
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {

@@ -1,25 +1,32 @@
 //! Shape adapter between convolutional and dense stages.
 
 use crate::layer::{batch_of, Layer};
-use easgd_tensor::{ParamArena, Tensor};
+use easgd_tensor::{ParamArena, Tensor, TrainScratch};
 
 /// Flattens `[B, C, H, W]` (or any rank) into `[B, features]`.
 ///
 /// Pure bookkeeping: the data is already contiguous row-major, so forward
-/// and backward are reshapes.
+/// and backward are copies with a different shape stamp (the pooled path
+/// cannot alias the caller's input, so a copy replaces the old
+/// `clone().reshape(..)`).
 #[derive(Clone, Debug)]
 pub struct Flatten {
     name: String,
     in_shape: Vec<usize>,
+    /// `[batch, …in_shape]` dims for backward, batch slot patched per
+    /// call — persistent so the hot path never rebuilds the list.
+    back_dims: Vec<usize>,
 }
 
 impl Flatten {
     /// Flattens the per-sample shape `in_shape`.
     pub fn new(name: impl Into<String>, in_shape: Vec<usize>) -> Self {
         assert!(!in_shape.is_empty(), "flatten needs an input shape");
+        let back_dims = std::iter::once(0).chain(in_shape.iter().copied()).collect();
         Self {
             name: name.into(),
             in_shape,
+            back_dims,
         }
     }
 
@@ -37,26 +44,35 @@ impl Layer for Flatten {
         vec![self.features()]
     }
 
-    fn forward(&mut self, _params: &ParamArena, input: &Tensor, _train: bool) -> Tensor {
+    fn forward_into(
+        &mut self,
+        _params: &ParamArena,
+        input: &Tensor,
+        _train: bool,
+        out: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
         let b = batch_of(input);
         assert_eq!(
             input.len(),
             b * self.features(),
             "flatten input shape mismatch"
         );
-        input.clone().reshape([b, self.features()])
+        scratch.shape_tensor(out, &[b, self.features()]);
+        out.as_mut_slice().copy_from_slice(input.as_slice());
     }
 
-    fn backward(
+    fn backward_into(
         &mut self,
         _params: &ParamArena,
         _grads: &mut ParamArena,
         grad_out: &Tensor,
-    ) -> Tensor {
-        let b = batch_of(grad_out);
-        let mut shape = vec![b];
-        shape.extend_from_slice(&self.in_shape);
-        grad_out.clone().reshape(shape)
+        grad_in: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
+        self.back_dims[0] = batch_of(grad_out);
+        scratch.shape_tensor(grad_in, &self.back_dims);
+        grad_in.as_mut_slice().copy_from_slice(grad_out.as_slice());
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {

@@ -10,35 +10,56 @@
 
 use crate::conv::Conv2d;
 use crate::layer::{batch_of, Layer, ParamSpec};
-use easgd_tensor::{Conv2dGeometry, ParamArena, Tensor};
+use easgd_tensor::{Conv2dGeometry, ParamArena, Tensor, TrainScratch};
 
 /// One parallel branch: a sequential stack of sub-layers.
 struct Branch {
     layers: Vec<Box<dyn Layer>>,
     /// Output channels of the branch (spatial dims match the module's).
     out_channels: usize,
+    /// Ping/pong activation slots for the sequential chain; after a
+    /// `forward_into`/`backward_into` pass the result sits in `pong`.
+    ping: Tensor,
+    pong: Tensor,
 }
 
 impl Branch {
-    fn forward(&mut self, params: &ParamArena, input: &Tensor, train: bool) -> Tensor {
-        let mut cur = input.clone();
+    fn forward_into(
+        &mut self,
+        params: &ParamArena,
+        input: &Tensor,
+        train: bool,
+        scratch: &mut TrainScratch,
+    ) {
+        let mut first = true;
         for l in &mut self.layers {
-            cur = l.forward(params, &cur, train);
+            if first {
+                l.forward_into(params, input, train, &mut self.pong, scratch);
+                first = false;
+            } else {
+                std::mem::swap(&mut self.ping, &mut self.pong);
+                l.forward_into(params, &self.ping, train, &mut self.pong, scratch);
+            }
         }
-        cur
     }
 
-    fn backward(
+    fn backward_into(
         &mut self,
         params: &ParamArena,
         grads: &mut ParamArena,
         grad_out: &Tensor,
-    ) -> Tensor {
-        let mut cur = grad_out.clone();
+        scratch: &mut TrainScratch,
+    ) {
+        let mut first = true;
         for l in self.layers.iter_mut().rev() {
-            cur = l.backward(params, grads, &cur);
+            if first {
+                l.backward_into(params, grads, grad_out, &mut self.pong, scratch);
+                first = false;
+            } else {
+                std::mem::swap(&mut self.ping, &mut self.pong);
+                l.backward_into(params, grads, &self.ping, &mut self.pong, scratch);
+            }
         }
-        cur
     }
 }
 
@@ -77,8 +98,9 @@ pub struct Inception {
     w: usize,
     config: InceptionConfig,
     branches: Vec<Branch>,
-    /// Gradient split points (channel counts per branch), cached.
-    branch_channels: Vec<usize>,
+    /// Per-branch slice of the upstream gradient, reused across branches
+    /// and steps.
+    gslice: Tensor,
     last_batch: usize,
 }
 
@@ -108,37 +130,39 @@ impl Inception {
                     out_c,
                 ))
             };
+        let branch = |layers: Vec<Box<dyn Layer>>, out_channels: usize| Branch {
+            layers,
+            out_channels,
+            ping: Tensor::default(),
+            pong: Tensor::default(),
+        };
         let branches = vec![
-            Branch {
-                layers: vec![conv("1x1", in_channels, config.c1, 1, 0)],
-                out_channels: config.c1,
-            },
-            Branch {
-                layers: vec![
+            branch(vec![conv("1x1", in_channels, config.c1, 1, 0)], config.c1),
+            branch(
+                vec![
                     conv("3x3r", in_channels, config.c3_reduce, 1, 0),
                     conv("3x3", config.c3_reduce, config.c3, 3, 1),
                 ],
-                out_channels: config.c3,
-            },
-            Branch {
-                layers: vec![
+                config.c3,
+            ),
+            branch(
+                vec![
                     conv("5x5r", in_channels, config.c5_reduce, 1, 0),
                     conv("5x5", config.c5_reduce, config.c5, 5, 2),
                 ],
-                out_channels: config.c5,
-            },
-            Branch {
-                // GoogLeNet's fourth branch is a same-size 3×3 max pool
-                // followed by a 1×1 projection. Our pooling layer has no
-                // padding, so the pool stage is folded away and only the
-                // projection is kept — same parameter count and channel
-                // arithmetic, slightly different features; the cost specs
-                // (`spec::spec_googlenet`) are unaffected.
-                layers: vec![conv("proj", in_channels, config.pool_proj, 1, 0)],
-                out_channels: config.pool_proj,
-            },
+                config.c5,
+            ),
+            // GoogLeNet's fourth branch is a same-size 3×3 max pool
+            // followed by a 1×1 projection. Our pooling layer has no
+            // padding, so the pool stage is folded away and only the
+            // projection is kept — same parameter count and channel
+            // arithmetic, slightly different features; the cost specs
+            // (`spec::spec_googlenet`) are unaffected.
+            branch(
+                vec![conv("proj", in_channels, config.pool_proj, 1, 0)],
+                config.pool_proj,
+            ),
         ];
-        let branch_channels = branches.iter().map(|b| b.out_channels).collect();
         Self {
             name,
             in_channels,
@@ -146,7 +170,7 @@ impl Inception {
             w,
             config,
             branches,
-            branch_channels,
+            gslice: Tensor::default(),
             last_batch: 0,
         }
     }
@@ -193,7 +217,14 @@ impl Layer for Inception {
         vec![self.config.out_channels(), self.h, self.w]
     }
 
-    fn forward(&mut self, params: &ParamArena, input: &Tensor, train: bool) -> Tensor {
+    fn forward_into(
+        &mut self,
+        params: &ParamArena,
+        input: &Tensor,
+        train: bool,
+        out: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
         let b = batch_of(input);
         assert_eq!(
             input.len(),
@@ -202,53 +233,57 @@ impl Layer for Inception {
             self.name
         );
         self.last_batch = b;
-        let outs: Vec<Tensor> = self
-            .branches
-            .iter_mut()
-            .map(|br| br.forward(params, input, train))
-            .collect();
         // Concatenate along channels: per sample, branch planes in order.
+        // The branch slices tile the channel axis exactly, so every output
+        // element is written and the reused buffer needs no zeroing.
         let out_c = self.config.out_channels();
         let plane = self.plane();
-        let mut out = Tensor::zeros([b, out_c, self.h, self.w]);
-        let dst = out.as_mut_slice();
-        for s in 0..b {
-            let mut c_off = 0;
-            for (br, t) in self.branches.iter().zip(&outs) {
-                let bc = br.out_channels;
-                let src = &t.as_slice()[s * bc * plane..(s + 1) * bc * plane];
+        scratch.shape_tensor(out, &[b, out_c, self.h, self.w]);
+        let mut c_off = 0;
+        for br in &mut self.branches {
+            br.forward_into(params, input, train, scratch);
+            let bc = br.out_channels;
+            let t = br.pong.as_slice();
+            let dst = out.as_mut_slice();
+            for s in 0..b {
+                let src = &t[s * bc * plane..(s + 1) * bc * plane];
                 let d = &mut dst[s * out_c * plane + c_off * plane..][..bc * plane];
                 d.copy_from_slice(src);
-                c_off += bc;
             }
+            c_off += bc;
         }
-        out
     }
 
-    fn backward(
+    fn backward_into(
         &mut self,
         params: &ParamArena,
         grads: &mut ParamArena,
         grad_out: &Tensor,
-    ) -> Tensor {
+        grad_in: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
         let b = self.last_batch;
         let out_c = self.config.out_channels();
         let plane = self.plane();
         assert_eq!(grad_out.len(), b * out_c * plane, "backward before forward");
         // Split grad per branch, run branch backward, sum input grads.
-        let mut grad_in = Tensor::zeros([b, self.in_channels, self.h, self.w]);
+        // The accumulation must start from zeros (not a copy of the first
+        // branch): `0.0 + (-0.0)` is `+0.0`, so copy-first would not be
+        // bit-identical when a branch gradient contains negative zeros.
+        scratch.shape_tensor_zeroed(grad_in, &[b, self.in_channels, self.h, self.w]);
         let mut c_off = 0;
-        for (i, bc) in self.branch_channels.clone().into_iter().enumerate() {
-            let mut gslice = Tensor::zeros([b, bc, self.h, self.w]);
+        for br in &mut self.branches {
+            let bc = br.out_channels;
+            scratch.shape_tensor(&mut self.gslice, &[b, bc, self.h, self.w]);
             for s in 0..b {
                 let src = &grad_out.as_slice()[s * out_c * plane + c_off * plane..][..bc * plane];
-                gslice.as_mut_slice()[s * bc * plane..(s + 1) * bc * plane].copy_from_slice(src);
+                self.gslice.as_mut_slice()[s * bc * plane..(s + 1) * bc * plane]
+                    .copy_from_slice(src);
             }
-            let gi = self.branches[i].backward(params, grads, &gslice);
-            easgd_tensor::ops::add_assign(grad_in.as_mut_slice(), gi.as_slice());
+            br.backward_into(params, grads, &self.gslice, scratch);
+            easgd_tensor::ops::add_assign(grad_in.as_mut_slice(), br.pong.as_slice());
             c_off += bc;
         }
-        grad_in
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {
@@ -268,6 +303,8 @@ impl Layer for Inception {
             .map(|b| Branch {
                 layers: b.layers.iter().map(|l| l.boxed_clone()).collect(),
                 out_channels: b.out_channels,
+                ping: Tensor::default(),
+                pong: Tensor::default(),
             })
             .collect();
         Box::new(clone)

@@ -7,7 +7,7 @@
 //! layout. This makes “send the whole model” a single contiguous message
 //! and lets optimizer updates run as flat-slice kernels.
 
-use easgd_tensor::{ParamArena, Rng, Tensor};
+use easgd_tensor::{ParamArena, Rng, Tensor, TrainScratch};
 
 /// How a parameter segment is initialized.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -57,11 +57,21 @@ pub struct ParamSpec {
 /// * [`param_specs`](Layer::param_specs) declares the segments the layer
 ///   needs; [`bind`](Layer::bind) later hands it the arena indices that
 ///   were allocated for those segments, in the same order.
-/// * [`forward`](Layer::forward) consumes a batch `[B, …in_shape]` and
-///   produces `[B, …out_shape]`, caching whatever it needs for backward.
-/// * [`backward`](Layer::backward) consumes `∂L/∂output`, **accumulates**
-///   `∂L/∂params` into `grads` (callers zero the arena per step), and
-///   returns `∂L/∂input`.
+/// * [`forward_into`](Layer::forward_into) consumes a batch
+///   `[B, …in_shape]` and writes `[B, …out_shape]` into a caller-owned
+///   tensor, caching whatever it needs for backward. The layer shapes
+///   `out` itself (through the counted scratch) and sizes every internal
+///   cache through the scratch's `ensure_*` helpers, so a warmed-up step
+///   performs zero heap allocations (DESIGN.md §11).
+/// * [`backward_into`](Layer::backward_into) consumes `∂L/∂output`,
+///   **accumulates** `∂L/∂params` into `grads` (callers zero the arena
+///   per step), and writes `∂L/∂input` into `grad_in`.
+/// * [`forward`](Layer::forward) / [`backward`](Layer::backward) are the
+///   original allocating forms, now provided as shims over the `_into`
+///   kernels (mirroring the PR 4 `_into` collectives). The defaults are
+///   mutually defined — a layer must implement at least one form of each
+///   pair; all in-tree layers implement the `_into` kernels so the
+///   golden digests lock the pooled path.
 pub trait Layer: Send + Sync {
     /// Display name for diagnostics and segment naming.
     fn name(&self) -> String;
@@ -81,16 +91,66 @@ pub trait Layer: Send + Sync {
 
     /// Forward propagation on a batch. `train` distinguishes training
     /// from inference (dropout behaves differently).
-    fn forward(&mut self, params: &ParamArena, input: &Tensor, train: bool) -> Tensor;
+    ///
+    /// Allocating shim over [`forward_into`](Layer::forward_into); the
+    /// throwaway scratch means every call pays fresh allocations. Hot
+    /// paths go through `Network::forward_backward`'s pooled scratch.
+    fn forward(&mut self, params: &ParamArena, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::default();
+        let mut scratch = TrainScratch::default();
+        self.forward_into(params, input, train, &mut out, &mut scratch);
+        out
+    }
 
     /// Backward propagation: accumulates parameter gradients into `grads`
     /// and returns the gradient with respect to the layer input.
+    ///
+    /// Allocating shim over [`backward_into`](Layer::backward_into); see
+    /// [`forward`](Layer::forward).
     fn backward(
         &mut self,
         params: &ParamArena,
         grads: &mut ParamArena,
         grad_out: &Tensor,
-    ) -> Tensor;
+    ) -> Tensor {
+        let mut grad_in = Tensor::default();
+        let mut scratch = TrainScratch::default();
+        self.backward_into(params, grads, grad_out, &mut grad_in, &mut scratch);
+        grad_in
+    }
+
+    /// Forward propagation writing into a caller-owned output tensor,
+    /// sizing it and every internal cache through the counted `scratch`.
+    ///
+    /// Default: delegates to the allocating [`forward`](Layer::forward)
+    /// (for layers outside this crate that predate the pooled path) and
+    /// records the detour on the scratch counters so the zero-allocation
+    /// invariant still observes it.
+    fn forward_into(
+        &mut self,
+        params: &ParamArena,
+        input: &Tensor,
+        train: bool,
+        out: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
+        *out = self.forward(params, input, train);
+        scratch.note_external_alloc();
+    }
+
+    /// Backward propagation writing `∂L/∂input` into a caller-owned
+    /// tensor; see [`forward_into`](Layer::forward_into).
+    fn backward_into(
+        &mut self,
+        params: &ParamArena,
+        grads: &mut ParamArena,
+        grad_out: &Tensor,
+        grad_in: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
+        *grad_in = self.backward(params, grads, grad_out);
+        scratch.note_external_alloc();
+    }
 
     /// Clones the layer (including its configuration, excluding transient
     /// caches is permitted) into a box. Needed because every worker in a

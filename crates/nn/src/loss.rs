@@ -1,6 +1,6 @@
 //! Softmax cross-entropy loss with analytic gradient.
 
-use easgd_tensor::Tensor;
+use easgd_tensor::{Tensor, TrainScratch};
 
 /// Combined softmax + cross-entropy head.
 ///
@@ -27,11 +27,35 @@ impl SoftmaxCrossEntropy {
     /// # Panics
     /// Panics if shapes disagree or any label is out of range.
     pub fn forward(&self, logits: &Tensor, labels: &[usize]) -> LossOutput {
+        let mut probs = Tensor::default();
+        let mut scratch = TrainScratch::default();
+        let (loss, correct) = self.forward_into(logits, labels, &mut probs, &mut scratch);
+        LossOutput {
+            loss,
+            probs,
+            correct,
+        }
+    }
+
+    /// [`forward`](Self::forward) writing the softmax probabilities into a
+    /// caller-owned tensor sized through the counted `scratch`; returns
+    /// `(mean loss, correct count)`.
+    ///
+    /// # Panics
+    /// Panics if shapes disagree or any label is out of range.
+    pub fn forward_into(
+        &self,
+        logits: &Tensor,
+        labels: &[usize],
+        probs: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) -> (f32, usize) {
         let b = labels.len();
         assert!(b > 0, "empty batch");
         assert_eq!(logits.len() % b, 0, "logit rows must match labels");
         let classes = logits.len() / b;
-        let mut probs = Tensor::zeros([b, classes]);
+        // Every probability row is fully overwritten below.
+        scratch.shape_tensor(probs, &[b, classes]);
         let mut loss = 0.0f64;
         let mut correct = 0;
         for (s, &label) in labels.iter().enumerate() {
@@ -51,11 +75,7 @@ impl SoftmaxCrossEntropy {
                 correct += 1;
             }
         }
-        LossOutput {
-            loss: (loss / b as f64) as f32,
-            probs,
-            correct,
-        }
+        ((loss / b as f64) as f32, correct)
     }
 
     /// Gradient of the mean loss with respect to the logits:
@@ -64,16 +84,36 @@ impl SoftmaxCrossEntropy {
     /// # Panics
     /// Panics if shapes disagree.
     pub fn backward(&self, out: &LossOutput, labels: &[usize]) -> Tensor {
+        let mut grad = Tensor::default();
+        let mut scratch = TrainScratch::default();
+        self.backward_into(&out.probs, labels, &mut grad, &mut scratch);
+        grad
+    }
+
+    /// [`backward`](Self::backward) writing the logit gradient into a
+    /// caller-owned tensor sized through the counted `scratch`; `probs`
+    /// is the probability tensor produced by
+    /// [`forward_into`](Self::forward_into).
+    ///
+    /// # Panics
+    /// Panics if shapes disagree.
+    pub fn backward_into(
+        &self,
+        probs: &Tensor,
+        labels: &[usize],
+        grad: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
         let b = labels.len();
-        let classes = out.probs.len() / b;
-        let mut grad = out.probs.clone();
+        let classes = probs.len() / b;
+        scratch.shape_tensor(grad, probs.shape().dims());
+        grad.as_mut_slice().copy_from_slice(probs.as_slice());
         let inv_b = 1.0 / b as f32;
         for (s, &label) in labels.iter().enumerate() {
             let row = &mut grad.as_mut_slice()[s * classes..(s + 1) * classes];
             row[label] -= 1.0;
             row.iter_mut().for_each(|g| *g *= inv_b);
         }
-        grad
     }
 }
 

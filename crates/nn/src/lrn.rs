@@ -4,7 +4,7 @@
 //! spans `n` adjacent channels centred on `c` (clipped at the edges).
 
 use crate::layer::{batch_of, Layer};
-use easgd_tensor::{ParamArena, Tensor};
+use easgd_tensor::{ParamArena, Tensor, TrainScratch};
 
 /// Across-channel LRN layer.
 #[derive(Clone, Debug)]
@@ -88,15 +88,24 @@ impl Layer for LocalResponseNorm {
         self.shape_of()
     }
 
-    fn forward(&mut self, _params: &ParamArena, input: &Tensor, _train: bool) -> Tensor {
+    fn forward_into(
+        &mut self,
+        _params: &ParamArena,
+        input: &Tensor,
+        _train: bool,
+        out: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
         let b = batch_of(input);
         let per = self.channels * self.plane;
         assert_eq!(input.len(), b * per, "LRN input shape mismatch");
         self.last_batch = b;
-        self.x_cache = input.as_slice().to_vec();
-        self.s_cache.clear();
-        self.s_cache.resize(input.len(), 0.0);
-        let mut out = input.clone();
+        scratch.ensure_f32(&mut self.x_cache, input.len());
+        self.x_cache.copy_from_slice(input.as_slice());
+        // Every element of s_cache and out is assigned below, so neither
+        // buffer needs zeroing.
+        scratch.ensure_f32(&mut self.s_cache, input.len());
+        scratch.shape_tensor(out, input.shape().dims());
         let scale = self.alpha / self.n as f32;
         let x = input.as_slice();
         for s in 0..b {
@@ -115,15 +124,16 @@ impl Layer for LocalResponseNorm {
                 }
             }
         }
-        out
     }
 
-    fn backward(
+    fn backward_into(
         &mut self,
         _params: &ParamArena,
         _grads: &mut ParamArena,
         grad_out: &Tensor,
-    ) -> Tensor {
+        grad_in: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
         let b = self.last_batch;
         let per = self.channels * self.plane;
         assert_eq!(grad_out.len(), b * per, "backward before forward");
@@ -131,7 +141,8 @@ impl Layer for LocalResponseNorm {
         let x = &self.x_cache;
         let s = &self.s_cache;
         let gy = grad_out.as_slice();
-        let mut grad_in = Tensor::zeros(grad_out.shape().clone());
+        // Every element of grad_in is assigned below.
+        scratch.shape_tensor(grad_in, grad_out.shape().dims());
         let gx = grad_in.as_mut_slice();
         // ∂L/∂x_m = g_m·s_m^{-β} − 2βα/n · x_m · Σ_{i: m∈window(i)} g_i·x_i·s_i^{-β-1}
         for sb in 0..b {
@@ -154,7 +165,6 @@ impl Layer for LocalResponseNorm {
                 }
             }
         }
-        grad_in
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {

@@ -9,7 +9,9 @@ use crate::layer::Layer;
 use crate::loss::SoftmaxCrossEntropy;
 use crate::lrn::LocalResponseNorm;
 use crate::pool::{AvgPool2d, MaxPool2d};
-use easgd_tensor::{Conv2dGeometry, ParamArena, Rng, Tensor};
+use easgd_tensor::{
+    Conv2dGeometry, ParamArena, Rng, ScratchPolicy, ScratchStats, Tensor, TrainScratch,
+};
 
 /// Statistics of one training step.
 #[derive(Clone, Copy, Debug)]
@@ -239,6 +241,9 @@ impl NetworkBuilder {
             layer.bind(segs);
         }
         let grads = ParamArena::like(&params);
+        let batch_dims = std::iter::once(0)
+            .chain(self.input_shape.iter().copied())
+            .collect();
         Network {
             layers,
             params,
@@ -246,6 +251,8 @@ impl NetworkBuilder {
             loss: SoftmaxCrossEntropy,
             input_shape: self.input_shape,
             num_classes: self.cur.iter().product(),
+            scratch: TrainScratch::default(),
+            batch_dims,
         }
     }
 }
@@ -263,6 +270,13 @@ pub struct Network {
     loss: SoftmaxCrossEntropy,
     input_shape: Vec<usize>,
     num_classes: usize,
+    /// Activation arena of the pooled training step (DESIGN.md §11): slot
+    /// tensors for the ping/pong layer chain, the batch input copy, and
+    /// the softmax probabilities, plus the allocation counters.
+    scratch: TrainScratch,
+    /// `[batch, …input_shape]` dims with the batch slot patched per step —
+    /// persistent so the hot path never rebuilds the list.
+    batch_dims: Vec<usize>,
 }
 
 impl Clone for Network {
@@ -274,6 +288,9 @@ impl Clone for Network {
             loss: SoftmaxCrossEntropy,
             input_shape: self.input_shape.clone(),
             num_classes: self.num_classes,
+            // Replicas warm their own buffers; only the policy carries over.
+            scratch: TrainScratch::new(self.scratch.policy()),
+            batch_dims: self.batch_dims.clone(),
         }
     }
 }
@@ -332,6 +349,8 @@ impl Network {
     /// Forward propagation on a batch `[B, …input_shape]`; returns logits
     /// `[B, classes]`.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        // xtask: allow(step-alloc) — inference-only entry point; training
+        // steps go through the pooled `forward_backward`.
         let mut cur = x.clone();
         for layer in &mut self.layers {
             cur = layer.forward(&self.params, &cur, train);
@@ -341,19 +360,102 @@ impl Network {
 
     /// One full training evaluation: forward, loss, backward. Gradients
     /// are zeroed first, then accumulated into [`grads`](Self::grads).
+    ///
+    /// This is the pooled path: activations and gradients ping-pong
+    /// between two slot tensors checked out of the step scratch, every
+    /// layer sizes its buffers through the counted `ensure_*` helpers, and
+    /// after one warm-up step the steady state performs zero heap
+    /// allocations (DESIGN.md §11) while remaining bit-identical to the
+    /// allocating shims.
     pub fn forward_backward(&mut self, x: &Tensor, labels: &[usize]) -> StepStats {
-        let logits = self.forward(x, true);
-        let out = self.loss.forward(&logits, labels);
-        let mut grad = self.loss.backward(&out, labels);
+        let mut ping = self.scratch.take_ping();
+        let mut pong = self.scratch.take_pong();
+        let mut probs = self.scratch.take_probs();
+
+        let mut first = true;
+        for layer in &mut self.layers {
+            if first {
+                layer.forward_into(&self.params, x, true, &mut pong, &mut self.scratch);
+                first = false;
+            } else {
+                std::mem::swap(&mut ping, &mut pong);
+                layer.forward_into(&self.params, &ping, true, &mut pong, &mut self.scratch);
+            }
+        }
+        if first {
+            // Layer-less network: the logits are the input itself.
+            self.scratch.shape_tensor(&mut pong, x.shape().dims());
+            pong.as_mut_slice().copy_from_slice(x.as_slice());
+        }
+        let (loss, correct) = self
+            .loss
+            .forward_into(&pong, labels, &mut probs, &mut self.scratch);
+        self.loss
+            .backward_into(&probs, labels, &mut ping, &mut self.scratch);
+
         self.grads.zero();
         for layer in self.layers.iter_mut().rev() {
-            grad = layer.backward(&self.params, &mut self.grads, &grad);
+            layer.backward_into(
+                &self.params,
+                &mut self.grads,
+                &ping,
+                &mut pong,
+                &mut self.scratch,
+            );
+            std::mem::swap(&mut ping, &mut pong);
         }
+
+        self.scratch.put_ping(ping);
+        self.scratch.put_pong(pong);
+        self.scratch.put_probs(probs);
         StepStats {
-            loss: out.loss,
-            correct: out.correct,
+            loss,
+            correct,
             batch: labels.len(),
         }
+    }
+
+    /// [`forward_backward`](Self::forward_backward) over a flat pixel
+    /// buffer (the decoded form of a wire batch): shapes the pooled batch
+    /// tensor to `[batch, …input_shape]`, copies the pixels in, and steps
+    /// — no per-call tensor allocation once warm.
+    ///
+    /// # Panics
+    /// Panics if `pixels.len()` disagrees with `batch` samples.
+    pub fn forward_backward_from_slice(
+        &mut self,
+        batch: usize,
+        pixels: &[f32],
+        labels: &[usize],
+    ) -> StepStats {
+        let per: usize = self.input_shape.iter().product();
+        assert_eq!(
+            pixels.len(),
+            batch * per,
+            "flat batch length mismatch: {} pixels for {batch} samples of {per}",
+            pixels.len()
+        );
+        let mut x = self.scratch.take_batch();
+        self.batch_dims[0] = batch;
+        self.scratch.shape_tensor(&mut x, &self.batch_dims);
+        x.as_mut_slice().copy_from_slice(pixels);
+        let stats = self.forward_backward(&x, labels);
+        self.scratch.put_batch(x);
+        stats
+    }
+
+    /// Allocation counters of the pooled step scratch. A warmed-up
+    /// steady-state step leaves [`ScratchStats::allocations`] unchanged;
+    /// the train bench and the regression tests assert exactly that.
+    pub fn scratch_stats(&self) -> ScratchStats {
+        self.scratch.stats()
+    }
+
+    /// Replaces the step scratch with a fresh one running `policy`
+    /// (buffers and counters reset). [`ScratchPolicy::Churn`] reproduces
+    /// the seed's allocate-every-step behaviour for baseline timing.
+    pub fn set_scratch_policy(&mut self, policy: ScratchPolicy) {
+        self.scratch = TrainScratch::new(policy);
     }
 
     /// Classification accuracy over a labelled set, evaluated in batches

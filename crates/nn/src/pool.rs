@@ -1,7 +1,7 @@
 //! Spatial pooling layers.
 
 use crate::layer::{batch_of, Layer};
-use easgd_tensor::{ParamArena, Tensor};
+use easgd_tensor::{ParamArena, Tensor, TrainScratch};
 
 /// Shared spatial bookkeeping for pooling windows.
 #[derive(Clone, Copy, Debug)]
@@ -77,16 +77,22 @@ impl Layer for MaxPool2d {
         vec![self.geom.channels, self.geom.out_h(), self.geom.out_w()]
     }
 
-    fn forward(&mut self, _params: &ParamArena, input: &Tensor, _train: bool) -> Tensor {
-        let g = &self.geom;
+    fn forward_into(
+        &mut self,
+        _params: &ParamArena,
+        input: &Tensor,
+        _train: bool,
+        out: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
+        let g = self.geom;
         let b = batch_of(input);
         let in_len = g.channels * g.in_plane();
         assert_eq!(input.len(), b * in_len, "maxpool input shape mismatch");
         let (oh, ow) = (g.out_h(), g.out_w());
         let out_len = g.channels * g.out_plane();
-        let mut out = Tensor::zeros([b, g.channels, oh, ow]);
-        self.argmax.clear();
-        self.argmax.resize(b * out_len, 0);
+        scratch.shape_tensor(out, &[b, g.channels, oh, ow]);
+        scratch.ensure_usize(&mut self.argmax, b * out_len);
         let x = input.as_slice();
         let y = out.as_mut_slice();
         for s in 0..b {
@@ -115,15 +121,16 @@ impl Layer for MaxPool2d {
                 }
             }
         }
-        out
     }
 
-    fn backward(
+    fn backward_into(
         &mut self,
         _params: &ParamArena,
         _grads: &mut ParamArena,
         grad_out: &Tensor,
-    ) -> Tensor {
+        grad_in: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
         let g = &self.geom;
         assert_eq!(
             grad_out.len(),
@@ -131,12 +138,12 @@ impl Layer for MaxPool2d {
             "backward called with mismatched batch"
         );
         let b = grad_out.len() / (g.channels * g.out_plane());
-        let mut grad_in = Tensor::zeros([b, g.channels, g.in_h, g.in_w]);
+        // The scatter below accumulates, so the buffer must start zeroed.
+        scratch.shape_tensor_zeroed(grad_in, &[b, g.channels, g.in_h, g.in_w]);
         let gx = grad_in.as_mut_slice();
         for (o, &src) in self.argmax.iter().enumerate() {
             gx[src] += grad_out.as_slice()[o];
         }
-        grad_in
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {
@@ -192,15 +199,22 @@ impl Layer for AvgPool2d {
         vec![self.geom.channels, self.geom.out_h(), self.geom.out_w()]
     }
 
-    fn forward(&mut self, _params: &ParamArena, input: &Tensor, _train: bool) -> Tensor {
-        let g = &self.geom;
+    fn forward_into(
+        &mut self,
+        _params: &ParamArena,
+        input: &Tensor,
+        _train: bool,
+        out: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
+        let g = self.geom;
         let b = batch_of(input);
         let in_len = g.channels * g.in_plane();
         assert_eq!(input.len(), b * in_len, "avgpool input shape mismatch");
         self.last_batch = b;
         let (oh, ow) = (g.out_h(), g.out_w());
         let norm = 1.0 / (g.size * g.size) as f32;
-        let mut out = Tensor::zeros([b, g.channels, oh, ow]);
+        scratch.shape_tensor(out, &[b, g.channels, oh, ow]);
         let x = input.as_slice();
         let y = out.as_mut_slice();
         let out_len = g.channels * g.out_plane();
@@ -223,15 +237,16 @@ impl Layer for AvgPool2d {
                 }
             }
         }
-        out
     }
 
-    fn backward(
+    fn backward_into(
         &mut self,
         _params: &ParamArena,
         _grads: &mut ParamArena,
         grad_out: &Tensor,
-    ) -> Tensor {
+        grad_in: &mut Tensor,
+        scratch: &mut TrainScratch,
+    ) {
         let g = &self.geom;
         let b = self.last_batch;
         assert_eq!(
@@ -241,7 +256,8 @@ impl Layer for AvgPool2d {
         );
         let (oh, ow) = (g.out_h(), g.out_w());
         let norm = 1.0 / (g.size * g.size) as f32;
-        let mut grad_in = Tensor::zeros([b, g.channels, g.in_h, g.in_w]);
+        // Overlapping windows accumulate, so the buffer must start zeroed.
+        scratch.shape_tensor_zeroed(grad_in, &[b, g.channels, g.in_h, g.in_w]);
         let gx = grad_in.as_mut_slice();
         let gy = grad_out.as_slice();
         let in_len = g.channels * g.in_plane();
@@ -264,7 +280,6 @@ impl Layer for AvgPool2d {
                 }
             }
         }
-        grad_in
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {

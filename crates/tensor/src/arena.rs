@@ -11,7 +11,16 @@
 //! symmetrically, its gradients, velocities, and center weights — live in
 //! arenas of identical layout, so elastic updates and collectives operate
 //! on one flat slice.
+//!
+//! [`TrainScratch`] extends the same idea from weights to the *transient*
+//! side of a training step: activations, gradients, masks/caches and
+//! im2col panels. Every per-step buffer request on the pooled
+//! forward/backward path is routed through its counted `ensure_*` /
+//! `shape_tensor*` entry points, so after a warm-up step the steady state
+//! performs zero heap allocations — and the counters prove it (see
+//! DESIGN.md §11 and `BENCH_train.json`).
 
+use crate::tensor::Tensor;
 use std::fmt;
 
 /// A named sub-range of a [`ParamArena`].
@@ -200,6 +209,274 @@ impl fmt::Debug for ParamArena {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Training scratch: the activation/gradient arena of the pooled step path.
+// ---------------------------------------------------------------------------
+
+/// How a counted buffer request touched the allocator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BufGrowth {
+    /// The buffer had no storage; a fresh allocation was made.
+    Fresh,
+    /// Existing storage was too small and had to grow (a realloc).
+    Grown,
+    /// Existing capacity covered the request — no allocator traffic.
+    Reused,
+}
+
+/// Allocation policy of a [`TrainScratch`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScratchPolicy {
+    /// Reuse buffer capacity across steps. After one warm-up step the
+    /// steady state performs zero heap allocations (the default).
+    #[default]
+    Pooled,
+    /// Replace every requested buffer with a fresh allocation, exactly as
+    /// the pre-arena layers did (`input.clone()`, `to_vec()` caches,
+    /// fresh im2col panels). This is the honest seed baseline the
+    /// `train` bench times the pooled path against.
+    Churn,
+}
+
+/// Counter snapshot of scratch activity (the [`crate::Tensor`]-side
+/// sibling of the cluster pool's `PoolStats`). Counters are plain `u64`s:
+/// the scratch is owned by one training thread and handed down the layer
+/// stack by `&mut`, so no atomics are needed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Requests that allocated a buffer from nothing.
+    pub fresh: u64,
+    /// Requests that grew an existing buffer (a realloc).
+    pub grown: u64,
+    /// Requests served entirely from existing capacity.
+    pub reused: u64,
+}
+
+impl ScratchStats {
+    /// Total allocator events: fresh buffers plus capacity growths. The
+    /// steady-state invariant of the pooled path is `allocations() == 0`
+    /// per step.
+    pub fn allocations(&self) -> u64 {
+        self.fresh + self.grown
+    }
+
+    /// Total counted buffer requests.
+    pub fn requests(&self) -> u64 {
+        self.fresh + self.grown + self.reused
+    }
+
+    /// Counter-wise difference `self − earlier` (for per-step windows).
+    pub fn since(&self, earlier: &ScratchStats) -> ScratchStats {
+        ScratchStats {
+            fresh: self.fresh - earlier.fresh,
+            grown: self.grown - earlier.grown,
+            reused: self.reused - earlier.reused,
+        }
+    }
+}
+
+/// The per-step transient arena: counted, recycled storage for
+/// activations, gradients, layer caches and im2col panels.
+///
+/// Layers own their cache buffers (masks, saved activations, col panels)
+/// but size them *exclusively* through the counted `ensure_*` helpers
+/// here; the ping-pong activation/gradient tensors, the pooled batch
+/// tensor and the softmax probability buffer live inside the scratch and
+/// are checked out with the `take_*`/`put_*` pairs (a `mem::take` swap —
+/// never an allocation).
+///
+/// ## Warm-up contract
+///
+/// The first step through a network grows every buffer to its steady
+/// size (`fresh`/`grown` events); every later step with the same batch
+/// shape is served entirely from capacity (`reused` only). Buffer
+/// contents between steps are *unspecified* — every kernel on the pooled
+/// path either fully overwrites its output or asks for the `_zeroed`
+/// variant (the scatter-accumulate backward passes).
+#[derive(Debug, Default)]
+pub struct TrainScratch {
+    policy: ScratchPolicy,
+    stats: ScratchStats,
+    // Slot tensors are `Option` so checkout is `Option::take` — a pointer
+    // swap, not a `mem::take` that would build a placeholder shape (and
+    // its one-word heap allocation) every step.
+    ping: Option<Tensor>,
+    pong: Option<Tensor>,
+    batch: Option<Tensor>,
+    probs: Option<Tensor>,
+}
+
+impl TrainScratch {
+    /// An empty scratch with the given policy.
+    pub fn new(policy: ScratchPolicy) -> Self {
+        Self {
+            policy,
+            ..Self::default()
+        }
+    }
+
+    /// The allocation policy.
+    pub fn policy(&self) -> ScratchPolicy {
+        self.policy
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> ScratchStats {
+        self.stats
+    }
+
+    fn tally(&mut self, growth: BufGrowth) {
+        match growth {
+            BufGrowth::Fresh => self.stats.fresh += 1,
+            BufGrowth::Grown => self.stats.grown += 1,
+            BufGrowth::Reused => self.stats.reused += 1,
+        }
+    }
+
+    /// Records one allocation made *outside* the counted entry points (a
+    /// legacy layer routed through the allocating shim) so the
+    /// zero-allocation regression test still sees it.
+    pub fn note_external_alloc(&mut self) {
+        self.stats.fresh += 1;
+    }
+
+    /// Sizes `buf` to exactly `len` elements through the counting policy.
+    /// Contents are unspecified (kept capacity is dirty); callers fully
+    /// overwrite. Zero-length requests never touch the allocator or the
+    /// counters (an empty `Vec` never allocates).
+    pub fn ensure_f32(&mut self, buf: &mut Vec<f32>, len: usize) {
+        if len == 0 {
+            buf.clear();
+            return;
+        }
+        if self.policy == ScratchPolicy::Churn {
+            *buf = vec![0.0; len];
+            self.tally(BufGrowth::Fresh);
+            return;
+        }
+        let growth = if buf.capacity() >= len {
+            BufGrowth::Reused
+        } else if buf.capacity() == 0 {
+            BufGrowth::Fresh
+        } else {
+            BufGrowth::Grown
+        };
+        if buf.len() > len {
+            buf.truncate(len);
+        } else {
+            buf.resize(len, 0.0);
+        }
+        self.tally(growth);
+    }
+
+    /// [`ensure_f32`](Self::ensure_f32) followed by a zero fill — for
+    /// scatter-accumulate targets that relied on `Tensor::zeros`. Under
+    /// `Churn` the fresh buffer is already zeroed, so the baseline pays
+    /// the fill exactly once, like the seed did.
+    pub fn ensure_f32_zeroed(&mut self, buf: &mut Vec<f32>, len: usize) {
+        self.ensure_f32(buf, len);
+        if self.policy != ScratchPolicy::Churn {
+            buf.iter_mut().for_each(|x| *x = 0.0);
+        }
+    }
+
+    /// `usize`-typed sibling of [`ensure_f32`](Self::ensure_f32) (pooling
+    /// argmax indices and label buffers).
+    pub fn ensure_usize(&mut self, buf: &mut Vec<usize>, len: usize) {
+        if len == 0 {
+            buf.clear();
+            return;
+        }
+        if self.policy == ScratchPolicy::Churn {
+            *buf = vec![0; len];
+            self.tally(BufGrowth::Fresh);
+            return;
+        }
+        let growth = if buf.capacity() >= len {
+            BufGrowth::Reused
+        } else if buf.capacity() == 0 {
+            BufGrowth::Fresh
+        } else {
+            BufGrowth::Grown
+        };
+        if buf.len() > len {
+            buf.truncate(len);
+        } else {
+            buf.resize(len, 0);
+        }
+        self.tally(growth);
+    }
+
+    /// Re-shapes `t` to `dims` through the counting policy, reusing its
+    /// storage when pooled. Contents are unspecified; callers fully
+    /// overwrite (or use [`shape_tensor_zeroed`](Self::shape_tensor_zeroed)).
+    pub fn shape_tensor(&mut self, t: &mut Tensor, dims: &[usize]) {
+        if self.policy == ScratchPolicy::Churn {
+            *t = Tensor::zeros(dims.to_vec());
+            if !t.is_empty() {
+                self.tally(BufGrowth::Fresh);
+            }
+            return;
+        }
+        let growth = t.resize_in_place(dims);
+        if !t.is_empty() {
+            self.tally(growth);
+        }
+    }
+
+    /// [`shape_tensor`](Self::shape_tensor) followed by a zero fill — the
+    /// pooled replacement for a fresh `Tensor::zeros` that a
+    /// scatter-accumulate kernel reads back.
+    pub fn shape_tensor_zeroed(&mut self, t: &mut Tensor, dims: &[usize]) {
+        self.shape_tensor(t, dims);
+        if self.policy != ScratchPolicy::Churn {
+            t.fill(0.0);
+        }
+    }
+
+    /// Checks the forward/backward ping tensor out of the scratch. The
+    /// very first checkout builds the (empty) tensor; afterwards the same
+    /// storage cycles for the life of the scratch.
+    pub fn take_ping(&mut self) -> Tensor {
+        self.ping.take().unwrap_or_default()
+    }
+
+    /// Returns the ping tensor to the scratch.
+    pub fn put_ping(&mut self, t: Tensor) {
+        self.ping = Some(t);
+    }
+
+    /// Checks the forward/backward pong tensor out of the scratch.
+    pub fn take_pong(&mut self) -> Tensor {
+        self.pong.take().unwrap_or_default()
+    }
+
+    /// Returns the pong tensor to the scratch.
+    pub fn put_pong(&mut self, t: Tensor) {
+        self.pong = Some(t);
+    }
+
+    /// Checks the pooled batch tensor out of the scratch.
+    pub fn take_batch(&mut self) -> Tensor {
+        self.batch.take().unwrap_or_default()
+    }
+
+    /// Returns the pooled batch tensor to the scratch.
+    pub fn put_batch(&mut self, t: Tensor) {
+        self.batch = Some(t);
+    }
+
+    /// Checks the softmax probability tensor out of the scratch.
+    pub fn take_probs(&mut self) -> Tensor {
+        self.probs.take().unwrap_or_default()
+    }
+
+    /// Returns the softmax probability tensor to the scratch.
+    pub fn put_probs(&mut self, t: Tensor) {
+        self.probs = Some(t);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,5 +559,76 @@ mod tests {
     fn copy_from_rejects_mismatch() {
         let mut a = ParamArena::flat(3);
         a.copy_from(&ParamArena::flat(4));
+    }
+
+    #[test]
+    fn scratch_pooled_counts_fresh_then_reused() {
+        let mut s = TrainScratch::new(ScratchPolicy::Pooled);
+        let mut buf = Vec::new();
+        s.ensure_f32(&mut buf, 16);
+        assert_eq!(s.stats().fresh, 1);
+        s.ensure_f32(&mut buf, 8);
+        s.ensure_f32(&mut buf, 16);
+        let st = s.stats();
+        assert_eq!((st.fresh, st.grown, st.reused), (1, 0, 2));
+        assert_eq!(st.allocations(), 1);
+        s.ensure_f32(&mut buf, 64);
+        assert_eq!(s.stats().grown, 1);
+    }
+
+    #[test]
+    fn scratch_churn_counts_every_request_as_fresh() {
+        let mut s = TrainScratch::new(ScratchPolicy::Churn);
+        let mut buf = Vec::new();
+        for _ in 0..3 {
+            s.ensure_f32(&mut buf, 32);
+        }
+        let st = s.stats();
+        assert_eq!((st.fresh, st.grown, st.reused), (3, 0, 0));
+    }
+
+    #[test]
+    fn scratch_zero_len_requests_are_uncounted() {
+        let mut s = TrainScratch::new(ScratchPolicy::Pooled);
+        let mut buf = vec![1.0; 4];
+        s.ensure_f32(&mut buf, 0);
+        assert!(buf.is_empty());
+        assert_eq!(s.stats().requests(), 0);
+    }
+
+    #[test]
+    fn scratch_zeroed_variant_clears_dirty_capacity() {
+        let mut s = TrainScratch::new(ScratchPolicy::Pooled);
+        let mut buf = vec![7.0; 8];
+        s.ensure_f32_zeroed(&mut buf, 6);
+        assert_eq!(buf, vec![0.0; 6]);
+    }
+
+    #[test]
+    fn scratch_shape_tensor_reuses_storage() {
+        let mut s = TrainScratch::new(ScratchPolicy::Pooled);
+        let mut t = Tensor::default();
+        s.shape_tensor(&mut t, &[4, 8]);
+        assert_eq!(t.shape().dims(), &[4, 8]);
+        let fresh_after_first = s.stats().fresh;
+        s.shape_tensor(&mut t, &[2, 8]);
+        s.shape_tensor(&mut t, &[4, 8]);
+        assert_eq!(s.stats().fresh, fresh_after_first);
+        assert_eq!(s.stats().allocations(), fresh_after_first);
+        s.shape_tensor_zeroed(&mut t, &[4, 8]);
+        assert!(t.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn scratch_slots_cycle_without_counting() {
+        let mut s = TrainScratch::new(ScratchPolicy::Pooled);
+        let mut p = s.take_ping();
+        s.shape_tensor(&mut p, &[3, 3]);
+        p.fill(2.0);
+        s.put_ping(p);
+        let p = s.take_ping();
+        assert_eq!(p.len(), 9);
+        assert_eq!(p.as_slice()[0], 2.0);
+        s.put_ping(p);
     }
 }

@@ -434,21 +434,64 @@ fn blocked_accumulate(
     c: &mut [f32],
     ldc: usize,
 ) {
-    let mut ap = vec![0.0f32; MC * KC];
-    let bp_cols = NC.min(nc0.next_multiple_of(NR));
-    let mut bp = vec![0.0f32; KC * bp_cols];
+    // Packing scratch is thread-local and grows monotonically: a GEMM in
+    // a warmed-up training step touches the allocator zero times. The
+    // panels are fully overwritten by `pack_a`/`pack_b` (short tiles are
+    // zero-padded explicitly), so dirty reuse is safe.
+    PACK_SCRATCH.with(|cell| {
+        let (ap, bp) = &mut *cell.borrow_mut();
+        if ap.len() < MC * KC {
+            ap.resize(MC * KC, 0.0);
+        }
+        let bp_cols = NC.min(nc0.next_multiple_of(NR));
+        if bp.len() < KC * bp_cols {
+            bp.resize(KC * bp_cols, 0.0);
+        }
+        blocked_accumulate_with(
+            ta, tb, m, n, k, i0, mc0, j0, nc0, alpha, a, b, beta, c, ldc, ap, bp,
+        );
+    });
+}
 
+thread_local! {
+    /// Per-thread (A-panel, B-panel) packing buffers for
+    /// [`blocked_accumulate`]; see the reuse note there.
+    static PACK_SCRATCH: std::cell::RefCell<(Vec<f32>, Vec<f32>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// [`blocked_accumulate`] against caller-provided packing buffers.
+#[allow(clippy::too_many_arguments)]
+fn blocked_accumulate_with(
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    i0: usize,
+    mc0: usize,
+    j0: usize,
+    nc0: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+    ap: &mut [f32],
+    bp: &mut [f32],
+) {
     let mut jc = j0;
     while jc < j0 + nc0 {
         let ncb = NC.min(j0 + nc0 - jc);
         let mut pc = 0;
         while pc < k {
             let kcb = KC.min(k - pc);
-            pack_b(tb, b, k, n, pc, kcb, jc, ncb, &mut bp);
+            pack_b(tb, b, k, n, pc, kcb, jc, ncb, bp);
             let mut ic = i0;
             while ic < i0 + mc0 {
                 let mcb = MC.min(i0 + mc0 - ic);
-                pack_a(ta, a, m, k, ic, mcb, pc, kcb, &mut ap);
+                pack_a(ta, a, m, k, ic, mcb, pc, kcb, ap);
                 let row_tiles = mcb.div_ceil(MR);
                 let col_tiles = ncb.div_ceil(NR);
                 for jt in 0..col_tiles {

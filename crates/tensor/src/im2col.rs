@@ -83,6 +83,31 @@ impl Conv2dGeometry {
     }
 }
 
+/// Range of output columns `ox` for which `ix = ox·stride + k - pad`
+/// lands inside `[0, extent)`. Empty ranges come back as `(lo, lo)`.
+fn valid_out_range(
+    extent: usize,
+    out_extent: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> (usize, usize) {
+    let off = k as isize - pad as isize;
+    // Smallest ox with ox·stride + off ≥ 0.
+    let lo = if off >= 0 {
+        0
+    } else {
+        ((-off) as usize).div_ceil(stride)
+    };
+    // Largest ox with ox·stride + off < extent, plus one.
+    let hi = if off >= extent as isize {
+        lo
+    } else {
+        out_extent.min((extent as isize - 1 - off) as usize / stride + 1)
+    };
+    (lo.min(out_extent), hi.max(lo).min(out_extent))
+}
+
 /// Unrolls one CHW image into the `col_rows() × col_cols()` patch matrix.
 ///
 /// Out-of-image (padding) positions contribute zeros.
@@ -104,6 +129,7 @@ pub fn im2col(geom: &Conv2dGeometry, image: &[f32], col: &mut [f32]) {
         let plane = &image[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
         for ky in 0..geom.k_h {
             for kx in 0..geom.k_w {
+                let (ox_lo, ox_hi) = valid_out_range(geom.in_w, ow, kx, geom.stride, geom.pad);
                 let out_row = &mut col[row * n_cols..(row + 1) * n_cols];
                 for oy in 0..oh {
                     let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
@@ -113,13 +139,18 @@ pub fn im2col(geom: &Conv2dGeometry, image: &[f32], col: &mut [f32]) {
                         continue;
                     }
                     let src_row = &plane[iy as usize * geom.in_w..(iy as usize + 1) * geom.in_w];
-                    for (ox, d) in dst.iter_mut().enumerate() {
-                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
-                        *d = if ix < 0 || ix >= geom.in_w as isize {
-                            0.0
-                        } else {
-                            src_row[ix as usize]
-                        };
+                    // Padding columns outside the valid window are zeros;
+                    // inside it `ix` advances by `stride` with no bounds
+                    // checks, and the stride-1 case is a straight copy.
+                    dst[..ox_lo].iter_mut().for_each(|x| *x = 0.0);
+                    dst[ox_hi..].iter_mut().for_each(|x| *x = 0.0);
+                    let ix0 = (ox_lo * geom.stride + kx) - geom.pad;
+                    if geom.stride == 1 {
+                        dst[ox_lo..ox_hi].copy_from_slice(&src_row[ix0..ix0 + (ox_hi - ox_lo)]);
+                    } else {
+                        for (i, d) in dst[ox_lo..ox_hi].iter_mut().enumerate() {
+                            *d = src_row[ix0 + i * geom.stride];
+                        }
                     }
                 }
                 row += 1;
@@ -146,22 +177,30 @@ pub fn col2im(geom: &Conv2dGeometry, col: &[f32], image: &mut [f32]) {
     let n_cols = oh * ow;
     let mut row = 0;
     for c in 0..geom.in_channels {
-        let plane_off = c * geom.in_h * geom.in_w;
+        let plane = &mut image[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
         for ky in 0..geom.k_h {
             for kx in 0..geom.k_w {
+                let (ox_lo, ox_hi) = valid_out_range(geom.in_w, ow, kx, geom.stride, geom.pad);
                 let src_row = &col[row * n_cols..(row + 1) * n_cols];
                 for oy in 0..oh {
                     let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
                     if iy < 0 || iy >= geom.in_h as isize {
                         continue;
                     }
-                    for ox in 0..ow {
-                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
-                        if ix < 0 || ix >= geom.in_w as isize {
-                            continue;
+                    // Same `ox`-ascending accumulation order as the
+                    // per-element form (bit-identical adjoint); only the
+                    // padding bounds checks are hoisted out of the loop.
+                    let ix0 = (ox_lo * geom.stride + kx) - geom.pad;
+                    let dst = &mut plane[iy as usize * geom.in_w + ix0..];
+                    let src = &src_row[oy * ow + ox_lo..oy * ow + ox_hi];
+                    if geom.stride == 1 {
+                        for (d, s) in dst[..src.len()].iter_mut().zip(src) {
+                            *d += s;
                         }
-                        image[plane_off + iy as usize * geom.in_w + ix as usize] +=
-                            src_row[oy * ow + ox];
+                    } else {
+                        for (i, s) in src.iter().enumerate() {
+                            dst[i * geom.stride] += s;
+                        }
                     }
                 }
                 row += 1;
@@ -334,6 +373,116 @@ mod tests {
             (lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0),
             "{lhs} vs {rhs}"
         );
+    }
+
+    /// Per-element reference forms of both lowerings, exactly the loop
+    /// nest the slivered fast paths replaced; the fast paths must match
+    /// them bit-for-bit (same adds, same order).
+    fn im2col_ref(geom: &Conv2dGeometry, image: &[f32], col: &mut [f32]) {
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let n_cols = oh * ow;
+        let mut row = 0;
+        for c in 0..geom.in_channels {
+            let plane = &image[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
+            for ky in 0..geom.k_h {
+                for kx in 0..geom.k_w {
+                    let out_row = &mut col[row * n_cols..(row + 1) * n_cols];
+                    for oy in 0..oh {
+                        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                        let dst = &mut out_row[oy * ow..(oy + 1) * ow];
+                        if iy < 0 || iy >= geom.in_h as isize {
+                            dst.iter_mut().for_each(|x| *x = 0.0);
+                            continue;
+                        }
+                        let src_row =
+                            &plane[iy as usize * geom.in_w..(iy as usize + 1) * geom.in_w];
+                        for (ox, d) in dst.iter_mut().enumerate() {
+                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                            *d = if ix < 0 || ix >= geom.in_w as isize {
+                                0.0
+                            } else {
+                                src_row[ix as usize]
+                            };
+                        }
+                    }
+                    row += 1;
+                }
+            }
+        }
+    }
+
+    fn col2im_ref(geom: &Conv2dGeometry, col: &[f32], image: &mut [f32]) {
+        image.iter_mut().for_each(|x| *x = 0.0);
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let n_cols = oh * ow;
+        let mut row = 0;
+        for c in 0..geom.in_channels {
+            let plane_off = c * geom.in_h * geom.in_w;
+            for ky in 0..geom.k_h {
+                for kx in 0..geom.k_w {
+                    let src_row = &col[row * n_cols..(row + 1) * n_cols];
+                    for oy in 0..oh {
+                        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                        if iy < 0 || iy >= geom.in_h as isize {
+                            continue;
+                        }
+                        for ox in 0..ow {
+                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                            if ix < 0 || ix >= geom.in_w as isize {
+                                continue;
+                            }
+                            image[plane_off + iy as usize * geom.in_w + ix as usize] +=
+                                src_row[oy * ow + ox];
+                        }
+                    }
+                    row += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slivered_paths_match_per_element_reference_bitwise() {
+        let geoms = [
+            (1, 3, 3, 2, 2, 1, 0),
+            (2, 5, 4, 3, 2, 2, 1),
+            (3, 8, 8, 3, 3, 1, 1),
+            (2, 7, 5, 3, 3, 2, 2),
+            (1, 4, 4, 4, 4, 1, 3),
+            (2, 6, 6, 1, 1, 1, 0),
+            (1, 5, 5, 5, 5, 3, 2),
+        ];
+        for (idx, &(in_channels, in_h, in_w, k_h, k_w, stride, pad)) in geoms.iter().enumerate() {
+            let g = Conv2dGeometry {
+                in_channels,
+                in_h,
+                in_w,
+                k_h,
+                k_w,
+                stride,
+                pad,
+            };
+            assert!(g.is_valid(), "bad fixture {idx}");
+            let mut rng = crate::rng::Rng::new(90 + idx as u64);
+            let image: Vec<f32> = (0..g.input_len()).map(|_| rng.normal()).collect();
+            let n = g.col_rows() * g.col_cols();
+            // Dirty output buffers: both paths must fully overwrite.
+            let mut fast = vec![7.0; n];
+            let mut want = vec![-3.0; n];
+            im2col(&g, &image, &mut fast);
+            im2col_ref(&g, &image, &mut want);
+            for (i, (a, b)) in fast.iter().zip(&want).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "im2col geom {idx} elem {i}");
+            }
+            let grad: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+            let mut gx_fast = vec![9.0; g.input_len()];
+            let mut gx_want = vec![-1.0; g.input_len()];
+            col2im(&g, &grad, &mut gx_fast);
+            col2im_ref(&g, &grad, &mut gx_want);
+            for (i, (a, b)) in gx_fast.iter().zip(&gx_want).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "col2im geom {idx} elem {i}");
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   segments. This is the substrate for the paper's §5.2 “single-layer
 //!   communication” optimization: one contiguous allocation means the whole
 //!   model is one message.
+//! * [`TrainScratch`] — the activation-side arena: counted, recycled
+//!   storage for per-step activations, gradients, layer caches and im2col
+//!   panels, making the steady-state training step allocation-free
+//!   (DESIGN.md §11).
 //! * [`AtomicF32`] / [`AtomicBuffer`] — lock-free shared weights for the
 //!   Hogwild-style algorithms (§3.2, Hogwild EASGD).
 //! * [`Rng`] — a small deterministic xorshift generator with Box–Muller
@@ -35,7 +39,7 @@ pub mod rng;
 pub mod shape;
 pub mod tensor;
 
-pub use arena::{ParamArena, Segment};
+pub use arena::{BufGrowth, ParamArena, ScratchPolicy, ScratchStats, Segment, TrainScratch};
 pub use atomic::{AtomicBuffer, AtomicF32};
 pub use gemm::{gemm, gemm_naive, gemm_naive_par, gemm_serial, matmul, Transpose};
 pub use im2col::{col2im, im2col, Conv2dGeometry};

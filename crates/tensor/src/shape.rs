@@ -26,6 +26,14 @@ impl Shape {
         &self.dims
     }
 
+    /// Replaces the dimension list in place, reusing the existing
+    /// capacity of the dims vector (no allocation once the rank has been
+    /// seen — the pooled training path re-shapes tensors every step).
+    pub fn set_dims(&mut self, dims: &[usize]) {
+        self.dims.clear();
+        self.dims.extend_from_slice(dims);
+    }
+
     /// Number of dimensions (rank).
     pub fn rank(&self) -> usize {
         self.dims.len()

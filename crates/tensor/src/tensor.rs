@@ -1,5 +1,6 @@
 //! Owned dense tensors.
 
+use crate::arena::BufGrowth;
 use crate::shape::Shape;
 use std::fmt;
 use std::ops::{Index, IndexMut};
@@ -110,6 +111,31 @@ impl Tensor {
         self.data.iter_mut().for_each(|x| *x = value);
     }
 
+    /// Re-shapes the tensor in place to `dims`, reusing both the backing
+    /// buffer's capacity and the shape's dims vector. Newly exposed
+    /// elements (a growth beyond the previous length) are zero; elements
+    /// kept from before are left as-is — pooled-path callers fully
+    /// overwrite the contents. Returns how the request touched the
+    /// allocator so counted callers ([`crate::arena::TrainScratch`]) can
+    /// tally it.
+    pub fn resize_in_place(&mut self, dims: &[usize]) -> BufGrowth {
+        let len: usize = dims.iter().product();
+        let growth = if len == 0 || self.data.capacity() >= len {
+            BufGrowth::Reused
+        } else if self.data.capacity() == 0 {
+            BufGrowth::Fresh
+        } else {
+            BufGrowth::Grown
+        };
+        if self.data.len() > len {
+            self.data.truncate(len);
+        } else {
+            self.data.resize(len, 0.0);
+        }
+        self.shape.set_dims(dims);
+        growth
+    }
+
     /// Index of the maximum element (first one on ties). Returns `None`
     /// for an empty tensor.
     pub fn argmax(&self) -> Option<usize> {
@@ -132,6 +158,14 @@ impl Tensor {
         let (rows, cols) = self.matrix_dims();
         assert!(r < rows, "row {r} out of bounds for {rows} rows");
         &self.data[r * cols..(r + 1) * cols]
+    }
+}
+
+/// The empty tensor (shape `[0]`): the placeholder the pooled training
+/// path hands to `mem::take` when checking scratch tensors in and out.
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros([0])
     }
 }
 

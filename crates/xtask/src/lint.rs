@@ -1,7 +1,7 @@
 //! Source-level lint pass enforcing the repo's concurrency and
 //! determinism invariants.
 //!
-//! Five rules, run over every workspace `.rs` file (see DESIGN.md
+//! Six rules, run over every workspace `.rs` file (see DESIGN.md
 //! §"Static analysis & invariants" for the rationale):
 //!
 //! 1. **no-unsafe** — the tree is `unsafe`-free and must stay that way
@@ -24,6 +24,15 @@
 //!    `Vec`-returning compatibility shims, non-payload handle clones)
 //!    carry a `// xtask: allow(payload-copy)` justification on the same
 //!    line or in the comment block directly above.
+//! 6. **step-alloc** — `.to_vec()` / `.clone()` / `Vec::new()` are
+//!    banned inside `fn forward*` / `fn backward*` bodies in
+//!    `crates/nn/src/` (outside `#[cfg(test)]`): the training step is
+//!    zero-allocation after warm-up (DESIGN.md §11), so activation and
+//!    cache buffers must be sized through `TrainScratch`'s counted
+//!    `ensure_*`/`shape_tensor` entry points. Deliberate sites (the
+//!    allocating inference path, `Arc` refcount clones) carry a
+//!    `// xtask: allow(step-alloc)` justification on the same line or
+//!    in the comment block directly above.
 //!
 //! The pass works on a *stripped* view of each file — comments, string
 //! and char literals blanked out — so tokens inside comments or strings
@@ -41,6 +50,11 @@ pub const WALL_CLOCK_PRAGMA: &str = "xtask: allow(wall-clock)";
 /// Pragma that justifies one payload copy site in `crates/cluster/src/`
 /// (same line or the comment block directly above).
 pub const PAYLOAD_COPY_PRAGMA: &str = "xtask: allow(payload-copy)";
+
+/// Pragma that justifies one allocation site inside a `forward*` /
+/// `backward*` body in `crates/nn/src/` (same line or the comment block
+/// directly above).
+pub const STEP_ALLOC_PRAGMA: &str = "xtask: allow(step-alloc)";
 
 /// One lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -266,6 +280,70 @@ fn in_spans(spans: &[(usize, usize)], line: usize) -> bool {
     spans.iter().any(|&(a, b)| (a..=b).contains(&line))
 }
 
+/// True if `line` declares a function whose name starts with `forward`
+/// or `backward` (the training-step hot-path naming convention).
+fn is_step_fn_decl(line: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find("fn ") {
+        let abs = start + pos;
+        let before_ok = abs == 0 || !is_ident_char(line[..abs].chars().next_back().unwrap_or(' '));
+        if before_ok {
+            let name = line[abs + 3..].trim_start();
+            if name.starts_with("forward") || name.starts_with("backward") {
+                return true;
+            }
+        }
+        start = abs + 3;
+    }
+    false
+}
+
+/// Line spans (0-based, inclusive) of `fn forward*` / `fn backward*`
+/// bodies, brace-matched on the stripped source. Bodiless trait
+/// signatures (terminated by `;` before any `{`) yield no span.
+fn step_fn_spans(stripped_lines: &[&str]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < stripped_lines.len() {
+        if !is_step_fn_decl(stripped_lines[i]) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut depth = 0usize;
+        let mut opened = false;
+        let mut bodiless = false;
+        let mut j = i;
+        'outer: while j < stripped_lines.len() {
+            for ch in stripped_lines[j].chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if opened && depth == 0 {
+                            break 'outer;
+                        }
+                    }
+                    ';' if !opened => {
+                        bodiless = true;
+                        break 'outer;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        if !bodiless {
+            spans.push((start, j.min(stripped_lines.len() - 1)));
+        }
+        i = j + 1;
+    }
+    spans
+}
+
 /// Lints one file's source. `hot_path` enables the no-unwrap rule (the
 /// caller has already applied the allowlist).
 pub fn lint_source(file: &str, source: &str, hot_path: bool) -> Vec<Finding> {
@@ -276,6 +354,11 @@ pub fn lint_source(file: &str, source: &str, hot_path: bool) -> Vec<Finding> {
         .iter()
         .any(|l| l.contains("//") && l.contains(WALL_CLOCK_PRAGMA));
     let test_spans = cfg_test_spans(&stripped_lines);
+    let step_spans = if file.starts_with("crates/nn/src/") {
+        step_fn_spans(&stripped_lines)
+    } else {
+        Vec::new()
+    };
     let mut findings = Vec::new();
 
     for (idx, sline) in stripped_lines.iter().enumerate() {
@@ -369,6 +452,29 @@ pub fn lint_source(file: &str, source: &str, hot_path: bool) -> Vec<Finding> {
                     "`.to_vec()`/`.clone()` on the exchange path; route the copy \
                      through the buffer pool (`take_buffer`/`recv_into`/`send_from`) \
                      or justify the site with `// {PAYLOAD_COPY_PRAGMA}`"
+                ),
+            });
+        }
+
+        // Rule 6: step-alloc — forward/backward bodies in the layer
+        // crate size every buffer through the counted scratch; stray
+        // allocations would break the zero-allocation steady state.
+        if in_spans(&step_spans, idx)
+            && !in_spans(&test_spans, idx)
+            && (sline.contains(".to_vec()")
+                || sline.contains(".clone()")
+                || sline.contains("Vec::new()"))
+            && !comment_justified(&raw_lines, idx, STEP_ALLOC_PRAGMA)
+        {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: lineno,
+                rule: "step-alloc",
+                message: format!(
+                    "`.to_vec()`/`.clone()`/`Vec::new()` in a forward/backward hot \
+                     path; size the buffer through `TrainScratch` \
+                     (`ensure_f32`/`shape_tensor`) or justify the site with \
+                     `// {STEP_ALLOC_PRAGMA}`"
                 ),
             });
         }
@@ -643,6 +749,62 @@ mod tests {
             to_vec_call()
         );
         assert!(lint_source("crates/cluster/src/comm.rs", &src, false).is_empty());
+    }
+
+    fn vec_new_call() -> String {
+        ["Vec:", ":new()"].concat()
+    }
+
+    #[test]
+    fn step_alloc_fires_inside_forward_backward_in_nn() {
+        let src = format!(
+            "impl Layer for L {{\n    fn forward_into(&mut self) {{ let v = {}; }}\n}}\n",
+            vec_new_call()
+        );
+        let f = lint_source("crates/nn/src/dense.rs", &src, false);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "step-alloc");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn step_alloc_pragma_opts_out_per_site() {
+        let src = format!(
+            "fn backward(&mut self) {{\n    // {}\n    // inference-only path.\n    let v = x{};\n}}\n",
+            STEP_ALLOC_PRAGMA,
+            to_vec_call()
+        );
+        assert!(lint_source("crates/nn/src/pool.rs", &src, false).is_empty());
+    }
+
+    #[test]
+    fn step_alloc_ignores_cold_fns_tests_and_other_crates() {
+        // Constructors and clones outside forward*/backward* are fine.
+        let src = format!(
+            "fn new() -> Self {{ Self {{ cache: {} }} }}",
+            vec_new_call()
+        );
+        assert!(lint_source("crates/nn/src/lrn.rs", &src, false).is_empty());
+        // #[cfg(test)] spans are exempt even inside the nn crate.
+        let src = format!(
+            "#[cfg(test)]\nmod tests {{\n    fn forward_case() {{ let v = {}; }}\n}}\n",
+            vec_new_call()
+        );
+        assert!(lint_source("crates/nn/src/conv.rs", &src, false).is_empty());
+        // Other crates' forward fns are out of scope.
+        let src = format!("fn forward(&mut self) {{ let v = {}; }}", vec_new_call());
+        assert!(lint_source("crates/core/src/engine/local.rs", &src, false).is_empty());
+    }
+
+    #[test]
+    fn step_alloc_skips_bodiless_trait_signatures() {
+        // A bodiless trait signature must not open a span that swallows
+        // the next item.
+        let src = format!(
+            "trait T {{\n    fn forward(&mut self);\n}}\nfn helper() {{ let v = {}; }}\n",
+            vec_new_call()
+        );
+        assert!(lint_source("crates/nn/src/layer.rs", &src, false).is_empty());
     }
 
     #[test]

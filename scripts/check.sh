@@ -35,6 +35,9 @@ cargo run -q --release -p easgd-bench --bin kernels -- --smoke
 echo "==> comm perf harness (smoke + checked-in BENCH_comm.json acceptance)"
 cargo run -q --release -p easgd-bench --bin comm -- --smoke
 
+echo "==> train perf harness (smoke + checked-in BENCH_train.json acceptance)"
+cargo run -q --release -p easgd-bench --bin train -- --smoke
+
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
