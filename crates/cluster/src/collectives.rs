@@ -27,13 +27,7 @@
 
 use crate::clock::TimeCategory;
 use crate::comm::Comm;
-
-/// Tag space for tree reduce messages (`| mask` disambiguates steps).
-const TAG_TREE_REDUCE: u32 = 0x4100_0000;
-/// Tag space for tree broadcast messages.
-const TAG_TREE_BCAST: u32 = 0x4200_0000;
-/// Tag for the flat gather-sum baseline.
-const TAG_FLAT: u32 = 0x4300_0000;
+use crate::tags;
 
 /// Chunk boundaries: `n` elements into `p` nearly equal chunks.
 fn chunk_bounds(n: usize, p: usize, chunk: usize) -> (usize, usize) {
@@ -68,7 +62,7 @@ pub fn ring_allreduce_sum(comm: &mut Comm, data: &mut [f32], category: TimeCateg
         let send_chunk = (me + p - step) % p;
         let recv_chunk = (me + p - step - 1) % p;
         let (s0, s1) = chunk_bounds(n, p, send_chunk);
-        let tag = ring_tag(0, step);
+        let tag = tags::ring(0, step);
         comm.send(right, tag, &data[s0..s1], category);
         comm.recv_into(left, tag, category, &mut incoming);
         let (r0, r1) = chunk_bounds(n, p, recv_chunk);
@@ -82,7 +76,7 @@ pub fn ring_allreduce_sum(comm: &mut Comm, data: &mut [f32], category: TimeCateg
         let send_chunk = (me + 1 + p - step) % p;
         let recv_chunk = (me + p - step) % p;
         let (s0, s1) = chunk_bounds(n, p, send_chunk);
-        let tag = ring_tag(1, step);
+        let tag = tags::ring(1, step);
         comm.send(right, tag, &data[s0..s1], category);
         comm.recv_into(left, tag, category, &mut incoming);
         let (r0, r1) = chunk_bounds(n, p, recv_chunk);
@@ -90,10 +84,6 @@ pub fn ring_allreduce_sum(comm: &mut Comm, data: &mut [f32], category: TimeCateg
         data[r0..r1].copy_from_slice(&incoming);
     }
     comm.recycle_buffer(incoming);
-}
-
-fn ring_tag(phase: u32, step: usize) -> u32 {
-    0x8000_0000 | (phase << 16) | (step as u32)
 }
 
 /// Position of `rank` in `ranks`.
@@ -138,15 +128,22 @@ pub fn tree_reduce_sum_among(
         if vr & mask != 0 {
             // My subtree is folded; push it to the parent and stop.
             let parent = to_real(vr - mask);
-            comm.send(parent, TAG_TREE_REDUCE | mask as u32, data, category);
+            comm.send(parent, tags::TREE_REDUCE | mask as u32, data, category);
             break;
         } else if vr + mask < p {
             let child = to_real(vr + mask);
-            let buf = tmp.get_or_insert_with(Vec::new);
-            comm.recv_into(child, TAG_TREE_REDUCE | mask as u32, category, buf);
-            assert_eq!(buf.len(), data.len(), "tree reduce length mismatch");
-            for (d, v) in data.iter_mut().zip(buf.iter()) {
-                *d += v;
+            // The accumulation scratch comes from the pool (taken once,
+            // recycled below), keeping the reduce allocation-free in
+            // steady state and its buffer ledger balanced.
+            if tmp.is_none() {
+                tmp = Some(comm.take_buffer(data.len()));
+            }
+            if let Some(buf) = tmp.as_mut() {
+                comm.recv_into(child, tags::TREE_REDUCE | mask as u32, category, buf);
+                assert_eq!(buf.len(), data.len(), "tree reduce length mismatch");
+                for (d, v) in data.iter_mut().zip(buf.iter()) {
+                    *d += v;
+                }
             }
         }
         mask <<= 1;
@@ -185,7 +182,7 @@ pub fn tree_broadcast_among(
     while mask < p {
         if vr & mask != 0 {
             let parent = to_real(vr - mask);
-            comm.recv_into(parent, TAG_TREE_BCAST | mask as u32, category, data);
+            comm.recv_into(parent, tags::TREE_BCAST | mask as u32, category, data);
             break;
         }
         mask <<= 1;
@@ -195,7 +192,7 @@ pub fn tree_broadcast_among(
     while mask > 0 {
         if vr + mask < p {
             let child = to_real(vr + mask);
-            comm.send(child, TAG_TREE_BCAST | mask as u32, data, category);
+            comm.send(child, tags::TREE_BCAST | mask as u32, data, category);
         }
         mask >>= 1;
     }
@@ -239,7 +236,7 @@ pub fn flat_gather_sum(comm: &mut Comm, root: usize, data: &mut [f32], category:
     if comm.rank() != root {
         // The root's clock carries the transfer cost, mirroring
         // `recv_costed`'s receiver-driven accounting.
-        comm.send_costed(root, TAG_FLAT, data, 0.0, category);
+        comm.send_costed(root, tags::FLAT_GATHER, data, 0.0, category);
         return;
     }
     let bytes = data.len() * 4;
@@ -249,7 +246,7 @@ pub fn flat_gather_sum(comm: &mut Comm, root: usize, data: &mut [f32], category:
             continue;
         }
         let transfer = comm.link_time(bytes);
-        comm.recv_costed_into(r, TAG_FLAT, transfer, category, category, &mut tmp);
+        comm.recv_costed_into(r, tags::FLAT_GATHER, transfer, category, category, &mut tmp);
         assert_eq!(tmp.len(), data.len(), "flat gather length mismatch");
         for (d, v) in data.iter_mut().zip(tmp.iter()) {
             *d += v;

@@ -9,6 +9,9 @@
 use crate::clock::{RankReport, SimClock, TimeCategory};
 use crate::cluster::{CollOp, Shared};
 use crate::pool::PoolStats;
+use crate::trace::TraceOp;
+#[cfg(feature = "strict-invariants")]
+use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -83,6 +86,11 @@ pub(crate) struct Message {
     /// Simulated arrival time at the receiver (sender's clock after the
     /// α-β send cost).
     pub(crate) arrival: f64,
+    /// Per-(sender, receiver) post sequence number, for the
+    /// strict-invariants per-(src,dst,tag) FIFO delivery check — the
+    /// runtime mirror of the xtask protocol checker's FIFO invariant.
+    #[cfg(feature = "strict-invariants")]
+    pub(crate) seq: u64,
 }
 
 /// A rank's handle to the cluster: identity, simulated clock,
@@ -101,12 +109,25 @@ pub struct Comm {
     /// steady-state p2p path pops and pushes here without touching the
     /// shared mutex.
     local_free: Vec<Vec<f32>>,
+    /// When `Some`, every comm operation appends its [`TraceOp`] — the
+    /// trace-recording shim behind the xtask protocol model checker
+    /// (DESIGN.md §12). `None` (the default) costs one branch per op.
+    trace: Option<Vec<TraceOp>>,
     /// Latest arrival time ingested per sender, for the strict-invariants
     /// per-sender FCFS check (the channel is FIFO per sender, and each
     /// sender's simulated clock is monotone, so arrivals from one rank
     /// must reach us in non-decreasing arrival order).
     #[cfg(feature = "strict-invariants")]
     last_arrival: Vec<f64>,
+    /// Next post sequence number per destination rank (stamped onto
+    /// outgoing messages for the receiver's FIFO check).
+    #[cfg(feature = "strict-invariants")]
+    send_seq: Vec<u64>,
+    /// Highest sequence number matched per (sender, tag): selective
+    /// receives may reorder across tags, but within one (src,dst,tag)
+    /// stream delivery must follow post order.
+    #[cfg(feature = "strict-invariants")]
+    matched_seq: HashMap<(usize, u32), u64>,
 }
 
 impl Comm {
@@ -124,10 +145,61 @@ impl Comm {
             clock: SimClock::new(),
             shared,
             local_free: Vec::new(),
+            trace: None,
             #[cfg(feature = "strict-invariants")]
             last_arrival: vec![f64::NEG_INFINITY; ranks],
+            #[cfg(feature = "strict-invariants")]
+            send_seq: vec![0; ranks],
+            #[cfg(feature = "strict-invariants")]
+            matched_seq: HashMap::new(),
         }
     }
+
+    // ------------------------------------------------------------------
+    // Trace recording (the protocol model checker's shim)
+    // ------------------------------------------------------------------
+
+    /// Starts recording every comm operation as a [`TraceOp`]. The xtask
+    /// protocol checker runs production collectives under this shim so
+    /// its per-rank programs are generated from the shipped code paths.
+    pub fn trace_start(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Stops recording and returns the operations since
+    /// [`trace_start`](Self::trace_start) (empty if recording was off).
+    pub fn trace_take(&mut self) -> Vec<TraceOp> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    #[inline]
+    fn note(&mut self, op: TraceOp) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(op);
+        }
+    }
+
+    /// Strict-invariants per-(src,dst,tag) FIFO check on a matched
+    /// message: within one (sender, tag) stream, matched sequence
+    /// numbers must be strictly increasing.
+    #[cfg(feature = "strict-invariants")]
+    fn check_fifo(&mut self, msg: &Message) {
+        let last = self.matched_seq.insert((msg.from, msg.tag), msg.seq);
+        debug_assert!(
+            last.is_none_or(|l| msg.seq > l),
+            "per-(src,dst,tag) FIFO violation: rank {} matched seq {} from \
+             rank {} tag {:#x} after seq {:?}",
+            self.rank,
+            msg.seq,
+            msg.from,
+            msg.tag,
+            last
+        );
+    }
+
+    #[cfg(not(feature = "strict-invariants"))]
+    #[inline]
+    fn check_fifo(&mut self, _msg: &Message) {}
 
     /// Strict-invariants ingest check, applied to every message pulled
     /// off the channel: per-sender FCFS arrival-order monotonicity.
@@ -193,6 +265,7 @@ impl Comm {
     /// Takes a cleared buffer with capacity ≥ `len` from this rank's
     /// private free list, falling back to the cluster-wide pool.
     pub fn take_buffer(&mut self, len: usize) -> Vec<f32> {
+        self.note(TraceOp::TakeBuf);
         match self.local_free.pop() {
             Some(mut buf) => {
                 buf.clear();
@@ -209,6 +282,10 @@ impl Comm {
     /// Returns a buffer for reuse: to the private free list while it has
     /// room, else to the cluster-wide pool.
     pub fn recycle_buffer(&mut self, buf: Vec<f32>) {
+        // Recorded even for capacity-0 buffers: the recycle call is what
+        // discharges the ledger obligation, whether or not the pool keeps
+        // the storage.
+        self.note(TraceOp::Recycle);
         if buf.capacity() == 0 {
             return;
         }
@@ -232,12 +309,20 @@ impl Comm {
     /// Posts an already-built payload to `to`; the arrival carries this
     /// rank's current simulated time, so charge costs *before* posting.
     fn post(&mut self, to: usize, tag: u32, data: PayloadBuf) {
+        self.note(TraceOp::Send { to, tag });
+        #[cfg(feature = "strict-invariants")]
+        let seq = {
+            self.send_seq[to] += 1;
+            self.send_seq[to]
+        };
         self.shared.senders[to]
             .send(Message {
                 from: self.rank,
                 tag,
                 data,
                 arrival: self.clock.now(),
+                #[cfg(feature = "strict-invariants")]
+                seq,
             })
             .expect("receiver hung up");
     }
@@ -347,6 +432,10 @@ impl Comm {
     /// to `category`).
     pub fn recv(&mut self, from: usize, tag: u32, category: TimeCategory) -> Vec<f32> {
         let msg = self.next_matching(|m| m.from == from && m.tag == tag);
+        self.check_fifo(&msg);
+        self.note(TraceOp::Recv { from, tag });
+        // The buffer leaves pool custody with the returned Vec.
+        self.note(TraceOp::Retire);
         self.clock.advance_to(msg.arrival, category);
         msg.data.into_vec()
     }
@@ -356,7 +445,10 @@ impl Comm {
     /// zero-allocation receive once `out` has warmed up to capacity.
     pub fn recv_into(&mut self, from: usize, tag: u32, category: TimeCategory, out: &mut Vec<f32>) {
         let msg = self.next_matching(|m| m.from == from && m.tag == tag);
+        self.check_fifo(&msg);
+        self.note(TraceOp::Recv { from, tag });
         self.clock.advance_to(msg.arrival, category);
+        // `payload_into` recycles the carcass, recording the Recycle.
         self.payload_into(msg.data, out);
     }
 
@@ -365,6 +457,9 @@ impl Comm {
     /// `(sender, data)`.
     pub fn recv_any(&mut self, tag: u32, category: TimeCategory) -> (usize, Vec<f32>) {
         let msg = self.next_matching(|m| m.tag == tag);
+        self.check_fifo(&msg);
+        self.note(TraceOp::RecvAny { tag });
+        self.note(TraceOp::Retire);
         self.clock.advance_to(msg.arrival, category);
         (msg.from, msg.data.into_vec())
     }
@@ -373,6 +468,8 @@ impl Comm {
     /// returns the sender.
     pub fn recv_any_into(&mut self, tag: u32, category: TimeCategory, out: &mut Vec<f32>) -> usize {
         let msg = self.next_matching(|m| m.tag == tag);
+        self.check_fifo(&msg);
+        self.note(TraceOp::RecvAny { tag });
         self.clock.advance_to(msg.arrival, category);
         let from = msg.from;
         self.payload_into(msg.data, out);
@@ -384,12 +481,18 @@ impl Comm {
     pub fn try_recv_any(&mut self, tag: u32, category: TimeCategory) -> Option<(usize, Vec<f32>)> {
         if let Some(pos) = self.pending.iter().position(|m| m.tag == tag) {
             let msg = self.pending.remove(pos).expect("indexed message present");
+            self.check_fifo(&msg);
+            self.note(TraceOp::RecvAny { tag });
+            self.note(TraceOp::Retire);
             self.clock.advance_to(msg.arrival, category);
             return Some((msg.from, msg.data.into_vec()));
         }
         while let Ok(msg) = self.rx.try_recv() {
             self.check_ingest(&msg);
             if msg.tag == tag {
+                self.check_fifo(&msg);
+                self.note(TraceOp::RecvAny { tag });
+                self.note(TraceOp::Retire);
                 self.clock.advance_to(msg.arrival, category);
                 return Some((msg.from, msg.data.into_vec()));
             }

@@ -24,6 +24,11 @@
 //!   closed form.
 //! * [`pool`] — the cluster-wide payload buffer pool behind the
 //!   zero-allocation exchange path (DESIGN.md §10).
+//! * [`tags`] — the named tag-range registry every subsystem draws its
+//!   point-to-point tags from (enforced by xtask lint rule 7).
+//! * [`trace`] — the comm-operation vocabulary behind [`comm::Comm`]'s
+//!   trace-recording shim and the xtask protocol model checker
+//!   (DESIGN.md §12).
 //!
 //! ```
 //! use easgd_cluster::{ClusterConfig, VirtualCluster, TimeCategory};
@@ -44,6 +49,8 @@ pub mod codec;
 pub mod collectives;
 pub mod comm;
 pub mod pool;
+pub mod tags;
+pub mod trace;
 
 pub use clock::{RankReport, SimClock, TimeBreakdown, TimeCategory};
 pub use cluster::{ClusterConfig, CollectiveAlgo, VirtualCluster};
@@ -54,3 +61,4 @@ pub use collectives::{
 };
 pub use comm::{Comm, Payload};
 pub use pool::PoolStats;
+pub use trace::TraceOp;

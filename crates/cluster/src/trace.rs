@@ -1,0 +1,165 @@
+//! The abstract comm-operation vocabulary shared between [`Comm`]'s
+//! trace recorder and the xtask protocol model checker.
+//!
+//! A [`TraceOp`] is one observable communicator action, abstracted away
+//! from payload contents and simulated time. [`Comm::trace_start`] /
+//! [`Comm::trace_take`] record the exact sequence a rank executes, so
+//! the model checker's per-rank programs are *generated from the
+//! production code paths* rather than hand-transcribed — the model can
+//! never drift from the implementation (DESIGN.md §12).
+//!
+//! The buffer-ledger reading of the ops: `TakeBuf` acquires one pooled
+//! buffer; `Send` moves a held buffer into the in-flight message (the
+//! receiver inherits the obligation); `Recv`/`RecvAny` acquire the
+//! arriving message's buffer; `Recycle` returns a held buffer to the
+//! pool; `Retire` passes a held buffer out of pool custody (the
+//! `Vec`-returning receive shims). In every terminal state the checker
+//! requires each rank's held count to be zero and
+//! `taken == recycled + retired`.
+//!
+//! [`Comm`]: crate::Comm
+//! [`Comm::trace_start`]: crate::Comm::trace_start
+//! [`Comm::trace_take`]: crate::Comm::trace_take
+
+use std::fmt;
+
+/// One communicator operation, as recorded by the trace shim and
+/// replayed by the xtask protocol model checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceOp {
+    /// [`Comm::take_buffer`](crate::Comm::take_buffer): acquire one
+    /// pooled buffer.
+    TakeBuf,
+    /// [`Comm::recycle_buffer`](crate::Comm::recycle_buffer): return one
+    /// held buffer to the pool.
+    Recycle,
+    /// A message posted to rank `to` with `tag`, consuming one held
+    /// buffer (all send variants funnel here).
+    Send { to: usize, tag: u32 },
+    /// A blocking source- and tag-selective receive completed.
+    Recv { from: usize, tag: u32 },
+    /// A blocking tag-selective FCFS receive from any source completed.
+    RecvAny { tag: u32 },
+    /// A received buffer handed out of pool custody (the `Vec`-returning
+    /// receive shims).
+    Retire,
+}
+
+impl fmt::Display for TraceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceOp::TakeBuf => write!(f, "take_buf"),
+            TraceOp::Recycle => write!(f, "recycle"),
+            TraceOp::Send { to, tag } => write!(f, "send(to={to}, tag={tag:#x})"),
+            TraceOp::Recv { from, tag } => write!(f, "recv(from={from}, tag={tag:#x})"),
+            TraceOp::RecvAny { tag } => write!(f, "recv_any(tag={tag:#x})"),
+            TraceOp::Retire => write!(f, "retire"),
+        }
+    }
+}
+
+impl TraceOp {
+    /// Whether this op is purely rank-local (no message-queue effect):
+    /// the model checker folds local ops into the preceding scheduling
+    /// point, since they commute with every other rank's ops.
+    pub fn is_local(&self) -> bool {
+        matches!(self, TraceOp::TakeBuf | TraceOp::Recycle | TraceOp::Retire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterConfig, TimeCategory, VirtualCluster};
+
+    #[test]
+    fn roundtrip_records_balanced_ledger_ops() {
+        let cfg = ClusterConfig::new(2);
+        let traces = VirtualCluster::run(&cfg, |comm| {
+            comm.trace_start();
+            if comm.rank() == 0 {
+                let mut buf = comm.take_buffer(4);
+                buf.resize(4, 1.0);
+                comm.send_from(1, crate::tags::SYNC_DATA, buf, TimeCategory::Other);
+            } else {
+                let mut out = Vec::new();
+                comm.recv_into(0, crate::tags::SYNC_DATA, TimeCategory::Other, &mut out);
+            }
+            comm.trace_take()
+        });
+        assert_eq!(
+            traces[0],
+            vec![
+                TraceOp::TakeBuf,
+                TraceOp::Send {
+                    to: 1,
+                    tag: crate::tags::SYNC_DATA
+                }
+            ]
+        );
+        assert_eq!(
+            traces[1],
+            vec![
+                TraceOp::Recv {
+                    from: 0,
+                    tag: crate::tags::SYNC_DATA
+                },
+                TraceOp::Recycle
+            ]
+        );
+    }
+
+    #[test]
+    fn copying_send_and_vec_receive_record_take_and_retire() {
+        let cfg = ClusterConfig::new(2);
+        let traces = VirtualCluster::run(&cfg, |comm| {
+            comm.trace_start();
+            if comm.rank() == 0 {
+                comm.send(1, crate::tags::SYNC_DATA, &[1.0, 2.0], TimeCategory::Other);
+            } else {
+                let (_, _data) = comm.recv_any(crate::tags::SYNC_DATA, TimeCategory::Other);
+            }
+            comm.trace_take()
+        });
+        // `send` copies into a pooled buffer: TakeBuf then Send.
+        assert_eq!(
+            traces[0],
+            vec![
+                TraceOp::TakeBuf,
+                TraceOp::Send {
+                    to: 1,
+                    tag: crate::tags::SYNC_DATA
+                }
+            ]
+        );
+        // `recv_any` hands the buffer out of pool custody: Retire.
+        assert_eq!(
+            traces[1],
+            vec![
+                TraceOp::RecvAny {
+                    tag: crate::tags::SYNC_DATA
+                },
+                TraceOp::Retire
+            ]
+        );
+    }
+
+    #[test]
+    fn tracing_is_off_by_default_and_take_stops_it() {
+        let cfg = ClusterConfig::new(2);
+        let traces = VirtualCluster::run(&cfg, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, crate::tags::SYNC_DATA, &[1.0], TimeCategory::Other);
+                Vec::new()
+            } else {
+                comm.trace_start();
+                let first = comm.trace_take();
+                // After take, recording is off again.
+                let _ = comm.recv(0, crate::tags::SYNC_DATA, TimeCategory::Other);
+                assert!(comm.trace_take().is_empty());
+                first
+            }
+        });
+        assert!(traces[1].is_empty());
+    }
+}

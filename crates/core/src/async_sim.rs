@@ -18,14 +18,11 @@ use crate::config::TrainConfig;
 use crate::engine::{assemble_sim, rank_rng, ElasticRule, LocalStep, RankOutcome, SALT_PHI};
 use crate::metrics::RunResult;
 use crate::simcost::SimCosts;
-use easgd_cluster::{ClusterConfig, Comm, TimeCategory, VirtualCluster};
+use easgd_cluster::{tags, ClusterConfig, Comm, TimeCategory, VirtualCluster};
 use easgd_data::Dataset;
 use easgd_nn::Network;
 use easgd_tensor::ops::sgd_update;
 use std::time::Instant;
-
-const TAG_REQ: u32 = 21;
-const TAG_REPLY_BASE: u32 = 0x4000;
 
 /// Which exchange rule the simulated server applies.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -74,7 +71,11 @@ pub fn async_server_sim(
             // Receive scratch, reused across requests.
             let mut payload = Vec::new();
             for _ in 0..total {
-                let from = comm.recv_any_into(TAG_REQ, TimeCategory::ForwardBackward, &mut payload);
+                let from = comm.recv_any_into(
+                    tags::ASYNC_REQ,
+                    TimeCategory::ForwardBackward,
+                    &mut payload,
+                );
                 // The inbound transfer crosses the host link.
                 comm.charge(TimeCategory::CpuGpuParam, xfer);
                 match variant {
@@ -84,7 +85,7 @@ pub fn async_server_sim(
                 comm.charge(TimeCategory::CpuUpdate, costs.cpu_update);
                 comm.send_costed(
                     from,
-                    TAG_REPLY_BASE + from as u32,
+                    tags::async_reply(from),
                     &center,
                     xfer,
                     TimeCategory::CpuGpuParam,
@@ -112,23 +113,25 @@ pub fn async_server_sim(
                 comm.charge(TimeCategory::ForwardBackward, costs.fwd_bwd * jit);
                 match variant {
                     AsyncVariant::Sgd => {
-                        comm.send_costed(0, TAG_REQ, local.grad(), 0.0, TimeCategory::Other);
-                        comm.recv_into(
+                        comm.send_costed(
                             0,
-                            TAG_REPLY_BASE + me as u32,
+                            tags::ASYNC_REQ,
+                            local.grad(),
+                            0.0,
                             TimeCategory::Other,
-                            &mut reply,
                         );
+                        comm.recv_into(0, tags::async_reply(me), TimeCategory::Other, &mut reply);
                         local.set_params(&reply);
                     }
                     AsyncVariant::Easgd => {
-                        comm.send_costed(0, TAG_REQ, local.params(), 0.0, TimeCategory::Other);
-                        comm.recv_into(
+                        comm.send_costed(
                             0,
-                            TAG_REPLY_BASE + me as u32,
+                            tags::ASYNC_REQ,
+                            local.params(),
+                            0.0,
                             TimeCategory::Other,
-                            &mut reply,
                         );
+                        comm.recv_into(0, tags::async_reply(me), TimeCategory::Other, &mut reply);
                         local.elastic_step_against(&rule, &reply);
                         comm.charge(TimeCategory::GpuUpdate, costs.gpu_update);
                     }

@@ -25,7 +25,7 @@ use crate::config::TrainConfig;
 use crate::engine::{assemble_sim, worker_rng, ElasticRule, LocalStep, RankOutcome, SALT_PHI};
 use crate::metrics::RunResult;
 use easgd_cluster::collectives::ring_allreduce_sum;
-use easgd_cluster::{ClusterConfig, Comm, TimeCategory, VirtualCluster};
+use easgd_cluster::{tags, ClusterConfig, Comm, TimeCategory, VirtualCluster};
 use easgd_data::Dataset;
 use easgd_hardware::collective::ceil_log2;
 use easgd_hardware::net::AlphaBeta;
@@ -127,7 +127,7 @@ pub fn hierarchical_sync_easgd(
             comm.charge(TimeCategory::ForwardBackward, 6.0e-3);
 
             // ---- level 1: intra-node reduce of local weights to leader.
-            let tag = 0x6000 + (round as u32 % 0x1000);
+            let tag = tags::hier_round(round);
             if is_leader {
                 node_sum.copy_from_slice(local.params());
                 for member in leader_rank + 1..leader_rank + g {

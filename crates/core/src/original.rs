@@ -22,15 +22,11 @@ use crate::config::TrainConfig;
 use crate::engine::{assemble_sim, rank_rng, ElasticRule, LocalStep, RankOutcome, SALT_PHI};
 use crate::metrics::RunResult;
 use crate::simcost::SimCosts;
-use easgd_cluster::{BatchMsg, ClusterConfig, Comm, TimeCategory, VirtualCluster};
+use easgd_cluster::{tags, BatchMsg, ClusterConfig, Comm, TimeCategory, VirtualCluster};
 use easgd_data::Dataset;
 use easgd_nn::Network;
 use easgd_tensor::Rng;
 use std::time::Instant;
-
-const TAG_DATA: u32 = 1;
-const TAG_CENTER: u32 = 2;
-const TAG_WEIGHT: u32 = 3;
 
 /// Which Algorithm 1 schedule to simulate.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -110,7 +106,7 @@ fn master_loop(
         // Table 3's accounting.
         comm.recv_costed_into(
             j,
-            TAG_WEIGHT,
+            tags::ORIG_WEIGHT,
             up,
             TimeCategory::ForwardBackward,
             TimeCategory::CpuGpuParam,
@@ -131,12 +127,18 @@ fn master_loop(
         BatchMsg::encode_into(pixels, &batch.labels, &mut frame);
         comm.send_from_costed(
             j,
-            TAG_DATA,
+            tags::ORIG_DATA,
             frame,
             costs.data_time(),
             TimeCategory::CpuGpuData,
         );
-        comm.send_costed(j, TAG_CENTER, &center, down, TimeCategory::CpuGpuParam);
+        comm.send_costed(
+            j,
+            tags::ORIG_CENTER,
+            &center,
+            down,
+            TimeCategory::CpuGpuParam,
+        );
         inflight[j] = true;
         if mode == OriginalMode::Serialized {
             collect(comm, &mut center, &mut wbuf, j);
@@ -177,8 +179,8 @@ fn worker_loop(
     let mut center: Vec<f32> = Vec::new();
     let mut labels: Vec<usize> = Vec::new();
     for _ in 0..rounds {
-        comm.recv_into(0, TAG_DATA, TimeCategory::Other, &mut payload);
-        comm.recv_into(0, TAG_CENTER, TimeCategory::Other, &mut center);
+        comm.recv_into(0, tags::ORIG_DATA, TimeCategory::Other, &mut payload);
+        comm.recv_into(0, tags::ORIG_CENTER, TimeCategory::Other, &mut center);
         let pixels = match BatchMsg::decode_into(&payload, cfg.batch, &mut labels) {
             Ok(x) => x,
             Err(e) => panic!("batch codec (rank {me}): {e}"),
@@ -188,7 +190,13 @@ fn worker_loop(
         comm.charge(TimeCategory::ForwardBackward, costs.fwd_bwd * jit);
         // Ship W_jt (pre-update, per Algorithm 1 lines 12–14); the master
         // pays the transfer on its own timeline.
-        comm.send_costed(0, TAG_WEIGHT, local.params(), 0.0, TimeCategory::Other);
+        comm.send_costed(
+            0,
+            tags::ORIG_WEIGHT,
+            local.params(),
+            0.0,
+            TimeCategory::Other,
+        );
         local.elastic_step_against(&rule, &center);
         comm.charge(TimeCategory::GpuUpdate, costs.gpu_update);
     }

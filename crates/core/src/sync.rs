@@ -22,13 +22,11 @@ use crate::engine::{
 use crate::metrics::RunResult;
 use crate::simcost::SimCosts;
 use easgd_cluster::collectives::{tree_broadcast_among, tree_reduce_sum_among};
-use easgd_cluster::{BatchMsg, ClusterConfig, Comm, TimeCategory, VirtualCluster};
+use easgd_cluster::{tags, BatchMsg, ClusterConfig, Comm, TimeCategory, VirtualCluster};
 use easgd_data::Dataset;
 use easgd_hardware::net::AlphaBeta;
 use easgd_nn::{CommSchedule, LayoutKind, Network};
 use std::time::Instant;
-
-const TAG_DATA: u32 = 10;
 
 /// Which Sync EASGD implementation stage to run (§6.1).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -63,6 +61,38 @@ pub enum SyncExchange {
     /// from per-message α-β accounting instead of a formula, so the
     /// priced timeline and the running schedule share one tree.
     ExecutableTree,
+}
+
+/// One executable-tree exchange round — the exact comm structure the
+/// Sync EASGD trainer runs per iteration under
+/// [`SyncExchange::ExecutableTree`]: tree-broadcast the center from
+/// `center_rank` into `center_t`, let `contribute` build this rank's
+/// reduce input in `weight_sum`, then tree-reduce the sum back to
+/// `center_rank`.
+///
+/// Extracted so the xtask protocol model checker can record the *same*
+/// production code path it verifies (DESIGN.md §12) instead of a
+/// hand-transcribed copy.
+#[allow(clippy::too_many_arguments)]
+pub fn tree_exchange_round<F>(
+    comm: &mut Comm,
+    participants: &[usize],
+    center_rank: usize,
+    center: &[f32],
+    center_t: &mut Vec<f32>,
+    weight_sum: &mut Vec<f32>,
+    category: TimeCategory,
+    contribute: F,
+) where
+    F: FnOnce(&[f32], &mut Vec<f32>),
+{
+    center_t.clear();
+    if comm.rank() == center_rank {
+        center_t.extend_from_slice(center);
+    }
+    tree_broadcast_among(comm, participants, center_rank, center_t, category);
+    contribute(center_t, weight_sum);
+    tree_reduce_sum_among(comm, participants, center_rank, weight_sum, category);
 }
 
 /// Runs Sync EASGD (variant per `variant`) on a simulated
@@ -177,14 +207,20 @@ pub fn sync_easgd_sim_with(
                         let mut buf = comm.take_buffer(3 + batch.labels.len() + pixels.len());
                         BatchMsg::encode_into(pixels, &batch.labels, &mut buf);
                         let cost = if j == 1 { costs.data_time() } else { 0.0 };
-                        comm.send_from_costed(j, TAG_DATA, buf, cost, TimeCategory::CpuGpuData);
+                        comm.send_from_costed(
+                            j,
+                            tags::SYNC_DATA,
+                            buf,
+                            cost,
+                            TimeCategory::CpuGpuData,
+                        );
                     }
                     // The CPU waits out the GPUs' compute phase (Table 3
                     // attributes that window to for/backward).
                     comm.charge(TimeCategory::ForwardBackward, costs.fwd_bwd);
                 }
                 Some(local) => {
-                    comm.recv_into(0, TAG_DATA, TimeCategory::Other, &mut payload);
+                    comm.recv_into(0, tags::SYNC_DATA, TimeCategory::Other, &mut payload);
                     let pixels = match BatchMsg::decode_into(&payload, cfg.batch, &mut labels) {
                         Ok(x) => x,
                         Err(e) => panic!("batch codec (rank {me}): {e}"),
@@ -234,32 +270,25 @@ pub fn sync_easgd_sim_with(
                 }
                 SyncExchange::ExecutableTree => {
                     if is_participant {
-                        // --- step (2): executable tree broadcast of W̄_t.
-                        center_t.clear();
-                        if me == center_rank {
-                            center_t.extend_from_slice(&center);
-                        }
-                        tree_broadcast_among(
+                        // --- steps (2)-(4): executable tree broadcast of
+                        // W̄_t, then the reduce input built in place by the
+                        // contribute closure (the EASGD1 CPU contributes
+                        // zeros) and tree-reduced back to the root.
+                        let local = &mut local;
+                        tree_exchange_round(
                             comm,
                             &participants,
                             center_rank,
+                            &center,
                             &mut center_t,
-                            coll_cat,
-                        );
-                        // --- steps (3)+(4) fused, the reduce input built
-                        // in place (the EASGD1 CPU contributes zeros).
-                        match local.as_mut() {
-                            Some(local) => {
-                                local.elastic_exchange_against(&rule, &center_t, &mut weight_sum)
-                            }
-                            None => weight_sum.fill(0.0),
-                        }
-                        tree_reduce_sum_among(
-                            comm,
-                            &participants,
-                            center_rank,
                             &mut weight_sum,
                             coll_cat,
+                            |center_t, weight_sum| match local.as_mut() {
+                                Some(local) => {
+                                    local.elastic_exchange_against(&rule, center_t, weight_sum)
+                                }
+                                None => weight_sum.fill(0.0),
+                            },
                         );
                         // --- step (5): only the tree root holds Σ W_i;
                         // the others receive next round's W̄ by broadcast.

@@ -1,7 +1,7 @@
 //! Source-level lint pass enforcing the repo's concurrency and
 //! determinism invariants.
 //!
-//! Six rules, run over every workspace `.rs` file (see DESIGN.md
+//! Seven rules, run over every workspace `.rs` file (see DESIGN.md
 //! §"Static analysis & invariants" for the rationale):
 //!
 //! 1. **no-unsafe** — the tree is `unsafe`-free and must stay that way
@@ -33,6 +33,17 @@
 //!    allocating inference path, `Arc` refcount clones) carry a
 //!    `// xtask: allow(step-alloc)` justification on the same line or
 //!    in the comment block directly above.
+//! 7. **tag-discipline** — point-to-point tag arguments in
+//!    `crates/cluster/src/` and `crates/core/src/` must come from the
+//!    named registry (`easgd_cluster::tags`), never bare integer
+//!    literals, and tag-named `u32` constants may not be defined from
+//!    literals outside the registry module. Deliberate sites carry a
+//!    `// xtask: allow(tag-literal)` justification.
+//!
+//! [`lint_workspace`] additionally reports **stale-allow**: entries in
+//! `crates/xtask/lint-allow.txt` that no longer name an existing file —
+//! a dead exemption that would silently re-admit `unwrap` if the path
+//! ever came back.
 //!
 //! The pass works on a *stripped* view of each file — comments, string
 //! and char literals blanked out — so tokens inside comments or strings
@@ -55,6 +66,29 @@ pub const PAYLOAD_COPY_PRAGMA: &str = "xtask: allow(payload-copy)";
 /// `backward*` body in `crates/nn/src/` (same line or the comment block
 /// directly above).
 pub const STEP_ALLOC_PRAGMA: &str = "xtask: allow(step-alloc)";
+
+/// Pragma that justifies one bare-literal tag site in the comm-using
+/// crates (same line or the comment block directly above).
+pub const TAG_LITERAL_PRAGMA: &str = "xtask: allow(tag-literal)";
+
+/// `Comm` methods taking a tag argument, with the tag's zero-based
+/// position in the argument list. Calls with too few arguments (e.g.
+/// `std::sync::mpsc`-style `.send(msg)` or argless `.recv()`) are
+/// skipped — only the communicator signatures are in scope.
+const TAG_ARG_METHODS: &[(&str, usize)] = &[
+    (".send(", 1),
+    (".send_from(", 1),
+    (".send_costed(", 1),
+    (".send_from_costed(", 1),
+    (".send_payload_costed(", 1),
+    (".recv(", 1),
+    (".recv_into(", 1),
+    (".recv_costed(", 1),
+    (".recv_costed_into(", 1),
+    (".recv_any(", 0),
+    (".recv_any_into(", 0),
+    (".try_recv_any(", 0),
+];
 
 /// One lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -479,7 +513,169 @@ pub fn lint_source(file: &str, source: &str, hot_path: bool) -> Vec<Finding> {
             });
         }
     }
+
+    // Rule 7: tag-discipline — comm tags in the cluster/core crates come
+    // from the named registry, not bare literals. Runs on the whole
+    // stripped text (calls span lines) with balanced-paren argument
+    // extraction.
+    let tag_scope = (file.starts_with("crates/cluster/src/")
+        || file.starts_with("crates/core/src/"))
+        && file != "crates/cluster/src/tags.rs";
+    if tag_scope {
+        let line_starts: Vec<usize> = std::iter::once(0)
+            .chain(stripped.match_indices('\n').map(|(i, _)| i + 1))
+            .collect();
+        let line_of = |offset: usize| line_starts.partition_point(|&s| s <= offset) - 1;
+        for &(needle, tag_idx) in TAG_ARG_METHODS {
+            let mut start = 0;
+            while let Some(pos) = stripped[start..].find(needle) {
+                let abs = start + pos;
+                start = abs + needle.len();
+                let idx = line_of(abs);
+                if in_spans(&test_spans, idx)
+                    || comment_justified(&raw_lines, idx, TAG_LITERAL_PRAGMA)
+                {
+                    continue;
+                }
+                let Some(args) = top_level_args(&stripped, abs + needle.len() - 1) else {
+                    continue;
+                };
+                if args.len() <= tag_idx {
+                    continue;
+                }
+                let tag_arg = args[tag_idx].trim();
+                if tag_arg.starts_with(|c: char| c.is_ascii_digit()) {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: idx + 1,
+                        rule: "tag-discipline",
+                        message: format!(
+                            "bare integer literal `{tag_arg}` as the tag of `{}…)`; draw \
+                             tags from the `easgd_cluster::tags` registry or justify the \
+                             site with `// {TAG_LITERAL_PRAGMA}`",
+                            needle.trim_start_matches('.')
+                        ),
+                    });
+                }
+            }
+        }
+        // Tag constants defined from literals belong in the registry.
+        for (idx, sline) in stripped_lines.iter().enumerate() {
+            if in_spans(&test_spans, idx) {
+                continue;
+            }
+            let Some(cpos) = sline.find("const ") else {
+                continue;
+            };
+            let decl = &sline[cpos..];
+            if !(decl.contains("TAG") && decl.contains(": u32")) {
+                continue;
+            }
+            let Some(eq) = decl.find('=') else { continue };
+            let rhs = decl[eq + 1..].trim_start();
+            if rhs.starts_with(|c: char| c.is_ascii_digit())
+                && !comment_justified(&raw_lines, idx, TAG_LITERAL_PRAGMA)
+            {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    rule: "tag-discipline",
+                    message: format!(
+                        "tag constant defined from a literal outside the registry; move \
+                         it into `crates/cluster/src/tags.rs` or justify the site with \
+                         `// {TAG_LITERAL_PRAGMA}`"
+                    ),
+                });
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(b.rule)));
     findings
+}
+
+/// Top-level argument texts of the call whose opening parenthesis is at
+/// byte `open` in `stripped` (commas nested in parens/brackets/braces
+/// don't split). `None` when the call never closes (malformed input).
+fn top_level_args(stripped: &str, open: usize) -> Option<Vec<String>> {
+    let mut depth = 0usize;
+    let mut args = vec![String::new()];
+    for ch in stripped[open..].chars() {
+        match ch {
+            '(' | '[' | '{' => {
+                if depth > 0 {
+                    if let Some(last) = args.last_mut() {
+                        last.push(ch);
+                    }
+                }
+                depth += 1;
+            }
+            ')' | ']' | '}' => {
+                if depth == 1 && ch == ')' {
+                    if args.len() == 1 && args[0].trim().is_empty() {
+                        args.clear();
+                    }
+                    return Some(args);
+                }
+                depth = depth.saturating_sub(1);
+                if let Some(last) = args.last_mut() {
+                    last.push(ch);
+                }
+            }
+            ',' if depth == 1 => args.push(String::new()),
+            _ => {
+                if depth > 0 {
+                    if let Some(last) = args.last_mut() {
+                        last.push(ch);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Serializes findings as a JSON array (stable field order, no external
+/// dependencies) for `lint --json` consumers.
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"file\": \"");
+        out.push_str(&json_escape(&f.file));
+        out.push_str("\", \"line\": ");
+        out.push_str(&f.line.to_string());
+        out.push_str(", \"rule\": \"");
+        out.push_str(&json_escape(f.rule));
+        out.push_str("\", \"message\": \"");
+        out.push_str(&json_escape(&f.message));
+        out.push_str("\"}");
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// A `// ordering:` comment on the line itself or in the contiguous
@@ -560,17 +756,16 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
 }
 
 /// Lints every `.rs` file under `root`, returning all findings sorted by
-/// path and line.
+/// path and line. Also reports `stale-allow` for `lint-allow.txt`
+/// entries that no longer name an existing file.
 pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
     let allow_path = root.join("crates/xtask/lint-allow.txt");
-    let allow = match fs::read_to_string(&allow_path) {
-        Ok(text) => parse_allowlist(&text),
-        Err(_) => BTreeSet::new(),
-    };
+    let allow_text = fs::read_to_string(&allow_path).unwrap_or_default();
+    let allow = parse_allowlist(&allow_text);
+    let mut findings = stale_allow_findings(root, &allow_text);
     let mut files = Vec::new();
     collect_rs(root, &mut files)?;
     files.sort();
-    let mut findings = Vec::new();
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -582,7 +777,37 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
         let hot = is_hot_path(&rel) && !allow.contains(rel.as_str());
         findings.extend(lint_source(&rel, &source, hot));
     }
+    findings.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then_with(|| a.rule.cmp(b.rule))
+    });
     Ok(findings)
+}
+
+/// `stale-allow` findings for allowlist entries naming files that no
+/// longer exist (line numbers refer to `lint-allow.txt` itself).
+fn stale_allow_findings(root: &Path, allow_text: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, line) in allow_text.lines().enumerate() {
+        let entry = line.split('#').next().unwrap_or("").trim();
+        if entry.is_empty() {
+            continue;
+        }
+        if !root.join(entry).is_file() {
+            findings.push(Finding {
+                file: "crates/xtask/lint-allow.txt".to_string(),
+                line: idx + 1,
+                rule: "stale-allow",
+                message: format!(
+                    "allowlist entry `{entry}` names a file that no longer exists; \
+                     remove the dead exemption"
+                ),
+            });
+        }
+    }
+    findings
 }
 
 #[cfg(test)]
@@ -805,6 +1030,94 @@ mod tests {
             vec_new_call()
         );
         assert!(lint_source("crates/nn/src/layer.rs", &src, false).is_empty());
+    }
+
+    #[test]
+    fn tag_discipline_fires_on_bare_literal_tags() {
+        let src = "fn f(comm: &mut Comm) { comm.send(1, 10, &[], TimeCategory::Other); }";
+        let f = lint_source("crates/core/src/sync.rs", src, false);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "tag-discipline");
+        // Hex literals and arithmetic on literals fire too, across lines.
+        let src = "fn f(comm: &mut Comm) {\n    comm.recv_into(\n        0,\n        0x4000 + me as u32,\n        TimeCategory::Other,\n        &mut reply,\n    );\n}";
+        let f = lint_source("crates/core/src/async_sim.rs", src, false);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "tag-discipline");
+        assert_eq!(f[0].line, 2, "flagged at the call line");
+    }
+
+    #[test]
+    fn tag_discipline_accepts_registry_names_and_pragma() {
+        let src = "fn f(comm: &mut Comm) { comm.send(1, tags::SYNC_DATA, &[], cat); \
+                   comm.recv_any(tags::ASYNC_REQ, cat); }";
+        assert!(lint_source("crates/core/src/sync.rs", src, false).is_empty());
+        let src = "fn f(comm: &mut Comm) {\n    // xtask: allow(tag-literal) — fixture tag.\n    comm.send(1, 7, &[], cat);\n}";
+        assert!(lint_source("crates/core/src/sync.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn tag_discipline_skips_short_args_tests_and_foreign_files() {
+        // mpsc-style one-arg send and argless recv lack a tag position.
+        let src = "fn f() { senders[to].send(msg); let m = rx.recv(); }";
+        assert!(lint_source("crates/cluster/src/channel.rs", src, false).is_empty());
+        // #[cfg(test)] spans are exempt.
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn f(c: &mut Comm) { c.send(1, 10, &[], cat); }\n}\n";
+        assert!(lint_source("crates/cluster/src/comm.rs", src, false).is_empty());
+        // Out-of-scope crates and the registry itself are exempt.
+        let src = "fn f(c: &mut Comm) { c.send(1, 10, &[], cat); }";
+        assert!(lint_source("crates/nn/src/dense.rs", src, false).is_empty());
+        assert!(lint_source("tests/protocol_check.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn tag_discipline_flags_literal_tag_constants_outside_registry() {
+        let src = "const TAG_DATA: u32 = 10;\n";
+        let f = lint_source("crates/core/src/sync.rs", src, false);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "tag-discipline");
+        // The registry module itself defines tags from literals.
+        assert!(lint_source("crates/cluster/src/tags.rs", src, false).is_empty());
+        // Constants built from registry names are fine.
+        let src = "const MY_TAG: u32 = tags::SYNC_DATA;\n";
+        assert!(lint_source("crates/core/src/sync.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn stale_allow_reports_dead_entries_with_lines() {
+        let text = "# header\ncrates/xtask/src/lint.rs\ncrates/gone/src/never.rs # rationale\n";
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root");
+        let f = stale_allow_findings(root, text);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "stale-allow");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("crates/gone/src/never.rs"));
+    }
+
+    #[test]
+    fn findings_serialize_to_json() {
+        assert_eq!(findings_to_json(&[]), "[]");
+        let f = vec![Finding {
+            file: "a.rs".to_string(),
+            line: 3,
+            rule: "no-unsafe",
+            message: "say \"no\"".to_string(),
+        }];
+        let json = findings_to_json(&f);
+        assert!(json.contains("\"file\": \"a.rs\""), "{json}");
+        assert!(json.contains("\"line\": 3"), "{json}");
+        assert!(json.contains("\\\"no\\\""), "{json}");
+        assert!(json.starts_with('[') && json.ends_with(']'));
+    }
+
+    #[test]
+    fn findings_are_sorted_by_line() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\nfn g() { unsafe {} }\n";
+        let f = lint_source("crates/tensor/src/ops.rs", src, true);
+        assert!(f.windows(2).all(|w| w[0].line <= w[1].line), "{f:?}");
     }
 
     #[test]

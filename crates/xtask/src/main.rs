@@ -1,19 +1,23 @@
 //! CLI for the workspace static-analysis subsystem.
 //!
 //! ```text
-//! cargo run -p easgd-xtask -- lint       # lint every workspace .rs file
-//! cargo run -p easgd-xtask -- explore    # run the interleaving scenarios
+//! cargo run -p easgd-xtask -- lint                      # lint every workspace .rs file
+//! cargo run -p easgd-xtask -- lint --json               # findings as JSON
+//! cargo run -p easgd-xtask -- explore                   # CAS interleaving scenarios
+//! cargo run -p easgd-xtask -- explore --protocol        # comm protocol model checker
+//! cargo run -p easgd-xtask -- explore --protocol --smoke  # P=4 subset (per-push CI)
 //! ```
 //!
 //! `lint` exits non-zero if any finding is reported; `explore` exits
-//! non-zero if a correct kernel shows a violation or the deliberately racy
-//! negative scenario fails to produce one.
+//! non-zero if a correct kernel/protocol shows a violation or a
+//! deliberately broken negative scenario fails to produce one.
 
 use easgd_xtask::interleave::{
     scenario_elastic_center, scenario_fetch_add, scenario_racy_add_negative,
     scenario_two_component, Outcome,
 };
-use easgd_xtask::lint::lint_workspace;
+use easgd_xtask::lint::{findings_to_json, lint_workspace};
+use easgd_xtask::protocol;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -31,9 +35,17 @@ fn workspace_root() -> PathBuf {
     }
 }
 
-fn run_lint() -> ExitCode {
+fn run_lint(json: bool) -> ExitCode {
     let root = workspace_root();
     match lint_workspace(&root) {
+        Ok(findings) if json => {
+            println!("{}", findings_to_json(&findings));
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
         Ok(findings) if findings.is_empty() => {
             println!("xtask lint: clean ({})", root.display());
             ExitCode::SUCCESS
@@ -117,13 +129,100 @@ fn run_explore() -> ExitCode {
     }
 }
 
+/// Runs the comm-protocol model-checking suite. For each production
+/// scenario: the reduced (sleep-set) exhaustive search must pass, and —
+/// where `compare_naive` — the unreduced search is run too so the
+/// partial-order-reduction factor can be reported. Negative controls
+/// must fail, and their minimal counterexample schedule is printed.
+fn run_explore_protocol(smoke: bool) -> ExitCode {
+    let mode = if smoke { "smoke (P=4)" } else { "full" };
+    println!("protocol model checker — {mode} suite");
+    let mut failed = false;
+    for sc in protocol::suite(smoke) {
+        let reduced = protocol::check(&sc.programs, true, Some(protocol::REDUCED_CAP));
+        let stats = *reduced.stats();
+        if stats.truncated {
+            println!(
+                "FAIL {}: reduced search truncated at {} executions — not exhaustive",
+                sc.name, stats.executions
+            );
+            failed = true;
+            continue;
+        }
+        match (&reduced, sc.expect_pass) {
+            (protocol::Outcome::Pass(_), true) => {
+                let reduction = if sc.compare_naive {
+                    let naive = protocol::check(&sc.programs, false, Some(protocol::NAIVE_CAP));
+                    let n = naive.stats().executions.max(1);
+                    let r = stats.executions.max(1);
+                    let bound = if naive.stats().truncated { "≥ " } else { "" };
+                    format!(
+                        ", naive {} {n} → reduction {bound}{:.0}x",
+                        if naive.stats().truncated {
+                            "(capped)"
+                        } else {
+                            "executions"
+                        },
+                        n as f64 / r as f64
+                    )
+                } else {
+                    String::new()
+                };
+                println!(
+                    "ok   {}: {} schedules verified deadlock-, loss-, and leak-free \
+                     ({} steps, {} slept{reduction})",
+                    sc.name, stats.executions, stats.steps, stats.slept
+                );
+            }
+            (protocol::Outcome::Fail(v, _), false) => {
+                println!(
+                    "ok   {}: violation found after {} schedule(s): {}",
+                    sc.name,
+                    stats.executions,
+                    v.message.lines().next().unwrap_or("")
+                );
+                match protocol::shortest_violation(&sc.programs, 1_000_000) {
+                    Some(minimal) => println!(
+                        "     minimal counterexample schedule ({} visible steps): {:?}",
+                        minimal.schedule.len(),
+                        minimal.schedule
+                    ),
+                    None => {
+                        println!("FAIL {}: no minimal counterexample within BFS cap", sc.name);
+                        failed = true;
+                    }
+                }
+            }
+            (protocol::Outcome::Fail(v, _), true) => {
+                println!("FAIL {}: {v}", sc.name);
+                failed = true;
+            }
+            (protocol::Outcome::Pass(_), false) => {
+                println!(
+                    "FAIL {}: exhaustive search ({} schedules) found no violation in a \
+                     protocol that is broken by construction",
+                    sc.name, stats.executions
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
     match args.first().map(String::as_str) {
-        Some("lint") => run_lint(),
+        Some("lint") => run_lint(flag("--json")),
+        Some("explore") if flag("--protocol") => run_explore_protocol(flag("--smoke")),
         Some("explore") => run_explore(),
         _ => {
-            eprintln!("usage: easgd-xtask <lint|explore>");
+            eprintln!("usage: easgd-xtask <lint [--json] | explore [--protocol [--smoke]]>");
             ExitCode::FAILURE
         }
     }

@@ -29,6 +29,9 @@ cargo test -q --release --test golden_traces
 echo "==> easgd-xtask explore"
 cargo run -q -p easgd-xtask -- explore
 
+echo "==> easgd-xtask explore --protocol --smoke (full suite runs nightly in CI)"
+cargo run -q -p easgd-xtask -- explore --protocol --smoke
+
 echo "==> kernel perf harness (smoke: one iteration per bench, no JSON)"
 cargo run -q --release -p easgd-bench --bin kernels -- --smoke
 

@@ -535,3 +535,96 @@ proptest! {
         }
     }
 }
+
+// --- Buffer pool accounting (the zero-allocation exchange substrate) ----
+
+proptest! {
+    /// Every nonzero-length `take` increments exactly one of
+    /// `fresh`/`grown`/`reused` — the BENCH_comm allocs-per-step column
+    /// rests on this partition being exact. (Only `take`/`put` are
+    /// driven: `note_external_alloc` deliberately books into `grown` for
+    /// non-pooled buffers and would shift the identity.)
+    #[test]
+    fn pool_take_accounting_partitions_exactly(
+        // Each op packs (take-or-put, len) into one integer: bit 0 picks
+        // the operation, the remaining bits give the take length 0..64.
+        ops in proptest::collection::vec(0u64..128, 0..60),
+    ) {
+        use knl_easgd::cluster::pool::BufferPool;
+        let pool = BufferPool::new();
+        let mut live: Vec<Vec<f32>> = Vec::new();
+        let mut nonzero_takes = 0u64;
+        for op in ops {
+            let (is_take, len) = (op & 1 == 1, (op >> 1) as usize);
+            if is_take {
+                let buf = pool.take(len);
+                prop_assert!(buf.is_empty(), "taken buffers arrive cleared");
+                prop_assert!(buf.capacity() >= len);
+                if len > 0 {
+                    nonzero_takes += 1;
+                }
+                live.push(buf);
+            } else if let Some(buf) = live.pop() {
+                pool.put(buf);
+            }
+        }
+        let s = pool.stats();
+        prop_assert_eq!(
+            s.fresh + s.grown + s.reused,
+            nonzero_takes,
+            "stats {:?}",
+            s
+        );
+        prop_assert_eq!(s.allocations(), s.fresh + s.grown);
+    }
+
+    /// `bytes_copied` is monotone under `note_copy` and sums exactly.
+    #[test]
+    fn pool_bytes_copied_is_monotone_and_exact(
+        copies in proptest::collection::vec(0usize..10_000, 0..40),
+    ) {
+        use knl_easgd::cluster::pool::BufferPool;
+        let pool = BufferPool::new();
+        let mut last = 0u64;
+        let mut total = 0u64;
+        for c in copies {
+            pool.note_copy(c);
+            total += c as u64;
+            let now = pool.stats().bytes_copied;
+            prop_assert!(now >= last, "bytes_copied went backwards");
+            last = now;
+        }
+        prop_assert_eq!(last, total);
+        // The other counters are untouched by note_copy.
+        let s = pool.stats();
+        prop_assert_eq!((s.fresh, s.grown, s.reused), (0, 0, 0));
+    }
+
+    /// Recycling foreign buffers (caller-allocated, any capacity,
+    /// including capacity 0) never corrupts the free list: subsequent
+    /// takes still hand out cleared buffers of adequate capacity, and
+    /// the accounting identity still holds.
+    #[test]
+    fn pool_survives_foreign_capacity_recycles(
+        foreign in proptest::collection::vec(0usize..128, 0..20),
+        takes in proptest::collection::vec(1usize..128, 1..20),
+    ) {
+        use knl_easgd::cluster::pool::BufferPool;
+        let pool = BufferPool::new();
+        for cap in foreign {
+            // A caller-allocated buffer with arbitrary capacity and
+            // leftover contents, as `recycle_buffer` accepts.
+            let mut v = Vec::with_capacity(cap);
+            v.resize(cap.min(7), 3.5);
+            pool.put(v);
+        }
+        let n = takes.len() as u64;
+        for len in takes {
+            let buf = pool.take(len);
+            prop_assert!(buf.is_empty(), "stale contents leaked out of the pool");
+            prop_assert!(buf.capacity() >= len, "capacity contract broken");
+        }
+        let s = pool.stats();
+        prop_assert_eq!(s.fresh + s.grown + s.reused, n, "stats {:?}", s);
+    }
+}
