@@ -6,8 +6,10 @@
 //! `elastic_exchange` kernel against the two-pass copy+Eq(1) composition
 //! it replaced, the full pooled exchange step against the old
 //! `Vec`-returning shim APIs on a live 2-rank [`VirtualCluster`], the
-//! pool's allocation and bytes-moved counters, and the executable tree
-//! reduce against the flat gather-sum at 8 ranks — and emits
+//! pool's allocation and bytes-moved counters, the executable tree
+//! reduce against the flat gather-sum at 8 ranks, and the ISSUE 7
+//! compute/communication overlap (serial vs segment-pipelined tree
+//! exchange vs the compute-only floor, simulated at 8 ranks) — and emits
 //! `BENCH_comm.json` at the repo root.
 //!
 //! ```text
@@ -19,9 +21,13 @@
 //! Acceptance (checked in, re-validated by `--smoke` in CI):
 //! steady-state allocations per pooled exchange step must be 0, the
 //! fused+pooled step must be ≥ 2× the shim path on the VGG-sized arena,
-//! and the tree reduce must cost no more simulated time than the flat
-//! gather at 8 ranks.
+//! the fused kernel must not lose to the two-pass form, the tree reduce
+//! must cost no more simulated time than the flat gather at 8 ranks, the
+//! pipelined exchange must hide ≥ 50% of the serial round's exposed
+//! exchange time (and beat it outright) on the VGG arena, and the
+//! pipelined round must stay allocation-free.
 
+use easgd::sync::{tree_exchange_pipelined, tree_exchange_round};
 use easgd_bench::arg_value;
 use easgd_cluster::collectives::{flat_gather_sum, tree_reduce_sum};
 use easgd_cluster::{ClusterConfig, Comm, PoolStats, TimeCategory, VirtualCluster};
@@ -373,6 +379,143 @@ fn bench_tree_vs_flat(entries: &mut Vec<Entry>, smoke: bool) -> (f64, f64) {
     (tree_s, flat_s)
 }
 
+/// What the 8-rank overlap measurement returns (simulated seconds per
+/// round, max across ranks, plus rank 0's pooled-allocation reading over
+/// the measured pipelined window).
+struct OverlapOutcome {
+    compute_s: f64,
+    serial_s: f64,
+    pipe_s: f64,
+    pipe_allocs_per_round: f64,
+}
+
+/// Compute/communication overlap at 8 ranks on the PCIe peer link: one
+/// EASGD-shaped round — a compute window plus a tree exchange of the
+/// arena — run three ways. `compute_only` is the floor (no exchange at
+/// all), `serial_tree_exchange` is the executable-tree round with the
+/// compute charged as one lump before it, and `pipelined_tree_exchange`
+/// slices both into segments so traffic rides under the compute
+/// (DESIGN.md §13). Overlap efficiency is the share of the serial
+/// round's *exposed* exchange time the pipeline hides:
+/// `(serial − pipelined) / (serial − compute_only)`.
+///
+/// Virtual clocks make the simulated times deterministic; one measured
+/// window suffices. `ms` holds *simulated* millis.
+fn bench_overlap(entries: &mut Vec<Entry>, smoke: bool) -> OverlapOutcome {
+    let n = if smoke { 65_536 } else { VGG_ARENA };
+    let p = 8;
+    let segments = 8;
+    let rounds: u64 = if smoke { 1 } else { 2 };
+    let link = AlphaBeta::pcie_gen3_x16();
+    // A compute window of the same order as the serial exchange itself —
+    // the regime §6.1's EASGD3 pipelining targets.
+    let compute = 6.0 * link.time(n * 4);
+    let participants: Vec<usize> = (0..p).collect();
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mode {
+        ComputeOnly,
+        Serial,
+        Pipelined,
+    }
+
+    let run = |mode: Mode| -> (f64, f64) {
+        let cfg = ClusterConfig::new(p).with_link(link.clone());
+        let outs = VirtualCluster::run(&cfg, |comm: &mut Comm| {
+            // Only the root owns a center; everyone tracks center_t.
+            let center = if comm.rank() == 0 {
+                vec![1.0f32; n]
+            } else {
+                Vec::new()
+            };
+            let mut center_t = vec![0.0f32; n];
+            let mut weight_sum = vec![0.0f32; n];
+            let mut round = |comm: &mut Comm| match mode {
+                Mode::ComputeOnly => comm.charge(TimeCategory::ForwardBackward, compute),
+                Mode::Serial => {
+                    comm.charge(TimeCategory::ForwardBackward, compute);
+                    tree_exchange_round(
+                        comm,
+                        &participants,
+                        0,
+                        &center,
+                        &mut center_t,
+                        &mut weight_sum,
+                        TimeCategory::GpuGpuParam,
+                        |center_t, weight_sum| {
+                            weight_sum.resize(center_t.len(), 0.0);
+                            weight_sum.copy_from_slice(center_t);
+                        },
+                    );
+                }
+                Mode::Pipelined => tree_exchange_pipelined(
+                    comm,
+                    &participants,
+                    0,
+                    &center,
+                    &mut center_t,
+                    &mut weight_sum,
+                    TimeCategory::GpuGpuParam,
+                    segments,
+                    |comm: &mut Comm, _s| {
+                        comm.charge(TimeCategory::ForwardBackward, compute / segments as f64)
+                    },
+                    |_range, center_seg, sum_seg: &mut [f32]| sum_seg.copy_from_slice(center_seg),
+                ),
+            };
+            // Warm rounds grow the pool to steady state, then park spares
+            // (as in `bench_exchange_step`: pipeline stages need a buffer
+            // of slack when rank skew overlaps adjacent rounds).
+            for _ in 0..2 {
+                round(comm);
+            }
+            if comm.rank() == 0 {
+                let seg = n / segments;
+                let spares: Vec<_> = (0..2 * p).map(|_| comm.take_buffer(seg)).collect();
+                for s in spares {
+                    comm.recycle_buffer(s);
+                }
+            }
+            comm.barrier();
+            let before = comm.pool_stats();
+            let t0 = comm.now();
+            for _ in 0..rounds {
+                round(comm);
+            }
+            let per_round_s = (comm.now() - t0) / rounds as f64;
+            comm.barrier();
+            let allocs = comm.pool_stats().since(&before).allocations() as f64 / rounds as f64;
+            (per_round_s, allocs)
+        });
+        let sim = outs.iter().map(|o| o.0).fold(0.0f64, f64::max);
+        (sim, outs[0].1)
+    };
+
+    let (compute_s, _) = run(Mode::ComputeOnly);
+    let (serial_s, _) = run(Mode::Serial);
+    let (pipe_s, pipe_allocs_per_round) = run(Mode::Pipelined);
+    for (implementation, s) in [
+        ("compute_only", compute_s),
+        ("serial_tree_exchange", serial_s),
+        ("pipelined_tree_exchange", pipe_s),
+    ] {
+        entries.push(Entry {
+            bench: "exchange_overlap_p8_sim",
+            shape: format!("{p}ranks/S{segments}/{n}"),
+            implementation,
+            ms: s * 1e3,
+            work: n as u64,
+            rate_unit: "melem_per_s",
+        });
+    }
+    OverlapOutcome {
+        compute_s,
+        serial_s,
+        pipe_s,
+        pipe_allocs_per_round,
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -385,6 +528,9 @@ struct Acceptance {
     pooled_mb_per_step: f64,
     seed_mb_per_step: f64,
     tree_over_flat: f64,
+    overlap_efficiency: f64,
+    pipelined_over_serial: f64,
+    pipelined_allocs_per_round: f64,
 }
 
 fn render_json(entries: &[Entry], acc: &Acceptance) -> String {
@@ -422,8 +568,20 @@ fn render_json(entries: &[Entry], acc: &Acceptance) -> String {
         acc.seed_mb_per_step
     ));
     out.push_str(&format!(
-        "    \"tree_over_flat_time_ratio_p8\": {:.3}\n",
+        "    \"tree_over_flat_time_ratio_p8\": {:.3},\n",
         acc.tree_over_flat
+    ));
+    out.push_str(&format!(
+        "    \"overlap_efficiency_p8\": {:.3},\n",
+        acc.overlap_efficiency
+    ));
+    out.push_str(&format!(
+        "    \"pipelined_over_serial_step_ratio_p8\": {:.3},\n",
+        acc.pipelined_over_serial
+    ));
+    out.push_str(&format!(
+        "    \"pipelined_allocs_per_round\": {:.2}\n",
+        acc.pipelined_allocs_per_round
     ));
     out.push_str("  },\n");
     out.push_str("  \"entries\": [\n");
@@ -466,6 +624,14 @@ fn validate_checked_in(path: &str) -> Result<(), String> {
         .ok_or("missing pooled_fused_step_speedup_vs_seed")?;
     let ratio = json_number(&text, "tree_over_flat_time_ratio_p8")
         .ok_or("missing tree_over_flat_time_ratio_p8")?;
+    let fused = json_number(&text, "fused_kernel_speedup_vs_two_pass")
+        .ok_or("missing fused_kernel_speedup_vs_two_pass")?;
+    let overlap =
+        json_number(&text, "overlap_efficiency_p8").ok_or("missing overlap_efficiency_p8")?;
+    let pipe_ratio = json_number(&text, "pipelined_over_serial_step_ratio_p8")
+        .ok_or("missing pipelined_over_serial_step_ratio_p8")?;
+    let pipe_allocs = json_number(&text, "pipelined_allocs_per_round")
+        .ok_or("missing pipelined_allocs_per_round")?;
     if allocs != 0.0 {
         return Err(format!(
             "pooled_allocs_per_exchange_step = {allocs}, want 0"
@@ -481,6 +647,24 @@ fn validate_checked_in(path: &str) -> Result<(), String> {
             "tree_over_flat_time_ratio_p8 = {ratio}, want <= 1.0"
         ));
     }
+    if fused < 1.0 {
+        return Err(format!(
+            "fused_kernel_speedup_vs_two_pass = {fused}, want >= 1.0"
+        ));
+    }
+    if overlap < 0.5 {
+        return Err(format!("overlap_efficiency_p8 = {overlap}, want >= 0.5"));
+    }
+    if pipe_ratio >= 1.0 {
+        return Err(format!(
+            "pipelined_over_serial_step_ratio_p8 = {pipe_ratio}, want < 1.0"
+        ));
+    }
+    if pipe_allocs != 0.0 {
+        return Err(format!(
+            "pipelined_allocs_per_round = {pipe_allocs}, want 0"
+        ));
+    }
     Ok(())
 }
 
@@ -491,6 +675,7 @@ fn main() {
     let fused_kernel_speedup = bench_exchange_kernels(&mut entries, smoke);
     let step = bench_exchange_step(&mut entries, smoke);
     let (tree_s, flat_s) = bench_tree_vs_flat(&mut entries, smoke);
+    let overlap = bench_overlap(&mut entries, smoke);
 
     let per_step = |stats: &PoolStats, steps: u64| {
         let s = steps.max(1) as f64;
@@ -513,6 +698,20 @@ fn main() {
         pooled_mb_per_step: pooled_mb,
         seed_mb_per_step: shim_mb,
         tree_over_flat: if flat_s > 0.0 { tree_s / flat_s } else { 0.0 },
+        overlap_efficiency: {
+            let exposed = overlap.serial_s - overlap.compute_s;
+            if exposed > 0.0 {
+                (overlap.serial_s - overlap.pipe_s) / exposed
+            } else {
+                0.0
+            }
+        },
+        pipelined_over_serial: if overlap.serial_s > 0.0 {
+            overlap.pipe_s / overlap.serial_s
+        } else {
+            0.0
+        },
+        pipelined_allocs_per_round: overlap.pipe_allocs_per_round,
     };
 
     println!(
@@ -540,6 +739,10 @@ fn main() {
         acc.seed_mb_per_step,
         acc.tree_over_flat,
     );
+    println!(
+        "overlap efficiency {:.3} | pipelined/serial {:.3} | pipelined allocs/round {:.2}",
+        acc.overlap_efficiency, acc.pipelined_over_serial, acc.pipelined_allocs_per_round,
+    );
 
     let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_comm.json");
     let out_path = arg_value("--out").unwrap_or_else(|| default_out.to_string());
@@ -557,6 +760,16 @@ fn main() {
             eprintln!(
                 "smoke: tree reduce slower than flat gather ({})",
                 acc.tree_over_flat
+            );
+            std::process::exit(1);
+        }
+        // The pipelined round must stay allocation-free at any arena
+        // size; the efficiency bar itself is checked against the full
+        // run's checked-in JSON (the smoke arena is α-dominated).
+        if acc.pipelined_allocs_per_round != 0.0 {
+            eprintln!(
+                "smoke: pipelined exchange allocated ({} allocs/round)",
+                acc.pipelined_allocs_per_round
             );
             std::process::exit(1);
         }

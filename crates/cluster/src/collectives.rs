@@ -97,6 +97,57 @@ fn vrank_of(ranks: &[usize], rank: usize) -> usize {
         .unwrap_or_else(|| panic!("rank {rank} is not in the participant set {ranks:?}"))
 }
 
+/// A rank's position in the binomial tree over `ranks` rooted at `root`
+/// — the edge set [`tree_broadcast_among`] / [`tree_reduce_sum_among`]
+/// walk, precomputed so segmented (pipelined) schedules traverse the
+/// *identical* tree: same parent, same children, same per-element fold
+/// order as the serial collectives, which is what makes the pipelined
+/// exchange bit-identical to the whole-vector one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeRole {
+    /// `(real rank, level mask)` of the tree parent: where a broadcast
+    /// is received from and a reduce partial is sent to. `None` for the
+    /// root.
+    pub parent: Option<(usize, usize)>,
+    /// `(real rank, level mask)` of each child, in **mask-descending**
+    /// order — the broadcast fan-out order. The reduce gathers children
+    /// in the reverse (mask-ascending) order, exactly like the serial
+    /// reduce loop.
+    pub children: Vec<(usize, usize)>,
+}
+
+impl TreeRole {
+    /// Computes the role of `me` in the binomial tree over `ranks`
+    /// rooted at `root` (both must be participants).
+    pub fn compute(ranks: &[usize], root: usize, me: usize) -> TreeRole {
+        let p = ranks.len();
+        let vroot = vrank_of(ranks, root);
+        let vr = (vrank_of(ranks, me) + p - vroot) % p;
+        let to_real = |v: usize| ranks[(v + vroot) % p];
+        // Climb to the mask at which this rank receives (the root never
+        // does) — the broadcast climb loop.
+        let mut parent = None;
+        let mut mask = 1usize;
+        while mask < p {
+            if vr & mask != 0 {
+                parent = Some((to_real(vr - mask), mask));
+                break;
+            }
+            mask <<= 1;
+        }
+        // Fan out below that mask — the broadcast send loop.
+        let mut children = Vec::new();
+        mask >>= 1;
+        while mask > 0 {
+            if vr + mask < p {
+                children.push((to_real(vr + mask), mask));
+            }
+            mask >>= 1;
+        }
+        TreeRole { parent, children }
+    }
+}
+
 /// Binomial-tree reduce-sum over the subgroup `ranks`, rooted at `root`
 /// (which must be a member). Every participant calls with its own
 /// `data`; after the call **only `root`'s `data` holds the sum** — the
@@ -429,6 +480,85 @@ mod tests {
         let exec = times.iter().cloned().fold(0.0f64, f64::max);
         let formula = easgd_hardware::collective::reduce_tree(&link, p, n * 4);
         assert!(exec <= formula + 1e-12, "p={p}: {exec} vs {formula}");
+    }
+
+    #[test]
+    fn tree_role_edges_are_mutually_consistent() {
+        // For every participant-set size and root: each non-root has
+        // exactly one parent, the parent lists it as a child under the
+        // same mask, and the edges form one tree spanning all ranks.
+        for p in 1..=9usize {
+            let ranks: Vec<usize> = (0..p).map(|r| r + 3).collect(); // offset real ids
+            for &root in &ranks {
+                let roles: Vec<TreeRole> = ranks
+                    .iter()
+                    .map(|&me| TreeRole::compute(&ranks, root, me))
+                    .collect();
+                let mut edges = 0;
+                for (i, role) in roles.iter().enumerate() {
+                    let me = ranks[i];
+                    if me == root {
+                        assert!(role.parent.is_none(), "root has no parent");
+                    } else {
+                        let (parent, mask) = role.parent.expect("non-root has a parent");
+                        let pi = ranks.iter().position(|&r| r == parent).unwrap();
+                        assert!(
+                            roles[pi].children.contains(&(me, mask)),
+                            "p={p} root={root}: parent {parent} must list {me} (mask {mask})"
+                        );
+                        edges += 1;
+                    }
+                    // Children are in mask-descending (broadcast) order.
+                    for w in role.children.windows(2) {
+                        assert!(w[0].1 > w[1].1, "children must descend by mask");
+                    }
+                }
+                let total_children: usize = roles.iter().map(|r| r.children.len()).sum();
+                assert_eq!(
+                    total_children, edges,
+                    "every child edge has one parent edge"
+                );
+                assert_eq!(edges, p - 1, "a spanning tree has p-1 edges");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_role_matches_the_serial_broadcast_schedule() {
+        // Drive a broadcast purely from TreeRole edges (recv from parent,
+        // send to children in listed order) and check it agrees with the
+        // serial tree_broadcast_among — same tags, same values.
+        let cfg = ClusterConfig::new(5);
+        let participants = [0usize, 1, 2, 3, 4];
+        let root = 2;
+        let outs = VirtualCluster::run(&cfg, |comm| {
+            let role = TreeRole::compute(&participants, root, comm.rank());
+            let mut data = if comm.rank() == root {
+                vec![42.0f32; 4]
+            } else {
+                Vec::new()
+            };
+            if let Some((parent, mask)) = role.parent {
+                comm.recv_into(
+                    parent,
+                    tags::TREE_BCAST | mask as u32,
+                    TimeCategory::Other,
+                    &mut data,
+                );
+            }
+            for &(child, mask) in &role.children {
+                comm.send(
+                    child,
+                    tags::TREE_BCAST | mask as u32,
+                    &data,
+                    TimeCategory::Other,
+                );
+            }
+            data
+        });
+        for v in outs {
+            assert_eq!(v, vec![42.0; 4]);
+        }
     }
 
     #[test]

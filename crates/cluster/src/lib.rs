@@ -49,6 +49,7 @@ pub mod codec;
 pub mod collectives;
 pub mod comm;
 pub mod pool;
+pub mod request;
 pub mod tags;
 pub mod trace;
 
@@ -57,8 +58,9 @@ pub use cluster::{ClusterConfig, CollectiveAlgo, VirtualCluster};
 pub use codec::{BatchMsg, CodecError};
 pub use collectives::{
     flat_gather_sum, ring_allreduce_sum, tree_allreduce_sum, tree_allreduce_sum_among,
-    tree_broadcast, tree_broadcast_among, tree_reduce_sum, tree_reduce_sum_among,
+    tree_broadcast, tree_broadcast_among, tree_reduce_sum, tree_reduce_sum_among, TreeRole,
 };
 pub use comm::{Comm, Payload};
 pub use pool::PoolStats;
+pub use request::{Request, RequestCollection};
 pub use trace::TraceOp;

@@ -21,6 +21,7 @@
 //! | `0x4100_0000 \| mask`       | Binomial-tree reduce steps               |
 //! | `0x4200_0000 \| mask`       | Binomial-tree broadcast steps            |
 //! | `0x4300_0000`               | Flat gather-sum baseline                 |
+//! | `0x4400_0000 \| …`          | Nonblocking segmented exchange           |
 //! | `0x8000_0000 \| …`          | Ring allreduce (phase, step)             |
 
 /// Sync EASGD's CPU→GPU batch fan-out ([`BatchMsg`](crate::BatchMsg)
@@ -74,6 +75,32 @@ pub const TREE_SPAN: u32 = 0x0100_0000;
 /// The flat gather-sum baseline (single tag; sources disambiguate).
 pub const FLAT_GATHER: u32 = 0x4300_0000;
 
+/// Base of the nonblocking segmented-exchange range; use [`seg_tree`].
+/// Reserved for the pipelined executable tree: every `isend`/`irecv`
+/// pair on that path draws its tag from here, so out-of-order waits can
+/// never cross-match two segments (or a segment against a whole-vector
+/// tree step).
+pub const SEG_EXCHANGE_BASE: u32 = 0x4400_0000;
+/// Width of the segmented-exchange range: segment (8 bits) << 16,
+/// phase (1 bit) << 15, tree level mask (15 bits).
+pub const SEG_EXCHANGE_SPAN: u32 = 0x0100_0000;
+/// [`seg_tree`] phase selector: the broadcast half of the exchange.
+pub const SEG_PHASE_BCAST: u32 = 0;
+/// [`seg_tree`] phase selector: the reduce half of the exchange.
+pub const SEG_PHASE_REDUCE: u32 = 1;
+
+/// Pipelined segmented-exchange tag: `segment` is the parameter-arena
+/// segment index, `phase` is [`SEG_PHASE_BCAST`] or [`SEG_PHASE_REDUCE`],
+/// and `mask` is the binomial-tree level (as in the whole-vector tree
+/// tags).
+pub fn seg_tree(segment: usize, phase: u32, mask: usize) -> u32 {
+    debug_assert!(
+        segment < 256 && phase < 2 && mask < 0x8000,
+        "segmented-exchange tag out of range: segment {segment}, phase {phase}, mask {mask}"
+    );
+    SEG_EXCHANGE_BASE | ((segment as u32) << 16) | (phase << 15) | (mask as u32)
+}
+
 /// Base of the ring-allreduce range; use [`ring`].
 pub const RING_BASE: u32 = 0x8000_0000;
 /// Width of the ring range: phase (1 bit) << 16 | step (16 bits).
@@ -101,6 +128,7 @@ pub const RANGES: &[(&str, u32, u32)] = &[
     ("tree-reduce", TREE_REDUCE, TREE_SPAN),
     ("tree-bcast", TREE_BCAST, TREE_SPAN),
     ("flat-gather", FLAT_GATHER, 1),
+    ("seg-exchange", SEG_EXCHANGE_BASE, SEG_EXCHANGE_SPAN),
     ("ring", RING_BASE, RING_SPAN),
 ];
 
@@ -140,6 +168,28 @@ mod tests {
         assert_eq!(owner_of(ring(1, 65_535)), Some("ring"));
         assert_eq!(owner_of(TREE_REDUCE | 0x40), Some("tree-reduce"));
         assert_eq!(owner_of(TREE_BCAST | 0x40), Some("tree-bcast"));
+        assert_eq!(
+            owner_of(seg_tree(0, SEG_PHASE_BCAST, 0)),
+            Some("seg-exchange")
+        );
+        assert_eq!(
+            owner_of(seg_tree(255, SEG_PHASE_REDUCE, 0x7fff)),
+            Some("seg-exchange")
+        );
+    }
+
+    #[test]
+    fn seg_tree_tags_are_injective_over_the_pipeline_schedule() {
+        // Distinct (segment, phase, mask) triples must never collide:
+        // out-of-order waits rely on per-segment tag selectivity.
+        let mut seen = std::collections::HashSet::new();
+        for segment in [0usize, 1, 7, 255] {
+            for phase in [SEG_PHASE_BCAST, SEG_PHASE_REDUCE] {
+                for mask in [0usize, 1, 2, 4, 0x4000] {
+                    assert!(seen.insert(seg_tree(segment, phase, mask)));
+                }
+            }
+        }
     }
 
     #[test]

@@ -13,9 +13,13 @@
 //! receiver inherits the obligation); `Recv`/`RecvAny` acquire the
 //! arriving message's buffer; `Recycle` returns a held buffer to the
 //! pool; `Retire` passes a held buffer out of pool custody (the
-//! `Vec`-returning receive shims). In every terminal state the checker
-//! requires each rank's held count to be zero and
-//! `taken == recycled + retired`.
+//! `Vec`-returning receive shims). The nonblocking ops follow the same
+//! ledger: `Isend` consumes a held buffer at post time exactly like
+//! `Send`, and an `Irecv`'s buffer obligation materializes at its `Wait`
+//! (which acquires the matched message's buffer, immediately recycled by
+//! the runtime's copy-out). In every terminal state the checker requires
+//! each rank's held count to be zero, `taken == recycled + retired`, and
+//! every posted `Irecv` discharged by a `Wait` (no lost completions).
 //!
 //! [`Comm`]: crate::Comm
 //! [`Comm::trace_start`]: crate::Comm::trace_start
@@ -43,6 +47,22 @@ pub enum TraceOp {
     /// A received buffer handed out of pool custody (the `Vec`-returning
     /// receive shims).
     Retire,
+    /// [`Comm::isend`](crate::Comm::isend) /
+    /// [`Comm::isend_from`](crate::Comm::isend_from): a nonblocking send
+    /// posted. The message is deposited *at post time* (consuming one
+    /// held buffer, exactly like `Send`); only the sender's completion
+    /// wait is deferred, which is a pure clock effect the model does not
+    /// track. Waiting on a send request therefore records nothing.
+    Isend { to: usize, tag: u32 },
+    /// [`Comm::irecv_into`](crate::Comm::irecv_into): a nonblocking
+    /// receive posted. Matching is deferred to the `Wait`, so this op is
+    /// rank-local; the model counts it against the rank's outstanding
+    /// requests so a dropped (never-waited) completion is detected.
+    Irecv { from: usize, tag: u32 },
+    /// [`Comm::wait`](crate::Comm::wait) completing a posted `Irecv`:
+    /// matches the oldest in-flight `(from, tag)` message exactly like
+    /// `Recv`, and discharges one outstanding request.
+    Wait { from: usize, tag: u32 },
 }
 
 impl fmt::Display for TraceOp {
@@ -54,6 +74,9 @@ impl fmt::Display for TraceOp {
             TraceOp::Recv { from, tag } => write!(f, "recv(from={from}, tag={tag:#x})"),
             TraceOp::RecvAny { tag } => write!(f, "recv_any(tag={tag:#x})"),
             TraceOp::Retire => write!(f, "retire"),
+            TraceOp::Isend { to, tag } => write!(f, "isend(to={to}, tag={tag:#x})"),
+            TraceOp::Irecv { from, tag } => write!(f, "irecv(from={from}, tag={tag:#x})"),
+            TraceOp::Wait { from, tag } => write!(f, "wait(from={from}, tag={tag:#x})"),
         }
     }
 }
@@ -61,9 +84,14 @@ impl fmt::Display for TraceOp {
 impl TraceOp {
     /// Whether this op is purely rank-local (no message-queue effect):
     /// the model checker folds local ops into the preceding scheduling
-    /// point, since they commute with every other rank's ops.
+    /// point, since they commute with every other rank's ops. `Irecv` is
+    /// local — posting a receive is invisible to other ranks; the
+    /// blocking point is its `Wait`.
     pub fn is_local(&self) -> bool {
-        matches!(self, TraceOp::TakeBuf | TraceOp::Recycle | TraceOp::Retire)
+        matches!(
+            self,
+            TraceOp::TakeBuf | TraceOp::Recycle | TraceOp::Retire | TraceOp::Irecv { .. }
+        )
     }
 }
 

@@ -118,6 +118,26 @@ impl LocalStep {
         );
     }
 
+    /// One segment of [`LocalStep::elastic_exchange_against`]: the fused
+    /// exchange restricted to `range` of the parameter arena. Because the
+    /// rule is purely elementwise, running it segment by segment over a
+    /// partition of `0..num_params` is bit-identical to one whole-vector
+    /// call — the contract the pipelined tree exchange builds on.
+    pub fn elastic_exchange_segment(
+        &mut self,
+        rule: &ElasticRule,
+        range: std::ops::Range<usize>,
+        center_seg: &[f32],
+        contribution_seg: &mut [f32],
+    ) {
+        rule.exchange(
+            &mut self.net.params_mut().as_mut_slice()[range.clone()],
+            contribution_seg,
+            &self.grad[range],
+            center_seg,
+        );
+    }
+
     /// [`LocalStep::elastic_exchange_against`] using the stored center
     /// snapshot (the shared-memory Sync EASGD path).
     pub fn elastic_exchange_step(&mut self, rule: &ElasticRule, contribution: &mut [f32]) {
@@ -266,6 +286,48 @@ mod tests {
         assert_eq!(trace.len(), 3);
         assert_eq!(trace[2].to_bits(), local.last_loss().to_bits());
         assert!(local.take_loss_trace().is_empty());
+    }
+
+    #[test]
+    fn segmented_exchange_is_bit_identical_to_whole_vector() {
+        let (proto, train) = setup();
+        let mut rng = easgd_tensor::Rng::new(21);
+        let batch = train.sample_batch(&mut rng, 8);
+        let rule = ElasticRule {
+            eta: 0.05,
+            rho: 0.3,
+            mu: 0.9,
+        };
+
+        let mut whole = LocalStep::new(&proto);
+        whole.forward_backward(&batch);
+        let n = whole.num_params();
+        let center: Vec<f32> = (0..n).map(|i| (i as f32).sin() * 0.1).collect();
+        let mut want = vec![0.0f32; n];
+        whole.elastic_exchange_against(&rule, &center, &mut want);
+
+        let mut segged = LocalStep::new(&proto);
+        segged.forward_backward(&batch);
+        let mut got = vec![0.0f32; n];
+        // Uneven partition on purpose: 7 segments of n not divisible by 7.
+        let segments = 7;
+        let mut start = 0;
+        for s in 0..segments {
+            let end = n * (s + 1) / segments;
+            segged.elastic_exchange_segment(
+                &rule,
+                start..end,
+                &center[start..end],
+                &mut got[start..end],
+            );
+            start = end;
+        }
+        for (a, b) in segged.params().iter().zip(whole.params()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in got.iter().zip(&want) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -21,8 +21,10 @@ use crate::engine::{
 };
 use crate::metrics::RunResult;
 use crate::simcost::SimCosts;
-use easgd_cluster::collectives::{tree_broadcast_among, tree_reduce_sum_among};
-use easgd_cluster::{tags, BatchMsg, ClusterConfig, Comm, TimeCategory, VirtualCluster};
+use easgd_cluster::collectives::{tree_broadcast_among, tree_reduce_sum_among, TreeRole};
+use easgd_cluster::{
+    tags, BatchMsg, ClusterConfig, Comm, Request, RequestCollection, TimeCategory, VirtualCluster,
+};
 use easgd_data::Dataset;
 use easgd_hardware::net::AlphaBeta;
 use easgd_nn::{CommSchedule, LayoutKind, Network};
@@ -61,6 +63,16 @@ pub enum SyncExchange {
     /// from per-message α-β accounting instead of a formula, so the
     /// priced timeline and the running schedule share one tree.
     ExecutableTree,
+    /// [`SyncExchange::ExecutableTree`] cut into `segments` arena
+    /// segments and driven through the nonblocking request-handle API
+    /// ([`tree_exchange_pipelined`]): the broadcast and reduce of
+    /// segment `k` hide under the compute slice of segment `k+1`.
+    /// Numerically bit-identical to the serial executable tree — only
+    /// the simulated timeline changes.
+    PipelinedTree {
+        /// How many segments the parameter arena is cut into (1..=256).
+        segments: usize,
+    },
 }
 
 /// One executable-tree exchange round — the exact comm structure the
@@ -93,6 +105,174 @@ pub fn tree_exchange_round<F>(
     tree_broadcast_among(comm, participants, center_rank, center_t, category);
     contribute(center_t, weight_sum);
     tree_reduce_sum_among(comm, participants, center_rank, weight_sum, category);
+}
+
+/// Element range of segment `s` when `n` elements are cut into
+/// `segments` nearly equal pieces (both exchange directions use this, so
+/// the partition is identical on every rank).
+fn seg_bounds(n: usize, segments: usize, s: usize) -> std::ops::Range<usize> {
+    (n * s / segments)..(n * (s + 1) / segments)
+}
+
+/// The pipelined form of [`tree_exchange_round`] — the same binomial
+/// tree ([`TreeRole`]) walked segment by segment through the
+/// nonblocking request-handle API (DESIGN.md §13):
+///
+/// * the root injects every broadcast segment up front
+///   (segment-major `isend`s, children in the serial fan-out order);
+/// * every other participant pre-posts one pooled `irecv_into` per
+///   segment;
+/// * compute loop, per segment `s`: one compute slice is charged via
+///   `compute_slice` (the §6.1 overlap window), the broadcast segment
+///   is awaited, copied into `center_t`, and forwarded down the tree;
+///   the local reduce contribution is built by `contribute_segment`;
+///   leaves stream their partial straight up with an `isend`;
+/// * reduce loop, per segment `s`: interior ranks fold their children's
+///   partials in the serial (mask-ascending) order and push the result
+///   to their parent. Folding *after* the compute loop matters: a
+///   child's partial necessarily trails the pipeline skew, and blocking
+///   on it between compute slices would feed that skew back into the
+///   next broadcast forward, compounding once per segment;
+/// * the round ends with one `wait_all` over every posted send, which
+///   settles the residual (non-hidden) NIC time.
+///
+/// Segment boundaries partition the arena and the per-element fold
+/// order equals the serial round's, so the numeric result is
+/// **bit-identical** to [`tree_exchange_round`] — only the simulated
+/// timeline differs: traffic hides under the sliced compute instead of
+/// following it. All scratch is pooled; steady-state rounds allocate
+/// nothing.
+#[allow(clippy::too_many_arguments)]
+pub fn tree_exchange_pipelined<C, F>(
+    comm: &mut Comm,
+    participants: &[usize],
+    center_rank: usize,
+    center: &[f32],
+    center_t: &mut [f32],
+    weight_sum: &mut [f32],
+    category: TimeCategory,
+    segments: usize,
+    mut compute_slice: C,
+    mut contribute_segment: F,
+) where
+    C: FnMut(&mut Comm, usize),
+    F: FnMut(std::ops::Range<usize>, &[f32], &mut [f32]),
+{
+    let n = center_t.len();
+    assert_eq!(weight_sum.len(), n, "weight_sum/center_t length mismatch");
+    assert!(
+        (1..=n.min(256)).contains(&segments),
+        "segment count {segments} outside 1..={} (arena {n}, tag range 256)",
+        n.min(256)
+    );
+    let me = comm.rank();
+    let role = TreeRole::compute(participants, center_rank, me);
+    let mut sends = RequestCollection::new();
+
+    // Post phase: the root injects the whole broadcast; everyone else
+    // pre-posts the matching receives into pooled buffers.
+    let mut bcast_reqs: Vec<Request> = Vec::with_capacity(segments);
+    if me == center_rank {
+        assert_eq!(center.len(), n, "center/center_t length mismatch");
+        center_t.copy_from_slice(center);
+        for s in 0..segments {
+            let r = seg_bounds(n, segments, s);
+            for &(child, mask) in &role.children {
+                sends.push(comm.isend(
+                    child,
+                    tags::seg_tree(s, tags::SEG_PHASE_BCAST, mask),
+                    &center_t[r.clone()],
+                    category,
+                ));
+            }
+        }
+    } else if let Some((parent, mask)) = role.parent {
+        for s in 0..segments {
+            let r = seg_bounds(n, segments, s);
+            let buf = comm.take_buffer(r.len());
+            bcast_reqs.push(comm.irecv_into(
+                parent,
+                tags::seg_tree(s, tags::SEG_PHASE_BCAST, mask),
+                category,
+                buf,
+            ));
+        }
+    } else {
+        unreachable!("non-root participant has a tree parent");
+    }
+
+    let mut reduce_buf =
+        (!role.children.is_empty()).then(|| comm.take_buffer(seg_bounds(n, segments, 0).len()));
+    for s in 0..segments {
+        let r = seg_bounds(n, segments, s);
+        // The overlap window: segment s's traffic is in flight while
+        // this slice of forward/backward is on the clock.
+        compute_slice(comm, s);
+        if me != center_rank {
+            let Some(req) = bcast_reqs.get_mut(s) else {
+                unreachable!("one pre-posted irecv per segment");
+            };
+            let Some(buf) = comm.wait(req) else {
+                unreachable!("waiting a posted irecv yields its buffer");
+            };
+            assert_eq!(buf.len(), r.len(), "broadcast segment length mismatch");
+            center_t[r.clone()].copy_from_slice(&buf);
+            comm.recycle_buffer(buf);
+            for &(child, mask) in &role.children {
+                sends.push(comm.isend(
+                    child,
+                    tags::seg_tree(s, tags::SEG_PHASE_BCAST, mask),
+                    &center_t[r.clone()],
+                    category,
+                ));
+            }
+        }
+        contribute_segment(r.clone(), &center_t[r.clone()], &mut weight_sum[r.clone()]);
+        // A leaf's partial is just its contribution — stream it up
+        // immediately so it rides under the remaining compute slices.
+        if role.children.is_empty() {
+            if let Some((parent, mask)) = role.parent {
+                sends.push(comm.isend(
+                    parent,
+                    tags::seg_tree(s, tags::SEG_PHASE_REDUCE, mask),
+                    &weight_sum[r.clone()],
+                    category,
+                ));
+            }
+        }
+    }
+    // Reduce loop (interior ranks): fold children in the serial
+    // (mask-ascending) order — the reverse of the broadcast fan-out
+    // list — and climb.
+    if let Some(buf) = reduce_buf.as_mut() {
+        for s in 0..segments {
+            let r = seg_bounds(n, segments, s);
+            for &(child, mask) in role.children.iter().rev() {
+                comm.recv_into(
+                    child,
+                    tags::seg_tree(s, tags::SEG_PHASE_REDUCE, mask),
+                    category,
+                    buf,
+                );
+                assert_eq!(buf.len(), r.len(), "reduce segment length mismatch");
+                for (d, v) in weight_sum[r.clone()].iter_mut().zip(buf.iter()) {
+                    *d += v;
+                }
+            }
+            if let Some((parent, mask)) = role.parent {
+                sends.push(comm.isend(
+                    parent,
+                    tags::seg_tree(s, tags::SEG_PHASE_REDUCE, mask),
+                    &weight_sum[r.clone()],
+                    category,
+                ));
+            }
+        }
+    }
+    if let Some(buf) = reduce_buf {
+        comm.recycle_buffer(buf);
+    }
+    comm.wait_all(&mut sends);
 }
 
 /// Runs Sync EASGD (variant per `variant`) on a simulated
@@ -140,10 +320,20 @@ pub fn sync_easgd_sim_with(
         // The executable tree's messages traverse the variant's dominant
         // link: host↔device packed transfers for EASGD1 (CPU-rooted),
         // GPU peer links otherwise.
-        SyncExchange::ExecutableTree => ClusterConfig::new(g + 1).with_link(match variant {
-            SyncVariant::Easgd1 => costs.cpu_gpu_packed.clone(),
-            _ => costs.gpu_gpu.clone(),
-        }),
+        SyncExchange::ExecutableTree | SyncExchange::PipelinedTree { .. } => {
+            ClusterConfig::new(g + 1).with_link(match variant {
+                SyncVariant::Easgd1 => costs.cpu_gpu_packed.clone(),
+                _ => costs.gpu_gpu.clone(),
+            })
+        }
+    };
+    // Under the pipelined exchange, participants charge their
+    // forward/backward window in per-segment slices inside the exchange
+    // (the §6.1 overlap); everyone else charges it at the serial
+    // program point.
+    let pipelined_segments = match exchange {
+        SyncExchange::PipelinedTree { segments } => Some(segments),
+        _ => None,
     };
     // Collective participants for the executable tree: EASGD1 roots the
     // tree at the CPU (which contributes zeros to the reduce); EASGD2/3
@@ -216,8 +406,11 @@ pub fn sync_easgd_sim_with(
                         );
                     }
                     // The CPU waits out the GPUs' compute phase (Table 3
-                    // attributes that window to for/backward).
-                    comm.charge(TimeCategory::ForwardBackward, costs.fwd_bwd);
+                    // attributes that window to for/backward); a
+                    // pipelined participant charges it in slices below.
+                    if !(is_participant && pipelined_segments.is_some()) {
+                        comm.charge(TimeCategory::ForwardBackward, costs.fwd_bwd);
+                    }
                 }
                 Some(local) => {
                     comm.recv_into(0, tags::SYNC_DATA, TimeCategory::Other, &mut payload);
@@ -226,7 +419,9 @@ pub fn sync_easgd_sim_with(
                         Err(e) => panic!("batch codec (rank {me}): {e}"),
                     };
                     local.forward_backward_flat(cfg.batch, pixels, &labels);
-                    comm.charge(TimeCategory::ForwardBackward, costs.fwd_bwd);
+                    if pipelined_segments.is_none() {
+                        comm.charge(TimeCategory::ForwardBackward, costs.fwd_bwd);
+                    }
                 }
             }
             match exchange {
@@ -292,6 +487,41 @@ pub fn sync_easgd_sim_with(
                         );
                         // --- step (5): only the tree root holds Σ W_i;
                         // the others receive next round's W̄ by broadcast.
+                        if me == center_rank {
+                            rule.center_dilution(&mut center, &weight_sum, g);
+                            comm.charge(update_cat, update_cost);
+                        }
+                        if local.is_some() {
+                            comm.charge(TimeCategory::GpuUpdate, costs.gpu_update);
+                        }
+                    }
+                }
+                SyncExchange::PipelinedTree { segments } => {
+                    if is_participant {
+                        // The same tree round, segment-pipelined: each
+                        // compute slice hides the in-flight segment
+                        // traffic (the overlap EASGD3 prices, now
+                        // emerging from the executable schedule).
+                        let slice_cost = costs.fwd_bwd / segments as f64;
+                        let local = &mut local;
+                        tree_exchange_pipelined(
+                            comm,
+                            &participants,
+                            center_rank,
+                            &center,
+                            &mut center_t,
+                            &mut weight_sum,
+                            coll_cat,
+                            segments,
+                            |comm: &mut Comm, _s| {
+                                comm.charge(TimeCategory::ForwardBackward, slice_cost)
+                            },
+                            |range, center_seg, sum_seg| match local.as_mut() {
+                                Some(local) => local
+                                    .elastic_exchange_segment(&rule, range, center_seg, sum_seg),
+                                None => sum_seg.fill(0.0),
+                            },
+                        );
                         if me == center_rank {
                             rule.center_dilution(&mut center, &weight_sum, g);
                             comm.charge(update_cat, update_cost);
@@ -674,6 +904,112 @@ mod tests {
         .sim_seconds
         .unwrap();
         assert!(t1 > t2, "EASGD1 {t1} !> EASGD2 {t2} (executable)");
+    }
+
+    #[test]
+    fn pipelined_tree_is_bit_identical_to_serial_executable_tree() {
+        // The pipelined exchange reorders the timeline, not the math:
+        // center hash, loss trace, and accuracy must match the serial
+        // executable tree bit for bit, for a segment count that divides
+        // the arena unevenly.
+        let (proto, train, test) = setup();
+        let costs = SimCosts::mnist_lenet_4gpu();
+        let c = cfg(40);
+        for variant in [SyncVariant::Easgd3, SyncVariant::Easgd1] {
+            let serial = sync_easgd_sim_with(
+                &proto,
+                &train,
+                &test,
+                &c,
+                &costs,
+                variant,
+                0,
+                SyncExchange::ExecutableTree,
+            );
+            let pipe = sync_easgd_sim_with(
+                &proto,
+                &train,
+                &test,
+                &c,
+                &costs,
+                variant,
+                0,
+                SyncExchange::PipelinedTree { segments: 7 },
+            );
+            assert_eq!(serial.center_hash, pipe.center_hash, "{variant:?}");
+            assert_eq!(serial.accuracy, pipe.accuracy, "{variant:?}");
+            assert_eq!(serial.loss_trace.len(), pipe.loss_trace.len());
+            for (a, b) in serial.loss_trace.iter().zip(&pipe.loss_trace) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{variant:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_tree_hides_exchange_time() {
+        // Same schedule, same math — on a bandwidth-dominated arena the
+        // pipelined round's simulated time must come in under the serial
+        // executable tree's, because segment traffic hides beneath the
+        // sliced compute window. (At toy-model sizes the per-segment α
+        // overhead wins instead, which is why the bench runs VGG-sized.)
+        let p = 8;
+        let n = 1_000_000; // 4 MB: β-dominated on the GPU peer link.
+        let segments = 8;
+        let link = SimCosts::mnist_lenet_4gpu().gpu_gpu.clone();
+        let participants: Vec<usize> = (0..p).collect();
+        // A compute window comparable to the serial exchange itself.
+        let compute = 6.0 * link.time(n * 4);
+        let run = |pipelined: bool| {
+            let cluster = ClusterConfig::new(p).with_link(link.clone());
+            let times = VirtualCluster::run(&cluster, |comm: &mut Comm| {
+                let center = vec![1.0f32; n];
+                let mut center_t = vec![0.0f32; n];
+                let mut weight_sum = vec![0.0f32; n];
+                for _round in 0..2 {
+                    if pipelined {
+                        tree_exchange_pipelined(
+                            comm,
+                            &participants,
+                            0,
+                            &center,
+                            &mut center_t,
+                            &mut weight_sum,
+                            TimeCategory::GpuGpuParam,
+                            segments,
+                            |comm: &mut Comm, _s| {
+                                comm.charge(
+                                    TimeCategory::ForwardBackward,
+                                    compute / segments as f64,
+                                )
+                            },
+                            |_range, center_seg, sum_seg: &mut [f32]| {
+                                sum_seg.copy_from_slice(center_seg)
+                            },
+                        );
+                    } else {
+                        comm.charge(TimeCategory::ForwardBackward, compute);
+                        tree_exchange_round(
+                            comm,
+                            &participants,
+                            0,
+                            &center,
+                            &mut center_t,
+                            &mut weight_sum,
+                            TimeCategory::GpuGpuParam,
+                            |center_t, weight_sum| {
+                                weight_sum.resize(center_t.len(), 0.0);
+                                weight_sum.copy_from_slice(center_t);
+                            },
+                        );
+                    }
+                }
+                comm.now()
+            });
+            times.iter().cloned().fold(0.0f64, f64::max)
+        };
+        let serial = run(false);
+        let pipe = run(true);
+        assert!(pipe < serial, "pipelined {pipe} !< serial {serial}");
     }
 
     #[test]

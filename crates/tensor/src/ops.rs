@@ -292,6 +292,12 @@ pub fn elastic_momentum_update(
 /// so fusing removes two of the seven memory streams without moving a
 /// single rounding.
 ///
+/// The sweep is cache-blocked: each [`EXCHANGE_BLOCK`]-element band is
+/// captured with one straight `copy_from_slice` (which vectorizes as a
+/// plain memcpy) and then updated while still resident in L1 — the
+/// four-stream interleaved form defeats the copy's vectorization and
+/// measured *slower* than two passes.
+///
 /// # Panics
 /// Panics if lengths differ.
 pub fn elastic_exchange(
@@ -314,10 +320,20 @@ pub fn elastic_exchange(
         "elastic exchange length mismatch"
     );
     let band = |lc: &mut [f32], oc: &mut [f32], gc: &[f32], cc: &[f32]| {
-        for (((li, oi), gi), ci) in lc.iter_mut().zip(oc.iter_mut()).zip(gc).zip(cc) {
-            let w = *li;
-            *oi = w;
-            *li = w - eta * (gi + rho * (w - ci));
+        // Capture-then-update per block: each element's captured value and
+        // update read the identical pre-update weight, so the blocking is
+        // invisible to the FP result.
+        for start in (0..lc.len()).step_by(EXCHANGE_BLOCK) {
+            let end = (start + EXCHANGE_BLOCK).min(lc.len());
+            oc[start..end].copy_from_slice(&lc[start..end]);
+            for ((li, gi), ci) in lc[start..end]
+                .iter_mut()
+                .zip(&gc[start..end])
+                .zip(&cc[start..end])
+            {
+                let w = *li;
+                *li = w - eta * (gi + rho * (w - ci));
+            }
         }
     };
     if should_par(local.len()) {
@@ -327,6 +343,11 @@ pub fn elastic_exchange(
     }
     debug_check_finite("elastic_exchange", local);
 }
+
+/// Band width (elements) of [`elastic_exchange`]'s capture-then-update
+/// blocking: 16 KiB of f32 — comfortably L1-resident alongside the
+/// gradient and center streams.
+const EXCHANGE_BLOCK: usize = 4096;
 
 /// Equation (2) in bulk-synchronous Σ-form:
 /// `W̄ ← W̄ + ηρ(ΣWᵢ − P·W̄)` — the single center update Sync EASGD's

@@ -88,6 +88,9 @@ const TAG_ARG_METHODS: &[(&str, usize)] = &[
     (".recv_any(", 0),
     (".recv_any_into(", 0),
     (".try_recv_any(", 0),
+    (".isend(", 1),
+    (".isend_from(", 1),
+    (".irecv_into(", 1),
 ];
 
 /// One lint violation.

@@ -20,6 +20,16 @@
 //! `recv_any(tag)` matches the oldest with that tag from *any* source
 //! (FCFS, like `Comm::next_matching`).
 //!
+//! The nonblocking request-handle ops (DESIGN.md §13) map onto the same
+//! state: `isend` deposits at post time exactly like `send` (the
+//! production `isend` hands the payload to the channel when posted —
+//! only the *sender clock* settles later, which the untimed model does
+//! not track); `irecv` is a rank-local op that records one outstanding
+//! receive obligation; `wait(from, tag)` matches like `recv` and
+//! discharges the oldest matching obligation. A rank that finishes with
+//! an undischarged obligation dropped a request without waiting — the
+//! model form of a lost completion.
+//!
 //! ## Trace-from-production guarantee
 //!
 //! Programs are not hand-transcribed: [`record_traces`] runs the real
@@ -135,6 +145,11 @@ struct State {
     /// Highest matched sequence per (receiver, sender, tag) — the FIFO
     /// invariant requires strictly increasing matches.
     matched: HashMap<(usize, usize, u32), u64>,
+    /// Outstanding nonblocking-receive obligations per rank, keyed by
+    /// `(from, tag)`: incremented by `Irecv`, discharged by `Wait`.
+    /// Prefix-determined by the rank's own `pc` (like `matched`), so it
+    /// stays out of the fingerprint.
+    outstanding: Vec<HashMap<(usize, u32), u64>>,
     /// Total pool credits acquired (TakeBuf) and discharged
     /// (Recycle/Retire) across all ranks.
     taken: u64,
@@ -149,6 +164,7 @@ impl State {
             queues: vec![VecDeque::new(); p],
             next_seq: vec![vec![0; p]; p],
             matched: HashMap::new(),
+            outstanding: vec![HashMap::new(); p],
             taken: 0,
             discharged: 0,
         }
@@ -182,7 +198,7 @@ fn match_index(queue: &VecDeque<InFlight>, from: Option<usize>, tag: u32) -> Opt
 /// enabled. Returns the invariant-violation message on failure.
 fn apply_visible(state: &mut State, r: usize, op: TraceOp) -> Result<(), String> {
     match op {
-        TraceOp::Send { to, tag } => {
+        TraceOp::Send { to, tag } | TraceOp::Isend { to, tag } => {
             if state.held[r] == 0 {
                 return Err(format!(
                     "rank {r} sent {op} without a held pool buffer (send_from of a non-pooled Vec?)"
@@ -192,6 +208,20 @@ fn apply_visible(state: &mut State, r: usize, op: TraceOp) -> Result<(), String>
             let seq = state.next_seq[r][to];
             state.next_seq[r][to] += 1;
             state.queues[to].push_back(InFlight { from: r, tag, seq });
+        }
+        TraceOp::Wait { from, tag } => {
+            let posted = state.outstanding[r].entry((from, tag)).or_insert(0);
+            if *posted == 0 {
+                return Err(format!(
+                    "rank {r} ran {op} with no matching posted irecv (wait without a request)"
+                ));
+            }
+            *posted -= 1;
+            let i = match_index(&state.queues[r], Some(from), tag)
+                .unwrap_or_else(|| panic!("wait scheduled while disabled (rank {r})"));
+            let msg = state.queues[r].remove(i).unwrap_or_else(|| unreachable!());
+            check_fifo(state, r, &msg)?;
+            state.held[r] += 1;
         }
         TraceOp::Recv { from, tag } => {
             let i = match_index(&state.queues[r], Some(from), tag)
@@ -245,6 +275,9 @@ fn fold_locals(state: &mut State, programs: &[Vec<TraceOp>]) -> Result<(), Strin
                     state.held[r] += 1;
                     state.taken += 1;
                 }
+                TraceOp::Irecv { from, tag } => {
+                    *state.outstanding[r].entry((*from, *tag)).or_insert(0) += 1;
+                }
                 TraceOp::Recycle | TraceOp::Retire => {
                     if state.held[r] == 0 {
                         return Err(format!(
@@ -271,8 +304,10 @@ fn next_visible(state: &State, programs: &[Vec<TraceOp>], r: usize) -> Option<Tr
 /// Whether rank `r`'s next visible op can execute now.
 fn is_enabled(state: &State, op: TraceOp, r: usize) -> bool {
     match op {
-        TraceOp::Send { .. } => true,
-        TraceOp::Recv { from, tag } => match_index(&state.queues[r], Some(from), tag).is_some(),
+        TraceOp::Send { .. } | TraceOp::Isend { .. } => true,
+        TraceOp::Recv { from, tag } | TraceOp::Wait { from, tag } => {
+            match_index(&state.queues[r], Some(from), tag).is_some()
+        }
         TraceOp::RecvAny { tag } => match_index(&state.queues[r], None, tag).is_some(),
         _ => unreachable!("local op after fold"),
     }
@@ -291,6 +326,15 @@ fn independent(
     recv_any_tags: &[HashSet<u32>],
 ) -> bool {
     use TraceOp::{Recv, RecvAny, Send};
+    // The nonblocking ops touch the same state as their blocking
+    // counterparts: an isend deposits like a send, a wait matches like a
+    // selective recv.
+    let normalize = |op: TraceOp| match op {
+        TraceOp::Isend { to, tag } => Send { to, tag },
+        TraceOp::Wait { from, tag } => Recv { from, tag },
+        other => other,
+    };
+    let (a, b) = (normalize(a), normalize(b));
     match (a, b) {
         (Send { to: ta, tag: ga }, Send { to: tb, tag: gb }) => {
             !(ta == tb && ga == gb && recv_any_tags[ta].contains(&ga))
@@ -323,6 +367,16 @@ fn check_terminal(state: &State) -> Result<(), String> {
             ));
         }
     }
+    for (r, posted) in state.outstanding.iter().enumerate() {
+        let mut dangling: Vec<_> = posted.iter().filter(|(_, &k)| k > 0).collect();
+        dangling.sort();
+        for (&(from, tag), &k) in dangling {
+            problems.push(format!(
+                "rank {r} finished with {k} outstanding irecv(from={from}, tag={tag:#x}) \
+                 never waited (lost completion)"
+            ));
+        }
+    }
     // With empty queues and all-zero held counts the global ledger must
     // balance; an imbalance here means the model itself miscounted.
     if problems.is_empty() && state.taken != state.discharged {
@@ -348,6 +402,13 @@ fn deadlock_message(state: &State, programs: &[Vec<TraceOp>], runnable: &[usize]
             Some(TraceOp::Recv { from, tag }) => {
                 waits.push(format!(
                     "rank {r} blocked on recv(from={from}, tag={tag:#x})"
+                ));
+                wait_for.insert(r, from);
+            }
+            Some(TraceOp::Wait { from, tag }) => {
+                waits.push(format!(
+                    "rank {r} blocked on wait(irecv from={from}, tag={tag:#x}) — \
+                     the matching send is never posted"
                 ));
                 wait_for.insert(r, from);
             }
@@ -698,6 +759,50 @@ pub fn trace_sync_exchange(g: usize) -> Vec<Vec<TraceOp>> {
     })
 }
 
+/// Programs of one *pipelined* Sync EASGD round on `g` GPUs plus the
+/// data CPU: the same shape as [`trace_sync_exchange`], but the GPU set
+/// runs the production
+/// [`tree_exchange_pipelined`](easgd::sync::tree_exchange_pipelined) —
+/// the segmented nonblocking broadcast/reduce built on
+/// `isend`/`irecv_into`/`wait` — exactly the per-iteration comm
+/// structure of the `SyncExchange::PipelinedTree` trainer.
+pub fn trace_pipelined_exchange(g: usize, segments: usize) -> Vec<Vec<TraceOp>> {
+    let participants: Vec<usize> = (1..=g).collect();
+    record_traces(g + 1, move |comm| {
+        let me = comm.rank();
+        let pixels = [0.25f32; 4];
+        let labels = [1usize];
+        if me == 0 {
+            for j in 1..=g {
+                let mut buf = comm.take_buffer(3 + labels.len() + pixels.len());
+                BatchMsg::encode_into(&pixels, &labels, &mut buf);
+                comm.send_from_costed(j, tags::SYNC_DATA, buf, 0.0, TimeCategory::CpuGpuData);
+            }
+            return;
+        }
+        let mut payload = Vec::new();
+        comm.recv_into(0, tags::SYNC_DATA, TimeCategory::Other, &mut payload);
+        let mut got_labels = Vec::new();
+        let decoded = BatchMsg::decode_into(&payload, 1, &mut got_labels);
+        assert!(decoded.is_ok(), "batch codec: {:?}", decoded.err());
+        let center = vec![0.5f32; 4];
+        let mut center_t = vec![0.0f32; 4];
+        let mut weight_sum = vec![0.0f32; 4];
+        easgd::sync::tree_exchange_pipelined(
+            comm,
+            &participants,
+            1,
+            &center,
+            &mut center_t,
+            &mut weight_sum,
+            TimeCategory::GpuGpuParam,
+            segments,
+            |_comm: &mut Comm, _s| {},
+            |_range, center_seg, sum_seg: &mut [f32]| sum_seg.copy_from_slice(center_seg),
+        );
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Negative controls: deliberately broken protocols the checker must catch.
 // ---------------------------------------------------------------------------
@@ -771,6 +876,25 @@ pub fn negative_lost_message() -> Vec<Vec<TraceOp>> {
     ]
 }
 
+/// A wait on an irecv whose matching send is never posted: rank 0
+/// pre-posts a segment receive and blocks in `wait` forever while
+/// rank 1 does nothing — the minimal nonblocking deadlock. The checker
+/// must report it with an *empty* schedule (no visible step is ever
+/// enabled).
+pub fn negative_unmatched_wait() -> Vec<Vec<TraceOp>> {
+    let t = tags::seg_tree(0, tags::SEG_PHASE_BCAST, 1);
+    vec![
+        vec![
+            TraceOp::TakeBuf,
+            TraceOp::Irecv { from: 1, tag: t },
+            TraceOp::Wait { from: 1, tag: t },
+            TraceOp::Recycle,
+            TraceOp::Recycle,
+        ],
+        Vec::new(),
+    ]
+}
+
 // ---------------------------------------------------------------------------
 // The scenario suite shared by the CLI and the root test-suite.
 // ---------------------------------------------------------------------------
@@ -824,6 +948,12 @@ pub fn suite(smoke: bool) -> Vec<Scenario> {
             compare_naive: true,
         },
         Scenario {
+            name: "sync_easgd_pipelined_exchange(G=3, S=2)",
+            programs: trace_pipelined_exchange(3, 2),
+            expect_pass: true,
+            compare_naive: true,
+        },
+        Scenario {
             name: "negative: cyclic send/recv pair",
             programs: negative_cyclic_pair(),
             expect_pass: false,
@@ -844,6 +974,12 @@ pub fn suite(smoke: bool) -> Vec<Scenario> {
         Scenario {
             name: "negative: lost message",
             programs: negative_lost_message(),
+            expect_pass: false,
+            compare_naive: false,
+        },
+        Scenario {
+            name: "negative: wait on a never-matched irecv",
+            programs: negative_unmatched_wait(),
             expect_pass: false,
             compare_naive: false,
         },
@@ -877,6 +1013,12 @@ pub fn suite(smoke: bool) -> Vec<Scenario> {
             Scenario {
                 name: "sync_easgd_exchange(G=5)",
                 programs: trace_sync_exchange(5),
+                expect_pass: true,
+                compare_naive: false,
+            },
+            Scenario {
+                name: "sync_easgd_pipelined_exchange(G=3, S=3)",
+                programs: trace_pipelined_exchange(3, 3),
                 expect_pass: true,
                 compare_naive: false,
             },
@@ -986,6 +1128,84 @@ mod tests {
             panic!("double recycle must be found");
         };
         assert!(v.message.contains("holding no buffer"), "{}", v.message);
+    }
+
+    #[test]
+    fn unmatched_wait_is_a_minimal_deadlock() {
+        let programs = negative_unmatched_wait();
+        let Outcome::Fail(v, _) = check(&programs, true, None) else {
+            panic!("unmatched wait must deadlock");
+        };
+        assert!(v.message.contains("deadlock"), "{}", v.message);
+        assert!(v.message.contains("wait(irecv"), "{}", v.message);
+        let minimal = shortest_violation(&programs, 10_000).expect("violation");
+        assert!(
+            minimal.schedule.is_empty(),
+            "wait deadlocks before any visible step, got {:?}",
+            minimal.schedule
+        );
+    }
+
+    #[test]
+    fn dangling_irecv_is_a_lost_completion() {
+        // Rank 0 posts an irecv (then recycles its landing buffer instead
+        // of waiting); rank 1's send arrives but is never matched. The
+        // terminal state must report both the undelivered message and the
+        // never-waited request.
+        let t = tags::seg_tree(1, tags::SEG_PHASE_REDUCE, 2);
+        let programs = vec![
+            vec![
+                TraceOp::TakeBuf,
+                TraceOp::Irecv { from: 1, tag: t },
+                TraceOp::Recycle,
+            ],
+            vec![TraceOp::TakeBuf, TraceOp::Send { to: 0, tag: t }],
+        ];
+        let Outcome::Fail(v, _) = check(&programs, true, None) else {
+            panic!("dangling irecv must be found");
+        };
+        assert!(v.message.contains("lost completion"), "{}", v.message);
+        assert!(v.message.contains("never received"), "{}", v.message);
+    }
+
+    #[test]
+    fn wait_without_a_posted_irecv_is_rejected() {
+        // A wait with no matching irecv on the books is a protocol bug
+        // even when a message happens to be deliverable.
+        let t = tags::SYNC_DATA;
+        let programs = vec![
+            vec![
+                TraceOp::Wait { from: 1, tag: t },
+                TraceOp::Recycle,
+                TraceOp::Recycle,
+            ],
+            vec![TraceOp::TakeBuf, TraceOp::Send { to: 0, tag: t }],
+        ];
+        let Outcome::Fail(v, _) = check(&programs, true, None) else {
+            panic!("wait without request must be found");
+        };
+        assert!(
+            v.message.contains("wait without a request"),
+            "{}",
+            v.message
+        );
+    }
+
+    #[test]
+    fn pipelined_trace_uses_the_nonblocking_vocabulary() {
+        let a = trace_pipelined_exchange(3, 2);
+        let b = trace_pipelined_exchange(3, 2);
+        assert_eq!(a, b, "trace recording must be deterministic");
+        let count = |pred: fn(&TraceOp) -> bool| a.iter().flatten().filter(|op| pred(op)).count();
+        let isends = count(|op| matches!(op, TraceOp::Isend { .. }));
+        let irecvs = count(|op| matches!(op, TraceOp::Irecv { .. }));
+        let waits = count(|op| matches!(op, TraceOp::Wait { .. }));
+        assert!(isends > 0, "pipelined exchange must post isends");
+        assert_eq!(
+            irecvs, waits,
+            "every pre-posted irecv is waited exactly once"
+        );
+        assert!(irecvs > 0, "pipelined exchange must pre-post irecvs");
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Model-checks the comm layer via the xtask protocol checker: per-rank
 //! programs recorded from the *production* collectives and the Sync
-//! EASGD exchange are exhaustively interleaved, and every terminal state
-//! is checked for deadlock, message loss, pool leaks, and FIFO delivery.
+//! EASGD exchange (serial and nonblocking-pipelined) are exhaustively
+//! interleaved, and every terminal state is checked for deadlock,
+//! message loss, pool leaks, FIFO delivery, and lost completions.
 //!
 //! The negative controls keep the harness honest: deliberately broken
 //! protocols must produce a violation with a minimal counterexample
@@ -9,8 +10,9 @@
 
 use easgd_xtask::protocol::{
     check, negative_cyclic_pair, negative_leaky_broadcast, negative_lost_message,
-    negative_recv_any_starvation, shortest_violation, suite, trace_sync_exchange,
-    trace_tree_allreduce, trace_tree_reduce, Outcome, NAIVE_CAP, REDUCED_CAP,
+    negative_recv_any_starvation, negative_unmatched_wait, shortest_violation, suite,
+    trace_pipelined_exchange, trace_sync_exchange, trace_tree_allreduce, trace_tree_reduce,
+    Outcome, NAIVE_CAP, REDUCED_CAP,
 };
 use knl_easgd::cluster::TraceOp;
 
@@ -141,6 +143,39 @@ fn undelivered_message_is_caught() {
         panic!("lost message must fail");
     };
     assert!(v.message.contains("never received"), "{v}");
+}
+
+#[test]
+fn pipelined_exchange_records_nonblocking_ops_and_verifies() {
+    let programs = trace_pipelined_exchange(3, 2);
+    let count =
+        |pred: fn(&TraceOp) -> bool| programs.iter().flatten().filter(|op| pred(op)).count();
+    let irecvs = count(|op| matches!(op, TraceOp::Irecv { .. }));
+    let waits = count(|op| matches!(op, TraceOp::Wait { .. }));
+    assert!(
+        count(|op| matches!(op, TraceOp::Isend { .. })) > 0,
+        "pipelined exchange must post isends"
+    );
+    assert!(irecvs > 0, "pipelined exchange must pre-post irecvs");
+    assert_eq!(irecvs, waits, "every irecv must be waited exactly once");
+    let outcome = check(&programs, true, Some(REDUCED_CAP));
+    assert!(!outcome.stats().truncated, "not exhaustive");
+    assert!(matches!(outcome, Outcome::Pass(_)), "{:?}", outcome.stats());
+}
+
+#[test]
+fn unmatched_wait_deadlocks_with_empty_minimal_schedule() {
+    let programs = negative_unmatched_wait();
+    let Outcome::Fail(v, _) = check(&programs, true, None) else {
+        panic!("unmatched wait must deadlock");
+    };
+    assert!(v.message.contains("deadlock"), "{v}");
+    assert!(v.message.contains("wait(irecv"), "{v}");
+    let minimal = shortest_violation(&programs, 10_000).expect("minimal counterexample");
+    assert!(
+        minimal.schedule.is_empty(),
+        "wait deadlocks before any visible step"
+    );
 }
 
 #[test]
