@@ -1,0 +1,540 @@
+//! Execution backends hosting the ranks of a
+//! [`VirtualCluster`](crate::cluster::VirtualCluster).
+//!
+//! Everything in the cluster crate that assumes "rank = OS thread" lives
+//! behind this seam: the blocking channel receive, `std::thread::scope`,
+//! and the wake-up protocol between a sender and a blocked receiver.
+//! Two backends implement it:
+//!
+//! * [`ClusterBackend::Threads`] — one OS thread per rank, preemptive,
+//!   blocking on channel/condvar. The seed behavior; real parallelism,
+//!   practical up to ~tens of ranks.
+//! * [`ClusterBackend::Events`] — a single-token discrete-event engine.
+//!   Every rank still runs its real trainer code on its own (small,
+//!   lazily-committed) stack, but exactly **one** rank is runnable at a
+//!   time: a rank that must wait for a message or a collective parks its
+//!   fiber and hands the run token to the runnable rank with the
+//!   smallest `(simulated time, rank)` key in the event queue. Thousands
+//!   of ranks (the paper's 4352-core weak-scaling sweeps and beyond)
+//!   share one process with no lock contention and a deterministic
+//!   schedule.
+//!
+//! The dispatch order makes the event backend *more* faithful to the α-β
+//! model than threads: "first come" in `recv_any` is decided by
+//! simulated arrival order, not by which OS thread the kernel happened
+//! to run first. For deterministic trainers the two backends produce
+//! bit-identical results and simulated times (see
+//! `tests/backend_parity.rs`); for FCFS-racy trainers (the async server
+//! at >1 worker) the event backend is deterministic where threads are
+//! not.
+//!
+//! Single-token scheduling is what makes the engine simple and safe: all
+//! scheduler transitions are serialized by token ownership, so there is
+//! no lost-wakeup window — whenever a fiber runs, every other live fiber
+//! is parked at a stable wait point.
+
+use crate::channel::Receiver;
+use crate::cluster::Shared;
+use crate::comm::{Comm, Message};
+use std::cell::Cell;
+use std::collections::BinaryHeap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Default per-fiber stack size for the event backend (2 MiB — the same
+/// order as `std::thread`'s default; pages are committed lazily, so 8192
+/// fibers cost virtual address space, not resident memory).
+pub const DEFAULT_EVENT_STACK_BYTES: usize = 2 * 1024 * 1024;
+
+/// Which execution substrate hosts the ranks of a virtual cluster.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ClusterBackend {
+    /// One OS thread per rank (preemptive, blocking channels).
+    Threads,
+    /// Single-threaded-at-a-time discrete-event engine over parked
+    /// fibers; scales to thousands of ranks in one process.
+    Events,
+}
+
+thread_local! {
+    /// The backend `ClusterConfig::new` defaults to on this thread.
+    static DEFAULT_BACKEND: Cell<ClusterBackend> = const { Cell::new(ClusterBackend::Threads) };
+}
+
+impl ClusterBackend {
+    /// The backend new configs on this thread currently default to.
+    pub fn default_backend() -> ClusterBackend {
+        DEFAULT_BACKEND.with(Cell::get)
+    }
+
+    /// Runs `f` with `self` as the default backend for every
+    /// `ClusterConfig::new` on this thread — the hook that lets trainer
+    /// code which builds its cluster configs internally run unmodified
+    /// on either backend. The previous default is restored on exit
+    /// (including by panic).
+    pub fn with_default<R>(self, f: impl FnOnce() -> R) -> R {
+        struct Restore(ClusterBackend);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                DEFAULT_BACKEND.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(DEFAULT_BACKEND.with(|c| c.replace(self)));
+        f()
+    }
+
+    pub(crate) fn executor(self, ranks: usize) -> Executor {
+        match self {
+            ClusterBackend::Threads => Executor::Threads,
+            ClusterBackend::Events => Executor::Events(Arc::new(EventSched::new(ranks))),
+        }
+    }
+}
+
+/// The per-run face of the backend, stored in [`Shared`]: how a rank
+/// blocks for traffic and how a sender wakes a blocked receiver.
+pub(crate) enum Executor {
+    Threads,
+    Events(Arc<EventSched>),
+}
+
+impl Executor {
+    /// Called by `Comm` when no buffered message matches: blocks until
+    /// more traffic *may* be available. Threads: one blocking channel
+    /// receive (returns the message). Events: parks this rank's fiber
+    /// until a sender signals it, then returns `None` — the caller
+    /// re-drains its channel and re-scans.
+    pub(crate) fn wait_message(
+        &self,
+        rank: usize,
+        rx: &Receiver<Message>,
+        now: f64,
+    ) -> Option<Message> {
+        match self {
+            Executor::Threads => Some(rx.recv().expect("all senders hung up")),
+            Executor::Events(sched) => {
+                sched.park(rank, now);
+                None
+            }
+        }
+    }
+
+    /// Called by `Comm` right after handing a message to `to`'s channel.
+    /// A no-op on threads (the channel's own condvar wakes the
+    /// receiver); on events it marks a parked receiver runnable.
+    pub(crate) fn notify_delivery(&self, to: usize) {
+        if let Executor::Events(sched) = self {
+            sched.signal(to);
+        }
+    }
+}
+
+/// A runnable rank in the event queue, keyed by the simulated time at
+/// which it blocked. `Ord` is reversed so `BinaryHeap` (a max-heap)
+/// pops the **smallest** `(time, rank)` first; the rank tiebreak makes
+/// the order total, hence deterministic.
+struct Runnable {
+    time: f64,
+    rank: usize,
+}
+
+impl PartialEq for Runnable {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Runnable {}
+impl PartialOrd for Runnable {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Runnable {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.rank.cmp(&self.rank))
+    }
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum RankState {
+    /// In the event queue, waiting for the run token.
+    Ready,
+    /// Holds the run token (at most one rank at any time).
+    Running,
+    /// Parked: waiting for a message or a collective.
+    Blocked,
+    /// Returned from its trainer closure.
+    Done,
+}
+
+struct SchedState {
+    status: Vec<RankState>,
+    /// Simulated time at which each rank last blocked — its resume
+    /// priority in the event queue.
+    block_time: Vec<f64>,
+    queue: BinaryHeap<Runnable>,
+    done: usize,
+    /// A rank panicked or the engine detected deadlock: every parked
+    /// fiber must wake and unwind so the host's joins can complete.
+    aborted: bool,
+}
+
+/// The single-token cooperative scheduler behind
+/// [`ClusterBackend::Events`].
+pub(crate) struct EventSched {
+    state: Mutex<SchedState>,
+    /// One condvar per rank so dispatch wakes exactly the chosen fiber
+    /// (a shared condvar would thundering-herd all P fibers per event).
+    wake: Vec<Condvar>,
+}
+
+impl EventSched {
+    pub(crate) fn new(ranks: usize) -> Self {
+        let mut queue = BinaryHeap::with_capacity(ranks);
+        for rank in 0..ranks {
+            queue.push(Runnable { time: 0.0, rank });
+        }
+        Self {
+            state: Mutex::new(SchedState {
+                status: vec![RankState::Ready; ranks],
+                block_time: vec![0.0; ranks],
+                queue,
+                done: 0,
+                aborted: false,
+            }),
+            wake: (0..ranks).map(|_| Condvar::new()).collect(),
+        }
+    }
+
+    /// Locks the scheduler, recovering from poisoning (the panicking
+    /// fiber's own panic is what surfaces to the caller, via the join).
+    fn lock(&self) -> MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Hands the run token to the runnable rank with the smallest
+    /// `(block time, rank)`. Called only while **no** rank is running
+    /// (the caller just parked or finished). An empty queue with live
+    /// ranks left is a deadlock: abort the cluster and panic in the
+    /// detecting fiber.
+    fn dispatch(&self, st: &mut SchedState) {
+        if let Some(next) = st.queue.pop() {
+            st.status[next.rank] = RankState::Running;
+            self.wake[next.rank].notify_all();
+        } else if st.done < st.status.len() && !st.aborted {
+            let blocked: Vec<usize> = st
+                .status
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s == RankState::Blocked)
+                .map(|(r, _)| r)
+                .collect();
+            st.aborted = true;
+            for cv in &self.wake {
+                cv.notify_all();
+            }
+            panic!(
+                "event backend deadlock: no rank is runnable; \
+                 ranks {blocked:?} are blocked waiting for traffic that will never arrive"
+            );
+        }
+    }
+
+    /// Fiber prologue: blocks until the scheduler hands this rank the
+    /// run token for the first time.
+    pub(crate) fn wait_turn(&self, rank: usize) {
+        let mut st = self.lock();
+        while st.status[rank] != RankState::Running {
+            if st.aborted {
+                panic!("event cluster aborted (a sibling rank panicked or deadlocked)");
+            }
+            st = self.wake[rank].wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Parks the calling rank at simulated time `now`, dispatches the
+    /// next runnable rank, and blocks until a sender signals this rank
+    /// and the scheduler hands the token back.
+    pub(crate) fn park(&self, rank: usize, now: f64) {
+        let mut st = self.lock();
+        if st.aborted {
+            panic!("event cluster aborted (a sibling rank panicked or deadlocked)");
+        }
+        st.status[rank] = RankState::Blocked;
+        st.block_time[rank] = now;
+        self.dispatch(&mut st);
+        while st.status[rank] != RankState::Running {
+            if st.aborted {
+                panic!("event cluster aborted (a sibling rank panicked or deadlocked)");
+            }
+            st = self.wake[rank].wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Marks a parked rank runnable (no-op for ranks that are ready,
+    /// running, or done — a rank never parks on itself, and spurious
+    /// signals are absorbed by the re-check loops at the wait sites).
+    /// The caller keeps the run token; the signaled rank resumes at its
+    /// own recorded block time once dispatched.
+    pub(crate) fn signal(&self, rank: usize) {
+        let mut st = self.lock();
+        if st.status[rank] == RankState::Blocked {
+            st.status[rank] = RankState::Ready;
+            let time = st.block_time[rank];
+            st.queue.push(Runnable { time, rank });
+        }
+    }
+
+    /// Fiber epilogue: releases the run token for good.
+    pub(crate) fn finish(&self, rank: usize) {
+        let mut st = self.lock();
+        st.status[rank] = RankState::Done;
+        st.done += 1;
+        if st.done < st.status.len() {
+            self.dispatch(&mut st);
+        }
+    }
+
+    /// Wakes every parked fiber into a panic so the host's joins
+    /// complete (called when any fiber's trainer closure panicked).
+    pub(crate) fn abort(&self) {
+        let mut st = self.lock();
+        st.aborted = true;
+        for cv in &self.wake {
+            cv.notify_all();
+        }
+    }
+
+    /// Seeds execution: every rank starts ready at t = 0; rank 0 runs
+    /// first.
+    fn start(&self) {
+        let mut st = self.lock();
+        self.dispatch(&mut st);
+    }
+}
+
+/// Hosts one cluster run on the backend recorded in `shared.exec` and
+/// returns the per-rank results in rank order.
+pub(crate) fn host<R, F>(shared: Arc<Shared>, receivers: Vec<Receiver<Message>>, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Send + Sync,
+{
+    let sched = match &shared.exec {
+        Executor::Threads => None,
+        Executor::Events(s) => Some(Arc::clone(s)),
+    };
+    match sched {
+        None => host_threads(shared, receivers, &f),
+        Some(sched) => host_events(sched, shared, receivers, &f),
+    }
+}
+
+/// The seed hosting model: one preemptive OS thread per rank.
+fn host_threads<R, F>(shared: Arc<Shared>, receivers: Vec<Receiver<Message>>, f: &F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Send + Sync,
+{
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(receivers.len());
+        for (rank, rx) in receivers.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            handles.push(s.spawn(move || {
+                let mut comm = Comm::new(rank, rx, shared);
+                f(&mut comm)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    })
+}
+
+/// Event hosting: each rank is a fiber — an OS thread with a small
+/// lazily-committed stack that holds the run token while it executes and
+/// parks in [`EventSched`] whenever it must wait. A panicking fiber
+/// aborts the cluster (every parked sibling wakes and unwinds) so the
+/// joins below always complete; the first join surfaces the panic as
+/// "rank panicked", exactly like the thread backend.
+fn host_events<R, F>(
+    sched: Arc<EventSched>,
+    shared: Arc<Shared>,
+    receivers: Vec<Receiver<Message>>,
+    f: &F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Send + Sync,
+{
+    let stack = shared.config.event_stack_bytes;
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(receivers.len());
+        for (rank, rx) in receivers.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let sched = Arc::clone(&sched);
+            let handle = std::thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .stack_size(stack)
+                .spawn_scoped(s, move || {
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        sched.wait_turn(rank);
+                        let mut comm = Comm::new(rank, rx, shared);
+                        f(&mut comm)
+                    }));
+                    match outcome {
+                        Ok(v) => {
+                            sched.finish(rank);
+                            v
+                        }
+                        Err(payload) => {
+                            sched.abort();
+                            std::panic::resume_unwind(payload)
+                        }
+                    }
+                })
+                .expect("failed to spawn event-backend fiber");
+            handles.push(handle);
+        }
+        sched.start();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TimeCategory;
+    use crate::cluster::{ClusterConfig, VirtualCluster};
+
+    fn events(p: usize) -> ClusterConfig {
+        ClusterConfig::new(p).with_backend(ClusterBackend::Events)
+    }
+
+    #[test]
+    fn event_backend_runs_basic_p2p() {
+        let out = VirtualCluster::run(&events(2), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, &[1.0, 2.0], TimeCategory::Other);
+                comm.recv(1, 6, TimeCategory::Other)
+            } else {
+                let got = comm.recv(0, 5, TimeCategory::Other);
+                let doubled: Vec<f32> = got.iter().map(|x| x * 2.0).collect();
+                comm.send(0, 6, &doubled, TimeCategory::Other);
+                got
+            }
+        });
+        assert_eq!(out[0], vec![2.0, 4.0]);
+        assert_eq!(out[1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn event_backend_collectives_match_thread_backend() {
+        let body = |comm: &mut Comm| {
+            comm.charge(TimeCategory::ForwardBackward, comm.rank() as f64 * 0.5);
+            let x = vec![comm.rank() as f32, 1.0];
+            let sum = comm.allreduce_sum(&x, TimeCategory::GpuGpuParam);
+            comm.barrier();
+            (sum, comm.now())
+        };
+        let threads = VirtualCluster::run(&ClusterConfig::new(5), body);
+        let evs = VirtualCluster::run(&events(5), body);
+        for (t, e) in threads.iter().zip(&evs) {
+            assert_eq!(t.0, e.0);
+            assert_eq!(
+                t.1.to_bits(),
+                e.1.to_bits(),
+                "sim times must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn event_backend_scales_past_thread_counts() {
+        // A rank count that would be reckless as real OS-thread
+        // parallelism is routine for the event engine.
+        let p = 1024;
+        let out = VirtualCluster::run(&events(p), |comm| {
+            let sum = comm.allreduce_sum(&[1.0f32], TimeCategory::GpuGpuParam);
+            sum[0]
+        });
+        assert_eq!(out.len(), p);
+        for v in out {
+            assert_eq!(v, p as f32);
+        }
+    }
+
+    #[test]
+    fn event_recv_any_order_is_deterministic() {
+        // recv_any under events resolves FCFS by simulated time with a
+        // deterministic schedule: repeated runs give identical arrival
+        // orders even with many competing senders.
+        let run = || {
+            VirtualCluster::run(&events(9), |comm| {
+                if comm.rank() == 0 {
+                    let mut order = Vec::new();
+                    for _ in 0..8 {
+                        let (from, _) = comm.recv_any(3, TimeCategory::Other);
+                        order.push(from);
+                    }
+                    order
+                } else {
+                    // Stagger clocks so arrivals are distinct and ordered.
+                    comm.charge(TimeCategory::ForwardBackward, (9 - comm.rank()) as f64);
+                    comm.send(0, 3, &[comm.rank() as f32], TimeCategory::Other);
+                    Vec::new()
+                }
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a[0], b[0]);
+        // FCFS means channel-delivery order (as on threads, where it is
+        // the OS schedule); under events the delivery order is the
+        // engine's deterministic rank schedule.
+        assert_eq!(a[0], vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn event_backend_detects_deadlock() {
+        // Rank 1 waits for a message rank 0 never sends: on threads this
+        // would hang; the event engine proves no rank is runnable and
+        // aborts.
+        let _ = VirtualCluster::run(&events(2), |comm| {
+            if comm.rank() == 1 {
+                let _ = comm.recv(0, 9, TimeCategory::Other);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn event_backend_propagates_rank_panics() {
+        let _ = VirtualCluster::run(&events(4), |comm| {
+            comm.barrier();
+            if comm.rank() == 2 {
+                panic!("boom");
+            }
+            // Parked ranks must be woken into the abort, not left hanging.
+            let _ = comm.recv(3, 1, TimeCategory::Other);
+        });
+    }
+
+    #[test]
+    fn with_default_scopes_the_backend() {
+        assert_eq!(ClusterBackend::default_backend(), ClusterBackend::Threads);
+        ClusterBackend::Events.with_default(|| {
+            assert_eq!(ClusterBackend::default_backend(), ClusterBackend::Events);
+            let cfg = ClusterConfig::new(2);
+            assert_eq!(cfg.backend, ClusterBackend::Events);
+        });
+        assert_eq!(ClusterBackend::default_backend(), ClusterBackend::Threads);
+    }
+}

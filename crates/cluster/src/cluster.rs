@@ -1,5 +1,6 @@
 //! Cluster construction and the rendezvous machinery behind collectives.
 
+use crate::backend::{self, ClusterBackend, Executor};
 use crate::channel;
 use crate::comm::{Comm, Message};
 use crate::pool::BufferPool;
@@ -20,30 +21,44 @@ pub enum CollectiveAlgo {
 }
 
 /// Configuration of a virtual cluster.
+///
+/// Cheap to share: the only non-`Copy` field (the link model) sits
+/// behind an `Arc`, so `Clone`/[`ClusterConfig::handle`] hand out
+/// references to one allocation rather than deep copies.
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
     /// Number of ranks.
     pub ranks: usize,
-    /// Inter-rank link model.
-    pub link: AlphaBeta,
+    /// Inter-rank link model (shared, not copied, between handles).
+    pub link: Arc<AlphaBeta>,
     /// Collective schedule to charge for.
     pub collective: CollectiveAlgo,
+    /// Execution substrate hosting the ranks (threads vs events).
+    pub backend: ClusterBackend,
+    /// Per-fiber stack size for the event backend (ignored by the
+    /// thread backend). Lazily committed, so large rank counts cost
+    /// virtual address space, not resident memory.
+    pub event_stack_bytes: usize,
 }
 
 impl ClusterConfig {
-    /// `ranks` ranks over FDR InfiniBand with tree collectives.
+    /// `ranks` ranks over FDR InfiniBand with tree collectives, hosted
+    /// on the thread-local default backend (threads unless scoped with
+    /// [`ClusterBackend::with_default`]).
     pub fn new(ranks: usize) -> Self {
         assert!(ranks > 0, "cluster needs at least one rank");
         Self {
             ranks,
-            link: AlphaBeta::fdr_infiniband(),
+            link: Arc::new(AlphaBeta::fdr_infiniband()),
             collective: CollectiveAlgo::Tree,
+            backend: ClusterBackend::default_backend(),
+            event_stack_bytes: backend::DEFAULT_EVENT_STACK_BYTES,
         }
     }
 
     /// Replaces the link model.
     pub fn with_link(mut self, link: AlphaBeta) -> Self {
-        self.link = link;
+        self.link = Arc::new(link);
         self
     }
 
@@ -51,6 +66,32 @@ impl ClusterConfig {
     pub fn with_collective(mut self, algo: CollectiveAlgo) -> Self {
         self.collective = algo;
         self
+    }
+
+    /// Replaces the execution backend.
+    pub fn with_backend(mut self, backend: ClusterBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Replaces the event-backend fiber stack size.
+    pub fn with_event_stack(mut self, bytes: usize) -> Self {
+        self.event_stack_bytes = bytes;
+        self
+    }
+
+    /// A handle to the same configuration: `Copy` fields plus a shared
+    /// reference to the link model. Equivalent to `Clone`, spelled out
+    /// so readers (and the payload-copy lint) can see no payload-sized
+    /// data is duplicated.
+    pub fn handle(&self) -> ClusterConfig {
+        ClusterConfig {
+            ranks: self.ranks,
+            link: Arc::clone(&self.link),
+            collective: self.collective,
+            backend: self.backend,
+            event_stack_bytes: self.event_stack_bytes,
+        }
     }
 }
 
@@ -97,7 +138,7 @@ struct GateInner {
 /// operation, and publishes `(result, completion_time)` to everyone.
 pub(crate) struct Gate {
     size: usize,
-    config: ClusterConfig,
+    config: Arc<ClusterConfig>,
     inner: Mutex<GateInner>,
     cv: Condvar,
 }
@@ -109,7 +150,7 @@ impl Gate {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn new(config: ClusterConfig) -> Self {
+    fn new(config: Arc<ClusterConfig>) -> Self {
         let size = config.ranks;
         Self {
             size,
@@ -172,6 +213,7 @@ impl Gate {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn rendezvous_into(
         &self,
+        exec: &Executor,
         pool: &BufferPool,
         rank: usize,
         time_in: f64,
@@ -247,9 +289,33 @@ impl Gate {
             inner.arrived = 0;
             inner.generation += 1;
             self.cv.notify_all();
+            // On the event backend the waiters are parked fibers, not
+            // condvar sleepers: mark every sibling runnable again.
+            if let Executor::Events(sched) = exec {
+                for r in 0..self.size {
+                    if r != rank {
+                        sched.signal(r);
+                    }
+                }
+            }
         } else {
-            while !inner.results.contains_key(&gen) {
-                inner = self.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+            match exec {
+                Executor::Threads => {
+                    while !inner.results.contains_key(&gen) {
+                        inner = self.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+                    }
+                }
+                Executor::Events(sched) => {
+                    // Park (yielding the run token) until the last
+                    // arriver publishes this generation; re-check on
+                    // every wake — a message delivery can signal a
+                    // gate-parked rank spuriously.
+                    while !inner.results.contains_key(&gen) {
+                        drop(inner);
+                        sched.park(rank, time_in);
+                        inner = self.lock_inner();
+                    }
+                }
             }
         }
         let entry = inner.results.get_mut(&gen).unwrap();
@@ -271,23 +337,28 @@ impl Gate {
 
 /// Shared state of one virtual cluster.
 pub(crate) struct Shared {
-    pub(crate) config: ClusterConfig,
+    pub(crate) config: Arc<ClusterConfig>,
     pub(crate) gate: Gate,
     pub(crate) senders: Vec<channel::Sender<Message>>,
     /// Cluster-wide payload buffer pool (see [`crate::pool`]).
     pub(crate) pool: BufferPool,
+    /// How ranks block and wake on this run's backend.
+    pub(crate) exec: Executor,
 }
 
-/// A virtual cluster: P ranks as threads over a priced interconnect.
+/// A virtual cluster: P ranks over a priced interconnect, hosted on
+/// the backend named by [`ClusterConfig::backend`].
 pub struct VirtualCluster;
 
 impl VirtualCluster {
-    /// Runs `f` on every rank concurrently and returns the per-rank
-    /// results in rank order.
+    /// Runs `f` on every rank and returns the per-rank results in rank
+    /// order.
     ///
     /// Each rank receives its own [`Comm`]; real data flows between ranks
     /// through in-memory channels while simulated time is charged per the
-    /// cluster's [`ClusterConfig`].
+    /// cluster's [`ClusterConfig`]. Whether the ranks are preemptive OS
+    /// threads or event-scheduled fibers is the backend's business — the
+    /// closure cannot tell the difference (see [`crate::backend`]).
     pub fn run<R, F>(config: &ClusterConfig, f: F) -> Vec<R>
     where
         R: Send,
@@ -301,29 +372,15 @@ impl VirtualCluster {
             senders.push(tx);
             receivers.push(rx);
         }
+        let config = Arc::new(config.handle());
         let shared = Arc::new(Shared {
-            // xtask: allow(payload-copy) — ClusterConfig handles, not payloads.
-            config: config.clone(),
-            gate: Gate::new(config.clone()), // xtask: allow(payload-copy) — config handle
-
+            gate: Gate::new(Arc::clone(&config)),
+            exec: config.backend.executor(p),
+            config,
             senders,
             pool: BufferPool::new(),
         });
-        std::thread::scope(|s| {
-            let mut handles = Vec::with_capacity(p);
-            for (rank, rx) in receivers.into_iter().enumerate() {
-                let shared = Arc::clone(&shared);
-                let f = &f;
-                handles.push(s.spawn(move || {
-                    let mut comm = Comm::new(rank, rx, shared);
-                    f(&mut comm)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank panicked"))
-                .collect()
-        })
+        backend::host(shared, receivers, f)
     }
 }
 

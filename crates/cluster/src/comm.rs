@@ -125,13 +125,16 @@ pub struct Comm {
     /// Latest arrival time ingested per sender, for the strict-invariants
     /// per-sender FCFS check (the channel is FIFO per sender, and each
     /// sender's simulated clock is monotone, so arrivals from one rank
-    /// must reach us in non-decreasing arrival order).
+    /// must reach us in non-decreasing arrival order). Sparse: most ranks
+    /// talk to O(1) peers, and a dense per-rank vector would cost O(P²)
+    /// memory cluster-wide at event-backend scales (P = 8192).
     #[cfg(feature = "strict-invariants")]
-    last_arrival: Vec<f64>,
+    last_arrival: HashMap<usize, f64>,
     /// Next post sequence number per destination rank (stamped onto
-    /// outgoing messages for the receiver's FIFO check).
+    /// outgoing messages for the receiver's FIFO check). Sparse, like
+    /// `last_arrival`.
     #[cfg(feature = "strict-invariants")]
-    send_seq: Vec<u64>,
+    send_seq: HashMap<usize, u64>,
     /// Highest sequence number matched per (sender, tag): selective
     /// receives may reorder across tags, but within one (src,dst,tag)
     /// stream delivery must follow post order.
@@ -145,8 +148,6 @@ impl Comm {
         rx: crate::channel::Receiver<Message>,
         shared: Arc<Shared>,
     ) -> Self {
-        #[cfg(feature = "strict-invariants")]
-        let ranks = shared.config.ranks;
         Self {
             rank,
             rx,
@@ -157,9 +158,9 @@ impl Comm {
             trace: None,
             nic_free: 0.0,
             #[cfg(feature = "strict-invariants")]
-            last_arrival: vec![f64::NEG_INFINITY; ranks],
+            last_arrival: HashMap::new(),
             #[cfg(feature = "strict-invariants")]
-            send_seq: vec![0; ranks],
+            send_seq: HashMap::new(),
             #[cfg(feature = "strict-invariants")]
             matched_seq: HashMap::new(),
         }
@@ -215,7 +216,10 @@ impl Comm {
     /// off the channel: per-sender FCFS arrival-order monotonicity.
     #[cfg(feature = "strict-invariants")]
     fn check_ingest(&mut self, msg: &Message) {
-        let last = &mut self.last_arrival[msg.from];
+        let last = self
+            .last_arrival
+            .entry(msg.from)
+            .or_insert(f64::NEG_INFINITY);
         debug_assert!(
             msg.arrival >= *last,
             "FCFS violation: rank {} received a message from rank {} with \
@@ -330,8 +334,9 @@ impl Comm {
     fn deliver(&mut self, to: usize, tag: u32, data: PayloadBuf, arrival: f64) {
         #[cfg(feature = "strict-invariants")]
         let seq = {
-            self.send_seq[to] += 1;
-            self.send_seq[to]
+            let next = self.send_seq.entry(to).or_insert(0);
+            *next += 1;
+            *next
         };
         self.shared.senders[to]
             .send(Message {
@@ -343,6 +348,9 @@ impl Comm {
                 seq,
             })
             .expect("receiver hung up");
+        // On the event backend the destination may be a parked fiber —
+        // the channel alone cannot wake it.
+        self.shared.exec.notify_delivery(to);
     }
 
     /// Blocks (in simulated time) until the NIC has injected every
@@ -422,17 +430,33 @@ impl Comm {
 
     /// Pulls the next message matching `pred` — from `pending` first
     /// (FCFS), then the channel, buffering non-matches.
+    ///
+    /// The channel is drained into `pending` before every scan so the
+    /// scan always sees the full arrival order, and — crucially for the
+    /// event backend — so a message delivered while this rank last ran
+    /// cannot be missed before parking (its sender has already spent its
+    /// wake-up signal). Only when nothing buffered matches does the
+    /// backend block this rank.
     fn next_matching(&mut self, pred: impl Fn(&Message) -> bool) -> Message {
-        if let Some(pos) = self.pending.iter().position(&pred) {
-            return self.pending.remove(pos).expect("indexed message present");
-        }
         loop {
-            let msg = self.rx.recv().expect("all senders hung up");
-            self.check_ingest(&msg);
-            if pred(&msg) {
-                return msg;
+            while let Ok(msg) = self.rx.try_recv() {
+                self.check_ingest(&msg);
+                self.pending.push_back(msg);
             }
-            self.pending.push_back(msg);
+            if let Some(pos) = self.pending.iter().position(&pred) {
+                return self.pending.remove(pos).expect("indexed message present");
+            }
+            let waited = self
+                .shared
+                .exec
+                .wait_message(self.rank, &self.rx, self.clock.now());
+            if let Some(msg) = waited {
+                self.check_ingest(&msg);
+                if pred(&msg) {
+                    return msg;
+                }
+                self.pending.push_back(msg);
+            }
         }
     }
 
@@ -802,6 +826,7 @@ impl Comm {
         out: &mut Vec<f32>,
     ) {
         let t = self.shared.gate.rendezvous_into(
+            &self.shared.exec,
             &self.shared.pool,
             self.rank,
             self.clock.now(),
@@ -915,6 +940,20 @@ impl Comm {
         let mut out = Vec::new();
         self.allreduce_sum_into(data, category, &mut out);
         out
+    }
+
+    /// Allreduce-sum with an explicit cost in place of the link-derived
+    /// price — for calibrated models (e.g. the weak-scaling study's
+    /// measured MPI allreduce seconds) where the data motion is real but
+    /// the charge comes from elsewhere.
+    pub fn allreduce_sum_costed_into(
+        &mut self,
+        data: &[f32],
+        seconds: f64,
+        category: TimeCategory,
+        out: &mut Vec<f32>,
+    ) {
+        self.collective_into(data, CollOp::AllReduceSum, Some(seconds), category, out);
     }
 }
 

@@ -4,13 +4,18 @@
 //! Deep Learning on GPU and Knights Landing clusters”* (SC '17).
 //!
 //! The paper runs its algorithms over MPI + NCCL on InfiniBand/Aries
-//! fabrics. Here each **rank is an OS thread** executing real code
-//! (gradients are genuinely computed), while every communication operation
-//! is **charged against an α-β cost model** on a per-rank **simulated
-//! clock**. The result: algorithmic schedules (round-robin vs FCFS vs tree
-//! reduction) produce exactly the relative timings the paper analyses,
-//! without the physical cluster.
+//! fabrics. Here every rank executes real code (gradients are genuinely
+//! computed), while every communication operation is **charged against
+//! an α-β cost model** on a per-rank **simulated clock**. The result:
+//! algorithmic schedules (round-robin vs FCFS vs tree reduction) produce
+//! exactly the relative timings the paper analyses, without the physical
+//! cluster. Two execution [`backend`]s host the ranks: OS threads (the
+//! default, real parallelism at small P) or a single-token discrete-event
+//! engine (thousands of ranks in one process for the Table 4 / Figure 13
+//! weak-scaling sweeps) — trainer code is identical on both.
 //!
+//! * [`backend`] — the thread/event execution seam
+//!   ([`backend::ClusterBackend`]) and the event scheduler.
 //! * [`clock`] — per-rank simulated time plus the Table 3 time-category
 //!   breakdown (`cpu-gpu para comm`, `for/backward`, …).
 //! * [`comm`] — the per-rank communicator: point-to-point send / recv /
@@ -42,6 +47,7 @@
 //! assert_eq!(sums, vec![6.0; 4]);
 //! ```
 
+pub mod backend;
 pub mod channel;
 pub mod clock;
 pub mod cluster;
@@ -53,6 +59,7 @@ pub mod request;
 pub mod tags;
 pub mod trace;
 
+pub use backend::ClusterBackend;
 pub use clock::{RankReport, SimClock, TimeBreakdown, TimeCategory};
 pub use cluster::{ClusterConfig, CollectiveAlgo, VirtualCluster};
 pub use codec::{BatchMsg, CodecError};

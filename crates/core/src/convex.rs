@@ -180,6 +180,9 @@ pub fn hogwild_easgd_on_quadratic(
 ) -> f32 {
     let n = problem.n;
     let center = AtomicBuffer::zeros(n);
+    // xtask: allow(thread-primitive) — Hogwild's lock-free races ARE the
+    // experiment: these must be real preemptive threads on one shared
+    // atomic buffer, not simulated ranks.
     std::thread::scope(|s| {
         for w in 0..workers {
             let center = &center;

@@ -50,6 +50,9 @@ where
     cfg.validate();
     let shards = WorkerShard::from_partition(train, cfg.workers, cfg.seed, salt);
     let start = Instant::now();
+    // xtask: allow(thread-primitive) — the wall-clock engine measures
+    // real parallel speedup; its workers are genuine OS threads, not
+    // simulated ranks, so the cluster backend seam does not apply.
     let outs: Vec<(f32, Vec<f32>)> = std::thread::scope(|s| {
         let handles: Vec<_> = shards
             .into_iter()
@@ -64,6 +67,8 @@ where
             .collect();
         handles
             .into_iter()
+            // xtask: allow(thread-primitive) — joining the real wall-clock
+            // worker threads spawned above.
             .map(|h| match h.join() {
                 Ok(out) => out,
                 Err(payload) => std::panic::resume_unwind(payload),

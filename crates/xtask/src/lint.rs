@@ -1,7 +1,7 @@
 //! Source-level lint pass enforcing the repo's concurrency and
 //! determinism invariants.
 //!
-//! Seven rules, run over every workspace `.rs` file (see DESIGN.md
+//! Eight rules, run over every workspace `.rs` file (see DESIGN.md
 //! §"Static analysis & invariants" for the rationale):
 //!
 //! 1. **no-unsafe** — the tree is `unsafe`-free and must stay that way
@@ -39,6 +39,16 @@
 //!    literals, and tag-named `u32` constants may not be defined from
 //!    literals outside the registry module. Deliberate sites carry a
 //!    `// xtask: allow(tag-literal)` justification.
+//! 8. **backend-discipline** — thread primitives (`thread::spawn`,
+//!    `thread::scope`, `spawn_scoped`, `thread::sleep`, `yield_now`)
+//!    and blocking argless `.recv()` / `.join()` calls are banned in
+//!    `crates/cluster/src/` and `crates/core/src/` (outside
+//!    `#[cfg(test)]`): how a rank blocks and wakes is the execution
+//!    backend's business (`crates/cluster/src/backend.rs`, exempt along
+//!    with the channel that implements blocking recv), so trainer code
+//!    stays runnable on the event backend. Genuine real-thread sites
+//!    (wall-clock trainers, Hogwild) carry a
+//!    `// xtask: allow(thread-primitive)` justification.
 //!
 //! [`lint_workspace`] additionally reports **stale-allow**: entries in
 //! `crates/xtask/lint-allow.txt` that no longer name an existing file —
@@ -70,6 +80,23 @@ pub const STEP_ALLOC_PRAGMA: &str = "xtask: allow(step-alloc)";
 /// Pragma that justifies one bare-literal tag site in the comm-using
 /// crates (same line or the comment block directly above).
 pub const TAG_LITERAL_PRAGMA: &str = "xtask: allow(tag-literal)";
+
+/// Pragma that justifies one direct thread-primitive / blocking-call
+/// site outside the execution backend (same line or the comment block
+/// directly above).
+pub const THREAD_PRIMITIVE_PRAGMA: &str = "xtask: allow(thread-primitive)";
+
+/// Thread-primitive tokens banned outside the execution backend
+/// (rule 8). `thread::panicking` is deliberately absent: it is a query,
+/// not a scheduling primitive, and strict-invariants `Drop` impls need
+/// it.
+const THREAD_PRIMITIVE_TOKENS: &[&str] = &[
+    "thread::spawn",
+    "thread::scope",
+    "spawn_scoped",
+    "thread::sleep",
+    "yield_now",
+];
 
 /// `Comm` methods taking a tag argument, with the tag's zero-based
 /// position in the argument list. Calls with too few arguments (e.g.
@@ -396,6 +423,10 @@ pub fn lint_source(file: &str, source: &str, hot_path: bool) -> Vec<Finding> {
     } else {
         Vec::new()
     };
+    let backend_scope = (file.starts_with("crates/cluster/src/")
+        || file.starts_with("crates/core/src/"))
+        && file != "crates/cluster/src/backend.rs"
+        && file != "crates/cluster/src/channel.rs";
     let mut findings = Vec::new();
 
     for (idx, sline) in stripped_lines.iter().enumerate() {
@@ -514,6 +545,39 @@ pub fn lint_source(file: &str, source: &str, hot_path: bool) -> Vec<Finding> {
                      `// {STEP_ALLOC_PRAGMA}`"
                 ),
             });
+        }
+
+        // Rule 8: backend-discipline — trainer and comm code must not
+        // reach for thread primitives or blocking calls directly; those
+        // live behind the execution-backend seam so the same code runs
+        // on the discrete-event engine. `.recv()`/`.join()` match only
+        // the argless blocking forms (a tagged `comm.recv(from, tag, …)`
+        // or a `join("…")` on strings has arguments and is fine).
+        if backend_scope && !in_spans(&test_spans, idx) {
+            let thread_tok = THREAD_PRIMITIVE_TOKENS
+                .iter()
+                .find(|tok| has_token(sline, tok))
+                .copied()
+                .or_else(|| {
+                    [".recv()", ".join()"]
+                        .into_iter()
+                        .find(|t| sline.contains(t))
+                });
+            if let Some(tok) = thread_tok {
+                if !comment_justified(&raw_lines, idx, THREAD_PRIMITIVE_PRAGMA) {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: lineno,
+                        rule: "backend-discipline",
+                        message: format!(
+                            "`{tok}` outside the execution backend; rank scheduling \
+                             and blocking belong in crates/cluster/src/backend.rs \
+                             (or justify a genuine real-thread site with \
+                             `// {THREAD_PRIMITIVE_PRAGMA}`)"
+                        ),
+                    });
+                }
+            }
         }
     }
 
@@ -1084,6 +1148,58 @@ mod tests {
         // Constants built from registry names are fine.
         let src = "const MY_TAG: u32 = tags::SYNC_DATA;\n";
         assert!(lint_source("crates/core/src/sync.rs", src, false).is_empty());
+    }
+
+    // Spelled via concat! so the fixtures don't trip this file's own
+    // scan (rule 8 doesn't scope xtask anyway; belt and braces).
+    fn thread_scope_call() -> String {
+        ["std::thr", "ead::scope"].concat()
+    }
+
+    #[test]
+    fn backend_discipline_fires_on_thread_primitives_in_trainer_code() {
+        let src = format!("fn f() {{ {}(|s| {{}}); }}", thread_scope_call());
+        let f = lint_source("crates/core/src/sync.rs", &src, false);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "backend-discipline");
+        // Blocking argless recv/join also fire.
+        let src = "fn f(rx: &Receiver<M>) { let m = rx.recv(); }";
+        let f = lint_source("crates/cluster/src/comm.rs", src, false);
+        assert!(f.iter().any(|f| f.rule == "backend-discipline"), "{f:?}");
+        let src = "fn f(h: Handle) { h.join(); }";
+        let f = lint_source("crates/core/src/engine/wall.rs", src, false);
+        assert!(f.iter().any(|f| f.rule == "backend-discipline"), "{f:?}");
+    }
+
+    #[test]
+    fn backend_discipline_skips_backend_channel_tests_and_argful_calls() {
+        let src = format!("fn f() {{ {}(|s| {{}}); }}", thread_scope_call());
+        // The backend module and the channel implementation are the seam.
+        assert!(lint_source("crates/cluster/src/backend.rs", &src, false).is_empty());
+        assert!(lint_source("crates/cluster/src/channel.rs", &src, false).is_empty());
+        // Out-of-scope crates are fine.
+        assert!(lint_source("crates/bench/src/lib.rs", &src, false).is_empty());
+        // #[cfg(test)] spans are exempt.
+        let src = format!(
+            "#[cfg(test)]\nmod tests {{\n    fn f() {{ {}(|s| {{}}); }}\n}}\n",
+            thread_scope_call()
+        );
+        assert!(lint_source("crates/core/src/sync.rs", &src, false).is_empty());
+        // Argful recv/join (tagged comm recv, string join) don't match,
+        // and thread::panicking is not a scheduling primitive.
+        let src = "fn f(c: &mut Comm) { c.recv(0, tags::SYNC_DATA, cat); \
+                   let s = parts.join(sep); let p = std::thread::panicking(); }";
+        assert!(lint_source("crates/core/src/sync.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn backend_discipline_pragma_opts_out_per_site() {
+        let src = format!(
+            "fn f() {{\n    // {}\n    // — real Hogwild threads, wall-clock trainer.\n    {}(|s| {{}});\n}}\n",
+            THREAD_PRIMITIVE_PRAGMA,
+            thread_scope_call()
+        );
+        assert!(lint_source("crates/core/src/convex.rs", &src, false).is_empty());
     }
 
     #[test]

@@ -41,6 +41,9 @@ cargo run -q --release -p easgd-bench --bin comm -- --smoke
 echo "==> train perf harness (smoke + checked-in BENCH_train.json acceptance)"
 cargo run -q --release -p easgd-bench --bin train -- --smoke
 
+echo "==> cluster harness on the event backend (smoke: P<=512 + checked-in BENCH_cluster.json acceptance; full P=8192 sweep runs nightly in CI)"
+cargo run -q --release -p easgd-bench --bin cluster -- --smoke
+
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 

@@ -54,7 +54,9 @@ pub mod prelude {
         sync_easgd_sim, sync_sgd_sim, MethodId, OriginalMode, RunResult, SimCosts, SyncVariant,
         TrainConfig, WeakScalingModel,
     };
-    pub use easgd_cluster::{ClusterConfig, Comm, SimClock, TimeCategory, VirtualCluster};
+    pub use easgd_cluster::{
+        ClusterBackend, ClusterConfig, Comm, SimClock, TimeCategory, VirtualCluster,
+    };
     pub use easgd_data::{Dataset, SyntheticSpec, SyntheticTask};
     pub use easgd_hardware::{AlphaBeta, ComputeModel, KnlChip};
     pub use easgd_nn::models::{alexnet_cifar, alexnet_cifar_tiny, lenet, lenet_tiny, mlp};
