@@ -11,11 +11,15 @@
 //! * **tiny** — a direct row loop; packing overhead would dominate.
 //! * **blocked serial** — the cache-blocked packed kernel: A- and
 //!   B-panels are packed once per `MC×KC` / `KC×NC` block into
-//!   contiguous, microkernel-ordered buffers, and an `MR×NR`
-//!   register-tiled microkernel with fixed-size array accumulators (which
-//!   LLVM autovectorizes — no `unsafe` anywhere) does the flops. All four
-//!   [`Transpose`] combinations are normalized away by the packing step,
-//!   so the microkernel sees one layout.
+//!   contiguous, microkernel-ordered buffers, and the explicit `MR×NR`
+//!   broadcast-FMA register tile in [`crate::simd`] (hand-tiled AVX-512 /
+//!   AVX2 intrinsics behind a bit-identical scalar fallback — see
+//!   DESIGN.md §15) does the flops. All four [`Transpose`] combinations
+//!   are normalized away by the packing step, so the microkernel sees
+//!   one layout. Skinny outputs (`m ≤ 64` — the fully-connected layers
+//!   of a small-batch step) switch to a column-major nest that keeps the
+//!   register tiles live across every `KC` block, touching C once
+//!   instead of `k/KC` times (the `vgg_fc6` cliff fix, DESIGN.md §15).
 //! * **blocked parallel** — the same kernel fanned out over the
 //!   persistent [`crate::par::pool()`]: the operands are copied into
 //!   `Arc`-shared buffers, each worker runs the serial loop nest on an
@@ -23,13 +27,16 @@
 //!   as in the serial kernel), and the caller copies bands back — the
 //!   result is bit-identical to `gemm_serial`. The copies are
 //!   O(m·k + k·n + m·n) against O(m·n·k) compute, the price of lending
-//!   data to persistent threads in safe Rust.
+//!   data to persistent threads in safe Rust. Outputs are banded along
+//!   their *larger* dimension, so skinny-M layers split over N rather
+//!   than serializing on one row band.
 //!
 //! The seed's naive kernel is retained as [`gemm_naive`] /
 //! [`gemm_naive_par`] so every future optimization can be A/B-measured
 //! in-repo (`cargo run --release -p easgd-bench --bin kernels`).
 
 use crate::par;
+use crate::simd::{self, MR, NR};
 use std::sync::Arc;
 
 /// Whether an operand is used as stored or transposed.
@@ -41,15 +48,6 @@ pub enum Transpose {
     Yes,
 }
 
-/// Microkernel tile rows (C rows accumulated in registers).
-const MR: usize = 8;
-/// Microkernel tile columns: two AVX-512 vectors (or four AVX2 vectors)
-/// wide, giving `MR·2 = 16` independent zmm accumulator chains — enough
-/// to hide the 4-cycle FMA latency across two FMA ports, while halving
-/// the A-broadcast traffic per FMA relative to an `8×16` tile (measured
-/// 108 vs 71 GFLOP/s at 1024³ on an Ice-Lake-class Xeon; the tile sweep
-/// lives in DESIGN.md §8).
-const NR: usize = 32;
 /// Rows of packed A per L2-resident block (multiple of `MR`).
 const MC: usize = 256;
 /// Shared inner dimension per panel: `MR·KC` floats of A-panel and
@@ -72,6 +70,68 @@ const PAR_FLOPS: u64 = 8 << 20;
 // The microkernel spells out its MR row accumulators as straight-line
 // locals, so the row count is pinned at compile time.
 const _: () = assert!(MR == 8, "microkernel is hand-unrolled for MR = 8");
+
+/// Output row count at or below which the skinny nest applies (together
+/// with `k > KC`, the regime where the standard nest's repeated C passes
+/// dominate): a whole `mc0 ≤ SKINNY_M` row block fits one persistent
+/// register-tile column of at most `SKINNY_M/MR` accumulators.
+const SKINNY_M: usize = 64;
+const _: () = assert!(
+    SKINNY_M.is_multiple_of(MR),
+    "skinny tile column must be whole tiles"
+);
+
+/// Column-panel width of the skinny nest: the staged B strips for one
+/// panel (`SKINNY_NC·KC` floats ≈ 224 KiB) stay L2-resident, so B's rows
+/// are read from DRAM exactly once *in row-major streaming order* — the
+/// per-tile strip copy of the standard nest walks rows at an `n`-float
+/// stride (16 KiB for the 4096-wide fc layers), which lands every read
+/// in the same L1 set and defeats the DRAM prefetcher entirely.
+const SKINNY_NC: usize = 224;
+const _: () = assert!(
+    SKINNY_NC.is_multiple_of(NR),
+    "skinny panel must be whole tiles"
+);
+
+/// Pad (in floats, one cache line) between consecutive staged strips:
+/// an unpadded strip stride of `KC·NR` floats (32 KiB) would alias every
+/// strip's row-`p` sliver to the same L1 set during the scatter.
+const STRIP_SKEW: usize = 16;
+
+/// Whether a `mc0`-row output window with inner dimension `k` should run
+/// the column-major skinny nest ([`skinny_accumulate`]) instead of the
+/// standard one. Skinny outputs lose most of their time in the standard
+/// nest re-reading and re-writing C once per `KC` block (`k/KC` sweeps of
+/// a tile that never leaves a handful of registers in the skinny nest);
+/// at `k ≤ KC` there is only one pass, so the nests are identical work.
+fn use_skinny_nest(mc0: usize, k: usize) -> bool {
+    #[cfg(test)]
+    if FORCE_STANDARD_NEST.with(|f| f.get()) {
+        return false;
+    }
+    mc0 <= SKINNY_M && k > KC
+}
+
+#[cfg(test)]
+thread_local! {
+    /// Test-only override: route skinny shapes through the standard nest
+    /// so the two nests can be compared bit-for-bit.
+    static FORCE_STANDARD_NEST: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Runs `f` with the skinny nest disabled on this thread (test-only; see
+/// [`FORCE_STANDARD_NEST`]). Restores the previous state on unwind.
+#[cfg(test)]
+fn with_standard_nest<R>(f: impl FnOnce() -> R) -> R {
+    struct Reset(bool);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            FORCE_STANDARD_NEST.with(|flag| flag.set(self.0));
+        }
+    }
+    let _guard = Reset(FORCE_STANDARD_NEST.with(|flag| flag.replace(true)));
+    f()
+}
 
 /// Flop count of one GEMM call (each output element takes `k` fused
 /// multiply-adds = `2k` flops).
@@ -149,12 +209,22 @@ pub fn gemm(
     }
     // Only touch the global pool past the parallel threshold: fetching
     // it eagerly would spawn ncores−1 persistent threads in processes
-    // that only ever run serial-path GEMMs.
+    // that only ever run serial-path GEMMs. A chip-partition group
+    // (`par::with_pool`) substitutes its own pool — and with a
+    // single-thread group the GEMM must stay serial *without* waking the
+    // global pool, or partitions would share threads they don't own.
     if flops >= PAR_FLOPS {
-        let pool = par::pool();
-        if pool.threads() > 1 {
-            gemm_blocked_parallel(pool, ta, tb, m, n, k, alpha, a, b, beta, c);
-            return;
+        if let Some(pool) = par::pool_override() {
+            if pool.threads() > 1 {
+                gemm_blocked_parallel(&pool, ta, tb, m, n, k, alpha, a, b, beta, c);
+                return;
+            }
+        } else {
+            let pool = par::pool();
+            if pool.threads() > 1 {
+                gemm_blocked_parallel(pool, ta, tb, m, n, k, alpha, a, b, beta, c);
+                return;
+            }
         }
     }
     blocked_accumulate(ta, tb, m, n, k, 0, m, 0, n, alpha, a, b, beta, c, n);
@@ -265,11 +335,18 @@ fn pack_b(
         match tb {
             Transpose::No => {
                 // op(B)[l][j] = b[l·n + j]: each `p` step is contiguous in `j`.
-                for p in 0..kcb {
-                    let d = &mut dst[p * NR..(p + 1) * NR];
-                    let src = &b[(pc + p) * n + jc + jt * NR..][..cols];
-                    d[..cols].copy_from_slice(src);
-                    d[cols..].iter_mut().for_each(|v| *v = 0.0);
+                if cols == NR {
+                    // Full-width tile — the hot case: explicit vector
+                    // strip copy, which overlaps the strided row misses
+                    // where a per-row memcpy call would serialize them.
+                    simd::pack_strip(b, pc * n + jc + jt * NR, n, kcb, dst);
+                } else {
+                    for p in 0..kcb {
+                        let d = &mut dst[p * NR..(p + 1) * NR];
+                        let src = &b[(pc + p) * n + jc + jt * NR..][..cols];
+                        d[..cols].copy_from_slice(src);
+                        d[cols..].iter_mut().for_each(|v| *v = 0.0);
+                    }
                 }
             }
             Transpose::Yes => {
@@ -294,67 +371,6 @@ fn pack_b(
 // ---------------------------------------------------------------------------
 // Micro / macro kernels.
 // ---------------------------------------------------------------------------
-
-/// One row of the register tile: `acc[j] += a · b[j]` for all `NR` lanes.
-///
-/// Takes and returns the row *by value* so each row lives in an SSA
-/// value LLVM can keep in one zmm (or two ymm) register across the whole
-/// `p` loop; in-place `&mut` rows tend to stay memory-resident and the
-/// vectorizer then emits gather/scatter traffic instead.
-///
-/// `mul_add` is gated on compile-time FMA support: with the feature it is
-/// one `vfmadd` (double throughput, one rounding); without it each call
-/// would lower to a *libm `fmaf` routine per element* — measured 20×
-/// slower than the naive kernel — so non-FMA builds (anything overriding
-/// the repo's `target-cpu=native` in `.cargo/config.toml`, e.g. an
-/// external `RUSTFLAGS`) fall back to separate multiply-add, which stays
-/// autovectorizable on any target.
-#[inline(always)]
-fn fma_row(mut acc: [f32; NR], a: f32, b: &[f32; NR]) -> [f32; NR] {
-    if cfg!(target_feature = "fma") {
-        for j in 0..NR {
-            acc[j] = b[j].mul_add(a, acc[j]);
-        }
-    } else {
-        for j in 0..NR {
-            acc[j] += a * b[j];
-        }
-    }
-    acc
-}
-
-/// The register-tiled core: returns the `MR×NR` tile
-/// `acc[r][j] = Σ_p ap[p][r] · bp[p][j]` accumulated over one packed
-/// A-panel (`kcb×MR`) and B-panel (`kcb×NR`).
-#[inline]
-fn microkernel(apanel: &[f32], bpanel: &[f32]) -> [[f32; NR]; MR] {
-    // MR independent row accumulators as straight-line locals: constant
-    // trip counts everywhere, so LLVM fully unrolls and SLP-vectorizes
-    // each row to vector FMAs with the accumulators register-resident.
-    let mut c0 = [0.0f32; NR];
-    let mut c1 = [0.0f32; NR];
-    let mut c2 = [0.0f32; NR];
-    let mut c3 = [0.0f32; NR];
-    let mut c4 = [0.0f32; NR];
-    let mut c5 = [0.0f32; NR];
-    let mut c6 = [0.0f32; NR];
-    let mut c7 = [0.0f32; NR];
-    for (ak, bk) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)) {
-        let (Ok(ak), Ok(bk)) = (<&[f32; MR]>::try_from(ak), <&[f32; NR]>::try_from(bk)) else {
-            // Unreachable: chunks_exact yields exactly MR/NR elements.
-            continue;
-        };
-        c0 = fma_row(c0, ak[0], bk);
-        c1 = fma_row(c1, ak[1], bk);
-        c2 = fma_row(c2, ak[2], bk);
-        c3 = fma_row(c3, ak[3], bk);
-        c4 = fma_row(c4, ak[4], bk);
-        c5 = fma_row(c5, ak[5], bk);
-        c6 = fma_row(c6, ak[6], bk);
-        c7 = fma_row(c7, ak[7], bk);
-    }
-    [c0, c1, c2, c3, c4, c5, c6, c7]
-}
 
 /// Adds `α·acc` into the `mr×nr` valid corner of the C tile at
 /// `(row0, col0)` of a row-major region with row stride `ldc`.
@@ -440,12 +456,25 @@ fn blocked_accumulate(
     // zero-padded explicitly), so dirty reuse is safe.
     PACK_SCRATCH.with(|cell| {
         let (ap, bp) = &mut *cell.borrow_mut();
-        if ap.len() < MC * KC {
-            ap.resize(MC * KC, 0.0);
+        // The skinny nest packs *all* of op(A)'s K extent up front (the
+        // whole row block is at most SKINNY_M·k floats — e.g. 512 KiB for
+        // the 32×4096×4096 fc layer); the standard nest packs one MC×KC
+        // block at a time.
+        let ap_len = if use_skinny_nest(mc0, k) {
+            mc0.div_ceil(MR) * MR * k
+        } else {
+            MC * KC
+        };
+        if ap.len() < ap_len {
+            ap.resize(ap_len, 0.0);
         }
         let bp_cols = NC.min(nc0.next_multiple_of(NR));
-        if bp.len() < KC * bp_cols {
-            bp.resize(KC * bp_cols, 0.0);
+        // The skinny nest's staged strips carry a `STRIP_SKEW` pad each,
+        // so its panel needs slightly more than `KC·panel_cols` floats.
+        let skinny_tiles = nc0.div_ceil(NR).min(SKINNY_NC / NR);
+        let bp_len = (KC * bp_cols).max(skinny_tiles * (KC * NR + STRIP_SKEW));
+        if bp.len() < bp_len {
+            bp.resize(bp_len, 0.0);
         }
         blocked_accumulate_with(
             ta, tb, m, n, k, i0, mc0, j0, nc0, alpha, a, b, beta, c, ldc, ap, bp,
@@ -481,6 +510,15 @@ fn blocked_accumulate_with(
     ap: &mut [f32],
     bp: &mut [f32],
 ) {
+    // Skinny outputs take the column-major nest when the caller sized
+    // `ap` for it (always true via `blocked_accumulate`; band jobs and
+    // tests reach here the same way).
+    if use_skinny_nest(mc0, k) && ap.len() >= mc0.div_ceil(MR) * MR * k {
+        skinny_accumulate(
+            ta, tb, m, n, k, i0, mc0, j0, nc0, alpha, a, b, beta, c, ldc, ap, bp,
+        );
+        return;
+    }
     let mut jc = j0;
     while jc < j0 + nc0 {
         let ncb = NC.min(j0 + nc0 - jc);
@@ -498,7 +536,7 @@ fn blocked_accumulate_with(
                     let bpanel = &bp[jt * kcb * NR..(jt + 1) * kcb * NR];
                     for it in 0..row_tiles {
                         let apanel = &ap[it * kcb * MR..(it + 1) * kcb * MR];
-                        let acc = microkernel(apanel, bpanel);
+                        let acc = simd::microkernel(apanel, bpanel);
                         let row0 = ic - i0 + it * MR;
                         let col0 = jc - j0 + jt * NR;
                         let mr = MR.min(mcb - it * MR);
@@ -515,6 +553,198 @@ fn blocked_accumulate_with(
             pc += kcb;
         }
         jc += ncb;
+    }
+}
+
+/// The skinny-output nest: [`blocked_accumulate_with`] reorganized for
+/// `mc0 ≤ SKINNY_M`, `k > KC` (small-batch fully-connected layers, e.g.
+/// 32×4096×4096 `vgg_fc6`).
+///
+/// The standard nest walks `pc` outermost, so every `KC` block rewrites
+/// the whole `mc0×nc0` output — for `k = 4096` that is 16 read-modify-
+/// write sweeps of a C that is itself bigger than L2, and throughput
+/// collapses to memory bandwidth. Here the whole row block's A is packed
+/// *once* up front (it is at most `SKINNY_M·k` floats), the output is
+/// walked in `SKINNY_NC`-column panels, and one panel's worth of
+/// accumulator tiles stays live in a stack array across *every* `KC`
+/// block, so C is touched exactly once per element.
+///
+/// Within a panel, each `KC` block of B is staged into `NR`-wide strips
+/// by [`stage_b_rows`] *before* any microkernel runs: the stage reads
+/// B's rows in contiguous `SKINNY_NC`-float slivers (DRAM-prefetcher
+/// friendly; B is read from memory exactly once overall) and the
+/// microkernels then consume the ~512 KiB staged panel from L2. A naive
+/// per-tile strip copy instead walks B at an `n`-float row stride —
+/// 16 KiB for the fc layers, which maps every row to the same L1 set and
+/// degenerates to uncovered DRAM latency per 128-byte sliver (measured
+/// ~54 vs ~90+ GFLOP/s on 32×4096×4096).
+///
+/// Bit-identity with the standard nest: per output element the standard
+/// nest computes `((α·t₀ ⊕β) + α·t₁) + α·t₂ …` where `t_p` is the
+/// microkernel tile of `KC` block `p` (in order) and `⊕β` is the
+/// first-pass blend of [`write_tile_blend`]. The accumulator here is
+/// seeded `α·t₀ + β·C` with the same expression shape and then adds
+/// `α·t_p` in the same `pc` order, so every element sees the identical
+/// float operation sequence — only *where* the intermediate lives (stack
+/// tile vs C row) changes; the panel/staging reorganization interleaves
+/// *which tile* runs when, never the per-element chain order.
+#[allow(clippy::too_many_arguments)]
+fn skinny_accumulate(
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    i0: usize,
+    mc0: usize,
+    j0: usize,
+    nc0: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+    ap: &mut [f32],
+    bp: &mut [f32],
+) {
+    debug_assert!(mc0 <= SKINNY_M && mc0 > 0);
+    let row_tiles = mc0.div_ceil(MR);
+
+    // Pack every KC block of op(A)'s row stripe once. Block `pc` lands at
+    // offset `row_tiles·MR·pc` — the sum of all earlier blocks' `kcb`
+    // extents is exactly `pc`.
+    let mut pc = 0;
+    while pc < k {
+        let kcb = KC.min(k - pc);
+        pack_a(
+            ta,
+            a,
+            m,
+            k,
+            i0,
+            mc0,
+            pc,
+            kcb,
+            &mut ap[row_tiles * MR * pc..][..row_tiles * MR * kcb],
+        );
+        pc += kcb;
+    }
+
+    // One panel's worth of persistent accumulator tiles, indexed
+    // `[t·row_tiles + it]`; `pc == 0` seeds every entry, so dirty reuse
+    // across panels is safe. At most 128 KiB of stack.
+    let mut acc = [[[0.0f32; NR]; MR]; (SKINNY_NC / NR) * (SKINNY_M / MR)];
+
+    let mut jp = 0;
+    while jp < nc0 {
+        let pw = SKINNY_NC.min(nc0 - jp);
+        let tiles = pw.div_ceil(NR);
+        let mut pc = 0;
+        while pc < k {
+            let kcb = KC.min(k - pc);
+            let stride = kcb * NR + STRIP_SKEW;
+            // Stage this KC block's panel of B into skewed strips first
+            // (row-major streaming reads; see the doc comment above).
+            if tb == Transpose::No {
+                stage_b_rows(b, n, pc, kcb, j0 + jp, pw, stride, bp);
+            } else {
+                for t in 0..tiles {
+                    let jc = j0 + jp + t * NR;
+                    let jn = NR.min(j0 + nc0 - jc);
+                    pack_b(
+                        tb,
+                        b,
+                        k,
+                        n,
+                        pc,
+                        kcb,
+                        jc,
+                        jn,
+                        &mut bp[t * stride..][..kcb * NR],
+                    );
+                }
+            }
+            for t in 0..tiles {
+                let strip = &bp[t * stride..][..kcb * NR];
+                let jc = j0 + jp + t * NR;
+                let jn = NR.min(j0 + nc0 - jc);
+                for it in 0..row_tiles {
+                    let at = &mut acc[t * row_tiles + it];
+                    let apanel = &ap[row_tiles * MR * pc + it * kcb * MR..][..kcb * MR];
+                    // Fused kernel: seeds α·t₀ everywhere at pc == 0
+                    // (padding rows/cols included — they are never
+                    // written back), adds α·t_p after.
+                    simd::microkernel_acc(apanel, strip, alpha, at, pc == 0);
+                    if pc == 0 && beta != 0.0 {
+                        // Blend β·C into the valid corner with the
+                        // `write_tile_blend` expression shape; β = 0
+                        // never reads C.
+                        let mr = MR.min(mc0 - it * MR);
+                        for (r, atr) in at.iter_mut().enumerate().take(mr) {
+                            let crow = &c[(it * MR + r) * ldc + (jc - j0)..][..jn];
+                            for (av, cv) in atr.iter_mut().zip(crow.iter()) {
+                                *av += beta * cv;
+                            }
+                        }
+                    }
+                }
+            }
+            pc += kcb;
+        }
+        // Single store pass over the panel's valid corners.
+        for t in 0..tiles {
+            let jc = j0 + jp + t * NR;
+            let jn = NR.min(j0 + nc0 - jc);
+            for it in 0..row_tiles {
+                let at = &acc[t * row_tiles + it];
+                let mr = MR.min(mc0 - it * MR);
+                for (r, atr) in at.iter().enumerate().take(mr) {
+                    let crow = &mut c[(it * MR + r) * ldc + (jc - j0)..][..jn];
+                    crow.copy_from_slice(&atr[..jn]);
+                }
+            }
+        }
+        jp += pw;
+    }
+}
+
+/// Stages `B[pc..pc+kcb, jc0..jc0+pw]` (no-transpose, row-major) into
+/// `pw.div_ceil(NR)` microkernel strips of layout `[p][j]` at `stride`
+/// floats apart in `bp`, zero-padding a short final tile. Reads walk B
+/// one contiguous `pw`-float row sliver at a time — the whole point of
+/// the skinny nest's staging (see [`skinny_accumulate`]) — and the
+/// skewed `stride` keeps the per-row scatter writes out of a single L1
+/// set.
+#[allow(clippy::too_many_arguments)]
+fn stage_b_rows(
+    b: &[f32],
+    n: usize,
+    pc: usize,
+    kcb: usize,
+    jc0: usize,
+    pw: usize,
+    stride: usize,
+    bp: &mut [f32],
+) {
+    let full = pw / NR;
+    let tail = pw - full * NR;
+    for p in 0..kcb {
+        let src = &b[(pc + p) * n + jc0..][..pw];
+        for (t, chunk) in src.chunks_exact(NR).enumerate() {
+            // Fixed-size copy: two zmm (four ymm) moves, no memcpy call.
+            // `chunks_exact(NR)` guarantees the chunk is exactly NR long,
+            // so `first_chunk` never returns None.
+            if let Some(chunk) = chunk.first_chunk::<NR>() {
+                let dst = &mut bp[t * stride + p * NR..][..NR];
+                dst.copy_from_slice(chunk);
+            }
+        }
+        if tail != 0 {
+            let dst = &mut bp[full * stride + p * NR..][..NR];
+            dst[..tail].copy_from_slice(&src[full * NR..]);
+            dst[tail..].iter_mut().for_each(|v| *v = 0.0);
+        }
     }
 }
 
@@ -977,6 +1207,106 @@ mod tests {
         }
     }
 
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn simd_microkernel_is_bit_identical_to_scalar_fallback() {
+        // The whole blocked kernel (both nests, all packing paths) must
+        // produce the same bits whether the explicit-SIMD tier or the
+        // scalar fallback does the flops — the contract that makes the
+        // scalar-build CI leg meaningful and tier choice unobservable.
+        for &(m, n, k) in &[
+            (70, 90, KC + 37),     // standard nest, ragged tiles
+            (32, 300, 2 * KC + 9), // skinny nest, k spanning 3 KC blocks
+            (257, 65, 300),        // multi-MC rows
+        ] {
+            for (ta, a_len) in [(Transpose::No, m * k), (Transpose::Yes, k * m)] {
+                for (tb, b_len) in [(Transpose::No, k * n), (Transpose::Yes, n * k)] {
+                    for beta in [0.0f32, 0.5, 1.0] {
+                        let a = rand_vec(a_len, 7 * m as u64 + 1);
+                        let b = rand_vec(b_len, 13 * n as u64 + 2);
+                        let c0 = rand_vec(m * n, 17 * k as u64 + 3);
+                        let mut c_fast = c0.clone();
+                        gemm_serial(ta, tb, m, n, k, 1.25, &a, &b, beta, &mut c_fast);
+                        let mut c_scalar = c0.clone();
+                        crate::simd::with_scalar_kernels(|| {
+                            gemm_serial(ta, tb, m, n, k, 1.25, &a, &b, beta, &mut c_scalar);
+                        });
+                        assert_eq!(
+                            bits(&c_fast),
+                            bits(&c_scalar),
+                            "tier mismatch: m={m} n={n} k={k} ta={ta:?} tb={tb:?} beta={beta}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skinny_nest_is_bit_identical_to_standard_nest() {
+        // The vgg_fc6-cliff nest must be a pure reassociation-free
+        // reordering: same bits as the standard nest (itself pinned to
+        // the scalar fallback by the test above), for every transpose
+        // combination and β path, including a shape crossing NC.
+        for &(m, n, k) in &[
+            (32, 300, 2 * KC + 5),
+            (SKINNY_M, 97, KC + 1),
+            (MR, 2 * NC + 33, KC + 300),
+        ] {
+            for (ta, a_len) in [(Transpose::No, m * k), (Transpose::Yes, k * m)] {
+                for (tb, b_len) in [(Transpose::No, k * n), (Transpose::Yes, n * k)] {
+                    for beta in [0.0f32, 0.5, 1.0] {
+                        let a = rand_vec(a_len, 3 * m as u64 + 11);
+                        let b = rand_vec(b_len, 5 * n as u64 + 12);
+                        let c0 = rand_vec(m * n, 7 * k as u64 + 13);
+                        let mut c_skinny = c0.clone();
+                        gemm_serial(ta, tb, m, n, k, -0.75, &a, &b, beta, &mut c_skinny);
+                        let mut c_std = c0.clone();
+                        with_standard_nest(|| {
+                            gemm_serial(ta, tb, m, n, k, -0.75, &a, &b, beta, &mut c_std);
+                        });
+                        assert_eq!(
+                            bits(&c_skinny),
+                            bits(&c_std),
+                            "nest mismatch: m={m} n={n} k={k} ta={ta:?} tb={tb:?} beta={beta}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn gemm_is_tier_and_nest_invariant_at_band_boundaries(
+            mi in 0usize..3, ni in 0usize..3, ki in 0usize..2,
+            dm in 0usize..3, dn in 0usize..3, dk in 0usize..3,
+            bi in 0usize..3,
+        ) {
+            // Shapes perturbed ±1 around tile/block boundaries — the
+            // off-by-one regime where packing pads and ragged corners
+            // diverge first if any tier or nest mishandles them.
+            let m = [MR, SKINNY_M, MC][mi] + dm - 1;
+            let n = [NR, 4 * NR, NC][ni] + dn - 1;
+            let k = [KC, 2 * KC][ki] + dk - 1;
+            proptest::prop_assume!(m > 0 && n > 0 && k > 0);
+            let beta = [0.0f32, 0.5, 1.0][bi];
+            let a = rand_vec(m * k, (m * n) as u64);
+            let b = rand_vec(k * n, (n + k) as u64);
+            let c0 = rand_vec(m * n, (m + k) as u64);
+            let mut c_fast = c0.clone();
+            gemm_serial(Transpose::No, Transpose::No, m, n, k, 1.0, &a, &b, beta, &mut c_fast);
+            let mut c_ref = c0.clone();
+            crate::simd::with_scalar_kernels(|| with_standard_nest(|| {
+                gemm_serial(Transpose::No, Transpose::No, m, n, k, 1.0, &a, &b, beta, &mut c_ref);
+            }));
+            proptest::prop_assert_eq!(bits(&c_fast), bits(&c_ref));
+        }
+    }
+
     #[test]
     fn parallel_path_is_bit_identical_to_serial() {
         // Forced through a local pool regardless of host core count.
@@ -991,6 +1321,7 @@ mod tests {
             (19, 257, 130),
             (257, 257, 257),
             (70, 300, KC + 9),
+            (32, 600, 300), // skinny nest inside N-split band jobs
             (40, 40, 0),
         ] {
             let a = rand_vec(m * k, 6);
@@ -1124,6 +1455,60 @@ mod tests {
                 &naive(Transpose::No, Transpose::No, m, n, k, &a, &b),
                 1e-3,
             );
+        }
+    }
+
+    #[test]
+    fn pool_override_path_is_bit_identical_to_serial() {
+        // A partition-group GEMM (dispatch under `par::with_pool`) must
+        // produce exactly the serial result: with a multi-thread group
+        // pool via the banded parallel kernel, and with a single-thread
+        // group via serial fall-through (which must not wake the global
+        // pool — asserted indirectly by the zero-worker pool staying
+        // unspawned). Shape chosen above PAR_FLOPS so dispatch actually
+        // consults the override.
+        let (m, n, k) = (192, 192, 192);
+        assert!(gemm_flops(m, n, k) >= PAR_FLOPS);
+        let a = rand_vec(m * k, 70);
+        let b = rand_vec(k * n, 71);
+        let mut reference = vec![0.25; m * n];
+        gemm_serial(
+            Transpose::No,
+            Transpose::No,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            &b,
+            0.5,
+            &mut reference,
+        );
+        for workers in [0usize, 3] {
+            let group = std::sync::Arc::new(par::WorkerPool::new(workers));
+            let mut c = vec![0.25; m * n];
+            par::with_pool(&group, || {
+                gemm(
+                    Transpose::No,
+                    Transpose::No,
+                    m,
+                    n,
+                    k,
+                    1.0,
+                    &a,
+                    &b,
+                    0.5,
+                    &mut c,
+                );
+            });
+            for i in 0..m * n {
+                assert_eq!(
+                    reference[i].to_bits(),
+                    c[i].to_bits(),
+                    "workers={workers} i={i}"
+                );
+            }
+            assert_eq!(group.threads_spawned(), workers);
         }
     }
 

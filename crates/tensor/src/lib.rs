@@ -37,6 +37,7 @@ pub mod ops;
 pub mod par;
 pub mod rng;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
 pub use arena::{BufGrowth, ParamArena, ScratchPolicy, ScratchStats, Segment, TrainScratch};
@@ -46,4 +47,5 @@ pub use im2col::{col2im, im2col, Conv2dGeometry};
 pub use ops::*;
 pub use rng::Rng;
 pub use shape::Shape;
+pub use simd::{active_tier, with_scalar_kernels};
 pub use tensor::Tensor;

@@ -12,8 +12,19 @@
 //! contiguous element bands, so every element is written by exactly one
 //! thread with the same arithmetic as the serial loop — results are
 //! bit-identical at any thread count.
+//!
+//! The per-band bodies of the elastic updates (Equations 1, 2, 5/6, axpy
+//! and the Σ-form dilution) are the explicit-SIMD kernels of
+//! [`crate::simd`]: 16-lane AVX-512 bodies that apply the *exact* scalar
+//! operation tree (no FMA contraction), bit-identical to the scalar
+//! definitions — so the golden training digests pinned by the core crate
+//! are tier-independent. Note [`crate::with_scalar_kernels`] is
+//! per-thread: it pins the calling thread's dispatch, which covers every
+//! serial-path call; the parallel band path is separately pinned
+//! bit-identical to the serial loop by the band-split contract above.
 
 use crate::par;
+use crate::simd;
 
 /// Element count at and above which the mutating BLAS-1 kernels fan out
 /// over scoped threads. 1 Mi floats = 4 MiB per operand: below this a
@@ -27,7 +38,7 @@ pub const PAR_ELEMS: usize = 1 << 20;
 /// available.
 #[inline]
 fn should_par(n: usize) -> bool {
-    n >= PAR_ELEMS && par::max_threads() > 1
+    n >= PAR_ELEMS && par::current_threads() > 1
 }
 
 /// With `strict-invariants`, debug-asserts every element of `xs` is
@@ -52,16 +63,10 @@ pub(crate) fn debug_check_finite(_what: &str, _xs: &[f32]) {}
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy length mismatch");
     if should_par(y.len()) {
-        par::par_zip_mut(y, x, |yc, xc| axpy_band(alpha, xc, yc));
+        par::par_zip_mut(y, x, |yc, xc| simd::axpy_band(alpha, yc, xc));
         return;
     }
-    axpy_band(alpha, x, y);
-}
-
-fn axpy_band(alpha: f32, x: &[f32], y: &mut [f32]) {
-    for (yi, xi) in y.iter_mut().zip(x.iter()) {
-        *yi += alpha * xi;
-    }
+    simd::axpy_band(alpha, y, x);
 }
 
 /// `x *= alpha` (BLAS `scal`).
@@ -188,11 +193,7 @@ pub fn argmax(x: &[f32]) -> Option<usize> {
 pub fn elastic_worker_update(eta: f32, rho: f32, local: &mut [f32], grad: &[f32], center: &[f32]) {
     assert_eq!(local.len(), grad.len(), "elastic update length mismatch");
     assert_eq!(local.len(), center.len(), "elastic update length mismatch");
-    let band = |lc: &mut [f32], gc: &[f32], cc: &[f32]| {
-        for ((li, gi), ci) in lc.iter_mut().zip(gc).zip(cc) {
-            *li -= eta * (gi + rho * (*li - ci));
-        }
-    };
+    let band = |lc: &mut [f32], gc: &[f32], cc: &[f32]| simd::eq1_band(eta, rho, lc, gc, cc);
     if should_par(local.len()) {
         par::par_zip2_mut(local, grad, center, band);
     } else {
@@ -211,11 +212,7 @@ pub fn elastic_worker_update(eta: f32, rho: f32, local: &mut [f32], grad: &[f32]
 pub fn elastic_center_update(eta: f32, rho: f32, center: &mut [f32], local: &[f32]) {
     assert_eq!(center.len(), local.len(), "center update length mismatch");
     let c = eta * rho;
-    let band = |cc: &mut [f32], lc: &[f32]| {
-        for (ci, li) in cc.iter_mut().zip(lc) {
-            *ci += c * (li - *ci);
-        }
-    };
+    let band = |cc: &mut [f32], lc: &[f32]| simd::eq2_band(c, cc, lc);
     if should_par(center.len()) {
         par::par_zip_mut(center, local, band);
     } else {
@@ -267,11 +264,11 @@ pub fn elastic_momentum_update(
     assert_eq!(local.len(), grad.len(), "measgd update length mismatch");
     assert_eq!(local.len(), velocity.len(), "measgd update length mismatch");
     assert_eq!(local.len(), center.len(), "measgd update length mismatch");
+    // `η·ρ` premultiplied: `eta * rho * x` associates as `(eta·rho)·x`,
+    // so hoisting the product is bit-invisible.
+    let er = eta * rho;
     let band = |lc: &mut [f32], vc: &mut [f32], gc: &[f32], cc: &[f32]| {
-        for (((li, vi), gi), ci) in lc.iter_mut().zip(vc.iter_mut()).zip(gc).zip(cc) {
-            *vi = mu * *vi - eta * gi;
-            *li += *vi - eta * rho * (*li - ci);
-        }
+        simd::eq56_band(eta, mu, er, lc, vc, gc, cc)
     };
     if should_par(local.len()) {
         par::par_zip22_mut(local, velocity, grad, center, band);
@@ -322,18 +319,18 @@ pub fn elastic_exchange(
     let band = |lc: &mut [f32], oc: &mut [f32], gc: &[f32], cc: &[f32]| {
         // Capture-then-update per block: each element's captured value and
         // update read the identical pre-update weight, so the blocking is
-        // invisible to the FP result.
+        // invisible to the FP result. The update is exactly Equation (1),
+        // so it shares the Eq. 1 SIMD band kernel.
         for start in (0..lc.len()).step_by(EXCHANGE_BLOCK) {
             let end = (start + EXCHANGE_BLOCK).min(lc.len());
             oc[start..end].copy_from_slice(&lc[start..end]);
-            for ((li, gi), ci) in lc[start..end]
-                .iter_mut()
-                .zip(&gc[start..end])
-                .zip(&cc[start..end])
-            {
-                let w = *li;
-                *li = w - eta * (gi + rho * (w - ci));
-            }
+            simd::eq1_band(
+                eta,
+                rho,
+                &mut lc[start..end],
+                &gc[start..end],
+                &cc[start..end],
+            );
         }
     };
     if should_par(local.len()) {
@@ -360,11 +357,7 @@ pub fn center_dilution(eta: f32, rho: f32, center: &mut [f32], weight_sum: &[f32
     assert_eq!(center.len(), weight_sum.len(), "dilution length mismatch");
     let scale = eta * rho;
     let p = workers as f32;
-    let band = |cc: &mut [f32], sc: &[f32]| {
-        for (ci, si) in cc.iter_mut().zip(sc) {
-            *ci += scale * (si - p * *ci);
-        }
-    };
+    let band = |cc: &mut [f32], sc: &[f32]| simd::dilution_band(scale, p, cc, sc);
     if should_par(center.len()) {
         par::par_zip_mut(center, weight_sum, band);
     } else {
@@ -393,11 +386,8 @@ pub fn center_dilution_from(
     assert_eq!(center_t.len(), center_out.len(), "dilution length mismatch");
     let scale = eta * rho;
     let p = workers as f32;
-    let band = |oc: &mut [f32], tc: &[f32], sc: &[f32]| {
-        for ((oi, ti), si) in oc.iter_mut().zip(tc).zip(sc) {
-            *oi = ti + scale * (si - p * ti);
-        }
-    };
+    let band =
+        |oc: &mut [f32], tc: &[f32], sc: &[f32]| simd::dilution_from_band(scale, p, oc, tc, sc);
     if should_par(center_out.len()) {
         par::par_zip2_mut(center_out, center_t, weight_sum, band);
     } else {
@@ -546,6 +536,58 @@ mod tests {
         center_dilution_from(0.05, 0.3, &center_t, &weight_sum, 4, &mut fused);
         for i in 0..n {
             assert_eq!(fused[i].to_bits(), two_pass[i].to_bits(), "center[{i}]");
+        }
+    }
+
+    #[test]
+    fn elastic_updates_are_simd_tier_invariant() {
+        // Every elastic kernel must produce the same bits whether the
+        // AVX-512 band bodies or the scalar definitions run — this is
+        // what keeps the core crate's golden training digests stable
+        // across build targets. Length chosen to exercise the 16-lane
+        // vector body plus a ragged tail.
+        let n = 1003;
+        let grad: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+        let center: Vec<f32> = (0..n).map(|i| (i as f32 * 0.11).cos()).collect();
+        let start: Vec<f32> = (0..n).map(|i| 0.5 - (i % 17) as f32 * 0.03).collect();
+
+        type Apply = fn(&mut [f32], &mut [f32], &[f32], &[f32]);
+        let cases: &[(&str, Apply)] = &[
+            ("axpy", |l, _, g, _| axpy(0.37, g, l)),
+            ("eq1", |l, _, g, c| {
+                elastic_worker_update(0.05, 0.3, l, g, c)
+            }),
+            ("eq2", |l, _, _, c| elastic_center_update(0.05, 0.3, l, c)),
+            ("eq5_6", |l, v, g, c| {
+                elastic_momentum_update(0.05, 0.9, 0.3, l, v, g, c)
+            }),
+            ("exchange", |l, v, g, c| {
+                elastic_exchange(0.05, 0.3, l, v, g, c)
+            }),
+            ("dilution", |l, _, g, _| center_dilution(0.05, 0.3, l, g, 4)),
+            ("dilution_from", |l, v, g, _| {
+                center_dilution_from(0.05, 0.3, g, l, 4, v)
+            }),
+        ];
+        for (name, apply) in cases {
+            let mut l_fast = start.clone();
+            let mut v_fast = vec![0.25f32; n];
+            apply(&mut l_fast, &mut v_fast, &grad, &center);
+            let mut l_ref = start.clone();
+            let mut v_ref = vec![0.25f32; n];
+            crate::simd::with_scalar_kernels(|| apply(&mut l_ref, &mut v_ref, &grad, &center));
+            for i in 0..n {
+                assert_eq!(
+                    l_fast[i].to_bits(),
+                    l_ref[i].to_bits(),
+                    "{name} primary[{i}]"
+                );
+                assert_eq!(
+                    v_fast[i].to_bits(),
+                    v_ref[i].to_bits(),
+                    "{name} secondary[{i}]"
+                );
+            }
         }
     }
 

@@ -221,6 +221,151 @@ pub fn pool() -> &'static WorkerPool {
 }
 
 // ---------------------------------------------------------------------------
+// Per-thread pool override: the chip-partitioning seam (§6.2).
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// The pool installed by [`with_pool`] on this thread, if any.
+    static CURRENT_POOL: std::cell::RefCell<Option<Arc<WorkerPool>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Installs `pool` as the calling thread's compute pool for the duration
+/// of `f` (restored on return or unwind).
+///
+/// While installed, the pool-aware kernels resolve their parallelism
+/// against it instead of the process-global [`pool()`]: GEMM's parallel
+/// dispatch submits to this pool, and the band-split helpers size their
+/// splits by [`current_threads`]. This is how a KNL-style chip partition
+/// ([`PartitionedPool`]) confines each group's compute to the group's
+/// own threads — a group driver never touches the global pool, even for
+/// work past the parallel thresholds.
+pub fn with_pool<R>(pool: &Arc<WorkerPool>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<WorkerPool>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_POOL.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let prev = CURRENT_POOL.with(|c| c.borrow_mut().replace(pool.clone()));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The pool override installed by [`with_pool`] on this thread, if any.
+/// Kernels that submit owned jobs (GEMM) clone the handle; `None` means
+/// "use the process-global [`pool()`]".
+pub fn pool_override() -> Option<Arc<WorkerPool>> {
+    CURRENT_POOL.with(|c| c.borrow().clone())
+}
+
+/// Threads the calling thread's compute region should fan out over: the
+/// installed override's [`WorkerPool::threads`] when inside
+/// [`with_pool`], otherwise [`max_threads`]. The band-split helpers and
+/// the BLAS-1 parallel gates size against this, so a partition group
+/// never oversubscribes beyond its own share of the chip.
+pub fn current_threads() -> usize {
+    match pool_override() {
+        Some(p) => p.threads(),
+        None => max_threads(),
+    }
+}
+
+/// A KNL-style chip partition (§6.2): `G` NUMA-like groups, each owning
+/// a private [`WorkerPool`] — the thread-level analogue of splitting a
+/// 68-core chip into groups that each hold a replica of the data and
+/// weights in their own MCDRAM slice and only meet at a gradient
+/// reduction.
+///
+/// [`PartitionedPool::run`] drives one closure per group on its own
+/// scoped driver thread with the group's pool installed via
+/// [`with_pool`], so every tensor kernel the closure calls (GEMM, the
+/// banded elastic updates) parallelizes over that group's threads only.
+/// Groups therefore scale like independent small chips: no shared queue,
+/// no cross-group work stealing, communication only through whatever
+/// shared state the caller hands the closures.
+pub struct PartitionedPool {
+    groups: Vec<Arc<WorkerPool>>,
+}
+
+impl PartitionedPool {
+    /// A partition of the whole chip into `groups` groups, each with an
+    /// equal share of [`max_threads`] (at least one thread per group —
+    /// on small machines groups oversubscribe rather than disappear).
+    ///
+    /// # Panics
+    /// Panics if `groups == 0`.
+    pub fn new(groups: usize) -> Self {
+        assert!(groups > 0, "need at least one partition group");
+        Self::with_group_threads(groups, (max_threads() / groups).max(1))
+    }
+
+    /// A partition with an explicit per-group thread count.
+    ///
+    /// # Panics
+    /// Panics if `groups == 0` or `threads_per_group == 0`.
+    pub fn with_group_threads(groups: usize, threads_per_group: usize) -> Self {
+        assert!(groups > 0, "need at least one partition group");
+        assert!(threads_per_group > 0, "a group needs at least one thread");
+        Self {
+            groups: (0..groups)
+                .map(|_| Arc::new(WorkerPool::new(threads_per_group - 1)))
+                .collect(),
+        }
+    }
+
+    /// Number of groups in the partition.
+    pub fn groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Threads per group (workers + the group's driver thread).
+    pub fn group_threads(&self) -> usize {
+        self.groups.iter().map(|p| p.threads()).max().unwrap_or(1)
+    }
+
+    /// The pool of group `g`.
+    ///
+    /// # Panics
+    /// Panics if `g` is out of range.
+    pub fn group(&self, g: usize) -> &Arc<WorkerPool> {
+        &self.groups[g]
+    }
+
+    /// Runs `f(group_index)` once per group, each on its own driver
+    /// thread with the group's pool installed ([`with_pool`]). Returns
+    /// the results in group order.
+    ///
+    /// # Panics
+    /// Propagates the panic if any group closure panicked.
+    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .groups
+                .iter()
+                .enumerate()
+                .map(|(g, pool)| {
+                    let f = &f;
+                    let pool = pool.clone();
+                    s.spawn(move || with_pool(&pool, || f(g)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Scoped helpers for borrowed, memory-bound kernels.
 // ---------------------------------------------------------------------------
 
@@ -231,7 +376,7 @@ pub fn par_chunks_mut<F>(x: &mut [f32], f: F)
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
-    par_chunks_mut_bands(max_threads(), x, f);
+    par_chunks_mut_bands(current_threads(), x, f);
 }
 
 /// [`par_chunks_mut`] with an explicit band count instead of
@@ -264,7 +409,7 @@ pub fn par_zip_mut<F>(y: &mut [f32], x: &[f32], f: F)
 where
     F: Fn(&mut [f32], &[f32]) + Sync,
 {
-    par_zip_mut_bands(max_threads(), y, x, f);
+    par_zip_mut_bands(current_threads(), y, x, f);
 }
 
 /// [`par_zip_mut`] with an explicit band count (see
@@ -296,7 +441,7 @@ pub fn par_zip2_mut<F>(out: &mut [f32], a: &[f32], b: &[f32], f: F)
 where
     F: Fn(&mut [f32], &[f32], &[f32]) + Sync,
 {
-    par_zip2_mut_bands(max_threads(), out, a, b, f);
+    par_zip2_mut_bands(current_threads(), out, a, b, f);
 }
 
 /// [`par_zip2_mut`] with an explicit band count (see
@@ -335,7 +480,7 @@ pub fn par_zip21_mut<F>(y1: &mut [f32], y2: &mut [f32], a: &[f32], f: F)
 where
     F: Fn(&mut [f32], &mut [f32], &[f32]) + Sync,
 {
-    par_zip21_mut_bands(max_threads(), y1, y2, a, f);
+    par_zip21_mut_bands(current_threads(), y1, y2, a, f);
 }
 
 /// [`par_zip21_mut`] with an explicit band count (see
@@ -374,7 +519,7 @@ pub fn par_zip22_mut<F>(y1: &mut [f32], y2: &mut [f32], a: &[f32], b: &[f32], f:
 where
     F: Fn(&mut [f32], &mut [f32], &[f32], &[f32]) + Sync,
 {
-    par_zip22_mut_bands(max_threads(), y1, y2, a, b, f);
+    par_zip22_mut_bands(current_threads(), y1, y2, a, b, f);
 }
 
 /// [`par_zip22_mut`] with an explicit band count (see
@@ -662,5 +807,110 @@ mod tests {
         for i in 0..n {
             assert_eq!(out[i], a[i] - b[i]);
         }
+    }
+
+    #[test]
+    fn with_pool_overrides_current_threads_and_restores() {
+        assert!(pool_override().is_none());
+        assert_eq!(current_threads(), max_threads());
+        let p = Arc::new(WorkerPool::new(3));
+        let inner = with_pool(&p, || {
+            assert!(pool_override().is_some());
+            current_threads()
+        });
+        assert_eq!(inner, 4);
+        assert!(pool_override().is_none());
+        assert_eq!(current_threads(), max_threads());
+    }
+
+    #[test]
+    fn with_pool_nests_and_restores_outer_override() {
+        let outer = Arc::new(WorkerPool::new(1));
+        let nested = Arc::new(WorkerPool::new(5));
+        with_pool(&outer, || {
+            assert_eq!(current_threads(), 2);
+            let seen = with_pool(&nested, current_threads);
+            assert_eq!(seen, 6);
+            // The outer override must come back, not the global default.
+            assert_eq!(current_threads(), 2);
+        });
+        assert!(pool_override().is_none());
+    }
+
+    #[test]
+    fn with_pool_restores_on_unwind() {
+        let p = Arc::new(WorkerPool::new(2));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_pool(&p, || panic!("deliberate"));
+        }));
+        assert!(caught.is_err());
+        assert!(pool_override().is_none(), "override leaked past a panic");
+    }
+
+    #[test]
+    fn partitioned_pool_runs_groups_in_order_with_own_pools() {
+        let part = PartitionedPool::with_group_threads(4, 2);
+        assert_eq!(part.groups(), 4);
+        assert_eq!(part.group_threads(), 2);
+        let expected: Vec<usize> = (0..4)
+            .map(|g| Arc::as_ptr(part.group(g)) as usize)
+            .collect();
+        let out = part.run(|g| {
+            let installed = pool_override().map(|p| Arc::as_ptr(&p) as usize);
+            (g, installed, current_threads())
+        });
+        assert_eq!(out.len(), 4);
+        for (g, row) in out.iter().enumerate() {
+            assert_eq!(row.0, g, "results must come back in group order");
+            assert_eq!(
+                row.1,
+                Some(expected[g]),
+                "group {g} must see its own pool installed"
+            );
+            assert_eq!(row.2, 2, "group {g} threads");
+        }
+        // Distinct groups own distinct pools.
+        assert!(expected.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn single_thread_groups_run_inline() {
+        // A 1-thread group must never fan out: its pool has zero
+        // workers, so any submitted work runs on the driver thread.
+        let part = PartitionedPool::with_group_threads(3, 1);
+        let out = part.run(|_| {
+            assert_eq!(current_threads(), 1);
+            let p = pool_override().expect("override installed");
+            assert_eq!(p.threads_spawned(), 0);
+            p.run(vec![|| std::thread::current().name().map(str::to_string)])
+        });
+        for row in out {
+            // Driver threads are plain scoped threads (unnamed), never
+            // the global pool's named workers.
+            let name = row[0].clone().unwrap_or_default();
+            assert!(!name.starts_with("easgd-pool"), "leaked onto {name}");
+        }
+    }
+
+    #[test]
+    fn partitioned_pool_propagates_group_panic() {
+        let part = PartitionedPool::with_group_threads(2, 1);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            part.run(|g| {
+                if g == 1 {
+                    panic!("group failure");
+                }
+                g
+            })
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn equal_share_partition_never_drops_a_group() {
+        // More groups than cores: every group still gets one thread.
+        let part = PartitionedPool::new(max_threads() * 2);
+        assert_eq!(part.groups(), max_threads() * 2);
+        assert!(part.group_threads() >= 1);
     }
 }

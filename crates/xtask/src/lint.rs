@@ -4,9 +4,16 @@
 //! Eight rules, run over every workspace `.rs` file (see DESIGN.md
 //! §"Static analysis & invariants" for the rationale):
 //!
-//! 1. **no-unsafe** — the tree is `unsafe`-free and must stay that way
-//!    (also enforced at compile time via `unsafe_code = "forbid"`; this
-//!    pass catches it before a compile and inside cfg'd-out code).
+//! 1. **no-unsafe / simd-discipline** — the tree is `unsafe`-free and
+//!    must stay that way (also enforced at compile time via
+//!    `unsafe_code = "forbid"`; this pass catches it before a compile
+//!    and inside cfg'd-out code). The one sanctioned exception is the
+//!    explicit-SIMD microkernel module: files listed in
+//!    `crates/xtask/simd-allow.txt` may contain `unsafe`, but every
+//!    site must carry a `// SAFETY:` justification on the same line or
+//!    in the comment block directly above (the textual mirror of the
+//!    crate-level `clippy::undocumented_unsafe_blocks = "deny"`, so the
+//!    discipline also covers cfg'd-out tiers the compiler never sees).
 //! 2. **wall-clock** — `Instant::now`, `SystemTime` and `thread_rng`
 //!    must not appear in simulated-clock / deterministic code. Wall-clock
 //!    trainer files opt out with a `// xtask: allow(wall-clock)` pragma.
@@ -53,7 +60,10 @@
 //! [`lint_workspace`] additionally reports **stale-allow**: entries in
 //! `crates/xtask/lint-allow.txt` that no longer name an existing file —
 //! a dead exemption that would silently re-admit `unwrap` if the path
-//! ever came back.
+//! ever came back — and entries in `crates/xtask/simd-allow.txt` that
+//! name a missing file *or* a file that no longer contains any `unsafe`
+//! (an exemption with nothing left to exempt would silently sanction
+//! future unsafe).
 //!
 //! The pass works on a *stripped* view of each file — comments, string
 //! and char literals blanked out — so tokens inside comments or strings
@@ -411,6 +421,19 @@ fn step_fn_spans(stripped_lines: &[&str]) -> Vec<(usize, usize)> {
 /// Lints one file's source. `hot_path` enables the no-unwrap rule (the
 /// caller has already applied the allowlist).
 pub fn lint_source(file: &str, source: &str, hot_path: bool) -> Vec<Finding> {
+    lint_source_with(file, source, hot_path, false)
+}
+
+/// [`lint_source`] with the simd-discipline switch: `simd_exempt` marks
+/// a file listed in `crates/xtask/simd-allow.txt`, where `unsafe` is
+/// sanctioned but every site must carry a `// SAFETY:` justification
+/// (rule 1 then reports `simd-discipline` instead of `no-unsafe`).
+pub fn lint_source_with(
+    file: &str,
+    source: &str,
+    hot_path: bool,
+    simd_exempt: bool,
+) -> Vec<Finding> {
     let stripped = strip_comments_and_strings(source);
     let raw_lines: Vec<&str> = source.lines().collect();
     let stripped_lines: Vec<&str> = stripped.lines().collect();
@@ -432,14 +455,30 @@ pub fn lint_source(file: &str, source: &str, hot_path: bool) -> Vec<Finding> {
     for (idx, sline) in stripped_lines.iter().enumerate() {
         let lineno = idx + 1;
 
-        // Rule 1: no-unsafe.
+        // Rule 1: no-unsafe / simd-discipline. In a simd-allowlisted
+        // file each `unsafe` site needs a `// SAFETY:` justification;
+        // everywhere else `unsafe` is banned outright.
         if has_token(sline, "unsafe") {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: lineno,
-                rule: "no-unsafe",
-                message: "`unsafe` is banned workspace-wide (the tree is unsafe-free)".to_string(),
-            });
+            if !simd_exempt {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: lineno,
+                    rule: "no-unsafe",
+                    message: "`unsafe` is banned workspace-wide (the tree is unsafe-free); \
+                              only the explicit-SIMD microkernel files in \
+                              crates/xtask/simd-allow.txt are exempt"
+                        .to_string(),
+                });
+            } else if !comment_justified(&raw_lines, idx, "SAFETY:") {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: lineno,
+                    rule: "simd-discipline",
+                    message: "`unsafe` in a simd-allowlisted file without a `// SAFETY:` \
+                              justification (same line or the comment block directly above)"
+                        .to_string(),
+                });
+            }
         }
 
         // Rule 2: wall-clock / nondeterminism sources.
@@ -829,7 +868,11 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
     let allow_path = root.join("crates/xtask/lint-allow.txt");
     let allow_text = fs::read_to_string(&allow_path).unwrap_or_default();
     let allow = parse_allowlist(&allow_text);
+    let simd_allow_text =
+        fs::read_to_string(root.join("crates/xtask/simd-allow.txt")).unwrap_or_default();
+    let simd_allow = parse_allowlist(&simd_allow_text);
     let mut findings = stale_allow_findings(root, &allow_text);
+    findings.extend(stale_simd_allow_findings(root, &simd_allow_text));
     let mut files = Vec::new();
     collect_rs(root, &mut files)?;
     files.sort();
@@ -842,7 +885,12 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
         let source =
             fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
         let hot = is_hot_path(&rel) && !allow.contains(rel.as_str());
-        findings.extend(lint_source(&rel, &source, hot));
+        findings.extend(lint_source_with(
+            &rel,
+            &source,
+            hot,
+            simd_allow.contains(rel.as_str()),
+        ));
     }
     findings.sort_by(|a, b| {
         a.file
@@ -873,6 +921,46 @@ fn stale_allow_findings(root: &Path, allow_text: &str) -> Vec<Finding> {
                 ),
             });
         }
+    }
+    findings
+}
+
+/// `stale-allow` findings for `simd-allow.txt`: entries naming a missing
+/// file, or a file that no longer contains any `unsafe` token — either
+/// way the exemption is dead and would silently sanction future unsafe
+/// (line numbers refer to `simd-allow.txt` itself).
+fn stale_simd_allow_findings(root: &Path, allow_text: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, line) in allow_text.lines().enumerate() {
+        let entry = line.split('#').next().unwrap_or("").trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let path = root.join(entry);
+        let message = match fs::read_to_string(&path) {
+            Err(_) => format!(
+                "simd allowlist entry `{entry}` names a file that no longer exists; \
+                 remove the dead exemption"
+            ),
+            Ok(source) => {
+                let still_unsafe = strip_comments_and_strings(&source)
+                    .lines()
+                    .any(|l| has_token(l, "unsafe"));
+                if still_unsafe {
+                    continue;
+                }
+                format!(
+                    "simd allowlist entry `{entry}` no longer contains `unsafe`; \
+                     remove the stale exemption so it cannot silently re-admit unsafe"
+                )
+            }
+        };
+        findings.push(Finding {
+            file: "crates/xtask/simd-allow.txt".to_string(),
+            line: idx + 1,
+            rule: "stale-allow",
+            message,
+        });
     }
     findings
 }
@@ -916,6 +1004,50 @@ mod tests {
     fn no_unsafe_ignores_comments_strings_and_identifiers() {
         let src = "// unsafe\nlet s = \"unsafe\";\nlet unsafe_like = 1;\n";
         assert!(lint_source("x.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn simd_exempt_file_requires_safety_justification() {
+        // Unjustified unsafe in an allowlisted file: simd-discipline,
+        // not no-unsafe.
+        let bare = "fn f() { unsafe { core::arch::x86_64::_mm_sfence() } }";
+        let f = lint_source_with("crates/tensor/src/simd.rs", bare, true, true);
+        assert!(f.iter().any(|f| f.rule == "simd-discipline"), "{f:?}");
+        assert!(f.iter().all(|f| f.rule != "no-unsafe"), "{f:?}");
+        // A SAFETY comment on the same line or directly above satisfies it.
+        let same_line = "fn f() { unsafe { x() } } // SAFETY: lanes bounded by the assert above";
+        assert!(lint_source_with("s.rs", same_line, false, true).is_empty());
+        let above = "// SAFETY: pointer stays inside the packed panel.\nfn f() { unsafe { x() } }";
+        assert!(lint_source_with("s.rs", above, false, true).is_empty());
+    }
+
+    #[test]
+    fn simd_exemption_does_not_leak_to_other_files() {
+        let src = "fn f() { unsafe {} }";
+        let f = lint_source_with("crates/tensor/src/gemm.rs", src, true, false);
+        assert!(f.iter().any(|f| f.rule == "no-unsafe"), "{f:?}");
+    }
+
+    #[test]
+    fn stale_simd_allow_reports_missing_and_unsafe_free_entries() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root");
+        // Line 1: the real simd module (live exemption — no finding).
+        // Line 2: a file with no unsafe (stale). Line 3: missing (stale).
+        let text =
+            "crates/tensor/src/simd.rs\ncrates/xtask/src/lint.rs\ncrates/gone/src/never.rs\n";
+        let f = stale_simd_allow_findings(root, text);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "stale-allow"));
+        assert_eq!(f[0].line, 2);
+        assert!(
+            f[0].message.contains("no longer contains `unsafe`"),
+            "{f:?}"
+        );
+        assert_eq!(f[1].line, 3);
+        assert!(f[1].message.contains("no longer exists"), "{f:?}");
     }
 
     #[test]
