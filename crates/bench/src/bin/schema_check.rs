@@ -1,0 +1,34 @@
+//! Validates every checked-in `BENCH_*.json` against the pinned
+//! registry in [`easgd_bench::schema`].
+//!
+//! ```text
+//! cargo run --release -p easgd-bench --bin schema_check            # repo root
+//! cargo run --release -p easgd-bench --bin schema_check -- --root p
+//! ```
+//!
+//! Runs in every smoke leg of `scripts/check.sh`: a bench refactor that
+//! renames an acceptance key, drops a file, or emits a truncated
+//! artifact fails the per-push gate here, not at the next full bench
+//! regeneration.
+
+use easgd_bench::{arg_value, schema};
+use std::path::PathBuf;
+
+fn main() {
+    let root = arg_value("--root")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")));
+    let errors = schema::validate_all(&root);
+    if errors.is_empty() {
+        println!(
+            "schema check ok: {} artifacts conform under {}",
+            schema::SCHEMAS.len(),
+            root.display()
+        );
+        return;
+    }
+    for e in &errors {
+        eprintln!("schema check: {e}");
+    }
+    std::process::exit(1);
+}

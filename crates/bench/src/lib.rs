@@ -16,12 +16,16 @@
 //! | `--bin fig12`    | Figure 12 (KNL chip partitioning) |
 //! | `--bin fig13`    | Figure 13 (more machines + more data) |
 //! | `--bin table4`   | Table 4 (weak scaling vs Intel Caffe) |
+//! | `--bin serve`    | `BENCH_serve.json` (micro-batching latency/QPS) |
+//! | `--bin schema_check` | validates every checked-in `BENCH_*.json` |
 //!
 //! Criterion benches (`cargo bench -p easgd-bench`): `gemm`,
 //! `collectives`, `packed_comm`, `hogwild`, `elastic_update`.
 //!
 //! This library hosts the pieces the binaries share: the standard
 //! experiment task, iteration sweeps, and table printers.
+
+pub mod schema;
 
 use easgd::metrics::RunResult;
 use easgd_data::{Dataset, SyntheticSpec};

@@ -84,12 +84,13 @@ pub struct Conv2d {
     grad_col: Vec<f32>,
 }
 
-/// Sizes a per-sample buffer list to `b` slots without dropping the
-/// capacity already accumulated in retained slots.
+/// Sizes a per-sample buffer list to at least `b` slots. Grow-only:
+/// shrinking batches (ragged serving dispatches alternate sizes) keep
+/// the extra slots and their accumulated capacity, so a later return to
+/// the larger batch reuses them instead of re-allocating. Callers
+/// iterate only the first `b` slots.
 fn ensure_slots(cache: &mut Vec<Vec<f32>>, b: usize) {
-    if cache.len() > b {
-        cache.truncate(b);
-    } else {
+    if cache.len() < b {
         cache.resize_with(b, Vec::new);
     }
 }
@@ -204,7 +205,7 @@ impl Conv2d {
         );
 
         ensure_slots(&mut self.col_cache, b);
-        for col in &mut self.col_cache {
+        for col in self.col_cache.iter_mut().take(b) {
             scratch.ensure_f32(col, rows * cols);
         }
 
@@ -245,7 +246,7 @@ impl Conv2d {
                 self.y_cache[s] = y;
             }
         } else {
-            for (s, col) in self.col_cache.iter_mut().enumerate() {
+            for (s, col) in self.col_cache.iter_mut().take(b).enumerate() {
                 let image = &input.as_slice()[s * in_len..(s + 1) * in_len];
                 let y = &mut out.as_mut_slice()[s * out_len..(s + 1) * out_len];
                 sample_forward(&self.geom, self.out_channels, w, bias, image, col, y);
@@ -305,11 +306,18 @@ impl Layer for Conv2d {
         grad_in: &mut Tensor,
         scratch: &mut TrainScratch,
     ) {
-        let b = self.col_cache.len();
-        assert!(b > 0, "backward called before forward");
         let (rows, cols) = (self.geom.col_rows(), self.geom.col_cols());
         let out_len = self.output_len();
+        // The slot list is grow-only, so its length is the *largest*
+        // batch seen, not necessarily the last one — take the batch from
+        // the gradient itself.
+        let b = grad_out.len() / out_len;
+        assert!(b > 0, "backward called before forward");
         assert_eq!(grad_out.len(), b * out_len, "grad_out shape mismatch");
+        assert!(
+            self.col_cache.len() >= b,
+            "backward batch exceeds cached forward panels"
+        );
         let in_len = self.geom.input_len();
         let w = params.segment(self.w_seg);
 

@@ -1,7 +1,7 @@
 //! Fully-connected layer.
 
 use crate::layer::{batch_of, Init, Layer, ParamSpec};
-use easgd_tensor::{gemm, ParamArena, Tensor, TrainScratch, Transpose};
+use easgd_tensor::{gemm, gemm_rowstable, ParamArena, Tensor, TrainScratch, Transpose};
 
 /// Fully-connected (inner-product) layer: `Y = X·Wᵀ + b`.
 ///
@@ -80,7 +80,7 @@ impl Layer for Dense {
         &mut self,
         params: &ParamArena,
         input: &Tensor,
-        _train: bool,
+        train: bool,
         out: &mut Tensor,
         scratch: &mut TrainScratch,
     ) {
@@ -97,8 +97,12 @@ impl Layer for Dense {
         let bias = params.segment(self.b_seg);
         scratch.shape_tensor(out, &[b, self.out_features]);
         // Y[B,out] = X[B,in] · Wᵀ  (W stored [out,in]; β = 0 never reads
-        // the reused buffer, so no zeroing is needed)
-        gemm(
+        // the reused buffer, so no zeroing is needed). Eval mode picks
+        // the kernel per row (`gemm_rowstable`) so a sample's logits are
+        // bit-identical at any serving batch size; training keeps the
+        // total-flops dispatch that the golden traces pin.
+        let mm = if train { gemm } else { gemm_rowstable };
+        mm(
             Transpose::No,
             Transpose::Yes,
             b,

@@ -10,7 +10,8 @@ use crate::loss::SoftmaxCrossEntropy;
 use crate::lrn::LocalResponseNorm;
 use crate::pool::{AvgPool2d, MaxPool2d};
 use easgd_tensor::{
-    Conv2dGeometry, ParamArena, Rng, ScratchPolicy, ScratchStats, Tensor, TrainScratch,
+    Conv2dGeometry, InferScratch, ParamArena, Rng, ScratchPolicy, ScratchStats, Tensor,
+    TrainScratch,
 };
 
 /// Statistics of one training step.
@@ -368,6 +369,12 @@ impl Network {
     /// allocations (DESIGN.md §11) while remaining bit-identical to the
     /// allocating shims.
     pub fn forward_backward(&mut self, x: &Tensor, labels: &[usize]) -> StepStats {
+        assert_eq!(
+            self.grads.len(),
+            self.params.len(),
+            "forward_backward on a gradient-stripped inference replica \
+             (see strip_gradients)"
+        );
         let mut ping = self.scratch.take_ping();
         let mut pong = self.scratch.take_pong();
         let mut probs = self.scratch.take_probs();
@@ -442,6 +449,83 @@ impl Network {
         let stats = self.forward_backward(&x, labels);
         self.scratch.put_batch(x);
         stats
+    }
+
+    /// Forward-only inference on a batch `[B, …input_shape]`, writing
+    /// logits `[B, classes]` into `logits` — the pooled counterpart of
+    /// the allocating [`forward`](Self::forward) shim, in eval mode
+    /// (`train = false`: dropout is the identity and consumes no RNG
+    /// draws, batch normalization uses running statistics).
+    ///
+    /// All transient buffers are sized through the caller's
+    /// [`InferScratch`], not the network's training scratch, so an
+    /// inference session carries its replica state (network clone +
+    /// scratch) and reaches a zero-allocations-per-request steady state
+    /// after one warm-up batch per distinct batch size. Outputs are
+    /// bit-identical to `forward(x, false)`.
+    pub fn infer_into(&mut self, x: &Tensor, logits: &mut Tensor, scratch: &mut InferScratch) {
+        let s = scratch.train_scratch();
+        let mut ping = s.take_ping();
+        let mut pong = s.take_pong();
+        let mut first = true;
+        for layer in &mut self.layers {
+            if first {
+                layer.forward_into(&self.params, x, false, &mut pong, s);
+                first = false;
+            } else {
+                std::mem::swap(&mut ping, &mut pong);
+                layer.forward_into(&self.params, &ping, false, &mut pong, s);
+            }
+        }
+        if first {
+            // Layer-less network: the logits are the input itself.
+            s.shape_tensor(&mut pong, x.shape().dims());
+            pong.as_mut_slice().copy_from_slice(x.as_slice());
+        }
+        s.shape_tensor(logits, pong.shape().dims());
+        logits.as_mut_slice().copy_from_slice(pong.as_slice());
+        s.put_ping(ping);
+        s.put_pong(pong);
+    }
+
+    /// [`infer_into`](Self::infer_into) over a flat pixel buffer (the
+    /// decoded form of a serving request batch): shapes the scratch's
+    /// batch tensor to `[batch, …input_shape]`, copies the pixels in,
+    /// and runs the forward-only path — no per-call tensor allocation
+    /// once warm.
+    ///
+    /// # Panics
+    /// Panics if `pixels.len()` disagrees with `batch` samples.
+    pub fn infer_from_slice(
+        &mut self,
+        batch: usize,
+        pixels: &[f32],
+        logits: &mut Tensor,
+        scratch: &mut InferScratch,
+    ) {
+        let per: usize = self.input_shape.iter().product();
+        assert_eq!(
+            pixels.len(),
+            batch * per,
+            "flat batch length mismatch: {} pixels for {batch} samples of {per}",
+            pixels.len()
+        );
+        let mut x = scratch.train_scratch().take_batch();
+        self.batch_dims[0] = batch;
+        scratch
+            .train_scratch()
+            .shape_tensor(&mut x, &self.batch_dims);
+        x.as_mut_slice().copy_from_slice(pixels);
+        self.infer_into(&x, logits, scratch);
+        scratch.train_scratch().put_batch(x);
+    }
+
+    /// Drops the gradient arena (replacing it with an empty one) so a
+    /// dedicated inference replica carries zero backward/gradient
+    /// storage — halving replica memory next to the packed parameters.
+    /// A stripped replica must not train: `forward_backward` panics.
+    pub fn strip_gradients(&mut self) {
+        self.grads = ParamArena::flat(0);
     }
 
     /// Allocation counters of the pooled step scratch. A warmed-up
@@ -628,5 +712,64 @@ mod tests {
     #[should_panic(expected = "flatten")]
     fn dense_requires_flat_input() {
         let _ = NetworkBuilder::new([1, 4, 4]).dense(10);
+    }
+
+    #[test]
+    fn infer_into_matches_allocating_forward_bitwise() {
+        let mut net = tiny_net();
+        let mut rng = Rng::new(11);
+        let mut x = Tensor::zeros([3, 1, 6, 6]);
+        rng.fill_normal(x.as_mut_slice(), 0.0, 1.0);
+        let reference = net.forward(&x, false);
+        let mut scratch = InferScratch::new();
+        let mut logits = Tensor::default();
+        net.infer_into(&x, &mut logits, &mut scratch);
+        assert_eq!(logits.shape().dims(), reference.shape().dims());
+        for (a, b) in logits.as_slice().iter().zip(reference.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn infer_from_slice_is_zero_alloc_once_warm() {
+        let mut net = tiny_net();
+        let mut rng = Rng::new(12);
+        let per: usize = net.input_shape().iter().product();
+        let mut pixels = vec![0.0f32; 4 * per];
+        rng.fill_normal(&mut pixels, 0.0, 1.0);
+        let mut scratch = InferScratch::new();
+        let mut logits = Tensor::default();
+        // Warm-up at both batch sizes the window replays.
+        net.infer_from_slice(4, &pixels, &mut logits, &mut scratch);
+        net.infer_from_slice(1, &pixels[..per], &mut logits, &mut scratch);
+        let warm = scratch.stats();
+        for _ in 0..3 {
+            net.infer_from_slice(4, &pixels, &mut logits, &mut scratch);
+            net.infer_from_slice(1, &pixels[..per], &mut logits, &mut scratch);
+        }
+        let delta = scratch.stats().since(&warm);
+        assert_eq!(delta.allocations(), 0, "steady-state inference allocated");
+        assert!(delta.reused > 0, "counters saw no requests");
+    }
+
+    #[test]
+    fn stripped_replica_still_infers() {
+        let mut net = tiny_net();
+        let x = Tensor::full([2, 1, 6, 6], 0.25);
+        let reference = net.forward(&x, false);
+        net.strip_gradients();
+        let mut scratch = InferScratch::new();
+        let mut logits = Tensor::default();
+        net.infer_into(&x, &mut logits, &mut scratch);
+        assert_eq!(logits.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient-stripped")]
+    fn stripped_replica_cannot_train() {
+        let mut net = tiny_net();
+        net.strip_gradients();
+        let x = Tensor::zeros([1, 1, 6, 6]);
+        let _ = net.forward_backward(&x, &[0]);
     }
 }

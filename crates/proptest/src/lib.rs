@@ -11,6 +11,7 @@
 //! * `proptest! { #[test] fn name(x in strategy, ...) { ... } }`
 //! * `prop_assert!`, `prop_assert_eq!`, `prop_assume!`
 //! * Range strategies over the numeric types the tests use
+//! * Tuples of strategies (2–4 elements), sampled left to right
 //! * `proptest::collection::vec(elem, len)` with fixed or ranged length
 //! * `prop::bool::ANY`
 
@@ -67,6 +68,22 @@ pub mod strategy {
             self.start + rng.unit_f64() * (self.end - self.start)
         }
     }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident/$idx:tt),+)),*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy!(
+        (A / 0, B / 1),
+        (A / 0, B / 1, C / 2),
+        (A / 0, B / 1, C / 2, D / 3)
+    );
 
     /// Strategy for `prop::bool::ANY`.
     #[derive(Copy, Clone, Debug)]
@@ -258,6 +275,8 @@ mod tests {
             let v = collection::vec(0u64..5, 2usize..6).sample(&mut rng);
             assert!((2..6).contains(&v.len()));
             assert!(v.iter().all(|x| *x < 5));
+            let (p, q) = (1u64..4, 10usize..12).sample(&mut rng);
+            assert!((1..4).contains(&p) && (10..12).contains(&q));
         }
     }
 

@@ -1,0 +1,163 @@
+//! Deterministic open-loop arrival processes.
+//!
+//! Open-loop means requests arrive on their own schedule, independent
+//! of how fast the server drains them — the honest way to measure tail
+//! latency (a closed loop self-throttles and hides queueing). All three
+//! processes are driven by logical microseconds and the repo's seeded
+//! xorshift RNG, so a load trace is a pure function of its parameters.
+
+use easgd_tensor::Rng;
+
+/// An open-loop arrival process over logical microseconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Arrival {
+    /// Evenly spaced: one request every `period_us`.
+    Uniform {
+        /// Gap between consecutive requests (µs).
+        period_us: u64,
+    },
+    /// Poisson: independent exponential gaps with mean `mean_gap_us`,
+    /// drawn from the seeded xorshift generator and rounded to ≥ 1 µs.
+    Poisson {
+        /// Mean inter-arrival gap (µs).
+        mean_gap_us: f64,
+        /// RNG seed; equal seeds give bit-equal traces.
+        seed: u64,
+    },
+    /// `size` simultaneous requests, then silence for `gap_us` — the
+    /// adversarial case for a coalescing batcher (same-instant arrivals
+    /// across shards exercise the `(time, shard)` tie-break).
+    Burst {
+        /// Requests per burst instant.
+        size: u32,
+        /// Gap between burst instants (µs).
+        gap_us: u64,
+    },
+}
+
+impl Arrival {
+    /// Short label for tables and JSON (`uniform` / `poisson` / `burst`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Arrival::Uniform { .. } => "uniform",
+            Arrival::Poisson { .. } => "poisson",
+            Arrival::Burst { .. } => "burst",
+        }
+    }
+
+    /// Mean request rate in requests per second.
+    pub fn rate_per_s(&self) -> f64 {
+        match *self {
+            Arrival::Uniform { period_us } => 1e6 / period_us.max(1) as f64,
+            Arrival::Poisson { mean_gap_us, .. } => 1e6 / mean_gap_us.max(1.0),
+            Arrival::Burst { size, gap_us } => f64::from(size.max(1)) * 1e6 / gap_us.max(1) as f64,
+        }
+    }
+
+    /// An infinite arrival-timestamp generator starting at `start_us`.
+    pub fn timestamps(self, start_us: u64) -> ArrivalGen {
+        let seed = match self {
+            Arrival::Poisson { seed, .. } => seed,
+            _ => 0,
+        };
+        ArrivalGen {
+            kind: self,
+            rng: Rng::new(seed),
+            next_us: start_us,
+            burst_emitted: 0,
+        }
+    }
+}
+
+/// Infinite iterator of arrival timestamps (µs), monotone non-decreasing
+/// and deterministic per seed.
+#[derive(Debug)]
+pub struct ArrivalGen {
+    kind: Arrival,
+    rng: Rng,
+    next_us: u64,
+    burst_emitted: u32,
+}
+
+impl Iterator for ArrivalGen {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let t = self.next_us;
+        match self.kind {
+            Arrival::Uniform { period_us } => {
+                self.next_us += period_us.max(1);
+            }
+            Arrival::Poisson { mean_gap_us, .. } => {
+                // Inverse-CDF exponential; uniform() < 1 strictly, so the
+                // log argument stays positive.
+                let u = f64::from(self.rng.uniform());
+                let gap = -mean_gap_us * (1.0 - u).ln();
+                self.next_us += gap.round().max(1.0) as u64;
+            }
+            Arrival::Burst { size, gap_us } => {
+                self.burst_emitted += 1;
+                if self.burst_emitted >= size.max(1) {
+                    self.burst_emitted = 0;
+                    self.next_us += gap_us.max(1);
+                }
+            }
+        }
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_evenly_spaced() {
+        let ts: Vec<u64> = Arrival::Uniform { period_us: 250 }
+            .timestamps(10)
+            .take(4)
+            .collect();
+        assert_eq!(ts, vec![10, 260, 510, 760]);
+    }
+
+    #[test]
+    fn poisson_is_seed_deterministic_and_monotone() {
+        let p = Arrival::Poisson {
+            mean_gap_us: 200.0,
+            seed: 7,
+        };
+        let a: Vec<u64> = p.timestamps(0).take(200).collect();
+        let b: Vec<u64> = p.timestamps(0).take(200).collect();
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "gaps are >= 1 µs");
+        // Mean gap lands near the parameter (law of large numbers at n=200,
+        // very loose bounds).
+        let mean = (a[199] - a[0]) as f64 / 199.0;
+        assert!((50.0..800.0).contains(&mean), "mean gap {mean}");
+    }
+
+    #[test]
+    fn burst_emits_simultaneous_arrivals() {
+        let ts: Vec<u64> = Arrival::Burst {
+            size: 3,
+            gap_us: 1000,
+        }
+        .timestamps(5)
+        .take(7)
+        .collect();
+        assert_eq!(ts, vec![5, 5, 5, 1005, 1005, 1005, 2005]);
+    }
+
+    #[test]
+    fn rates_match_parameters() {
+        assert_eq!(Arrival::Uniform { period_us: 250 }.rate_per_s(), 4000.0);
+        assert_eq!(
+            Arrival::Burst {
+                size: 4,
+                gap_us: 1000
+            }
+            .rate_per_s(),
+            4000.0
+        );
+    }
+}

@@ -1,0 +1,414 @@
+//! The serving engine: event-ordered dispatch of closed batches onto
+//! per-shard replica servers, on deterministic logical time.
+//!
+//! The engine is the referee between the batcher's two close triggers
+//! and the shards' servers. Its dispatch log is a **total order by
+//! `(ready time, shard id)`**: a batch that closed earlier always
+//! dispatches earlier, and batches closing at the same logical instant
+//! (e.g. burst arrivals cap-filling several shards at once) dispatch in
+//! shard-id order. The property tests in `tests/batcher_props.rs` hold
+//! the engine to exactly that order.
+//!
+//! Mechanism: closed batches are *staged*, not dispatched inline.
+//! Whenever driver time advances past a staged batch's ready time, the
+//! stage is stable-sorted by `(ready, shard)` and the strictly-older
+//! prefix is flushed. Same-instant closes therefore accumulate in the
+//! stage until the clock moves, and leave it in shard order.
+//!
+//! Time: the driver feeds logical microseconds (`u64`); each shard owns
+//! a [`SimClock`] *ticking in microseconds* (the clock is unit-agnostic
+//! f64). A dispatch idles the shard clock to the batch's ready time
+//! (`TimeCategory::Other`), then charges the pinned
+//! [`ServiceModel::step_us`] as `TimeCategory::ForwardBackward` — the
+//! same Table 3 accounting the cluster simulator uses for training.
+
+use crate::batcher::{add_stats, Batch, Batcher, BatcherConfig};
+use crate::service::ServiceModel;
+use easgd_cluster::{SimClock, TimeCategory};
+use easgd_tensor::{ScratchStats, TrainScratch};
+
+/// Where dispatched batches run: real sharded replicas
+/// ([`crate::ReplicaSet`]) or the modeled-only [`NullBackend`].
+pub trait Backend {
+    /// Runs one ragged batch. `pixels` packs the batch's request
+    /// payloads contiguously, `batch.len() × sample_len` elements.
+    fn run_batch(&mut self, shard: usize, batch: &Batch, pixels: &[f32]);
+
+    /// Pooled allocation counters attributable to the backend.
+    fn stats(&self) -> ScratchStats {
+        ScratchStats::default()
+    }
+}
+
+/// A backend that runs nothing: latency and allocation behaviour of the
+/// batching layer alone, under the service model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullBackend;
+
+impl Backend for NullBackend {
+    fn run_batch(&mut self, _shard: usize, _batch: &Batch, _pixels: &[f32]) {}
+}
+
+/// One finished request, for latency accounting.
+#[derive(Clone, Copy, Debug)]
+pub struct Completion {
+    /// Request id (submission order).
+    pub id: u64,
+    /// Shard that served it.
+    pub shard: usize,
+    /// Arrival time (µs).
+    pub arrival_us: u64,
+    /// Completion time (µs, fractional under the service model).
+    pub done_us: f64,
+}
+
+impl Completion {
+    /// End-to-end latency: queueing + batching delay + service (µs).
+    pub fn latency_us(&self) -> f64 {
+        self.done_us - self.arrival_us as f64
+    }
+}
+
+/// One dispatched batch, for order/fairness auditing.
+#[derive(Clone, Copy, Debug)]
+pub struct DispatchRecord {
+    /// Shard the batch belonged to.
+    pub shard: usize,
+    /// When the batch closed (µs).
+    pub ready_us: u64,
+    /// Ragged batch size.
+    pub size: usize,
+    /// When the shard's server started it (µs; ≥ `ready_us`).
+    pub start_us: f64,
+    /// When the server finished it (µs).
+    pub done_us: f64,
+}
+
+/// The micro-batching serve engine. See the module docs.
+#[derive(Debug)]
+pub struct ServeEngine<B> {
+    batcher: Batcher,
+    model: ServiceModel,
+    backend: B,
+    /// Per-shard server clocks, ticking in logical microseconds.
+    clocks: Vec<SimClock>,
+    /// Closed-but-undispatched batches; flushed in `(ready, shard)` order.
+    staged: Vec<Batch>,
+    /// Contiguous pixel slab handed to the backend (pooled, counted).
+    staging: Vec<f32>,
+    staging_scratch: TrainScratch,
+    completions: Vec<Completion>,
+    dispatches: Vec<DispatchRecord>,
+    now_us: u64,
+}
+
+impl<B: Backend> ServeEngine<B> {
+    /// An idle engine at t = 0.
+    pub fn new(cfg: BatcherConfig, model: ServiceModel, backend: B) -> Self {
+        Self {
+            clocks: (0..cfg.shards).map(|_| SimClock::new()).collect(),
+            batcher: Batcher::new(cfg),
+            model,
+            backend,
+            staged: Vec::new(),
+            staging: Vec::new(),
+            staging_scratch: TrainScratch::default(),
+            completions: Vec::new(),
+            dispatches: Vec::new(),
+            now_us: 0,
+        }
+    }
+
+    /// The batcher configuration.
+    pub fn config(&self) -> BatcherConfig {
+        self.batcher.config()
+    }
+
+    /// The pinned service model.
+    pub fn model(&self) -> ServiceModel {
+        self.model
+    }
+
+    /// Pre-sizes the completion and dispatch logs so a measured run's
+    /// bookkeeping stays off the allocator.
+    pub fn reserve(&mut self, requests: usize) {
+        self.completions.reserve(requests);
+        self.dispatches.reserve(requests);
+        self.staged.reserve(self.batcher.config().shards);
+    }
+
+    /// Submits a request arriving at `now_us` on `shard`; `fill` writes
+    /// its payload into a pooled buffer. Fires every deadline due by
+    /// `now_us` first (deadline closes precede a same-instant arrival),
+    /// then dispatches everything that closed strictly earlier. Returns
+    /// the request id.
+    ///
+    /// # Panics
+    /// Panics if time runs backwards or `shard` is out of range.
+    pub fn submit(&mut self, now_us: u64, shard: usize, fill: &mut dyn FnMut(&mut [f32])) -> u64 {
+        self.advance(now_us);
+        let (id, closed) = self.batcher.submit(now_us, shard, fill);
+        if let Some(batch) = closed {
+            self.staged.push(batch);
+        }
+        id
+    }
+
+    /// Moves driver time forward to `now_us` with no arrival: fires due
+    /// deadlines and dispatches batches that closed strictly earlier.
+    ///
+    /// # Panics
+    /// Panics if `now_us` is before the engine's current time.
+    pub fn advance(&mut self, now_us: u64) {
+        assert!(
+            now_us >= self.now_us,
+            "driver time ran backwards: {} -> {now_us}",
+            self.now_us
+        );
+        self.now_us = now_us;
+        while let Some(batch) = self.batcher.close_due(now_us) {
+            self.staged.push(batch);
+        }
+        self.flush_staged_before(now_us);
+    }
+
+    /// End of run: closes every pending partial batch at its deadline
+    /// and dispatches the whole stage in `(ready, shard)` order.
+    pub fn drain(&mut self) {
+        while let Some(batch) = self.batcher.close_next() {
+            self.staged.push(batch);
+        }
+        self.flush_staged_before(u64::MAX);
+    }
+
+    /// Dispatches staged batches with `ready < limit_us`, in the
+    /// `(ready, shard)` total order. The sort is stable and the stage is
+    /// small (at most one batch per shard plus the current instant's
+    /// closes), so the scan cost is noise.
+    fn flush_staged_before(&mut self, limit_us: u64) {
+        if self.staged.is_empty() {
+            return;
+        }
+        self.staged.sort_by_key(|b| (b.ready_us(), b.shard()));
+        while !self.staged.is_empty() && self.staged[0].ready_us() < limit_us {
+            let batch = self.staged.remove(0);
+            self.dispatch(batch);
+        }
+    }
+
+    /// Runs one closed batch on its shard's server: gathers the ragged
+    /// payloads into the pooled slab, advances the shard clock (idle →
+    /// `Other`, service → `ForwardBackward`), logs the dispatch and its
+    /// completions, and recycles the batch storage.
+    fn dispatch(&mut self, batch: Batch) {
+        let shard = batch.shard();
+        let size = batch.len();
+        let sample_len = self.batcher.config().sample_len;
+        // Size the slab for a full cap regardless of raggedness: the
+        // first dispatch then reaches the steady-state capacity.
+        self.staging_scratch.ensure_f32(
+            &mut self.staging,
+            self.batcher.config().batch_cap * sample_len,
+        );
+        if sample_len > 0 {
+            for (slot, req) in self.staging.chunks_exact_mut(sample_len).zip(batch.reqs()) {
+                slot.copy_from_slice(req.pixels());
+            }
+        }
+        let clock = &mut self.clocks[shard];
+        clock.advance_to(batch.ready_us() as f64, TimeCategory::Other);
+        let start_us = clock.now();
+        clock.charge(TimeCategory::ForwardBackward, self.model.step_us(size));
+        let done_us = clock.now();
+        self.backend
+            .run_batch(shard, &batch, &self.staging[..size * sample_len]);
+        self.dispatches.push(DispatchRecord {
+            shard,
+            ready_us: batch.ready_us(),
+            size,
+            start_us,
+            done_us,
+        });
+        for req in batch.reqs() {
+            self.completions.push(Completion {
+                id: req.id(),
+                shard,
+                arrival_us: req.arrival_us(),
+                done_us,
+            });
+        }
+        self.batcher.recycle(batch);
+    }
+
+    /// Finished requests, in dispatch order.
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+
+    /// Dispatched batches, in dispatch order.
+    pub fn dispatches(&self) -> &[DispatchRecord] {
+        &self.dispatches
+    }
+
+    /// Requests queued but not yet dispatched.
+    pub fn pending(&self) -> usize {
+        self.batcher.pending() + self.staged.iter().map(Batch::len).sum::<usize>()
+    }
+
+    /// A shard's server clock (µs ticks, Table 3 categories).
+    pub fn clock(&self, shard: usize) -> &SimClock {
+        &self.clocks[shard]
+    }
+
+    /// Pooled allocation counters across the whole request path:
+    /// batcher queues/slots + engine staging slab + backend replicas.
+    pub fn pool_stats(&self) -> ScratchStats {
+        add_stats(
+            add_stats(self.batcher.stats(), self.staging_scratch.stats()),
+            self.backend.stats(),
+        )
+    }
+
+    /// The backend, for post-run inspection.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(shards: usize, cap: usize, deadline: u64) -> BatcherConfig {
+        BatcherConfig {
+            shards,
+            batch_cap: cap,
+            deadline_us: deadline,
+            sample_len: 2,
+        }
+    }
+
+    fn engine(shards: usize, cap: usize, deadline: u64) -> ServeEngine<NullBackend> {
+        ServeEngine::new(
+            cfg(shards, cap, deadline),
+            ServiceModel::new(80.0, 5.0),
+            NullBackend,
+        )
+    }
+
+    fn push(e: &mut ServeEngine<NullBackend>, t: u64, shard: usize) -> u64 {
+        e.submit(t, shard, &mut |px| px.fill(0.5))
+    }
+
+    #[test]
+    fn same_instant_cap_closes_dispatch_in_shard_order() {
+        let mut e = engine(3, 1, 10_000);
+        // A burst at t = 100 cap-fills shards 2, 0, 1 in that submit
+        // order; dispatch must come out 0, 1, 2.
+        for shard in [2, 0, 1] {
+            let _ = push(&mut e, 100, shard);
+        }
+        e.drain();
+        let shards: Vec<usize> = e.dispatches().iter().map(|d| d.shard).collect();
+        assert_eq!(shards, vec![0, 1, 2]);
+        assert!(e.dispatches().iter().all(|d| d.ready_us == 100));
+    }
+
+    #[test]
+    fn dispatch_log_is_ready_shard_sorted() {
+        let mut e = engine(2, 2, 300);
+        let _ = push(&mut e, 0, 1);
+        let _ = push(&mut e, 50, 0);
+        let _ = push(&mut e, 60, 1); // cap-closes shard 1 at 60
+        let _ = push(&mut e, 400, 0); // fires shard 0's deadline (350) first
+        e.drain();
+        let order: Vec<(u64, usize)> = e
+            .dispatches()
+            .iter()
+            .map(|d| (d.ready_us, d.shard))
+            .collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted, "dispatch log must be (ready, shard) sorted");
+        assert_eq!(order[0], (60, 1));
+        assert_eq!(order[1], (350, 0));
+    }
+
+    #[test]
+    fn deadline_bounds_latency_under_light_load() {
+        let mut e = engine(1, 8, 200);
+        // One request every 10 ms: every batch is a singleton closed by
+        // the deadline, so latency = deadline + step(1) exactly.
+        for i in 0..20u64 {
+            let _ = push(&mut e, i * 10_000, 0);
+        }
+        e.drain();
+        assert_eq!(e.completions().len(), 20);
+        let step1 = e.model().step_us(1);
+        for c in e.completions() {
+            assert!((c.latency_us() - (200.0 + step1)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn busy_server_queues_batches_back_to_back() {
+        let mut e = engine(1, 1, 1_000_000);
+        // Cap 1: every arrival closes instantly; step(1) = 85 µs but
+        // arrivals come every 10 µs, so the server runs back-to-back.
+        for i in 0..5u64 {
+            let _ = push(&mut e, i * 10, 0);
+        }
+        e.drain();
+        let d = e.dispatches();
+        assert_eq!(d.len(), 5);
+        for w in d.windows(2) {
+            assert!((w[1].start_us - w[0].done_us).abs() < 1e-9);
+        }
+        assert!((d[4].done_us - 5.0 * 85.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_state_dispatches_without_pooled_allocations() {
+        let mut e = engine(2, 4, 500);
+        e.reserve(400);
+        let mut t = 0u64;
+        for i in 0..80u64 {
+            t += 37;
+            let _ = push(&mut e, t, (i % 2) as usize);
+        }
+        t += 10_000;
+        e.advance(t);
+        let warm = e.pool_stats();
+        for i in 0..320u64 {
+            t += 37;
+            let _ = push(&mut e, t, (i % 2) as usize);
+        }
+        t += 10_000;
+        e.advance(t);
+        let delta = e.pool_stats().since(&warm);
+        assert_eq!(delta.allocations(), 0, "steady-state serving allocated");
+        assert!(delta.reused > 0);
+    }
+
+    #[test]
+    fn drain_completes_every_submitted_request() {
+        let mut e = engine(3, 4, 700);
+        for i in 0..50u64 {
+            let _ = push(&mut e, i * 13, (i % 3) as usize);
+        }
+        e.drain();
+        assert_eq!(e.completions().len(), 50);
+        assert_eq!(e.pending(), 0);
+        let mut ids: Vec<u64> = e.completions().iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "ran backwards")]
+    fn time_must_be_monotone() {
+        let mut e = engine(1, 4, 100);
+        let _ = push(&mut e, 50, 0);
+        let _ = push(&mut e, 10, 0);
+    }
+}

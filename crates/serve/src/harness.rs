@@ -1,0 +1,121 @@
+//! Latency/QPS summarization for open-loop runs.
+//!
+//! Percentiles use the nearest-rank order statistic on the *exact*
+//! per-request latencies (`ceil(q·n)`-th smallest), not interpolation:
+//! the number reported is a latency some request actually experienced,
+//! and the statistic is a pure function of the completion set — two
+//! runs with equal seeds produce bit-equal p50/p99/p999.
+
+use crate::engine::Completion;
+
+/// Latency percentiles and throughput of one measured run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Completed requests.
+    pub requests: usize,
+    /// Median latency (µs).
+    pub p50_us: f64,
+    /// 99th-percentile latency (µs).
+    pub p99_us: f64,
+    /// 99.9th-percentile latency (µs).
+    pub p999_us: f64,
+    /// Worst observed latency (µs).
+    pub max_us: f64,
+    /// Sustained throughput: requests per second of logical time, from
+    /// first arrival to last completion.
+    pub qps: f64,
+}
+
+/// The `q`-quantile (0 < q ≤ 1) of pre-sorted latencies by nearest
+/// rank: the `ceil(q·n)`-th smallest value.
+///
+/// # Panics
+/// Panics if `sorted_us` is empty or `q` is out of (0, 1].
+pub fn percentile_us(sorted_us: &[f64], q: f64) -> f64 {
+    assert!(!sorted_us.is_empty(), "no latencies to summarize");
+    assert!(q > 0.0 && q <= 1.0, "quantile {q} out of (0, 1]");
+    debug_assert!(
+        sorted_us.windows(2).all(|w| w[0] <= w[1]),
+        "latencies must be sorted"
+    );
+    let n = sorted_us.len();
+    let rank = (q * n as f64).ceil() as usize;
+    sorted_us[rank.clamp(1, n) - 1]
+}
+
+/// Summarizes a run's completions (any order).
+///
+/// # Panics
+/// Panics if `completions` is empty.
+pub fn summarize(completions: &[Completion]) -> LatencySummary {
+    assert!(!completions.is_empty(), "no completions to summarize");
+    let mut lat: Vec<f64> = completions.iter().map(Completion::latency_us).collect();
+    lat.sort_by(f64::total_cmp);
+    let first_arrival = completions.iter().map(|c| c.arrival_us).min().unwrap_or(0);
+    let last_done = completions
+        .iter()
+        .map(|c| c.done_us)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span_us = last_done - first_arrival as f64;
+    let qps = if span_us > 0.0 {
+        completions.len() as f64 * 1e6 / span_us
+    } else {
+        0.0
+    };
+    LatencySummary {
+        requests: completions.len(),
+        p50_us: percentile_us(&lat, 0.50),
+        p99_us: percentile_us(&lat, 0.99),
+        p999_us: percentile_us(&lat, 0.999),
+        max_us: lat[lat.len() - 1],
+        qps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn done(id: u64, arrival_us: u64, done_us: f64) -> Completion {
+        Completion {
+            id,
+            shard: 0,
+            arrival_us,
+            done_us,
+        }
+    }
+
+    #[test]
+    fn nearest_rank_hits_exact_order_statistics() {
+        let lat: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile_us(&lat, 0.50), 50.0);
+        assert_eq!(percentile_us(&lat, 0.99), 99.0);
+        assert_eq!(percentile_us(&lat, 0.999), 100.0);
+        assert_eq!(percentile_us(&lat, 1.0), 100.0);
+        assert_eq!(percentile_us(&[42.0], 0.5), 42.0);
+    }
+
+    #[test]
+    fn summary_reports_span_qps_and_tails() {
+        // 10 requests, one per ms, each finishing 100 µs after arrival.
+        let completions: Vec<Completion> = (0..10)
+            .map(|i| done(i, i * 1000, i as f64 * 1000.0 + 100.0))
+            .collect();
+        let s = summarize(&completions);
+        assert_eq!(s.requests, 10);
+        assert_eq!(s.p50_us, 100.0);
+        assert_eq!(s.max_us, 100.0);
+        // Span: first arrival 0 to last completion 9100 µs.
+        assert!((s.qps - 10.0 * 1e6 / 9100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_is_order_independent() {
+        let mut completions: Vec<Completion> = (0..50)
+            .map(|i| done(i, i * 100, i as f64 * 100.0 + 10.0 * (i % 7) as f64 + 50.0))
+            .collect();
+        let a = summarize(&completions);
+        completions.reverse();
+        assert_eq!(summarize(&completions), a);
+    }
+}

@@ -477,6 +477,53 @@ impl TrainScratch {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Inference scratch: the forward-only view of the same arena machinery.
+// ---------------------------------------------------------------------------
+
+/// Forward-only sibling of [`TrainScratch`] for inference sessions.
+///
+/// An inference replica never runs a backward pass, so it needs none of
+/// the gradient-side buffers a training step warms up: no loss
+/// probabilities, no backward ping-pong traffic, no col2im scatter
+/// panels. `InferScratch` encodes that contract in the type: it is a
+/// [`TrainScratch`] that is only ever handed to `forward_into` paths
+/// (via [`train_scratch`](Self::train_scratch)), always runs the
+/// [`ScratchPolicy::Pooled`] policy, and therefore reaches the same
+/// zero-allocations-per-request steady state the training step reaches
+/// per step — proved by the same counters ([`stats`](Self::stats)).
+///
+/// The serving engine (`crates/serve`) holds one `InferScratch` per
+/// model replica; together with `Network::strip_gradients` this makes a
+/// serving replica allocate zero backward/gradient storage.
+#[derive(Debug, Default)]
+pub struct InferScratch {
+    inner: TrainScratch,
+}
+
+impl InferScratch {
+    /// An empty forward-only scratch (always [`ScratchPolicy::Pooled`]).
+    pub fn new() -> Self {
+        Self {
+            inner: TrainScratch::new(ScratchPolicy::Pooled),
+        }
+    }
+
+    /// Snapshot of the allocation counters (same invariant as the
+    /// training scratch: a warmed-up request window shows
+    /// [`ScratchStats::allocations`] unchanged).
+    pub fn stats(&self) -> ScratchStats {
+        self.inner.stats()
+    }
+
+    /// The counted [`TrainScratch`] view that layer `forward_into`
+    /// implementations size their buffers through. Forward-only by
+    /// convention: nothing on an inference path calls `backward_into`.
+    pub fn train_scratch(&mut self) -> &mut TrainScratch {
+        &mut self.inner
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -617,6 +664,19 @@ mod tests {
         assert_eq!(s.stats().allocations(), fresh_after_first);
         s.shape_tensor_zeroed(&mut t, &[4, 8]);
         assert!(t.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn infer_scratch_is_pooled_and_counted() {
+        let mut s = InferScratch::new();
+        assert_eq!(s.train_scratch().policy(), ScratchPolicy::Pooled);
+        let mut buf = Vec::new();
+        s.train_scratch().ensure_f32(&mut buf, 32);
+        assert_eq!(s.stats().fresh, 1);
+        // Steady state: capacity reuse, no allocator traffic.
+        let warm = s.stats();
+        s.train_scratch().ensure_f32(&mut buf, 32);
+        assert_eq!(s.stats().since(&warm).allocations(), 0);
     }
 
     #[test]

@@ -230,6 +230,74 @@ pub fn gemm(
     blocked_accumulate(ta, tb, m, n, k, 0, m, 0, n, alpha, a, b, beta, c, n);
 }
 
+/// `C ← α·op(A)·op(B) + β·C` with the kernel chosen by **per-row** work
+/// `2·n·k` instead of the total `2·m·n·k`.
+///
+/// [`gemm`]'s tiny/blocked split keys on total flops, so the same output
+/// row can be computed by the direct row loop in one call and the packed
+/// FMA kernel in another purely because the calls carry different row
+/// counts — the two kernels round differently (`mul_add` vs separate
+/// mul/add), so row bits depend on batch size. Serving dispatches
+/// *ragged* batches and promises a request the exact bits it would get
+/// in any other batch (the eval-mode batch-size-invariance contract, see
+/// `easgd-serve`), so its eval path needs a dispatch that is a pure
+/// function of the per-row shape `(n, k)`.
+///
+/// Every blocked variant (serial, skinny, SIMD tiers, pool-parallel) is
+/// pinned bit-identical per row, and both kernels compute row `r` from
+/// row `r` of `op(A)` alone, so per-row dispatch makes the whole result
+/// row-stable: parallelism may still engage by total flops without
+/// affecting bits.
+///
+/// # Panics
+/// Panics if any buffer is smaller than its dimensions imply.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_rowstable(
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    check_dims(m, n, k, a, b, c);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let c = &mut c[..m * n];
+    if k == 0 || alpha == 0.0 {
+        apply_beta(c, beta);
+        return;
+    }
+    if gemm_flops(1, n, k) < SMALL_FLOPS {
+        apply_beta(c, beta);
+        naive_rows(ta, tb, m, n, k, alpha, a, b, c);
+        return;
+    }
+    // Same pool engagement as `gemm` (total-flops keyed): the parallel
+    // path is bit-identical to the serial one, so this m-dependence
+    // cannot change bits.
+    if gemm_flops(m, n, k) >= PAR_FLOPS {
+        if let Some(pool) = par::pool_override() {
+            if pool.threads() > 1 {
+                gemm_blocked_parallel(&pool, ta, tb, m, n, k, alpha, a, b, beta, c);
+                return;
+            }
+        } else {
+            let pool = par::pool();
+            if pool.threads() > 1 {
+                gemm_blocked_parallel(pool, ta, tb, m, n, k, alpha, a, b, beta, c);
+                return;
+            }
+        }
+    }
+    blocked_accumulate(ta, tb, m, n, k, 0, m, 0, n, alpha, a, b, beta, c, n);
+}
+
 /// The blocked kernel forced onto the calling thread (no pool), for
 /// single-threaded A/B measurement against [`gemm_naive`].
 ///
@@ -1356,6 +1424,76 @@ mod tests {
             let bits_par: Vec<u32> = c_par.iter().map(|v| v.to_bits()).collect();
             let bits_ser: Vec<u32> = c_ser.iter().map(|v| v.to_bits()).collect();
             assert_eq!(bits_par, bits_ser, "m={m} n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn rowstable_rows_are_invariant_to_row_count() {
+        // Shapes on both sides of the per-row SMALL_FLOPS threshold, with
+        // batch sizes that make `gemm`'s *total*-flops dispatch straddle
+        // the naive/blocked split (the bug this entry exists to fix: the
+        // lenet fc layers served at ragged batch sizes).
+        for &(n, k) in &[(32, 288), (64, 700), (500, 800)] {
+            let b = rand_vec(k * n, 21);
+            let a_full = rand_vec(8 * k, 22);
+            let mut c_full = vec![0.0; 8 * n];
+            gemm_rowstable(
+                Transpose::No,
+                Transpose::Yes,
+                8,
+                n,
+                k,
+                1.0,
+                &a_full,
+                &b,
+                0.0,
+                &mut c_full,
+            );
+            for (start, rows) in [(0usize, 1usize), (3, 2), (7, 1), (2, 5)] {
+                let mut c_sub = vec![0.0; rows * n];
+                gemm_rowstable(
+                    Transpose::No,
+                    Transpose::Yes,
+                    rows,
+                    n,
+                    k,
+                    1.0,
+                    &a_full[start * k..(start + rows) * k],
+                    &b,
+                    0.0,
+                    &mut c_sub,
+                );
+                assert_eq!(
+                    bits(&c_sub),
+                    bits(&c_full[start * n..(start + rows) * n]),
+                    "n={n} k={k} rows {start}..{}",
+                    start + rows
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rowstable_matches_reference_product() {
+        let (m, n, k) = (5, 40, 60);
+        let a = rand_vec(m * k, 31);
+        let b = rand_vec(k * n, 32);
+        let mut c = vec![0.0; m * n];
+        gemm_rowstable(
+            Transpose::No,
+            Transpose::No,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c,
+        );
+        let want = matmul(m, n, k, &a, &b);
+        for (got, want) in c.iter().zip(&want) {
+            assert!((got - want).abs() <= 1e-4 * want.abs().max(1.0));
         }
     }
 

@@ -32,14 +32,19 @@
 //!    carry a `// xtask: allow(payload-copy)` justification on the same
 //!    line or in the comment block directly above.
 //! 6. **step-alloc** — `.to_vec()` / `.clone()` / `Vec::new()` are
-//!    banned inside `fn forward*` / `fn backward*` bodies in
-//!    `crates/nn/src/` (outside `#[cfg(test)]`): the training step is
-//!    zero-allocation after warm-up (DESIGN.md §11), so activation and
-//!    cache buffers must be sized through `TrainScratch`'s counted
-//!    `ensure_*`/`shape_tensor` entry points. Deliberate sites (the
-//!    allocating inference path, `Arc` refcount clones) carry a
-//!    `// xtask: allow(step-alloc)` justification on the same line or
-//!    in the comment block directly above.
+//!    banned inside the per-step hot-path function bodies (outside
+//!    `#[cfg(test)]`): `fn forward*` / `fn backward*` / `fn infer*` in
+//!    `crates/nn/src/`, and the serving request path in
+//!    `crates/serve/src/` (`fn submit*` / `close*` / `dispatch*` /
+//!    `recycle*` / `drain*` / `advance*` / `infer*` / `run_*`). The
+//!    training step and the steady-state serving path are
+//!    zero-allocation after warm-up (DESIGN.md §11, §16), so activation,
+//!    cache, and request buffers must be sized through the counted
+//!    scratch (`ensure_*`/`shape_tensor`) or the batcher's recycled
+//!    pools. Deliberate sites (the allocating inference path, `Arc`
+//!    refcount clones) carry a `// xtask: allow(step-alloc)`
+//!    justification on the same line or in the comment block directly
+//!    above.
 //! 7. **tag-discipline** — point-to-point tag arguments in
 //!    `crates/cluster/src/` and `crates/core/src/` must come from the
 //!    named registry (`easgd_cluster::tags`), never bare integer
@@ -354,16 +359,27 @@ fn in_spans(spans: &[(usize, usize)], line: usize) -> bool {
     spans.iter().any(|&(a, b)| (a..=b).contains(&line))
 }
 
-/// True if `line` declares a function whose name starts with `forward`
-/// or `backward` (the training-step hot-path naming convention).
-fn is_step_fn_decl(line: &str) -> bool {
+/// Step hot-path function-name prefixes for `crates/nn/src/`: the
+/// training step plus the forward-only serving entry points.
+const NN_STEP_FN_PREFIXES: &[&str] = &["forward", "backward", "infer"];
+
+/// Step hot-path function-name prefixes for `crates/serve/src/`: every
+/// function on the per-request path (batching, dispatch, recycling,
+/// replica inference) must stay pooled-allocation-free.
+const SERVE_STEP_FN_PREFIXES: &[&str] = &[
+    "submit", "close", "dispatch", "recycle", "drain", "advance", "infer", "run_",
+];
+
+/// True if `line` declares a function whose name starts with one of
+/// `prefixes` (the per-step hot-path naming convention).
+fn is_step_fn_decl(line: &str, prefixes: &[&str]) -> bool {
     let mut start = 0;
     while let Some(pos) = line[start..].find("fn ") {
         let abs = start + pos;
         let before_ok = abs == 0 || !is_ident_char(line[..abs].chars().next_back().unwrap_or(' '));
         if before_ok {
             let name = line[abs + 3..].trim_start();
-            if name.starts_with("forward") || name.starts_with("backward") {
+            if prefixes.iter().any(|p| name.starts_with(p)) {
                 return true;
             }
         }
@@ -372,14 +388,14 @@ fn is_step_fn_decl(line: &str) -> bool {
     false
 }
 
-/// Line spans (0-based, inclusive) of `fn forward*` / `fn backward*`
-/// bodies, brace-matched on the stripped source. Bodiless trait
-/// signatures (terminated by `;` before any `{`) yield no span.
-fn step_fn_spans(stripped_lines: &[&str]) -> Vec<(usize, usize)> {
+/// Line spans (0-based, inclusive) of hot-path `fn <prefix>*` bodies,
+/// brace-matched on the stripped source. Bodiless trait signatures
+/// (terminated by `;` before any `{`) yield no span.
+fn step_fn_spans(stripped_lines: &[&str], prefixes: &[&str]) -> Vec<(usize, usize)> {
     let mut spans = Vec::new();
     let mut i = 0;
     while i < stripped_lines.len() {
-        if !is_step_fn_decl(stripped_lines[i]) {
+        if !is_step_fn_decl(stripped_lines[i], prefixes) {
             i += 1;
             continue;
         }
@@ -442,7 +458,9 @@ pub fn lint_source_with(
         .any(|l| l.contains("//") && l.contains(WALL_CLOCK_PRAGMA));
     let test_spans = cfg_test_spans(&stripped_lines);
     let step_spans = if file.starts_with("crates/nn/src/") {
-        step_fn_spans(&stripped_lines)
+        step_fn_spans(&stripped_lines, NN_STEP_FN_PREFIXES)
+    } else if file.starts_with("crates/serve/src/") {
+        step_fn_spans(&stripped_lines, SERVE_STEP_FN_PREFIXES)
     } else {
         Vec::new()
     };
@@ -563,9 +581,11 @@ pub fn lint_source_with(
             });
         }
 
-        // Rule 6: step-alloc — forward/backward bodies in the layer
-        // crate size every buffer through the counted scratch; stray
-        // allocations would break the zero-allocation steady state.
+        // Rule 6: step-alloc — per-step hot-path bodies (nn
+        // forward/backward/infer, serve request path) size every buffer
+        // through the counted scratch or the batcher's recycled pools;
+        // stray allocations would break the zero-allocation steady
+        // state.
         if in_spans(&step_spans, idx)
             && !in_spans(&test_spans, idx)
             && (sline.contains(".to_vec()")
@@ -578,10 +598,11 @@ pub fn lint_source_with(
                 line: lineno,
                 rule: "step-alloc",
                 message: format!(
-                    "`.to_vec()`/`.clone()`/`Vec::new()` in a forward/backward hot \
-                     path; size the buffer through `TrainScratch` \
-                     (`ensure_f32`/`shape_tensor`) or justify the site with \
-                     `// {STEP_ALLOC_PRAGMA}`"
+                    "`.to_vec()`/`.clone()`/`Vec::new()` in a per-step hot path \
+                     (nn forward/backward/infer, serve request path); size the \
+                     buffer through the counted scratch \
+                     (`ensure_f32`/`shape_tensor`) or a recycled pool, or \
+                     justify the site with `// {STEP_ALLOC_PRAGMA}`"
                 ),
             });
         }
@@ -819,13 +840,14 @@ fn comment_justified(raw_lines: &[&str], idx: usize, needle: &str) -> bool {
 
 /// The crates whose `src/` trees count as library hot paths for the
 /// no-unwrap rule.
-const HOT_PATH_PREFIXES: [&str; 6] = [
+const HOT_PATH_PREFIXES: [&str; 7] = [
     "crates/tensor/src/",
     "crates/nn/src/",
     "crates/data/src/",
     "crates/hardware/src/",
     "crates/cluster/src/",
     "crates/core/src/",
+    "crates/serve/src/",
 ];
 
 fn is_hot_path(rel: &str) -> bool {
@@ -1218,6 +1240,55 @@ mod tests {
         // Other crates' forward fns are out of scope.
         let src = format!("fn forward(&mut self) {{ let v = {}; }}", vec_new_call());
         assert!(lint_source("crates/core/src/engine/local.rs", &src, false).is_empty());
+    }
+
+    #[test]
+    fn step_alloc_fires_on_nn_infer_and_serve_request_path() {
+        // `fn infer*` joined the nn hot set with the serving stack.
+        let src = format!("fn infer_into(&mut self) {{ let v = {}; }}", vec_new_call());
+        let f = lint_source("crates/nn/src/network.rs", &src, false);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "step-alloc");
+        // The serve request path uses its own prefix set.
+        for name in [
+            "submit",
+            "close_due",
+            "dispatch",
+            "recycle",
+            "drain",
+            "advance",
+            "infer",
+            "run_batch",
+        ] {
+            let src = format!("fn {name}(&mut self) {{ let v = x{}; }}", to_vec_call());
+            let f = lint_source("crates/serve/src/batcher.rs", &src, false);
+            assert_eq!(f.len(), 1, "fn {name}: {f:?}");
+            assert_eq!(f[0].rule, "step-alloc");
+        }
+        // Cold serve fns (constructors, accessors) stay free to allocate.
+        let src = format!("fn new() -> Self {{ Self {{ q: {} }} }}", vec_new_call());
+        assert!(lint_source("crates/serve/src/engine.rs", &src, false).is_empty());
+        // nn's forward-only prefixes don't leak into serve and vice
+        // versa: a serve `fn forward` is cold, an nn `fn submit` is cold.
+        let src = format!("fn forward(&mut self) {{ let v = {}; }}", vec_new_call());
+        assert!(lint_source("crates/serve/src/session.rs", &src, false).is_empty());
+        let src = format!("fn submit(&mut self) {{ let v = {}; }}", vec_new_call());
+        assert!(lint_source("crates/nn/src/network.rs", &src, false).is_empty());
+    }
+
+    #[test]
+    fn serve_src_is_a_no_unwrap_hot_path() {
+        let f = lint_source(
+            "crates/serve/src/batcher.rs",
+            "fn f() { x.unwrap(); }",
+            true,
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "no-unwrap");
+        assert!(
+            super::is_hot_path("crates/serve/src/engine.rs"),
+            "serve src must be wired into HOT_PATH_PREFIXES"
+        );
     }
 
     #[test]

@@ -44,6 +44,12 @@ cargo run -q --release -p easgd-bench --bin train -- --smoke
 echo "==> cluster harness on the event backend (smoke: P<=512 + checked-in BENCH_cluster.json acceptance; full P=8192 sweep runs nightly in CI)"
 cargo run -q --release -p easgd-bench --bin cluster -- --smoke
 
+echo "==> serve harness (smoke: short sweep + zero-alloc/bitwise gates + checked-in BENCH_serve.json acceptance; full latency sweep runs nightly in CI)"
+cargo run -q --release -p easgd-bench --bin serve -- --smoke
+
+echo "==> bench artifact schema check (every checked-in BENCH_*.json)"
+cargo run -q --release -p easgd-bench --bin schema_check
+
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
